@@ -1,0 +1,189 @@
+//! Error type for DER encoding and decoding.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Asn1Result<T> = Result<T, Asn1Error>;
+
+/// A DER decoding or encoding failure.
+///
+/// Every variant produced during decoding carries the byte `offset` at which
+/// the problem was detected, measured from the start of the buffer handed to
+/// the outermost [`crate::Decoder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Asn1Error {
+    /// The input ended before a complete TLV could be read.
+    UnexpectedEof {
+        /// Byte offset where input ran out.
+        offset: usize,
+    },
+    /// A tag other than the expected one was found.
+    UnexpectedTag {
+        /// Byte offset of the unexpected tag.
+        offset: usize,
+        /// The identifier octet that was expected.
+        expected: u8,
+        /// The identifier octet actually read.
+        found: u8,
+    },
+    /// An indefinite or non-minimal length encoding (forbidden by DER).
+    InvalidLength {
+        /// Byte offset of the offending length octets.
+        offset: usize,
+    },
+    /// Length overflows the remaining input.
+    LengthOverflow {
+        /// Byte offset of the length octets.
+        offset: usize,
+        /// The decoded (overlong) length.
+        length: usize,
+    },
+    /// A BOOLEAN with contents other than `0x00`/`0xFF`.
+    InvalidBoolean {
+        /// Byte offset of the BOOLEAN content.
+        offset: usize,
+    },
+    /// A non-minimal INTEGER encoding, or an INTEGER too large for the
+    /// requested native type.
+    InvalidInteger {
+        /// Byte offset of the INTEGER.
+        offset: usize,
+    },
+    /// An OBJECT IDENTIFIER whose contents are malformed.
+    InvalidOid {
+        /// Byte offset of the OBJECT IDENTIFIER content.
+        offset: usize,
+    },
+    /// A string whose bytes violate its character set.
+    InvalidString {
+        /// Byte offset of the string content.
+        offset: usize,
+        /// Which string type was violated.
+        kind: &'static str,
+    },
+    /// A UTCTime/GeneralizedTime that does not parse.
+    InvalidTime {
+        /// Byte offset of the time value.
+        offset: usize,
+    },
+    /// A BIT STRING with an invalid unused-bits count.
+    InvalidBitString {
+        /// Byte offset of the BIT STRING.
+        offset: usize,
+    },
+    /// Trailing bytes after the value that was expected to be last.
+    TrailingData {
+        /// Byte offset of the first trailing byte.
+        offset: usize,
+    },
+    /// Constructed value left unconsumed content.
+    UnconsumedContent {
+        /// Byte offset of the first unconsumed byte.
+        offset: usize,
+    },
+    /// Value cannot be represented in DER (e.g. OID arc overflow).
+    Unencodable {
+        /// Why the value cannot be encoded.
+        reason: &'static str,
+    },
+}
+
+impl Asn1Error {
+    /// Byte offset of the failure, when the error arose during decoding.
+    pub fn offset(&self) -> Option<usize> {
+        match self {
+            Asn1Error::UnexpectedEof { offset }
+            | Asn1Error::UnexpectedTag { offset, .. }
+            | Asn1Error::InvalidLength { offset }
+            | Asn1Error::LengthOverflow { offset, .. }
+            | Asn1Error::InvalidBoolean { offset }
+            | Asn1Error::InvalidInteger { offset }
+            | Asn1Error::InvalidOid { offset }
+            | Asn1Error::InvalidString { offset, .. }
+            | Asn1Error::InvalidTime { offset }
+            | Asn1Error::InvalidBitString { offset }
+            | Asn1Error::TrailingData { offset }
+            | Asn1Error::UnconsumedContent { offset } => Some(*offset),
+            Asn1Error::Unencodable { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Asn1Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Asn1Error::UnexpectedEof { offset } => {
+                write!(f, "unexpected end of input at byte {offset}")
+            }
+            Asn1Error::UnexpectedTag {
+                offset,
+                expected,
+                found,
+            } => write!(
+                f,
+                "unexpected tag at byte {offset}: expected {expected:#04x}, found {found:#04x}"
+            ),
+            Asn1Error::InvalidLength { offset } => {
+                write!(f, "invalid DER length at byte {offset}")
+            }
+            Asn1Error::LengthOverflow { offset, length } => write!(
+                f,
+                "length {length} at byte {offset} overflows remaining input"
+            ),
+            Asn1Error::InvalidBoolean { offset } => {
+                write!(f, "invalid DER BOOLEAN at byte {offset}")
+            }
+            Asn1Error::InvalidInteger { offset } => {
+                write!(f, "invalid DER INTEGER at byte {offset}")
+            }
+            Asn1Error::InvalidOid { offset } => {
+                write!(f, "invalid OBJECT IDENTIFIER at byte {offset}")
+            }
+            Asn1Error::InvalidString { offset, kind } => {
+                write!(f, "invalid {kind} at byte {offset}")
+            }
+            Asn1Error::InvalidTime { offset } => write!(f, "invalid time at byte {offset}"),
+            Asn1Error::InvalidBitString { offset } => {
+                write!(f, "invalid BIT STRING at byte {offset}")
+            }
+            Asn1Error::TrailingData { offset } => {
+                write!(f, "trailing data at byte {offset}")
+            }
+            Asn1Error::UnconsumedContent { offset } => {
+                write!(f, "unconsumed constructed content at byte {offset}")
+            }
+            Asn1Error::Unencodable { reason } => write!(f, "unencodable value: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Asn1Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset() {
+        let e = Asn1Error::UnexpectedEof { offset: 17 };
+        assert!(e.to_string().contains("17"));
+        assert_eq!(e.offset(), Some(17));
+    }
+
+    #[test]
+    fn unencodable_has_no_offset() {
+        let e = Asn1Error::Unencodable { reason: "x" };
+        assert_eq!(e.offset(), None);
+    }
+
+    #[test]
+    fn unexpected_tag_display_shows_both_tags() {
+        let e = Asn1Error::UnexpectedTag {
+            offset: 3,
+            expected: 0x30,
+            found: 0x31,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0x30") && s.contains("0x31"));
+    }
+}

@@ -1,0 +1,147 @@
+//! DER definite-length encoding and decoding.
+//!
+//! DER requires definite lengths in the minimal number of octets: short form
+//! for lengths 0..=127, long form with the minimum number of base-256 digits
+//! otherwise.
+
+use crate::error::{Asn1Error, Asn1Result};
+
+/// Append the DER encoding of `len` to `out`.
+pub fn encode_length(out: &mut Vec<u8>, len: usize) {
+    if len < 0x80 {
+        out.push(len as u8);
+        return;
+    }
+    let mut digits = [0u8; std::mem::size_of::<usize>()];
+    let mut n = len;
+    let mut count = 0;
+    while n > 0 {
+        digits[count] = (n & 0xff) as u8;
+        n >>= 8;
+        count += 1;
+    }
+    out.push(0x80 | count as u8);
+    for i in (0..count).rev() {
+        out.push(digits[i]);
+    }
+}
+
+/// Number of octets [`encode_length`] will produce for `len`.
+pub fn length_of_length(len: usize) -> usize {
+    if len < 0x80 {
+        1
+    } else {
+        let bits = usize::BITS - len.leading_zeros();
+        1 + bits.div_ceil(8) as usize
+    }
+}
+
+/// Decode a DER length starting at `input[pos]`.
+///
+/// Returns `(length, bytes_consumed)`. Rejects indefinite lengths and
+/// non-minimal long-form encodings, as DER requires.
+pub fn decode_length(input: &[u8], pos: usize) -> Asn1Result<(usize, usize)> {
+    let first = *input
+        .get(pos)
+        .ok_or(Asn1Error::UnexpectedEof { offset: pos })?;
+    if first < 0x80 {
+        return Ok((first as usize, 1));
+    }
+    if first == 0x80 {
+        // Indefinite length: BER-only, forbidden in DER.
+        return Err(Asn1Error::InvalidLength { offset: pos });
+    }
+    let count = (first & 0x7f) as usize;
+    if count > std::mem::size_of::<usize>() {
+        return Err(Asn1Error::InvalidLength { offset: pos });
+    }
+    let bytes = input
+        .get(pos + 1..pos + 1 + count)
+        .ok_or(Asn1Error::UnexpectedEof { offset: pos })?;
+    if bytes[0] == 0 {
+        // Leading zero digit: non-minimal.
+        return Err(Asn1Error::InvalidLength { offset: pos });
+    }
+    let mut len = 0usize;
+    for &b in bytes {
+        len = (len << 8) | b as usize;
+    }
+    if len < 0x80 {
+        // Long form used where short form suffices: non-minimal.
+        return Err(Asn1Error::InvalidLength { offset: pos });
+    }
+    Ok((len, 1 + count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc(len: usize) -> Vec<u8> {
+        let mut v = Vec::new();
+        encode_length(&mut v, len);
+        v
+    }
+
+    #[test]
+    fn short_form() {
+        assert_eq!(enc(0), [0x00]);
+        assert_eq!(enc(1), [0x01]);
+        assert_eq!(enc(127), [0x7f]);
+    }
+
+    #[test]
+    fn long_form() {
+        assert_eq!(enc(128), [0x81, 0x80]);
+        assert_eq!(enc(255), [0x81, 0xff]);
+        assert_eq!(enc(256), [0x82, 0x01, 0x00]);
+        assert_eq!(enc(65535), [0x82, 0xff, 0xff]);
+        assert_eq!(enc(65536), [0x83, 0x01, 0x00, 0x00]);
+    }
+
+    #[test]
+    fn round_trip() {
+        for len in [0usize, 1, 42, 127, 128, 129, 255, 256, 1000, 1 << 20, usize::MAX >> 8] {
+            let buf = enc(len);
+            let (decoded, consumed) = decode_length(&buf, 0).unwrap();
+            assert_eq!(decoded, len);
+            assert_eq!(consumed, buf.len());
+            assert_eq!(length_of_length(len), buf.len());
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        assert_eq!(
+            decode_length(&[0x80], 0),
+            Err(Asn1Error::InvalidLength { offset: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_non_minimal() {
+        // 0x7f encoded in long form.
+        assert!(decode_length(&[0x81, 0x7f], 0).is_err());
+        // Leading zero digit.
+        assert!(decode_length(&[0x82, 0x00, 0xff], 0).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(decode_length(&[], 0).is_err());
+        assert!(decode_length(&[0x82, 0x01], 0).is_err());
+    }
+
+    #[test]
+    fn rejects_oversize_count() {
+        let mut buf = vec![0x80 | 9];
+        buf.extend_from_slice(&[0xff; 9]);
+        assert!(decode_length(&buf, 0).is_err());
+    }
+
+    #[test]
+    fn offset_is_reported() {
+        let err = decode_length(&[0x00, 0x80], 1).unwrap_err();
+        assert_eq!(err.offset(), Some(1));
+    }
+}

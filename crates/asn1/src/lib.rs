@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! A from-scratch DER (Distinguished Encoding Rules) subset sufficient for
+//! X.509 certificate modelling.
+//!
+//! This crate implements the ASN.1 basic types used by RFC 5280 certificates:
+//! BOOLEAN, INTEGER, BIT STRING, OCTET STRING, NULL, OBJECT IDENTIFIER,
+//! UTF8String, PrintableString, IA5String, UTCTime, GeneralizedTime,
+//! SEQUENCE, SET and context-specific tagging — with strict DER rules
+//! (definite lengths, minimal length encoding, minimal INTEGER encoding).
+//!
+//! Design notes:
+//! - Encoding streams into a `Vec<u8>` via [`Encoder`]; nested constructed
+//!   values are encoded via length back-patching so no intermediate buffers
+//!   are needed.
+//! - Decoding is zero-copy over a byte slice via [`Decoder`]; string and OID
+//!   accessors validate their character sets.
+//! - Errors carry byte offsets so malformed-certificate experiments
+//!   (Appendix D of the paper) can report precise positions.
+
+pub mod error;
+pub mod length;
+pub mod oid;
+pub mod reader;
+pub mod tag;
+pub mod time;
+pub mod writer;
+
+pub use error::{Asn1Error, Asn1Result};
+pub use oid::Oid;
+pub use reader::{Decoder, Tlv};
+pub use tag::{Class, Tag};
+pub use time::Asn1Time;
+pub use writer::Encoder;

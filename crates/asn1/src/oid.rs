@@ -1,0 +1,326 @@
+//! OBJECT IDENTIFIER values and the OID constants used by X.509.
+
+use crate::error::{Asn1Error, Asn1Result};
+use std::fmt;
+use std::str::FromStr;
+
+/// An OBJECT IDENTIFIER, stored as its DER content octets.
+///
+/// Storing the content octets (rather than the arc list) makes encode a
+/// memcpy and equality/hashing cheap; arcs are recomputed on demand.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid {
+    der: Vec<u8>,
+}
+
+impl Oid {
+    /// Build an OID from its arc list, e.g. `&[2, 5, 4, 3]` for `id-at-commonName`.
+    pub fn from_arcs(arcs: &[u64]) -> Asn1Result<Oid> {
+        if arcs.len() < 2 {
+            return Err(Asn1Error::Unencodable {
+                reason: "OID needs at least two arcs",
+            });
+        }
+        if arcs[0] > 2 || (arcs[0] < 2 && arcs[1] > 39) {
+            return Err(Asn1Error::Unencodable {
+                reason: "invalid first/second OID arc",
+            });
+        }
+        let mut der = Vec::with_capacity(arcs.len() + 1);
+        push_base128(&mut der, arcs[0] * 40 + arcs[1]);
+        for &arc in &arcs[2..] {
+            push_base128(&mut der, arc);
+        }
+        Ok(Oid { der })
+    }
+
+    /// Wrap pre-validated DER content octets.
+    pub fn from_der_content(content: &[u8], offset: usize) -> Asn1Result<Oid> {
+        validate_content(content, offset)?;
+        Ok(Oid {
+            der: content.to_vec(),
+        })
+    }
+
+    /// The DER content octets (not including tag/length).
+    pub fn der_content(&self) -> &[u8] {
+        &self.der
+    }
+
+    /// Decode the arc list.
+    pub fn arcs(&self) -> Vec<u64> {
+        let mut arcs = Vec::new();
+        let mut iter = self.der.iter().copied();
+        let mut acc: u64 = 0;
+        let mut first = true;
+        for b in iter.by_ref() {
+            acc = (acc << 7) | (b & 0x7f) as u64;
+            if b & 0x80 == 0 {
+                if first {
+                    let (a, b) = if acc < 40 {
+                        (0, acc)
+                    } else if acc < 80 {
+                        (1, acc - 40)
+                    } else {
+                        (2, acc - 80)
+                    };
+                    arcs.push(a);
+                    arcs.push(b);
+                    first = false;
+                } else {
+                    arcs.push(acc);
+                }
+                acc = 0;
+            }
+        }
+        arcs
+    }
+}
+
+fn push_base128(out: &mut Vec<u8>, mut value: u64) {
+    let mut stack = [0u8; 10];
+    let mut n = 0;
+    loop {
+        stack[n] = (value & 0x7f) as u8;
+        value >>= 7;
+        n += 1;
+        if value == 0 {
+            break;
+        }
+    }
+    for i in (0..n).rev() {
+        let mut b = stack[i];
+        if i != 0 {
+            b |= 0x80;
+        }
+        out.push(b);
+    }
+}
+
+fn validate_content(content: &[u8], offset: usize) -> Asn1Result<()> {
+    if content.is_empty() {
+        return Err(Asn1Error::InvalidOid { offset });
+    }
+    let mut expecting_more = false;
+    let mut subid_start = true;
+    for (i, &b) in content.iter().enumerate() {
+        if subid_start && b == 0x80 {
+            // Non-minimal sub-identifier (leading 0x80).
+            return Err(Asn1Error::InvalidOid { offset: offset + i });
+        }
+        subid_start = false;
+        if b & 0x80 != 0 {
+            expecting_more = true;
+        } else {
+            expecting_more = false;
+            subid_start = true;
+        }
+    }
+    if expecting_more {
+        return Err(Asn1Error::InvalidOid {
+            offset: offset + content.len(),
+        });
+    }
+    Ok(())
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let arcs = self.arcs();
+        for (i, a) in arcs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Oid {
+    type Err = Asn1Error;
+
+    fn from_str(s: &str) -> Asn1Result<Oid> {
+        let arcs: Result<Vec<u64>, _> = s.split('.').map(|p| p.parse::<u64>()).collect();
+        let arcs = arcs.map_err(|_| Asn1Error::Unencodable {
+            reason: "OID string contains a non-numeric arc",
+        })?;
+        Oid::from_arcs(&arcs)
+    }
+}
+
+/// Well-known OIDs used by the X.509 model.
+pub mod known {
+    use super::Oid;
+
+    fn oid(arcs: &[u64]) -> Oid {
+        Oid::from_arcs(arcs).expect("static OID is valid")
+    }
+
+    // Distinguished-name attribute types (id-at, RFC 4519 / RFC 5280).
+    /// `id-at-commonName` (2.5.4.3).
+    pub fn common_name() -> Oid {
+        oid(&[2, 5, 4, 3])
+    }
+    /// `id-at-countryName` (2.5.4.6).
+    pub fn country() -> Oid {
+        oid(&[2, 5, 4, 6])
+    }
+    /// `id-at-localityName` (2.5.4.7).
+    pub fn locality() -> Oid {
+        oid(&[2, 5, 4, 7])
+    }
+    /// `id-at-stateOrProvinceName` (2.5.4.8).
+    pub fn state_or_province() -> Oid {
+        oid(&[2, 5, 4, 8])
+    }
+    /// `id-at-organizationName` (2.5.4.10).
+    pub fn organization() -> Oid {
+        oid(&[2, 5, 4, 10])
+    }
+    /// `id-at-organizationalUnitName` (2.5.4.11).
+    pub fn organizational_unit() -> Oid {
+        oid(&[2, 5, 4, 11])
+    }
+    /// PKCS#9 emailAddress, still common in private-PKI DNs
+    /// (e.g. the paper's `emailAddress=webmaster@localhost` leaf).
+    pub fn email_address() -> Oid {
+        oid(&[1, 2, 840, 113549, 1, 9, 1])
+    }
+
+    // Certificate extensions (id-ce).
+    /// `id-ce-basicConstraints` (2.5.29.19).
+    pub fn basic_constraints() -> Oid {
+        oid(&[2, 5, 29, 19])
+    }
+    /// `id-ce-keyUsage` (2.5.29.15).
+    pub fn key_usage() -> Oid {
+        oid(&[2, 5, 29, 15])
+    }
+    /// `id-ce-subjectAltName` (2.5.29.17).
+    pub fn subject_alt_name() -> Oid {
+        oid(&[2, 5, 29, 17])
+    }
+    /// `id-ce-subjectKeyIdentifier` (2.5.29.14).
+    pub fn subject_key_identifier() -> Oid {
+        oid(&[2, 5, 29, 14])
+    }
+    /// `id-ce-authorityKeyIdentifier` (2.5.29.35).
+    pub fn authority_key_identifier() -> Oid {
+        oid(&[2, 5, 29, 35])
+    }
+    /// `id-ce-extKeyUsage` (2.5.29.37).
+    pub fn extended_key_usage() -> Oid {
+        oid(&[2, 5, 29, 37])
+    }
+
+    /// Signed Certificate Timestamp list (RFC 6962 §3.3).
+    pub fn sct_list() -> Oid {
+        oid(&[1, 3, 6, 1, 4, 1, 11129, 2, 4, 2])
+    }
+    /// CT precertificate poison (RFC 6962 §3.1).
+    pub fn ct_poison() -> Oid {
+        oid(&[1, 3, 6, 1, 4, 1, 11129, 2, 4, 3])
+    }
+
+    /// The simulated signature algorithm used by this workspace's
+    /// `cryptosim` crate (a private-arc OID so it can never collide with a
+    /// real algorithm).
+    pub fn sim_sig_with_sha256() -> Oid {
+        oid(&[1, 3, 6, 1, 4, 1, 99999, 1, 1])
+    }
+    /// A deliberately unknown algorithm, used to reproduce the paper's
+    /// "unrecognized public key" chains in Table 5.
+    pub fn unknown_algorithm() -> Oid {
+        oid(&[1, 3, 6, 1, 4, 1, 99999, 9, 9])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_name_encoding() {
+        let oid = Oid::from_arcs(&[2, 5, 4, 3]).unwrap();
+        assert_eq!(oid.der_content(), &[0x55, 0x04, 0x03]);
+        assert_eq!(oid.to_string(), "2.5.4.3");
+    }
+
+    #[test]
+    fn multi_byte_arcs() {
+        // 1.2.840.113549.1.9.1 (emailAddress) — classic RSA arc encoding.
+        let oid = Oid::from_arcs(&[1, 2, 840, 113549, 1, 9, 1]).unwrap();
+        assert_eq!(
+            oid.der_content(),
+            &[0x2a, 0x86, 0x48, 0x86, 0xf7, 0x0d, 0x01, 0x09, 0x01]
+        );
+        assert_eq!(oid.arcs(), vec![1, 2, 840, 113549, 1, 9, 1]);
+    }
+
+    #[test]
+    fn round_trip_arcs() {
+        for arcs in [
+            vec![0u64, 0],
+            vec![1, 2, 3],
+            vec![2, 5, 29, 19],
+            vec![2, 999, 1],
+            vec![1, 3, 6, 1, 4, 1, 11129, 2, 4, 2],
+        ] {
+            let oid = Oid::from_arcs(&arcs).unwrap();
+            assert_eq!(oid.arcs(), arcs);
+            let rt = Oid::from_der_content(oid.der_content(), 0).unwrap();
+            assert_eq!(rt, oid);
+        }
+    }
+
+    #[test]
+    fn from_str_round_trip() {
+        let oid: Oid = "1.3.6.1.4.1.11129.2.4.2".parse().unwrap();
+        assert_eq!(oid, known::sct_list());
+        assert_eq!(oid.to_string(), "1.3.6.1.4.1.11129.2.4.2");
+    }
+
+    #[test]
+    fn rejects_bad_arcs() {
+        assert!(Oid::from_arcs(&[3, 1]).is_err());
+        assert!(Oid::from_arcs(&[0, 40]).is_err());
+        assert!(Oid::from_arcs(&[1]).is_err());
+        assert!("not.an.oid".parse::<Oid>().is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_content() {
+        // Empty.
+        assert!(Oid::from_der_content(&[], 0).is_err());
+        // Truncated continuation.
+        assert!(Oid::from_der_content(&[0x86], 0).is_err());
+        // Leading 0x80 pad (non-minimal).
+        assert!(Oid::from_der_content(&[0x55, 0x80, 0x01], 0).is_err());
+    }
+
+    #[test]
+    fn known_oids_are_distinct() {
+        let all = [
+            known::common_name(),
+            known::country(),
+            known::locality(),
+            known::state_or_province(),
+            known::organization(),
+            known::organizational_unit(),
+            known::email_address(),
+            known::basic_constraints(),
+            known::key_usage(),
+            known::subject_alt_name(),
+            known::subject_key_identifier(),
+            known::authority_key_identifier(),
+            known::extended_key_usage(),
+            known::sct_list(),
+            known::ct_poison(),
+            known::sim_sig_with_sha256(),
+            known::unknown_algorithm(),
+        ];
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

@@ -1,0 +1,499 @@
+//! Zero-copy DER decoder.
+
+use crate::error::{Asn1Error, Asn1Result};
+use crate::length::decode_length;
+use crate::oid::Oid;
+use crate::tag::Tag;
+use crate::time::Asn1Time;
+
+/// A decoded tag-length-value with a borrowed content slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tlv<'a> {
+    /// Decoded tag.
+    pub tag: Tag,
+    /// Content octets (no tag/length).
+    pub content: &'a [u8],
+    /// Offset of the tag octet from the start of the outermost buffer.
+    pub offset: usize,
+    /// Offset of the first content octet.
+    pub content_offset: usize,
+}
+
+impl<'a> Tlv<'a> {
+    /// Total encoded size of this TLV including tag and length octets.
+    pub fn encoded_len(&self) -> usize {
+        (self.content_offset - self.offset) + self.content.len()
+    }
+
+    /// Open this TLV as a constructed value and decode its body.
+    pub fn decoder(&self) -> Asn1Result<Decoder<'a>> {
+        if !self.tag.is_constructed() {
+            return Err(Asn1Error::UnexpectedTag {
+                offset: self.offset,
+                expected: self.tag.byte() | 0x20,
+                found: self.tag.byte(),
+            });
+        }
+        Ok(Decoder {
+            input: self.content,
+            pos: 0,
+            base: self.content_offset,
+        })
+    }
+}
+
+/// A cursor over DER-encoded bytes.
+///
+/// `base` tracks the absolute offset of `input[0]` so errors from nested
+/// decoders still report positions relative to the original buffer.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    input: &'a [u8],
+    pos: usize,
+    base: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Decode from the start of `input`.
+    pub fn new(input: &'a [u8]) -> Decoder<'a> {
+        Decoder {
+            input,
+            pos: 0,
+            base: 0,
+        }
+    }
+
+    /// Absolute offset of the next unread byte.
+    pub fn offset(&self) -> usize {
+        self.base + self.pos
+    }
+
+    /// Whether the cursor has consumed all input.
+    pub fn is_at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> &'a [u8] {
+        &self.input[self.pos..]
+    }
+
+    /// Fail unless all input was consumed.
+    pub fn finish(&self) -> Asn1Result<()> {
+        if self.is_at_end() {
+            Ok(())
+        } else {
+            Err(Asn1Error::TrailingData {
+                offset: self.offset(),
+            })
+        }
+    }
+
+    /// Peek the next tag without consuming anything.
+    pub fn peek_tag(&self) -> Asn1Result<Tag> {
+        let byte = *self.input.get(self.pos).ok_or(Asn1Error::UnexpectedEof {
+            offset: self.offset(),
+        })?;
+        Tag::from_byte(byte).ok_or(Asn1Error::UnexpectedTag {
+            offset: self.offset(),
+            expected: 0,
+            found: byte,
+        })
+    }
+
+    /// Read the next TLV of any tag.
+    pub fn any(&mut self) -> Asn1Result<Tlv<'a>> {
+        let offset = self.offset();
+        let tag = self.peek_tag()?;
+        let (len, len_octets) = decode_length(self.input, self.pos + 1)?;
+        let content_start = self.pos + 1 + len_octets;
+        let content = self
+            .input
+            .get(content_start..content_start + len)
+            .ok_or(Asn1Error::LengthOverflow {
+                offset: self.base + self.pos + 1,
+                length: len,
+            })?;
+        self.pos = content_start + len;
+        Ok(Tlv {
+            tag,
+            content,
+            offset,
+            content_offset: self.base + content_start,
+        })
+    }
+
+    /// Read the next TLV and require a specific tag.
+    pub fn expect(&mut self, tag: Tag) -> Asn1Result<Tlv<'a>> {
+        let offset = self.offset();
+        let found = self.peek_tag()?;
+        if found != tag {
+            return Err(Asn1Error::UnexpectedTag {
+                offset,
+                expected: tag.byte(),
+                found: found.byte(),
+            });
+        }
+        self.any()
+    }
+
+    /// If the next tag matches, read it; otherwise leave the cursor alone.
+    pub fn optional(&mut self, tag: Tag) -> Asn1Result<Option<Tlv<'a>>> {
+        if self.is_at_end() {
+            return Ok(None);
+        }
+        if self.peek_tag()? == tag {
+            Ok(Some(self.any()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Open a SEQUENCE and decode its body with `body`, requiring the body
+    /// to consume the sequence fully.
+    pub fn sequence<T>(
+        &mut self,
+        body: impl FnOnce(&mut Decoder<'a>) -> Asn1Result<T>,
+    ) -> Asn1Result<T> {
+        let tlv = self.expect(Tag::SEQUENCE)?;
+        let mut inner = tlv.decoder()?;
+        let value = body(&mut inner)?;
+        if !inner.is_at_end() {
+            return Err(Asn1Error::UnconsumedContent {
+                offset: inner.offset(),
+            });
+        }
+        Ok(value)
+    }
+
+    /// BOOLEAN.
+    pub fn boolean(&mut self) -> Asn1Result<bool> {
+        let tlv = self.expect(Tag::BOOLEAN)?;
+        match tlv.content {
+            [0x00] => Ok(false),
+            [0xff] => Ok(true),
+            _ => Err(Asn1Error::InvalidBoolean { offset: tlv.offset }),
+        }
+    }
+
+    /// INTEGER as u64 (errors when negative or too wide).
+    pub fn integer_u64(&mut self) -> Asn1Result<u64> {
+        let tlv = self.expect(Tag::INTEGER)?;
+        integer_content_to_u64(tlv.content, tlv.offset)
+    }
+
+    /// INTEGER magnitude bytes (sign octet stripped). Errors on negatives.
+    pub fn integer_bytes(&mut self) -> Asn1Result<&'a [u8]> {
+        let tlv = self.expect(Tag::INTEGER)?;
+        validate_integer(tlv.content, tlv.offset)?;
+        if tlv.content[0] & 0x80 != 0 {
+            return Err(Asn1Error::InvalidInteger { offset: tlv.offset });
+        }
+        if tlv.content.len() > 1 && tlv.content[0] == 0 {
+            Ok(&tlv.content[1..])
+        } else {
+            Ok(tlv.content)
+        }
+    }
+
+    /// BIT STRING; only octet-aligned strings (unused-bits = 0) are accepted,
+    /// which covers everything X.509 uses.
+    pub fn bit_string(&mut self) -> Asn1Result<&'a [u8]> {
+        let tlv = self.expect(Tag::BIT_STRING)?;
+        match tlv.content.split_first() {
+            Some((0, rest)) => Ok(rest),
+            _ => Err(Asn1Error::InvalidBitString { offset: tlv.offset }),
+        }
+    }
+
+    /// OCTET STRING.
+    pub fn octet_string(&mut self) -> Asn1Result<&'a [u8]> {
+        Ok(self.expect(Tag::OCTET_STRING)?.content)
+    }
+
+    /// NULL.
+    pub fn null(&mut self) -> Asn1Result<()> {
+        let tlv = self.expect(Tag::NULL)?;
+        if tlv.content.is_empty() {
+            Ok(())
+        } else {
+            Err(Asn1Error::InvalidLength { offset: tlv.offset })
+        }
+    }
+
+    /// OBJECT IDENTIFIER.
+    pub fn oid(&mut self) -> Asn1Result<Oid> {
+        let tlv = self.expect(Tag::OBJECT_IDENTIFIER)?;
+        Oid::from_der_content(tlv.content, tlv.content_offset)
+    }
+
+    /// Any of the directory string types, returned as UTF-8.
+    pub fn directory_string(&mut self) -> Asn1Result<&'a str> {
+        let tlv = self.any()?;
+        string_content(tlv)
+    }
+
+    /// UTCTime or GeneralizedTime.
+    pub fn time(&mut self) -> Asn1Result<Asn1Time> {
+        let tlv = self.any()?;
+        match tlv.tag {
+            Tag::UTC_TIME => Asn1Time::parse_utc_time(tlv.content, tlv.content_offset),
+            Tag::GENERALIZED_TIME => {
+                Asn1Time::parse_generalized_time(tlv.content, tlv.content_offset)
+            }
+            _ => Err(Asn1Error::UnexpectedTag {
+                offset: tlv.offset,
+                expected: Tag::UTC_TIME.byte(),
+                found: tlv.tag.byte(),
+            }),
+        }
+    }
+}
+
+fn validate_integer(content: &[u8], offset: usize) -> Asn1Result<()> {
+    match content {
+        [] => Err(Asn1Error::InvalidInteger { offset }),
+        // Non-minimal: leading 0x00 followed by a byte without MSB set,
+        // or leading 0xFF followed by a byte with MSB set.
+        [0x00, second, ..] if second & 0x80 == 0 => {
+            Err(Asn1Error::InvalidInteger { offset })
+        }
+        [0xff, second, ..] if second & 0x80 != 0 => {
+            Err(Asn1Error::InvalidInteger { offset })
+        }
+        _ => Ok(()),
+    }
+}
+
+fn integer_content_to_u64(content: &[u8], offset: usize) -> Asn1Result<u64> {
+    validate_integer(content, offset)?;
+    if content[0] & 0x80 != 0 {
+        return Err(Asn1Error::InvalidInteger { offset }); // negative
+    }
+    let magnitude = if content.len() > 1 && content[0] == 0 {
+        &content[1..]
+    } else {
+        content
+    };
+    if magnitude.len() > 8 {
+        return Err(Asn1Error::InvalidInteger { offset });
+    }
+    let mut value = 0u64;
+    for &b in magnitude {
+        value = (value << 8) | b as u64;
+    }
+    Ok(value)
+}
+
+/// Extract the string payload of a directory-string-family TLV.
+pub fn string_content<'a>(tlv: Tlv<'a>) -> Asn1Result<&'a str> {
+    let s = std::str::from_utf8(tlv.content).map_err(|_| Asn1Error::InvalidString {
+        offset: tlv.content_offset,
+        kind: "UTF8String",
+    })?;
+    match tlv.tag {
+        Tag::UTF8_STRING => Ok(s),
+        Tag::PRINTABLE_STRING => {
+            if is_printable(s) {
+                Ok(s)
+            } else {
+                Err(Asn1Error::InvalidString {
+                    offset: tlv.content_offset,
+                    kind: "PrintableString",
+                })
+            }
+        }
+        Tag::IA5_STRING => {
+            if s.is_ascii() {
+                Ok(s)
+            } else {
+                Err(Asn1Error::InvalidString {
+                    offset: tlv.content_offset,
+                    kind: "IA5String",
+                })
+            }
+        }
+        _ => Err(Asn1Error::UnexpectedTag {
+            offset: tlv.offset,
+            expected: Tag::UTF8_STRING.byte(),
+            found: tlv.tag.byte(),
+        }),
+    }
+}
+
+/// Whether `s` fits the ASN.1 PrintableString alphabet.
+pub fn is_printable(s: &str) -> bool {
+    s.bytes().all(|b| {
+        b.is_ascii_alphanumeric() || matches!(b, b' ' | b'\'' | b'(' | b')' | b'+' | b',' | b'-' | b'.' | b'/' | b':' | b'=' | b'?')
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::encode;
+
+    #[test]
+    fn round_trip_primitives() {
+        let der = encode(|e| e.boolean(true));
+        assert!(Decoder::new(&der).boolean().unwrap());
+
+        let der = encode(|e| e.integer_u64(1_598_918_400));
+        assert_eq!(Decoder::new(&der).integer_u64().unwrap(), 1_598_918_400);
+
+        let der = encode(|e| e.octet_string(b"zeek"));
+        assert_eq!(Decoder::new(&der).octet_string().unwrap(), b"zeek");
+
+        let der = encode(|e| e.null());
+        Decoder::new(&der).null().unwrap();
+    }
+
+    #[test]
+    fn round_trip_bit_string() {
+        let der = encode(|e| e.bit_string(&[1, 2, 3]));
+        assert_eq!(Decoder::new(&der).bit_string().unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn round_trip_oid() {
+        let oid = Oid::from_arcs(&[1, 3, 6, 1, 4, 1, 99999, 1, 1]).unwrap();
+        let der = encode(|e| e.oid(&oid));
+        assert_eq!(Decoder::new(&der).oid().unwrap(), oid);
+    }
+
+    #[test]
+    fn round_trip_strings() {
+        let der = encode(|e| e.utf8_string("Grüße"));
+        let mut d = Decoder::new(&der);
+        assert_eq!(d.directory_string().unwrap(), "Grüße");
+
+        let der = encode(|e| e.printable_string("Acme Corp"));
+        let mut d = Decoder::new(&der);
+        assert_eq!(d.directory_string().unwrap(), "Acme Corp");
+
+        let der = encode(|e| e.ia5_string("host.example.org"));
+        let mut d = Decoder::new(&der);
+        assert_eq!(d.directory_string().unwrap(), "host.example.org");
+    }
+
+    #[test]
+    fn round_trip_time() {
+        let t = Asn1Time::from_ymd_hms(2020, 9, 1, 0, 0, 0).unwrap();
+        let der = encode(|e| e.time(t));
+        assert_eq!(Decoder::new(&der).time().unwrap(), t);
+    }
+
+    #[test]
+    fn sequence_requires_full_consumption() {
+        let der = encode(|e| {
+            e.sequence(|e| {
+                e.integer_u64(1);
+                e.integer_u64(2);
+            })
+        });
+        let mut d = Decoder::new(&der);
+        let err = d
+            .sequence(|inner| inner.integer_u64())
+            .unwrap_err();
+        assert!(matches!(err, Asn1Error::UnconsumedContent { .. }));
+    }
+
+    #[test]
+    fn optional_consumes_only_on_match() {
+        let der = encode(|e| {
+            e.explicit(3, |e| e.integer_u64(7));
+            e.boolean(false);
+        });
+        let mut d = Decoder::new(&der);
+        assert!(d.optional(Tag::context(1)).unwrap().is_none());
+        let tlv = d.optional(Tag::context(3)).unwrap().unwrap();
+        assert_eq!(tlv.decoder().unwrap().integer_u64().unwrap(), 7);
+        assert!(!d.boolean().unwrap());
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn rejects_nonminimal_integer() {
+        // 0x00 0x7f is non-minimal for 127.
+        let bad = [0x02, 0x02, 0x00, 0x7f];
+        assert!(matches!(
+            Decoder::new(&bad).integer_u64(),
+            Err(Asn1Error::InvalidInteger { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_integer_as_u64() {
+        let bad = [0x02, 0x01, 0x80];
+        assert!(Decoder::new(&bad).integer_u64().is_err());
+    }
+
+    #[test]
+    fn rejects_empty_integer() {
+        let bad = [0x02, 0x00];
+        assert!(Decoder::new(&bad).integer_u64().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_boolean() {
+        let bad = [0x01, 0x01, 0x01];
+        assert!(matches!(
+            Decoder::new(&bad).boolean(),
+            Err(Asn1Error::InvalidBoolean { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_overflowing_length() {
+        let bad = [0x04, 0x05, 0x01];
+        assert!(matches!(
+            Decoder::new(&bad).octet_string(),
+            Err(Asn1Error::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_data_detected() {
+        let der = encode(|e| {
+            e.boolean(true);
+            e.boolean(false);
+        });
+        let mut d = Decoder::new(&der);
+        d.boolean().unwrap();
+        assert!(matches!(d.finish(), Err(Asn1Error::TrailingData { offset: 3 })));
+    }
+
+    #[test]
+    fn nested_offsets_are_absolute() {
+        // SEQUENCE { SEQUENCE { <bad boolean> } }
+        let der = [0x30, 0x05, 0x30, 0x03, 0x01, 0x01, 0x02];
+        let mut d = Decoder::new(&der);
+        let err = d
+            .sequence(|inner| inner.sequence(|inner2| inner2.boolean()))
+            .unwrap_err();
+        assert_eq!(err.offset(), Some(4));
+    }
+
+    #[test]
+    fn integer_bytes_strips_sign_octet() {
+        let der = encode(|e| e.integer_bytes(&[0x80, 0x01]));
+        let mut d = Decoder::new(&der);
+        assert_eq!(d.integer_bytes().unwrap(), &[0x80, 0x01]);
+    }
+
+    #[test]
+    fn printable_charset() {
+        assert!(is_printable("Let's Encrypt R3"));
+        assert!(is_printable("O=Acme, C=US"));
+        assert!(!is_printable("under_score"));
+        assert!(!is_printable("at@sign"));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let der = encode(|e| e.boolean(true));
+        let mut d = Decoder::new(&der);
+        assert_eq!(d.peek_tag().unwrap(), Tag::BOOLEAN);
+        assert!(d.boolean().unwrap());
+    }
+}

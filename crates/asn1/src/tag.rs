@@ -1,0 +1,199 @@
+//! ASN.1 identifier octets (single-byte tags only, which covers X.509).
+
+/// Tag class, the top two bits of the identifier octet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// Universal class (the standard ASN.1 types).
+    Universal,
+    /// Application class.
+    Application,
+    /// Context-specific class (`[n]` tags).
+    ContextSpecific,
+    /// Private class.
+    Private,
+}
+
+impl Class {
+    fn from_bits(byte: u8) -> Class {
+        match byte & 0b1100_0000 {
+            0b0000_0000 => Class::Universal,
+            0b0100_0000 => Class::Application,
+            0b1000_0000 => Class::ContextSpecific,
+            _ => Class::Private,
+        }
+    }
+}
+
+/// A single-octet ASN.1 tag (tag numbers 0..=30).
+///
+/// X.509 never uses multi-byte (high-tag-number) form, so this crate rejects
+/// identifier octets with tag number 31.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag {
+    byte: u8,
+}
+
+impl Tag {
+    /// BOOLEAN.
+    pub const BOOLEAN: Tag = Tag::universal(0x01, false);
+    /// INTEGER.
+    pub const INTEGER: Tag = Tag::universal(0x02, false);
+    /// BIT STRING.
+    pub const BIT_STRING: Tag = Tag::universal(0x03, false);
+    /// OCTET STRING.
+    pub const OCTET_STRING: Tag = Tag::universal(0x04, false);
+    /// NULL.
+    pub const NULL: Tag = Tag::universal(0x05, false);
+    /// OBJECT IDENTIFIER.
+    pub const OBJECT_IDENTIFIER: Tag = Tag::universal(0x06, false);
+    /// UTF8String.
+    pub const UTF8_STRING: Tag = Tag::universal(0x0c, false);
+    /// PrintableString.
+    pub const PRINTABLE_STRING: Tag = Tag::universal(0x13, false);
+    /// IA5String (ASCII).
+    pub const IA5_STRING: Tag = Tag::universal(0x16, false);
+    /// UTCTime.
+    pub const UTC_TIME: Tag = Tag::universal(0x17, false);
+    /// GeneralizedTime.
+    pub const GENERALIZED_TIME: Tag = Tag::universal(0x18, false);
+    /// SEQUENCE (constructed).
+    pub const SEQUENCE: Tag = Tag::universal(0x10, true);
+    /// SET (constructed).
+    pub const SET: Tag = Tag::universal(0x11, true);
+
+    /// Build a universal-class tag.
+    pub const fn universal(number: u8, constructed: bool) -> Tag {
+        debug_assert!(number < 31);
+        Tag {
+            byte: number | if constructed { 0b0010_0000 } else { 0 },
+        }
+    }
+
+    /// Context-specific tag `[n]`, constructed form (used for `EXPLICIT`).
+    pub const fn context(number: u8) -> Tag {
+        debug_assert!(number < 31);
+        Tag {
+            byte: 0b1010_0000 | number,
+        }
+    }
+
+    /// Context-specific tag `[n]`, primitive form (used for `IMPLICIT`
+    /// retagging of primitive types, e.g. SAN `dNSName [2] IA5String`).
+    pub const fn context_primitive(number: u8) -> Tag {
+        debug_assert!(number < 31);
+        Tag {
+            byte: 0b1000_0000 | number,
+        }
+    }
+
+    /// Reconstruct a tag from a raw identifier octet.
+    ///
+    /// Returns `None` for high-tag-number form (tag number 31), which this
+    /// crate does not support.
+    pub fn from_byte(byte: u8) -> Option<Tag> {
+        if byte & 0b0001_1111 == 31 {
+            None
+        } else {
+            Some(Tag { byte })
+        }
+    }
+
+    /// Raw identifier octet.
+    pub const fn byte(self) -> u8 {
+        self.byte
+    }
+
+    /// Tag number (0..=30).
+    pub const fn number(self) -> u8 {
+        self.byte & 0b0001_1111
+    }
+
+    /// Whether the constructed bit is set.
+    pub const fn is_constructed(self) -> bool {
+        self.byte & 0b0010_0000 != 0
+    }
+
+    /// Tag class.
+    pub fn class(self) -> Class {
+        Class::from_bits(self.byte)
+    }
+
+    /// Whether this tag is the context-specific tag `[n]` in either form.
+    pub fn is_context(self, number: u8) -> bool {
+        self.class() == Class::ContextSpecific && self.number() == number
+    }
+}
+
+impl std::fmt::Display for Tag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (*self, self.class()) {
+            (Tag::BOOLEAN, _) => write!(f, "BOOLEAN"),
+            (Tag::INTEGER, _) => write!(f, "INTEGER"),
+            (Tag::BIT_STRING, _) => write!(f, "BIT STRING"),
+            (Tag::OCTET_STRING, _) => write!(f, "OCTET STRING"),
+            (Tag::NULL, _) => write!(f, "NULL"),
+            (Tag::OBJECT_IDENTIFIER, _) => write!(f, "OBJECT IDENTIFIER"),
+            (Tag::UTF8_STRING, _) => write!(f, "UTF8String"),
+            (Tag::PRINTABLE_STRING, _) => write!(f, "PrintableString"),
+            (Tag::IA5_STRING, _) => write!(f, "IA5String"),
+            (Tag::UTC_TIME, _) => write!(f, "UTCTime"),
+            (Tag::GENERALIZED_TIME, _) => write!(f, "GeneralizedTime"),
+            (Tag::SEQUENCE, _) => write!(f, "SEQUENCE"),
+            (Tag::SET, _) => write!(f, "SET"),
+            (_, Class::ContextSpecific) => write!(f, "[{}]", self.number()),
+            _ => write!(f, "tag {:#04x}", self.byte),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universal_tag_bytes_match_der() {
+        assert_eq!(Tag::SEQUENCE.byte(), 0x30);
+        assert_eq!(Tag::SET.byte(), 0x31);
+        assert_eq!(Tag::INTEGER.byte(), 0x02);
+        assert_eq!(Tag::OBJECT_IDENTIFIER.byte(), 0x06);
+        assert_eq!(Tag::UTC_TIME.byte(), 0x17);
+    }
+
+    #[test]
+    fn context_tags() {
+        let t = Tag::context(3);
+        assert_eq!(t.byte(), 0xa3);
+        assert!(t.is_constructed());
+        assert!(t.is_context(3));
+        assert_eq!(t.class(), Class::ContextSpecific);
+
+        let p = Tag::context_primitive(2);
+        assert_eq!(p.byte(), 0x82);
+        assert!(!p.is_constructed());
+        assert!(p.is_context(2));
+    }
+
+    #[test]
+    fn from_byte_rejects_high_tag_number() {
+        assert!(Tag::from_byte(0x1f).is_none());
+        assert!(Tag::from_byte(0xbf).is_none());
+        assert_eq!(Tag::from_byte(0x30), Some(Tag::SEQUENCE));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Tag::SEQUENCE.to_string(), "SEQUENCE");
+        assert_eq!(Tag::context(0).to_string(), "[0]");
+    }
+
+    #[test]
+    fn round_trip_all_supported_bytes() {
+        for b in 0..=u8::MAX {
+            if b & 0x1f == 31 {
+                continue;
+            }
+            let t = Tag::from_byte(b).unwrap();
+            assert_eq!(t.byte(), b);
+        }
+    }
+}

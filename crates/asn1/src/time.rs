@@ -1,0 +1,267 @@
+//! ASN.1 time values: a minimal proleptic-Gregorian calendar plus the
+//! UTCTime / GeneralizedTime textual forms DER requires.
+//!
+//! The simulator never consults wall-clock time; all timestamps are explicit
+//! `u64` seconds since the Unix epoch (`SimTime` in the netsim crate wraps
+//! the same representation).
+
+use crate::error::{Asn1Error, Asn1Result};
+use std::fmt;
+
+/// A UTC timestamp with second resolution.
+///
+/// Internally a count of seconds since 1970-01-01T00:00:00Z. Supports the
+/// 1950..=9999 year range (UTCTime's window plus GeneralizedTime's range as
+/// used in certificates; dates before 1970 are not needed by the simulator
+/// and are rejected).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Asn1Time {
+    unix_secs: u64,
+}
+
+const DAYS_PER_MONTH: [u64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(year: u64) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: u64, month: u64) -> u64 {
+    if month == 2 && is_leap(year) {
+        29
+    } else {
+        DAYS_PER_MONTH[(month - 1) as usize]
+    }
+}
+
+fn days_in_year(year: u64) -> u64 {
+    if is_leap(year) {
+        366
+    } else {
+        365
+    }
+}
+
+impl Asn1Time {
+    /// Construct from seconds since the Unix epoch.
+    pub const fn from_unix(unix_secs: u64) -> Asn1Time {
+        Asn1Time { unix_secs }
+    }
+
+    /// Construct from calendar components (UTC).
+    pub fn from_ymd_hms(
+        year: u64,
+        month: u64,
+        day: u64,
+        hour: u64,
+        min: u64,
+        sec: u64,
+    ) -> Asn1Result<Asn1Time> {
+        if !(1970..=9999).contains(&year)
+            || !(1..=12).contains(&month)
+            || day == 0
+            || day > days_in_month(year, month)
+            || hour > 23
+            || min > 59
+            || sec > 59
+        {
+            return Err(Asn1Error::InvalidTime { offset: 0 });
+        }
+        let mut days: u64 = 0;
+        for y in 1970..year {
+            days += days_in_year(y);
+        }
+        for m in 1..month {
+            days += days_in_month(year, m);
+        }
+        days += day - 1;
+        Ok(Asn1Time {
+            unix_secs: days * 86_400 + hour * 3_600 + min * 60 + sec,
+        })
+    }
+
+    /// Seconds since the Unix epoch.
+    pub const fn unix_secs(&self) -> u64 {
+        self.unix_secs
+    }
+
+    /// Decompose into `(year, month, day, hour, min, sec)` in UTC.
+    pub fn to_ymd_hms(&self) -> (u64, u64, u64, u64, u64, u64) {
+        let mut days = self.unix_secs / 86_400;
+        let rem = self.unix_secs % 86_400;
+        let mut year = 1970;
+        while days >= days_in_year(year) {
+            days -= days_in_year(year);
+            year += 1;
+        }
+        let mut month = 1;
+        while days >= days_in_month(year, month) {
+            days -= days_in_month(year, month);
+            month += 1;
+        }
+        (year, month, days + 1, rem / 3_600, (rem % 3_600) / 60, rem % 60)
+    }
+
+    /// Add a duration in whole days.
+    pub fn plus_days(&self, days: u64) -> Asn1Time {
+        Asn1Time {
+            unix_secs: self.unix_secs + days * 86_400,
+        }
+    }
+
+    /// Add a duration in seconds.
+    pub fn plus_secs(&self, secs: u64) -> Asn1Time {
+        Asn1Time {
+            unix_secs: self.unix_secs + secs,
+        }
+    }
+
+    /// Whether RFC 5280 says this date must be encoded as UTCTime
+    /// (dates through 2049) rather than GeneralizedTime.
+    pub fn uses_utc_time(&self) -> bool {
+        self.to_ymd_hms().0 <= 2049
+    }
+
+    /// Render as DER UTCTime content (`YYMMDDHHMMSSZ`).
+    pub fn to_utc_time_string(&self) -> String {
+        let (y, mo, d, h, mi, s) = self.to_ymd_hms();
+        format!("{:02}{mo:02}{d:02}{h:02}{mi:02}{s:02}Z", y % 100)
+    }
+
+    /// Render as DER GeneralizedTime content (`YYYYMMDDHHMMSSZ`).
+    pub fn to_generalized_time_string(&self) -> String {
+        let (y, mo, d, h, mi, s) = self.to_ymd_hms();
+        format!("{y:04}{mo:02}{d:02}{h:02}{mi:02}{s:02}Z")
+    }
+
+    /// Parse DER UTCTime content. Two-digit years follow the RFC 5280 rule:
+    /// 00..=49 → 20xx, 50..=99 → 19xx (pre-1970 is rejected by this crate).
+    pub fn parse_utc_time(content: &[u8], offset: usize) -> Asn1Result<Asn1Time> {
+        let s =
+            std::str::from_utf8(content).map_err(|_| Asn1Error::InvalidTime { offset })?;
+        if s.len() != 13 || !s.ends_with('Z') {
+            return Err(Asn1Error::InvalidTime { offset });
+        }
+        let d = |r: std::ops::Range<usize>| -> Asn1Result<u64> {
+            s[r].parse().map_err(|_| Asn1Error::InvalidTime { offset })
+        };
+        let yy = d(0..2)?;
+        let year = if yy <= 49 { 2000 + yy } else { 1900 + yy };
+        Asn1Time::from_ymd_hms(year, d(2..4)?, d(4..6)?, d(6..8)?, d(8..10)?, d(10..12)?)
+            .map_err(|_| Asn1Error::InvalidTime { offset })
+    }
+
+    /// Parse DER GeneralizedTime content (`YYYYMMDDHHMMSSZ`).
+    pub fn parse_generalized_time(content: &[u8], offset: usize) -> Asn1Result<Asn1Time> {
+        let s =
+            std::str::from_utf8(content).map_err(|_| Asn1Error::InvalidTime { offset })?;
+        if s.len() != 15 || !s.ends_with('Z') {
+            return Err(Asn1Error::InvalidTime { offset });
+        }
+        let d = |r: std::ops::Range<usize>| -> Asn1Result<u64> {
+            s[r].parse().map_err(|_| Asn1Error::InvalidTime { offset })
+        };
+        Asn1Time::from_ymd_hms(d(0..4)?, d(4..6)?, d(6..8)?, d(8..10)?, d(10..12)?, d(12..14)?)
+            .map_err(|_| Asn1Error::InvalidTime { offset })
+    }
+}
+
+impl fmt::Display for Asn1Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, mo, d, h, mi, s) = self.to_ymd_hms();
+        write!(f, "{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}:{s:02}Z")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch() {
+        let t = Asn1Time::from_unix(0);
+        assert_eq!(t.to_ymd_hms(), (1970, 1, 1, 0, 0, 0));
+        assert_eq!(t.to_string(), "1970-01-01T00:00:00Z");
+    }
+
+    #[test]
+    fn known_timestamps() {
+        // 2020-09-01T00:00:00Z — start of the paper's collection window.
+        let t = Asn1Time::from_ymd_hms(2020, 9, 1, 0, 0, 0).unwrap();
+        assert_eq!(t.unix_secs(), 1_598_918_400);
+        // 2021-08-31T23:59:59Z — end of the window.
+        let t = Asn1Time::from_ymd_hms(2021, 8, 31, 23, 59, 59).unwrap();
+        assert_eq!(t.unix_secs(), 1_630_454_399);
+        // 2024-11-01T00:00:00Z — the retrospective scan.
+        let t = Asn1Time::from_ymd_hms(2024, 11, 1, 0, 0, 0).unwrap();
+        assert_eq!(t.unix_secs(), 1_730_419_200);
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        let t = Asn1Time::from_ymd_hms(2020, 2, 29, 12, 0, 0).unwrap();
+        assert_eq!(t.to_ymd_hms(), (2020, 2, 29, 12, 0, 0));
+        assert!(Asn1Time::from_ymd_hms(2021, 2, 29, 0, 0, 0).is_err());
+        assert!(Asn1Time::from_ymd_hms(1900, 2, 29, 0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn round_trip_decompose() {
+        for secs in [0u64, 1, 86_399, 86_400, 1_598_918_400, 4_102_444_800] {
+            let t = Asn1Time::from_unix(secs);
+            let (y, mo, d, h, mi, s) = t.to_ymd_hms();
+            assert_eq!(
+                Asn1Time::from_ymd_hms(y, mo, d, h, mi, s).unwrap().unix_secs(),
+                secs
+            );
+        }
+    }
+
+    #[test]
+    fn utc_time_strings() {
+        let t = Asn1Time::from_ymd_hms(2020, 9, 1, 8, 30, 15).unwrap();
+        assert_eq!(t.to_utc_time_string(), "200901083015Z");
+        assert_eq!(t.to_generalized_time_string(), "20200901083015Z");
+        assert!(t.uses_utc_time());
+        let far = Asn1Time::from_ymd_hms(2050, 1, 1, 0, 0, 0).unwrap();
+        assert!(!far.uses_utc_time());
+    }
+
+    #[test]
+    fn parse_utc_time_round_trip() {
+        let t = Asn1Time::from_ymd_hms(2021, 3, 14, 1, 59, 26).unwrap();
+        let parsed = Asn1Time::parse_utc_time(t.to_utc_time_string().as_bytes(), 0).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn parse_generalized_time_round_trip() {
+        let t = Asn1Time::from_ymd_hms(2055, 12, 31, 23, 59, 59).unwrap();
+        let parsed =
+            Asn1Time::parse_generalized_time(t.to_generalized_time_string().as_bytes(), 0)
+                .unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Asn1Time::parse_utc_time(b"20090108301", 0).is_err());
+        assert!(Asn1Time::parse_utc_time(b"2009010830155", 0).is_err());
+        assert!(Asn1Time::parse_utc_time(b"aa0901083015Z", 0).is_err());
+        assert!(Asn1Time::parse_generalized_time(b"20200901083015", 0).is_err());
+        assert!(Asn1Time::parse_generalized_time(b"20201301083015Z", 0).is_err());
+    }
+
+    #[test]
+    fn plus_days_and_secs() {
+        let t = Asn1Time::from_ymd_hms(2020, 12, 31, 0, 0, 0).unwrap();
+        assert_eq!(t.plus_days(1).to_ymd_hms(), (2021, 1, 1, 0, 0, 0));
+        assert_eq!(t.plus_secs(61).to_ymd_hms(), (2020, 12, 31, 0, 1, 1));
+    }
+
+    #[test]
+    fn ordering_follows_time() {
+        let a = Asn1Time::from_ymd_hms(2020, 9, 1, 0, 0, 0).unwrap();
+        let b = Asn1Time::from_ymd_hms(2021, 8, 31, 0, 0, 0).unwrap();
+        assert!(a < b);
+    }
+}

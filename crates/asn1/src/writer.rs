@@ -1,0 +1,300 @@
+//! DER encoder with length back-patching for nested constructed values.
+
+use crate::length::{encode_length, length_of_length};
+use crate::oid::Oid;
+use crate::tag::Tag;
+use crate::time::Asn1Time;
+
+/// A streaming DER encoder.
+///
+/// Primitive values are appended directly. Constructed values are written
+/// through [`Encoder::sequence`]-style closures: a placeholder length is
+/// reserved, the body is encoded, and the length bytes are patched in place
+/// (shifting the body only when the length needs more than one octet, which
+/// is rare for X.509-sized values).
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// New empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// Finish and return the DER bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a complete, already-encoded DER value verbatim.
+    pub fn raw(&mut self, der: &[u8]) {
+        self.buf.extend_from_slice(der);
+    }
+
+    /// Encode a primitive TLV with the given content octets.
+    pub fn primitive(&mut self, tag: Tag, content: &[u8]) {
+        self.buf.push(tag.byte());
+        encode_length(&mut self.buf, content.len());
+        self.buf.extend_from_slice(content);
+    }
+
+    /// Encode a constructed value; the closure writes the body.
+    pub fn constructed(&mut self, tag: Tag, body: impl FnOnce(&mut Encoder)) {
+        self.buf.push(tag.byte());
+        // Reserve one length octet (the common case) and patch afterwards.
+        let len_pos = self.buf.len();
+        self.buf.push(0);
+        let body_start = self.buf.len();
+        body(self);
+        let body_len = self.buf.len() - body_start;
+        let need = length_of_length(body_len);
+        if need == 1 {
+            self.buf[len_pos] = body_len as u8;
+        } else {
+            // Shift the body right to make room for the longer length.
+            let mut len_bytes = Vec::with_capacity(need);
+            encode_length(&mut len_bytes, body_len);
+            self.buf
+                .splice(len_pos..len_pos + 1, len_bytes.into_iter());
+        }
+    }
+
+    /// SEQUENCE wrapper.
+    pub fn sequence(&mut self, body: impl FnOnce(&mut Encoder)) {
+        self.constructed(Tag::SEQUENCE, body);
+    }
+
+    /// SET wrapper. The caller is responsible for DER SET-OF ordering.
+    pub fn set(&mut self, body: impl FnOnce(&mut Encoder)) {
+        self.constructed(Tag::SET, body);
+    }
+
+    /// `EXPLICIT [n]` wrapper.
+    pub fn explicit(&mut self, number: u8, body: impl FnOnce(&mut Encoder)) {
+        self.constructed(Tag::context(number), body);
+    }
+
+    /// BOOLEAN (DER: `0xFF` for true, `0x00` for false).
+    pub fn boolean(&mut self, value: bool) {
+        self.primitive(Tag::BOOLEAN, &[if value { 0xff } else { 0x00 }]);
+    }
+
+    /// INTEGER from an unsigned 64-bit value (minimal two's-complement form).
+    pub fn integer_u64(&mut self, value: u64) {
+        let bytes = value.to_be_bytes();
+        let mut start = 0;
+        while start < 7 && bytes[start] == 0 {
+            start += 1;
+        }
+        // Prepend 0x00 when the MSB is set so the value stays non-negative.
+        if bytes[start] & 0x80 != 0 {
+            let mut content = Vec::with_capacity(9 - start);
+            content.push(0);
+            content.extend_from_slice(&bytes[start..]);
+            self.primitive(Tag::INTEGER, &content);
+        } else {
+            self.primitive(Tag::INTEGER, &bytes[start..]);
+        }
+    }
+
+    /// INTEGER from raw big-endian unsigned magnitude bytes (e.g. a
+    /// 20-octet certificate serial number). Leading zeros are trimmed and a
+    /// sign octet added if needed; an empty slice encodes zero.
+    pub fn integer_bytes(&mut self, magnitude: &[u8]) {
+        let mut start = 0;
+        while start < magnitude.len() && magnitude[start] == 0 {
+            start += 1;
+        }
+        if start == magnitude.len() {
+            self.primitive(Tag::INTEGER, &[0]);
+            return;
+        }
+        if magnitude[start] & 0x80 != 0 {
+            let mut content = Vec::with_capacity(magnitude.len() - start + 1);
+            content.push(0);
+            content.extend_from_slice(&magnitude[start..]);
+            self.primitive(Tag::INTEGER, &content);
+        } else {
+            self.primitive(Tag::INTEGER, &magnitude[start..]);
+        }
+    }
+
+    /// BIT STRING with no unused bits (all X.509 uses are octet-aligned).
+    pub fn bit_string(&mut self, bytes: &[u8]) {
+        let mut content = Vec::with_capacity(bytes.len() + 1);
+        content.push(0);
+        content.extend_from_slice(bytes);
+        self.primitive(Tag::BIT_STRING, &content);
+    }
+
+    /// OCTET STRING.
+    pub fn octet_string(&mut self, bytes: &[u8]) {
+        self.primitive(Tag::OCTET_STRING, bytes);
+    }
+
+    /// NULL.
+    pub fn null(&mut self) {
+        self.primitive(Tag::NULL, &[]);
+    }
+
+    /// OBJECT IDENTIFIER.
+    pub fn oid(&mut self, oid: &Oid) {
+        self.primitive(Tag::OBJECT_IDENTIFIER, oid.der_content());
+    }
+
+    /// UTF8String.
+    pub fn utf8_string(&mut self, s: &str) {
+        self.primitive(Tag::UTF8_STRING, s.as_bytes());
+    }
+
+    /// PrintableString. The caller must ensure the character set is legal;
+    /// the X.509 layer picks UTF8String when it is not.
+    pub fn printable_string(&mut self, s: &str) {
+        debug_assert!(crate::reader::is_printable(s));
+        self.primitive(Tag::PRINTABLE_STRING, s.as_bytes());
+    }
+
+    /// IA5String (ASCII).
+    pub fn ia5_string(&mut self, s: &str) {
+        debug_assert!(s.is_ascii());
+        self.primitive(Tag::IA5_STRING, s.as_bytes());
+    }
+
+    /// Time, following the RFC 5280 rule: UTCTime through 2049,
+    /// GeneralizedTime from 2050.
+    pub fn time(&mut self, t: Asn1Time) {
+        if t.uses_utc_time() {
+            self.primitive(Tag::UTC_TIME, t.to_utc_time_string().as_bytes());
+        } else {
+            self.primitive(
+                Tag::GENERALIZED_TIME,
+                t.to_generalized_time_string().as_bytes(),
+            );
+        }
+    }
+}
+
+/// Encode a single value via a closure and return its DER bytes.
+pub fn encode(body: impl FnOnce(&mut Encoder)) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    body(&mut enc);
+    enc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boolean_encoding() {
+        assert_eq!(encode(|e| e.boolean(true)), [0x01, 0x01, 0xff]);
+        assert_eq!(encode(|e| e.boolean(false)), [0x01, 0x01, 0x00]);
+    }
+
+    #[test]
+    fn integer_minimal_encoding() {
+        assert_eq!(encode(|e| e.integer_u64(0)), [0x02, 0x01, 0x00]);
+        assert_eq!(encode(|e| e.integer_u64(127)), [0x02, 0x01, 0x7f]);
+        // 128 needs a sign octet.
+        assert_eq!(encode(|e| e.integer_u64(128)), [0x02, 0x02, 0x00, 0x80]);
+        assert_eq!(encode(|e| e.integer_u64(256)), [0x02, 0x02, 0x01, 0x00]);
+        assert_eq!(
+            encode(|e| e.integer_u64(u64::MAX)),
+            [0x02, 0x09, 0x00, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff]
+        );
+    }
+
+    #[test]
+    fn integer_bytes_trims_and_signs() {
+        assert_eq!(encode(|e| e.integer_bytes(&[])), [0x02, 0x01, 0x00]);
+        assert_eq!(encode(|e| e.integer_bytes(&[0, 0, 0])), [0x02, 0x01, 0x00]);
+        assert_eq!(
+            encode(|e| e.integer_bytes(&[0x00, 0x8f])),
+            [0x02, 0x02, 0x00, 0x8f]
+        );
+        assert_eq!(encode(|e| e.integer_bytes(&[0x7f])), [0x02, 0x01, 0x7f]);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        assert_eq!(encode(|e| e.sequence(|_| {})), [0x30, 0x00]);
+    }
+
+    #[test]
+    fn nested_sequence() {
+        let der = encode(|e| {
+            e.sequence(|e| {
+                e.integer_u64(1);
+                e.sequence(|e| e.boolean(true));
+            })
+        });
+        assert_eq!(
+            der,
+            [0x30, 0x08, 0x02, 0x01, 0x01, 0x30, 0x03, 0x01, 0x01, 0xff]
+        );
+    }
+
+    #[test]
+    fn long_body_patches_length() {
+        // A sequence whose body exceeds 127 bytes forces the long form and
+        // exercises the splice path.
+        let payload = vec![0xabu8; 200];
+        let der = encode(|e| e.sequence(|e| e.octet_string(&payload)));
+        assert_eq!(der[0], 0x30);
+        assert_eq!(der[1], 0x81);
+        assert_eq!(der[2] as usize, 200 + 2 + 1); // content + octet-string TL
+        // And the nested octet string survives intact.
+        assert_eq!(&der[der.len() - 200..], payload.as_slice());
+    }
+
+    #[test]
+    fn very_long_body_two_length_octets() {
+        let payload = vec![0u8; 70_000];
+        let der = encode(|e| e.sequence(|e| e.octet_string(&payload)));
+        assert_eq!(der[0], 0x30);
+        assert_eq!(der[1], 0x83); // 3 length octets
+    }
+
+    #[test]
+    fn explicit_tagging() {
+        let der = encode(|e| e.explicit(0, |e| e.integer_u64(2)));
+        assert_eq!(der, [0xa0, 0x03, 0x02, 0x01, 0x02]);
+    }
+
+    #[test]
+    fn bit_string_prepends_unused_count() {
+        assert_eq!(
+            encode(|e| e.bit_string(&[0xde, 0xad])),
+            [0x03, 0x03, 0x00, 0xde, 0xad]
+        );
+    }
+
+    #[test]
+    fn null_and_oid() {
+        assert_eq!(encode(|e| e.null()), [0x05, 0x00]);
+        let oid = Oid::from_arcs(&[2, 5, 4, 3]).unwrap();
+        assert_eq!(encode(|e| e.oid(&oid)), [0x06, 0x03, 0x55, 0x04, 0x03]);
+    }
+
+    #[test]
+    fn time_selects_form_by_year() {
+        let near = Asn1Time::from_ymd_hms(2021, 1, 2, 3, 4, 5).unwrap();
+        let der = encode(|e| e.time(near));
+        assert_eq!(der[0], 0x17); // UTCTime
+        let far = Asn1Time::from_ymd_hms(2050, 1, 2, 3, 4, 5).unwrap();
+        let der = encode(|e| e.time(far));
+        assert_eq!(der[0], 0x18); // GeneralizedTime
+    }
+}

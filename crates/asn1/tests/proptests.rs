@@ -1,0 +1,136 @@
+//! Property-based tests for DER round-trips and decoder robustness.
+
+use certchain_asn1::{writer::encode, Asn1Time, Decoder, Oid, Tag};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn integer_u64_round_trips(value: u64) {
+        let der = encode(|e| e.integer_u64(value));
+        let mut d = Decoder::new(&der);
+        prop_assert_eq!(d.integer_u64().unwrap(), value);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn octet_string_round_trips(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let der = encode(|e| e.octet_string(&bytes));
+        let mut d = Decoder::new(&der);
+        prop_assert_eq!(d.octet_string().unwrap(), bytes.as_slice());
+    }
+
+    #[test]
+    fn bit_string_round_trips(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let der = encode(|e| e.bit_string(&bytes));
+        let mut d = Decoder::new(&der);
+        prop_assert_eq!(d.bit_string().unwrap(), bytes.as_slice());
+    }
+
+    #[test]
+    fn utf8_string_round_trips(s in "\\PC{0,64}") {
+        let der = encode(|e| e.utf8_string(&s));
+        let mut d = Decoder::new(&der);
+        prop_assert_eq!(d.directory_string().unwrap(), s.as_str());
+    }
+
+    #[test]
+    fn oid_round_trips(
+        first in 0u64..=2,
+        second in 0u64..=39,
+        rest in proptest::collection::vec(0u64..=u32::MAX as u64, 0..8),
+    ) {
+        let mut arcs = vec![first, second];
+        arcs.extend(rest);
+        let oid = Oid::from_arcs(&arcs).unwrap();
+        prop_assert_eq!(oid.arcs(), arcs);
+        let der = encode(|e| e.oid(&oid));
+        let mut d = Decoder::new(&der);
+        prop_assert_eq!(d.oid().unwrap(), oid);
+    }
+
+    #[test]
+    fn time_round_trips(secs in 0u64..=4_102_444_799) {
+        // Up to 2099-12-31; both UTCTime and GeneralizedTime forms occur.
+        let t = Asn1Time::from_unix(secs);
+        let der = encode(|e| e.time(t));
+        let mut d = Decoder::new(&der);
+        prop_assert_eq!(d.time().unwrap(), t);
+    }
+
+    #[test]
+    fn nested_sequences_round_trip(values in proptest::collection::vec(any::<u64>(), 0..32)) {
+        let der = encode(|e| e.sequence(|e| {
+            for &v in &values {
+                e.integer_u64(v);
+            }
+        }));
+        let mut d = Decoder::new(&der);
+        let decoded = d.sequence(|inner| {
+            let mut out = Vec::new();
+            while !inner.is_at_end() {
+                out.push(inner.integer_u64()?);
+            }
+            Ok(out)
+        }).unwrap();
+        prop_assert_eq!(decoded, values);
+    }
+
+    /// The decoder must never panic on arbitrary bytes — it either decodes
+    /// or returns a structured error.
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut d = Decoder::new(&bytes);
+        while let Ok(tlv) = d.any() {
+            // Walk constructed values one level deep too.
+            if tlv.tag.is_constructed() {
+                if let Ok(mut inner) = tlv.decoder() {
+                    while inner.any().is_ok() {}
+                }
+            }
+            if d.is_at_end() { break; }
+        }
+    }
+
+    /// Truncating valid DER must produce an error, not a bogus value.
+    #[test]
+    fn truncation_is_detected(values in proptest::collection::vec(any::<u64>(), 1..16)) {
+        let der = encode(|e| e.sequence(|e| {
+            for &v in &values {
+                e.integer_u64(v);
+            }
+        }));
+        for cut in 1..der.len() {
+            let truncated = &der[..cut];
+            let mut d = Decoder::new(truncated);
+            let result = d.sequence(|inner| {
+                let mut out = Vec::new();
+                while !inner.is_at_end() {
+                    out.push(inner.integer_u64()?);
+                }
+                Ok(out)
+            });
+            prop_assert!(result.is_err(), "cut at {} decoded successfully", cut);
+        }
+    }
+}
+
+#[test]
+fn tag_constants_are_distinct() {
+    let tags = [
+        Tag::BOOLEAN,
+        Tag::INTEGER,
+        Tag::BIT_STRING,
+        Tag::OCTET_STRING,
+        Tag::NULL,
+        Tag::OBJECT_IDENTIFIER,
+        Tag::UTF8_STRING,
+        Tag::PRINTABLE_STRING,
+        Tag::IA5_STRING,
+        Tag::UTC_TIME,
+        Tag::GENERALIZED_TIME,
+        Tag::SEQUENCE,
+        Tag::SET,
+    ];
+    let set: std::collections::HashSet<u8> = tags.iter().map(|t| t.byte()).collect();
+    assert_eq!(set.len(), tags.len());
+}

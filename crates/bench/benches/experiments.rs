@@ -1,0 +1,54 @@
+//! One bench target per paper table/figure: how long each experiment's
+//! statistics take to regenerate from an already-analyzed trace.
+//!
+//! (The absolute-number reproduction itself is the `experiments` binary;
+//! these benches time the table/figure computations.)
+
+use certchain_bench::{
+    figure1, figure4, figure5, figure6, figure7_8, table1, table2, table3, table4, table6,
+    table7, table8, Lab,
+};
+use certchain_workload::CampusProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn lab() -> &'static Lab {
+    static CELL: std::sync::OnceLock<Lab> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| {
+        Lab::new(CampusProfile {
+            seed: 7,
+            chain_scale: 0.0005,
+            conn_scale: 0.00005,
+            public_chains: 100,
+            public_conns_per_chain: 2,
+        })
+    })
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let lab = lab();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(20);
+    group.bench_function("table1_interception_census", |b| b.iter(|| table1(lab)));
+    group.bench_function("table2_chain_statistics", |b| b.iter(|| table2(lab)));
+    group.bench_function("table3_hybrid_categories", |b| b.iter(|| table3(lab)));
+    group.bench_function("table4_port_distribution", |b| b.iter(|| table4(lab)));
+    group.bench_function("table6_anchored_entities", |b| b.iter(|| table6(lab)));
+    group.bench_function("table7_no_path_categories", |b| b.iter(|| table7(lab)));
+    group.bench_function("table8_nonpub_paths", |b| b.iter(|| table8(lab)));
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let lab = lab();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(20);
+    group.bench_function("figure1_length_cdf", |b| b.iter(|| figure1(lab)));
+    group.bench_function("figure4_structure_matrix", |b| b.iter(|| figure4(lab)));
+    group.bench_function("figure5_hybrid_graph", |b| b.iter(|| figure5(lab)));
+    group.bench_function("figure6_mismatch_ratios", |b| b.iter(|| figure6(lab)));
+    group.bench_function("figure7_8_complex_pki", |b| b.iter(|| figure7_8(lab)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Substrate micro-benchmarks: DER, SHA-256, simulated signatures,
+//! Merkle proofs — the building blocks every experiment sits on.
+
+use certchain_asn1::Decoder;
+use certchain_cryptosim::{sign, verify, KeyPair, Sha256};
+use certchain_ctlog::merkle::{leaf_hash, verify_inclusion, MerkleTree};
+use certchain_x509::{Certificate, CertificateBuilder, DistinguishedName, Serial, Validity};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn sample_cert() -> Certificate {
+    let ca = KeyPair::derive(1, "bench:ca");
+    let leaf = KeyPair::derive(1, "bench:leaf");
+    CertificateBuilder::new()
+        .serial(Serial::from_u64(42))
+        .issuer(DistinguishedName::cn_o("Bench CA", "Bench Org"))
+        .subject(DistinguishedName::cn("bench.example.org"))
+        .validity(Validity::days_from(
+            certchain_asn1::Asn1Time::from_unix(0),
+            365,
+        ))
+        .public_key(leaf.public().clone())
+        .leaf_for("bench.example.org")
+        .sign(&ca)
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| Sha256::digest(std::hint::black_box(data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_der(c: &mut Criterion) {
+    let cert = sample_cert();
+    let der = cert.der().to_vec();
+    c.bench_function("der/parse_certificate", |b| {
+        b.iter(|| Certificate::parse(std::hint::black_box(&der)).unwrap())
+    });
+    c.bench_function("der/walk_tlv", |b| {
+        b.iter(|| {
+            let mut dec = Decoder::new(std::hint::black_box(&der));
+            dec.any().unwrap()
+        })
+    });
+}
+
+fn bench_simsig(c: &mut Criterion) {
+    let kp = KeyPair::derive(3, "bench:sig");
+    let cert = sample_cert();
+    let tbs = cert.tbs_der();
+    let sig = sign(&kp, &tbs);
+    c.bench_function("simsig/sign", |b| b.iter(|| sign(&kp, std::hint::black_box(&tbs))));
+    c.bench_function("simsig/verify", |b| {
+        b.iter(|| verify(kp.public(), std::hint::black_box(&tbs), &sig))
+    });
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut tree = MerkleTree::new();
+    for i in 0..1024u32 {
+        tree.push(&i.to_be_bytes());
+    }
+    let root = tree.root();
+    let proof = tree.prove_inclusion(513).unwrap();
+    let leaf = leaf_hash(&513u32.to_be_bytes());
+    c.bench_function("merkle/root_1024", |b| b.iter(|| tree.root()));
+    c.bench_function("merkle/prove_inclusion_1024", |b| {
+        b.iter(|| tree.prove_inclusion(std::hint::black_box(513)).unwrap())
+    });
+    c.bench_function("merkle/verify_inclusion_1024", |b| {
+        b.iter(|| verify_inclusion(&leaf, 513, 1024, &proof, &root))
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_der, bench_simsig, bench_merkle);
+criterion_main!(benches);

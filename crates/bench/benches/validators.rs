@@ -1,0 +1,48 @@
+//! Table 5 / §5 benchmarks: scanning the evolved population and running
+//! both validation methods (the `validators` and `revisit` targets from
+//! DESIGN.md's experiment index).
+
+use certchain_scanner::{compare, scan_all, validate_issuer_subject, validate_keysig};
+use certchain_workload::evolve::RevisitPopulation;
+use certchain_workload::pki::Ecosystem;
+use certchain_workload::servers::hybrid;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn population() -> &'static RevisitPopulation {
+    static CELL: std::sync::OnceLock<RevisitPopulation> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut eco = Ecosystem::bootstrap(17);
+        let hybrid_servers = hybrid::build(&mut eco, 0);
+        let refs: Vec<_> = hybrid_servers.iter().collect();
+        RevisitPopulation::generate(&mut eco, &refs)
+    })
+}
+
+fn bench_validators(c: &mut Criterion) {
+    let results = scan_all(population());
+    // One representative multi-certificate chain.
+    let sample = results
+        .iter()
+        .find(|r| r.chain.len() >= 3)
+        .expect("multi-cert chains exist");
+
+    c.bench_function("validators/issuer_subject_per_chain", |b| {
+        b.iter(|| validate_issuer_subject(std::hint::black_box(sample)))
+    });
+    c.bench_function("validators/keysig_per_chain", |b| {
+        b.iter(|| validate_keysig(std::hint::black_box(sample)))
+    });
+
+    let mut group = c.benchmark_group("revisit");
+    group.sample_size(10);
+    group.bench_function("table5_full_corpus", |b| {
+        b.iter(|| compare(std::hint::black_box(&results)))
+    });
+    group.bench_function("scan_all_12676_servers", |b| {
+        b.iter(|| scan_all(population()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_validators);
+criterion_main!(benches);

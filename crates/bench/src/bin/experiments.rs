@@ -1,0 +1,26 @@
+//! Runs every experiment and prints the full paper-vs-measured report —
+//! the run recorded in EXPERIMENTS.md. `CERTCHAIN_PROFILE=quick` for a
+//! fast run.
+
+fn main() {
+    let profile = certchain_bench::profile_from_env();
+    eprintln!("generating campus trace (seed {})…", profile.seed);
+    let mut lab = certchain_bench::Lab::new(profile);
+    eprintln!(
+        "trace: {} connections, {} distinct certificates, {} chains analyzed",
+        lab.trace.ssl_records.len(),
+        lab.trace.x509_records.len(),
+        lab.analysis.chains.len()
+    );
+    let outputs = certchain_bench::run_all(&mut lab);
+    let mut all_ok = true;
+    for out in &outputs {
+        println!("{}", out.to_text());
+        all_ok &= out.comparison.all_ok();
+    }
+    println!(
+        "=== overall: {} ===",
+        if all_ok { "ALL EXPERIMENTS WITHIN TOLERANCE" } else { "SOME EXPERIMENTS OUT OF TOLERANCE" }
+    );
+    std::process::exit(i32::from(!all_ok));
+}

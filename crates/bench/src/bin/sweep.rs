@@ -1,0 +1,8 @@
+//! Runs the §6.3 IP-space-sweep experiment. `CERTCHAIN_PROFILE=quick` for speed.
+
+fn main() {
+    let lab = certchain_bench::Lab::from_env();
+    let out = certchain_bench::sweep(&lab);
+    println!("{}", out.to_text());
+    std::process::exit(i32::from(!out.comparison.all_ok()));
+}

@@ -1,0 +1,8 @@
+//! Regenerates table2 of the paper. `CERTCHAIN_PROFILE=quick` for a fast run.
+
+fn main() {
+    let lab = certchain_bench::Lab::from_env();
+    let out = certchain_bench::table2(&lab);
+    println!("{}", out.to_text());
+    std::process::exit(i32::from(!out.comparison.all_ok()));
+}

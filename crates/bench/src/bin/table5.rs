@@ -1,0 +1,8 @@
+//! Regenerates the table5 experiment. `CERTCHAIN_PROFILE=quick` for a fast run.
+
+fn main() {
+    let mut lab = certchain_bench::Lab::from_env();
+    let out = certchain_bench::table5(&mut lab);
+    println!("{}", out.to_text());
+    std::process::exit(i32::from(!out.comparison.all_ok()));
+}

@@ -1,0 +1,270 @@
+//! Figure experiments: Figures 1, 4, 5, 6, 7/8.
+
+use crate::lab::{chain_weight_of, Lab};
+use crate::ExperimentOutput;
+use certchain_chainlab::graph::ChainGraph;
+use certchain_chainlab::hybrid::{structure_matrix_column, Fig4Cell};
+use certchain_chainlab::lengths::LengthDistribution;
+use certchain_chainlab::{CertClass, ChainCategoryLabel, HybridCategory};
+use certchain_report::plot::{ascii_cdf, ascii_histogram, unit_buckets};
+use certchain_report::{ComparisonTable, Table};
+
+/// Figure 1: distribution of certificate chain length per category.
+pub fn figure1(lab: &Lab) -> ExperimentOutput {
+    let mut dists: std::collections::HashMap<ChainCategoryLabel, LengthDistribution> =
+        std::collections::HashMap::new();
+    for chain in &lab.analysis.chains {
+        dists
+            .entry(chain.category)
+            .or_default()
+            .add(chain.key.len(), chain_weight_of(lab, chain));
+    }
+    let mut rendered = String::new();
+    for (name, cat) in [
+        ("Public-DB-only", ChainCategoryLabel::PublicOnly),
+        ("Non-public-DB-only", ChainCategoryLabel::NonPublicOnly),
+        ("Hybrid", ChainCategoryLabel::Hybrid),
+        ("TLS interception", ChainCategoryLabel::Interception),
+    ] {
+        let dist = dists.entry(cat).or_default();
+        let lengths: Vec<usize> = dist.points().iter().map(|&(l, _)| l).collect();
+        let points: Vec<(usize, f64)> = lengths.iter().map(|&l| (l, dist.cdf(l))).collect();
+        rendered.push_str(&ascii_cdf(&format!("Figure 1: {name}"), &points, 40));
+        if !dist.excluded().is_empty() {
+            rendered.push_str(&format!(
+                "   (excluded outliers: {:?})\n",
+                dist.excluded()
+                    .iter()
+                    .map(|&(l, _)| l)
+                    .collect::<Vec<_>>()
+            ));
+        }
+    }
+
+    let t = &lab.trace.targets;
+    let mut comparison = ComparisonTable::new();
+    comparison
+        .add(
+            "public: share at length 2",
+            t.public_share_len2,
+            dists[&ChainCategoryLabel::PublicOnly].share(2),
+            0.05,
+        )
+        .add(
+            "non-public: share at length 1",
+            t.nonpub_share_len1,
+            dists[&ChainCategoryLabel::NonPublicOnly].share(1),
+            0.02,
+        )
+        .add(
+            "interception: share at length 3",
+            t.interception_share_len3,
+            dists[&ChainCategoryLabel::Interception].share(3),
+            0.06,
+        );
+    // §4.1: the three freak chains (3,822 / 921 / 41) are excluded.
+    let excluded = dists[&ChainCategoryLabel::NonPublicOnly].excluded().len();
+    comparison.add("excluded outlier chains", 3.0, excluded as f64, 0.0);
+    // The hybrid curve has no dominant length: no single length > 50%.
+    let hybrid_max_share = dists[&ChainCategoryLabel::Hybrid]
+        .points()
+        .iter()
+        .map(|&(l, _)| dists[&ChainCategoryLabel::Hybrid].share(l))
+        .fold(0.0_f64, f64::max);
+    comparison.add("hybrid: max single-length share < 0.5", 0.0, f64::from(u8::from(hybrid_max_share >= 0.5)), 0.0);
+
+    ExperimentOutput {
+        id: "figure1",
+        rendered,
+        comparison,
+    }
+}
+
+/// Figure 4: structure matrix of the 70 contains-path hybrid chains.
+pub fn figure4(lab: &Lab) -> ExperimentOutput {
+    let mut columns: Vec<Vec<Fig4Cell>> = Vec::new();
+    for chain in lab.analysis.chains_in(ChainCategoryLabel::Hybrid) {
+        if chain.hybrid_category == Some(HybridCategory::ContainsPath) {
+            columns.push(structure_matrix_column(
+                &chain.certs,
+                &chain.classes,
+                &chain.path,
+            ));
+        }
+    }
+    columns.sort_by_key(|c| std::cmp::Reverse(c.len()));
+
+    // Render: one character per cell (position = row, chain = column).
+    // C/P/S = complete/partial/single role; upper = public, lower = non-pub.
+    let max_len = columns.iter().map(Vec::len).max().unwrap_or(0);
+    let mut rendered = String::from(
+        "Figure 4: chain structures of the 70 contains-path hybrid chains\n\
+         (rows = position, 1 = bottom; C/P/S roles; uppercase = public-DB)\n",
+    );
+    for row in (0..max_len).rev() {
+        let mut line = format!("{:>3} ", row + 1);
+        for col in &columns {
+            let ch = match col.get(row) {
+                Some(Fig4Cell::Complete(CertClass::PublicDbIssued)) => 'C',
+                Some(Fig4Cell::Complete(CertClass::NonPublicDbIssued)) => 'c',
+                Some(Fig4Cell::Partial(CertClass::PublicDbIssued)) => 'P',
+                Some(Fig4Cell::Partial(CertClass::NonPublicDbIssued)) => 'p',
+                Some(Fig4Cell::Single(CertClass::PublicDbIssued)) => 'S',
+                Some(Fig4Cell::Single(CertClass::NonPublicDbIssued)) => 's',
+                None => ' ',
+            };
+            line.push(ch);
+        }
+        rendered.push_str(&line);
+        rendered.push('\n');
+    }
+
+    let mut comparison = ComparisonTable::new();
+    comparison.add("contains-path chains rendered", 70.0, columns.len() as f64, 0.0);
+    let max_height = columns.iter().map(Vec::len).max().unwrap_or(0);
+    comparison.add("max chain height ≥ 5 (long tail exists)", 1.0, f64::from(u8::from(max_height >= 5)), 0.0);
+
+    ExperimentOutput {
+        id: "figure4",
+        rendered,
+        comparison,
+    }
+}
+
+/// Figure 5: hybrid-chain certificate graph census.
+pub fn figure5(lab: &Lab) -> ExperimentOutput {
+    let mut graph = ChainGraph::new();
+    for chain in lab.analysis.chains_in(ChainCategoryLabel::Hybrid) {
+        graph.add_chain(&chain.certs, &chain.classes);
+    }
+    let census = graph.census();
+    let mut table = Table::new(
+        "Figure 5: certificates in hybrid chains (graph census)",
+        &["Class", "Role", "#. Nodes"],
+    );
+    for ((class, role), count) in {
+        let mut rows: Vec<_> = census.iter().collect();
+        rows.sort_by_key(|((c, r), _)| (format!("{c:?}"), format!("{r:?}")));
+        rows
+    } {
+        table.row(&[
+            format!("{class:?}"),
+            format!("{role:?}"),
+            count.to_string(),
+        ]);
+    }
+    table.row(&[
+        "(edges)".into(),
+        "co-occurrence".into(),
+        graph.cooccur_edges.len().to_string(),
+    ]);
+
+    let mut comparison = ComparisonTable::new();
+    let public_nodes: u64 = census
+        .iter()
+        .filter(|((c, _), _)| *c == CertClass::PublicDbIssued)
+        .map(|(_, &n)| n)
+        .sum();
+    let nonpub_nodes: u64 = census
+        .iter()
+        .filter(|((c, _), _)| *c == CertClass::NonPublicDbIssued)
+        .map(|(_, &n)| n)
+        .sum();
+    // Structural expectations: both classes present, shared public
+    // intermediates give fewer public nodes than chains.
+    comparison.add("both classes present", 1.0, f64::from(u8::from(public_nodes > 0 && nonpub_nodes > 0)), 0.0);
+    comparison.add(
+        "graph is connected enough (edges ≥ nodes)",
+        1.0,
+        f64::from(u8::from(graph.cooccur_edges.len() as u64 >= (public_nodes + nonpub_nodes) / 2)),
+        0.0,
+    );
+
+    ExperimentOutput {
+        id: "figure5",
+        rendered: table.render(),
+        comparison,
+    }
+}
+
+/// Figure 6: mismatch-ratio distribution of no-path hybrid chains.
+pub fn figure6(lab: &Lab) -> ExperimentOutput {
+    let mut ratios: Vec<(f64, f64)> = Vec::new();
+    let mut ge_half = 0u64;
+    let mut total = 0u64;
+    for chain in lab.analysis.chains_in(ChainCategoryLabel::Hybrid) {
+        if matches!(chain.hybrid_category, Some(HybridCategory::NoPath(_))) {
+            ratios.push((chain.path.mismatch_ratio, 1.0));
+            total += 1;
+            if chain.path.mismatch_ratio >= 0.5 {
+                ge_half += 1;
+            }
+        }
+    }
+    let buckets = unit_buckets(&ratios, 10);
+    let rendered = ascii_histogram(
+        "Figure 6: mismatch ratios of no-path hybrid chains",
+        &buckets,
+        40,
+    );
+    let mut comparison = ComparisonTable::new();
+    comparison
+        .add("no-path chains", 215.0, total as f64, 0.0)
+        .add(
+            "share with ratio ≥ 0.5",
+            lab.trace.targets.mismatch_ratio_ge_half,
+            ge_half as f64 / total.max(1) as f64,
+            0.005,
+        );
+
+    ExperimentOutput {
+        id: "figure6",
+        rendered,
+        comparison,
+    }
+}
+
+/// Figures 7/8: complex PKI structures (hub intermediates).
+pub fn figure7_8(lab: &Lab) -> ExperimentOutput {
+    let mut np_graph = ChainGraph::new();
+    let mut ic_graph = ChainGraph::new();
+    for chain in &lab.analysis.chains {
+        match chain.category {
+            ChainCategoryLabel::NonPublicOnly => {
+                np_graph.add_chain(&chain.certs, &chain.classes)
+            }
+            ChainCategoryLabel::Interception => {
+                ic_graph.add_chain(&chain.certs, &chain.classes)
+            }
+            _ => {}
+        }
+    }
+    let np_hubs = np_graph.hub_intermediates(3);
+    let ic_hubs = ic_graph.hub_intermediates(3);
+    let mut table = Table::new(
+        "Figures 7/8: complex PKI structures (intermediates adjacent to ≥3 intermediates)",
+        &["Population", "#. Hub intermediates", "#. Nodes", "#. Adjacency edges"],
+    );
+    table.row(&[
+        "Non-public-DB-only".into(),
+        np_hubs.len().to_string(),
+        np_graph.nodes.len().to_string(),
+        np_graph.adjacency_edges.len().to_string(),
+    ]);
+    table.row(&[
+        "TLS interception".into(),
+        ic_hubs.len().to_string(),
+        ic_graph.nodes.len().to_string(),
+        ic_graph.adjacency_edges.len().to_string(),
+    ]);
+
+    let mut comparison = ComparisonTable::new();
+    comparison.add("non-public hubs exist", 1.0, f64::from(u8::from(!np_hubs.is_empty())), 0.0);
+    comparison.add("interception hubs exist", 1.0, f64::from(u8::from(!ic_hubs.is_empty())), 0.0);
+
+    ExperimentOutput {
+        id: "figure7_8",
+        rendered: table.render(),
+        comparison,
+    }
+}

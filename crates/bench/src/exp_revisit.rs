@@ -1,0 +1,192 @@
+//! The November-2024 experiments: Table 5 and the §5 revisit report.
+
+use crate::lab::Lab;
+use crate::ExperimentOutput;
+use certchain_report::table::num;
+use certchain_report::{ComparisonTable, Table};
+use certchain_scanner::revisit::revisit;
+use certchain_scanner::{compare, scan_all};
+use certchain_workload::evolve::RevisitPopulation;
+use certchain_workload::trace::ChainCategory;
+
+fn build_population(lab: &mut Lab) -> RevisitPopulation {
+    let hybrid_indices: Vec<usize> = lab
+        .trace
+        .servers
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| matches!(s.category, ChainCategory::Hybrid(_)).then_some(i))
+        .collect();
+    // Split borrows: clone the hybrid servers out so the ecosystem can be
+    // mutated while the references live.
+    let hybrid_servers: Vec<certchain_workload::servers::GeneratedServer> = hybrid_indices
+        .iter()
+        .map(|&i| lab.trace.servers[i].clone())
+        .collect();
+    let refs: Vec<&certchain_workload::servers::GeneratedServer> =
+        hybrid_servers.iter().collect();
+    RevisitPopulation::generate(&mut lab.trace.eco, &refs)
+}
+
+/// Table 5: validation-method comparison over the 2024 scan corpus.
+pub fn table5(lab: &mut Lab) -> ExperimentOutput {
+    let population = build_population(lab);
+    let results = scan_all(&population);
+    let t5 = compare(&results);
+
+    let mut table = Table::new(
+        "Table 5: issuer-subject vs key-signature validation",
+        &["", "Issuer-subject", "Key-signature"],
+    );
+    table.row(&[
+        "#. Single-certificate chains".into(),
+        num(t5.is_single as f64, 0),
+        num(t5.ks_single as f64, 0),
+    ]);
+    table.row(&[
+        "#. Valid chains".into(),
+        num(t5.is_valid as f64, 0),
+        num(t5.ks_valid as f64, 0),
+    ]);
+    table.row(&[
+        "#. Broken chains".into(),
+        num(t5.is_broken as f64, 0),
+        num(t5.ks_broken as f64, 0),
+    ]);
+    table.row(&[
+        "#. Chains with unrecognized keys".into(),
+        "-".into(),
+        num(t5.ks_unrecognized as f64, 0),
+    ]);
+    table.row(&[
+        "ASN.1-error disagreements".into(),
+        "-".into(),
+        num(t5.parse_error_disagreements as f64, 0),
+    ]);
+
+    let targets = &lab.trace.targets;
+    let mut comparison = ComparisonTable::new();
+    comparison
+        .add("total chains", targets.t5_total_chains as f64, t5.total as f64, 0.0)
+        .add("single", targets.t5_single as f64, t5.is_single as f64, 0.0)
+        .add("IS valid", targets.t5_issuer_subject_valid as f64, t5.is_valid as f64, 0.0)
+        .add("IS broken", targets.t5_issuer_subject_broken as f64, t5.is_broken as f64, 0.0)
+        .add("KS valid", targets.t5_keysig_valid as f64, t5.ks_valid as f64, 0.0)
+        .add("KS broken", targets.t5_keysig_broken as f64, t5.ks_broken as f64, 0.0)
+        .add(
+            "KS unrecognized keys",
+            targets.t5_unrecognized_keys as f64,
+            t5.ks_unrecognized as f64,
+            0.0,
+        )
+        .add(
+            "mismatch positions agree",
+            targets.t5_issuer_subject_broken as f64,
+            t5.position_agreements as f64,
+            0.0,
+        );
+
+    ExperimentOutput {
+        id: "table5",
+        rendered: table.render(),
+        comparison,
+    }
+}
+
+/// §5: the full revisit report (hybrid migration, non-public hierarchy
+/// adoption, Chrome/OpenSSL divergence).
+pub fn revisit_report(lab: &mut Lab) -> ExperimentOutput {
+    let population = build_population(lab);
+    let report = revisit(&population, &lab.trace.eco.trust);
+
+    let mut table = Table::new("Section 5: November-2024 revisit", &["Quantity", "Value"]);
+    let h = &report.hybrid;
+    let n = &report.nonpub;
+    for (name, value) in [
+        ("hybrid servers reachable", h.reachable as f64),
+        ("  now public-DB-only", h.now_public as f64),
+        ("  …of which Let's Encrypt", h.now_lets_encrypt as f64),
+        ("  now non-public-only", h.now_nonpub as f64),
+        ("  still hybrid", h.still_hybrid as f64),
+        ("    complete, clean", h.still_complete_clean as f64),
+        ("    complete + unnecessary", h.still_complete_unnecessary as f64),
+        ("    no matched path", h.still_no_path as f64),
+        ("non-public servers scanned", n.servers as f64),
+        ("  now multi-certificate", n.now_multi as f64),
+        ("    previously multi", n.prev_multi as f64),
+        ("    previously single self-signed", n.prev_single_self_signed as f64),
+        ("    previously single distinct", n.prev_single_distinct as f64),
+    ] {
+        table.row(&[name.to_string(), num(value, 0)]);
+    }
+    table.row(&[
+        "  complete-matched-path share".into(),
+        format!("{:.2}%", n.complete_share * 100.0),
+    ]);
+    let mut rendered = table.render();
+    rendered.push_str("\nChrome vs OpenSSL on complete+unnecessary chains:\n");
+    for case in &report.divergence {
+        rendered.push_str(&format!(
+            "  {}: Chrome {} / OpenSSL-strict {}\n",
+            case.domain,
+            if case.chrome_valid { "VALID" } else { "REJECT" },
+            if case.openssl_valid { "VALID" } else { "REJECT" },
+        ));
+    }
+
+    let t = &lab.trace.targets;
+    let mut comparison = ComparisonTable::new();
+    comparison
+        .add("reachable hybrid servers", t.revisit_hybrid_reachable as f64, h.reachable as f64, 0.0)
+        .add("now public", t.revisit_hybrid_now_public as f64, h.now_public as f64, 0.0)
+        .add("now non-public", t.revisit_hybrid_now_nonpub as f64, h.now_nonpub as f64, 0.0)
+        .add("still hybrid", t.revisit_hybrid_still_hybrid as f64, h.still_hybrid as f64, 0.0)
+        .add(
+            "still hybrid: complete clean",
+            t.revisit_hybrid_complete_clean as f64,
+            h.still_complete_clean as f64,
+            0.0,
+        )
+        .add(
+            "still hybrid: complete + unnecessary",
+            t.revisit_hybrid_complete_unnecessary as f64,
+            h.still_complete_unnecessary as f64,
+            0.0,
+        )
+        .add("non-public servers", t.revisit_nonpub_servers as f64, n.servers as f64, 0.0)
+        .add("now multi", t.revisit_nonpub_now_multi as f64, n.now_multi as f64, 0.0)
+        .add(
+            "prev multi share",
+            t.revisit_nonpub_prev_multi_share,
+            n.prev_multi as f64 / n.now_multi.max(1) as f64,
+            0.001,
+        )
+        .add(
+            "prev single self-signed share",
+            t.revisit_nonpub_prev_single_selfsigned_share,
+            n.prev_single_self_signed as f64 / n.now_multi.max(1) as f64,
+            0.001,
+        )
+        .add(
+            "complete share of now-multi",
+            t.revisit_nonpub_complete_share,
+            n.complete_share,
+            0.001,
+        )
+        .add(
+            "divergence cases (Chrome valid, strict reject)",
+            3.0,
+            report
+                .divergence
+                .iter()
+                .filter(|c| c.chrome_valid && !c.openssl_valid)
+                .count() as f64,
+            0.0,
+        );
+
+    ExperimentOutput {
+        id: "revisit",
+        rendered,
+        comparison,
+    }
+}

@@ -1,0 +1,68 @@
+//! The experiment harness: one function per paper table/figure.
+//!
+//! Each `table*` / `figure*` function renders the reproduced artifact and
+//! returns it together with a [`certchain_report::ComparisonTable`] of paper-vs-measured
+//! values. The binaries under `src/bin/` are thin wrappers; `cargo run -p
+//! certchain-bench --bin experiments` regenerates everything (that run is
+//! what EXPERIMENTS.md records).
+//!
+//! Set `CERTCHAIN_PROFILE=quick` for a fast, smaller-scale run.
+
+pub mod lab;
+
+mod exp_ablation;
+mod exp_figures;
+mod exp_revisit;
+mod exp_sweep;
+mod exp_tables;
+
+pub use exp_ablation::ablation;
+pub use exp_figures::{figure1, figure4, figure5, figure6, figure7_8};
+pub use exp_revisit::{revisit_report, table5};
+pub use exp_sweep::sweep;
+pub use exp_tables::{table1, table2, table3, table4, table6, table7, table8};
+pub use lab::{chain_weight_of, profile_from_env, Lab};
+
+/// One experiment's output.
+pub struct ExperimentOutput {
+    /// Experiment id, e.g. "table1".
+    pub id: &'static str,
+    /// The rendered artifact (table / figure / report text).
+    pub rendered: String,
+    /// Paper-vs-measured rows.
+    pub comparison: certchain_report::ComparisonTable,
+}
+
+impl ExperimentOutput {
+    /// Render everything for the console / EXPERIMENTS.md.
+    pub fn to_text(&self) -> String {
+        format!(
+            "##### {} #####\n{}\n{}\n",
+            self.id,
+            self.rendered,
+            self.comparison.render(&format!("{}: paper vs measured", self.id))
+        )
+    }
+}
+
+/// Run every experiment against one lab instance.
+pub fn run_all(lab: &mut lab::Lab) -> Vec<ExperimentOutput> {
+    vec![
+        table1(lab),
+        table2(lab),
+        table3(lab),
+        table4(lab),
+        table6(lab),
+        table7(lab),
+        table8(lab),
+        figure1(lab),
+        figure4(lab),
+        figure5(lab),
+        figure6(lab),
+        figure7_8(lab),
+        ablation(lab),
+        sweep(lab),
+        table5(lab),
+        revisit_report(lab),
+    ]
+}

@@ -1,0 +1,94 @@
+//! §3.2.1 certificate classification from log fields.
+
+use crate::model::CertRecord;
+use certchain_trust::TrustDb;
+
+/// Per-certificate issuer classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CertClass {
+    /// The issuer (as an intermediate or root certificate) is listed in at
+    /// least one major root store or CCADB.
+    PublicDbIssued,
+    /// The issuer appears in no public database (includes self-signed
+    /// certificates absent from the databases).
+    NonPublicDbIssued,
+}
+
+/// Classify one certificate record.
+///
+/// Mirrors [`TrustDb::classify`] but works on the log-level view: a
+/// certificate is public-DB-issued when its issuer DN is listed, or when
+/// the certificate itself (by fingerprint) is a listed root/intermediate.
+pub fn classify(cert: &CertRecord, trust: &TrustDb) -> CertClass {
+    if trust.is_listed_certificate(&cert.fingerprint) || trust.is_listed_subject(&cert.issuer) {
+        CertClass::PublicDbIssued
+    } else {
+        CertClass::NonPublicDbIssued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certchain_asn1::Asn1Time;
+    use certchain_cryptosim::KeyPair;
+    use certchain_netsim::X509Record;
+    use certchain_x509::{CertificateBuilder, DistinguishedName, Validity};
+    use std::sync::Arc;
+
+    fn setup() -> (TrustDb, DistinguishedName) {
+        let kp = KeyPair::derive(1, "clf:root");
+        let dn = DistinguishedName::cn_o("Clf Root", "Clf Org");
+        let root = CertificateBuilder::new()
+            .issuer(dn.clone())
+            .subject(dn.clone())
+            .validity(Validity::days_from(Asn1Time::from_unix(0), 3650))
+            .ca(None)
+            .sign(&kp)
+            .into_arc();
+        let mut trust = TrustDb::new();
+        trust.add_root_everywhere(Arc::clone(&root));
+        (trust, dn)
+    }
+
+    fn record_with_issuer(issuer: &DistinguishedName) -> CertRecord {
+        let rec = X509Record {
+            ts: Asn1Time::from_unix(0),
+            fingerprint: certchain_x509::Fingerprint([9; 32]),
+            cert_version: 3,
+            serial: "01".into(),
+            subject: "CN=s.example.org".into(),
+            issuer: issuer.to_rfc4514(),
+            not_before: Asn1Time::from_unix(0),
+            not_after: Asn1Time::from_unix(1),
+            basic_constraints_ca: None,
+            path_len: None,
+            san_dns: vec![],
+        };
+        CertRecord::from_record(&rec).unwrap()
+    }
+
+    #[test]
+    fn listed_issuer_is_public() {
+        let (trust, root_dn) = setup();
+        let cert = record_with_issuer(&root_dn);
+        assert_eq!(classify(&cert, &trust), CertClass::PublicDbIssued);
+    }
+
+    #[test]
+    fn unknown_issuer_is_non_public() {
+        let (trust, _) = setup();
+        let cert = record_with_issuer(&DistinguishedName::cn("Nobody CA"));
+        assert_eq!(classify(&cert, &trust), CertClass::NonPublicDbIssued);
+    }
+
+    #[test]
+    fn dn_round_trip_through_log_string_preserves_classification() {
+        // The classification goes through the RFC 4514 string and back —
+        // this is the log-fidelity property the pipeline depends on.
+        let (trust, root_dn) = setup();
+        let rendered = root_dn.to_rfc4514();
+        let reparsed = DistinguishedName::parse_rfc4514(&rendered).unwrap();
+        assert!(trust.is_listed_subject(&reparsed));
+    }
+}

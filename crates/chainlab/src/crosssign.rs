@@ -1,0 +1,127 @@
+//! Cross-signing reconciliation (§4.2 / Appendix D.1).
+//!
+//! An issuer–subject mismatch can be a false positive when the "missing"
+//! issuer is a cross-signed twin of a certificate that *is* present under
+//! a different issuer DN. The paper reconciles its matching results with
+//! Zeek's validation output and CA announcements (e.g. Sectigo's chain
+//! documentation); this registry models those announcements as declared
+//! DN equivalences consulted during pair matching.
+
+use certchain_x509::DistinguishedName;
+use std::collections::{HashMap, HashSet};
+
+/// Declared cross-signing relationships.
+#[derive(Debug, Default, Clone)]
+pub struct CrossSignRegistry {
+    /// subject DN → alternate issuer DNs that also issued a certificate
+    /// for this subject.
+    alternates: HashMap<DistinguishedName, HashSet<DistinguishedName>>,
+}
+
+impl CrossSignRegistry {
+    /// Empty registry (no disclosures).
+    pub fn new() -> CrossSignRegistry {
+        CrossSignRegistry::default()
+    }
+
+    /// Build from `(subject, alternate_issuer)` disclosure pairs.
+    pub fn from_disclosures(
+        pairs: &[(DistinguishedName, DistinguishedName)],
+    ) -> CrossSignRegistry {
+        let mut reg = CrossSignRegistry::new();
+        for (subject, issuer) in pairs {
+            reg.disclose(subject.clone(), issuer.clone());
+        }
+        reg
+    }
+
+    /// Record that `subject` also holds a certificate issued by
+    /// `alternate_issuer`.
+    pub fn disclose(&mut self, subject: DistinguishedName, alternate_issuer: DistinguishedName) {
+        self.alternates
+            .entry(subject)
+            .or_default()
+            .insert(alternate_issuer);
+    }
+
+    /// Whether a child whose issuer is `child_issuer` can chain to a
+    /// parent certificate with subject `parent_subject`, taking disclosed
+    /// cross-signing into account.
+    ///
+    /// Direct matches do not consult the registry.
+    pub fn pair_matches(
+        &self,
+        child_issuer: &DistinguishedName,
+        parent_subject: &DistinguishedName,
+    ) -> bool {
+        if child_issuer == parent_subject {
+            return true;
+        }
+        // Cross-signed case: the child names an issuer that is disclosed
+        // as cross-signed, and the presented parent is one of the twins'
+        // subjects... i.e. the child's issuer DN has an alternate identity
+        // equal to the parent's subject, or vice versa.
+        self.alternates
+            .get(child_issuer)
+            .map(|alts| alts.contains(parent_subject))
+            .unwrap_or(false)
+            || self
+                .alternates
+                .get(parent_subject)
+                .map(|alts| alts.contains(child_issuer))
+                .unwrap_or(false)
+    }
+
+    /// Number of disclosed relationships.
+    pub fn len(&self) -> usize {
+        self.alternates.values().map(|v| v.len()).sum()
+    }
+
+    /// Whether no disclosures exist.
+    pub fn is_empty(&self) -> bool {
+        self.alternates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(cn: &str) -> DistinguishedName {
+        DistinguishedName::cn(cn)
+    }
+
+    #[test]
+    fn direct_match_needs_no_disclosure() {
+        let reg = CrossSignRegistry::new();
+        assert!(reg.pair_matches(&dn("CA X"), &dn("CA X")));
+        assert!(!reg.pair_matches(&dn("CA X"), &dn("CA Y")));
+    }
+
+    #[test]
+    fn disclosed_cross_sign_matches() {
+        let mut reg = CrossSignRegistry::new();
+        // "COMODO ICA" is also issued by (cross-signed under) "AAA Root".
+        reg.disclose(dn("COMODO ICA"), dn("AAA Root"));
+        // A child naming "COMODO ICA" as issuer can chain to a presented
+        // certificate whose subject is "AAA Root"? No — the twin has
+        // subject "COMODO ICA" too. What the disclosure buys: a child
+        // naming "AAA Root" as issuer matches a parent with subject
+        // "COMODO ICA" (the cross-signed twin presented instead).
+        assert!(reg.pair_matches(&dn("AAA Root"), &dn("COMODO ICA")));
+        assert!(reg.pair_matches(&dn("COMODO ICA"), &dn("AAA Root")));
+        assert!(!reg.pair_matches(&dn("COMODO ICA"), &dn("Other Root")));
+    }
+
+    #[test]
+    fn from_disclosures_builds() {
+        let reg = CrossSignRegistry::from_disclosures(&[
+            (dn("A"), dn("B")),
+            (dn("A"), dn("C")),
+        ]);
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+        assert!(reg.pair_matches(&dn("B"), &dn("A")));
+        assert!(reg.pair_matches(&dn("C"), &dn("A")));
+    }
+}

@@ -1,0 +1,115 @@
+//! Chain-length distributions (Figure 1).
+
+use std::collections::BTreeMap;
+
+/// A weighted chain-length distribution.
+#[derive(Debug, Default, Clone)]
+pub struct LengthDistribution {
+    counts: BTreeMap<usize, f64>,
+    total: f64,
+    /// Lengths excluded as outliers, with their weights.
+    excluded: Vec<(usize, f64)>,
+}
+
+/// Chains longer than this are excluded from Figure 1, like the paper's
+/// three freak chains (3,822 / 921 / 41 certificates).
+pub const OUTLIER_THRESHOLD: usize = 40;
+
+impl LengthDistribution {
+    /// Empty distribution.
+    pub fn new() -> LengthDistribution {
+        LengthDistribution::default()
+    }
+
+    /// Add one chain of `len` certificates with statistical `weight`.
+    pub fn add(&mut self, len: usize, weight: f64) {
+        if len > OUTLIER_THRESHOLD {
+            self.excluded.push((len, weight));
+            return;
+        }
+        *self.counts.entry(len).or_default() += weight;
+        self.total += weight;
+    }
+
+    /// Weighted share of chains with exactly `len` certificates.
+    pub fn share(&self, len: usize) -> f64 {
+        if self.total == 0.0 {
+            return 0.0;
+        }
+        self.counts.get(&len).copied().unwrap_or(0.0) / self.total
+    }
+
+    /// Cumulative share of chains with length ≤ `len` (the Figure 1 CDF).
+    pub fn cdf(&self, len: usize) -> f64 {
+        if self.total == 0.0 {
+            return 0.0;
+        }
+        self.counts
+            .range(..=len)
+            .map(|(_, w)| w)
+            .sum::<f64>()
+            / self.total
+    }
+
+    /// `(length, weighted count)` pairs in ascending length order.
+    pub fn points(&self) -> Vec<(usize, f64)> {
+        self.counts.iter().map(|(&l, &w)| (l, w)).collect()
+    }
+
+    /// Weighted number of chains counted (excluding outliers).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// The excluded outliers.
+    pub fn excluded(&self) -> &[(usize, f64)] {
+        &self.excluded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_and_cdf() {
+        let mut d = LengthDistribution::new();
+        for _ in 0..8 {
+            d.add(1, 1.0);
+        }
+        d.add(2, 1.0);
+        d.add(3, 1.0);
+        assert!((d.share(1) - 0.8).abs() < 1e-9);
+        assert!((d.cdf(1) - 0.8).abs() < 1e-9);
+        assert!((d.cdf(2) - 0.9).abs() < 1e-9);
+        assert!((d.cdf(3) - 1.0).abs() < 1e-9);
+        assert_eq!(d.points(), vec![(1, 8.0), (2, 1.0), (3, 1.0)]);
+    }
+
+    #[test]
+    fn weights_are_respected() {
+        let mut d = LengthDistribution::new();
+        d.add(1, 100.0);
+        d.add(2, 1.0);
+        assert!((d.share(1) - 100.0 / 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outliers_are_excluded_but_remembered() {
+        let mut d = LengthDistribution::new();
+        d.add(2, 1.0);
+        d.add(3_822, 1.0);
+        d.add(921, 1.0);
+        d.add(41, 1.0);
+        assert_eq!(d.total(), 1.0);
+        assert_eq!(d.excluded().len(), 3);
+        assert!((d.cdf(40) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_distribution_is_zero() {
+        let d = LengthDistribution::new();
+        assert_eq!(d.share(1), 0.0);
+        assert_eq!(d.cdf(10), 0.0);
+    }
+}

@@ -1,0 +1,571 @@
+//! The end-to-end analysis pipeline (Figure 2's "certificate chain
+//! structure analyzer"): certificate enrichment → chain categorization →
+//! mismatch & cross-signing detection → complete/partial path detection.
+
+use crate::classify::{classify, CertClass};
+use crate::crosssign::CrossSignRegistry;
+use crate::dga::is_dga_chain;
+use crate::hybrid::{self, HybridCategory};
+use crate::interception::{detect, InterceptionVerdict};
+use crate::matchpath::{self, PathReport};
+use crate::model::{CertRecord, ChainKey};
+use crate::usage::UsageStats;
+use certchain_ctlog::DomainIndex;
+use certchain_netsim::{SslRecord, X509Record};
+use certchain_trust::TrustDb;
+use certchain_x509::{DistinguishedName, Fingerprint};
+use std::collections::{BTreeSet, HashMap};
+
+/// §3.2.2 chain categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChainCategoryLabel {
+    /// Exclusively public-DB-issued certificates.
+    PublicOnly,
+    /// Exclusively non-public-DB-issued certificates (interception
+    /// excluded).
+    NonPublicOnly,
+    /// Both classes present.
+    Hybrid,
+    /// Issued by an entity identified as performing TLS interception.
+    Interception,
+}
+
+/// Everything the pipeline learned about one distinct delivered chain.
+#[derive(Debug, Clone)]
+pub struct ChainAnalysis {
+    /// Ordered fingerprints (the chain's identity).
+    pub key: ChainKey,
+    /// Resolved certificate records, delivery order.
+    pub certs: Vec<CertRecord>,
+    /// Per-certificate issuer classification.
+    pub classes: Vec<CertClass>,
+    /// §3.2.2 category.
+    pub category: ChainCategoryLabel,
+    /// Issuer–subject path report.
+    pub path: PathReport,
+    /// Hybrid taxonomy (only for hybrid chains).
+    pub hybrid_category: Option<HybridCategory>,
+    /// §4.2's 56-chain subgroup membership.
+    pub pub_leaf_no_intermediate: bool,
+    /// Whether the chain is in the DGA cluster (§4.3).
+    pub is_dga: bool,
+    /// For complete non-public→public chains: is the leaf CT-logged?
+    pub leaf_ct_logged: Option<bool>,
+    /// The intercepting entity key, when category is Interception.
+    pub interception_entity: Option<String>,
+    /// SNIs observed with this chain.
+    pub snis: BTreeSet<String>,
+    /// Aggregated usage over the chain's connections.
+    pub usage: UsageStats,
+}
+
+/// Pipeline output.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Per-chain results.
+    pub chains: Vec<ChainAnalysis>,
+    /// Chain key → index into `chains`.
+    pub index: HashMap<ChainKey, usize>,
+    /// ssl.log records carrying no certificates (TLS 1.3 connections).
+    pub no_chain_records: u64,
+    /// Records referencing fingerprints absent from x509.log.
+    pub unresolvable_records: u64,
+    /// Distinct certificates seen across all analyzed chains.
+    pub distinct_certificates: usize,
+    /// The interception entities identified in pass 1.
+    pub interception_entities: BTreeSet<String>,
+}
+
+/// Tunable analysis options — the ablation knobs DESIGN.md calls out.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Honor cross-signing disclosures during pair matching (§4.2 /
+    /// Appendix D.1). Disabling reproduces the naive matcher and its
+    /// false mismatches on cross-signed chains.
+    pub honor_cross_signing: bool,
+    /// Minimum number of distinct forged domains before an interception
+    /// candidate is confirmed (the paper's manual-investigation step).
+    /// 1 disables corroboration; the default is 2.
+    pub confirmation_min_domains: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> PipelineOptions {
+        PipelineOptions {
+            honor_cross_signing: true,
+            confirmation_min_domains: 2,
+        }
+    }
+}
+
+/// The configured analyzer.
+pub struct Pipeline<'a> {
+    trust: &'a TrustDb,
+    ct: &'a DomainIndex,
+    crosssign: CrossSignRegistry,
+    options: PipelineOptions,
+}
+
+/// Entity key for an issuer DN: the organization when present, otherwise
+/// the common name, otherwise the whole DN string. This is the unit at
+/// which the paper's manual investigation grouped interception issuers.
+pub fn issuer_entity(dn: &DistinguishedName) -> String {
+    dn.get(&certchain_x509::dn::AttrType::Organization)
+        .or_else(|| dn.common_name())
+        .map(str::to_string)
+        .unwrap_or_else(|| dn.to_rfc4514())
+}
+
+impl<'a> Pipeline<'a> {
+    /// Configure the analyzer.
+    pub fn new(
+        trust: &'a TrustDb,
+        ct: &'a DomainIndex,
+        crosssign: CrossSignRegistry,
+    ) -> Pipeline<'a> {
+        Pipeline::with_options(trust, ct, crosssign, PipelineOptions::default())
+    }
+
+    /// Configure with explicit [`PipelineOptions`] (ablation studies).
+    pub fn with_options(
+        trust: &'a TrustDb,
+        ct: &'a DomainIndex,
+        crosssign: CrossSignRegistry,
+        options: PipelineOptions,
+    ) -> Pipeline<'a> {
+        Pipeline {
+            trust,
+            ct,
+            crosssign,
+            options,
+        }
+    }
+
+    /// Run the full analysis.
+    ///
+    /// `weights`, when given, must align with `ssl` and carries each
+    /// record's statistical weight (1.0 when absent). The pipeline itself
+    /// is weight-agnostic; weights only flow into the usage aggregates.
+    pub fn analyze(
+        &self,
+        ssl: &[SslRecord],
+        x509: &[X509Record],
+        weights: Option<&[f64]>,
+    ) -> Analysis {
+        if let Some(w) = weights {
+            assert_eq!(w.len(), ssl.len(), "weights must align with ssl records");
+        }
+        // --- Certificate enrichment: index x509.log by fingerprint.
+        let mut cert_index: HashMap<Fingerprint, CertRecord> = HashMap::new();
+        for rec in x509 {
+            if let Some(cert) = CertRecord::from_record(rec) {
+                cert_index.entry(rec.fingerprint).or_insert(cert);
+            }
+        }
+
+        // --- Group connections by delivered chain.
+        struct ChainAccum {
+            usage: UsageStats,
+            snis: BTreeSet<String>,
+        }
+        let mut accums: HashMap<ChainKey, ChainAccum> = HashMap::new();
+        let mut no_chain_records = 0u64;
+        let mut unresolvable_records = 0u64;
+        for (i, rec) in ssl.iter().enumerate() {
+            if rec.cert_chain_fps.is_empty() {
+                no_chain_records += 1;
+                continue;
+            }
+            if !rec
+                .cert_chain_fps
+                .iter()
+                .all(|fp| cert_index.contains_key(fp))
+            {
+                unresolvable_records += 1;
+                continue;
+            }
+            let weight = weights.map(|w| w[i]).unwrap_or(1.0);
+            let key = ChainKey(rec.cert_chain_fps.clone());
+            let entry = accums.entry(key).or_insert_with(|| ChainAccum {
+                usage: UsageStats::default(),
+                snis: BTreeSet::new(),
+            });
+            entry.usage.add(
+                rec.established,
+                rec.server_name.is_some(),
+                rec.resp_p,
+                rec.orig_h,
+                weight,
+            );
+            if let Some(sni) = &rec.server_name {
+                entry.snis.insert(sni.clone());
+            }
+        }
+
+        // --- Resolve certificates and classify, chain by chain.
+        struct Prepared {
+            key: ChainKey,
+            certs: Vec<CertRecord>,
+            classes: Vec<CertClass>,
+            snis: BTreeSet<String>,
+            usage: UsageStats,
+        }
+        let mut prepared: Vec<Prepared> = accums
+            .into_iter()
+            .map(|(key, accum)| {
+                let certs: Vec<CertRecord> = key
+                    .0
+                    .iter()
+                    .map(|fp| cert_index[fp].clone())
+                    .collect();
+                let classes: Vec<CertClass> =
+                    certs.iter().map(|c| classify(c, self.trust)).collect();
+                Prepared {
+                    key,
+                    certs,
+                    classes,
+                    snis: accum.snis,
+                    usage: accum.usage,
+                }
+            })
+            .collect();
+        prepared.sort_by(|a, b| a.key.cmp(&b.key));
+
+        // --- Pass 1: identify interception entities via CT
+        // cross-referencing over SNI-bearing observations. The paper
+        // confirmed candidates "through manual investigation"; the
+        // automatic proxy here is corroboration — an entity must be seen
+        // forging at least two distinct domains. One-off conflicts (e.g. a
+        // stale leaf for a renamed host preceding a valid chain) stay out.
+        let mut candidate_domains: HashMap<String, BTreeSet<&str>> = HashMap::new();
+        for p in &prepared {
+            for sni in &p.snis {
+                if detect(&p.certs, Some(sni), self.trust, self.ct)
+                    == InterceptionVerdict::LikelyIntercepted
+                {
+                    candidate_domains
+                        .entry(issuer_entity(&p.certs[0].issuer))
+                        .or_default()
+                        .insert(sni.as_str());
+                }
+            }
+        }
+        let interception_entities: BTreeSet<String> = candidate_domains
+            .into_iter()
+            .filter_map(|(entity, domains)| {
+                (domains.len() >= self.options.confirmation_min_domains).then_some(entity)
+            })
+            .collect();
+
+        // --- Pass 2: categorize every chain and run structure analysis.
+        let mut chains = Vec::with_capacity(prepared.len());
+        let mut index = HashMap::with_capacity(prepared.len());
+        let mut distinct: BTreeSet<Fingerprint> = BTreeSet::new();
+        for p in prepared {
+            distinct.extend(p.key.0.iter().copied());
+            let any_public = p
+                .classes
+                .iter()
+                .any(|&c| c == CertClass::PublicDbIssued);
+            let all_public = p
+                .classes
+                .iter()
+                .all(|&c| c == CertClass::PublicDbIssued);
+            let entity_hit = p
+                .certs
+                .iter()
+                .map(|c| issuer_entity(&c.issuer))
+                .find(|e| interception_entities.contains(e));
+            let category = if let Some(_e) = &entity_hit {
+                ChainCategoryLabel::Interception
+            } else if all_public {
+                ChainCategoryLabel::PublicOnly
+            } else if any_public {
+                ChainCategoryLabel::Hybrid
+            } else {
+                ChainCategoryLabel::NonPublicOnly
+            };
+            let registry: &CrossSignRegistry = if self.options.honor_cross_signing {
+                &self.crosssign
+            } else {
+                static EMPTY: std::sync::OnceLock<CrossSignRegistry> = std::sync::OnceLock::new();
+                EMPTY.get_or_init(CrossSignRegistry::new)
+            };
+            let path = matchpath::analyze(&p.certs, registry);
+            let hybrid_category = (category == ChainCategoryLabel::Hybrid)
+                .then(|| hybrid::categorize(&p.certs, &p.classes, &path));
+            let pub_leaf_no_intermediate = category == ChainCategoryLabel::Hybrid
+                && matches!(hybrid_category, Some(HybridCategory::NoPath(_)))
+                && hybrid::has_public_leaf_without_intermediate(&p.certs, &p.classes);
+            let leaf_ct_logged = match hybrid_category {
+                Some(HybridCategory::CompleteNonPubToPub) => {
+                    Some(self.ct.contains_fingerprint(&p.certs[0].fingerprint))
+                }
+                _ => None,
+            };
+            let is_dga =
+                category == ChainCategoryLabel::NonPublicOnly && is_dga_chain(&p.certs);
+
+            let idx = chains.len();
+            index.insert(p.key.clone(), idx);
+            chains.push(ChainAnalysis {
+                key: p.key,
+                certs: p.certs,
+                classes: p.classes,
+                category,
+                path,
+                hybrid_category,
+                pub_leaf_no_intermediate,
+                is_dga,
+                leaf_ct_logged,
+                interception_entity: entity_hit,
+                snis: p.snis,
+                usage: p.usage,
+            });
+        }
+
+        Analysis {
+            chains,
+            index,
+            no_chain_records,
+            unresolvable_records,
+            distinct_certificates: distinct.len(),
+            interception_entities,
+        }
+    }
+}
+
+impl Analysis {
+    /// Chains of one category.
+    pub fn chains_in(
+        &self,
+        category: ChainCategoryLabel,
+    ) -> impl Iterator<Item = &ChainAnalysis> {
+        self.chains.iter().filter(move |c| c.category == category)
+    }
+
+    /// Weighted usage aggregate over a chain subset.
+    pub fn usage_of(
+        &self,
+        mut pred: impl FnMut(&ChainAnalysis) -> bool,
+    ) -> UsageStats {
+        let mut out = UsageStats::default();
+        for chain in self.chains.iter().filter(|c| pred(c)) {
+            out.merge(&chain.usage);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certchain_workload::{CampusProfile, CampusTrace};
+
+    fn analysis() -> &'static (CampusTrace, Analysis) {
+        static CELL: std::sync::OnceLock<(CampusTrace, Analysis)> = std::sync::OnceLock::new();
+        CELL.get_or_init(|| {
+            let trace = CampusTrace::generate(CampusProfile::quick());
+            let weights: Vec<f64> = trace.conn_meta.iter().map(|m| m.weight).collect();
+            let pipeline = Pipeline::new(
+                &trace.eco.trust,
+                &trace.ct_index,
+                CrossSignRegistry::from_disclosures(&trace.cross_sign_disclosures),
+            );
+            let analysis =
+                pipeline.analyze(&trace.ssl_records, &trace.x509_records, Some(&weights));
+            // `analysis` borrows nothing from `trace` (all owned data), so
+            // moving both into the cell is fine.
+            (trace, analysis)
+        })
+    }
+
+    #[test]
+    fn hybrid_count_is_exactly_321() {
+        let (_trace, analysis) = analysis();
+        let hybrid = analysis
+            .chains_in(ChainCategoryLabel::Hybrid)
+            .count();
+        assert_eq!(hybrid, 321);
+    }
+
+    #[test]
+    fn table3_categories_from_logs_alone() {
+        use crate::hybrid::HybridCategory as H;
+        let (_trace, analysis) = analysis();
+        let mut complete_np = 0;
+        let mut complete_prv = 0;
+        let mut contains = 0;
+        let mut no_path = 0;
+        for c in analysis.chains_in(ChainCategoryLabel::Hybrid) {
+            match c.hybrid_category.expect("hybrid chains are categorized") {
+                H::CompleteNonPubToPub => complete_np += 1,
+                H::CompletePubToPrv => complete_prv += 1,
+                H::ContainsPath => contains += 1,
+                H::NoPath(_) => no_path += 1,
+            }
+        }
+        assert_eq!(complete_np, 26, "Table 3: non-pub chained to pub");
+        assert_eq!(complete_prv, 10, "Table 3: pub chained to prv");
+        assert_eq!(contains, 70, "Table 3: contains a matched path");
+        assert_eq!(no_path, 215, "Table 3: no matched path");
+    }
+
+    #[test]
+    fn table7_rows_recovered() {
+        use crate::hybrid::{HybridCategory as H, NoPathCategory as N};
+        let (_trace, analysis) = analysis();
+        let mut counts: HashMap<N, usize> = HashMap::new();
+        for c in analysis.chains_in(ChainCategoryLabel::Hybrid) {
+            if let Some(H::NoPath(n)) = c.hybrid_category {
+                *counts.entry(n).or_default() += 1;
+            }
+        }
+        assert_eq!(counts[&N::SelfSignedLeafMismatches], 108);
+        assert_eq!(counts[&N::SelfSignedLeafValidSubchain], 13);
+        assert_eq!(counts[&N::AllMismatched], 61);
+        assert_eq!(counts[&N::PartialMismatched], 27);
+        assert_eq!(counts[&N::RootAppendedToValidSubchain], 5);
+        assert_eq!(counts[&N::RootAndMismatches], 1);
+    }
+
+    #[test]
+    fn fifty_six_group_recovered() {
+        let (_trace, analysis) = analysis();
+        let in_56 = analysis
+            .chains
+            .iter()
+            .filter(|c| c.pub_leaf_no_intermediate)
+            .count();
+        assert_eq!(in_56, 56);
+    }
+
+    #[test]
+    fn ct_compliance_all_logged() {
+        let (_trace, analysis) = analysis();
+        let logged: Vec<_> = analysis
+            .chains
+            .iter()
+            .filter_map(|c| c.leaf_ct_logged)
+            .collect();
+        assert_eq!(logged.len(), 26);
+        assert!(logged.iter().all(|&l| l), "§4.2: all 26 leaves CT-logged");
+    }
+
+    #[test]
+    fn interception_entities_found() {
+        let (trace, analysis) = analysis();
+        // The generator plants 80 vendors; the detector should find most
+        // of them (the single-cert and no-SNI tails are only attributable
+        // via entity matching, which is exactly what pass 2 does).
+        assert!(
+            analysis.interception_entities.len() >= 60,
+            "found {} entities",
+            analysis.interception_entities.len()
+        );
+        // And interception chains should be a large population.
+        let interception = analysis
+            .chains_in(ChainCategoryLabel::Interception)
+            .count();
+        let truth_interception = trace
+            .servers
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.category,
+                    certchain_workload::trace::ChainCategory::Interception(_)
+                )
+            })
+            .count();
+        // Detection is best-effort (the paper's caveat): we must find most
+        // but not necessarily all.
+        assert!(
+            interception as f64 > truth_interception as f64 * 0.9,
+            "detected {interception} of {truth_interception}"
+        );
+    }
+
+    #[test]
+    fn undetectable_interception_misclassifies_as_nonpub() {
+        let (trace, analysis) = analysis();
+        // Appendix B: chains forging non-CT domains evade detection and
+        // land in non-public-only — confirm at least one such chain.
+        let mut evaded = 0;
+        for (key, &server_idx) in &trace.truth.by_chain {
+            let server = &trace.servers[server_idx];
+            let truly_interception = matches!(
+                server.category,
+                certchain_workload::trace::ChainCategory::Interception(_)
+            );
+            if !truly_interception {
+                continue;
+            }
+            let Some(&idx) = analysis.index.get(&ChainKey(key.clone())) else {
+                continue;
+            };
+            if analysis.chains[idx].category == ChainCategoryLabel::NonPublicOnly {
+                evaded += 1;
+            }
+        }
+        assert!(evaded > 0, "the Appendix-B caveat should manifest");
+    }
+
+    #[test]
+    fn dga_cluster_detected() {
+        let (_trace, analysis) = analysis();
+        let dga = analysis.chains.iter().filter(|c| c.is_dga).count();
+        assert_eq!(dga, 30, "the generated DGA cluster is fully recovered");
+    }
+
+    #[test]
+    fn hybrid_establishment_rates() {
+        use crate::hybrid::HybridCategory as H;
+        let (_trace, analysis) = analysis();
+        let complete = analysis.usage_of(|c| {
+            matches!(
+                c.hybrid_category,
+                Some(H::CompleteNonPubToPub | H::CompletePubToPrv)
+            )
+        });
+        let contains = analysis.usage_of(|c| matches!(c.hybrid_category, Some(H::ContainsPath)));
+        let no_path = analysis.usage_of(|c| matches!(c.hybrid_category, Some(H::NoPath(_))));
+        assert!((complete.established_rate() - 0.9756).abs() < 0.01);
+        assert!((contains.established_rate() - 0.9204).abs() < 0.01);
+        assert!((no_path.established_rate() - 0.5742).abs() < 0.015);
+    }
+
+    #[test]
+    fn classification_agrees_with_ground_truth() {
+        use certchain_workload::trace::ChainCategory as Truth;
+        let (trace, analysis) = analysis();
+        let mut agree = 0u64;
+        let mut total = 0u64;
+        for (key, &server_idx) in &trace.truth.by_chain {
+            let Some(&idx) = analysis.index.get(&ChainKey(key.clone())) else {
+                continue;
+            };
+            let got = analysis.chains[idx].category;
+            let want = &trace.servers[server_idx].category;
+            total += 1;
+            let matches = matches!(
+                (got, want),
+                (ChainCategoryLabel::PublicOnly, Truth::PublicOnly)
+                    | (ChainCategoryLabel::NonPublicOnly, Truth::NonPublicOnly(_))
+                    | (ChainCategoryLabel::Hybrid, Truth::Hybrid(_))
+                    | (ChainCategoryLabel::Interception, Truth::Interception(_))
+            );
+            if matches {
+                agree += 1;
+            }
+        }
+        let accuracy = agree as f64 / total as f64;
+        assert!(accuracy > 0.97, "pipeline/ground-truth agreement = {accuracy}");
+    }
+
+    #[test]
+    fn tls13_records_are_skipped() {
+        let (_trace, analysis) = analysis();
+        assert!(analysis.no_chain_records > 0);
+        assert_eq!(analysis.unresolvable_records, 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! A serializable roll-up of an [`Analysis`] — the machine-readable output
+//! surface (`certchain analyze --json`).
+
+use crate::hybrid::{HybridCategory, NoPathCategory};
+use crate::matchpath::{path_verdict_leaf_agnostic, PathVerdict};
+use crate::pipeline::{Analysis, ChainCategoryLabel};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Usage numbers for one group of chains.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroupSummary {
+    /// Distinct chains.
+    pub chains: u64,
+    /// (Weighted) connections.
+    pub connections: f64,
+    /// Establishment rate.
+    pub established_rate: f64,
+    /// Share of connections without SNI.
+    pub no_sni_rate: f64,
+    /// Distinct client addresses observed.
+    pub client_ips: u64,
+}
+
+/// Path statistics for multi-certificate chains of one category
+/// (the Table 8 shape).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PathSummary {
+    /// Multi-certificate chains that are one matched path.
+    pub is_matched: u64,
+    /// Chains containing a matched path plus extras.
+    pub contains_matched: u64,
+    /// Chains with no matching pair at all.
+    pub no_match: u64,
+    /// Single-certificate chains.
+    pub single: u64,
+    /// Self-signed single-certificate chains.
+    pub single_self_signed: u64,
+}
+
+/// The complete machine-readable summary.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisSummary {
+    /// Per-category usage (`public`, `non_public`, `hybrid`,
+    /// `interception`).
+    pub categories: BTreeMap<String, GroupSummary>,
+    /// Hybrid taxonomy counts keyed by Table 3/7 row names.
+    pub hybrid_taxonomy: BTreeMap<String, u64>,
+    /// §4.2's public-leaf-without-intermediate subgroup size.
+    pub pub_leaf_no_intermediate: u64,
+    /// Path statistics for non-public-only chains.
+    pub non_public_paths: PathSummary,
+    /// Path statistics for interception chains.
+    pub interception_paths: PathSummary,
+    /// Identified interception entities.
+    pub interception_entities: Vec<String>,
+    /// DGA-cluster chain count.
+    pub dga_chains: u64,
+    /// CT-logged / total anchored non-public leaves.
+    pub ct_logged: (u64, u64),
+    /// Records skipped because they carried no chain (TLS 1.3).
+    pub no_chain_records: u64,
+    /// Records with unresolvable fingerprints.
+    pub unresolvable_records: u64,
+}
+
+fn category_key(cat: ChainCategoryLabel) -> &'static str {
+    match cat {
+        ChainCategoryLabel::PublicOnly => "public",
+        ChainCategoryLabel::NonPublicOnly => "non_public",
+        ChainCategoryLabel::Hybrid => "hybrid",
+        ChainCategoryLabel::Interception => "interception",
+    }
+}
+
+fn hybrid_key(cat: HybridCategory) -> &'static str {
+    match cat {
+        HybridCategory::CompleteNonPubToPub => "complete_nonpub_to_pub",
+        HybridCategory::CompletePubToPrv => "complete_pub_to_prv",
+        HybridCategory::ContainsPath => "contains_path",
+        HybridCategory::NoPath(NoPathCategory::SelfSignedLeafMismatches) => {
+            "no_path_selfsigned_leaf_mismatches"
+        }
+        HybridCategory::NoPath(NoPathCategory::SelfSignedLeafValidSubchain) => {
+            "no_path_selfsigned_leaf_valid_subchain"
+        }
+        HybridCategory::NoPath(NoPathCategory::AllMismatched) => "no_path_all_mismatched",
+        HybridCategory::NoPath(NoPathCategory::PartialMismatched) => "no_path_partial_mismatched",
+        HybridCategory::NoPath(NoPathCategory::RootAppendedToValidSubchain) => {
+            "no_path_root_appended"
+        }
+        HybridCategory::NoPath(NoPathCategory::RootAndMismatches) => "no_path_root_and_mismatches",
+    }
+}
+
+impl AnalysisSummary {
+    /// Roll up an analysis.
+    pub fn from_analysis(analysis: &Analysis) -> AnalysisSummary {
+        let mut summary = AnalysisSummary {
+            no_chain_records: analysis.no_chain_records,
+            unresolvable_records: analysis.unresolvable_records,
+            interception_entities: analysis.interception_entities.iter().cloned().collect(),
+            ..AnalysisSummary::default()
+        };
+        for cat in [
+            ChainCategoryLabel::PublicOnly,
+            ChainCategoryLabel::NonPublicOnly,
+            ChainCategoryLabel::Hybrid,
+            ChainCategoryLabel::Interception,
+        ] {
+            let usage = analysis.usage_of(|c| c.category == cat);
+            summary.categories.insert(
+                category_key(cat).to_string(),
+                GroupSummary {
+                    chains: analysis.chains_in(cat).count() as u64,
+                    connections: usage.connections,
+                    established_rate: usage.established_rate(),
+                    no_sni_rate: usage.no_sni_rate(),
+                    client_ips: usage.client_ips.len() as u64,
+                },
+            );
+        }
+        for chain in &analysis.chains {
+            if let Some(h) = chain.hybrid_category {
+                *summary
+                    .hybrid_taxonomy
+                    .entry(hybrid_key(h).to_string())
+                    .or_default() += 1;
+            }
+            if chain.pub_leaf_no_intermediate {
+                summary.pub_leaf_no_intermediate += 1;
+            }
+            if chain.is_dga {
+                summary.dga_chains += 1;
+            }
+            if let Some(logged) = chain.leaf_ct_logged {
+                summary.ct_logged.1 += 1;
+                summary.ct_logged.0 += logged as u64;
+            }
+            let paths = match chain.category {
+                ChainCategoryLabel::NonPublicOnly => &mut summary.non_public_paths,
+                ChainCategoryLabel::Interception => &mut summary.interception_paths,
+                _ => continue,
+            };
+            if chain.key.len() == 1 {
+                paths.single += 1;
+                paths.single_self_signed += chain.certs[0].is_self_signed() as u64;
+            } else {
+                match path_verdict_leaf_agnostic(&chain.path) {
+                    PathVerdict::IsComplete => paths.is_matched += 1,
+                    PathVerdict::ContainsComplete => paths.contains_matched += 1,
+                    PathVerdict::NoComplete => paths.no_match += 1,
+                }
+            }
+        }
+        summary
+    }
+
+    /// Serialize as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("summary serializes")
+    }
+
+    /// Parse back from JSON.
+    pub fn from_json(text: &str) -> Result<AnalysisSummary, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CrossSignRegistry;
+    use certchain_workload::{CampusProfile, CampusTrace};
+
+    #[test]
+    fn summary_round_trips_and_matches_tables() {
+        let trace = CampusTrace::generate(CampusProfile::quick());
+        let pipeline = crate::Pipeline::new(
+            &trace.eco.trust,
+            &trace.ct_index,
+            CrossSignRegistry::from_disclosures(&trace.cross_sign_disclosures),
+        );
+        let analysis = pipeline.analyze(&trace.ssl_records, &trace.x509_records, None);
+        let summary = AnalysisSummary::from_analysis(&analysis);
+
+        assert_eq!(summary.categories["hybrid"].chains, 321);
+        assert_eq!(summary.pub_leaf_no_intermediate, 56);
+        assert_eq!(summary.dga_chains, 30);
+        assert_eq!(summary.ct_logged, (26, 26));
+        assert_eq!(
+            summary.hybrid_taxonomy["no_path_all_mismatched"], 61,
+            "Table 7 row 3 via the JSON surface"
+        );
+        assert_eq!(summary.interception_entities.len(), 80);
+
+        // Round trip: floats may shift by an ULP through the textual
+        // form, so compare counts exactly and rates with a tolerance.
+        let json = summary.to_json();
+        let parsed = AnalysisSummary::from_json(&json).unwrap();
+        assert_eq!(parsed.hybrid_taxonomy, summary.hybrid_taxonomy);
+        assert_eq!(parsed.interception_entities, summary.interception_entities);
+        assert_eq!(parsed.non_public_paths, summary.non_public_paths);
+        assert_eq!(parsed.interception_paths, summary.interception_paths);
+        for (key, group) in &summary.categories {
+            let p = &parsed.categories[key];
+            assert_eq!(p.chains, group.chains);
+            assert_eq!(p.client_ips, group.client_ips);
+            assert!((p.established_rate - group.established_rate).abs() < 1e-9);
+            assert!((p.no_sni_rate - group.no_sni_rate).abs() < 1e-9);
+        }
+    }
+}

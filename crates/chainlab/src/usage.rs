@@ -1,0 +1,123 @@
+//! Connection-usage aggregation: establishment rates, ports (Table 4),
+//! SNI presence, client-IP counts.
+
+use std::collections::{BTreeMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Weighted usage counters for one group of connections.
+#[derive(Debug, Default, Clone)]
+pub struct UsageStats {
+    /// Weighted connection count.
+    pub connections: f64,
+    /// Weighted established connections.
+    pub established: f64,
+    /// Weighted connections that carried an SNI.
+    pub with_sni: f64,
+    /// Weighted connections per responder port.
+    pub ports: BTreeMap<u16, f64>,
+    /// Distinct client addresses observed (unweighted set).
+    pub client_ips: HashSet<Ipv4Addr>,
+    /// Raw (unweighted) record count.
+    pub records: u64,
+}
+
+impl UsageStats {
+    /// Fold in one connection observation.
+    pub fn add(&mut self, established: bool, sni: bool, port: u16, client: Ipv4Addr, weight: f64) {
+        self.connections += weight;
+        if established {
+            self.established += weight;
+        }
+        if sni {
+            self.with_sni += weight;
+        }
+        *self.ports.entry(port).or_default() += weight;
+        self.client_ips.insert(client);
+        self.records += 1;
+    }
+
+    /// Merge another stats block into this one.
+    pub fn merge(&mut self, other: &UsageStats) {
+        self.connections += other.connections;
+        self.established += other.established;
+        self.with_sni += other.with_sni;
+        for (&port, &w) in &other.ports {
+            *self.ports.entry(port).or_default() += w;
+        }
+        self.client_ips.extend(other.client_ips.iter().copied());
+        self.records += other.records;
+    }
+
+    /// Establishment rate.
+    pub fn established_rate(&self) -> f64 {
+        if self.connections == 0.0 {
+            0.0
+        } else {
+            self.established / self.connections
+        }
+    }
+
+    /// Share of connections lacking SNI.
+    pub fn no_sni_rate(&self) -> f64 {
+        if self.connections == 0.0 {
+            0.0
+        } else {
+            1.0 - self.with_sni / self.connections
+        }
+    }
+
+    /// Port distribution as `(port, percent)` sorted by share descending.
+    pub fn port_distribution(&self) -> Vec<(u16, f64)> {
+        let mut out: Vec<(u16, f64)> = self
+            .ports
+            .iter()
+            .map(|(&p, &w)| (p, 100.0 * w / self.connections.max(f64::MIN_POSITIVE)))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("shares are finite"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, d)
+    }
+
+    #[test]
+    fn rates_and_ports() {
+        let mut s = UsageStats::default();
+        s.add(true, true, 443, ip(1), 1.0);
+        s.add(true, false, 443, ip(2), 1.0);
+        s.add(false, false, 8013, ip(1), 2.0);
+        assert!((s.established_rate() - 0.5).abs() < 1e-9);
+        assert!((s.no_sni_rate() - 0.75).abs() < 1e-9);
+        let ports = s.port_distribution();
+        assert_eq!(ports[0], (443, 50.0));
+        assert_eq!(ports[1], (8013, 50.0));
+        assert_eq!(s.client_ips.len(), 2);
+        assert_eq!(s.records, 3);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = UsageStats::default();
+        a.add(true, true, 443, ip(1), 1.0);
+        let mut b = UsageStats::default();
+        b.add(false, false, 25, ip(2), 3.0);
+        a.merge(&b);
+        assert!((a.connections - 4.0).abs() < 1e-9);
+        assert_eq!(a.client_ips.len(), 2);
+        assert_eq!(a.ports.len(), 2);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = UsageStats::default();
+        assert_eq!(s.established_rate(), 0.0);
+        assert_eq!(s.no_sni_rate(), 0.0);
+        assert!(s.port_distribution().is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! `certchain analyze`: run the full chain-analysis pipeline over an
+//! on-disk dataset (synthetic or real Zeek logs with the same fields).
+
+use crate::dataset::{load_crosssign, load_ct_index, load_trust};
+use crate::{io_ctx, CliError, CliResult};
+use certchain_chainlab::{Analysis, ChainCategoryLabel, CrossSignRegistry, Pipeline};
+use certchain_netsim::zeek::reader::{read_ssl_log, read_x509_log};
+use certchain_report::table::{num, pct};
+use certchain_report::Table;
+use std::path::Path;
+
+/// Analyze `<dir>/ssl.log` + `<dir>/x509.log` against the trust material
+/// and CT corpus in the same directory. Returns the rendered report.
+pub fn analyze(dir: &Path) -> CliResult<String> {
+    let (analysis, _trust) = run_pipeline(dir)?;
+    Ok(render(&analysis))
+}
+
+/// Like [`analyze`], but emit the machine-readable JSON summary.
+pub fn analyze_json(dir: &Path) -> CliResult<String> {
+    let (analysis, _trust) = run_pipeline(dir)?;
+    let mut json = certchain_chainlab::AnalysisSummary::from_analysis(&analysis).to_json();
+    json.push('\n');
+    Ok(json)
+}
+
+/// Run the pipeline and return the raw analysis (used by tests).
+pub fn run_pipeline(
+    dir: &Path,
+) -> CliResult<(Analysis, certchain_trust::TrustDb)> {
+    let ssl_text = std::fs::read_to_string(dir.join("ssl.log"))
+        .map_err(io_ctx(format!("reading {}/ssl.log", dir.display())))?;
+    let x509_text = std::fs::read_to_string(dir.join("x509.log"))
+        .map_err(io_ctx(format!("reading {}/x509.log", dir.display())))?;
+    let ssl = read_ssl_log(&ssl_text).map_err(|e| CliError::Invalid(format!("ssl.log: {e}")))?;
+    let x509 =
+        read_x509_log(&x509_text).map_err(|e| CliError::Invalid(format!("x509.log: {e}")))?;
+    let trust = load_trust(dir)?;
+    let ct = load_ct_index(dir)?;
+    let crosssign = CrossSignRegistry::from_disclosures(&load_crosssign(dir)?);
+    let pipeline = Pipeline::new(&trust, &ct, crosssign);
+    let analysis = pipeline.analyze(&ssl, &x509, None);
+    Ok((analysis, trust))
+}
+
+fn render(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    let mut census = Table::new(
+        "Chain census",
+        &["Category", "#. Chains", "Connections", "Established", "No-SNI"],
+    );
+    for (name, cat) in [
+        ("Public-DB-only", ChainCategoryLabel::PublicOnly),
+        ("Non-public-DB-only", ChainCategoryLabel::NonPublicOnly),
+        ("Hybrid", ChainCategoryLabel::Hybrid),
+        ("TLS interception", ChainCategoryLabel::Interception),
+    ] {
+        let chains = analysis.chains_in(cat).count();
+        let usage = analysis.usage_of(|c| c.category == cat);
+        census.row(&[
+            name.to_string(),
+            num(chains as f64, 0),
+            num(usage.connections, 0),
+            pct(usage.established_rate()),
+            pct(usage.no_sni_rate()),
+        ]);
+    }
+    out.push_str(&census.render());
+
+    // Hybrid taxonomy.
+    use certchain_chainlab::HybridCategory as H;
+    let count = |pred: &dyn Fn(&Option<H>) -> bool| {
+        analysis
+            .chains_in(ChainCategoryLabel::Hybrid)
+            .filter(|c| pred(&c.hybrid_category))
+            .count()
+    };
+    let mut hybrid = Table::new("Hybrid chains", &["Category", "#. Chains"]);
+    hybrid.row(&[
+        "Complete: non-public leaf to public anchor".into(),
+        count(&|h| matches!(h, Some(H::CompleteNonPubToPub))).to_string(),
+    ]);
+    hybrid.row(&[
+        "Complete: public chained to private".into(),
+        count(&|h| matches!(h, Some(H::CompletePubToPrv))).to_string(),
+    ]);
+    hybrid.row(&[
+        "Contains a complete matched path".into(),
+        count(&|h| matches!(h, Some(H::ContainsPath))).to_string(),
+    ]);
+    hybrid.row(&[
+        "No complete matched path".into(),
+        count(&|h| matches!(h, Some(H::NoPath(_)))).to_string(),
+    ]);
+    out.push('\n');
+    out.push_str(&hybrid.render());
+
+    out.push_str(&format!(
+        "\ninterception entities: {}\nDGA-cluster chains: {}\nTLS 1.3 records (no chain): {}\nunresolvable records: {}\n",
+        analysis.interception_entities.len(),
+        analysis.chains.iter().filter(|c| c.is_dga).count(),
+        analysis.no_chain_records,
+        analysis.unresolvable_records,
+    ));
+    out
+}

@@ -1,0 +1,138 @@
+//! The `certchain` command-line tool.
+//!
+//! ```text
+//! certchain generate --out <dir> [--profile quick|default] [--seed N]
+//! certchain analyze  --dir <dir>
+//! certchain validate <chain.pem> [--dir <dataset dir with trust/>]
+//! ```
+
+use certchain_cli::{analyze, generate, validate, CliResult};
+use certchain_workload::CampusProfile;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+certchain — certificate-chain structure and usage analysis
+
+USAGE:
+  certchain generate --out <dir> [--profile quick|default] [--seed N]
+      Generate a synthetic campus dataset (Zeek logs + trust PEMs + CT corpus).
+  certchain analyze --dir <dir> [--json]
+      Analyze <dir>/ssl.log and <dir>/x509.log against <dir>/trust and
+      <dir>/ct; --json emits the machine-readable summary.
+  certchain validate <chain.pem> [--dir <dataset dir>]
+      Run the issuer-subject and key-signature validators over a PEM chain;
+      with --dir, also compare browser vs strict validation policies.
+  certchain lint <chain.pem> [--at YYYY-MM-DD]
+      Lint a PEM chain against the paper's compliance observations
+      (missing basicConstraints, expired leaves, unnecessary certificates,
+      staging artifacts, included roots). Defaults to linting as of now.
+  certchain help
+      Show this message.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("certchain: {e}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> CliResult<String> {
+    use certchain_cli::CliError;
+    let Some(command) = args.first() else {
+        return Err(CliError::Invalid("missing command".into()));
+    };
+    match command.as_str() {
+        "generate" => {
+            let out = flag_value(args, "--out")?
+                .ok_or_else(|| CliError::Invalid("generate requires --out <dir>".into()))?;
+            let mut profile = match flag_value(args, "--profile")?.as_deref() {
+                Some("quick") => CampusProfile::quick(),
+                Some("default") | None => CampusProfile::default(),
+                Some(other) => {
+                    return Err(CliError::Invalid(format!("unknown profile {other:?}")))
+                }
+            };
+            if let Some(seed) = flag_value(args, "--seed")? {
+                profile.seed = seed
+                    .parse()
+                    .map_err(|_| CliError::Invalid(format!("bad seed {seed:?}")))?;
+            }
+            let summary = generate::generate(&PathBuf::from(out), profile)?;
+            Ok(format!("{summary}\n"))
+        }
+        "analyze" => {
+            let dir = flag_value(args, "--dir")?
+                .ok_or_else(|| CliError::Invalid("analyze requires --dir <dir>".into()))?;
+            if args.iter().any(|a| a == "--json") {
+                analyze::analyze_json(&PathBuf::from(dir))
+            } else {
+                analyze::analyze(&PathBuf::from(dir))
+            }
+        }
+        "validate" => {
+            let chain = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| CliError::Invalid("validate requires a chain file".into()))?;
+            let trust = match flag_value(args, "--dir")? {
+                Some(dir) => Some(certchain_cli::dataset::load_trust(&PathBuf::from(dir))?),
+                None => None,
+            };
+            validate::validate(&PathBuf::from(chain), trust.as_ref(), None)
+        }
+        "lint" => {
+            let chain = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| CliError::Invalid("lint requires a chain file".into()))?;
+            let at = match flag_value(args, "--at")? {
+                Some(date) => Some(parse_date(&date)?),
+                None => None,
+            };
+            validate::lint(&PathBuf::from(chain), at)
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Invalid(format!("unknown command {other:?}"))),
+    }
+}
+
+/// Parse a `YYYY-MM-DD` date into midnight UTC.
+fn parse_date(s: &str) -> CliResult<certchain_asn1::Asn1Time> {
+    use certchain_cli::CliError;
+    let bad = || CliError::Invalid(format!("bad date {s:?} (expected YYYY-MM-DD)"));
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 3 {
+        return Err(bad());
+    }
+    let nums: Vec<u64> = parts
+        .iter()
+        .map(|p| p.parse().map_err(|_| bad()))
+        .collect::<CliResult<_>>()?;
+    certchain_asn1::Asn1Time::from_ymd_hms(nums[0], nums[1], nums[2], 0, 0, 0)
+        .map_err(|_| bad())
+}
+
+/// `--flag value` extraction.
+fn flag_value(args: &[String], flag: &str) -> CliResult<Option<String>> {
+    use certchain_cli::CliError;
+    for (i, arg) in args.iter().enumerate() {
+        if arg == flag {
+            return args
+                .get(i + 1)
+                .cloned()
+                .map(Some)
+                .ok_or_else(|| CliError::Invalid(format!("{flag} requires a value")));
+        }
+    }
+    Ok(None)
+}

@@ -1,0 +1,98 @@
+//! `certchain generate`: export a synthetic campus dataset to disk.
+
+use crate::{io_ctx, CliResult};
+use certchain_netsim::zeek::tsv::{write_ssl_log, write_x509_log};
+use certchain_netsim::SimClock;
+use certchain_workload::{CampusProfile, CampusTrace};
+use certchain_x509::pem;
+use std::collections::HashSet;
+use std::io::Write;
+use std::path::Path;
+
+/// Generate a trace with `profile` and write the full dataset to `out`.
+///
+/// Returns a short human-readable summary.
+pub fn generate(out: &Path, profile: CampusProfile) -> CliResult<String> {
+    let trace = CampusTrace::generate(profile);
+    write_dataset(out, &trace)?;
+    Ok(format!(
+        "wrote {} connection records, {} certificates, {} servers to {}",
+        trace.ssl_records.len(),
+        trace.x509_records.len(),
+        trace.servers.len(),
+        out.display()
+    ))
+}
+
+/// Write an already-generated trace as an on-disk dataset.
+pub fn write_dataset(out: &Path, trace: &CampusTrace) -> CliResult<()> {
+    for sub in ["trust/roots", "trust/ccadb", "ct"] {
+        std::fs::create_dir_all(out.join(sub))
+            .map_err(io_ctx(format!("creating {}", out.join(sub).display())))?;
+    }
+    let open = SimClock::campus_window_start().now();
+
+    // Zeek logs.
+    let mut ssl = std::io::BufWriter::new(
+        std::fs::File::create(out.join("ssl.log")).map_err(io_ctx("creating ssl.log"))?,
+    );
+    write_ssl_log(&mut ssl, &trace.ssl_records, open).map_err(io_ctx("writing ssl.log"))?;
+    ssl.flush().map_err(io_ctx("flushing ssl.log"))?;
+    let mut x509 = std::io::BufWriter::new(
+        std::fs::File::create(out.join("x509.log")).map_err(io_ctx("creating x509.log"))?,
+    );
+    write_x509_log(&mut x509, &trace.x509_records, open).map_err(io_ctx("writing x509.log"))?;
+    x509.flush().map_err(io_ctx("flushing x509.log"))?;
+
+    // Trust material: roots (deduplicated across programs) and CCADB.
+    let mut seen = HashSet::new();
+    let mut root_idx = 0usize;
+    for store in trace.eco.trust.stores().values() {
+        for root in store.iter() {
+            if seen.insert(root.fingerprint()) {
+                let path = out.join(format!("trust/roots/root-{root_idx:03}.pem"));
+                std::fs::write(&path, pem::encode("CERTIFICATE", root.der()))
+                    .map_err(io_ctx(format!("writing {}", path.display())))?;
+                root_idx += 1;
+            }
+        }
+    }
+    for (i, entry) in trace.eco.trust.ccadb().iter().enumerate() {
+        let path = out.join(format!("trust/ccadb/ica-{i:03}.pem"));
+        std::fs::write(&path, pem::encode("CERTIFICATE", entry.cert.der()))
+            .map_err(io_ctx(format!("writing {}", path.display())))?;
+    }
+
+    // CT corpus.
+    for (i, entry) in trace.eco.ct.entries().iter().enumerate() {
+        let path = out.join(format!("ct/logged-{i:05}.pem"));
+        std::fs::write(&path, pem::encode("CERTIFICATE", entry.cert.der()))
+            .map_err(io_ctx(format!("writing {}", path.display())))?;
+    }
+
+    // Cross-signing disclosures.
+    let mut tsv = String::from("# subject<TAB>alternate issuer\n");
+    for (subject, issuer) in &trace.cross_sign_disclosures {
+        tsv.push_str(&format!("{}\t{}\n", subject.to_rfc4514(), issuer.to_rfc4514()));
+    }
+    std::fs::write(out.join("crosssign.tsv"), tsv).map_err(io_ctx("writing crosssign.tsv"))?;
+
+    // A sample delivered chain for `certchain validate`: the first hybrid
+    // contains-path server (complete path + unnecessary certificate).
+    if let Some(server) = trace.servers.iter().find(|s| {
+        matches!(
+            s.category,
+            certchain_workload::trace::ChainCategory::Hybrid(
+                certchain_workload::trace::HybridKind::ContainsPath(_)
+            )
+        )
+    }) {
+        let mut text = String::new();
+        for cert in &server.endpoint.chain {
+            text.push_str(&pem::encode("CERTIFICATE", cert.der()));
+        }
+        std::fs::write(out.join("sample-chain.pem"), text)
+            .map_err(io_ctx("writing sample-chain.pem"))?;
+    }
+    Ok(())
+}

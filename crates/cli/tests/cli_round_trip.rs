@@ -1,0 +1,73 @@
+//! CLI round-trip: generate a dataset on disk, analyze it back, and
+//! validate the sample chain — all through the library entry points the
+//! binary calls.
+
+use certchain_chainlab::ChainCategoryLabel;
+use certchain_cli::{analyze, dataset, generate, validate};
+use certchain_workload::CampusProfile;
+use std::path::PathBuf;
+
+fn dataset_dir() -> &'static PathBuf {
+    static CELL: std::sync::OnceLock<PathBuf> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("certchain-cli-rt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A tiny profile: the round trip is about formats, not volume.
+        let profile = CampusProfile {
+            seed: 99,
+            chain_scale: 0.0005,
+            conn_scale: 0.00005,
+            public_chains: 120,
+            public_conns_per_chain: 2,
+        };
+        generate::generate(&dir, profile).expect("generate succeeds");
+        dir
+    })
+}
+
+#[test]
+fn dataset_layout_is_complete() {
+    let dir = dataset_dir();
+    for file in ["ssl.log", "x509.log", "crosssign.tsv", "sample-chain.pem"] {
+        assert!(dir.join(file).is_file(), "{file} missing");
+    }
+    let roots = dataset::read_pem_dir(&dir.join("trust/roots")).unwrap();
+    assert!(roots.len() >= 8, "all public roots exported");
+    let icas = dataset::read_pem_dir(&dir.join("trust/ccadb")).unwrap();
+    assert!(!icas.is_empty(), "CCADB intermediates exported");
+    let ct = dataset::read_pem_dir(&dir.join("ct")).unwrap();
+    assert!(!ct.is_empty(), "CT corpus exported");
+}
+
+#[test]
+fn analyze_recovers_the_structure_from_disk() {
+    let dir = dataset_dir();
+    let (analysis, trust) = analyze::run_pipeline(dir).unwrap();
+    assert_eq!(analysis.unresolvable_records, 0);
+    assert_eq!(analysis.chains_in(ChainCategoryLabel::Hybrid).count(), 321);
+    assert_eq!(analysis.interception_entities.len(), 80);
+    assert!(trust.ccadb().len() > 0);
+    // The rendered report mentions the census and hybrid taxonomy.
+    let report = analyze::analyze(dir).unwrap();
+    assert!(report.contains("Chain census"));
+    assert!(report.contains("No complete matched path"));
+}
+
+#[test]
+fn validate_sample_chain_diverges() {
+    let dir = dataset_dir();
+    let trust = dataset::load_trust(dir).unwrap();
+    let out = validate::validate(&dir.join("sample-chain.pem"), Some(&trust), None).unwrap();
+    // The exported sample is a contains-path chain: field methods flag the
+    // unnecessary certificate, browser accepts, strict rejects.
+    assert!(out.contains("BROKEN"), "{out}");
+    assert!(out.contains("browser (path building) : VALID"), "{out}");
+    assert!(out.contains("strict (presented chain): REJECTED"), "{out}");
+}
+
+#[test]
+fn analyze_errors_are_structured() {
+    let missing = std::env::temp_dir().join("certchain-cli-nonexistent");
+    let err = analyze::analyze(&missing).unwrap_err();
+    assert!(err.to_string().contains("ssl.log"), "{err}");
+}

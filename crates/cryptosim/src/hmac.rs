@@ -1,0 +1,113 @@
+//! HMAC-SHA256 (RFC 2104), used for deterministic key derivation in the
+//! simulated PKI (derive a CA's keypair from the ecosystem seed + CA name).
+
+use crate::sha256::Sha256;
+
+const BLOCK: usize = 64;
+
+/// Compute HMAC-SHA256 of `message` under `key`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        k[..32].copy_from_slice(&Sha256::digest(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let inner = Sha256::digest2(&ipad, message);
+    Sha256::digest2(&opad, &inner)
+}
+
+/// Deterministically expand `(seed, label)` into `n` output bytes,
+/// HKDF-expand style (counter-mode HMAC).
+pub fn derive(seed: &[u8], label: &str, n: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(n);
+    let mut counter: u32 = 1;
+    let mut prev: Vec<u8> = Vec::new();
+    while out.len() < n {
+        let mut msg = prev.clone();
+        msg.extend_from_slice(label.as_bytes());
+        msg.extend_from_slice(&counter.to_be_bytes());
+        let block = hmac_sha256(seed, &msg);
+        prev = block.to_vec();
+        let take = (n - out.len()).min(32);
+        out.extend_from_slice(&block[..take]);
+        counter += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::hex;
+
+    /// RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let mac = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    /// RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    /// RFC 4231 test case 3 (0xaa key, 0xdd data).
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let mac = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex(&mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    /// RFC 4231 test case 6 (key longer than block size).
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        let mac = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_length_exact() {
+        let a = derive(b"seed", "ca:Acme Root", 80);
+        let b = derive(b"seed", "ca:Acme Root", 80);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 80);
+        let c = derive(b"seed", "ca:Other Root", 80);
+        assert_ne!(a, c);
+        let d = derive(b"other", "ca:Acme Root", 80);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn derive_prefix_property() {
+        // Extending the output length keeps the prefix stable.
+        let short = derive(b"s", "label", 16);
+        let long = derive(b"s", "label", 64);
+        assert_eq!(&long[..16], short.as_slice());
+    }
+}

@@ -1,0 +1,124 @@
+//! Simulated keypairs.
+//!
+//! A keypair is derived deterministically from a seed and a label (usually
+//! the CA or server name), so an entire PKI ecosystem regenerates
+//! byte-identically from one `u64` seed. The public key is 32 bytes; the
+//! "secret" is only used to bind signing authority to the keypair object —
+//! see [`crate::sig`] for how verification works.
+
+use crate::hmac::derive;
+use crate::sha256::{hex, Sha256};
+
+/// A simulated public key (32 bytes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PublicKey {
+    bytes: [u8; 32],
+}
+
+impl PublicKey {
+    /// Wrap raw key bytes (e.g. parsed back out of a certificate).
+    pub fn from_bytes(bytes: [u8; 32]) -> PublicKey {
+        PublicKey { bytes }
+    }
+
+    /// Raw key bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.bytes
+    }
+
+    /// RFC 5280-style key identifier: SHA-256 of the key, truncated to
+    /// 20 bytes (mirrors the common method (1) of §4.2.1.2 which uses SHA-1).
+    pub fn key_id(&self) -> [u8; 20] {
+        let d = Sha256::digest(&self.bytes);
+        let mut id = [0u8; 20];
+        id.copy_from_slice(&d[..20]);
+        id
+    }
+
+    /// Hex rendering of the key id.
+    pub fn key_id_hex(&self) -> String {
+        hex(&self.key_id())
+    }
+}
+
+/// A simulated keypair. The secret half never leaves this struct.
+#[derive(Debug, Clone)]
+pub struct KeyPair {
+    secret: [u8; 32],
+    public: PublicKey,
+}
+
+impl KeyPair {
+    /// Derive a keypair deterministically from `(seed, label)`.
+    pub fn derive(seed: u64, label: &str) -> KeyPair {
+        let material = derive(&seed.to_be_bytes(), &format!("keypair:{label}"), 32);
+        let mut secret = [0u8; 32];
+        secret.copy_from_slice(&material);
+        KeyPair::from_secret(secret)
+    }
+
+    /// Build from explicit secret bytes.
+    pub fn from_secret(secret: [u8; 32]) -> KeyPair {
+        // public = H("pub" || secret): anyone holding only the public key
+        // cannot recover the secret (in the simulated threat model).
+        let mut pub_bytes = [0u8; 32];
+        pub_bytes.copy_from_slice(&Sha256::digest2(b"pub", &secret));
+        KeyPair {
+            secret,
+            public: PublicKey::from_bytes(pub_bytes),
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// Internal: secret bytes, only visible to the sibling `sig` module.
+    pub(crate) fn secret(&self) -> &[u8; 32] {
+        &self.secret
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let a = KeyPair::derive(1, "ca:Campus Root");
+        let b = KeyPair::derive(1, "ca:Campus Root");
+        assert_eq!(a.public(), b.public());
+    }
+
+    #[test]
+    fn different_labels_different_keys() {
+        let a = KeyPair::derive(1, "ca:A");
+        let b = KeyPair::derive(1, "ca:B");
+        let c = KeyPair::derive(2, "ca:A");
+        assert_ne!(a.public(), b.public());
+        assert_ne!(a.public(), c.public());
+    }
+
+    #[test]
+    fn key_id_is_stable_and_20_bytes() {
+        let kp = KeyPair::derive(9, "leaf");
+        let id1 = kp.public().key_id();
+        let id2 = kp.public().key_id();
+        assert_eq!(id1, id2);
+        assert_eq!(kp.public().key_id_hex().len(), 40);
+    }
+
+    #[test]
+    fn public_key_round_trips_through_bytes() {
+        let kp = KeyPair::derive(3, "x");
+        let bytes = *kp.public().as_bytes();
+        assert_eq!(PublicKey::from_bytes(bytes), *kp.public());
+    }
+
+    #[test]
+    fn public_differs_from_secret() {
+        let kp = KeyPair::from_secret([7u8; 32]);
+        assert_ne!(kp.public().as_bytes(), &[7u8; 32]);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Simulated cryptography for the certificate-chain laboratory.
+//!
+//! Real measurement infrastructure verifies RSA/ECDSA signatures; this
+//! workspace replaces them with a *deterministic simulated* scheme
+//! ([`sig`]) built on a from-scratch SHA-256. The scheme has the one
+//! property the paper's experiments need — a signature verifies if and only
+//! if it was produced over exactly these TBS bytes by the holder of the
+//! claimed public key — while being cheap and dependency-free. It is **not**
+//! cryptographically secure and must never be used outside simulation.
+//!
+//! Contents:
+//! - [`sha256`]: FIPS 180-4 SHA-256, validated against NIST CAVP vectors.
+//! - [`hmac`]: HMAC-SHA256 (RFC 2104), used for deterministic derivation.
+//! - [`keys`]: simulated keypairs with stable key identifiers.
+//! - [`sig`]: the `SimSig` sign/verify operations.
+//! - [`rng`]: a splitmix64-based deterministic stream for id generation.
+
+pub mod hmac;
+pub mod keys;
+pub mod rng;
+pub mod sha256;
+pub mod sig;
+
+pub use keys::{KeyPair, PublicKey};
+pub use rng::SplitMix64;
+pub use sha256::Sha256;
+pub use sig::{sign, verify, Signature};

@@ -1,0 +1,93 @@
+//! SplitMix64 — a tiny deterministic PRNG used for id/serial generation
+//! inside the crypto layer (the workload crate uses `rand` for richer
+//! distributions; this stays dependency-free for the low-level crates).
+
+/// SplitMix64 stream (Steele, Lea & Flood 2014). Passes BigCrush when used
+/// as a 64-bit generator; here it only needs to be deterministic and well
+/// mixed.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded stream.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (rejection-free; fine for simulation).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // 128-bit multiply method (Lemire) — unbiased enough for simulation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Fill `buf` with pseudorandom bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_sequence() {
+        // First outputs for seed 0 (cross-checked against the reference
+        // C implementation of splitmix64).
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xe220a8397b1dcdaf);
+        assert_eq!(r.next_u64(), 0x6e789e6aa1b965f4);
+        assert_eq!(r.next_u64(), 0x06c45d188009454f);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn below_covers_range() {
+        let mut r = SplitMix64::new(11);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fill_bytes_handles_odd_lengths() {
+        let mut r = SplitMix64::new(3);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        // Not all zero (overwhelmingly likely).
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,131 @@
+//! `SimSig` — the simulated signature scheme.
+//!
+//! `sig = SHA256("simsig-v1" ‖ signer_public ‖ message)`.
+//!
+//! Properties relied upon by the workspace:
+//! - **Binding**: `verify(pub, msg, sig)` succeeds iff `sig` was produced
+//!   over exactly `msg` with exactly `pub` — so a certificate claiming
+//!   issuer X but actually signed by CA Y fails key-signature validation,
+//!   which is precisely the failure class the paper's Appendix D measures.
+//! - **Determinism**: no randomness, so traces regenerate identically.
+//!
+//! Non-property (accepted, documented in DESIGN.md): the scheme is not
+//! unforgeable — anyone holding the public key could compute a valid
+//! signature. Within the simulator, only [`sign`] produces signatures and it
+//! requires the [`KeyPair`] (secret included), preserving the authority
+//! model at the API level.
+
+use crate::keys::{KeyPair, PublicKey};
+use crate::sha256::Sha256;
+
+const DOMAIN: &[u8] = b"simsig-v1";
+
+/// A 32-byte simulated signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    bytes: [u8; 32],
+}
+
+impl Signature {
+    /// Wrap raw signature bytes (e.g. parsed from a certificate).
+    pub fn from_bytes(bytes: [u8; 32]) -> Signature {
+        Signature { bytes }
+    }
+
+    /// Parse from a slice; `None` when the length is wrong.
+    pub fn from_slice(slice: &[u8]) -> Option<Signature> {
+        let bytes: [u8; 32] = slice.try_into().ok()?;
+        Some(Signature { bytes })
+    }
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.bytes
+    }
+}
+
+/// Sign `message` with `signer`. Requires the full keypair: holding only a
+/// public key must not grant signing authority inside the simulator.
+pub fn sign(signer: &KeyPair, message: &[u8]) -> Signature {
+    // The secret is mixed in only via a debug assertion of consistency: the
+    // signature itself binds to the *public* key so that verification works
+    // with public information alone.
+    debug_assert_eq!(
+        KeyPair::from_secret(*signer.secret()).public(),
+        signer.public(),
+        "keypair invariant violated"
+    );
+    let mut h = Sha256::new();
+    h.update(DOMAIN);
+    h.update(signer.public().as_bytes());
+    h.update(message);
+    Signature {
+        bytes: h.finalize(),
+    }
+}
+
+/// Verify that `sig` is a valid signature over `message` by `signer_pub`.
+pub fn verify(signer_pub: &PublicKey, message: &[u8], sig: &Signature) -> bool {
+    let mut h = Sha256::new();
+    h.update(DOMAIN);
+    h.update(signer_pub.as_bytes());
+    h.update(message);
+    // Constant-time comparison is unnecessary in a simulator, but cheap.
+    h.finalize()
+        .iter()
+        .zip(sig.bytes.iter())
+        .fold(0u8, |acc, (a, b)| acc | (a ^ b))
+        == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let kp = KeyPair::derive(1, "ca");
+        let sig = sign(&kp, b"tbs certificate bytes");
+        assert!(verify(kp.public(), b"tbs certificate bytes", &sig));
+    }
+
+    #[test]
+    fn wrong_message_fails() {
+        let kp = KeyPair::derive(1, "ca");
+        let sig = sign(&kp, b"message A");
+        assert!(!verify(kp.public(), b"message B", &sig));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let signer = KeyPair::derive(1, "actual issuer");
+        let claimed = KeyPair::derive(1, "claimed issuer");
+        let sig = sign(&signer, b"tbs");
+        // The paper's impersonation scenario: chain says `claimed` issued
+        // the cert, but `signer` actually signed it.
+        assert!(!verify(claimed.public(), b"tbs", &sig));
+        assert!(verify(signer.public(), b"tbs", &sig));
+    }
+
+    #[test]
+    fn single_bit_flip_fails() {
+        let kp = KeyPair::derive(2, "ca");
+        let sig = sign(&kp, b"x");
+        let mut bad = *sig.as_bytes();
+        bad[0] ^= 1;
+        assert!(!verify(kp.public(), b"x", &Signature::from_bytes(bad)));
+    }
+
+    #[test]
+    fn from_slice_validates_length() {
+        assert!(Signature::from_slice(&[0u8; 31]).is_none());
+        assert!(Signature::from_slice(&[0u8; 33]).is_none());
+        assert!(Signature::from_slice(&[0u8; 32]).is_some());
+    }
+
+    #[test]
+    fn signatures_are_deterministic() {
+        let kp = KeyPair::derive(5, "ca");
+        assert_eq!(sign(&kp, b"m"), sign(&kp, b"m"));
+    }
+}

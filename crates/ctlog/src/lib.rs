@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! A Certificate Transparency log in the style of RFC 6962.
+//!
+//! The paper uses CT (via crt.sh) for two things:
+//! 1. **Interception detection** (§3.2.1): cross-reference the issuer a
+//!    client observed for a domain against the issuers CT recorded for that
+//!    domain and validity period — a mismatch suggests the connection was
+//!    intercepted.
+//! 2. **CT-compliance checking** (§4.2): leaf certificates issued by
+//!    non-public-DB issuers but anchored to public trust roots must be
+//!    CT-logged; the paper confirms all 26 such chains were.
+//!
+//! Both need an append-only, queryable log. This crate provides the full
+//! structure: a Merkle tree with inclusion and consistency proofs, signed
+//! certificate timestamps, and a domain index in the spirit of crt.sh.
+
+pub mod index;
+pub mod log;
+pub mod merkle;
+pub mod sct;
+
+pub use index::DomainIndex;
+pub use log::{CtLog, LoggedEntry, TreeHead};
+pub use merkle::MerkleTree;
+pub use sct::Sct;

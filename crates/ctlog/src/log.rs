@@ -1,0 +1,255 @@
+//! The CT log itself: append-only submission, signed tree heads, proofs.
+
+use crate::merkle::MerkleTree;
+use crate::sct::Sct;
+use certchain_asn1::Asn1Time;
+use certchain_cryptosim::{sign, verify, KeyPair, PublicKey, Sha256, Signature};
+use certchain_x509::{Certificate, Fingerprint};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One logged certificate.
+#[derive(Debug, Clone)]
+pub struct LoggedEntry {
+    /// Leaf index in the Merkle tree.
+    pub index: u64,
+    /// The certificate.
+    pub cert: Arc<Certificate>,
+    /// Submission time.
+    pub timestamp: Asn1Time,
+}
+
+/// A signed tree head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeHead {
+    /// Number of leaves.
+    pub tree_size: u64,
+    /// Root hash at `tree_size`.
+    pub root: [u8; 32],
+    /// Head timestamp.
+    pub timestamp: Asn1Time,
+    /// Log signature over `(tree_size, root, timestamp)`.
+    pub signature: Signature,
+}
+
+impl TreeHead {
+    /// Verify the head's signature.
+    pub fn verify(&self, log_pub: &PublicKey) -> bool {
+        verify(log_pub, &head_payload(self.tree_size, &self.root, self.timestamp), &self.signature)
+    }
+}
+
+fn head_payload(tree_size: u64, root: &[u8; 32], timestamp: Asn1Time) -> Vec<u8> {
+    let mut p = Vec::with_capacity(8 + 32 + 8);
+    p.extend_from_slice(&tree_size.to_be_bytes());
+    p.extend_from_slice(root);
+    p.extend_from_slice(&timestamp.unix_secs().to_be_bytes());
+    p
+}
+
+/// An append-only certificate transparency log.
+#[derive(Debug)]
+pub struct CtLog {
+    name: String,
+    key: KeyPair,
+    tree: MerkleTree,
+    entries: Vec<LoggedEntry>,
+    by_fingerprint: HashMap<Fingerprint, u64>,
+}
+
+impl CtLog {
+    /// Create a log with a key derived from `(seed, name)`.
+    pub fn new(seed: u64, name: &str) -> CtLog {
+        CtLog {
+            name: name.to_string(),
+            key: KeyPair::derive(seed, &format!("ctlog:{name}")),
+            tree: MerkleTree::new(),
+            entries: Vec::new(),
+            by_fingerprint: HashMap::new(),
+        }
+    }
+
+    /// The log's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The log's public key.
+    pub fn public_key(&self) -> &PublicKey {
+        self.key.public()
+    }
+
+    /// RFC 6962 log id: SHA-256 of the public key.
+    pub fn log_id(&self) -> [u8; 32] {
+        Sha256::digest(self.key.public().as_bytes())
+    }
+
+    /// Submit a certificate. Idempotent: re-submission returns a fresh SCT
+    /// for the existing entry without appending a duplicate leaf.
+    pub fn submit(&mut self, cert: Arc<Certificate>, at: Asn1Time) -> Sct {
+        let fp = cert.fingerprint();
+        if !self.by_fingerprint.contains_key(&fp) {
+            let index = self.tree.push(cert.der());
+            self.by_fingerprint.insert(fp, index);
+            self.entries.push(LoggedEntry {
+                index,
+                cert,
+                timestamp: at,
+            });
+        }
+        Sct::issue(&self.key, at, fp)
+    }
+
+    /// Whether a certificate is logged.
+    pub fn contains(&self, fingerprint: &Fingerprint) -> bool {
+        self.by_fingerprint.contains_key(fingerprint)
+    }
+
+    /// Entry for a certificate, if logged.
+    pub fn entry(&self, fingerprint: &Fingerprint) -> Option<&LoggedEntry> {
+        self.by_fingerprint
+            .get(fingerprint)
+            .map(|&i| &self.entries[i as usize])
+    }
+
+    /// All entries in append order.
+    pub fn entries(&self) -> &[LoggedEntry] {
+        &self.entries
+    }
+
+    /// Number of logged certificates.
+    pub fn len(&self) -> u64 {
+        self.tree.len()
+    }
+
+    /// Whether nothing is logged.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Current signed tree head.
+    pub fn tree_head(&self, at: Asn1Time) -> TreeHead {
+        let tree_size = self.tree.len();
+        let root = self.tree.root();
+        TreeHead {
+            tree_size,
+            root,
+            timestamp: at,
+            signature: sign(&self.key, &head_payload(tree_size, &root, at)),
+        }
+    }
+
+    /// Inclusion proof for a logged certificate against the current head.
+    pub fn prove_inclusion(&self, fingerprint: &Fingerprint) -> Option<(u64, Vec<[u8; 32]>)> {
+        let index = *self.by_fingerprint.get(fingerprint)?;
+        Some((index, self.tree.prove_inclusion(index)?))
+    }
+
+    /// Consistency proof from an older tree size to now.
+    pub fn prove_consistency(&self, old_size: u64) -> Option<Vec<[u8; 32]>> {
+        self.tree.prove_consistency(old_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merkle::{leaf_hash, verify_inclusion};
+    use certchain_x509::{CertificateBuilder, DistinguishedName, Serial, Validity};
+
+    fn t() -> Asn1Time {
+        Asn1Time::from_ymd_hms(2020, 9, 15, 0, 0, 0).unwrap()
+    }
+
+    fn cert(n: u64) -> Arc<Certificate> {
+        let kp = KeyPair::derive(n, "ct:test:ca");
+        CertificateBuilder::new()
+            .serial(Serial::from_u64(n))
+            .issuer(DistinguishedName::cn("CT Test CA"))
+            .subject(DistinguishedName::cn(&format!("host{n}.example.org")))
+            .validity(Validity::days_from(t(), 90))
+            .leaf_for(&format!("host{n}.example.org"))
+            .sign(&kp)
+            .into_arc()
+    }
+
+    #[test]
+    fn submit_issues_verifiable_sct() {
+        let mut log = CtLog::new(1, "campus-log");
+        let c = cert(1);
+        let sct = log.submit(Arc::clone(&c), t());
+        assert!(sct.verify(log.public_key()));
+        assert_eq!(sct.cert, c.fingerprint());
+        assert!(log.contains(&c.fingerprint()));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn resubmission_is_idempotent() {
+        let mut log = CtLog::new(1, "campus-log");
+        let c = cert(1);
+        log.submit(Arc::clone(&c), t());
+        log.submit(Arc::clone(&c), t().plus_days(1));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.entries().len(), 1);
+    }
+
+    #[test]
+    fn inclusion_proof_against_head() {
+        let mut log = CtLog::new(2, "proof-log");
+        let certs: Vec<_> = (0..17).map(cert).collect();
+        for c in &certs {
+            log.submit(Arc::clone(c), t());
+        }
+        let head = log.tree_head(t());
+        assert!(head.verify(log.public_key()));
+        for c in &certs {
+            let (index, proof) = log.prove_inclusion(&c.fingerprint()).unwrap();
+            assert!(verify_inclusion(
+                &leaf_hash(c.der()),
+                index,
+                head.tree_size,
+                &proof,
+                &head.root
+            ));
+        }
+    }
+
+    #[test]
+    fn consistency_across_growth() {
+        let mut log = CtLog::new(3, "grow-log");
+        for i in 0..5 {
+            log.submit(cert(i), t());
+        }
+        let old = log.tree_head(t());
+        for i in 5..12 {
+            log.submit(cert(i), t().plus_days(1));
+        }
+        let new = log.tree_head(t().plus_days(1));
+        let proof = log.prove_consistency(old.tree_size).unwrap();
+        assert!(crate::merkle::verify_consistency(
+            old.tree_size,
+            &old.root,
+            new.tree_size,
+            &new.root,
+            &proof
+        ));
+    }
+
+    #[test]
+    fn unknown_certificate_has_no_proof() {
+        let log = CtLog::new(4, "empty-log");
+        assert!(log.prove_inclusion(&Fingerprint([0; 32])).is_none());
+        assert!(log.entry(&Fingerprint([0; 32])).is_none());
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn tampered_head_fails_verification() {
+        let mut log = CtLog::new(5, "tamper-log");
+        log.submit(cert(1), t());
+        let mut head = log.tree_head(t());
+        head.tree_size += 1;
+        assert!(!head.verify(log.public_key()));
+    }
+}

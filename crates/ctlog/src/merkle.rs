@@ -1,0 +1,405 @@
+//! RFC 6962 §2.1 Merkle hash trees with inclusion and consistency proofs.
+
+use certchain_cryptosim::Sha256;
+
+/// Domain-separation prefixes from RFC 6962.
+const LEAF_PREFIX: &[u8] = &[0x00];
+const NODE_PREFIX: &[u8] = &[0x01];
+
+/// Hash of a leaf input.
+pub fn leaf_hash(data: &[u8]) -> [u8; 32] {
+    Sha256::digest2(LEAF_PREFIX, data)
+}
+
+/// Hash of an interior node.
+pub fn node_hash(left: &[u8; 32], right: &[u8; 32]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(NODE_PREFIX);
+    h.update(left);
+    h.update(right);
+    h.finalize()
+}
+
+/// An append-only Merkle tree over leaf *inputs* (hashing applied here).
+///
+/// ```
+/// use certchain_ctlog::merkle::{leaf_hash, verify_inclusion, MerkleTree};
+/// let mut tree = MerkleTree::new();
+/// for i in 0..5u8 {
+///     tree.push(&[i]);
+/// }
+/// let proof = tree.prove_inclusion(2).unwrap();
+/// assert!(verify_inclusion(&leaf_hash(&[2]), 2, tree.len(), &proof, &tree.root()));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct MerkleTree {
+    leaves: Vec<[u8; 32]>,
+}
+
+impl MerkleTree {
+    /// Empty tree.
+    pub fn new() -> MerkleTree {
+        MerkleTree::default()
+    }
+
+    /// Append a leaf input; returns its index.
+    pub fn push(&mut self, data: &[u8]) -> u64 {
+        self.leaves.push(leaf_hash(data));
+        (self.leaves.len() - 1) as u64
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> u64 {
+        self.leaves.len() as u64
+    }
+
+    /// Whether the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Merkle tree head over the current leaves (RFC 6962 MTH).
+    /// The empty tree hashes to `SHA256("")`.
+    pub fn root(&self) -> [u8; 32] {
+        self.root_of_prefix(self.leaves.len())
+    }
+
+    /// MTH over the first `n` leaves (for consistency proofs).
+    pub fn root_of_prefix(&self, n: usize) -> [u8; 32] {
+        assert!(n <= self.leaves.len(), "prefix beyond tree size");
+        mth(&self.leaves[..n])
+    }
+
+    /// Inclusion proof (audit path) for `index` in the tree of size `len()`.
+    pub fn prove_inclusion(&self, index: u64) -> Option<Vec<[u8; 32]>> {
+        if index >= self.len() {
+            return None;
+        }
+        Some(audit_path(index as usize, &self.leaves))
+    }
+
+    /// Consistency proof between the tree of size `old` and the current
+    /// tree (RFC 6962 §2.1.2).
+    pub fn prove_consistency(&self, old: u64) -> Option<Vec<[u8; 32]>> {
+        let n = self.leaves.len();
+        let m = old as usize;
+        if m == 0 || m > n {
+            return None;
+        }
+        Some(sub_proof(m, &self.leaves[..n], true))
+    }
+}
+
+/// MTH(D) per RFC 6962.
+fn mth(leaves: &[[u8; 32]]) -> [u8; 32] {
+    match leaves.len() {
+        0 => Sha256::digest(b""),
+        1 => leaves[0],
+        n => {
+            let k = largest_power_of_two_below(n);
+            node_hash(&mth(&leaves[..k]), &mth(&leaves[k..]))
+        }
+    }
+}
+
+/// PATH(m, D) per RFC 6962 §2.1.1.
+fn audit_path(m: usize, leaves: &[[u8; 32]]) -> Vec<[u8; 32]> {
+    let n = leaves.len();
+    if n <= 1 {
+        return Vec::new();
+    }
+    let k = largest_power_of_two_below(n);
+    if m < k {
+        let mut path = audit_path(m, &leaves[..k]);
+        path.push(mth(&leaves[k..]));
+        path
+    } else {
+        let mut path = audit_path(m - k, &leaves[k..]);
+        path.push(mth(&leaves[..k]));
+        path
+    }
+}
+
+/// SUBPROOF(m, D, b) per RFC 6962 §2.1.2.
+fn sub_proof(m: usize, leaves: &[[u8; 32]], b: bool) -> Vec<[u8; 32]> {
+    let n = leaves.len();
+    if m == n {
+        if b {
+            return Vec::new();
+        }
+        return vec![mth(leaves)];
+    }
+    let k = largest_power_of_two_below(n);
+    if m <= k {
+        let mut proof = sub_proof(m, &leaves[..k], b);
+        proof.push(mth(&leaves[k..]));
+        proof
+    } else {
+        let mut proof = sub_proof(m - k, &leaves[k..], false);
+        proof.push(mth(&leaves[..k]));
+        proof
+    }
+}
+
+/// Verify an inclusion proof: does `leaf` at `index` in a tree of
+/// `tree_size` leaves hash up to `root`? (RFC 6962 §2.1.3 verification.)
+pub fn verify_inclusion(
+    leaf: &[u8; 32],
+    index: u64,
+    tree_size: u64,
+    proof: &[[u8; 32]],
+    root: &[u8; 32],
+) -> bool {
+    if index >= tree_size {
+        return false;
+    }
+    let mut fn_ = index;
+    let mut sn = tree_size - 1;
+    let mut r = *leaf;
+    for p in proof {
+        if sn == 0 {
+            return false;
+        }
+        if fn_ & 1 == 1 || fn_ == sn {
+            r = node_hash(p, &r);
+            while fn_ & 1 == 0 {
+                fn_ >>= 1;
+                sn >>= 1;
+                if fn_ == 0 && sn == 0 {
+                    break;
+                }
+            }
+        } else {
+            r = node_hash(&r, p);
+        }
+        fn_ >>= 1;
+        sn >>= 1;
+    }
+    sn == 0 && r == *root
+}
+
+/// Verify a consistency proof between `(old_size, old_root)` and
+/// `(new_size, new_root)` (RFC 6962 §2.1.4 verification).
+pub fn verify_consistency(
+    old_size: u64,
+    old_root: &[u8; 32],
+    new_size: u64,
+    new_root: &[u8; 32],
+    proof: &[[u8; 32]],
+) -> bool {
+    if old_size == new_size {
+        return proof.is_empty() && old_root == new_root;
+    }
+    if old_size == 0 || old_size > new_size {
+        return false;
+    }
+    let mut node = old_size - 1;
+    let mut last_node = new_size - 1;
+    while node & 1 == 1 {
+        node >>= 1;
+        last_node >>= 1;
+    }
+    let mut proof_iter = proof.iter();
+    let (mut new_hash, mut old_hash) = if node != 0 {
+        let first = match proof_iter.next() {
+            Some(h) => *h,
+            None => return false,
+        };
+        (first, first)
+    } else {
+        (*old_root, *old_root)
+    };
+    while node != 0 {
+        if node & 1 == 1 {
+            let Some(p) = proof_iter.next() else {
+                return false;
+            };
+            old_hash = node_hash(p, &old_hash);
+            new_hash = node_hash(p, &new_hash);
+        } else if node < last_node {
+            let Some(p) = proof_iter.next() else {
+                return false;
+            };
+            new_hash = node_hash(&new_hash, p);
+        }
+        node >>= 1;
+        last_node >>= 1;
+    }
+    while last_node != 0 {
+        let Some(p) = proof_iter.next() else {
+            return false;
+        };
+        new_hash = node_hash(&new_hash, p);
+        last_node >>= 1;
+    }
+    proof_iter.next().is_none() && new_hash == *new_root && old_hash == *old_root
+}
+
+fn largest_power_of_two_below(n: usize) -> usize {
+    debug_assert!(n > 1);
+    let mut k = 1usize;
+    while k * 2 < n {
+        k *= 2;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certchain_cryptosim::sha256::hex;
+
+    /// RFC 6962 / Go merkle test vectors for trees over the inputs
+    /// "" … used by certificate-transparency-go.
+    fn rfc_inputs() -> Vec<Vec<u8>> {
+        vec![
+            vec![],
+            vec![0x00],
+            vec![0x10],
+            vec![0x20, 0x21],
+            vec![0x30, 0x31],
+            vec![0x40, 0x41, 0x42, 0x43],
+            vec![0x50, 0x51, 0x52, 0x53, 0x54, 0x55, 0x56, 0x57],
+            vec![
+                0x60, 0x61, 0x62, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x6b, 0x6c,
+                0x6d, 0x6e, 0x6f,
+            ],
+        ]
+    }
+
+    #[test]
+    fn empty_tree_root() {
+        let tree = MerkleTree::new();
+        assert_eq!(
+            hex(&tree.root()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    /// Known-answer roots from the certificate-transparency reference tests.
+    #[test]
+    fn reference_roots() {
+        let inputs = rfc_inputs();
+        let mut tree = MerkleTree::new();
+        let expected = [
+            "6e340b9cffb37a989ca544e6bb780a2c78901d3fb33738768511a30617afa01d",
+            "fac54203e7cc696cf0dfcb42c92a1d9dbaf70ad9e621f4bd8d98662f00e3c125",
+            "aeb6bcfe274b70a14fb067a5e5578264db0fa9b51af5e0ba159158f329e06e77",
+            "d37ee418976dd95753c1c73862b9398fa2a2cf9b4ff0fdfe8b30cd95209614b7",
+            "4e3bbb1f7b478dcfe71fb631631519a3bca12c9aefca1612bfce4c13a86264d4",
+            "76e67dadbcdf1e10e1b74ddc608abd2f98dfb16fbce75277b5232a127f2087ef",
+            "ddb89be403809e325750d3d263cd78929c2942b7942a34b77e122c9594a74c8c",
+            "5dc9da79a70659a9ad559cb701ded9a2ab9d823aad2f4960cfe370eff4604328",
+        ];
+        for (i, input) in inputs.iter().enumerate() {
+            tree.push(input);
+            assert_eq!(hex(&tree.root()), expected[i], "root after {} leaves", i + 1);
+        }
+    }
+
+    #[test]
+    fn inclusion_proofs_verify_for_all_sizes() {
+        let mut tree = MerkleTree::new();
+        for i in 0u64..33 {
+            tree.push(format!("leaf-{i}").as_bytes());
+        }
+        let root = tree.root();
+        let size = tree.len();
+        for i in 0..size {
+            let proof = tree.prove_inclusion(i).unwrap();
+            let leaf = leaf_hash(format!("leaf-{i}").as_bytes());
+            assert!(
+                verify_inclusion(&leaf, i, size, &proof, &root),
+                "inclusion of leaf {i}"
+            );
+            // Wrong index must fail.
+            let wrong = (i + 1) % size;
+            if wrong != i {
+                assert!(!verify_inclusion(&leaf, wrong, size, &proof, &root));
+            }
+            // Wrong leaf must fail.
+            let bogus = leaf_hash(b"bogus");
+            assert!(!verify_inclusion(&bogus, i, size, &proof, &root));
+        }
+    }
+
+    #[test]
+    fn inclusion_proof_out_of_range() {
+        let mut tree = MerkleTree::new();
+        tree.push(b"only");
+        assert!(tree.prove_inclusion(1).is_none());
+        assert!(tree.prove_inclusion(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn consistency_proofs_verify_for_all_pairs() {
+        let mut tree = MerkleTree::new();
+        let mut roots = vec![];
+        for i in 0u64..20 {
+            tree.push(format!("entry-{i}").as_bytes());
+            roots.push(tree.root());
+        }
+        let new_size = tree.len();
+        let new_root = tree.root();
+        for old in 1..=new_size {
+            let proof = tree.prove_consistency(old).unwrap();
+            let old_root = &roots[(old - 1) as usize];
+            assert!(
+                verify_consistency(old, old_root, new_size, &new_root, &proof),
+                "consistency {old} -> {new_size}"
+            );
+            // Tampered old root must fail.
+            let mut bad = *old_root;
+            bad[0] ^= 1;
+            assert!(!verify_consistency(old, &bad, new_size, &new_root, &proof));
+        }
+    }
+
+    #[test]
+    fn consistency_same_size_is_trivial() {
+        let mut tree = MerkleTree::new();
+        tree.push(b"a");
+        tree.push(b"b");
+        let root = tree.root();
+        let proof = tree.prove_consistency(2).unwrap();
+        assert!(proof.is_empty());
+        assert!(verify_consistency(2, &root, 2, &root, &proof));
+    }
+
+    #[test]
+    fn consistency_rejects_bad_sizes() {
+        let mut tree = MerkleTree::new();
+        tree.push(b"a");
+        assert!(tree.prove_consistency(0).is_none());
+        assert!(tree.prove_consistency(2).is_none());
+    }
+
+    #[test]
+    fn append_only_property() {
+        // Appending must never change proofs for already-proven prefixes.
+        let mut tree = MerkleTree::new();
+        for i in 0..7 {
+            tree.push(format!("x{i}").as_bytes());
+        }
+        let old_size = tree.len();
+        let old_root = tree.root();
+        for i in 7..23 {
+            tree.push(format!("x{i}").as_bytes());
+            let proof = tree.prove_consistency(old_size).unwrap();
+            assert!(verify_consistency(
+                old_size,
+                &old_root,
+                tree.len(),
+                &tree.root(),
+                &proof
+            ));
+        }
+    }
+
+    #[test]
+    fn leaf_and_node_hashes_are_domain_separated() {
+        let a = [0u8; 32];
+        let b = [0u8; 32];
+        assert_ne!(leaf_hash(&[0u8; 64]), node_hash(&a, &b));
+    }
+}

@@ -1,0 +1,131 @@
+//! Signed Certificate Timestamps.
+
+use certchain_asn1::Asn1Time;
+use certchain_cryptosim::{sign, verify, KeyPair, PublicKey, Sha256, Signature};
+use certchain_x509::Fingerprint;
+
+/// A signed certificate timestamp issued by a log at submission time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sct {
+    /// SHA-256 of the log's public key (RFC 6962 log id).
+    pub log_id: [u8; 32],
+    /// Submission time.
+    pub timestamp: Asn1Time,
+    /// The certificate the SCT covers.
+    pub cert: Fingerprint,
+    /// Log signature over `(log_id, timestamp, cert)`.
+    pub signature: Signature,
+}
+
+fn signed_payload(log_id: &[u8; 32], timestamp: Asn1Time, cert: &Fingerprint) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(32 + 8 + 32);
+    payload.extend_from_slice(log_id);
+    payload.extend_from_slice(&timestamp.unix_secs().to_be_bytes());
+    payload.extend_from_slice(&cert.0);
+    payload
+}
+
+impl Sct {
+    /// Issue an SCT under the log's key.
+    pub fn issue(log_key: &KeyPair, timestamp: Asn1Time, cert: Fingerprint) -> Sct {
+        let log_id = Sha256::digest(log_key.public().as_bytes());
+        let signature = sign(log_key, &signed_payload(&log_id, timestamp, &cert));
+        Sct {
+            log_id,
+            timestamp,
+            cert,
+            signature,
+        }
+    }
+
+    /// Verify against the log's public key.
+    pub fn verify(&self, log_pub: &PublicKey) -> bool {
+        if self.log_id != Sha256::digest(log_pub.as_bytes()) {
+            return false;
+        }
+        verify(
+            log_pub,
+            &signed_payload(&self.log_id, self.timestamp, &self.cert),
+            &self.signature,
+        )
+    }
+
+    /// Opaque serialization for embedding in a certificate's SCT-list
+    /// extension.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + 8 + 32 + 32);
+        out.extend_from_slice(&self.log_id);
+        out.extend_from_slice(&self.timestamp.unix_secs().to_be_bytes());
+        out.extend_from_slice(&self.cert.0);
+        out.extend_from_slice(self.signature.as_bytes());
+        out
+    }
+
+    /// Parse the serialization from [`Sct::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Sct> {
+        if bytes.len() != 104 {
+            return None;
+        }
+        let mut log_id = [0u8; 32];
+        log_id.copy_from_slice(&bytes[..32]);
+        let ts = u64::from_be_bytes(bytes[32..40].try_into().ok()?);
+        let mut cert = [0u8; 32];
+        cert.copy_from_slice(&bytes[40..72]);
+        let signature = Signature::from_slice(&bytes[72..104])?;
+        Some(Sct {
+            log_id,
+            timestamp: Asn1Time::from_unix(ts),
+            cert: Fingerprint(cert),
+            signature,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Asn1Time {
+        Asn1Time::from_ymd_hms(2020, 10, 5, 12, 0, 0).unwrap()
+    }
+
+    #[test]
+    fn issue_and_verify() {
+        let log_key = KeyPair::derive(1, "ct:log");
+        let sct = Sct::issue(&log_key, t(), Fingerprint([7; 32]));
+        assert!(sct.verify(log_key.public()));
+    }
+
+    #[test]
+    fn wrong_log_key_fails() {
+        let log_key = KeyPair::derive(1, "ct:log");
+        let other = KeyPair::derive(2, "ct:other");
+        let sct = Sct::issue(&log_key, t(), Fingerprint([7; 32]));
+        assert!(!sct.verify(other.public()));
+    }
+
+    #[test]
+    fn tampered_timestamp_fails() {
+        let log_key = KeyPair::derive(1, "ct:log");
+        let mut sct = Sct::issue(&log_key, t(), Fingerprint([7; 32]));
+        sct.timestamp = sct.timestamp.plus_secs(1);
+        assert!(!sct.verify(log_key.public()));
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let log_key = KeyPair::derive(3, "ct:log");
+        let sct = Sct::issue(&log_key, t(), Fingerprint([9; 32]));
+        let bytes = sct.to_bytes();
+        assert_eq!(bytes.len(), 104);
+        let parsed = Sct::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, sct);
+        assert!(parsed.verify(log_key.public()));
+    }
+
+    #[test]
+    fn from_bytes_validates_length() {
+        assert!(Sct::from_bytes(&[0u8; 103]).is_none());
+        assert!(Sct::from_bytes(&[0u8; 105]).is_none());
+    }
+}

@@ -1,0 +1,95 @@
+//! Clients and their validation behaviour.
+
+use crate::validate::ValidationPolicy;
+use std::net::Ipv4Addr;
+
+/// How a client validates and whether it sends SNI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientPolicy {
+    /// Validation strategy.
+    pub validation: ValidationPolicy,
+    /// Whether the client sends SNI when it knows the server's domain.
+    pub sends_sni: bool,
+}
+
+impl ClientPolicy {
+    /// A desktop browser: builds paths, sends SNI.
+    pub fn browser() -> ClientPolicy {
+        ClientPolicy {
+            validation: ValidationPolicy::Browser,
+            sends_sni: true,
+        }
+    }
+
+    /// A strict library client validating the presented chain, with SNI.
+    pub fn strict() -> ClientPolicy {
+        ClientPolicy {
+            validation: ValidationPolicy::StrictPresented,
+            sends_sni: true,
+        }
+    }
+
+    /// A pinning / non-validating client that sends SNI.
+    pub fn permissive() -> ClientPolicy {
+        ClientPolicy {
+            validation: ValidationPolicy::Permissive,
+            sends_sni: true,
+        }
+    }
+
+    /// A non-validating client that also omits SNI (IoT devices, raw-IP
+    /// clients — the bulk of single-certificate non-public-DB traffic,
+    /// 86.70% of which the paper observed without SNI).
+    pub fn permissive_no_sni() -> ClientPolicy {
+        ClientPolicy {
+            validation: ValidationPolicy::Permissive,
+            sends_sni: false,
+        }
+    }
+}
+
+/// A client host behind the campus NAT.
+#[derive(Debug, Clone)]
+pub struct Client {
+    /// The NAT'd public address the monitor sees. Multiple clients can
+    /// share one address.
+    pub ip: Ipv4Addr,
+    /// Behaviour profile.
+    pub policy: ClientPolicy,
+}
+
+impl Client {
+    /// Construct a client.
+    pub fn new(ip: Ipv4Addr, policy: ClientPolicy) -> Client {
+        Client { ip, policy }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles() {
+        assert_eq!(ClientPolicy::browser().validation, ValidationPolicy::Browser);
+        assert!(ClientPolicy::browser().sends_sni);
+        assert_eq!(
+            ClientPolicy::strict().validation,
+            ValidationPolicy::StrictPresented
+        );
+        assert!(!ClientPolicy::permissive_no_sni().sends_sni);
+        assert_eq!(
+            ClientPolicy::permissive_no_sni().validation,
+            ValidationPolicy::Permissive
+        );
+    }
+
+    #[test]
+    fn clients_share_nat_ips() {
+        let ip = Ipv4Addr::new(128, 143, 1, 10);
+        let a = Client::new(ip, ClientPolicy::browser());
+        let b = Client::new(ip, ClientPolicy::strict());
+        assert_eq!(a.ip, b.ip);
+        assert_ne!(a.policy, b.policy);
+    }
+}

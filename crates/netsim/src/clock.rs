@@ -1,0 +1,78 @@
+//! The simulated clock.
+//!
+//! Nothing in the workspace reads wall-clock time; every timestamp flows
+//! from a `SimClock` advanced by the trace generator. This keeps runs
+//! byte-reproducible.
+
+use certchain_asn1::Asn1Time;
+
+/// A monotonically advancing simulated clock.
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    now: Asn1Time,
+}
+
+impl SimClock {
+    /// Start at the given time.
+    pub fn starting_at(start: Asn1Time) -> SimClock {
+        SimClock { now: start }
+    }
+
+    /// Start at the paper's collection-window start (2020-09-01T00:00:00Z).
+    pub fn campus_window_start() -> SimClock {
+        SimClock::starting_at(Asn1Time::from_ymd_hms(2020, 9, 1, 0, 0, 0).expect("valid date"))
+    }
+
+    /// End of the paper's collection window (2021-08-31T23:59:59Z).
+    pub fn campus_window_end() -> Asn1Time {
+        Asn1Time::from_ymd_hms(2021, 8, 31, 23, 59, 59).expect("valid date")
+    }
+
+    /// The retrospective scan date (November 2024).
+    pub fn revisit_time() -> Asn1Time {
+        Asn1Time::from_ymd_hms(2024, 11, 15, 0, 0, 0).expect("valid date")
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Asn1Time {
+        self.now
+    }
+
+    /// Advance by `secs` seconds and return the new time.
+    pub fn advance_secs(&mut self, secs: u64) -> Asn1Time {
+        self.now = self.now.plus_secs(secs);
+        self.now
+    }
+
+    /// Advance by whole days.
+    pub fn advance_days(&mut self, days: u64) -> Asn1Time {
+        self.now = self.now.plus_days(days);
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campus_window_constants() {
+        let clock = SimClock::campus_window_start();
+        assert_eq!(clock.now().to_string(), "2020-09-01T00:00:00Z");
+        assert_eq!(
+            SimClock::campus_window_end().to_string(),
+            "2021-08-31T23:59:59Z"
+        );
+        assert!(SimClock::revisit_time() > SimClock::campus_window_end());
+    }
+
+    #[test]
+    fn advance_is_monotonic() {
+        let mut clock = SimClock::campus_window_start();
+        let t0 = clock.now();
+        let t1 = clock.advance_secs(30);
+        let t2 = clock.advance_days(1);
+        assert!(t0 < t1 && t1 < t2);
+        assert_eq!(t2.unix_secs() - t0.unix_secs(), 30 + 86_400);
+    }
+}

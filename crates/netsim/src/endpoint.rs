@@ -1,0 +1,119 @@
+//! Server endpoints: what a server *presents*, verbatim.
+
+use certchain_x509::Certificate;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// A TLS server endpoint.
+///
+/// The chain is stored in *delivery order* — the exact sequence the server
+/// sends in its Certificate message — and is never normalized. Every
+/// misconfiguration the paper catalogs (unnecessary certificates, leading
+/// stray leaves, appended staging roots, truncated chains) lives in this
+/// ordering.
+#[derive(Debug, Clone)]
+pub struct ServerEndpoint {
+    /// Stable identifier within the simulation.
+    pub id: u64,
+    /// Server IP.
+    pub ip: Ipv4Addr,
+    /// Listening port (443 for plain HTTPS; the paper's Appendix C shows a
+    /// long tail: 8013 for Fortinet interception, 8888, 33854, …).
+    pub port: u16,
+    /// The domain this endpoint nominally serves, when it has one. Servers
+    /// reached without SNI (86.70% of single-cert non-public-DB traffic)
+    /// may still have a domain; clients simply do not send it.
+    pub domain: Option<String>,
+    /// Certificate chain in delivery order.
+    pub chain: Vec<Arc<Certificate>>,
+}
+
+impl ServerEndpoint {
+    /// Construct an endpoint.
+    pub fn new(
+        id: u64,
+        ip: Ipv4Addr,
+        port: u16,
+        domain: Option<String>,
+        chain: Vec<Arc<Certificate>>,
+    ) -> ServerEndpoint {
+        ServerEndpoint {
+            id,
+            ip,
+            port,
+            domain,
+            chain,
+        }
+    }
+
+    /// Length of the delivered chain.
+    pub fn chain_len(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// The first-presented certificate (what clients treat as the leaf).
+    pub fn first_cert(&self) -> Option<&Arc<Certificate>> {
+        self.chain.first()
+    }
+
+    /// Replace the delivered chain (used by the ecosystem-evolution
+    /// operators for the 2024 revisit).
+    pub fn set_chain(&mut self, chain: Vec<Arc<Certificate>>) {
+        self.chain = chain;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certchain_asn1::Asn1Time;
+    use certchain_cryptosim::KeyPair;
+    use certchain_x509::{CertificateBuilder, DistinguishedName, Validity};
+
+    fn cert(name: &str) -> Arc<Certificate> {
+        let kp = KeyPair::derive(1, name);
+        let dn = DistinguishedName::cn(name);
+        CertificateBuilder::new()
+            .issuer(dn.clone())
+            .subject(dn)
+            .validity(Validity::days_from(
+                Asn1Time::from_ymd_hms(2020, 9, 1, 0, 0, 0).unwrap(),
+                90,
+            ))
+            .sign(&kp)
+            .into_arc()
+    }
+
+    #[test]
+    fn delivery_order_is_preserved() {
+        let chain = vec![cert("b"), cert("a"), cert("c")];
+        let ep = ServerEndpoint::new(
+            1,
+            Ipv4Addr::new(203, 0, 113, 7),
+            443,
+            Some("x.org".into()),
+            chain.clone(),
+        );
+        assert_eq!(ep.chain_len(), 3);
+        let names: Vec<_> = ep
+            .chain
+            .iter()
+            .map(|c| c.subject.common_name().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["b", "a", "c"]);
+        assert_eq!(ep.first_cert().unwrap().subject.common_name(), Some("b"));
+    }
+
+    #[test]
+    fn set_chain_replaces() {
+        let mut ep = ServerEndpoint::new(
+            1,
+            Ipv4Addr::new(203, 0, 113, 7),
+            8013,
+            None,
+            vec![cert("old")],
+        );
+        ep.set_chain(vec![cert("new1"), cert("new2")]);
+        assert_eq!(ep.chain_len(), 2);
+    }
+}

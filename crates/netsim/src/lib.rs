@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Campus-network TLS simulation with Zeek-style logging.
+//!
+//! This crate is the measurement substrate: servers that deliver certificate
+//! chains exactly as configured (including every misconfiguration), clients
+//! with differing validation policies, a handshake simulation whose outcome
+//! populates the `established` field, a NAT model for client addressing,
+//! and writers/readers for the two Zeek log streams the paper consumes
+//! (`ssl.log` and `x509.log`).
+//!
+//! Faithfulness notes:
+//! - `x509.log` records carry *no public keys or signatures*, matching the
+//!   paper's collection constraints (§4.2 "the X509 logs did not capture
+//!   public keys and signatures").
+//! - TLS 1.3 connections hide the certificate chain from the passive
+//!   monitor; their SSL records carry no fingerprints (§6.3).
+//! - A single NAT'd client IP can represent many internal clients (§3.2.2).
+
+pub mod client;
+pub mod clock;
+pub mod endpoint;
+pub mod handshake;
+pub mod nat;
+pub mod validate;
+pub mod zeek;
+
+pub use client::{Client, ClientPolicy};
+pub use clock::SimClock;
+pub use endpoint::ServerEndpoint;
+pub use handshake::{simulate_connection, ConnectionOutcome, TlsVersion};
+pub use validate::{validate_chain, ValidationError, ValidationPolicy};
+pub use zeek::record::{SslRecord, X509Record};

@@ -1,0 +1,84 @@
+//! The campus NAT: many internal clients, fewer public addresses.
+//!
+//! The paper notes (§3.2.2) that "a single client IP may represent multiple
+//! clients, as our network traffic is subject to NAT". The generator
+//! allocates internal clients onto a bounded pool of public addresses.
+
+use std::net::Ipv4Addr;
+
+/// A deterministic NAT address pool.
+#[derive(Debug, Clone)]
+pub struct NatPool {
+    base: u32,
+    size: u32,
+}
+
+impl NatPool {
+    /// A pool of `size` addresses starting at `base`.
+    pub fn new(base: Ipv4Addr, size: u32) -> NatPool {
+        assert!(size > 0, "NAT pool must have at least one address");
+        NatPool {
+            base: u32::from(base),
+            size,
+        }
+    }
+
+    /// The campus pool used by the default calibration: a /16-ish block.
+    pub fn campus(size: u32) -> NatPool {
+        NatPool::new(Ipv4Addr::new(128, 143, 0, 0), size)
+    }
+
+    /// Public address for internal client `client_id`. Stable: the same
+    /// client always maps to the same address; multiple clients share one.
+    pub fn public_ip(&self, client_id: u64) -> Ipv4Addr {
+        // Splitmix-style mix so adjacent ids spread across the pool while
+        // staying deterministic.
+        let mut z = client_id.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let slot = (z ^ (z >> 31)) % self.size as u64;
+        Ipv4Addr::from(self.base + slot as u32)
+    }
+
+    /// Number of public addresses.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mapping_is_stable() {
+        let pool = NatPool::campus(1000);
+        assert_eq!(pool.public_ip(42), pool.public_ip(42));
+    }
+
+    #[test]
+    fn many_clients_fit_in_pool() {
+        let pool = NatPool::campus(100);
+        let ips: HashSet<_> = (0u64..10_000).map(|id| pool.public_ip(id)).collect();
+        assert!(ips.len() <= 100);
+        // With 10k clients over 100 slots the pool should be saturated.
+        assert_eq!(ips.len(), 100);
+    }
+
+    #[test]
+    fn addresses_come_from_the_block() {
+        let pool = NatPool::new(Ipv4Addr::new(10, 0, 0, 0), 256);
+        for id in 0..500 {
+            let ip = pool.public_ip(id);
+            let octets = ip.octets();
+            assert_eq!((octets[0], octets[1], octets[2]), (10, 0, 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one address")]
+    fn zero_pool_panics() {
+        NatPool::campus(0);
+    }
+}

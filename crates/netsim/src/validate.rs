@@ -1,0 +1,626 @@
+//! Chain validation policies.
+//!
+//! The paper's §5/§6.1 finding is that the *same* delivered chain validates
+//! differently depending on the client's strategy:
+//!
+//! - **Browser** (Chrome-like): searches the presented certificates for a
+//!   suitable end-entity certificate and builds a path using both the
+//!   presented set and the maintained trust databases. Unnecessary
+//!   certificates are simply ignored; order does not matter.
+//! - **StrictPresented** (OpenSSL-with-presented-chain-like): treats the
+//!   first certificate as the entity certificate and walks the presented
+//!   order; every adjacent pair must link by issuer–subject and signature,
+//!   and the walk must end at a trust anchor. Unnecessary certificates —
+//!   before or after the real path — break validation.
+//! - **Permissive**: accepts any non-empty chain (clients that pin, skip
+//!   verification, or have the private root installed locally; without
+//!   these, non-public-DB-only connections could never establish, yet the
+//!   paper observes hundreds of millions that do).
+
+use certchain_asn1::Asn1Time;
+use certchain_trust::TrustDb;
+use certchain_x509::Certificate;
+use std::fmt;
+use std::sync::Arc;
+
+/// Which validation strategy a client applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValidationPolicy {
+    /// Chrome-like path building against maintained stores.
+    Browser,
+    /// OpenSSL-like strict walk of the presented chain.
+    StrictPresented,
+    /// No validation (pinning / local trust / disabled verification).
+    Permissive,
+}
+
+/// Why validation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The server presented no certificates.
+    EmptyChain,
+    /// No path from any acceptable leaf to a trust anchor could be built.
+    NoPathToTrustAnchor,
+    /// Adjacent presented certificates do not link (strict policy);
+    /// `index` is the position of the child whose issuer mismatched.
+    IssuerSubjectMismatch {
+        /// Position of the child whose issuer mismatched.
+        index: usize,
+    },
+    /// A signature along the walked path failed; `index` is the child.
+    SignatureInvalid {
+        /// Position of the child whose signature failed.
+        index: usize,
+    },
+    /// A certificate on the path is outside its validity window.
+    OutsideValidity {
+        /// Position of the certificate outside its window.
+        index: usize,
+    },
+    /// The SNI does not match the entity certificate's names.
+    NameMismatch,
+    /// The walk completed but terminated at an untrusted (e.g. private
+    /// self-signed) anchor.
+    UntrustedAnchor,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::EmptyChain => write!(f, "empty certificate chain"),
+            ValidationError::NoPathToTrustAnchor => {
+                write!(f, "unable to build a path to a trust anchor")
+            }
+            ValidationError::IssuerSubjectMismatch { index } => {
+                write!(f, "issuer/subject mismatch above certificate {index}")
+            }
+            ValidationError::SignatureInvalid { index } => {
+                write!(f, "signature of certificate {index} does not verify")
+            }
+            ValidationError::OutsideValidity { index } => {
+                write!(f, "certificate {index} outside its validity window")
+            }
+            ValidationError::NameMismatch => write!(f, "server name mismatch"),
+            ValidationError::UntrustedAnchor => write!(f, "chain anchors at an untrusted root"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validate `chain` under `policy`.
+///
+/// `sni` is the name the client asked for (when it sent one); `at` is the
+/// handshake time.
+pub fn validate_chain(
+    policy: ValidationPolicy,
+    chain: &[Arc<Certificate>],
+    trust: &TrustDb,
+    at: Asn1Time,
+    sni: Option<&str>,
+) -> Result<(), ValidationError> {
+    if chain.is_empty() {
+        return Err(ValidationError::EmptyChain);
+    }
+    match policy {
+        ValidationPolicy::Permissive => Ok(()),
+        ValidationPolicy::Browser => validate_browser(chain, trust, at, sni),
+        ValidationPolicy::StrictPresented => validate_strict(chain, trust, at, sni),
+    }
+}
+
+/// Does `name` match `pattern` (supporting a single leading wildcard label)?
+pub fn dns_name_matches(pattern: &str, name: &str) -> bool {
+    if let Some(suffix) = pattern.strip_prefix("*.") {
+        match name.split_once('.') {
+            Some((first_label, rest)) => !first_label.is_empty() && rest == suffix,
+            None => false,
+        }
+    } else {
+        pattern.eq_ignore_ascii_case(name)
+    }
+}
+
+fn cert_matches_name(cert: &Certificate, name: &str) -> bool {
+    let sans = cert.dns_names();
+    if !sans.is_empty() {
+        return sans.iter().any(|p| dns_name_matches(p, name));
+    }
+    // Fall back to CN when no SAN is present (legacy behaviour still common
+    // among non-public-DB issuers).
+    cert.subject
+        .common_name()
+        .map(|cn| dns_name_matches(cn, name))
+        .unwrap_or(false)
+}
+
+/// Chrome-like validation: find any acceptable entity certificate and
+/// path-build through (presented ∪ trust-db) to a trusted root.
+fn validate_browser(
+    chain: &[Arc<Certificate>],
+    trust: &TrustDb,
+    at: Asn1Time,
+    sni: Option<&str>,
+) -> Result<(), ValidationError> {
+    // Candidate entity certificates: when SNI is present, those matching the
+    // name; otherwise every presented certificate (headless clients without
+    // SNI accept whichever entity certificate the path building succeeds on).
+    let mut candidates: Vec<&Arc<Certificate>> = match sni {
+        Some(name) => chain.iter().filter(|c| cert_matches_name(c, name)).collect(),
+        None => chain.iter().collect(),
+    };
+    if candidates.is_empty() {
+        return Err(ValidationError::NameMismatch);
+    }
+    // Prefer the first-presented candidate, as browsers do.
+    candidates.dedup_by_key(|c| c.fingerprint());
+
+    let mut last_error = ValidationError::NoPathToTrustAnchor;
+    for leaf in candidates {
+        match build_path(leaf, chain, trust, at) {
+            Ok(()) => return Ok(()),
+            Err(e) => last_error = e,
+        }
+    }
+    Err(last_error)
+}
+
+/// Depth-first path building from `leaf` to a trusted root.
+fn build_path(
+    leaf: &Arc<Certificate>,
+    presented: &[Arc<Certificate>],
+    trust: &TrustDb,
+    at: Asn1Time,
+) -> Result<(), ValidationError> {
+    if !leaf.validity.contains(at) {
+        return Err(ValidationError::OutsideValidity { index: 0 });
+    }
+    // Iterative DFS with a visited set over fingerprints to survive the
+    // cross-signing loops the paper observes in hybrid chains.
+    let mut visited = std::collections::HashSet::new();
+    let mut stack = vec![Arc::clone(leaf)];
+    const MAX_DEPTH: usize = 16;
+    let mut depth_guard = 0usize;
+    while let Some(current) = stack.pop() {
+        depth_guard += 1;
+        if depth_guard > MAX_DEPTH * presented.len().max(4) {
+            break;
+        }
+        if !visited.insert(current.fingerprint()) {
+            continue;
+        }
+        // Anchored directly: the current certificate IS a trusted root.
+        if trust.is_listed_certificate(&current.fingerprint()) {
+            return Ok(());
+        }
+        // Anchored by signature: a trusted root issued the current cert.
+        for root in trust.roots_for_subject(&current.issuer) {
+            if root.validity.contains(at) && current.verify_signed_by(&root.public_key) {
+                return Ok(());
+            }
+        }
+        // Continue through presented intermediates.
+        for candidate in presented {
+            if candidate.subject == current.issuer
+                && candidate.validity.contains(at)
+                && current.verify_signed_by(&candidate.public_key)
+            {
+                stack.push(Arc::clone(candidate));
+            }
+        }
+    }
+    Err(ValidationError::NoPathToTrustAnchor)
+}
+
+/// OpenSSL-like strict walk of the presented order.
+fn validate_strict(
+    chain: &[Arc<Certificate>],
+    trust: &TrustDb,
+    at: Asn1Time,
+    sni: Option<&str>,
+) -> Result<(), ValidationError> {
+    let leaf = &chain[0];
+    if let Some(name) = sni {
+        if !cert_matches_name(leaf, name) {
+            return Err(ValidationError::NameMismatch);
+        }
+    }
+    for (i, cert) in chain.iter().enumerate() {
+        if !cert.validity.contains(at) {
+            return Err(ValidationError::OutsideValidity { index: i });
+        }
+        // Can we anchor right here?
+        if trust.is_listed_certificate(&cert.fingerprint()) {
+            return finish_strict(chain, i, trust);
+        }
+        if trust
+            .roots_for_subject(&cert.issuer)
+            .iter()
+            .any(|root| root.validity.contains(at) && cert.verify_signed_by(&root.public_key))
+        {
+            return finish_strict(chain, i, trust);
+        }
+        // Otherwise the next presented certificate must be the issuer.
+        match chain.get(i + 1) {
+            Some(next) => {
+                if next.subject != cert.issuer {
+                    return Err(ValidationError::IssuerSubjectMismatch { index: i });
+                }
+                if !cert.verify_signed_by(&next.public_key) {
+                    return Err(ValidationError::SignatureInvalid { index: i });
+                }
+            }
+            None => {
+                // Ran out of certificates without reaching an anchor.
+                return Err(if cert.is_self_signed() {
+                    ValidationError::UntrustedAnchor
+                } else {
+                    ValidationError::NoPathToTrustAnchor
+                });
+            }
+        }
+    }
+    unreachable!("loop returns before exhausting the chain");
+}
+
+/// The strict walk anchored at position `anchored_at`. Trailing
+/// certificates after the anchor are *unnecessary*; the strict policy
+/// rejects them — this is exactly the Chrome/OpenSSL divergence of §5.
+/// The one legitimate trailing certificate is the trust-anchor root itself
+/// (servers may include the root even though RFC 5246 lets them omit it).
+fn finish_strict(
+    chain: &[Arc<Certificate>],
+    anchored_at: usize,
+    trust: &TrustDb,
+) -> Result<(), ValidationError> {
+    match &chain[anchored_at + 1..] {
+        [] => Ok(()),
+        [root]
+            if trust.is_listed_certificate(&root.fingerprint())
+                && root.subject == chain[anchored_at].issuer =>
+        {
+            Ok(())
+        }
+        _ => Err(ValidationError::IssuerSubjectMismatch { index: anchored_at }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certchain_cryptosim::KeyPair;
+    use certchain_x509::{CertificateBuilder, DistinguishedName, Serial, Validity};
+
+    fn at() -> Asn1Time {
+        Asn1Time::from_ymd_hms(2021, 1, 15, 12, 0, 0).unwrap()
+    }
+
+    fn window() -> Validity {
+        Validity::days_from(Asn1Time::from_ymd_hms(2020, 1, 1, 0, 0, 0).unwrap(), 3650)
+    }
+
+    /// A public root + intermediate + leaf fixture.
+    struct Pki {
+        trust: TrustDb,
+        root: Arc<Certificate>,
+        ica: Arc<Certificate>,
+        leaf: Arc<Certificate>,
+    }
+
+    fn pki() -> Pki {
+        let root_kp = KeyPair::derive(1, "v:root");
+        let root_dn = DistinguishedName::cn_o("Public Root", "PKI Inc");
+        let root = CertificateBuilder::new()
+            .issuer(root_dn.clone())
+            .subject(root_dn.clone())
+            .validity(window())
+            .ca(None)
+            .sign(&root_kp)
+            .into_arc();
+
+        let ica_kp = KeyPair::derive(1, "v:ica");
+        let ica_dn = DistinguishedName::cn_o("Public ICA", "PKI Inc");
+        let ica = CertificateBuilder::new()
+            .serial(Serial::from_u64(2))
+            .issuer(root_dn.clone())
+            .subject(ica_dn.clone())
+            .validity(window())
+            .public_key(ica_kp.public().clone())
+            .ca(Some(0))
+            .sign(&root_kp)
+            .into_arc();
+
+        let leaf_kp = KeyPair::derive(1, "v:leaf");
+        let leaf = CertificateBuilder::new()
+            .serial(Serial::from_u64(3))
+            .issuer(ica_dn)
+            .subject(DistinguishedName::cn("www.example.org"))
+            .validity(Validity::days_from(
+                Asn1Time::from_ymd_hms(2020, 12, 1, 0, 0, 0).unwrap(),
+                90,
+            ))
+            .public_key(leaf_kp.public().clone())
+            .leaf_for("www.example.org")
+            .sign(&ica_kp)
+            .into_arc();
+
+        let mut trust = TrustDb::new();
+        trust.add_root_everywhere(Arc::clone(&root));
+        Pki {
+            trust,
+            root,
+            ica,
+            leaf,
+        }
+    }
+
+    #[test]
+    fn well_formed_chain_passes_both_policies() {
+        let p = pki();
+        let chain = vec![Arc::clone(&p.leaf), Arc::clone(&p.ica)];
+        for policy in [ValidationPolicy::Browser, ValidationPolicy::StrictPresented] {
+            validate_chain(policy, &chain, &p.trust, at(), Some("www.example.org"))
+                .unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn chain_with_root_included_passes_both() {
+        let p = pki();
+        let chain = vec![
+            Arc::clone(&p.leaf),
+            Arc::clone(&p.ica),
+            Arc::clone(&p.root),
+        ];
+        for policy in [ValidationPolicy::Browser, ValidationPolicy::StrictPresented] {
+            validate_chain(policy, &chain, &p.trust, at(), Some("www.example.org")).unwrap();
+        }
+    }
+
+    /// The paper's headline divergence: complete path + appended
+    /// unnecessary certificate → Chrome OK, strict fails.
+    #[test]
+    fn unnecessary_cert_divergence() {
+        let p = pki();
+        let junk_kp = KeyPair::derive(9, "v:junk");
+        let junk_dn = DistinguishedName::cn_o("tester", "HP");
+        let junk = CertificateBuilder::new()
+            .issuer(junk_dn.clone())
+            .subject(junk_dn)
+            .validity(window())
+            .sign(&junk_kp)
+            .into_arc();
+        let chain = vec![Arc::clone(&p.leaf), Arc::clone(&p.ica), junk];
+        validate_chain(
+            ValidationPolicy::Browser,
+            &chain,
+            &p.trust,
+            at(),
+            Some("www.example.org"),
+        )
+        .unwrap();
+        let err = validate_chain(
+            ValidationPolicy::StrictPresented,
+            &chain,
+            &p.trust,
+            at(),
+            Some("www.example.org"),
+        )
+        .unwrap_err();
+        assert_eq!(err, ValidationError::IssuerSubjectMismatch { index: 1 });
+    }
+
+    /// Stray leaf *before* the complete matched path (§4.2): strict fails
+    /// at index 0; browser recovers by finding the right entity cert.
+    #[test]
+    fn leading_stray_leaf_divergence() {
+        let p = pki();
+        let stray_kp = KeyPair::derive(10, "v:stray");
+        let stray_dn = DistinguishedName::cn("stale.example.org");
+        let stray = CertificateBuilder::new()
+            .issuer(stray_dn.clone())
+            .subject(stray_dn)
+            .validity(window())
+            .sign(&stray_kp)
+            .into_arc();
+        let chain = vec![stray, Arc::clone(&p.leaf), Arc::clone(&p.ica)];
+        // SNI targets the real leaf.
+        validate_chain(
+            ValidationPolicy::Browser,
+            &chain,
+            &p.trust,
+            at(),
+            Some("www.example.org"),
+        )
+        .unwrap();
+        assert!(validate_chain(
+            ValidationPolicy::StrictPresented,
+            &chain,
+            &p.trust,
+            at(),
+            Some("www.example.org"),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn out_of_order_chain_browser_only() {
+        let p = pki();
+        let chain = vec![Arc::clone(&p.ica), Arc::clone(&p.leaf)];
+        validate_chain(ValidationPolicy::Browser, &chain, &p.trust, at(), Some("www.example.org"))
+            .unwrap();
+        assert!(validate_chain(
+            ValidationPolicy::StrictPresented,
+            &chain,
+            &p.trust,
+            at(),
+            Some("www.example.org"),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn missing_intermediate_fails_both() {
+        let p = pki();
+        let chain = vec![Arc::clone(&p.leaf)];
+        for policy in [ValidationPolicy::Browser, ValidationPolicy::StrictPresented] {
+            assert!(
+                validate_chain(policy, &chain, &p.trust, at(), Some("www.example.org")).is_err(),
+                "{policy:?} should fail without the intermediate"
+            );
+        }
+    }
+
+    #[test]
+    fn private_self_signed_fails_except_permissive() {
+        let p = pki();
+        let kp = KeyPair::derive(11, "v:self");
+        let dn = DistinguishedName::cn("device.local");
+        let cert = CertificateBuilder::new()
+            .issuer(dn.clone())
+            .subject(dn)
+            .validity(window())
+            .sign(&kp)
+            .into_arc();
+        let chain = vec![cert];
+        assert!(
+            validate_chain(ValidationPolicy::Browser, &chain, &p.trust, at(), None).is_err()
+        );
+        assert_eq!(
+            validate_chain(
+                ValidationPolicy::StrictPresented,
+                &chain,
+                &p.trust,
+                at(),
+                None
+            ),
+            Err(ValidationError::UntrustedAnchor)
+        );
+        validate_chain(ValidationPolicy::Permissive, &chain, &p.trust, at(), None).unwrap();
+    }
+
+    #[test]
+    fn expired_leaf_fails() {
+        let p = pki();
+        let late = Asn1Time::from_ymd_hms(2021, 6, 1, 0, 0, 0).unwrap(); // leaf expired (90d from 2020-12-01)
+        let chain = vec![Arc::clone(&p.leaf), Arc::clone(&p.ica)];
+        for policy in [ValidationPolicy::Browser, ValidationPolicy::StrictPresented] {
+            assert_eq!(
+                validate_chain(policy, &chain, &p.trust, late, Some("www.example.org")),
+                Err(ValidationError::OutsideValidity { index: 0 }),
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sni_mismatch_fails() {
+        let p = pki();
+        let chain = vec![Arc::clone(&p.leaf), Arc::clone(&p.ica)];
+        for policy in [ValidationPolicy::Browser, ValidationPolicy::StrictPresented] {
+            assert_eq!(
+                validate_chain(policy, &chain, &p.trust, at(), Some("other.org")),
+                Err(ValidationError::NameMismatch),
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_chain_fails_all() {
+        let p = pki();
+        for policy in [
+            ValidationPolicy::Browser,
+            ValidationPolicy::StrictPresented,
+            ValidationPolicy::Permissive,
+        ] {
+            assert_eq!(
+                validate_chain(policy, &[], &p.trust, at(), None),
+                Err(ValidationError::EmptyChain)
+            );
+        }
+    }
+
+    #[test]
+    fn wildcard_matching() {
+        assert!(dns_name_matches("*.example.org", "www.example.org"));
+        assert!(!dns_name_matches("*.example.org", "example.org"));
+        assert!(!dns_name_matches("*.example.org", "a.b.example.org"));
+        assert!(dns_name_matches("example.org", "EXAMPLE.ORG"));
+        assert!(!dns_name_matches("*.example.org", ".example.org"));
+    }
+
+    #[test]
+    fn forged_signature_fails_strict_with_position() {
+        let p = pki();
+        // A leaf claiming the ICA as issuer but signed by a rogue key.
+        let rogue = KeyPair::derive(66, "v:rogue");
+        let forged = CertificateBuilder::new()
+            .issuer(p.ica.subject.clone())
+            .subject(DistinguishedName::cn("www.example.org"))
+            .validity(window())
+            .public_key(KeyPair::derive(67, "v:f").public().clone())
+            .leaf_for("www.example.org")
+            .sign(&rogue)
+            .into_arc();
+        let chain = vec![forged, Arc::clone(&p.ica)];
+        assert_eq!(
+            validate_chain(
+                ValidationPolicy::StrictPresented,
+                &chain,
+                &p.trust,
+                at(),
+                Some("www.example.org")
+            ),
+            Err(ValidationError::SignatureInvalid { index: 0 })
+        );
+        assert!(validate_chain(
+            ValidationPolicy::Browser,
+            &chain,
+            &p.trust,
+            at(),
+            Some("www.example.org")
+        )
+        .is_err());
+    }
+
+    /// Cross-signed intermediates must not send path building into a loop.
+    #[test]
+    fn cross_signing_loop_terminates() {
+        let a_kp = KeyPair::derive(20, "v:a");
+        let b_kp = KeyPair::derive(21, "v:b");
+        let a_dn = DistinguishedName::cn("CA A");
+        let b_dn = DistinguishedName::cn("CA B");
+        // A signed by B, B signed by A — a cycle with no trust anchor.
+        let a = CertificateBuilder::new()
+            .issuer(b_dn.clone())
+            .subject(a_dn.clone())
+            .validity(window())
+            .public_key(a_kp.public().clone())
+            .ca(None)
+            .sign(&b_kp)
+            .into_arc();
+        let b = CertificateBuilder::new()
+            .issuer(a_dn.clone())
+            .subject(b_dn)
+            .validity(window())
+            .public_key(b_kp.public().clone())
+            .ca(None)
+            .sign(&a_kp)
+            .into_arc();
+        let leaf_kp = KeyPair::derive(22, "v:cycleleaf");
+        let leaf = CertificateBuilder::new()
+            .issuer(a_dn)
+            .subject(DistinguishedName::cn("cycle.org"))
+            .validity(window())
+            .public_key(leaf_kp.public().clone())
+            .sign(&a_kp)
+            .into_arc();
+        let trust = TrustDb::new();
+        let chain = vec![leaf, a, b];
+        assert_eq!(
+            validate_chain(ValidationPolicy::Browser, &chain, &trust, at(), None),
+            Err(ValidationError::NoPathToTrustAnchor)
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! Zeek TSV log reading — the inverse of [`crate::zeek::tsv`].
+//!
+//! The chain-analysis pipeline consumes these readers, so running it over a
+//! directory of *real* Zeek logs with the same field subset would work
+//! unchanged.
+
+use crate::zeek::record::{SslRecord, X509Record};
+use crate::zeek::tsv::{parse, parse_version, zeek_unescape};
+use certchain_x509::Fingerprint;
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A log-parsing failure with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+fn err(line: usize, message: impl Into<String>) -> ReadError {
+    ReadError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Split a Zeek log into its field-index map and data rows.
+fn rows(text: &str) -> Result<(HashMap<String, usize>, Vec<(usize, Vec<&str>)>), ReadError> {
+    let mut fields: Option<HashMap<String, usize>> = None;
+    let mut data = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if let Some(rest) = line.strip_prefix("#fields\t") {
+            fields = Some(
+                rest.split('\t')
+                    .enumerate()
+                    .map(|(idx, name)| (name.to_string(), idx))
+                    .collect(),
+            );
+        } else if line.starts_with('#') || line.is_empty() {
+            continue;
+        } else {
+            data.push((lineno, line.split('\t').collect()));
+        }
+    }
+    let fields = fields.ok_or_else(|| err(0, "missing #fields header"))?;
+    Ok((fields, data))
+}
+
+fn col<'a>(
+    row: &[&'a str],
+    fields: &HashMap<String, usize>,
+    name: &str,
+    line: usize,
+) -> Result<&'a str, ReadError> {
+    let idx = *fields
+        .get(name)
+        .ok_or_else(|| err(line, format!("missing field {name}")))?;
+    row.get(idx)
+        .copied()
+        .ok_or_else(|| err(line, format!("row too short for field {name}")))
+}
+
+/// Parse a complete ssl.log.
+pub fn read_ssl_log(text: &str) -> Result<Vec<SslRecord>, ReadError> {
+    let (fields, data) = rows(text)?;
+    let mut out = Vec::with_capacity(data.len());
+    for (line, row) in data {
+        let ts = parse::ts(col(&row, &fields, "ts", line)?)
+            .ok_or_else(|| err(line, "bad ts"))?;
+        let uid = zeek_unescape(col(&row, &fields, "uid", line)?);
+        let orig_h: Ipv4Addr = col(&row, &fields, "id.orig_h", line)?
+            .parse()
+            .map_err(|_| err(line, "bad id.orig_h"))?;
+        let orig_p: u16 = col(&row, &fields, "id.orig_p", line)?
+            .parse()
+            .map_err(|_| err(line, "bad id.orig_p"))?;
+        let resp_h: Ipv4Addr = col(&row, &fields, "id.resp_h", line)?
+            .parse()
+            .map_err(|_| err(line, "bad id.resp_h"))?;
+        let resp_p: u16 = col(&row, &fields, "id.resp_p", line)?
+            .parse()
+            .map_err(|_| err(line, "bad id.resp_p"))?;
+        let version = parse_version(col(&row, &fields, "version", line)?)
+            .ok_or_else(|| err(line, "bad version"))?;
+        let server_name = parse::optional(col(&row, &fields, "server_name", line)?);
+        let established = parse::boolean(col(&row, &fields, "established", line)?)
+            .ok_or_else(|| err(line, "bad established"))?;
+        let cert_chain_fps = parse::vector(col(&row, &fields, "cert_chain_fps", line)?)
+            .iter()
+            .map(|h| Fingerprint::from_hex(h).ok_or_else(|| err(line, "bad fingerprint")))
+            .collect::<Result<Vec<_>, _>>()?;
+        out.push(SslRecord {
+            ts,
+            uid,
+            orig_h,
+            orig_p,
+            resp_h,
+            resp_p,
+            version,
+            server_name,
+            established,
+            cert_chain_fps,
+        });
+    }
+    Ok(out)
+}
+
+/// Parse a complete x509.log.
+pub fn read_x509_log(text: &str) -> Result<Vec<X509Record>, ReadError> {
+    let (fields, data) = rows(text)?;
+    let mut out = Vec::with_capacity(data.len());
+    for (line, row) in data {
+        let ts = parse::ts(col(&row, &fields, "ts", line)?)
+            .ok_or_else(|| err(line, "bad ts"))?;
+        let fingerprint = Fingerprint::from_hex(col(&row, &fields, "fingerprint", line)?)
+            .ok_or_else(|| err(line, "bad fingerprint"))?;
+        let cert_version: u64 = col(&row, &fields, "certificate.version", line)?
+            .parse()
+            .map_err(|_| err(line, "bad certificate.version"))?;
+        let serial = zeek_unescape(col(&row, &fields, "certificate.serial", line)?);
+        let subject = zeek_unescape(col(&row, &fields, "certificate.subject", line)?);
+        let issuer = zeek_unescape(col(&row, &fields, "certificate.issuer", line)?);
+        let not_before = parse::ts(col(&row, &fields, "certificate.not_valid_before", line)?)
+            .ok_or_else(|| err(line, "bad not_valid_before"))?;
+        let not_after = parse::ts(col(&row, &fields, "certificate.not_valid_after", line)?)
+            .ok_or_else(|| err(line, "bad not_valid_after"))?;
+        let basic_constraints_ca =
+            match parse::optional(col(&row, &fields, "basic_constraints.ca", line)?) {
+                None => None,
+                Some(v) => Some(
+                    parse::boolean(&v).ok_or_else(|| err(line, "bad basic_constraints.ca"))?,
+                ),
+            };
+        let path_len = match parse::optional(col(&row, &fields, "basic_constraints.path_len", line)?)
+        {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| err(line, "bad basic_constraints.path_len"))?,
+            ),
+        };
+        let san_dns = parse::vector(col(&row, &fields, "san.dns", line)?);
+        out.push(X509Record {
+            ts,
+            fingerprint,
+            cert_version,
+            serial,
+            subject,
+            issuer,
+            not_before,
+            not_after,
+            basic_constraints_ca,
+            path_len,
+            san_dns,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handshake::TlsVersion;
+    use crate::zeek::tsv::{write_ssl_log, write_x509_log};
+    use certchain_asn1::Asn1Time;
+
+    fn t() -> Asn1Time {
+        Asn1Time::from_ymd_hms(2020, 9, 1, 0, 0, 0).unwrap()
+    }
+
+    fn ssl_samples() -> Vec<SslRecord> {
+        vec![
+            SslRecord {
+                ts: t(),
+                uid: "Cabc".into(),
+                orig_h: Ipv4Addr::new(128, 143, 1, 2),
+                orig_p: 50000,
+                resp_h: Ipv4Addr::new(203, 0, 113, 5),
+                resp_p: 443,
+                version: TlsVersion::Tls12,
+                server_name: Some("example.org".into()),
+                established: true,
+                cert_chain_fps: vec![Fingerprint([3; 32]), Fingerprint([4; 32])],
+            },
+            SslRecord {
+                ts: t().plus_secs(30),
+                uid: "Cdef".into(),
+                orig_h: Ipv4Addr::new(128, 143, 1, 3),
+                orig_p: 50001,
+                resp_h: Ipv4Addr::new(203, 0, 113, 6),
+                resp_p: 8013,
+                version: TlsVersion::Tls13,
+                server_name: None,
+                established: false,
+                cert_chain_fps: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn ssl_round_trip() {
+        let records = ssl_samples();
+        let mut buf = Vec::new();
+        write_ssl_log(&mut buf, &records, t()).unwrap();
+        let parsed = read_ssl_log(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn x509_round_trip() {
+        let records = vec![X509Record {
+            ts: t(),
+            fingerprint: Fingerprint([9; 32]),
+            cert_version: 3,
+            serial: "BEEF".into(),
+            subject: "CN=a, O=b\\, Inc., C=US".into(),
+            issuer: "CN=ca".into(),
+            not_before: t(),
+            not_after: t().plus_days(397),
+            basic_constraints_ca: Some(true),
+            path_len: Some(0),
+            san_dns: vec!["a.org".into()],
+        }];
+        let mut buf = Vec::new();
+        write_x509_log(&mut buf, &records, t()).unwrap();
+        let parsed = read_x509_log(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn missing_fields_header_is_error() {
+        assert!(read_ssl_log("no header\n").is_err());
+    }
+
+    #[test]
+    fn bad_row_reports_line_number() {
+        let records = ssl_samples();
+        let mut buf = Vec::new();
+        write_ssl_log(&mut buf, &records, t()).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        // Corrupt the established column of the first data row.
+        text = text.replace("\tT\t", "\tQ\t");
+        let e = read_ssl_log(&text).unwrap_err();
+        assert!(e.message.contains("established"), "{e}");
+        assert!(e.line >= 8, "line numbers should skip headers, got {}", e.line);
+    }
+
+    #[test]
+    fn unordered_fields_are_handled() {
+        // A log with fields in a different order (real Zeek deployments
+        // customize field sets).
+        let text = "#fields\tuid\tts\tid.orig_h\tid.orig_p\tid.resp_h\tid.resp_p\tversion\tserver_name\testablished\tcert_chain_fps\n\
+            Cx\t1598918400.0\t1.2.3.4\t1\t5.6.7.8\t443\tTLSv12\t-\tT\t(empty)\n";
+        let parsed = read_ssl_log(text).unwrap();
+        assert_eq!(parsed[0].uid, "Cx");
+        assert_eq!(parsed[0].ts.unix_secs(), 1_598_918_400);
+    }
+}

@@ -1,0 +1,137 @@
+//! The two log record types the analysis consumes.
+
+use crate::handshake::TlsVersion;
+use certchain_asn1::Asn1Time;
+use certchain_x509::{Certificate, Fingerprint};
+use std::net::Ipv4Addr;
+
+/// One `ssl.log` row: a TLS connection observed at the border.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SslRecord {
+    /// Connection timestamp.
+    pub ts: Asn1Time,
+    /// Zeek connection uid.
+    pub uid: String,
+    /// Originator (client) address — NAT'd public address.
+    pub orig_h: Ipv4Addr,
+    /// Originator port.
+    pub orig_p: u16,
+    /// Responder (server) address.
+    pub resp_h: Ipv4Addr,
+    /// Responder port.
+    pub resp_p: u16,
+    /// Negotiated TLS version.
+    pub version: TlsVersion,
+    /// SNI, when the client sent one.
+    pub server_name: Option<String>,
+    /// Whether the handshake completed ("established" in Zeek ssl.log).
+    pub established: bool,
+    /// Fingerprints of the delivered chain, in delivery order. Empty for
+    /// TLS 1.3 (chain not visible to the passive monitor).
+    pub cert_chain_fps: Vec<Fingerprint>,
+}
+
+/// One `x509.log` row: a certificate seen in some handshake.
+///
+/// Deliberately carries **no public key or signature material**, mirroring
+/// the fields available to the paper (§4.2). Everything the analysis does
+/// with certificates must be possible from these fields alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct X509Record {
+    /// First-seen timestamp.
+    pub ts: Asn1Time,
+    /// SHA-256 fingerprint (the join key with ssl.log).
+    pub fingerprint: Fingerprint,
+    /// X.509 version (1 or 3).
+    pub cert_version: u64,
+    /// Serial number, hex.
+    pub serial: String,
+    /// Subject DN in RFC 4514 form.
+    pub subject: String,
+    /// Issuer DN in RFC 4514 form.
+    pub issuer: String,
+    /// notBefore.
+    pub not_before: Asn1Time,
+    /// notAfter.
+    pub not_after: Asn1Time,
+    /// basicConstraints CA flag — `None` when the extension is absent,
+    /// which the paper found for the majority of non-public-DB certs.
+    pub basic_constraints_ca: Option<bool>,
+    /// basicConstraints pathLen, when present.
+    pub path_len: Option<u64>,
+    /// subjectAltName dNSName entries.
+    pub san_dns: Vec<String>,
+}
+
+impl X509Record {
+    /// Project a certificate into the log schema.
+    pub fn from_certificate(ts: Asn1Time, cert: &Certificate) -> X509Record {
+        let bc = cert.basic_constraints();
+        X509Record {
+            ts,
+            fingerprint: cert.fingerprint(),
+            cert_version: cert.version + 1,
+            serial: cert.serial.to_hex(),
+            subject: cert.subject.to_rfc4514(),
+            issuer: cert.issuer.to_rfc4514(),
+            not_before: cert.validity.not_before,
+            not_after: cert.validity.not_after,
+            basic_constraints_ca: bc.map(|b| b.ca),
+            path_len: bc.and_then(|b| b.path_len),
+            san_dns: cert.dns_names().iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Whether issuer and subject strings are identical — the log-level
+    /// self-signed test the paper applies.
+    pub fn is_self_signed(&self) -> bool {
+        self.issuer == self.subject
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certchain_cryptosim::KeyPair;
+    use certchain_x509::{CertificateBuilder, DistinguishedName, Serial, Validity};
+
+    #[test]
+    fn projection_captures_fields_without_keys() {
+        let kp = KeyPair::derive(1, "rec:ca");
+        let leaf_key = KeyPair::derive(1, "rec:leaf");
+        let start = Asn1Time::from_ymd_hms(2020, 9, 10, 0, 0, 0).unwrap();
+        let cert = CertificateBuilder::new()
+            .serial(Serial::from_u64(0xbeef))
+            .issuer(DistinguishedName::cn_o("Rec CA", "Rec Org"))
+            .subject(DistinguishedName::cn("rec.example.org"))
+            .validity(Validity::days_from(start, 90))
+            .public_key(leaf_key.public().clone())
+            .leaf_for("rec.example.org")
+            .sign(&kp);
+        let rec = X509Record::from_certificate(start, &cert);
+        assert_eq!(rec.fingerprint, cert.fingerprint());
+        assert_eq!(rec.cert_version, 3);
+        assert_eq!(rec.serial, "BEEF");
+        assert_eq!(rec.subject, "CN=rec.example.org");
+        assert_eq!(rec.issuer, "CN=Rec CA, O=Rec Org");
+        assert_eq!(rec.basic_constraints_ca, Some(false));
+        assert_eq!(rec.san_dns, vec!["rec.example.org"]);
+        assert!(!rec.is_self_signed());
+    }
+
+    #[test]
+    fn absent_basic_constraints_is_none() {
+        let kp = KeyPair::derive(2, "rec:bare");
+        let dn = DistinguishedName::cn("bare.device");
+        let start = Asn1Time::from_ymd_hms(2020, 9, 10, 0, 0, 0).unwrap();
+        let cert = CertificateBuilder::new()
+            .issuer(dn.clone())
+            .subject(dn)
+            .validity(Validity::days_from(start, 30))
+            .sign(&kp);
+        let rec = X509Record::from_certificate(start, &cert);
+        assert_eq!(rec.basic_constraints_ca, None);
+        assert_eq!(rec.path_len, None);
+        assert!(rec.is_self_signed());
+    }
+}

@@ -1,0 +1,380 @@
+//! Zeek TSV log writing.
+//!
+//! Reproduces the on-disk shape of Zeek logs: `#separator`, `#fields`,
+//! `#types` headers, tab-separated rows, `-` for unset fields, `(empty)`
+//! for empty vectors, `T`/`F` booleans and epoch-seconds timestamps.
+
+use crate::handshake::TlsVersion;
+use crate::zeek::record::{SslRecord, X509Record};
+use certchain_asn1::Asn1Time;
+use std::io::{self, Write};
+
+/// Field list for ssl.log (subset of Zeek's, sufficient for the paper).
+pub const SSL_FIELDS: &[&str] = &[
+    "ts",
+    "uid",
+    "id.orig_h",
+    "id.orig_p",
+    "id.resp_h",
+    "id.resp_p",
+    "version",
+    "server_name",
+    "established",
+    "cert_chain_fps",
+];
+
+/// Field list for x509.log.
+pub const X509_FIELDS: &[&str] = &[
+    "ts",
+    "fingerprint",
+    "certificate.version",
+    "certificate.serial",
+    "certificate.subject",
+    "certificate.issuer",
+    "certificate.not_valid_before",
+    "certificate.not_valid_after",
+    "basic_constraints.ca",
+    "basic_constraints.path_len",
+    "san.dns",
+];
+
+fn write_header(out: &mut impl Write, path: &str, fields: &[&str], open: Asn1Time) -> io::Result<()> {
+    writeln!(out, "#separator \\x09")?;
+    writeln!(out, "#set_separator\t,")?;
+    writeln!(out, "#empty_field\t(empty)")?;
+    writeln!(out, "#unset_field\t-")?;
+    writeln!(out, "#path\t{path}")?;
+    writeln!(out, "#open\t{open}")?;
+    writeln!(out, "#fields\t{}", fields.join("\t"))?;
+    Ok(())
+}
+
+fn ts_str(t: Asn1Time) -> String {
+    format!("{}.000000", t.unix_secs())
+}
+
+fn bool_str(b: bool) -> &'static str {
+    if b {
+        "T"
+    } else {
+        "F"
+    }
+}
+
+fn opt_str(v: Option<&str>) -> &str {
+    v.unwrap_or("-")
+}
+
+fn vec_str(items: &[String]) -> String {
+    if items.is_empty() {
+        "(empty)".to_string()
+    } else {
+        items
+            .iter()
+            .map(|i| zeek_escape_vec_entry(i))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// Escape a string field the way Zeek's ASCII writer does: separators and
+/// other ambiguous bytes become `\xNN` hex escapes, and a field that would
+/// collide with the unset (`-`) or empty (`(empty)`) tokens gets its first
+/// byte escaped.
+pub fn zeek_escape(field: &str) -> std::borrow::Cow<'_, str> {
+    escape_impl(field, false)
+}
+
+/// Escape one entry of a vector field: like [`zeek_escape`] but the set
+/// separator (`,`) must also be escaped.
+pub fn zeek_escape_vec_entry(field: &str) -> std::borrow::Cow<'_, str> {
+    escape_impl(field, true)
+}
+
+/// Byte-level escaping: escapes are pure ASCII and non-ASCII UTF-8 bytes
+/// pass through untouched, so multi-byte characters survive intact.
+/// Returns a borrow when nothing needed escaping (the overwhelmingly
+/// common case on the log-writing hot path).
+fn escape_impl(field: &str, in_vector: bool) -> std::borrow::Cow<'_, str> {
+    let needs_token_escape = field == "-" || field == "(empty)";
+    let needs_escape = |i: usize, b: u8| {
+        matches!(b, b'\t' | b'\n' | b'\r' | b'\\')
+            || (in_vector && b == b',')
+            || (i == 0 && needs_token_escape)
+    };
+    if !field.bytes().enumerate().any(|(i, b)| needs_escape(i, b)) {
+        return std::borrow::Cow::Borrowed(field);
+    }
+    let mut out: Vec<u8> = Vec::with_capacity(field.len() + 8);
+    for (i, b) in field.bytes().enumerate() {
+        if needs_escape(i, b) {
+            out.extend_from_slice(format!("\\x{b:02x}").as_bytes());
+        } else {
+            out.push(b);
+        }
+    }
+    std::borrow::Cow::Owned(String::from_utf8(out).expect(
+        "escaping only inserts ASCII and copies the original UTF-8 bytes",
+    ))
+}
+
+/// Undo [`zeek_escape`]. Operates on bytes so multi-byte UTF-8 characters
+/// pass through unchanged; an escape sequence decoding to a byte that does
+/// not form valid UTF-8 is replaced (lossy), matching how a consumer would
+/// treat a hostile log.
+pub fn zeek_unescape(field: &str) -> String {
+    let bytes = field.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\\'
+            && i + 3 < bytes.len()
+            && bytes[i + 1] == b'x'
+            && bytes[i + 2].is_ascii_hexdigit()
+            && bytes[i + 3].is_ascii_hexdigit()
+        {
+            let hi = (bytes[i + 2] as char).to_digit(16).expect("checked hex");
+            let lo = (bytes[i + 3] as char).to_digit(16).expect("checked hex");
+            out.push((hi * 16 + lo) as u8);
+            i += 4;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Write a complete ssl.log.
+pub fn write_ssl_log(
+    out: &mut impl Write,
+    records: &[SslRecord],
+    open: Asn1Time,
+) -> io::Result<()> {
+    write_header(out, "ssl", SSL_FIELDS, open)?;
+    for r in records {
+        let fps: Vec<String> = r.cert_chain_fps.iter().map(|f| f.to_hex()).collect();
+        let sni: Option<std::borrow::Cow<'_, str>> = r.server_name.as_deref().map(zeek_escape);
+        writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            ts_str(r.ts),
+            zeek_escape(&r.uid),
+            r.orig_h,
+            r.orig_p,
+            r.resp_h,
+            r.resp_p,
+            r.version.as_str(),
+            opt_str(sni.as_deref()),
+            bool_str(r.established),
+            vec_str(&fps),
+        )?;
+    }
+    writeln!(out, "#close\t{open}")?;
+    Ok(())
+}
+
+/// Write a complete x509.log.
+pub fn write_x509_log(
+    out: &mut impl Write,
+    records: &[X509Record],
+    open: Asn1Time,
+) -> io::Result<()> {
+    write_header(out, "x509", X509_FIELDS, open)?;
+    for r in records {
+        writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            ts_str(r.ts),
+            r.fingerprint.to_hex(),
+            r.cert_version,
+            zeek_escape(&r.serial),
+            zeek_escape(&r.subject),
+            zeek_escape(&r.issuer),
+            ts_str(r.not_before),
+            ts_str(r.not_after),
+            r.basic_constraints_ca.map(bool_str).unwrap_or("-"),
+            r.path_len
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            vec_str(&r.san_dns),
+        )?;
+    }
+    writeln!(out, "#close\t{open}")?;
+    Ok(())
+}
+
+/// Parse helpers shared with the reader.
+pub(crate) mod parse {
+    use certchain_asn1::Asn1Time;
+
+    /// Parse Zeek's epoch-seconds timestamp.
+    pub fn ts(s: &str) -> Option<Asn1Time> {
+        let secs: f64 = s.parse().ok()?;
+        if secs < 0.0 {
+            return None;
+        }
+        Some(Asn1Time::from_unix(secs as u64))
+    }
+
+    /// Parse T/F.
+    pub fn boolean(s: &str) -> Option<bool> {
+        match s {
+            "T" => Some(true),
+            "F" => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Parse an optional field ("-" = unset), undoing Zeek escapes.
+    pub fn optional(s: &str) -> Option<String> {
+        if s == "-" {
+            None
+        } else {
+            Some(super::zeek_unescape(s))
+        }
+    }
+
+    /// Parse a vector field ("(empty)" = empty), undoing Zeek escapes.
+    pub fn vector(s: &str) -> Vec<String> {
+        if s == "(empty)" || s == "-" {
+            Vec::new()
+        } else {
+            s.split(',').map(super::zeek_unescape).collect()
+        }
+    }
+}
+
+/// Version string back to the enum.
+pub fn parse_version(s: &str) -> Option<TlsVersion> {
+    match s {
+        "TLSv12" => Some(TlsVersion::Tls12),
+        "TLSv13" => Some(TlsVersion::Tls13),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certchain_x509::Fingerprint;
+    use std::net::Ipv4Addr;
+
+    fn t() -> Asn1Time {
+        Asn1Time::from_ymd_hms(2020, 9, 1, 0, 0, 0).unwrap()
+    }
+
+    fn ssl_record(established: bool) -> SslRecord {
+        SslRecord {
+            ts: t(),
+            uid: "C0000000000000001".into(),
+            orig_h: Ipv4Addr::new(128, 143, 1, 2),
+            orig_p: 49152,
+            resp_h: Ipv4Addr::new(203, 0, 113, 5),
+            resp_p: 443,
+            version: TlsVersion::Tls12,
+            server_name: Some("example.org".into()),
+            established,
+            cert_chain_fps: vec![Fingerprint([0xab; 32])],
+        }
+    }
+
+    #[test]
+    fn ssl_log_format() {
+        let mut buf = Vec::new();
+        write_ssl_log(&mut buf, &[ssl_record(true)], t()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("#separator \\x09\n"));
+        assert!(text.contains("#path\tssl\n"));
+        assert!(text.contains("#fields\tts\tuid"));
+        let row = text
+            .lines()
+            .find(|l| !l.starts_with('#'))
+            .expect("one data row");
+        let cols: Vec<&str> = row.split('\t').collect();
+        assert_eq!(cols.len(), SSL_FIELDS.len());
+        assert_eq!(cols[0], "1598918400.000000");
+        assert_eq!(cols[6], "TLSv12");
+        assert_eq!(cols[8], "T");
+        assert_eq!(cols[9], Fingerprint([0xab; 32]).to_hex());
+        assert!(text.trim_end().ends_with(&format!("#close\t{}", t())));
+    }
+
+    #[test]
+    fn unset_and_empty_tokens() {
+        let mut rec = ssl_record(false);
+        rec.server_name = None;
+        rec.cert_chain_fps.clear();
+        let mut buf = Vec::new();
+        write_ssl_log(&mut buf, &[rec], t()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let row = text.lines().find(|l| !l.starts_with('#')).unwrap();
+        let cols: Vec<&str> = row.split('\t').collect();
+        assert_eq!(cols[7], "-");
+        assert_eq!(cols[8], "F");
+        assert_eq!(cols[9], "(empty)");
+    }
+
+    #[test]
+    fn x509_log_format() {
+        let rec = X509Record {
+            ts: t(),
+            fingerprint: Fingerprint([1; 32]),
+            cert_version: 3,
+            serial: "0A".into(),
+            subject: "CN=a, O=b".into(),
+            issuer: "CN=ca".into(),
+            not_before: t(),
+            not_after: t().plus_days(90),
+            basic_constraints_ca: None,
+            path_len: None,
+            san_dns: vec!["a.org".into(), "b.org".into()],
+        };
+        let mut buf = Vec::new();
+        write_x509_log(&mut buf, &[rec], t()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let row = text.lines().find(|l| !l.starts_with('#')).unwrap();
+        let cols: Vec<&str> = row.split('\t').collect();
+        assert_eq!(cols.len(), X509_FIELDS.len());
+        assert_eq!(cols[4], "CN=a, O=b");
+        assert_eq!(cols[8], "-"); // absent basicConstraints
+        assert_eq!(cols[10], "a.org,b.org");
+    }
+
+    #[test]
+    fn zeek_escaping_round_trips() {
+        for field in ["a\tb\nc", "-", "(empty)", "with, comma", "back\\slash", "plain"] {
+            let escaped = zeek_escape(field);
+            assert!(!escaped.contains('\t') && !escaped.contains('\n'));
+            assert_ne!(escaped, "-");
+            assert_ne!(escaped, "(empty)");
+            assert_eq!(zeek_unescape(&escaped), field, "field {field:?}");
+            // Vector entries additionally protect the set separator.
+            let vec_escaped = zeek_escape_vec_entry(field);
+            assert!(!vec_escaped.contains(','));
+            assert_eq!(zeek_unescape(&vec_escaped), field, "vec field {field:?}");
+        }
+        // Scalar fields keep commas readable (tab-separated anyway).
+        assert_eq!(zeek_escape("CN=a, O=b"), "CN=a, O=b");
+        // Non-ASCII UTF-8 must survive both directions untouched.
+        for field in ["CN=Gr\u{fc}\u{df}e GmbH", "CN=\u{65e5}\u{672c}", "caf\u{e9}-\t-tab"] {
+            assert_eq!(zeek_unescape(&zeek_escape(field)), field, "{field:?}");
+        }
+        // Unescaped clean fields borrow (no allocation on the hot path).
+        assert!(matches!(zeek_escape("plain"), std::borrow::Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn parse_helpers() {
+        assert_eq!(parse::ts("1598918400.000000").unwrap().unix_secs(), 1_598_918_400);
+        assert!(parse::ts("nonsense").is_none());
+        assert_eq!(parse::boolean("T"), Some(true));
+        assert_eq!(parse::boolean("x"), None);
+        assert_eq!(parse::optional("-"), None);
+        assert_eq!(parse::optional("v").as_deref(), Some("v"));
+        assert!(parse::vector("(empty)").is_empty());
+        assert_eq!(parse::vector("a,b"), vec!["a", "b"]);
+        assert_eq!(parse_version("TLSv12"), Some(TlsVersion::Tls12));
+        assert_eq!(parse_version("SSLv3"), None);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests for the validation policies: random PKIs, random chain
+//! shufflings and corruptions — invariants the three policies must hold.
+
+use certchain_asn1::Asn1Time;
+use certchain_cryptosim::KeyPair;
+use certchain_netsim::{validate_chain, ValidationPolicy};
+use certchain_trust::TrustDb;
+use certchain_x509::{Certificate, CertificateBuilder, DistinguishedName, Serial, Validity};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+struct World {
+    trust: TrustDb,
+    chain: Vec<Arc<Certificate>>,
+    domain: String,
+    at: Asn1Time,
+}
+
+/// Build a random-depth PKI (root + 0..=2 intermediates + leaf) and a
+/// correctly-ordered delivered chain.
+fn world(seed: u64, depth: usize, include_root: bool) -> World {
+    let at = Asn1Time::from_ymd_hms(2021, 3, 1, 0, 0, 0).unwrap();
+    let validity = Validity::days_from(Asn1Time::from_ymd_hms(2020, 1, 1, 0, 0, 0).unwrap(), 3650);
+    let root_kp = KeyPair::derive(seed, "prop:root");
+    let root_dn = DistinguishedName::cn(&format!("Prop Root {seed}"));
+    let root = CertificateBuilder::new()
+        .serial(Serial::from_u64(1))
+        .issuer(root_dn.clone())
+        .subject(root_dn.clone())
+        .validity(validity)
+        .ca(None)
+        .sign(&root_kp)
+        .into_arc();
+    let mut trust = TrustDb::new();
+    trust.add_root_everywhere(Arc::clone(&root));
+
+    let mut issuer_kp = root_kp;
+    let mut issuer_dn = root_dn;
+    let mut intermediates = Vec::new();
+    for d in 0..depth {
+        let kp = KeyPair::derive(seed, &format!("prop:ica{d}"));
+        let dn = DistinguishedName::cn(&format!("Prop ICA {seed}/{d}"));
+        let cert = CertificateBuilder::new()
+            .serial(Serial::from_u64(2 + d as u64))
+            .issuer(issuer_dn)
+            .subject(dn.clone())
+            .validity(validity)
+            .public_key(kp.public().clone())
+            .ca(None)
+            .sign(&issuer_kp)
+            .into_arc();
+        intermediates.push(cert);
+        issuer_kp = kp;
+        issuer_dn = dn;
+    }
+    let domain = format!("prop{seed}.example.org");
+    let leaf_kp = KeyPair::derive(seed, "prop:leaf");
+    let leaf = CertificateBuilder::new()
+        .serial(Serial::from_u64(100))
+        .issuer(issuer_dn)
+        .subject(DistinguishedName::cn(&domain))
+        .validity(validity)
+        .public_key(leaf_kp.public().clone())
+        .leaf_for(&domain)
+        .sign(&issuer_kp)
+        .into_arc();
+
+    let mut chain = vec![leaf];
+    chain.extend(intermediates.into_iter().rev());
+    if include_root {
+        chain.push(root);
+    }
+    World {
+        trust,
+        chain,
+        domain,
+        at,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Strict acceptance implies browser acceptance: the browser policy is
+    /// a strict superset of the presented-chain walk.
+    #[test]
+    fn strict_accept_implies_browser_accept(
+        seed in 0u64..500,
+        depth in 0usize..3,
+        include_root: bool,
+        permute in any::<proptest::sample::Index>(),
+        drop_one in proptest::option::of(any::<proptest::sample::Index>()),
+    ) {
+        let w = world(seed, depth, include_root);
+        // Random mutation: rotate the chain and possibly drop one cert.
+        let mut chain = w.chain.clone();
+        if chain.len() > 1 {
+            let k = permute.index(chain.len());
+            chain.rotate_left(k);
+        }
+        if let Some(d) = drop_one {
+            if chain.len() > 1 {
+                let idx = d.index(chain.len());
+                chain.remove(idx);
+            }
+        }
+        let strict = validate_chain(
+            ValidationPolicy::StrictPresented, &chain, &w.trust, w.at, Some(&w.domain));
+        let browser = validate_chain(
+            ValidationPolicy::Browser, &chain, &w.trust, w.at, Some(&w.domain));
+        if strict.is_ok() {
+            prop_assert!(browser.is_ok(),
+                "strict accepted but browser rejected: {browser:?}");
+        }
+    }
+
+    /// Permissive accepts anything non-empty; every policy rejects empty.
+    #[test]
+    fn permissive_and_empty(seed in 0u64..200, depth in 0usize..3) {
+        let w = world(seed, depth, true);
+        prop_assert!(validate_chain(
+            ValidationPolicy::Permissive, &w.chain, &w.trust, w.at, None).is_ok());
+        for policy in [ValidationPolicy::Browser, ValidationPolicy::StrictPresented,
+                       ValidationPolicy::Permissive] {
+            prop_assert!(validate_chain(policy, &[], &w.trust, w.at, None).is_err());
+        }
+    }
+
+    /// A correctly-ordered chain to a trusted root validates under every
+    /// policy, with and without the root included.
+    #[test]
+    fn well_formed_chains_validate(seed in 0u64..200, depth in 0usize..3, include_root: bool) {
+        let w = world(seed, depth, include_root);
+        for policy in [ValidationPolicy::Browser, ValidationPolicy::StrictPresented] {
+            prop_assert!(
+                validate_chain(policy, &w.chain, &w.trust, w.at, Some(&w.domain)).is_ok(),
+                "{policy:?} rejected a well-formed chain (depth {depth}, root {include_root})"
+            );
+        }
+    }
+
+    /// Appending junk never breaks the browser policy, always breaks the
+    /// strict policy (for anchored multi-cert chains).
+    #[test]
+    fn junk_divergence(seed in 0u64..200, depth in 1usize..3) {
+        let w = world(seed, depth, false);
+        let junk_kp = KeyPair::derive(seed ^ 0xdead, "prop:junk");
+        let junk_dn = DistinguishedName::cn(&format!("Junk {seed}"));
+        let junk = CertificateBuilder::new()
+            .issuer(junk_dn.clone())
+            .subject(junk_dn)
+            .validity(Validity::days_from(Asn1Time::from_unix(0), 36_500))
+            .sign(&junk_kp)
+            .into_arc();
+        let mut chain = w.chain.clone();
+        chain.push(junk);
+        prop_assert!(validate_chain(
+            ValidationPolicy::Browser, &chain, &w.trust, w.at, Some(&w.domain)).is_ok());
+        prop_assert!(validate_chain(
+            ValidationPolicy::StrictPresented, &chain, &w.trust, w.at, Some(&w.domain)).is_err());
+    }
+
+    /// Without any trust anchors, only the permissive policy accepts.
+    #[test]
+    fn empty_trust_rejects(seed in 0u64..200, depth in 0usize..3) {
+        let w = world(seed, depth, true);
+        let empty = TrustDb::new();
+        prop_assert!(validate_chain(
+            ValidationPolicy::Browser, &w.chain, &empty, w.at, Some(&w.domain)).is_err());
+        prop_assert!(validate_chain(
+            ValidationPolicy::StrictPresented, &w.chain, &empty, w.at, Some(&w.domain)).is_err());
+        prop_assert!(validate_chain(
+            ValidationPolicy::Permissive, &w.chain, &empty, w.at, Some(&w.domain)).is_ok());
+    }
+}

@@ -1,0 +1,138 @@
+//! Paper-vs-measured comparison rows — the format EXPERIMENTS.md records.
+
+use crate::table::Table;
+
+/// One compared quantity.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// What is being compared (e.g. "Table 2: hybrid chains").
+    pub name: String,
+    /// The paper's value.
+    pub paper: f64,
+    /// Our measured (weighted) value.
+    pub measured: f64,
+    /// Acceptable relative deviation for the verdict column.
+    pub tolerance: f64,
+}
+
+impl ComparisonRow {
+    /// Relative deviation (0 when both are 0).
+    pub fn deviation(&self) -> f64 {
+        if self.paper == 0.0 {
+            if self.measured == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.measured - self.paper).abs() / self.paper.abs()
+        }
+    }
+
+    /// Whether the measurement is within tolerance.
+    pub fn ok(&self) -> bool {
+        self.deviation() <= self.tolerance
+    }
+}
+
+/// A collection of comparison rows with a rendered verdict column.
+#[derive(Debug, Clone, Default)]
+pub struct ComparisonTable {
+    rows: Vec<ComparisonRow>,
+}
+
+impl ComparisonTable {
+    /// Empty table.
+    pub fn new() -> ComparisonTable {
+        ComparisonTable::default()
+    }
+
+    /// Add a row.
+    pub fn add(&mut self, name: &str, paper: f64, measured: f64, tolerance: f64) -> &mut Self {
+        self.rows.push(ComparisonRow {
+            name: name.to_string(),
+            paper,
+            measured,
+            tolerance,
+        });
+        self
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[ComparisonRow] {
+        &self.rows
+    }
+
+    /// Whether every row is within tolerance.
+    pub fn all_ok(&self) -> bool {
+        self.rows.iter().all(|r| r.ok())
+    }
+
+    /// Render as an ASCII table.
+    pub fn render(&self, title: &str) -> String {
+        let mut t = Table::new(title, &["quantity", "paper", "measured", "dev", "ok"]);
+        for r in &self.rows {
+            t.row(&[
+                r.name.clone(),
+                format!("{:.4}", r.paper),
+                format!("{:.4}", r.measured),
+                format!("{:.2}%", r.deviation() * 100.0),
+                if r.ok() { "✓".into() } else { "✗".into() },
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deviation_and_verdict() {
+        let row = ComparisonRow {
+            name: "x".into(),
+            paper: 100.0,
+            measured: 103.0,
+            tolerance: 0.05,
+        };
+        assert!((row.deviation() - 0.03).abs() < 1e-9);
+        assert!(row.ok());
+        let bad = ComparisonRow {
+            name: "y".into(),
+            paper: 100.0,
+            measured: 120.0,
+            tolerance: 0.05,
+        };
+        assert!(!bad.ok());
+    }
+
+    #[test]
+    fn zero_paper_value() {
+        let exact = ComparisonRow {
+            name: "z".into(),
+            paper: 0.0,
+            measured: 0.0,
+            tolerance: 0.0,
+        };
+        assert!(exact.ok());
+        let off = ComparisonRow {
+            name: "z".into(),
+            paper: 0.0,
+            measured: 1.0,
+            tolerance: 0.5,
+        };
+        assert!(!off.ok());
+    }
+
+    #[test]
+    fn table_renders_and_judges() {
+        let mut t = ComparisonTable::new();
+        t.add("hybrid chains", 321.0, 321.0, 0.0);
+        t.add("established", 0.9756, 0.9754, 0.01);
+        assert!(t.all_ok());
+        let s = t.render("Table 3 comparison");
+        assert!(s.contains("hybrid chains"));
+        assert!(s.contains("✓"));
+    }
+}

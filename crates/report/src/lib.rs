@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+
+//! Rendering utilities for the experiment harness: ASCII tables in the
+//! paper's layout, text CDFs/histograms for the figures, and the
+//! paper-vs-measured comparison rows EXPERIMENTS.md records.
+
+pub mod compare;
+pub mod plot;
+pub mod table;
+
+pub use compare::{ComparisonRow, ComparisonTable};
+pub use plot::{ascii_cdf, ascii_histogram};
+pub use table::Table;

@@ -1,0 +1,82 @@
+//! Text renderings of the paper's figures: CDFs (Figure 1) and
+//! histograms (Figure 6).
+
+/// Render a CDF as text: one line per x-value with a bar of `#`.
+pub fn ascii_cdf(title: &str, points: &[(usize, f64)], width: usize) -> String {
+    let mut out = format!("-- {title} (CDF) --\n");
+    for &(x, y) in points {
+        let bar = "#".repeat((y * width as f64).round() as usize);
+        out.push_str(&format!("{x:>6} | {bar:<width$} {:.4}\n", y, width = width));
+    }
+    out
+}
+
+/// Render a histogram: `buckets` are `(label, count)`.
+pub fn ascii_histogram(title: &str, buckets: &[(String, f64)], width: usize) -> String {
+    let max = buckets
+        .iter()
+        .map(|(_, c)| *c)
+        .fold(0.0_f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let mut out = format!("-- {title} (histogram) --\n");
+    for (label, count) in buckets {
+        let bar = "#".repeat(((count / max) * width as f64).round() as usize);
+        out.push_str(&format!("{label:>10} | {bar:<width$} {count:.1}\n", width = width));
+    }
+    out
+}
+
+/// Build histogram buckets over `[0, 1]` values with `n` equal bins.
+pub fn unit_buckets(values: &[(f64, f64)], n: usize) -> Vec<(String, f64)> {
+    let mut counts = vec![0.0f64; n];
+    for &(v, weight) in values {
+        let idx = ((v * n as f64) as usize).min(n - 1);
+        counts[idx] += weight;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| {
+            (
+                format!("{:.1}-{:.1}", i as f64 / n as f64, (i + 1) as f64 / n as f64),
+                c,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_renders_monotone_bars() {
+        let points = vec![(1, 0.5), (2, 0.8), (3, 1.0)];
+        let s = ascii_cdf("lengths", &points, 20);
+        assert!(s.contains("(CDF)"));
+        let bars: Vec<usize> = s
+            .lines()
+            .skip(1)
+            .map(|l| l.matches('#').count())
+            .collect();
+        assert!(bars.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn histogram_scales_to_max() {
+        let buckets = vec![("a".to_string(), 10.0), ("b".to_string(), 5.0)];
+        let s = ascii_histogram("h", &buckets, 10);
+        let bars: Vec<usize> = s.lines().skip(1).map(|l| l.matches('#').count()).collect();
+        assert_eq!(bars[0], 10);
+        assert_eq!(bars[1], 5);
+    }
+
+    #[test]
+    fn unit_buckets_cover_edges() {
+        let values = vec![(0.0, 1.0), (0.49, 1.0), (0.5, 1.0), (1.0, 1.0)];
+        let buckets = unit_buckets(&values, 2);
+        assert_eq!(buckets.len(), 2);
+        assert!((buckets[0].1 - 2.0).abs() < 1e-9);
+        assert!((buckets[1].1 - 2.0).abs() < 1e-9, "1.0 lands in the last bin");
+    }
+}

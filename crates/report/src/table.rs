@@ -1,0 +1,153 @@
+//! Minimal ASCII table renderer.
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are stringified by the caller).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience for &str cells.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {cell:>w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        let sep = {
+            let mut line = String::from("+");
+            for w in &widths {
+                line.push_str(&"-".repeat(w + 2));
+                line.push('+');
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&sep);
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+        }
+        out.push_str(&sep);
+        out
+    }
+}
+
+/// Format a float with thousands separators and `digits` decimals.
+pub fn num(value: f64, digits: usize) -> String {
+    let formatted = format!("{value:.digits$}");
+    let (int_part, frac) = match formatted.split_once('.') {
+        Some((i, f)) => (i.to_string(), Some(f.to_string())),
+        None => (formatted, None),
+    };
+    let negative = int_part.starts_with('-');
+    let digits_only: Vec<char> = int_part.trim_start_matches('-').chars().collect();
+    let mut grouped = String::new();
+    for (i, c) in digits_only.iter().enumerate() {
+        if i > 0 && (digits_only.len() - i) % 3 == 0 {
+            grouped.push(',');
+        }
+        grouped.push(*c);
+    }
+    let mut out = String::new();
+    if negative {
+        out.push('-');
+    }
+    out.push_str(&grouped);
+    if let Some(f) = frac {
+        out.push('.');
+        out.push_str(&f);
+    }
+    out
+}
+
+/// Percentage cell.
+pub fn pct(value: f64) -> String {
+    format!("{:.2}%", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Table X", &["Category", "#"]);
+        t.row_str(&["Security & Network", "31"]);
+        t.row_str(&["Other", "3"]);
+        let s = t.render();
+        assert!(s.contains("== Table X =="));
+        assert!(s.contains("| Security & Network |"));
+        // Column alignment: all lines same width.
+        let widths: std::collections::HashSet<usize> =
+            s.lines().skip(1).map(|l| l.len()).collect();
+        assert_eq!(widths.len(), 1, "all table lines equally wide");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row_str(&["only one"]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(num(1234567.0, 0), "1,234,567");
+        assert_eq!(num(999.5, 1), "999.5");
+        assert_eq!(num(-1234.25, 2), "-1,234.25");
+        assert_eq!(num(0.0, 0), "0");
+        assert_eq!(pct(0.9756), "97.56%");
+    }
+}

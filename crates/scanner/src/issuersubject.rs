@@ -1,0 +1,95 @@
+//! The issuer–subject validation method (Appendix D.1).
+//!
+//! Traverses the chain from the leaf upward, checking whether each
+//! certificate's issuer field equals the next certificate's subject field,
+//! recording the positions of conflicting pairs. This is the method the
+//! main study had to use (no key material in the logs).
+
+use crate::sclient::ScanResult;
+
+/// Verdict of the issuer–subject method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IssuerSubjectVerdict {
+    /// A single-certificate chain (not validated further).
+    Single,
+    /// Every issuer–subject pair matches.
+    Valid,
+    /// At least one pair conflicts; positions of the conflicting pairs.
+    Broken {
+        /// Indices of the conflicting pairs (0 = leaf pair).
+        mismatch_positions: Vec<usize>,
+    },
+}
+
+/// Validate one scanned chain.
+pub fn validate_issuer_subject(result: &ScanResult) -> IssuerSubjectVerdict {
+    if result.chain.len() <= 1 {
+        return IssuerSubjectVerdict::Single;
+    }
+    let mismatch_positions: Vec<usize> = result
+        .chain
+        .windows(2)
+        .enumerate()
+        .filter_map(|(i, pair)| (pair[0].issuer != pair[1].subject).then_some(i))
+        .collect();
+    if mismatch_positions.is_empty() {
+        IssuerSubjectVerdict::Valid
+    } else {
+        IssuerSubjectVerdict::Broken { mismatch_positions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sclient::ScannedCert;
+
+    fn chain(pairs: &[(&str, &str)]) -> ScanResult {
+        ScanResult {
+            domain: "t.example".into(),
+            chain: pairs
+                .iter()
+                .map(|(issuer, subject)| ScannedCert {
+                    der: vec![],
+                    issuer: issuer.to_string(),
+                    subject: subject.to_string(),
+                })
+                .collect(),
+            pem: String::new(),
+            server_idx: 0,
+        }
+    }
+
+    #[test]
+    fn single() {
+        let r = chain(&[("CN=x", "CN=x")]);
+        assert_eq!(validate_issuer_subject(&r), IssuerSubjectVerdict::Single);
+    }
+
+    #[test]
+    fn valid() {
+        let r = chain(&[("CN=ica", "CN=leaf"), ("CN=root", "CN=ica"), ("CN=root", "CN=root")]);
+        assert_eq!(validate_issuer_subject(&r), IssuerSubjectVerdict::Valid);
+    }
+
+    #[test]
+    fn broken_with_positions() {
+        let r = chain(&[
+            ("CN=ica", "CN=leaf"),
+            ("CN=root", "CN=NOT-ica"),
+            ("CN=other", "CN=NOT-root"),
+        ]);
+        assert_eq!(
+            validate_issuer_subject(&r),
+            IssuerSubjectVerdict::Broken {
+                mismatch_positions: vec![0, 1]
+            }
+        );
+    }
+
+    #[test]
+    fn empty_chain_is_single() {
+        let r = chain(&[]);
+        assert_eq!(validate_issuer_subject(&r), IssuerSubjectVerdict::Single);
+    }
+}

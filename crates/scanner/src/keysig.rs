@@ -1,0 +1,175 @@
+//! The key–signature validation method (Appendix D.2).
+//!
+//! Parses the wire DER strictly and verifies every certificate's signature
+//! with the public key of the next certificate in the chain — the
+//! reproduction of the study's Python `cryptography` validator.
+
+use crate::sclient::ScanResult;
+use certchain_x509::{AlgorithmId, Certificate};
+
+/// Verdict of the key–signature method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeysigVerdict {
+    /// Single-certificate chain.
+    Single,
+    /// Every signature verifies under the next certificate's key.
+    Valid,
+    /// A signature failed; positions of the failing pairs.
+    Broken {
+        /// Indices of the failing pairs (0 = leaf pair).
+        failure_positions: Vec<usize>,
+    },
+    /// A certificate's key/signature algorithm is not implemented by the
+    /// validator (Table 5's three "unrecognized key" chains).
+    UnrecognizedKey,
+    /// A certificate's DER failed strict ASN.1 parsing (the one chain the
+    /// issuer–subject method calls valid but this method cannot process).
+    ParseError {
+        /// Index of the certificate whose DER failed to parse.
+        position: usize,
+    },
+}
+
+/// Validate one scanned chain cryptographically.
+pub fn validate_keysig(result: &ScanResult) -> KeysigVerdict {
+    if result.chain.len() <= 1 {
+        return KeysigVerdict::Single;
+    }
+    let mut parsed = Vec::with_capacity(result.chain.len());
+    for (i, cert) in result.chain.iter().enumerate() {
+        match Certificate::parse(&cert.der) {
+            Ok(c) => parsed.push(c),
+            Err(_) => return KeysigVerdict::ParseError { position: i },
+        }
+    }
+    if parsed
+        .iter()
+        .any(|c| matches!(c.algorithm, AlgorithmId::Unknown(_)))
+    {
+        return KeysigVerdict::UnrecognizedKey;
+    }
+    let failure_positions: Vec<usize> = parsed
+        .windows(2)
+        .enumerate()
+        .filter_map(|(i, pair)| (!pair[0].verify_signed_by(&pair[1].public_key)).then_some(i))
+        .collect();
+    if failure_positions.is_empty() {
+        KeysigVerdict::Valid
+    } else {
+        KeysigVerdict::Broken { failure_positions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sclient::ScannedCert;
+    use certchain_asn1::{oid::known, Asn1Time};
+    use certchain_cryptosim::KeyPair;
+    use certchain_x509::{CertificateBuilder, DistinguishedName, Validity};
+
+    fn window() -> Validity {
+        Validity::days_from(Asn1Time::from_ymd_hms(2024, 1, 1, 0, 0, 0).unwrap(), 365)
+    }
+
+    fn wrap(certs: Vec<Vec<u8>>) -> ScanResult {
+        ScanResult {
+            domain: "t.example".into(),
+            chain: certs
+                .into_iter()
+                .map(|der| ScannedCert {
+                    der,
+                    issuer: String::new(),
+                    subject: String::new(),
+                })
+                .collect(),
+            pem: String::new(),
+            server_idx: 0,
+        }
+    }
+
+    fn valid_pair() -> (Vec<u8>, Vec<u8>) {
+        let root_kp = KeyPair::derive(1, "ks:root");
+        let root_dn = DistinguishedName::cn("KS Root");
+        let root = CertificateBuilder::new()
+            .issuer(root_dn.clone())
+            .subject(root_dn.clone())
+            .validity(window())
+            .ca(None)
+            .sign(&root_kp);
+        let leaf_kp = KeyPair::derive(1, "ks:leaf");
+        let leaf = CertificateBuilder::new()
+            .issuer(root_dn)
+            .subject(DistinguishedName::cn("leaf.example"))
+            .validity(window())
+            .public_key(leaf_kp.public().clone())
+            .sign(&root_kp);
+        (leaf.der().to_vec(), root.der().to_vec())
+    }
+
+    #[test]
+    fn valid_chain() {
+        let (leaf, root) = valid_pair();
+        assert_eq!(validate_keysig(&wrap(vec![leaf, root])), KeysigVerdict::Valid);
+    }
+
+    #[test]
+    fn single_chain() {
+        let (leaf, _) = valid_pair();
+        assert_eq!(validate_keysig(&wrap(vec![leaf])), KeysigVerdict::Single);
+    }
+
+    #[test]
+    fn forged_signature_breaks_at_position() {
+        let (_, root) = valid_pair();
+        let rogue = KeyPair::derive(9, "ks:rogue");
+        let forged = CertificateBuilder::new()
+            .issuer(DistinguishedName::cn("KS Root"))
+            .subject(DistinguishedName::cn("victim.example"))
+            .validity(window())
+            .public_key(KeyPair::derive(2, "v").public().clone())
+            .sign(&rogue);
+        assert_eq!(
+            validate_keysig(&wrap(vec![forged.der().to_vec(), root])),
+            KeysigVerdict::Broken {
+                failure_positions: vec![0]
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_algorithm_detected() {
+        let root_kp = KeyPair::derive(1, "ks:root2");
+        let root_dn = DistinguishedName::cn("KS Root 2");
+        let root = CertificateBuilder::new()
+            .issuer(root_dn.clone())
+            .subject(root_dn.clone())
+            .validity(window())
+            .ca(None)
+            .sign(&root_kp);
+        let weird = CertificateBuilder::new()
+            .issuer(root_dn)
+            .subject(DistinguishedName::cn("weird.example"))
+            .validity(window())
+            .public_key(KeyPair::derive(3, "w").public().clone())
+            .algorithm(certchain_x509::AlgorithmId::Unknown(
+                known::unknown_algorithm(),
+            ))
+            .sign(&root_kp);
+        assert_eq!(
+            validate_keysig(&wrap(vec![weird.der().to_vec(), root.der().to_vec()])),
+            KeysigVerdict::UnrecognizedKey
+        );
+    }
+
+    #[test]
+    fn truncated_der_is_a_parse_error() {
+        let (leaf, root) = valid_pair();
+        let mut bad_root = root;
+        bad_root.truncate(bad_root.len() - 1);
+        assert_eq!(
+            validate_keysig(&wrap(vec![leaf, bad_root])),
+            KeysigVerdict::ParseError { position: 1 }
+        );
+    }
+}

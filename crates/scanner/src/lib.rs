@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! The November-2024 retrospective scanner (§5) and the validation-method
+//! comparison of Appendix D (Table 5).
+//!
+//! Mimics `openssl s_client -connect $domain:443 -showcerts` against the
+//! evolved server population: for each reachable server the scanner
+//! retrieves the full delivered chain as PEM (unlike the campus logs, the
+//! scan sees keys and signatures), then runs two independent validators:
+//!
+//! - [`issuersubject`] — the paper's field-level method (works on logged
+//!   fields only), and
+//! - [`keysig`] — full cryptographic verification over the wire DER,
+//!   standing in for the Python `cryptography` implementation.
+//!
+//! [`compare()`] cross-tabulates the two into Table 5; [`revisit`] computes
+//! every §5 statistic, including the Chrome/OpenSSL divergence experiment.
+
+pub mod compare;
+pub mod issuersubject;
+pub mod keysig;
+pub mod revisit;
+pub mod sclient;
+pub mod sweep;
+
+pub use compare::{compare, Table5};
+pub use issuersubject::{validate_issuer_subject, IssuerSubjectVerdict};
+pub use keysig::{validate_keysig, KeysigVerdict};
+pub use sclient::{scan_all, ScanResult, ScannedCert};
+pub use sweep::{ip_space_sweep, SweepReport};

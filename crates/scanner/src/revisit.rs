@@ -1,0 +1,238 @@
+//! §5 revisit statistics and the Chrome/OpenSSL divergence experiment.
+
+use crate::issuersubject::{validate_issuer_subject, IssuerSubjectVerdict};
+use crate::sclient::{scan_all, ScanResult};
+use certchain_asn1::Asn1Time;
+use certchain_netsim::{validate_chain, ValidationPolicy};
+use certchain_trust::TrustDb;
+use certchain_workload::evolve::{NowState, PrevState, RevisitPopulation};
+
+/// §5 hybrid-revisit outcomes.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct HybridRevisit {
+    /// Servers scanned (reachable).
+    pub reachable: u64,
+    /// Servers now delivering public-DB-only chains.
+    pub now_public: u64,
+    /// ...of which issued by Let's Encrypt.
+    pub now_lets_encrypt: u64,
+    /// Servers now delivering non-public-DB-only chains.
+    pub now_nonpub: u64,
+    /// Servers still delivering hybrid chains.
+    pub still_hybrid: u64,
+    /// Still-hybrid: complete matched path, no unnecessary certs.
+    pub still_complete_clean: u64,
+    /// Still-hybrid: complete matched path with unnecessary certs.
+    pub still_complete_unnecessary: u64,
+    /// Still-hybrid: no matched path.
+    pub still_no_path: u64,
+}
+
+/// §5 non-public revisit outcomes.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct NonPubRevisit {
+    /// Servers scanned.
+    pub servers: u64,
+    /// Now delivering multi-certificate chains.
+    pub now_multi: u64,
+    /// Of the now-multi servers: previously multi-certificate.
+    pub prev_multi: u64,
+    /// Of the now-multi servers: previously a single self-signed cert.
+    pub prev_single_self_signed: u64,
+    /// Of the now-multi servers: previously a single distinct-DN cert.
+    pub prev_single_distinct: u64,
+    /// Share of now-multi chains that are complete matched paths.
+    pub complete_share: f64,
+}
+
+/// One chain's Chrome-vs-OpenSSL verdict pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivergenceCase {
+    /// Domain scanned.
+    pub domain: String,
+    /// Chrome-like (path building over maintained stores).
+    pub chrome_valid: bool,
+    /// OpenSSL-like (strict walk of the presented chain).
+    pub openssl_valid: bool,
+}
+
+/// The full §5 report.
+#[derive(Debug, Clone)]
+pub struct RevisitReport {
+    /// Hybrid-server outcomes.
+    pub hybrid: HybridRevisit,
+    /// Non-public-server outcomes.
+    pub nonpub: NonPubRevisit,
+    /// The validation comparison over the complete-plus-unnecessary
+    /// still-hybrid chains (3 in the paper).
+    pub divergence: Vec<DivergenceCase>,
+}
+
+/// Compute the §5 report from the evolved population.
+pub fn revisit(population: &RevisitPopulation, trust: &TrustDb) -> RevisitReport {
+    let results = scan_all(population);
+    let mut hybrid = HybridRevisit::default();
+    let mut nonpub = NonPubRevisit::default();
+    let mut nonpub_multi_complete = 0u64;
+    let mut divergence = Vec::new();
+    let at = Asn1Time::from_ymd_hms(2024, 11, 15, 0, 0, 0).expect("valid date");
+
+    for result in &results {
+        let server = &population.servers[result.server_idx];
+        if server.is_alias {
+            continue; // extra Table 5 chains, not §5 servers
+        }
+        match server.prev {
+            PrevState::Hybrid(prev_kind) => {
+                let _ = prev_kind;
+                hybrid.reachable += 1;
+                match server.now {
+                    NowState::PublicValid | NowState::PublicLeafOnly | NowState::PublicBroken => {
+                        hybrid.now_public += 1;
+                        if result.chain[0].issuer.contains("CN=R3") {
+                            hybrid.now_lets_encrypt += 1;
+                        }
+                    }
+                    NowState::NonPubSingle
+                    | NowState::NonPubMultiValid
+                    | NowState::NonPubMultiBroken => hybrid.now_nonpub += 1,
+                    NowState::HybridCompleteClean => {
+                        hybrid.still_hybrid += 1;
+                        hybrid.still_complete_clean += 1;
+                    }
+                    NowState::HybridCompleteUnnecessary => {
+                        hybrid.still_hybrid += 1;
+                        hybrid.still_complete_unnecessary += 1;
+                        divergence.push(divergence_case(result, server, trust, at));
+                    }
+                    NowState::HybridNoPath => {
+                        hybrid.still_hybrid += 1;
+                        hybrid.still_no_path += 1;
+                    }
+                    NowState::Unreachable => unreachable!("scan skips unreachable"),
+                }
+            }
+            prev @ (PrevState::NonPubMulti
+            | PrevState::NonPubSingleSelfSigned
+            | PrevState::NonPubSingleDistinct) => {
+                nonpub.servers += 1;
+                if result.chain.len() > 1 {
+                    nonpub.now_multi += 1;
+                    match prev {
+                        PrevState::NonPubMulti => nonpub.prev_multi += 1,
+                        PrevState::NonPubSingleSelfSigned => {
+                            nonpub.prev_single_self_signed += 1
+                        }
+                        PrevState::NonPubSingleDistinct => nonpub.prev_single_distinct += 1,
+                        PrevState::Hybrid(_) => unreachable!("matched above"),
+                    }
+                    if validate_issuer_subject(result) == IssuerSubjectVerdict::Valid {
+                        nonpub_multi_complete += 1;
+                    }
+                }
+            }
+        }
+    }
+    nonpub.complete_share = if nonpub.now_multi == 0 {
+        0.0
+    } else {
+        nonpub_multi_complete as f64 / nonpub.now_multi as f64
+    };
+
+    RevisitReport {
+        hybrid,
+        nonpub,
+        divergence,
+    }
+}
+
+fn divergence_case(
+    result: &ScanResult,
+    server: &certchain_workload::evolve::RevisitServer,
+    trust: &TrustDb,
+    at: Asn1Time,
+) -> DivergenceCase {
+    let chain = &server.endpoint.chain;
+    let sni = server.endpoint.domain.as_deref();
+    DivergenceCase {
+        domain: result.domain.clone(),
+        chrome_valid: validate_chain(ValidationPolicy::Browser, chain, trust, at, sni).is_ok(),
+        openssl_valid: validate_chain(ValidationPolicy::StrictPresented, chain, trust, at, sni)
+            .is_ok(),
+    }
+}
+
+/// Convenience: assert-friendly check that a report matches the §5 numbers.
+pub fn matches_paper(report: &RevisitReport) -> Result<(), String> {
+    let h = &report.hybrid;
+    let n = &report.nonpub;
+    let checks: [(&str, bool); 10] = [
+        ("270 reachable", h.reachable == 270),
+        ("231 now public", h.now_public == 231),
+        ("4 now non-public", h.now_nonpub == 4),
+        ("35 still hybrid", h.still_hybrid == 35),
+        ("9 complete clean", h.still_complete_clean == 9),
+        ("3 complete + unnecessary", h.still_complete_unnecessary == 3),
+        ("12,404 non-public servers", n.servers == 12_404),
+        ("9,849 now multi", n.now_multi == 9_849),
+        ("39.00% previously multi", (n.prev_multi as f64 / n.now_multi as f64 - 0.39).abs() < 0.001),
+        ("~97.61% complete", (n.complete_share - 0.9761).abs() < 0.001),
+    ];
+    for (name, ok) in checks {
+        if !ok {
+            return Err(format!("§5 check failed: {name}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certchain_workload::pki::Ecosystem;
+    use certchain_workload::servers::hybrid as hybrid_pop;
+    use certchain_workload::GroundTruth;
+
+    fn setup() -> (Ecosystem, RevisitPopulation) {
+        let mut eco = Ecosystem::bootstrap(321);
+        let hybrid_servers = hybrid_pop::build(&mut eco, 0);
+        let refs: Vec<_> = hybrid_servers.iter().collect();
+        let pop = RevisitPopulation::generate(&mut eco, &refs);
+        let _ = GroundTruth::default();
+        (eco, pop)
+    }
+
+    #[test]
+    fn reproduces_section5() {
+        let (eco, pop) = setup();
+        let report = revisit(&pop, &eco.trust);
+        matches_paper(&report).unwrap();
+        // The dominant migration target is Let's Encrypt.
+        assert!(report.hybrid.now_lets_encrypt >= 200);
+        assert_eq!(report.hybrid.still_no_path, 23);
+        assert!(
+            (report.nonpub.prev_single_self_signed as f64 / report.nonpub.now_multi as f64
+                - 0.5344)
+                .abs()
+                < 0.001
+        );
+    }
+
+    /// §5: "Interestingly, the two tools produced different validation
+    /// results. Chrome successfully validates these chains … OpenSSL
+    /// yields different results."
+    #[test]
+    fn chrome_openssl_divergence_on_unnecessary_chains() {
+        let (eco, pop) = setup();
+        let report = revisit(&pop, &eco.trust);
+        assert_eq!(report.divergence.len(), 3);
+        for case in &report.divergence {
+            assert!(case.chrome_valid, "{}: Chrome should validate", case.domain);
+            assert!(
+                !case.openssl_valid,
+                "{}: strict-presented should reject",
+                case.domain
+            );
+        }
+    }
+}

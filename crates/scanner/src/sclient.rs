@@ -1,0 +1,123 @@
+//! The `s_client`-style scan.
+
+use certchain_workload::evolve::{RevisitPopulation, RevisitServer};
+use certchain_x509::pem;
+
+/// One certificate as retrieved over the wire.
+#[derive(Debug, Clone)]
+pub struct ScannedCert {
+    /// The DER exactly as the server sent it (possibly malformed).
+    pub der: Vec<u8>,
+    /// Issuer DN string as a field-level parser (Zeek-like) reports it.
+    pub issuer: String,
+    /// Subject DN string.
+    pub subject: String,
+}
+
+/// One server's scan result.
+#[derive(Debug, Clone)]
+pub struct ScanResult {
+    /// The domain dialed.
+    pub domain: String,
+    /// The chain in delivery order.
+    pub chain: Vec<ScannedCert>,
+    /// `-showcerts` output: PEM blocks in delivery order.
+    pub pem: String,
+    /// Index of the server within the revisit population.
+    pub server_idx: usize,
+}
+
+/// Scan one server (None when unreachable).
+pub fn scan(server: &RevisitServer, server_idx: usize) -> Option<ScanResult> {
+    if !server.reachable() {
+        return None;
+    }
+    let domain = server
+        .endpoint
+        .domain
+        .clone()
+        .unwrap_or_else(|| server.endpoint.ip.to_string());
+    let mut chain = Vec::with_capacity(server.endpoint.chain.len());
+    let mut pem_out = String::new();
+    for (i, cert) in server.endpoint.chain.iter().enumerate() {
+        // The wire DER honours any malformed-byte override the server
+        // carries (the Table 5 ASN.1-error chain); the field view is what
+        // a tolerant parser extracted.
+        let der = match &server.wire_der_override {
+            Some(ders) => ders[i].clone(),
+            None => cert.der().to_vec(),
+        };
+        pem_out.push_str(&pem::encode("CERTIFICATE", &der));
+        chain.push(ScannedCert {
+            der,
+            issuer: cert.issuer.to_rfc4514(),
+            subject: cert.subject.to_rfc4514(),
+        });
+    }
+    Some(ScanResult {
+        domain,
+        chain,
+        pem: pem_out,
+        server_idx,
+    })
+}
+
+/// Scan the whole population; unreachable servers yield nothing.
+pub fn scan_all(population: &RevisitPopulation) -> Vec<ScanResult> {
+    population
+        .servers
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, s)| scan(s, idx))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certchain_workload::pki::Ecosystem;
+    use certchain_workload::servers::hybrid;
+    use certchain_x509::Certificate;
+
+    fn population() -> RevisitPopulation {
+        let mut eco = Ecosystem::bootstrap(123);
+        let hybrid_servers = hybrid::build(&mut eco, 0);
+        let refs: Vec<_> = hybrid_servers.iter().collect();
+        RevisitPopulation::generate(&mut eco, &refs)
+    }
+
+    #[test]
+    fn scan_skips_unreachable() {
+        let pop = population();
+        let results = scan_all(&pop);
+        assert_eq!(results.len(), 12_676);
+    }
+
+    #[test]
+    fn pem_round_trips_to_wire_der() {
+        let pop = population();
+        let result = scan_all(&pop).into_iter().next().unwrap();
+        let blocks = certchain_x509::pem::decode_all("CERTIFICATE", &result.pem).unwrap();
+        assert_eq!(blocks.len(), result.chain.len());
+        for (block, cert) in blocks.iter().zip(&result.chain) {
+            assert_eq!(block, &cert.der);
+            // Well-formed scans parse back into certificates.
+            assert!(Certificate::parse(block).is_ok());
+        }
+    }
+
+    #[test]
+    fn malformed_override_reaches_the_wire() {
+        let pop = population();
+        let results = scan_all(&pop);
+        let malformed: Vec<_> = results
+            .iter()
+            .filter(|r| {
+                r.chain
+                    .iter()
+                    .any(|c| Certificate::parse(&c.der).is_err())
+            })
+            .collect();
+        assert_eq!(malformed.len(), 1, "exactly one ASN.1-broken chain");
+    }
+}

@@ -1,0 +1,291 @@
+//! A model of the Common CA Database (CCADB).
+//!
+//! CCADB lists root *and intermediate* certificate data contributed by
+//! participating root programs. Per the paper (§3.2.1), an intermediate is
+//! included only when it (a) chains to a trusted root of a participating
+//! program and (b) is either technically constrained or subject to public
+//! audits. Both rules are enforced at insertion time here.
+
+use crate::store::{RootProgram, RootStore};
+use certchain_x509::{Certificate, DistinguishedName, Fingerprint};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Why an intermediate was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CcadbRejection {
+    /// No participating program has a root whose subject matches the
+    /// intermediate's issuer.
+    NoParticipatingRoot,
+    /// A root with the right DN exists, but the signature does not verify
+    /// under any of its keys.
+    SignatureInvalid,
+    /// Neither technically constrained nor audited.
+    NotConstrainedOrAudited,
+    /// Not a CA certificate (basicConstraints CA bit absent or false).
+    NotACa,
+}
+
+/// One CCADB intermediate record.
+#[derive(Debug, Clone)]
+pub struct CcadbEntry {
+    /// The intermediate certificate.
+    pub cert: Arc<Certificate>,
+    /// Which participating program's root anchors it.
+    pub anchored_by: RootProgram,
+    /// Whether the entry is technically constrained.
+    pub technically_constrained: bool,
+    /// Whether the entry is covered by public audits.
+    pub audited: bool,
+}
+
+/// The CCADB repository.
+#[derive(Debug, Default)]
+pub struct Ccadb {
+    entries: HashMap<Fingerprint, CcadbEntry>,
+    by_subject: HashMap<DistinguishedName, Vec<Fingerprint>>,
+}
+
+impl Ccadb {
+    /// Empty repository.
+    pub fn new() -> Ccadb {
+        Ccadb::default()
+    }
+
+    /// Try to add an intermediate, enforcing the inclusion rules against
+    /// the participating programs' stores.
+    pub fn add_intermediate(
+        &mut self,
+        cert: Arc<Certificate>,
+        stores: &BTreeMap<RootProgram, RootStore>,
+        technically_constrained: bool,
+        audited: bool,
+    ) -> Result<(), CcadbRejection> {
+        if !technically_constrained && !audited {
+            return Err(CcadbRejection::NotConstrainedOrAudited);
+        }
+        if !cert.basic_constraints().map(|bc| bc.ca).unwrap_or(false) {
+            return Err(CcadbRejection::NotACa);
+        }
+        let mut found_dn = false;
+        let mut anchored_by = None;
+        for program in RootProgram::ccadb_participants() {
+            let Some(store) = stores.get(&program) else {
+                continue;
+            };
+            let roots = store.roots_for_subject(&cert.issuer);
+            if !roots.is_empty() {
+                found_dn = true;
+            }
+            if roots
+                .iter()
+                .any(|root| cert.verify_signed_by(&root.public_key))
+            {
+                anchored_by = Some(program);
+                break;
+            }
+        }
+        // Chaining is transitive: an intermediate issued by an
+        // already-listed intermediate inherits its anchor program.
+        if anchored_by.is_none() {
+            if let Some(parents) = self.by_subject.get(&cert.issuer) {
+                found_dn = true;
+                anchored_by = parents.iter().find_map(|fp| {
+                    let entry = &self.entries[fp];
+                    cert.verify_signed_by(&entry.cert.public_key)
+                        .then_some(entry.anchored_by)
+                });
+            }
+        }
+        let anchored_by = match anchored_by {
+            Some(p) => p,
+            None if found_dn => return Err(CcadbRejection::SignatureInvalid),
+            None => return Err(CcadbRejection::NoParticipatingRoot),
+        };
+        let entry = CcadbEntry {
+            cert: Arc::clone(&cert),
+            anchored_by,
+            technically_constrained,
+            audited,
+        };
+        if self.entries.insert(cert.fingerprint(), entry).is_none() {
+            self.by_subject
+                .entry(cert.subject.clone())
+                .or_default()
+                .push(cert.fingerprint());
+        }
+        Ok(())
+    }
+
+    /// Whether this exact certificate is listed.
+    pub fn contains(&self, fingerprint: &Fingerprint) -> bool {
+        self.entries.contains_key(fingerprint)
+    }
+
+    /// Whether any listed intermediate carries this subject DN.
+    pub fn has_subject(&self, dn: &DistinguishedName) -> bool {
+        self.by_subject.contains_key(dn)
+    }
+
+    /// Look up an entry.
+    pub fn get(&self, fingerprint: &Fingerprint) -> Option<&CcadbEntry> {
+        self.entries.get(fingerprint)
+    }
+
+    /// Iterate over all listed entries.
+    pub fn iter(&self) -> impl Iterator<Item = &CcadbEntry> {
+        self.entries.values()
+    }
+
+    /// Number of listed intermediates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certchain_asn1::Asn1Time;
+    use certchain_cryptosim::KeyPair;
+    use certchain_x509::{CertificateBuilder, Validity};
+
+    struct Fixture {
+        stores: BTreeMap<RootProgram, RootStore>,
+        root_kp: KeyPair,
+        root_dn: DistinguishedName,
+    }
+
+    fn fixture() -> Fixture {
+        let root_kp = KeyPair::derive(1, "ccadb:root");
+        let root_dn = DistinguishedName::cn_o("CCADB Test Root", "Root Org");
+        let root = CertificateBuilder::new()
+            .issuer(root_dn.clone())
+            .subject(root_dn.clone())
+            .validity(long())
+            .ca(None)
+            .sign(&root_kp)
+            .into_arc();
+        let mut store = RootStore::new();
+        store.add(root);
+        let mut stores = BTreeMap::new();
+        stores.insert(RootProgram::Mozilla, store);
+        Fixture {
+            stores,
+            root_kp,
+            root_dn,
+        }
+    }
+
+    fn long() -> Validity {
+        Validity::days_from(Asn1Time::from_ymd_hms(2015, 1, 1, 0, 0, 0).unwrap(), 7300)
+    }
+
+    fn intermediate(f: &Fixture, name: &str, signer: &KeyPair) -> Arc<Certificate> {
+        let kp = KeyPair::derive(7, name);
+        CertificateBuilder::new()
+            .issuer(f.root_dn.clone())
+            .subject(DistinguishedName::cn_o(name, "Intermediate Org"))
+            .validity(long())
+            .public_key(kp.public().clone())
+            .ca(Some(0))
+            .sign(signer)
+            .into_arc()
+    }
+
+    #[test]
+    fn accepts_audited_chained_intermediate() {
+        let f = fixture();
+        let mut ccadb = Ccadb::new();
+        let ica = intermediate(&f, "Good ICA", &f.root_kp);
+        ccadb
+            .add_intermediate(Arc::clone(&ica), &f.stores, false, true)
+            .unwrap();
+        assert!(ccadb.contains(&ica.fingerprint()));
+        assert!(ccadb.has_subject(&ica.subject));
+        assert_eq!(
+            ccadb.get(&ica.fingerprint()).unwrap().anchored_by,
+            RootProgram::Mozilla
+        );
+        assert_eq!(ccadb.len(), 1);
+    }
+
+    #[test]
+    fn rejects_unconstrained_unaudited() {
+        let f = fixture();
+        let mut ccadb = Ccadb::new();
+        let ica = intermediate(&f, "Bad ICA", &f.root_kp);
+        assert_eq!(
+            ccadb.add_intermediate(ica, &f.stores, false, false),
+            Err(CcadbRejection::NotConstrainedOrAudited)
+        );
+    }
+
+    #[test]
+    fn rejects_orphan_intermediate() {
+        let f = fixture();
+        let mut ccadb = Ccadb::new();
+        let rogue_kp = KeyPair::derive(66, "rogue");
+        let kp = KeyPair::derive(7, "Orphan ICA");
+        let ica = CertificateBuilder::new()
+            .issuer(DistinguishedName::cn("Nonexistent Root"))
+            .subject(DistinguishedName::cn("Orphan ICA"))
+            .validity(long())
+            .public_key(kp.public().clone())
+            .ca(None)
+            .sign(&rogue_kp)
+            .into_arc();
+        assert_eq!(
+            ccadb.add_intermediate(ica, &f.stores, true, true),
+            Err(CcadbRejection::NoParticipatingRoot)
+        );
+    }
+
+    #[test]
+    fn rejects_forged_signature() {
+        let f = fixture();
+        let mut ccadb = Ccadb::new();
+        // Right issuer DN, wrong signing key.
+        let forger = KeyPair::derive(99, "forger");
+        let ica = intermediate(&f, "Forged ICA", &forger);
+        assert_eq!(
+            ccadb.add_intermediate(ica, &f.stores, true, true),
+            Err(CcadbRejection::SignatureInvalid)
+        );
+    }
+
+    #[test]
+    fn rejects_non_ca() {
+        let f = fixture();
+        let mut ccadb = Ccadb::new();
+        let kp = KeyPair::derive(8, "leafish");
+        let not_ca = CertificateBuilder::new()
+            .issuer(f.root_dn.clone())
+            .subject(DistinguishedName::cn("Not A CA"))
+            .validity(long())
+            .public_key(kp.public().clone())
+            .leaf_for("x.org")
+            .sign(&f.root_kp)
+            .into_arc();
+        assert_eq!(
+            ccadb.add_intermediate(not_ca, &f.stores, true, true),
+            Err(CcadbRejection::NotACa)
+        );
+    }
+
+    #[test]
+    fn technically_constrained_without_audit_is_enough() {
+        let f = fixture();
+        let mut ccadb = Ccadb::new();
+        let ica = intermediate(&f, "Constrained ICA", &f.root_kp);
+        ccadb
+            .add_intermediate(ica, &f.stores, true, false)
+            .unwrap();
+        assert_eq!(ccadb.len(), 1);
+    }
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! Trust stores and issuer classification.
+//!
+//! Models the public databases the paper classifies against (§3.2.1):
+//! the Mozilla NSS, Apple and Microsoft root programs plus the CCADB
+//! intermediate repository. A certificate is *issued by a public-DB issuer*
+//! when its issuer — as an intermediate or root certificate — is listed in
+//! at least one of those databases; otherwise it is issued by a
+//! *non-public-DB issuer* (including self-signed certificates absent from
+//! all databases).
+
+pub mod ccadb;
+pub mod classify;
+pub mod store;
+
+pub use ccadb::{Ccadb, CcadbEntry, CcadbRejection};
+pub use classify::{IssuerClass, TrustDb};
+pub use store::{RootProgram, RootStore};

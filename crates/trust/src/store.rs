@@ -1,0 +1,190 @@
+//! Root-program stores.
+
+use certchain_x509::{Certificate, DistinguishedName, Fingerprint};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The root programs the paper's classification consults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RootProgram {
+    /// Mozilla NSS — what Zeek itself validates against.
+    Mozilla,
+    /// Apple's trusted root list.
+    Apple,
+    /// Microsoft's Trusted Root Program.
+    Microsoft,
+    /// Google (participates in CCADB; modelled for CCADB chaining rules).
+    Google,
+    /// Oracle (participates in CCADB).
+    Oracle,
+}
+
+impl RootProgram {
+    /// The programs whose root stores browsers ship (used directly for
+    /// classification).
+    pub fn major_web_pki() -> [RootProgram; 3] {
+        [
+            RootProgram::Mozilla,
+            RootProgram::Apple,
+            RootProgram::Microsoft,
+        ]
+    }
+
+    /// All CCADB-participating programs.
+    pub fn ccadb_participants() -> [RootProgram; 5] {
+        [
+            RootProgram::Mozilla,
+            RootProgram::Apple,
+            RootProgram::Microsoft,
+            RootProgram::Google,
+            RootProgram::Oracle,
+        ]
+    }
+}
+
+impl std::fmt::Display for RootProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            RootProgram::Mozilla => "Mozilla",
+            RootProgram::Apple => "Apple",
+            RootProgram::Microsoft => "Microsoft",
+            RootProgram::Google => "Google",
+            RootProgram::Oracle => "Oracle",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One program's root store: a set of trusted root certificates, indexed
+/// by fingerprint and by subject DN.
+#[derive(Debug, Default, Clone)]
+pub struct RootStore {
+    by_fingerprint: HashMap<Fingerprint, Arc<Certificate>>,
+    by_subject: HashMap<DistinguishedName, Vec<Arc<Certificate>>>,
+}
+
+impl RootStore {
+    /// Empty store.
+    pub fn new() -> RootStore {
+        RootStore::default()
+    }
+
+    /// Add a root certificate. Idempotent by fingerprint.
+    pub fn add(&mut self, cert: Arc<Certificate>) {
+        if self
+            .by_fingerprint
+            .insert(cert.fingerprint(), Arc::clone(&cert))
+            .is_none()
+        {
+            self.by_subject
+                .entry(cert.subject.clone())
+                .or_default()
+                .push(cert);
+        }
+    }
+
+    /// Whether this exact certificate is a trusted root.
+    pub fn contains(&self, fingerprint: &Fingerprint) -> bool {
+        self.by_fingerprint.contains_key(fingerprint)
+    }
+
+    /// Roots whose subject matches `dn` (multiple roots can share a DN
+    /// across key rollovers).
+    pub fn roots_for_subject(&self, dn: &DistinguishedName) -> &[Arc<Certificate>] {
+        self.by_subject.get(dn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether any trusted root carries this subject DN.
+    pub fn has_subject(&self, dn: &DistinguishedName) -> bool {
+        self.by_subject.contains_key(dn)
+    }
+
+    /// Number of roots.
+    pub fn len(&self) -> usize {
+        self.by_fingerprint.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_fingerprint.is_empty()
+    }
+
+    /// Iterate over all roots.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<Certificate>> {
+        self.by_fingerprint.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certchain_asn1::Asn1Time;
+    use certchain_cryptosim::KeyPair;
+    use certchain_x509::{CertificateBuilder, Validity};
+
+    fn root(name: &str, seed: u64) -> Arc<Certificate> {
+        let kp = KeyPair::derive(seed, name);
+        let dn = DistinguishedName::cn_o(name, "Root Org");
+        CertificateBuilder::new()
+            .issuer(dn.clone())
+            .subject(dn)
+            .validity(Validity::days_from(
+                Asn1Time::from_ymd_hms(2015, 1, 1, 0, 0, 0).unwrap(),
+                3650 * 2,
+            ))
+            .ca(None)
+            .sign(&kp)
+            .into_arc()
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut store = RootStore::new();
+        let r = root("Test Root A", 1);
+        store.add(Arc::clone(&r));
+        assert!(store.contains(&r.fingerprint()));
+        assert!(store.has_subject(&r.subject));
+        assert_eq!(store.roots_for_subject(&r.subject).len(), 1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut store = RootStore::new();
+        let r = root("Test Root A", 1);
+        store.add(Arc::clone(&r));
+        store.add(Arc::clone(&r));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.roots_for_subject(&r.subject).len(), 1);
+    }
+
+    #[test]
+    fn same_dn_different_keys_coexist() {
+        // Key rollover: same subject DN, two root certs.
+        let mut store = RootStore::new();
+        let a = root("Rollover Root", 1);
+        let b = root("Rollover Root", 2);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        store.add(Arc::clone(&a));
+        store.add(Arc::clone(&b));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.roots_for_subject(&a.subject).len(), 2);
+    }
+
+    #[test]
+    fn missing_lookups() {
+        let store = RootStore::new();
+        let r = root("X", 9);
+        assert!(!store.contains(&r.fingerprint()));
+        assert!(!store.has_subject(&r.subject));
+        assert!(store.roots_for_subject(&r.subject).is_empty());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn program_sets() {
+        assert_eq!(RootProgram::major_web_pki().len(), 3);
+        assert_eq!(RootProgram::ccadb_participants().len(), 5);
+        assert_eq!(RootProgram::Mozilla.to_string(), "Mozilla");
+    }
+}

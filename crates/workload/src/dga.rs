@@ -1,0 +1,88 @@
+//! The DGA certificate cluster (§4.3, "Single-certificate chains — Special
+//! case").
+//!
+//! The paper found a cluster of single-certificate chains whose issuer and
+//! subject both contain randomly generated domains following one pattern
+//! (`www[dot]randomstring[dot]com`), distinct from each other, with validity
+//! periods spread uniformly between 4 and 365 days.
+
+use rand::Rng;
+
+/// Generate one DGA-style domain: `www.<random string>.com`.
+///
+/// The random string alternates consonants and vowels the way classic DGA
+/// families do, so the domains look pronounceable-but-meaningless and all
+/// match one regular pattern a detector can key on.
+pub fn dga_domain(rng: &mut impl Rng, len: usize) -> String {
+    const CONSONANTS: &[u8] = b"bcdfghjklmnpqrstvwxz";
+    const VOWELS: &[u8] = b"aeiou";
+    let mut label = String::with_capacity(len);
+    for i in 0..len {
+        let set = if i % 2 == 0 { CONSONANTS } else { VOWELS };
+        label.push(set[rng.gen_range(0..set.len())] as char);
+    }
+    format!("www.{label}.com")
+}
+
+/// Whether a domain matches the cluster's pattern: `www.<8-16 lowercase
+/// alternating letters>.com`.
+pub fn matches_dga_pattern(domain: &str) -> bool {
+    let Some(rest) = domain.strip_prefix("www.") else {
+        return false;
+    };
+    let Some(label) = rest.strip_suffix(".com") else {
+        return false;
+    };
+    if !(8..=16).contains(&label.len()) {
+        return false;
+    }
+    label.bytes().enumerate().all(|(i, b)| {
+        let is_vowel = matches!(b, b'a' | b'e' | b'i' | b'o' | b'u');
+        b.is_ascii_lowercase() && (if i % 2 == 0 { !is_vowel } else { is_vowel })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_domains_match_the_pattern() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let len = rng.gen_range(8..=16);
+            let d = dga_domain(&mut rng, len);
+            assert!(matches_dga_pattern(&d), "{d}");
+        }
+    }
+
+    #[test]
+    fn generated_domains_are_diverse() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let domains: std::collections::HashSet<String> =
+            (0..100).map(|_| dga_domain(&mut rng, 12)).collect();
+        assert!(domains.len() > 95);
+    }
+
+    #[test]
+    fn normal_domains_do_not_match() {
+        for d in [
+            "www.example.com",     // 'example' breaks alternation
+            "www.google.com",      // too short
+            "mail.abcdefgh.com",   // wrong prefix
+            "www.badomain.org",    // wrong suffix
+            "www.BADOMAIN.com",    // uppercase
+            "www.www.kazete.com",  // nested
+        ] {
+            assert!(!matches_dga_pattern(d), "{d}");
+        }
+    }
+
+    #[test]
+    fn alternation_pattern_matches_manually_built_domain() {
+        assert!(matches_dga_pattern("www.bakelotifu.com"));
+        assert!(!matches_dga_pattern("www.bbkelotifu.com"));
+    }
+}

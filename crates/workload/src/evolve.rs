@@ -1,0 +1,582 @@
+//! Ecosystem evolution to November 2024 — the §5 retrospective population.
+//!
+//! The paper re-scanned (a) the 321 servers that had delivered hybrid
+//! chains and (b) the 12,404 SNI-extractable servers that had delivered
+//! non-public-DB-only chains. This module produces that server population
+//! in its evolved state, with previous-state tags, so the `scanner` crate
+//! can reproduce every §5 number and the Table 5 validation comparison.
+//!
+//! The arithmetic lives in one place ([`RevisitPlan`]) and is checked by
+//! tests against the paper's reported values:
+//!
+//! - hybrid: 270/321 reachable; 231 → public-DB (9 leaf-only, 21 broken,
+//!   201 valid), 4 → non-public single, 35 still hybrid (9 complete clean,
+//!   3 complete + unnecessary, 23 no path);
+//! - non-public: 12,404 servers, 9,849 now multi (39.00% previously multi,
+//!   53.44% previously single self-signed, 7.56% previously single
+//!   distinct); 9,613 of the multi chains (97.61%) are complete matched
+//!   paths, 236 broken; plus 2 alias servers so the scan corpus matches
+//!   Table 5's 12,676 chains;
+//! - Table 5 specials: 3 valid chains carrying an unknown-algorithm
+//!   certificate and 1 valid chain with a malformed-DER certificate.
+
+use crate::misconfig;
+use crate::pki::{ca_validity, CaHandle, Ecosystem};
+use crate::servers::{
+    server_ip, ChainCategory, GeneratedServer, HybridKind,
+};
+use certchain_asn1::Asn1Time;
+use certchain_netsim::ServerEndpoint;
+use certchain_x509::{AlgorithmId, Certificate, DistinguishedName, Validity};
+use std::sync::Arc;
+
+fn nov_2024() -> Asn1Time {
+    Asn1Time::from_ymd_hms(2024, 10, 1, 0, 0, 0).expect("valid date")
+}
+
+/// What a revisited server previously served (campus-window state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrevState {
+    /// A hybrid chain of the given kind.
+    Hybrid(HybridKind),
+    /// A single self-signed non-public certificate.
+    NonPubSingleSelfSigned,
+    /// A single non-public certificate with distinct issuer/subject.
+    NonPubSingleDistinct,
+    /// A multi-certificate non-public chain.
+    NonPubMulti,
+}
+
+/// What the evolved server delivers now (generator-side truth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NowState {
+    /// Unreachable in November 2024.
+    Unreachable,
+    /// Public-DB-only chain, valid.
+    PublicValid,
+    /// Public-DB-only, leaf only (missing intermediate → single cert).
+    PublicLeafOnly,
+    /// Public-DB-only, broken (leaf + non-issuing certificate).
+    PublicBroken,
+    /// Non-public single certificate.
+    NonPubSingle,
+    /// Non-public multi-certificate complete matched path.
+    NonPubMultiValid,
+    /// Non-public multi-certificate chain with a mismatch.
+    NonPubMultiBroken,
+    /// Still hybrid: complete matched path, no unnecessary certs.
+    HybridCompleteClean,
+    /// Still hybrid: complete matched path plus unnecessary certs — the
+    /// chains the paper ran the Chrome/OpenSSL comparison on.
+    HybridCompleteUnnecessary,
+    /// Still hybrid: no matched path.
+    HybridNoPath,
+}
+
+/// Special markers for the Table 5 key-signature experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeysigQuirk {
+    /// No quirk.
+    None,
+    /// The chain contains a certificate with an unrecognized key algorithm.
+    UnknownAlgorithm,
+    /// The chain contains a certificate whose DER is malformed (parses in
+    /// the Zeek-field view, fails in the strict ASN.1 parser).
+    MalformedDer,
+}
+
+/// One server in the November-2024 scan universe.
+#[derive(Debug, Clone)]
+pub struct RevisitServer {
+    /// Alias endpoints contribute extra chains to the Table 5 corpus but
+    /// are not counted as distinct servers in the §5 statistics.
+    pub is_alias: bool,
+    /// The endpoint as scanned (chain = evolved chain).
+    pub endpoint: ServerEndpoint,
+    /// Previous (campus-window) state.
+    pub prev: PrevState,
+    /// Evolved state (ground truth).
+    pub now: NowState,
+    /// Table 5 quirk marker.
+    pub quirk: KeysigQuirk,
+    /// For [`KeysigQuirk::MalformedDer`]: the on-the-wire DER of each
+    /// chain certificate (one of them deliberately corrupted). `None`
+    /// means the certificates' own DER is authoritative.
+    pub wire_der_override: Option<Vec<Vec<u8>>>,
+}
+
+impl RevisitServer {
+    /// Whether the scanner can reach this server.
+    pub fn reachable(&self) -> bool {
+        self.now != NowState::Unreachable
+    }
+}
+
+/// The plan constants (kept together so the consistency tests read like
+/// the paper's own arithmetic).
+pub struct RevisitPlan;
+
+impl RevisitPlan {
+    pub const HYBRID_TOTAL: usize = 321;
+    pub const HYBRID_REACHABLE: usize = 270;
+    pub const HYBRID_TO_PUBLIC: usize = 231;
+    pub const HYBRID_PUBLIC_LEAF_ONLY: usize = 9;
+    pub const HYBRID_PUBLIC_BROKEN: usize = 21;
+    pub const HYBRID_TO_NONPUB: usize = 4;
+    pub const HYBRID_STILL_COMPLETE_CLEAN: usize = 9;
+    pub const HYBRID_STILL_COMPLETE_UNNECESSARY: usize = 3;
+    pub const HYBRID_STILL_NO_PATH: usize = 23;
+    pub const NONPUB_SERVERS: usize = 12_404;
+    pub const NONPUB_NOW_MULTI: usize = 9_849;
+    pub const NONPUB_PREV_MULTI: usize = 3_841;
+    pub const NONPUB_PREV_SINGLE_SS: usize = 5_263;
+    pub const NONPUB_PREV_SINGLE_DISTINCT: usize = 745;
+    pub const NONPUB_MULTI_BROKEN: usize = 236;
+    pub const ALIAS_SERVERS: usize = 2;
+}
+
+/// The whole scan universe.
+#[derive(Debug)]
+pub struct RevisitPopulation {
+    /// Servers, hybrid first, then non-public, then aliases.
+    pub servers: Vec<RevisitServer>,
+}
+
+impl RevisitPopulation {
+    /// Evolve the campus ecosystem to its November-2024 state.
+    ///
+    /// `hybrid_servers` must be the 321 hybrid servers from the campus
+    /// trace (their endpoints seed the identities of the revisited hosts).
+    pub fn generate(eco: &mut Ecosystem, hybrid_servers: &[&GeneratedServer]) -> RevisitPopulation {
+        assert_eq!(
+            hybrid_servers.len(),
+            RevisitPlan::HYBRID_TOTAL,
+            "the revisit starts from the 321 hybrid servers"
+        );
+        let mut servers = Vec::with_capacity(12_676 + 51);
+        evolve_hybrid(eco, hybrid_servers, &mut servers);
+        evolve_nonpub(eco, &mut servers);
+        RevisitPopulation { servers }
+    }
+
+    /// Reachable servers only (what the scanner actually obtains).
+    pub fn reachable(&self) -> impl Iterator<Item = &RevisitServer> {
+        self.servers.iter().filter(|s| s.reachable())
+    }
+}
+
+fn le_chain(eco: &mut Ecosystem, domain: &str) -> Vec<Arc<Certificate>> {
+    let le = eco.lets_encrypt().ica.clone();
+    let serial = eco.next_serial();
+    let leaf = le.issue_leaf(domain, Validity::days_from(nov_2024(), 90), serial, eco.seed);
+    vec![leaf, Arc::clone(&le.cert)]
+}
+
+fn evolve_hybrid(
+    eco: &mut Ecosystem,
+    hybrid_servers: &[&GeneratedServer],
+    out: &mut Vec<RevisitServer>,
+) {
+    use RevisitPlan as P;
+    for (i, server) in hybrid_servers.iter().enumerate() {
+        let prev_kind = match server.category {
+            ChainCategory::Hybrid(k) => k,
+            other => panic!("expected hybrid server, got {other:?}"),
+        };
+        let prev = PrevState::Hybrid(prev_kind);
+        let domain = server
+            .endpoint
+            .domain
+            .clone()
+            .unwrap_or_else(|| format!("hybrid-{i}.example.org"));
+        let mut endpoint = server.endpoint.clone();
+
+        let (now, chain): (NowState, Vec<Arc<Certificate>>) = if i >= P::HYBRID_REACHABLE {
+            // 51 unreachable.
+            (NowState::Unreachable, Vec::new())
+        } else if i < P::HYBRID_PUBLIC_LEAF_ONLY {
+            // Leaf-only Let's Encrypt misconfiguration.
+            let chain = le_chain(eco, &domain);
+            (NowState::PublicLeafOnly, vec![chain[0].clone()])
+        } else if i < P::HYBRID_PUBLIC_LEAF_ONLY + P::HYBRID_PUBLIC_BROKEN {
+            // Leaf plus a stale non-issuing public intermediate (never
+            // Let's Encrypt's own, which would make the chain valid).
+            let chain = le_chain(eco, &domain);
+            let wrong_family = 1 + (i + 3) % (eco.public_cas.len() - 1);
+            let wrong = Arc::clone(&eco.public_cas[wrong_family].ica.cert);
+            (NowState::PublicBroken, vec![chain[0].clone(), wrong])
+        } else if i < P::HYBRID_TO_PUBLIC {
+            // Valid Let's Encrypt chain — the dominant migration target.
+            (NowState::PublicValid, le_chain(eco, &domain))
+        } else if i < P::HYBRID_TO_PUBLIC + P::HYBRID_TO_NONPUB {
+            let serial = eco.next_serial();
+            let cert = misconfig::self_signed(
+                eco.seed,
+                &format!("revisit-nonpub:{i}"),
+                &domain,
+                serial,
+            );
+            (NowState::NonPubSingle, vec![cert])
+        } else if i < P::HYBRID_TO_PUBLIC + P::HYBRID_TO_NONPUB + P::HYBRID_STILL_COMPLETE_CLEAN {
+            // Still hybrid, complete clean: a fresh anchored chain in the
+            // original style (non-public leaf chained to a public ICA).
+            let ica = eco.public_cas[i % eco.public_cas.len()].ica.clone();
+            let serial = eco.next_serial();
+            let signing = CaHandle::issued_by(
+                &ica,
+                eco.seed,
+                &format!("revisit-anchored:{i}"),
+                DistinguishedName::cn_o(&format!("Org CA {i}"), "Org"),
+                ca_validity(),
+                serial,
+            );
+            let serial = eco.next_serial();
+            let leaf = signing.issue_leaf(
+                &domain,
+                Validity::days_from(nov_2024(), 365),
+                serial,
+                eco.seed,
+            );
+            (
+                NowState::HybridCompleteClean,
+                vec![leaf, Arc::clone(&signing.cert), Arc::clone(&ica.cert)],
+            )
+        } else if i
+            < P::HYBRID_TO_PUBLIC
+                + P::HYBRID_TO_NONPUB
+                + P::HYBRID_STILL_COMPLETE_CLEAN
+                + P::HYBRID_STILL_COMPLETE_UNNECESSARY
+        {
+            // Complete path + unnecessary cert: the Chrome/OpenSSL
+            // divergence chains of §5.
+            let family = i % eco.public_cas.len();
+            let leaf = eco.issue_public_leaf(family, &domain, nov_2024(), 90);
+            let ica = Arc::clone(&eco.public_cas[family].ica.cert);
+            let serial = eco.next_serial();
+            let junk = misconfig::self_signed(
+                eco.seed,
+                &format!("revisit-junk:{i}"),
+                "appliance.local",
+                serial,
+            );
+            (
+                NowState::HybridCompleteUnnecessary,
+                vec![leaf, ica, junk],
+            )
+        } else {
+            // Still hybrid, no matched path.
+            let family = i % eco.public_cas.len();
+            let leaf = eco.issue_public_leaf(family, &domain, nov_2024(), 90);
+            let other = (family + 2) % eco.public_cas.len();
+            let non_issuing = Arc::clone(&eco.public_cas[other].root.cert);
+            let serial = eco.next_serial();
+            let junk = misconfig::orphan_cert(
+                eco.seed,
+                &format!("revisit-nopath:{i}"),
+                &format!("Gone CA {i}"),
+                &format!("Also Gone {i}"),
+                serial,
+            );
+            (NowState::HybridNoPath, vec![leaf, junk, non_issuing])
+        };
+        endpoint.set_chain(chain);
+        out.push(RevisitServer {
+            is_alias: false,
+            endpoint,
+            prev,
+            now,
+            quirk: KeysigQuirk::None,
+            wire_der_override: None,
+        });
+    }
+}
+
+fn evolve_nonpub(eco: &mut Ecosystem, out: &mut Vec<RevisitServer>) {
+    use RevisitPlan as P;
+    // One long-lived private PKI per ~500 servers.
+    let n_pkis = 25;
+    let pkis: Vec<(CaHandle, CaHandle)> = (0..n_pkis)
+        .map(|p| {
+            let serial = eco.next_serial();
+            let root = CaHandle::self_signed(
+                eco.seed,
+                &format!("revisit-pki-root:{p}"),
+                DistinguishedName::cn_o(&format!("RevisitOrg{p} Root"), &format!("RevisitOrg{p}")),
+                ca_validity(),
+                serial,
+            );
+            let serial = eco.next_serial();
+            let ica = CaHandle::issued_by(
+                &root,
+                eco.seed,
+                &format!("revisit-pki-ica:{p}"),
+                DistinguishedName::cn_o(
+                    &format!("RevisitOrg{p} Issuing CA"),
+                    &format!("RevisitOrg{p}"),
+                ),
+                ca_validity(),
+                serial,
+            );
+            (root, ica)
+        })
+        .collect();
+
+    let prev_for = |i: usize| -> PrevState {
+        if i < P::NONPUB_PREV_MULTI {
+            PrevState::NonPubMulti
+        } else if i < P::NONPUB_PREV_MULTI + P::NONPUB_PREV_SINGLE_SS {
+            PrevState::NonPubSingleSelfSigned
+        } else if i < P::NONPUB_NOW_MULTI {
+            PrevState::NonPubSingleDistinct
+        } else {
+            // now-single servers: previous state spread across singles.
+            if i % 2 == 0 {
+                PrevState::NonPubSingleSelfSigned
+            } else {
+                PrevState::NonPubSingleDistinct
+            }
+        }
+    };
+
+    for i in 0..P::NONPUB_SERVERS + P::ALIAS_SERVERS {
+        let domain = format!("revisit-{i:05}.corp.internal");
+        let prev = if i < P::NONPUB_SERVERS {
+            prev_for(i)
+        } else {
+            PrevState::NonPubMulti // aliases
+        };
+        let (root, ica) = &pkis[i % n_pkis];
+        let is_multi = i < P::NONPUB_NOW_MULTI || i >= P::NONPUB_SERVERS;
+        let mut quirk = KeysigQuirk::None;
+        let mut wire_der_override = None;
+        let (now, chain): (NowState, Vec<Arc<Certificate>>) = if !is_multi {
+            let serial = eco.next_serial();
+            let cert = misconfig::self_signed(
+                eco.seed,
+                &format!("revisit-single:{i}"),
+                &domain,
+                serial,
+            );
+            (NowState::NonPubSingle, vec![cert])
+        } else if i < P::NONPUB_MULTI_BROKEN {
+            // Broken multi chain: leaf + non-issuing intermediate.
+            let serial = eco.next_serial();
+            let leaf = ica.issue_leaf(
+                &domain,
+                Validity::days_from(nov_2024(), 365),
+                serial,
+                eco.seed,
+            );
+            let (_, wrong_ica) = &pkis[(i + 7) % n_pkis];
+            (
+                NowState::NonPubMultiBroken,
+                vec![leaf, Arc::clone(&wrong_ica.cert)],
+            )
+        } else {
+            // Valid hierarchical chain — the §5 trend.
+            let serial = eco.next_serial();
+            let leaf = ica.issue_leaf(
+                &domain,
+                Validity::days_from(nov_2024(), 365),
+                serial,
+                eco.seed,
+            );
+            let mut chain = vec![leaf, Arc::clone(&ica.cert), Arc::clone(&root.cert)];
+            // Table 5 specials: 3 chains with an unknown-algorithm cert,
+            // 1 with a malformed-DER cert.
+            if (P::NONPUB_MULTI_BROKEN..P::NONPUB_MULTI_BROKEN + 3).contains(&i) {
+                quirk = KeysigQuirk::UnknownAlgorithm;
+                let serial = eco.next_serial();
+                let leaf_kp =
+                    certchain_cryptosim::KeyPair::derive(eco.seed, &format!("unk-alg:{i}"));
+                let weird = certchain_x509::CertificateBuilder::new()
+                    .serial(serial)
+                    .issuer(ica.dn.clone())
+                    .subject(DistinguishedName::cn(&domain))
+                    .validity(Validity::days_from(nov_2024(), 365))
+                    .public_key(leaf_kp.public().clone())
+                    .algorithm(AlgorithmId::Unknown(
+                        certchain_asn1::oid::known::unknown_algorithm(),
+                    ))
+                    .sign(&ica.keypair);
+                chain[0] = weird.into_arc();
+            } else if i == P::NONPUB_MULTI_BROKEN + 3 {
+                quirk = KeysigQuirk::MalformedDer;
+                // The wire bytes of the intermediate are corrupted in a way
+                // that the strict DER parser rejects (truncated inner TLV)
+                // while the field-level view stays intact.
+                let mut ders: Vec<Vec<u8>> =
+                    chain.iter().map(|c| c.der().to_vec()).collect();
+                let der = &mut ders[1];
+                let last = der.len() - 1;
+                der.truncate(last);
+                wire_der_override = Some(ders);
+            }
+            (NowState::NonPubMultiValid, chain)
+        };
+        let sid = 900_000 + i as u64;
+        out.push(RevisitServer {
+            is_alias: i >= P::NONPUB_SERVERS,
+            endpoint: ServerEndpoint::new(sid, server_ip(sid), 443, Some(domain), chain),
+            prev,
+            now,
+            quirk,
+            wire_der_override,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::servers::hybrid;
+
+    fn population() -> RevisitPopulation {
+        let mut eco = Ecosystem::bootstrap(77);
+        let hybrid_servers = hybrid::build(&mut eco, 100_000);
+        let refs: Vec<&GeneratedServer> = hybrid_servers.iter().collect();
+        RevisitPopulation::generate(&mut eco, &refs)
+    }
+
+    fn count(pop: &RevisitPopulation, now: NowState) -> usize {
+        pop.servers.iter().filter(|s| s.now == now).count()
+    }
+
+    #[test]
+    fn plan_matches_paper_arithmetic() {
+        use RevisitPlan as P;
+        assert_eq!(P::HYBRID_REACHABLE, 270);
+        assert_eq!(P::HYBRID_TOTAL - P::HYBRID_REACHABLE, 51);
+        assert_eq!(
+            P::HYBRID_TO_PUBLIC + P::HYBRID_TO_NONPUB
+                + P::HYBRID_STILL_COMPLETE_CLEAN
+                + P::HYBRID_STILL_COMPLETE_UNNECESSARY
+                + P::HYBRID_STILL_NO_PATH,
+            P::HYBRID_REACHABLE
+        );
+        // §5: 79.40% now multi, 39.00% / 53.44% / 7.56% previous states.
+        assert!((P::NONPUB_NOW_MULTI as f64 / P::NONPUB_SERVERS as f64 - 0.7940).abs() < 0.001);
+        assert_eq!(
+            P::NONPUB_PREV_MULTI + P::NONPUB_PREV_SINGLE_SS + P::NONPUB_PREV_SINGLE_DISTINCT,
+            P::NONPUB_NOW_MULTI
+        );
+        assert!((P::NONPUB_PREV_MULTI as f64 / P::NONPUB_NOW_MULTI as f64 - 0.39).abs() < 0.001);
+        // Complete share 97.61%.
+        let complete = P::NONPUB_NOW_MULTI - P::NONPUB_MULTI_BROKEN;
+        assert!(
+            (complete as f64 / P::NONPUB_NOW_MULTI as f64 - 0.9761).abs() < 0.001,
+            "complete share"
+        );
+    }
+
+    #[test]
+    fn table5_totals() {
+        let pop = population();
+        let reachable: Vec<_> = pop.reachable().collect();
+        assert_eq!(reachable.len(), 12_676);
+        let single = reachable
+            .iter()
+            .filter(|s| s.endpoint.chain_len() == 1)
+            .count();
+        assert_eq!(single, 2_568);
+        let unknown = reachable
+            .iter()
+            .filter(|s| s.quirk == KeysigQuirk::UnknownAlgorithm)
+            .count();
+        assert_eq!(unknown, 3);
+        let malformed = reachable
+            .iter()
+            .filter(|s| s.quirk == KeysigQuirk::MalformedDer)
+            .count();
+        assert_eq!(malformed, 1);
+    }
+
+    #[test]
+    fn hybrid_now_states() {
+        let pop = population();
+        assert_eq!(count(&pop, NowState::Unreachable), 51);
+        assert_eq!(count(&pop, NowState::PublicLeafOnly), 9);
+        assert_eq!(count(&pop, NowState::PublicBroken), 21);
+        assert_eq!(count(&pop, NowState::PublicValid), 201);
+        assert_eq!(count(&pop, NowState::HybridCompleteClean), 9);
+        assert_eq!(count(&pop, NowState::HybridCompleteUnnecessary), 3);
+        assert_eq!(count(&pop, NowState::HybridNoPath), 23);
+    }
+
+    #[test]
+    fn broken_budget_sums_to_283() {
+        use RevisitPlan as P;
+        let issuer_subject_broken = P::NONPUB_MULTI_BROKEN
+            + P::HYBRID_PUBLIC_BROKEN
+            + P::HYBRID_STILL_COMPLETE_UNNECESSARY
+            + P::HYBRID_STILL_NO_PATH;
+        assert_eq!(issuer_subject_broken, 283);
+    }
+
+    #[test]
+    fn valid_budget_sums_to_9825() {
+        let pop = population();
+        let valid = pop
+            .reachable()
+            .filter(|s| {
+                matches!(
+                    s.now,
+                    NowState::PublicValid
+                        | NowState::NonPubMultiValid
+                        | NowState::HybridCompleteClean
+                )
+            })
+            .count();
+        assert_eq!(valid, 9_825);
+    }
+
+    #[test]
+    fn malformed_der_override_fails_strict_parse() {
+        let pop = population();
+        let s = pop
+            .servers
+            .iter()
+            .find(|s| s.quirk == KeysigQuirk::MalformedDer)
+            .unwrap();
+        let ders = s.wire_der_override.as_ref().unwrap();
+        assert!(Certificate::parse(&ders[1]).is_err());
+        // The other certificates in the override still parse.
+        assert!(Certificate::parse(&ders[0]).is_ok());
+        // And the field-level view (the in-memory certs) is intact.
+        assert_eq!(s.endpoint.chain.len(), ders.len());
+    }
+
+    #[test]
+    fn unknown_alg_chains_are_issuer_subject_valid() {
+        let pop = population();
+        for s in pop
+            .servers
+            .iter()
+            .filter(|s| s.quirk == KeysigQuirk::UnknownAlgorithm)
+        {
+            let chain = &s.endpoint.chain;
+            for w in chain.windows(2) {
+                assert_eq!(w[0].issuer, w[1].subject);
+            }
+            assert!(matches!(chain[0].algorithm, AlgorithmId::Unknown(_)));
+        }
+    }
+
+    #[test]
+    fn lets_encrypt_dominates_migrations() {
+        let pop = population();
+        let le_chains = pop
+            .servers
+            .iter()
+            .filter(|s| {
+                s.now == NowState::PublicValid
+                    && s.endpoint.chain[0]
+                        .issuer
+                        .common_name()
+                        .map(|cn| cn == "R3")
+                        .unwrap_or(false)
+            })
+            .count();
+        assert_eq!(le_chains, 201);
+    }
+}

@@ -1,0 +1,515 @@
+//! TLS-interception middleboxes (§3.2.1, Table 1, Appendix B).
+//!
+//! A middlebox re-signs traffic for real (CT-known) domains with its own
+//! vendor CA. The detector in `chainlab` later cross-references the
+//! observed issuer against CT's records for the domain — exactly the
+//! paper's method — so every detectable interception chain here targets a
+//! domain served by the public population. A small tail of chains target
+//! private (non-CT) domains, reproducing the paper's caveat that such
+//! interception is undetectable by this method.
+
+use crate::calibration::{CalibrationTargets, CampusProfile};
+use crate::issuers::{interception_vendors, InterceptionCategory, InterceptionVendor};
+use crate::pki::{ca_validity, CaHandle, Ecosystem};
+use crate::servers::public::public_domain;
+use crate::servers::{server_ip, ChainCategory, GeneratedServer, TrafficGroup};
+use certchain_asn1::Asn1Time;
+use certchain_x509::{Certificate, DistinguishedName, Validity};
+use std::sync::Arc;
+
+fn t(y: u64, m: u64, d: u64) -> Asn1Time {
+    Asn1Time::from_ymd_hms(y, m, d, 0, 0, 0).expect("valid date")
+}
+
+/// A vendor's middlebox CA pair.
+#[derive(Debug, Clone)]
+pub struct Middlebox {
+    /// Vendor identity.
+    pub vendor: InterceptionVendor,
+    /// Vendor root (installed on managed endpoints).
+    pub root: CaHandle,
+    /// Issuing intermediate the box signs forged leaves with.
+    pub ica: CaHandle,
+}
+
+/// Build the 80 vendor middleboxes.
+pub fn build_middleboxes(eco: &mut Ecosystem) -> Vec<Middlebox> {
+    interception_vendors()
+        .into_iter()
+        .map(|vendor| {
+            let serial = eco.next_serial();
+            let root = CaHandle::self_signed(
+                eco.seed,
+                &format!("mb-root:{}", vendor.name),
+                DistinguishedName::cn_o(&format!("{} Root CA", vendor.name), &vendor.name),
+                ca_validity(),
+                serial,
+            );
+            let serial = eco.next_serial();
+            let ica = CaHandle::issued_by(
+                &root,
+                eco.seed,
+                &format!("mb-ica:{}", vendor.name),
+                DistinguishedName::cn_o(
+                    &format!("{} Intermediate CA", vendor.name),
+                    &vendor.name,
+                ),
+                ca_validity(),
+                serial,
+            );
+            Middlebox { vendor, root, ica }
+        })
+        .collect()
+}
+
+/// Counts for the interception population.
+#[derive(Debug, Clone, Copy)]
+pub struct InterceptionCounts {
+    /// Scaled single-cert chains (13.24% of interception chains).
+    pub single: usize,
+    /// Scaled matched multi-cert chains.
+    pub multi_matched: usize,
+    /// Full-fidelity contains-path chains (Table 8: 56).
+    pub multi_contains: usize,
+    /// Full-fidelity no-path chains (Table 8: 2,764).
+    pub multi_no_path: usize,
+}
+
+impl InterceptionCounts {
+    /// Derive from calibration + profile.
+    pub fn from_profile(
+        targets: &CalibrationTargets,
+        profile: &CampusProfile,
+    ) -> InterceptionCounts {
+        let total = targets.interception_chains as f64;
+        let single = total * targets.interception_single_share;
+        let multi = total - single;
+        let matched = multi
+            - targets.interception_multi_contains as f64
+            - targets.interception_multi_no_path as f64;
+        InterceptionCounts {
+            single: (single * profile.chain_scale).round().max(1.0) as usize,
+            multi_matched: (matched * profile.chain_scale).round().max(1.0) as usize,
+            multi_contains: targets.interception_multi_contains as usize,
+            multi_no_path: targets.interception_multi_no_path as usize,
+        }
+    }
+}
+
+/// Deterministically spread an index over 0..10_000 so small populations
+/// still follow the Table 4 port proportions.
+fn mix10k(i: usize) -> usize {
+    (i.wrapping_mul(2_654_435_761)) % 10_000
+}
+
+/// A second, independent mix for port assignment: ports must not correlate
+/// with the vendor schedule (which uses [`mix10k`]), or category-specific
+/// connection volumes would skew the Table 4 shares.
+fn mix10k_b(i: usize) -> usize {
+    let mut h = (i.wrapping_mul(2_654_435_761)) as u32;
+    h ^= h >> 16;
+    h = h.wrapping_mul(2_246_822_519);
+    h ^= h >> 13;
+    (h % 10_000) as usize
+}
+
+/// Port assignment following Table 4's interception column (8013 is the
+/// Fortinet signature the paper calls out).
+fn interception_port(i: usize) -> u16 {
+    match mix10k_b(i) {
+        0..=3539 => 8013,
+        3540..=6053 => 4437,
+        6054..=7687 => 14430,
+        7688..=9023 => 443,
+        9024..=9376 => 514,
+        9377..=9800 => 10443,
+        _ => 8920,
+    }
+}
+
+/// Pick the vendor for chain `i`: a mixed schedule that keeps Security &
+/// Network vendors dominant while guaranteeing every vendor (including the
+/// small categories) receives multiple chains.
+fn vendor_for(i: usize, boxes: &[Middlebox]) -> usize {
+    let idx = match mix10k(i) {
+        // 70%: security & network (indices 0..31).
+        0..=6999 => i % 31,
+        // 15%: business & corporate (31..58).
+        7000..=8499 => 31 + i % 27,
+        // 7%: health & education (58..68).
+        8500..=9199 => 58 + i % 10,
+        // 4%: government (68..74).
+        9200..=9599 => 68 + i % 6,
+        // 2%: bank & finance (74..77).
+        9600..=9799 => 74 + i % 3,
+        // 2%: other (77..80).
+        _ => 77 + i % 3,
+    };
+    idx.min(boxes.len() - 1)
+}
+
+/// A forged leaf for `domain` signed by the middlebox's intermediate.
+fn forged_leaf(eco: &mut Ecosystem, mb: &Middlebox, domain: &str) -> Arc<Certificate> {
+    let serial = eco.next_serial();
+    mb.ica.issue_leaf(
+        domain,
+        // Middleboxes mint short-lived certs on the fly.
+        Validity::days_from(t(2020, 9, 1), 398),
+        serial,
+        eco.seed,
+    )
+}
+
+/// Build the interception chain population.
+pub fn build(
+    eco: &mut Ecosystem,
+    base_id: u64,
+    counts: InterceptionCounts,
+    profile: &CampusProfile,
+    public_domain_count: usize,
+) -> Vec<GeneratedServer> {
+    let boxes = build_middleboxes(eco);
+    let chain_weight = profile.chain_weight();
+    let mut out = Vec::new();
+    let push = |out: &mut Vec<GeneratedServer>,
+                    chain: Vec<Arc<Certificate>>,
+                    category: InterceptionCategory,
+                    weight: f64,
+                    domain: Option<String>,
+                    port: u16| {
+        let sid = base_id + out.len() as u64;
+        out.push(GeneratedServer {
+            endpoint: certchain_netsim::ServerEndpoint::new(
+                sid,
+                server_ip(sid),
+                port,
+                domain,
+                chain,
+            ),
+            category: ChainCategory::Interception(category),
+            weight,
+            in_pub_leaf_no_intermediate_group: false,
+            group: TrafficGroup::Interception(category),
+        });
+    };
+
+    // The Appendix-B "undetectable" middlebox: it exclusively intercepts
+    // origins whose certificates never reached CT, so the CT
+    // cross-reference can never implicate it. It is NOT one of the 80
+    // identified vendors.
+    let serial = eco.next_serial();
+    let stealth_root = CaHandle::self_signed(
+        eco.seed,
+        "mb-stealth-root",
+        DistinguishedName::cn_o("Internal Gateway Root CA", "Unattributed Gateway"),
+        ca_validity(),
+        serial,
+    );
+    let serial = eco.next_serial();
+    let stealth = Middlebox {
+        vendor: InterceptionVendor {
+            name: "Unattributed Gateway".to_string(),
+            category: InterceptionCategory::Other,
+        },
+        ica: CaHandle::issued_by(
+            &stealth_root,
+            eco.seed,
+            "mb-stealth-ica",
+            DistinguishedName::cn_o("Internal Gateway CA", "Unattributed Gateway"),
+            ca_validity(),
+            serial,
+        ),
+        root: stealth_root,
+    };
+
+    // A rotating cursor over CT-known public domains to intercept.
+    let mut domain_cursor = 0usize;
+    let next_domain = |cursor: &mut usize| {
+        let d = public_domain(*cursor % public_domain_count.max(1));
+        *cursor += 1;
+        d
+    };
+
+    // ---- Multi-cert matched chains: [forged leaf, vendor ICA, vendor
+    // root] — the >80%-length-3 signature of Figure 1.
+    for i in 0..counts.multi_matched {
+        // ~2% of chains come from the stealth middlebox intercepting
+        // private-origin domains (undetectable via CT — Appendix B).
+        let (mb, domain) = if i % 50 == 49 {
+            (
+                stealth.clone(),
+                format!("private-origin-{i}.corp.internal"),
+            )
+        } else {
+            (
+                boxes[vendor_for(i, &boxes)].clone(),
+                next_domain(&mut domain_cursor),
+            )
+        };
+        let leaf = forged_leaf(eco, &mb, &domain);
+        let chain = vec![leaf, Arc::clone(&mb.ica.cert), Arc::clone(&mb.root.cert)];
+        push(
+            &mut out,
+            chain,
+            mb.vendor.category,
+            chain_weight,
+            Some(domain),
+            interception_port(i),
+        );
+    }
+
+    // ---- Single-cert chains (13.24%; 93.43% self-signed). Every
+    // appliance instance mints its own certificate, so each chain is
+    // distinct even when the vendor is the same.
+    for i in 0..counts.single {
+        let mb = boxes[vendor_for(i + 7, &boxes)].clone();
+        let serial = eco.next_serial();
+        let chain = if (i * 10_000) / counts.single.max(1) < 9_343 {
+            // A per-appliance self-signed vendor certificate.
+            let appliance = CaHandle::self_signed(
+                eco.seed,
+                &format!("mb-appliance:{i}"),
+                DistinguishedName::cn_o(
+                    &format!("{} Appliance {i:03}", mb.vendor.name),
+                    &mb.vendor.name,
+                ),
+                ca_validity(),
+                serial,
+            );
+            vec![appliance.cert]
+        } else {
+            // A lone per-appliance intermediate (distinct issuer/subject).
+            let lone = CaHandle::issued_by(
+                &mb.root,
+                eco.seed,
+                &format!("mb-lone-ica:{i}"),
+                DistinguishedName::cn_o(
+                    &format!("{} Gateway CA {i:03}", mb.vendor.name),
+                    &mb.vendor.name,
+                ),
+                ca_validity(),
+                serial,
+            );
+            vec![lone.cert]
+        };
+        push(
+            &mut out,
+            chain,
+            mb.vendor.category,
+            chain_weight,
+            None,
+            interception_port(i + 3),
+        );
+    }
+
+    // ---- Complex PKI structure (Figure 8): one large vendor deploys
+    // regional issuing CAs beneath a central intermediate, so the central
+    // intermediate is adjacent to ≥3 distinct intermediates across chains.
+    {
+        let mb = boxes[0].clone(); // Zscaler, the largest deployment
+        let serial = eco.next_serial();
+        let central = CaHandle::issued_by(
+            &mb.root,
+            eco.seed,
+            "mb-central-ica",
+            DistinguishedName::cn_o(
+                &format!("{} Central CA", mb.vendor.name),
+                &mb.vendor.name,
+            ),
+            ca_validity(),
+            serial,
+        );
+        for region in 0..4u64 {
+            let serial = eco.next_serial();
+            let regional = CaHandle::issued_by(
+                &central,
+                eco.seed,
+                &format!("mb-regional-ica:{region}"),
+                DistinguishedName::cn_o(
+                    &format!("{} Regional CA {region}", mb.vendor.name),
+                    &mb.vendor.name,
+                ),
+                ca_validity(),
+                serial,
+            );
+            for k in 0..2u64 {
+                let domain = next_domain(&mut domain_cursor);
+                let serial = eco.next_serial();
+                let leaf = regional.issue_leaf(
+                    &domain,
+                    Validity::days_from(t(2020, 9, 1), 398),
+                    serial,
+                    eco.seed,
+                );
+                let chain = vec![
+                    leaf,
+                    Arc::clone(&regional.cert),
+                    Arc::clone(&central.cert),
+                    Arc::clone(&mb.root.cert),
+                ];
+                push(
+                    &mut out,
+                    chain,
+                    mb.vendor.category,
+                    1.0,
+                    Some(domain),
+                    interception_port((region * 2 + k) as usize),
+                );
+            }
+        }
+    }
+
+    // ---- Contains-a-matched-path chains (56, full fidelity): a matched
+    // vendor pair plus a stale unrelated vendor cert left behind by an
+    // appliance upgrade.
+    for i in 0..counts.multi_contains {
+        let mb = boxes[vendor_for(i, &boxes)].clone();
+        let stale = boxes[(vendor_for(i, &boxes) + 11) % boxes.len()].clone();
+        let domain = next_domain(&mut domain_cursor);
+        let leaf = forged_leaf(eco, &mb, &domain);
+        let chain = vec![
+            leaf,
+            Arc::clone(&mb.ica.cert),
+            Arc::clone(&mb.root.cert),
+            Arc::clone(&stale.root.cert),
+        ];
+        push(
+            &mut out,
+            chain,
+            mb.vendor.category,
+            1.0,
+            Some(domain),
+            interception_port(i + 5),
+        );
+    }
+
+    // ---- No-matched-path chains (2,764, full fidelity): the appliance
+    // presents a forged leaf with the *wrong* intermediate (e.g. a root CA
+    // rollover where the box kept the old issuing chain).
+    for i in 0..counts.multi_no_path {
+        let mb = boxes[vendor_for(i, &boxes)].clone();
+        let wrong = boxes[(vendor_for(i, &boxes) + 29) % boxes.len()].clone();
+        let domain = next_domain(&mut domain_cursor);
+        let leaf = forged_leaf(eco, &mb, &domain);
+        let chain = vec![leaf, Arc::clone(&wrong.ica.cert)];
+        push(
+            &mut out,
+            chain,
+            mb.vendor.category,
+            1.0,
+            Some(domain),
+            interception_port(i + 9),
+        );
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::servers::public;
+
+    fn population() -> (Ecosystem, Vec<GeneratedServer>) {
+        let targets = CalibrationTargets::paper();
+        let profile = CampusProfile::quick();
+        let mut eco = Ecosystem::bootstrap(profile.seed);
+        // Build some public domains first so CT knows the targets.
+        let _pub = public::build(&mut eco, 0, 100, 1.0);
+        let counts = InterceptionCounts::from_profile(&targets, &profile);
+        let servers = build(&mut eco, 80_000, counts, &profile, 100);
+        (eco, servers)
+    }
+
+    #[test]
+    fn counts_and_categories() {
+        let (_eco, servers) = population();
+        // 56 contains-path chains plus the 8 regional-hub chains
+        // (Figure 8) are the only length-4 chains.
+        let len4 = servers
+            .iter()
+            .filter(|s| s.endpoint.chain_len() == 4)
+            .count();
+        assert_eq!(len4, 56 + 8);
+        let no_path = servers
+            .iter()
+            .filter(|s| s.endpoint.chain_len() == 2)
+            .count();
+        assert_eq!(no_path, 2_764);
+        // All six categories appear.
+        let cats: std::collections::HashSet<_> = servers
+            .iter()
+            .map(|s| match s.category {
+                ChainCategory::Interception(c) => c,
+                _ => panic!("non-interception server in population"),
+            })
+            .collect();
+        assert_eq!(cats.len(), 6);
+    }
+
+    #[test]
+    fn matched_chains_are_length_three_and_matched() {
+        let (_eco, servers) = population();
+        for s in servers.iter().filter(|s| s.endpoint.chain_len() == 3) {
+            let chain = &s.endpoint.chain;
+            assert_eq!(chain[0].issuer, chain[1].subject);
+            assert_eq!(chain[1].issuer, chain[2].subject);
+            assert!(chain[2].is_self_signed());
+        }
+    }
+
+    #[test]
+    fn forged_leaves_conflict_with_ct() {
+        let (eco, servers) = population();
+        let index = certchain_ctlog::DomainIndex::build(&[&eco.ct]);
+        let mut checked = 0;
+        for s in servers.iter().filter(|s| s.endpoint.chain_len() == 3) {
+            let Some(domain) = &s.endpoint.domain else {
+                continue;
+            };
+            if domain.contains("corp.internal") {
+                continue; // the undetectable tail
+            }
+            let leaf = &s.endpoint.chain[0];
+            let recorded = index.recorded_issuers_overlapping(domain, leaf.validity);
+            assert!(
+                !recorded.is_empty(),
+                "CT must know the intercepted domain {domain}"
+            );
+            assert!(
+                !recorded.contains(&&leaf.issuer),
+                "the vendor issuer must not be CT-recorded for {domain}"
+            );
+            checked += 1;
+        }
+        assert!(checked > 10);
+    }
+
+    #[test]
+    fn undetectable_tail_exists() {
+        let (eco, servers) = population();
+        let index = certchain_ctlog::DomainIndex::build(&[&eco.ct]);
+        let undetectable = servers
+            .iter()
+            .filter(|s| {
+                s.endpoint
+                    .domain
+                    .as_deref()
+                    .map(|d| !index.knows_domain(d))
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(undetectable > 0, "Appendix-B caveat chains must exist");
+    }
+
+    #[test]
+    fn fortinet_port_dominates() {
+        let (_eco, servers) = population();
+        let p8013 = servers
+            .iter()
+            .filter(|s| s.endpoint.port == 8013)
+            .count() as f64;
+        let share = p8013 / servers.len() as f64;
+        assert!((share - 0.354).abs() < 0.05, "8013 share = {share}");
+    }
+}

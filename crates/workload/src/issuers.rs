@@ -1,0 +1,325 @@
+//! Named issuer catalogs: the public CAs, the government/corporate
+//! non-public issuers of Table 6, and the 80 interception vendors of
+//! Table 1.
+
+/// A public CA family: a root plus its default intermediate.
+#[derive(Debug, Clone, Copy)]
+pub struct PublicCaSpec {
+    /// Organization name.
+    pub org: &'static str,
+    /// Root CN.
+    pub root_cn: &'static str,
+    /// Default intermediate CN.
+    pub ica_cn: &'static str,
+    /// Whether this CA issues with fully automated tooling (drives the §5
+    /// Let's Encrypt migration).
+    pub automated: bool,
+}
+
+/// The public CA population. Shaped after the issuers the paper names
+/// (Let's Encrypt, Sectigo/AAA, DigiCert, COMODO, GoDaddy) plus filler.
+pub const PUBLIC_CAS: &[PublicCaSpec] = &[
+    PublicCaSpec {
+        org: "Let's Encrypt",
+        root_cn: "ISRG Root X1",
+        ica_cn: "R3",
+        automated: true,
+    },
+    PublicCaSpec {
+        org: "DigiCert Inc",
+        root_cn: "DigiCert Global Root CA",
+        ica_cn: "DigiCert SHA2 Secure Server CA",
+        automated: false,
+    },
+    PublicCaSpec {
+        org: "Sectigo Limited",
+        root_cn: "AAA Certificate Services",
+        ica_cn: "Sectigo RSA Domain Validation Secure Server CA",
+        automated: false,
+    },
+    PublicCaSpec {
+        org: "COMODO CA Limited",
+        root_cn: "COMODO RSA Certification Authority",
+        ica_cn: "COMODO RSA Domain Validation Secure Server CA",
+        automated: false,
+    },
+    PublicCaSpec {
+        org: "GoDaddy.com, Inc.",
+        root_cn: "Go Daddy Root Certificate Authority - G2",
+        ica_cn: "Go Daddy Secure Certificate Authority - G2",
+        automated: false,
+    },
+    PublicCaSpec {
+        org: "GlobalSign nv-sa",
+        root_cn: "GlobalSign Root CA",
+        ica_cn: "GlobalSign RSA OV SSL CA 2018",
+        automated: false,
+    },
+    PublicCaSpec {
+        org: "VeriSign, Inc.",
+        root_cn: "VeriSign Class 3 Public Primary CA - G5",
+        ica_cn: "Symantec Class 3 Secure Server CA - G4",
+        automated: false,
+    },
+    PublicCaSpec {
+        org: "Entrust, Inc.",
+        root_cn: "Entrust Root Certification Authority - G2",
+        ica_cn: "Entrust Certification Authority - L1K",
+        automated: false,
+    },
+];
+
+/// A non-public issuer anchored to a public root (Table 6 / Appendix F.1).
+#[derive(Debug, Clone, Copy)]
+pub struct AnchoredIssuerSpec {
+    /// The non-public signing CA's CN (e.g. "Veterans Affairs CA B3").
+    pub ca_cn: &'static str,
+    /// Organization.
+    pub org: &'static str,
+    /// The public intermediate that issued it (e.g. "Verizon SSP CA A2").
+    pub public_ica_cn: &'static str,
+    /// Entity category for Table 6.
+    pub category: AnchoredCategory,
+    /// Example domain served.
+    pub domain: &'static str,
+}
+
+/// Table 6 entity categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnchoredCategory {
+    /// Symantec, SignKorea and others — 10 chains.
+    Corporate,
+    /// Korea, Brazil, USA — 16 chains.
+    Government,
+}
+
+/// The 26 anchored-issuer chains of Table 6: 16 government + 10 corporate.
+pub fn anchored_issuers() -> Vec<AnchoredIssuerSpec> {
+    use AnchoredCategory::*;
+    let mut specs = Vec::with_capacity(26);
+    // --- Government: USA (Federal PKI), Korea (KLID), Brazil (ITI) ---
+    let gov: [(&str, &str, &str, &str); 16] = [
+        ("Veterans Affairs CA B3", "U.S. Department of Veterans Affairs", "Verizon SSP CA A2", "va-services.gov.test"),
+        ("Veterans Affairs CA B4", "U.S. Department of Veterans Affairs", "Verizon SSP CA A2", "portal.va.gov.test"),
+        ("DHS CA4", "U.S. Department of Homeland Security", "Verizon SSP CA A2", "apps.dhs.gov.test"),
+        ("Treasury OCIO CA", "U.S. Department of the Treasury", "Verizon SSP CA A2", "fiscal.treasury.gov.test"),
+        ("GPO SCA", "U.S. Government Publishing Office", "Verizon SSP CA A2", "permanent.gpo.gov.test"),
+        ("KLID CA 1", "Korea Local Information Research & Development Institute", "KICA Public CA", "minwon.klid.kr.test"),
+        ("KLID CA 2", "Korea Local Information Research & Development Institute", "KICA Public CA", "portal.klid.kr.test"),
+        ("GPKI ROOT CA Sub", "Government of Korea", "KICA Public CA", "gov.kr.test"),
+        ("KOSCOM CA 3", "Government of Korea", "KICA Public CA", "koscom.kr.test"),
+        ("EPKI Gov CA", "Government of Korea", "KICA Public CA", "epki.go.kr.test"),
+        ("AC Secretaria da Receita Federal do Brasil", "Instituto Nacional de Tecnologia da Informacao", "AC Raiz Intermediaria v5", "receita.fazenda.gov.br.test"),
+        ("AC Presidencia da Republica", "Instituto Nacional de Tecnologia da Informacao", "AC Raiz Intermediaria v5", "planalto.gov.br.test"),
+        ("AC Caixa", "Instituto Nacional de Tecnologia da Informacao", "AC Raiz Intermediaria v5", "caixa.gov.br.test"),
+        ("AC Serpro", "Instituto Nacional de Tecnologia da Informacao", "AC Raiz Intermediaria v5", "serpro.gov.br.test"),
+        ("AC Certisign Multipla", "Instituto Nacional de Tecnologia da Informacao", "AC Raiz Intermediaria v5", "certisign.com.br.test"),
+        ("AC Imprensa Oficial", "Instituto Nacional de Tecnologia da Informacao", "AC Raiz Intermediaria v5", "imprensaoficial.sp.gov.br.test"),
+    ];
+    for (ca_cn, org, ica, domain) in gov {
+        specs.push(AnchoredIssuerSpec {
+            ca_cn,
+            org,
+            public_ica_cn: ica,
+            category: Government,
+            domain,
+        });
+    }
+    // --- Corporate: Symantec Private SSL, SignKorea, others ---
+    let corp: [(&str, &str, &str, &str); 10] = [
+        ("Symantec Private SSL SHA1 CA", "Symantec Corporation", "Symantec Class 3 Secure Server CA - G4", "internal.symantec.com.test"),
+        ("Symantec Private SSL CA - G2", "Symantec Corporation", "Symantec Class 3 Secure Server CA - G4", "apps.symantec.com.test"),
+        ("SignKorea SSL CA", "SignKorea Co., Ltd.", "KICA Public CA", "signkorea.co.kr.test"),
+        ("SignKorea EV CA", "SignKorea Co., Ltd.", "KICA Public CA", "ev.signkorea.co.kr.test"),
+        ("Hyundai AutoEver CA", "Hyundai AutoEver Corp.", "KICA Public CA", "autoever.hyundai.test"),
+        ("Samsung SDS CA 2", "Samsung SDS Co., Ltd.", "KICA Public CA", "sds.samsung.test"),
+        ("LG CNS Internal CA", "LG CNS Co., Ltd.", "KICA Public CA", "cns.lg.test"),
+        ("Banco do Brasil CA", "Banco do Brasil S.A.", "AC Raiz Intermediaria v5", "bb.com.br.test"),
+        ("Petrobras CA", "Petroleo Brasileiro S.A.", "AC Raiz Intermediaria v5", "petrobras.com.br.test"),
+        ("Embraer Private CA", "Embraer S.A.", "AC Raiz Intermediaria v5", "embraer.com.br.test"),
+    ];
+    for (ca_cn, org, ica, domain) in corp {
+        specs.push(AnchoredIssuerSpec {
+            ca_cn,
+            org,
+            public_ica_cn: ica,
+            category: Corporate,
+            domain,
+        });
+    }
+    specs
+}
+
+/// Table 1 interception-vendor categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InterceptionCategory {
+    SecurityAndNetwork,
+    BusinessAndCorporate,
+    HealthAndEducation,
+    GovernmentAndPublicService,
+    BankAndFinance,
+    Other,
+}
+
+impl InterceptionCategory {
+    /// Display name matching Table 1.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InterceptionCategory::SecurityAndNetwork => "Security & Network",
+            InterceptionCategory::BusinessAndCorporate => "Business & Corporate",
+            InterceptionCategory::HealthAndEducation => "Health & Education",
+            InterceptionCategory::GovernmentAndPublicService => "Government & Public Service",
+            InterceptionCategory::BankAndFinance => "Bank & Finance",
+            InterceptionCategory::Other => "Other",
+        }
+    }
+
+    /// All categories in Table 1 order.
+    pub fn all() -> [InterceptionCategory; 6] {
+        [
+            InterceptionCategory::SecurityAndNetwork,
+            InterceptionCategory::BusinessAndCorporate,
+            InterceptionCategory::HealthAndEducation,
+            InterceptionCategory::GovernmentAndPublicService,
+            InterceptionCategory::BankAndFinance,
+            InterceptionCategory::Other,
+        ]
+    }
+}
+
+/// One interception vendor (middlebox CA).
+#[derive(Debug, Clone)]
+pub struct InterceptionVendor {
+    /// Vendor / organization name.
+    pub name: String,
+    /// Table 1 category.
+    pub category: InterceptionCategory,
+}
+
+/// The 80 interception issuers of Table 1: 31 security & network vendors,
+/// 27 business & corporate, 10 health & education, 6 government, 3 finance,
+/// 3 other. Named vendors follow the paper's examples (Zscaler, McAfee,
+/// FireEye, Fortinet, Securly, Freddie Mac, Nationwide); the remainder are
+/// synthesized per category.
+pub fn interception_vendors() -> Vec<InterceptionVendor> {
+    use InterceptionCategory::*;
+    let mut vendors = Vec::with_capacity(80);
+    let named_security = [
+        "Zscaler", "McAfee Web Gateway", "FireEye", "Fortinet FortiGate", "Palo Alto Networks",
+        "Blue Coat ProxySG", "Sophos UTM", "Check Point", "Cisco Umbrella", "Netskope",
+        "Forcepoint", "Barracuda", "WatchGuard", "Smoothwall", "ContentKeeper",
+    ];
+    for name in named_security {
+        vendors.push(InterceptionVendor {
+            name: name.to_string(),
+            category: SecurityAndNetwork,
+        });
+    }
+    for i in named_security.len()..31 {
+        vendors.push(InterceptionVendor {
+            name: format!("NetShield Appliance {:02}", i + 1),
+            category: SecurityAndNetwork,
+        });
+    }
+    let named_corp = ["Freddie Mac", "Acme Global Holdings", "Initech", "Umbrella Corp"];
+    for name in named_corp {
+        vendors.push(InterceptionVendor {
+            name: name.to_string(),
+            category: BusinessAndCorporate,
+        });
+    }
+    for i in named_corp.len()..27 {
+        vendors.push(InterceptionVendor {
+            name: format!("Corporate Proxy CA {:02}", i + 1),
+            category: BusinessAndCorporate,
+        });
+    }
+    let named_edu = ["Securly", "Lightspeed Systems", "GoGuardian"];
+    for name in named_edu {
+        vendors.push(InterceptionVendor {
+            name: name.to_string(),
+            category: HealthAndEducation,
+        });
+    }
+    for i in named_edu.len()..10 {
+        vendors.push(InterceptionVendor {
+            name: format!("District Filter CA {:02}", i + 1),
+            category: HealthAndEducation,
+        });
+    }
+    for i in 0..6 {
+        vendors.push(InterceptionVendor {
+            name: format!("US Gov Dept Gateway {:02}", i + 1),
+            category: GovernmentAndPublicService,
+        });
+    }
+    let named_finance = ["Nationwide", "First Federal Trust", "Meridian Bank"];
+    for name in named_finance {
+        vendors.push(InterceptionVendor {
+            name: name.to_string(),
+            category: BankAndFinance,
+        });
+    }
+    for i in 0..3 {
+        vendors.push(InterceptionVendor {
+            name: format!("Misc Proxy {:02}", i + 1),
+            category: Other,
+        });
+    }
+    vendors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn anchored_issuers_match_table6() {
+        let specs = anchored_issuers();
+        assert_eq!(specs.len(), 26);
+        let gov = specs
+            .iter()
+            .filter(|s| s.category == AnchoredCategory::Government)
+            .count();
+        let corp = specs
+            .iter()
+            .filter(|s| s.category == AnchoredCategory::Corporate)
+            .count();
+        assert_eq!(gov, 16);
+        assert_eq!(corp, 10);
+        // Distinct CA names.
+        let names: std::collections::HashSet<_> = specs.iter().map(|s| s.ca_cn).collect();
+        assert_eq!(names.len(), 26);
+    }
+
+    #[test]
+    fn interception_vendors_match_table1() {
+        let vendors = interception_vendors();
+        assert_eq!(vendors.len(), 80);
+        let mut by_cat: HashMap<InterceptionCategory, usize> = HashMap::new();
+        for v in &vendors {
+            *by_cat.entry(v.category).or_default() += 1;
+        }
+        assert_eq!(by_cat[&InterceptionCategory::SecurityAndNetwork], 31);
+        assert_eq!(by_cat[&InterceptionCategory::BusinessAndCorporate], 27);
+        assert_eq!(by_cat[&InterceptionCategory::HealthAndEducation], 10);
+        assert_eq!(by_cat[&InterceptionCategory::GovernmentAndPublicService], 6);
+        assert_eq!(by_cat[&InterceptionCategory::BankAndFinance], 3);
+        assert_eq!(by_cat[&InterceptionCategory::Other], 3);
+        // Named examples from the paper are present.
+        assert!(vendors.iter().any(|v| v.name == "Zscaler"));
+        assert!(vendors.iter().any(|v| v.name.contains("Fortinet")));
+        assert!(vendors.iter().any(|v| v.name == "Securly"));
+        assert!(vendors.iter().any(|v| v.name == "Freddie Mac"));
+        assert!(vendors.iter().any(|v| v.name == "Nationwide"));
+    }
+
+    #[test]
+    fn public_cas_include_lets_encrypt() {
+        assert!(PUBLIC_CAS.iter().any(|c| c.org == "Let's Encrypt" && c.automated));
+        // CA CNs are unique.
+        let roots: std::collections::HashSet<_> = PUBLIC_CAS.iter().map(|c| c.root_cn).collect();
+        assert_eq!(roots.len(), PUBLIC_CAS.len());
+    }
+}

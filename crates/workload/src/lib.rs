@@ -1,0 +1,35 @@
+//! The synthetic campus: a full PKI ecosystem and TLS traffic trace
+//! calibrated to the paper's published distributions.
+//!
+//! The original study analyzed 12 months of IRB-restricted Zeek logs. This
+//! crate is the documented substitution (see DESIGN.md §1): it regenerates
+//! a trace with the same *structure* — chain categories in the paper's
+//! proportions, the exact 321-hybrid-chain population of Table 3/7, the
+//! Table 1 interception-vendor census, the DGA cluster, port and SNI
+//! distributions, per-category establishment rates — and hands it to the
+//! analysis crates through the very same Zeek record types a real
+//! deployment would produce.
+//!
+//! ## Weights
+//!
+//! Small populations (all 321 hybrid chains, the 80 interception issuers,
+//! the Table 8 tails) are generated at **full fidelity**. Bulk populations
+//! (hundreds of thousands of non-public-DB-only chains, hundreds of
+//! millions of connections) are generated **scaled**, and every generated
+//! chain and connection carries a `weight` so that weighted statistics
+//! reproduce the paper's absolute numbers.
+
+pub mod calibration;
+pub mod dga;
+pub mod evolve;
+pub mod interception;
+pub mod issuers;
+pub mod misconfig;
+pub mod pki;
+pub mod servers;
+pub mod trace;
+pub mod traffic;
+
+pub use calibration::{CalibrationTargets, CampusProfile};
+pub use pki::Ecosystem;
+pub use trace::{CampusTrace, ChainCategory, ConnMeta, GroundTruth};

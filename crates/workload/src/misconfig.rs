@@ -1,0 +1,276 @@
+//! Misconfiguration operators.
+//!
+//! Each operator reproduces one real-world failure mode the paper catalogs,
+//! by mutating a well-formed delivered chain. The operators are pure
+//! functions over chains, so the hybrid-population builder can compose them
+//! and tests can assert their post-conditions individually.
+
+use crate::pki::{ca_validity, CaHandle};
+use certchain_cryptosim::KeyPair;
+use certchain_x509::{
+    Certificate, CertificateBuilder, DistinguishedName, Serial, Validity,
+};
+use std::sync::Arc;
+
+/// Append an unrelated certificate after an otherwise valid chain
+/// (Appendix F.2: the HP `CN=tester` self-signed cert, Athenz certs,
+/// stray roots from other CAs). The appended certificate does not link to
+/// the chain, so strict validators reject the result.
+pub fn append_unnecessary(chain: &[Arc<Certificate>], junk: Arc<Certificate>) -> Vec<Arc<Certificate>> {
+    let mut out = chain.to_vec();
+    out.push(junk);
+    out
+}
+
+/// Prepend a stray leaf before the complete matched path (§4.2: "several
+/// chains begin with a leaf certificate followed by the complete matched
+/// path", whose issuer does not match the following subject).
+pub fn prepend_stray_leaf(chain: &[Arc<Certificate>], stray: Arc<Certificate>) -> Vec<Arc<Certificate>> {
+    let mut out = Vec::with_capacity(chain.len() + 1);
+    out.push(stray);
+    out.extend_from_slice(chain);
+    out
+}
+
+/// Replace the leaf of a valid chain with an unrelated self-signed
+/// certificate (Table 7 row 2: "Non-pub-DB self-signed leaf followed by a
+/// valid sub-chain", 13 chains).
+pub fn replace_leaf_with_self_signed(
+    chain: &[Arc<Certificate>],
+    self_signed: Arc<Certificate>,
+) -> Vec<Arc<Certificate>> {
+    let mut out = Vec::with_capacity(chain.len());
+    out.push(self_signed);
+    out.extend_from_slice(&chain[1..]);
+    out
+}
+
+/// Truncate a public chain (drop the leaf's issuer) and append a
+/// non-public root (Table 7 row 5: 5 chains).
+pub fn truncate_and_append_root(
+    chain: &[Arc<Certificate>],
+    private_root: Arc<Certificate>,
+) -> Vec<Arc<Certificate>> {
+    let mut out: Vec<Arc<Certificate>> = Vec::with_capacity(chain.len());
+    // Keep the leaf, drop the intermediate that issues it, keep the rest.
+    out.push(Arc::clone(&chain[0]));
+    if chain.len() > 2 {
+        out.extend_from_slice(&chain[2..]);
+    }
+    out.push(private_root);
+    out
+}
+
+/// The Let's Encrypt staging-environment artifact (Appendix F.2): a
+/// certificate with issuer `CN=Fake LE Root X1` and subject
+/// `CN=Fake LE Intermediate X1` appended after a valid chain — the
+/// `--test-cert` / `--dry-run` placeholder deployed to production by 14
+/// distinct domains.
+pub fn fake_le_staging_cert(seed: u64, serial: Serial) -> Arc<Certificate> {
+    let fake_root_kp = KeyPair::derive(seed, "fake-le-root");
+    let fake_ica_kp = KeyPair::derive(seed, "fake-le-ica");
+    CertificateBuilder::new()
+        .serial(serial)
+        .issuer(DistinguishedName::cn("Fake LE Root X1"))
+        .subject(DistinguishedName::cn("Fake LE Intermediate X1"))
+        .validity(ca_validity())
+        .public_key(fake_ica_kp.public().clone())
+        .ca(Some(0))
+        .sign(&fake_root_kp)
+        .into_arc()
+}
+
+/// The HP `tester` certificate (Appendix F.2): issuer and subject CN both
+/// "tester".
+pub fn hp_tester_cert(seed: u64, serial: Serial) -> Arc<Certificate> {
+    let kp = KeyPair::derive(seed, "hp-tester");
+    let dn = DistinguishedName::cn_o("tester", "HP Inc.");
+    CertificateBuilder::new()
+        .serial(serial)
+        .issuer(dn.clone())
+        .subject(dn)
+        .validity(ca_validity())
+        .sign(&kp)
+        .into_arc()
+}
+
+/// An Athenz-style self-signed service-auth certificate (Appendix F.2).
+pub fn athenz_cert(seed: u64, serial: Serial, service: &str) -> Arc<Certificate> {
+    let kp = KeyPair::derive(seed, &format!("athenz:{service}"));
+    let dn = DistinguishedName::cn_o(&format!("athenz.{service}"), "Athenz");
+    CertificateBuilder::new()
+        .serial(serial)
+        .issuer(dn.clone())
+        .subject(dn)
+        .validity(ca_validity())
+        .sign(&kp)
+        .into_arc()
+}
+
+/// The paper's Appendix F.3 footnote leaf: the default
+/// `emailAddress=webmaster@localhost, CN=localhost, …` self-signed
+/// certificate that 100 of the 108 self-signed-leaf chains carry.
+pub fn localhost_leaf(seed: u64, serial: Serial) -> Arc<Certificate> {
+    use certchain_x509::dn::AttrType;
+    let kp = KeyPair::derive(seed, &format!("localhost-leaf:{serial}"));
+    let dn = DistinguishedName::from_pairs(&[
+        (AttrType::EmailAddress, "webmaster@localhost"),
+        (AttrType::CommonName, "localhost"),
+        (AttrType::OrganizationalUnit, "none"),
+        (AttrType::Organization, "none"),
+        (AttrType::Locality, "Sometown"),
+        (AttrType::StateOrProvince, "Someprovince"),
+        (AttrType::Country, "US"),
+    ]);
+    CertificateBuilder::new()
+        .serial(serial)
+        .issuer(dn.clone())
+        .subject(dn)
+        .validity(Validity::days_from(
+            certchain_asn1::Asn1Time::from_ymd_hms(2019, 6, 1, 0, 0, 0).expect("valid date"),
+            3650,
+        ))
+        .sign(&kp)
+        .into_arc()
+}
+
+/// A generic standalone self-signed certificate for junk/mismatch slots.
+pub fn self_signed(seed: u64, label: &str, cn: &str, serial: Serial) -> Arc<Certificate> {
+    let kp = KeyPair::derive(seed, label);
+    let dn = DistinguishedName::cn(cn);
+    CertificateBuilder::new()
+        .serial(serial)
+        .issuer(dn.clone())
+        .subject(dn)
+        .validity(ca_validity())
+        .sign(&kp)
+        .into_arc()
+}
+
+/// A certificate with *distinct*, unrelated issuer and subject whose issuer
+/// matches nothing in the chain (a pure mismatch filler).
+pub fn orphan_cert(seed: u64, label: &str, issuer_cn: &str, subject_cn: &str, serial: Serial) -> Arc<Certificate> {
+    let signer = KeyPair::derive(seed, &format!("{label}:signer"));
+    let subject_kp = KeyPair::derive(seed, &format!("{label}:subject"));
+    CertificateBuilder::new()
+        .serial(serial)
+        .issuer(DistinguishedName::cn(issuer_cn))
+        .subject(DistinguishedName::cn(subject_cn))
+        .validity(ca_validity())
+        .public_key(subject_kp.public().clone())
+        .sign(&signer)
+        .into_arc()
+}
+
+/// Build a private standalone CA for the truncate-and-append-root cases.
+pub fn private_root(seed: u64, label: &str, org: &str, serial: Serial) -> CaHandle {
+    CaHandle::self_signed(
+        seed,
+        label,
+        DistinguishedName::cn_o(&format!("{org} Root CA"), org),
+        ca_validity(),
+        serial,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certchain_asn1::Asn1Time;
+
+    fn base_chain() -> Vec<Arc<Certificate>> {
+        let root = CaHandle::self_signed(
+            1,
+            "m:root",
+            DistinguishedName::cn("M Root"),
+            ca_validity(),
+            Serial::from_u64(1),
+        );
+        let ica = CaHandle::issued_by(
+            &root,
+            1,
+            "m:ica",
+            DistinguishedName::cn("M ICA"),
+            ca_validity(),
+            Serial::from_u64(2),
+        );
+        let leaf = ica.issue_leaf(
+            "m.example.org",
+            Validity::days_from(Asn1Time::from_ymd_hms(2020, 9, 1, 0, 0, 0).unwrap(), 90),
+            Serial::from_u64(3),
+            1,
+        );
+        vec![leaf, Arc::clone(&ica.cert), Arc::clone(&root.cert)]
+    }
+
+    #[test]
+    fn append_unnecessary_breaks_last_link_only() {
+        let chain = base_chain();
+        let junk = hp_tester_cert(1, Serial::from_u64(9));
+        let out = append_unnecessary(&chain, Arc::clone(&junk));
+        assert_eq!(out.len(), 4);
+        // Original adjacencies intact.
+        assert_eq!(out[0].issuer, out[1].subject);
+        assert_eq!(out[1].issuer, out[2].subject);
+        // New adjacency broken.
+        assert_ne!(out[2].issuer, out[3].subject);
+    }
+
+    #[test]
+    fn prepend_stray_leaf_breaks_first_link() {
+        let chain = base_chain();
+        let stray = self_signed(2, "m:stray", "old.example.org", Serial::from_u64(9));
+        let out = prepend_stray_leaf(&chain, stray);
+        assert_eq!(out.len(), 4);
+        assert_ne!(out[0].issuer, out[1].subject);
+        assert_eq!(out[1].issuer, out[2].subject);
+    }
+
+    #[test]
+    fn replace_leaf_keeps_subchain_valid() {
+        let chain = base_chain();
+        let ss = localhost_leaf(3, Serial::from_u64(9));
+        let out = replace_leaf_with_self_signed(&chain, ss);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].is_self_signed());
+        assert_ne!(out[0].issuer, out[1].subject);
+        assert_eq!(out[1].issuer, out[2].subject);
+    }
+
+    #[test]
+    fn truncate_and_append_root_shape() {
+        let chain = base_chain();
+        let prv = private_root(4, "m:prv", "Shadow Org", Serial::from_u64(9));
+        let out = truncate_and_append_root(&chain, Arc::clone(&prv.cert));
+        // leaf, root (ICA dropped), private root appended.
+        assert_eq!(out.len(), 3);
+        assert_ne!(out[0].issuer, out[1].subject, "issuing ICA was removed");
+        assert!(out[2].is_self_signed());
+    }
+
+    #[test]
+    fn fake_le_staging_has_paper_names() {
+        let cert = fake_le_staging_cert(1, Serial::from_u64(1));
+        assert_eq!(cert.issuer.common_name(), Some("Fake LE Root X1"));
+        assert_eq!(cert.subject.common_name(), Some("Fake LE Intermediate X1"));
+        assert!(!cert.is_self_signed());
+    }
+
+    #[test]
+    fn localhost_leaf_matches_footnote() {
+        let cert = localhost_leaf(1, Serial::from_u64(1));
+        assert!(cert.is_self_signed());
+        let rendered = cert.subject.to_rfc4514();
+        assert!(rendered.contains("emailAddress=webmaster@localhost"), "{rendered}");
+        assert!(rendered.contains("CN=localhost"));
+        assert!(rendered.contains("ST=Someprovince"));
+    }
+
+    #[test]
+    fn orphan_cert_has_distinct_fields() {
+        let cert = orphan_cert(1, "m:orphan", "Issuer X", "Subject Y", Serial::from_u64(1));
+        assert!(!cert.is_self_signed());
+        assert_eq!(cert.issuer.common_name(), Some("Issuer X"));
+        assert_eq!(cert.subject.common_name(), Some("Subject Y"));
+    }
+}

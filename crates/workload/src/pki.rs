@@ -1,0 +1,334 @@
+//! The PKI ecosystem: public CAs (stores + CCADB + CT), cross-signing,
+//! and handles for issuing certificates from any authority.
+
+use crate::issuers::{PublicCaSpec, PUBLIC_CAS};
+use certchain_asn1::Asn1Time;
+use certchain_cryptosim::KeyPair;
+use certchain_ctlog::CtLog;
+use certchain_trust::TrustDb;
+use certchain_x509::{
+    Certificate, CertificateBuilder, DistinguishedName, Serial, Validity,
+};
+use std::sync::Arc;
+
+/// A certificate authority we hold the key for.
+#[derive(Debug, Clone)]
+pub struct CaHandle {
+    /// The CA's subject DN (what it writes into issued certs' issuer field).
+    pub dn: DistinguishedName,
+    /// Signing keypair.
+    pub keypair: KeyPair,
+    /// The CA's own certificate.
+    pub cert: Arc<Certificate>,
+}
+
+impl CaHandle {
+    /// A self-signed CA (root or standalone private CA).
+    pub fn self_signed(
+        seed: u64,
+        label: &str,
+        dn: DistinguishedName,
+        validity: Validity,
+        serial: Serial,
+    ) -> CaHandle {
+        let keypair = KeyPair::derive(seed, label);
+        let cert = CertificateBuilder::new()
+            .serial(serial)
+            .issuer(dn.clone())
+            .subject(dn.clone())
+            .validity(validity)
+            .ca(None)
+            .sign(&keypair)
+            .into_arc();
+        CaHandle { dn, keypair, cert }
+    }
+
+    /// A CA whose certificate is issued by `parent`.
+    pub fn issued_by(
+        parent: &CaHandle,
+        seed: u64,
+        label: &str,
+        dn: DistinguishedName,
+        validity: Validity,
+        serial: Serial,
+    ) -> CaHandle {
+        let keypair = KeyPair::derive(seed, label);
+        let cert = CertificateBuilder::new()
+            .serial(serial)
+            .issuer(parent.dn.clone())
+            .subject(dn.clone())
+            .validity(validity)
+            .public_key(keypair.public().clone())
+            .ca(Some(0))
+            .sign(&parent.keypair)
+            .into_arc();
+        CaHandle { dn, keypair, cert }
+    }
+
+    /// Issue a leaf certificate for `domain`.
+    pub fn issue_leaf(
+        &self,
+        domain: &str,
+        validity: Validity,
+        serial: Serial,
+        leaf_seed: u64,
+    ) -> Arc<Certificate> {
+        let leaf_key = KeyPair::derive(leaf_seed, &format!("leaf:{domain}:{serial}"));
+        CertificateBuilder::new()
+            .serial(serial)
+            .issuer(self.dn.clone())
+            .subject(DistinguishedName::cn(domain))
+            .validity(validity)
+            .public_key(leaf_key.public().clone())
+            .leaf_for(domain)
+            .sign(&self.keypair)
+            .into_arc()
+    }
+}
+
+/// A public CA family as deployed: trusted root + CCADB intermediate.
+#[derive(Debug, Clone)]
+pub struct PublicCa {
+    /// The static spec this family was built from.
+    pub spec: PublicCaSpec,
+    /// Trusted root.
+    pub root: CaHandle,
+    /// The issuing intermediate (listed in CCADB).
+    pub ica: CaHandle,
+}
+
+/// The bootstrapped ecosystem shared by all generators.
+#[derive(Debug)]
+pub struct Ecosystem {
+    /// Ecosystem seed.
+    pub seed: u64,
+    /// Trust databases (stores + CCADB).
+    pub trust: TrustDb,
+    /// The CT log public leaves get submitted to.
+    pub ct: CtLog,
+    /// Public CA families in [`PUBLIC_CAS`] order.
+    pub public_cas: Vec<PublicCa>,
+    /// Cross-sign disclosures: (subject DN, alternate issuer DN) pairs,
+    /// modelling CA announcements such as Sectigo's chain documentation.
+    pub cross_sign_disclosures: Vec<(DistinguishedName, DistinguishedName)>,
+    serial_counter: u64,
+}
+
+/// Standard CA validity: long-lived, covering the campus window and the
+/// 2024 revisit.
+pub fn ca_validity() -> Validity {
+    Validity::days_from(
+        Asn1Time::from_ymd_hms(2015, 1, 1, 0, 0, 0).expect("valid date"),
+        25 * 365,
+    )
+}
+
+impl Ecosystem {
+    /// Build the public PKI: every [`PUBLIC_CAS`] family gets a root in all
+    /// major stores and an intermediate in CCADB; one intermediate is also
+    /// cross-signed by a second root (disclosed), and the whole set is
+    /// CT-ready.
+    pub fn bootstrap(seed: u64) -> Ecosystem {
+        let mut trust = TrustDb::new();
+        let ct = CtLog::new(seed, "campus-ct-log");
+        let mut serial_counter = 1u64;
+        let mut next_serial = || {
+            serial_counter += 1;
+            Serial::from_u64(serial_counter)
+        };
+
+        let mut public_cas = Vec::with_capacity(PUBLIC_CAS.len());
+        for spec in PUBLIC_CAS {
+            let root_dn = DistinguishedName::cn_o(spec.root_cn, spec.org);
+            let root = CaHandle::self_signed(
+                seed,
+                &format!("pub-root:{}", spec.root_cn),
+                root_dn,
+                ca_validity(),
+                next_serial(),
+            );
+            trust.add_root_everywhere(Arc::clone(&root.cert));
+
+            let ica_dn = DistinguishedName::cn_o(spec.ica_cn, spec.org);
+            let ica = CaHandle::issued_by(
+                &root,
+                seed,
+                &format!("pub-ica:{}", spec.ica_cn),
+                ica_dn,
+                ca_validity(),
+                next_serial(),
+            );
+            trust.add_ccadb_intermediate(Arc::clone(&ica.cert));
+            public_cas.push(PublicCa {
+                spec: *spec,
+                root,
+                ica,
+            });
+        }
+
+        // Cross-signing: the COMODO intermediate also holds a certificate
+        // issued by the Sectigo AAA root (same subject + key, different
+        // issuer), and the relationship is publicly disclosed.
+        let mut cross_sign_disclosures = Vec::new();
+        let (sectigo_idx, comodo_idx) = (2usize, 3usize);
+        debug_assert_eq!(PUBLIC_CAS[sectigo_idx].org, "Sectigo Limited");
+        debug_assert_eq!(PUBLIC_CAS[comodo_idx].org, "COMODO CA Limited");
+        let cross_cert = CertificateBuilder::new()
+            .serial(next_serial())
+            .issuer(public_cas[sectigo_idx].root.dn.clone())
+            .subject(public_cas[comodo_idx].ica.dn.clone())
+            .validity(ca_validity())
+            .public_key(public_cas[comodo_idx].ica.keypair.public().clone())
+            .ca(Some(0))
+            .sign(&public_cas[sectigo_idx].root.keypair)
+            .into_arc();
+        trust.add_ccadb_intermediate(Arc::clone(&cross_cert));
+        cross_sign_disclosures.push((
+            public_cas[comodo_idx].ica.dn.clone(),
+            public_cas[sectigo_idx].root.dn.clone(),
+        ));
+
+        Ecosystem {
+            seed,
+            trust,
+            ct,
+            public_cas,
+            cross_sign_disclosures,
+            serial_counter,
+        }
+    }
+
+    /// Allocate the next certificate serial.
+    pub fn next_serial(&mut self) -> Serial {
+        self.serial_counter += 1;
+        Serial::from_u64(self.serial_counter)
+    }
+
+    /// The Let's Encrypt family (used by the §5 migration).
+    pub fn lets_encrypt(&self) -> &PublicCa {
+        self.public_cas
+            .iter()
+            .find(|ca| ca.spec.org == "Let's Encrypt")
+            .expect("bootstrap always creates Let's Encrypt")
+    }
+
+    /// A public CA by root CN.
+    pub fn public_ca(&self, root_cn: &str) -> Option<&PublicCa> {
+        self.public_cas.iter().find(|ca| ca.spec.root_cn == root_cn)
+    }
+
+    /// Issue a CT-logged public leaf: issued by `family.ica`, submitted to
+    /// the CT log at `issued_at`.
+    pub fn issue_public_leaf(
+        &mut self,
+        family_idx: usize,
+        domain: &str,
+        issued_at: Asn1Time,
+        days: u64,
+    ) -> Arc<Certificate> {
+        let serial = self.next_serial();
+        let seed = self.seed;
+        let leaf = self.public_cas[family_idx].ica.issue_leaf(
+            domain,
+            Validity::days_from(issued_at, days),
+            serial,
+            seed,
+        );
+        self.ct.submit(Arc::clone(&leaf), issued_at);
+        leaf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certchain_netsim::{validate_chain, ValidationPolicy};
+    use certchain_trust::IssuerClass;
+
+    #[test]
+    fn bootstrap_populates_stores_and_ccadb() {
+        let eco = Ecosystem::bootstrap(7);
+        assert_eq!(eco.public_cas.len(), PUBLIC_CAS.len());
+        for family in &eco.public_cas {
+            assert!(eco.trust.is_listed_certificate(&family.root.cert.fingerprint()));
+            assert!(eco.trust.is_listed_subject(&family.ica.dn));
+        }
+        // One cross-sign entry disclosed.
+        assert_eq!(eco.cross_sign_disclosures.len(), 1);
+    }
+
+    #[test]
+    fn public_leaf_is_ct_logged_and_validates() {
+        let mut eco = Ecosystem::bootstrap(7);
+        let t = Asn1Time::from_ymd_hms(2020, 10, 1, 0, 0, 0).unwrap();
+        let leaf = eco.issue_public_leaf(0, "shop.example.org", t, 90);
+        assert!(eco.ct.contains(&leaf.fingerprint()));
+        assert_eq!(eco.trust.classify(&leaf), IssuerClass::PublicDb);
+        let chain = vec![leaf, Arc::clone(&eco.public_cas[0].ica.cert)];
+        for policy in [ValidationPolicy::Browser, ValidationPolicy::StrictPresented] {
+            validate_chain(
+                policy,
+                &chain,
+                &eco.trust,
+                t.plus_days(10),
+                Some("shop.example.org"),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn cross_signed_intermediate_verifies_under_both_roots() {
+        let eco = Ecosystem::bootstrap(9);
+        let comodo = eco.public_ca("COMODO RSA Certification Authority").unwrap();
+        let sectigo = eco.public_ca("AAA Certificate Services").unwrap();
+        // Primary certificate verifies under COMODO root.
+        assert!(comodo.ica.cert.verify_signed_by(&comodo.root.cert.public_key));
+        // The cross-signed twin (same subject DN) sits in CCADB; any cert
+        // issued by the COMODO ICA also chains through Sectigo's root via
+        // the cross certificate, because the ICA keypair is shared.
+        let leaf = comodo.ica.issue_leaf(
+            "cross.example.org",
+            Validity::days_from(Asn1Time::from_ymd_hms(2020, 10, 1, 0, 0, 0).unwrap(), 90),
+            Serial::from_u64(999_999),
+            1,
+        );
+        assert!(leaf.verify_signed_by(comodo.ica.keypair.public()));
+        let _ = sectigo;
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic() {
+        let a = Ecosystem::bootstrap(11);
+        let b = Ecosystem::bootstrap(11);
+        for (x, y) in a.public_cas.iter().zip(&b.public_cas) {
+            assert_eq!(x.root.cert.fingerprint(), y.root.cert.fingerprint());
+            assert_eq!(x.ica.cert.fingerprint(), y.ica.cert.fingerprint());
+        }
+        let c = Ecosystem::bootstrap(12);
+        assert_ne!(
+            a.public_cas[0].root.cert.fingerprint(),
+            c.public_cas[0].root.cert.fingerprint()
+        );
+    }
+
+    #[test]
+    fn private_ca_classifies_non_public() {
+        let eco = Ecosystem::bootstrap(13);
+        let private = CaHandle::self_signed(
+            13,
+            "corp-ca",
+            DistinguishedName::cn_o("Corp Internal Root", "Corp Inc"),
+            ca_validity(),
+            Serial::from_u64(1),
+        );
+        let leaf = private.issue_leaf(
+            "intranet.corp",
+            Validity::days_from(Asn1Time::from_ymd_hms(2020, 10, 1, 0, 0, 0).unwrap(), 365),
+            Serial::from_u64(2),
+            13,
+        );
+        assert_eq!(eco.trust.classify(&leaf), IssuerClass::NonPublicDb);
+        assert_eq!(eco.trust.classify(&private.cert), IssuerClass::NonPublicDb);
+    }
+}

@@ -1,0 +1,917 @@
+//! The full-fidelity hybrid population: exactly the 321 chains of Table 3,
+//! with the Table 6 anchored-entity split, the Table 7 no-path breakdown,
+//! the 56-chain public-leaf-without-intermediate subgroup, the 14 Fake LE
+//! staging chains, and mismatch ratios arranged so 122/215 (56.74%) of the
+//! no-path chains sit at ratio ≥ 0.5 (Figure 6).
+
+use crate::issuers::anchored_issuers;
+use crate::misconfig;
+use crate::pki::{ca_validity, CaHandle, Ecosystem};
+use crate::servers::{
+    server_ip, ChainCategory, ContainsKind, GeneratedServer, HybridKind, NoPathKind,
+    TrafficGroup,
+};
+use certchain_asn1::Asn1Time;
+use certchain_netsim::ServerEndpoint;
+use certchain_x509::{Certificate, DistinguishedName, Validity};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn t(y: u64, m: u64, d: u64) -> Asn1Time {
+    Asn1Time::from_ymd_hms(y, m, d, 0, 0, 0).expect("valid date")
+}
+
+/// Port assignment for hybrid servers following Table 4's hybrid column.
+///
+/// Ports are assigned to specific chain indices whose connection volumes
+/// (set by the traffic model: complete chains ≈ 590 conns, contains ≈ 288,
+/// no-path ≈ 118) land the *connection-weighted* shares near the paper's
+/// 97.21% / 1.36% / 1.22% / 0.18% / 0.01% split.
+fn hybrid_port(index: usize) -> u16 {
+    match index {
+        // 8443 ≈ 1.36%: one complete + one contains + one no-path chain.
+        3 | 40 | 110 => 8443,
+        // 8088 ≈ 1.22%: same shape.
+        4 | 41 | 111 => 8088,
+        // 25 ≈ 0.18%: one no-path chain.
+        112 => 25,
+        // 9191 ≈ 0.01%: one (low-volume) no-path chain.
+        113 => 9191,
+        _ => 443,
+    }
+}
+
+/// Build (or fetch) the public intermediates the anchored issuers hang off.
+fn anchored_public_icas(eco: &mut Ecosystem) -> HashMap<&'static str, CaHandle> {
+    let mut out = HashMap::new();
+    let specs: [(&'static str, &str); 3] = [
+        ("Verizon SSP CA A2", "Entrust Root Certification Authority - G2"),
+        ("KICA Public CA", "GlobalSign Root CA"),
+        ("AC Raiz Intermediaria v5", "DigiCert Global Root CA"),
+    ];
+    for (ica_cn, root_cn) in specs {
+        let root = eco
+            .public_ca(root_cn)
+            .unwrap_or_else(|| panic!("bootstrap created {root_cn}"))
+            .root
+            .clone();
+        let serial = eco.next_serial();
+        let ica = CaHandle::issued_by(
+            &root,
+            eco.seed,
+            &format!("anchored-ica:{ica_cn}"),
+            DistinguishedName::cn_o(ica_cn, "Public Trust Services"),
+            ca_validity(),
+            serial,
+        );
+        eco.trust.add_ccadb_intermediate(Arc::clone(&ica.cert));
+        out.insert(ica_cn, ica);
+    }
+    // The Symantec corporate chains reuse the VeriSign family intermediate.
+    let veri = eco
+        .public_ca("VeriSign Class 3 Public Primary CA - G5")
+        .expect("bootstrap created VeriSign")
+        .ica
+        .clone();
+    out.insert("Symantec Class 3 Secure Server CA - G4", veri);
+    out
+}
+
+/// Build all 321 hybrid servers. `base_id` namespaces endpoint ids.
+pub fn build(eco: &mut Ecosystem, base_id: u64) -> Vec<GeneratedServer> {
+    let mut out = Vec::with_capacity(321);
+    let icas = anchored_public_icas(eco);
+
+    // ---- (1a) 26 complete paths: non-public leaf anchored to public root.
+    for (i, spec) in anchored_issuers().into_iter().enumerate() {
+        let public_ica = icas
+            .get(spec.public_ica_cn)
+            .unwrap_or_else(|| panic!("missing public ICA {}", spec.public_ica_cn))
+            .clone();
+        let serial = eco.next_serial();
+        let signing_ca = CaHandle::issued_by(
+            &public_ica,
+            eco.seed,
+            &format!("anchored-ca:{}", spec.ca_cn),
+            DistinguishedName::cn_o(spec.ca_cn, spec.org),
+            ca_validity(),
+            serial,
+        );
+        // The first three chains carry expired leaves (§4.2); the longest
+        // expired more than 5 years before the window's end.
+        let expired = i < 3;
+        let validity = if i == 0 {
+            Validity::days_from(t(2014, 3, 1), 400) // expired > 5 years
+        } else if expired {
+            Validity::days_from(t(2018, 6, 1), 365)
+        } else {
+            Validity::days_from(t(2020, 3, 1), 730)
+        };
+        let serial = eco.next_serial();
+        let leaf = signing_ca.issue_leaf(spec.domain, validity, serial, eco.seed);
+        // §4.2: all these leaves are properly CT-logged.
+        eco.ct.submit(Arc::clone(&leaf), validity.not_before);
+        let chain = vec![
+            leaf,
+            Arc::clone(&signing_ca.cert),
+            Arc::clone(&public_ica.cert),
+        ];
+        let sid = base_id + out.len() as u64;
+        out.push(GeneratedServer {
+            endpoint: ServerEndpoint::new(
+                sid,
+                server_ip(sid),
+                hybrid_port(out.len()),
+                Some(spec.domain.to_string()),
+                chain,
+            ),
+            category: ChainCategory::Hybrid(HybridKind::CompleteAnchored {
+                category: spec.category,
+                expired,
+            }),
+            weight: 1.0,
+            in_pub_leaf_no_intermediate_group: false,
+            group: if expired {
+                TrafficGroup::HybridCompleteExpired
+            } else {
+                TrafficGroup::HybridComplete
+            },
+        });
+    }
+
+    // ---- (1b) 10 complete paths: public chain + trailing private cert
+    // continuing the sequence (Scalyr / Canal+, Appendix F.1).
+    let sectigo_root = eco
+        .public_ca("AAA Certificate Services")
+        .expect("bootstrap created Sectigo")
+        .root
+        .clone();
+    let sectigo_ica = eco
+        .public_ca("AAA Certificate Services")
+        .expect("bootstrap created Sectigo")
+        .ica
+        .clone();
+    // Second intermediate between the issuing ICA and the root.
+    let serial = eco.next_serial();
+    let usertrust = CaHandle::issued_by(
+        &sectigo_root,
+        eco.seed,
+        "usertrust-ica",
+        DistinguishedName::cn_o("USERTrust RSA Certification Authority", "Sectigo Limited"),
+        ca_validity(),
+        serial,
+    );
+    eco.trust.add_ccadb_intermediate(Arc::clone(&usertrust.cert));
+    // Re-parent the issuing ICA under USERTrust so the chain has two
+    // intermediates: leaf ← DV ICA ← USERTrust ← AAA root.
+    let serial = eco.next_serial();
+    let dv_ica = CaHandle::issued_by(
+        &usertrust,
+        eco.seed,
+        "scalyr-dv-ica",
+        sectigo_ica.dn.clone(),
+        ca_validity(),
+        serial,
+    );
+    eco.trust.add_ccadb_intermediate(Arc::clone(&dv_ica.cert));
+    for i in 0..10u64 {
+        let (org, domain) = if i < 5 {
+            ("Scalyr", format!("app{}.scalyr.com.test", i + 1))
+        } else {
+            ("Canal+", format!("backend{}.canal-plus.com.test", i - 4))
+        };
+        let serial = eco.next_serial();
+        let leaf = dv_ica.issue_leaf(
+            &domain,
+            Validity::days_from(t(2020, 7, 1), 397),
+            serial,
+            eco.seed,
+        );
+        eco.ct.submit(Arc::clone(&leaf), t(2020, 7, 1));
+        // The trailing private certificate: subject = AAA root's DN
+        // (continuing the sequence), issuer = the organization itself.
+        let serial = eco.next_serial();
+        let trailing = certchain_x509::CertificateBuilder::new()
+            .serial(serial)
+            .issuer(DistinguishedName::cn_o(org, org))
+            .subject(sectigo_root.dn.clone())
+            .validity(ca_validity())
+            .public_key(
+                certchain_cryptosim::KeyPair::derive(eco.seed, &format!("trail:{org}:{i}"))
+                    .public()
+                    .clone(),
+            )
+            .sign(&certchain_cryptosim::KeyPair::derive(
+                eco.seed,
+                &format!("trail-signer:{org}"),
+            ))
+            .into_arc();
+        let chain = vec![
+            leaf,
+            Arc::clone(&dv_ica.cert),
+            Arc::clone(&usertrust.cert),
+            trailing,
+        ];
+        let sid = base_id + out.len() as u64;
+        out.push(GeneratedServer {
+            endpoint: ServerEndpoint::new(
+                sid,
+                server_ip(sid),
+                hybrid_port(out.len()),
+                Some(domain),
+                chain,
+            ),
+            category: ChainCategory::Hybrid(HybridKind::CompletePubToPrv),
+            weight: 1.0,
+            in_pub_leaf_no_intermediate_group: false,
+            group: TrafficGroup::HybridCompleteScalyr,
+        });
+    }
+
+    // ---- (2) 70 contains-a-complete-path chains with unnecessary certs.
+    build_contains(eco, &mut out, base_id);
+
+    // ---- (3) 215 no-complete-path chains (Table 7).
+    build_no_path(eco, &mut out, base_id);
+
+    assert_eq!(out.len(), 321, "hybrid population must match Table 3");
+    out
+}
+
+/// A valid public chain `[leaf, ica]` for `domain` from family `family_idx`.
+fn public_pair(
+    eco: &mut Ecosystem,
+    family_idx: usize,
+    domain: &str,
+    start: Asn1Time,
+) -> Vec<Arc<Certificate>> {
+    let leaf = eco.issue_public_leaf(family_idx, domain, start, 397);
+    let ica = Arc::clone(&eco.public_cas[family_idx].ica.cert);
+    vec![leaf, ica]
+}
+
+fn push_server(
+    out: &mut Vec<GeneratedServer>,
+    base_id: u64,
+    port: u16,
+    domain: Option<String>,
+    chain: Vec<Arc<Certificate>>,
+    kind: HybridKind,
+    group: TrafficGroup,
+    in_56: bool,
+) {
+    let sid = base_id + out.len() as u64;
+    out.push(GeneratedServer {
+        endpoint: ServerEndpoint::new(sid, server_ip(sid), port, domain, chain),
+        category: ChainCategory::Hybrid(kind),
+        weight: 1.0,
+        in_pub_leaf_no_intermediate_group: in_56,
+        group,
+    });
+}
+
+fn build_contains(eco: &mut Ecosystem, out: &mut Vec<GeneratedServer>, base_id: u64) {
+    let start = t(2020, 8, 1);
+    // 14 Fake LE staging chains, each a distinct domain on Let's Encrypt.
+    let le_idx = 0usize;
+    for i in 0..14u64 {
+        let domain = format!("staging{}.example.org", i + 1);
+        let mut chain = public_pair(eco, le_idx, &domain, start);
+        // Complete path up to the LE root, then the staging placeholder.
+        chain.push(Arc::clone(&eco.public_cas[le_idx].root.cert));
+        let serial = eco.next_serial();
+        let chain = misconfig::append_unnecessary(&chain, misconfig::fake_le_staging_cert(eco.seed, serial));
+        push_server(
+            out,
+            base_id,
+            hybrid_port(out.len()),
+            Some(domain),
+            chain,
+            HybridKind::ContainsPath(ContainsKind::FakeLeStaging),
+            TrafficGroup::HybridContains,
+            false,
+        );
+    }
+    // 20 with appended corporate self-signed certs (HP tester & friends).
+    for i in 0..20u64 {
+        let family = 1 + (i as usize % 4); // DigiCert/Sectigo/COMODO/GoDaddy
+        let domain = format!("corp{}.example.com", i + 1);
+        let base = public_pair(eco, family, &domain, start);
+        let serial = eco.next_serial();
+        let junk = if i == 0 {
+            // The paper's literal HP `CN=tester` example
+            // (webauth.hpconnected.com).
+            misconfig::hp_tester_cert(eco.seed, serial)
+        } else {
+            misconfig::self_signed(
+                eco.seed,
+                &format!("corp-junk:{i}"),
+                &format!("internal-appliance-{i}.corp"),
+                serial,
+            )
+        };
+        let chain = misconfig::append_unnecessary(&base, junk);
+        push_server(
+            out,
+            base_id,
+            hybrid_port(out.len()),
+            Some(domain),
+            chain,
+            HybridKind::ContainsPath(ContainsKind::AppendedSelfSigned),
+            TrafficGroup::HybridContains,
+            false,
+        );
+    }
+    // 12 with extra roots from unrelated public CAs appended. These chains
+    // are the long tail of Figure 4 (lengths up to ~6).
+    for i in 0..12u64 {
+        let family = 1 + (i as usize % 4);
+        let domain = format!("multiroot{}.example.com", i + 1);
+        let mut chain = public_pair(eco, family, &domain, start);
+        chain.push(Arc::clone(&eco.public_cas[family].root.cert));
+        let extras = 1 + (i as usize % 3);
+        for k in 0..extras {
+            let other = (family + k + 1) % eco.public_cas.len();
+            chain.push(Arc::clone(&eco.public_cas[other].root.cert));
+        }
+        // The appended roots are public-DB certs, so the chain is only
+        // hybrid if a non-public cert is present too; half of these also
+        // carry an Athenz-style cert, the rest a private self-signed one.
+        let serial = eco.next_serial();
+        let junk = if i % 2 == 0 {
+            misconfig::athenz_cert(eco.seed, serial, &format!("svc{i}"))
+        } else {
+            misconfig::self_signed(eco.seed, &format!("mr-junk:{i}"), "appliance.local", serial)
+        };
+        chain.push(junk);
+        push_server(
+            out,
+            base_id,
+            hybrid_port(out.len()),
+            Some(domain),
+            chain,
+            HybridKind::ContainsPath(ContainsKind::AppendedRoots),
+            TrafficGroup::HybridContains,
+            false,
+        );
+    }
+    // 12 with Athenz service certs appended (misconfigured tooling).
+    for i in 0..12u64 {
+        let family = (i as usize) % eco.public_cas.len();
+        let domain = format!("athenz{}.example.net", i + 1);
+        let base = public_pair(eco, family, &domain, start);
+        let serial = eco.next_serial();
+        let chain = misconfig::append_unnecessary(
+            &base,
+            misconfig::athenz_cert(eco.seed, serial, &format!("prod{i}")),
+        );
+        push_server(
+            out,
+            base_id,
+            hybrid_port(out.len()),
+            Some(domain),
+            chain,
+            HybridKind::ContainsPath(ContainsKind::AppendedAthenz),
+            TrafficGroup::HybridContains,
+            false,
+        );
+    }
+    // 12 with a stray leaf *before* the complete matched path.
+    for i in 0..12u64 {
+        let family = (i as usize) % eco.public_cas.len();
+        let domain = format!("strayleaf{}.example.net", i + 1);
+        let base = public_pair(eco, family, &domain, start);
+        let serial = eco.next_serial();
+        let stray = misconfig::self_signed(
+            eco.seed,
+            &format!("stray:{i}"),
+            &format!("old-{domain}"),
+            serial,
+        );
+        let chain = misconfig::prepend_stray_leaf(&base, stray);
+        push_server(
+            out,
+            base_id,
+            hybrid_port(out.len()),
+            Some(domain),
+            chain,
+            HybridKind::ContainsPath(ContainsKind::LeadingStrayLeaf),
+            TrafficGroup::HybridContains,
+            false,
+        );
+    }
+}
+
+fn build_no_path(eco: &mut Ecosystem, out: &mut Vec<GeneratedServer>, base_id: u64) {
+    let start = t(2020, 8, 1);
+
+    // ---- Row 1: 108 self-signed leaf + mismatched pairs. 100 use the
+    // localhost DN; 55 of the 108 have fully mismatched tails (ratio 1.0)
+    // and 53 have mostly-matching tails (ratio 0.4), so that together with
+    // rows 3, 5 and 6 exactly 122/215 = 56.74% of no-path chains have a
+    // mismatch ratio >= 0.5 (Figure 6).
+    for i in 0..108u64 {
+        let serial = eco.next_serial();
+        let leaf = if i < 100 {
+            misconfig::localhost_leaf(eco.seed.wrapping_add(i), serial)
+        } else {
+            misconfig::self_signed(
+                eco.seed,
+                &format!("ssleaf:{i}"),
+                &format!("device-{i}.internal"),
+                serial,
+            )
+        };
+        let family = (i as usize) % eco.public_cas.len();
+        let chain = if i < 55 {
+            // [ss-leaf, public ICA] — one mismatched pair, ratio 1.0.
+            vec![leaf, Arc::clone(&eco.public_cas[family].ica.cert)]
+        } else {
+            // [ss-leaf, A1, A2, A3, A4, X]: the A-chain matches downward
+            // (A1←A2←A3←A4) but X breaks the tail, so the rest is NOT a
+            // valid sub-chain (keeping this out of Table 7 row 2) and the
+            // mismatch ratio is 2/5 = 0.4 < 0.5 (Figure 6's left mass).
+            let root_handle = eco.public_cas[family].root.clone();
+            let serial = eco.next_serial();
+            let a4 = CaHandle::issued_by(
+                &root_handle,
+                eco.seed,
+                &format!("row1-a4:{i}"),
+                DistinguishedName::cn(&format!("Row1 A4 CA {i}")),
+                ca_validity(),
+                serial,
+            );
+            let serial = eco.next_serial();
+            let a3 = CaHandle::issued_by(
+                &a4,
+                eco.seed,
+                &format!("row1-a3:{i}"),
+                DistinguishedName::cn(&format!("Row1 A3 CA {i}")),
+                ca_validity(),
+                serial,
+            );
+            let serial = eco.next_serial();
+            let a2 = CaHandle::issued_by(
+                &a3,
+                eco.seed,
+                &format!("row1-a2:{i}"),
+                DistinguishedName::cn(&format!("Row1 A2 CA {i}")),
+                ca_validity(),
+                serial,
+            );
+            let serial = eco.next_serial();
+            let a1 = CaHandle::issued_by(
+                &a2,
+                eco.seed,
+                &format!("row1-a1:{i}"),
+                DistinguishedName::cn(&format!("Row1 A1 CA {i}")),
+                ca_validity(),
+                serial,
+            );
+            let serial = eco.next_serial();
+            let junk = misconfig::orphan_cert(
+                eco.seed,
+                &format!("row1-x:{i}"),
+                &format!("Row1 X Issuer {i}"),
+                &format!("Row1 X Subject {i}"),
+                serial,
+            );
+            vec![
+                leaf,
+                Arc::clone(&a1.cert),
+                Arc::clone(&a2.cert),
+                Arc::clone(&a3.cert),
+                Arc::clone(&a4.cert),
+                junk,
+            ]
+        };
+        push_server(
+            out,
+            base_id,
+            hybrid_port(out.len()),
+            Some(format!("nopath-ss{}.internal.test", i + 1)),
+            chain,
+            HybridKind::NoPath(NoPathKind::SelfSignedLeafMismatches),
+            TrafficGroup::HybridNoPath,
+            false,
+        );
+    }
+
+    // ---- Row 2: 13 self-signed leaf + valid sub-chain (ratio 1/3).
+    for i in 0..13u64 {
+        let family = (i as usize) % eco.public_cas.len();
+        let serial = eco.next_serial();
+        let ss = misconfig::self_signed(
+            eco.seed,
+            &format!("row2:{i}"),
+            &format!("replaced-{i}.example.org"),
+            serial,
+        );
+        // Valid sub-chain: [ICA, root] plus a mid CA for length/ratio.
+        let serial2 = eco.next_serial();
+        let mid = CaHandle::issued_by(
+            &eco.public_cas[family].root.clone(),
+            eco.seed,
+            &format!("row2-mid:{i}"),
+            DistinguishedName::cn(&format!("Row2 Mid CA {i}")),
+            ca_validity(),
+            serial2,
+        );
+        let serial3 = eco.next_serial();
+        let inner = CaHandle::issued_by(
+            &mid,
+            eco.seed,
+            &format!("row2-inner:{i}"),
+            DistinguishedName::cn(&format!("Row2 Inner CA {i}")),
+            ca_validity(),
+            serial3,
+        );
+        let chain = vec![
+            ss,
+            Arc::clone(&inner.cert),
+            Arc::clone(&mid.cert),
+            Arc::clone(&eco.public_cas[family].root.cert),
+        ];
+        push_server(
+            out,
+            base_id,
+            hybrid_port(out.len()),
+            Some(format!("row2-{}.example.org", i + 1)),
+            chain,
+            HybridKind::NoPath(NoPathKind::SelfSignedLeafValidSubchain),
+            TrafficGroup::HybridNoPath,
+            false,
+        );
+    }
+
+    // ---- Row 3: 61 all-mismatched (ratio 1.0). 40 carry a public-DB
+    // leaf with no issuing intermediate (the 56-group's larger half).
+    for i in 0..61u64 {
+        let family = (i as usize) % eco.public_cas.len();
+        let other = (family + 2) % eco.public_cas.len();
+        let in_56 = i < 40;
+        let domain = format!("row3-{}.example.org", i + 1);
+        let chain = if in_56 {
+            // Public leaf, then certs that do not issue it.
+            let leaf = eco.issue_public_leaf(family, &domain, start, 397);
+            let serial = eco.next_serial();
+            let junk = misconfig::orphan_cert(
+                eco.seed,
+                &format!("row3-junk:{i}"),
+                &format!("Unrelated Issuer {i}"),
+                &format!("Unrelated Subject {i}"),
+                serial,
+            );
+            vec![leaf, junk, Arc::clone(&eco.public_cas[other].root.cert)]
+        } else {
+            // Non-public leaf + non-issuing public certs.
+            let serial = eco.next_serial();
+            let leaf = misconfig::orphan_cert(
+                eco.seed,
+                &format!("row3-leaf:{i}"),
+                &format!("Ghost CA {i}"),
+                &domain,
+                serial,
+            );
+            vec![
+                leaf,
+                Arc::clone(&eco.public_cas[other].ica.cert),
+                Arc::clone(&eco.public_cas[family].root.cert),
+            ]
+        };
+        push_server(
+            out,
+            base_id,
+            hybrid_port(out.len()),
+            Some(domain),
+            chain,
+            HybridKind::NoPath(NoPathKind::AllMismatched),
+            if in_56 {
+                TrafficGroup::HybridNoPath56
+            } else {
+                TrafficGroup::HybridNoPath
+            },
+            in_56,
+        );
+    }
+
+    // ---- Row 4: 27 partial mismatches (ratio 1/4 < 0.5). 16 carry a
+    // public leaf with no issuing intermediate (the 56-group's remainder).
+    for i in 0..27u64 {
+        let family = (i as usize) % eco.public_cas.len();
+        let in_56 = i < 16;
+        let domain = format!("row4-{}.example.org", i + 1);
+        let serial = eco.next_serial();
+        let mid2 = CaHandle::issued_by(
+            &eco.public_cas[family].ica.clone(),
+            eco.seed,
+            &format!("row4-i2:{i}"),
+            DistinguishedName::cn(&format!("Row4 I2 CA {i}")),
+            ca_validity(),
+            serial,
+        );
+        let serial = eco.next_serial();
+        let mid1 = CaHandle::issued_by(
+            &mid2,
+            eco.seed,
+            &format!("row4-i1:{i}"),
+            DistinguishedName::cn(&format!("Row4 I1 CA {i}")),
+            ca_validity(),
+            serial,
+        );
+        let serial = eco.next_serial();
+        let inner = CaHandle::issued_by(
+            &mid1,
+            eco.seed,
+            &format!("row4-inner:{i}"),
+            DistinguishedName::cn(&format!("Row4 Inner CA {i}")),
+            ca_validity(),
+            serial,
+        );
+        let leaf = if in_56 {
+            eco.issue_public_leaf(family, &domain, start, 397)
+        } else {
+            let serial = eco.next_serial();
+            misconfig::orphan_cert(
+                eco.seed,
+                &format!("row4-leaf:{i}"),
+                &format!("Phantom CA {i}"),
+                &domain,
+                serial,
+            )
+        };
+        // [leaf, C1, C2, C3]: X ✓ ✓ → ratio 1/3 < 0.5. The matched run
+        // consists purely of CA certificates, so no complete matched path
+        // (which must start at an end-entity certificate) exists.
+        let chain = vec![
+            leaf,
+            Arc::clone(&inner.cert),
+            Arc::clone(&mid1.cert),
+            Arc::clone(&mid2.cert),
+        ];
+        push_server(
+            out,
+            base_id,
+            hybrid_port(out.len()),
+            Some(domain),
+            chain,
+            HybridKind::NoPath(NoPathKind::PartialMismatched),
+            if in_56 {
+                TrafficGroup::HybridNoPath56
+            } else {
+                TrafficGroup::HybridNoPath
+            },
+            in_56,
+        );
+    }
+
+    // ---- Row 5: 5 chains with a non-public root appended to a truncated
+    // public sub-chain: [leaf, I2, I3, prv-root] where the leaf's issuing
+    // intermediate I1 is missing → X ✓ X (ratio 2/3).
+    for i in 0..5u64 {
+        let family = (i as usize) % eco.public_cas.len();
+        let domain = format!("row5-{}.example.org", i + 1);
+        // The sub-chain's top issuer is the family *intermediate*, so the
+        // path is truncated: nothing presented or in a root store issues
+        // `mid` directly — that is what makes this row no-complete-path.
+        let serial = eco.next_serial();
+        let mid = CaHandle::issued_by(
+            &eco.public_cas[family].ica.clone(),
+            eco.seed,
+            &format!("row5-mid:{i}"),
+            DistinguishedName::cn(&format!("Row5 Mid CA {i}")),
+            ca_validity(),
+            serial,
+        );
+        let serial = eco.next_serial();
+        let issuing = CaHandle::issued_by(
+            &mid,
+            eco.seed,
+            &format!("row5-issuing:{i}"),
+            DistinguishedName::cn(&format!("Row5 Issuing CA {i}")),
+            ca_validity(),
+            serial,
+        );
+        let serial = eco.next_serial();
+        let missing_i1 = CaHandle::issued_by(
+            &issuing,
+            eco.seed,
+            &format!("row5-missing-i1:{i}"),
+            DistinguishedName::cn(&format!("Row5 Missing I1 CA {i}")),
+            ca_validity(),
+            serial,
+        );
+        let serial = eco.next_serial();
+        let leaf =
+            missing_i1.issue_leaf(&domain, Validity::days_from(start, 365), serial, eco.seed);
+        let serial = eco.next_serial();
+        let prv = misconfig::private_root(eco.seed, &format!("row5-prv:{i}"), "Shadow IT", serial);
+        // Truncated at the bottom (the leaf's issuer is absent) and capped
+        // with a private root: X ✓ X.
+        let chain = vec![
+            leaf,
+            Arc::clone(&issuing.cert),
+            Arc::clone(&mid.cert),
+            Arc::clone(&prv.cert),
+        ];
+        push_server(
+            out,
+            base_id,
+            hybrid_port(out.len()),
+            Some(domain),
+            chain,
+            HybridKind::NoPath(NoPathKind::RootAppended),
+            TrafficGroup::HybridNoPath,
+            false,
+        );
+    }
+
+    // ---- Row 6: 1 chain with a non-public root and mismatches everywhere
+    // (ratio 1.0): [orphan, prv-root, public root].
+    {
+        let serial = eco.next_serial();
+        let orphan = misconfig::orphan_cert(
+            eco.seed,
+            "row6-orphan",
+            "Lost Issuer",
+            "row6.example.org",
+            serial,
+        );
+        let serial = eco.next_serial();
+        let prv = misconfig::private_root(eco.seed, "row6-prv", "Rogue Ops", serial);
+        let chain = vec![
+            orphan,
+            Arc::clone(&prv.cert),
+            Arc::clone(&eco.public_cas[0].root.cert),
+        ];
+        push_server(
+            out,
+            base_id,
+            hybrid_port(out.len()),
+            Some("row6.example.org".to_string()),
+            chain,
+            HybridKind::NoPath(NoPathKind::RootAndMismatches),
+            TrafficGroup::HybridNoPath,
+            false,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::issuers::AnchoredCategory;
+
+    fn population() -> (Ecosystem, Vec<GeneratedServer>) {
+        let mut eco = Ecosystem::bootstrap(99);
+        let servers = build(&mut eco, 10_000);
+        (eco, servers)
+    }
+
+    fn count_kind(servers: &[GeneratedServer], f: impl Fn(&HybridKind) -> bool) -> usize {
+        servers
+            .iter()
+            .filter(|s| matches!(&s.category, ChainCategory::Hybrid(k) if f(k)))
+            .count()
+    }
+
+    #[test]
+    fn table3_counts() {
+        let (_eco, servers) = population();
+        assert_eq!(servers.len(), 321);
+        assert_eq!(
+            count_kind(&servers, |k| matches!(k, HybridKind::CompleteAnchored { .. })),
+            26
+        );
+        assert_eq!(
+            count_kind(&servers, |k| matches!(k, HybridKind::CompletePubToPrv)),
+            10
+        );
+        assert_eq!(
+            count_kind(&servers, |k| matches!(k, HybridKind::ContainsPath(_))),
+            70
+        );
+        assert_eq!(
+            count_kind(&servers, |k| matches!(k, HybridKind::NoPath(_))),
+            215
+        );
+    }
+
+    #[test]
+    fn table6_and_expired_counts() {
+        let (_eco, servers) = population();
+        let mut corp = 0;
+        let mut gov = 0;
+        let mut expired = 0;
+        for s in &servers {
+            if let ChainCategory::Hybrid(HybridKind::CompleteAnchored { category, expired: e }) =
+                s.category
+            {
+                match category {
+                    AnchoredCategory::Corporate => corp += 1,
+                    AnchoredCategory::Government => gov += 1,
+                }
+                if e {
+                    expired += 1;
+                }
+            }
+        }
+        assert_eq!(corp, 10);
+        assert_eq!(gov, 16);
+        assert_eq!(expired, 3);
+    }
+
+    #[test]
+    fn table7_counts() {
+        let (_eco, servers) = population();
+        let count = |kind: NoPathKind| {
+            count_kind(&servers, |k| matches!(k, HybridKind::NoPath(n) if *n == kind))
+        };
+        assert_eq!(count(NoPathKind::SelfSignedLeafMismatches), 108);
+        assert_eq!(count(NoPathKind::SelfSignedLeafValidSubchain), 13);
+        assert_eq!(count(NoPathKind::AllMismatched), 61);
+        assert_eq!(count(NoPathKind::PartialMismatched), 27);
+        assert_eq!(count(NoPathKind::RootAppended), 5);
+        assert_eq!(count(NoPathKind::RootAndMismatches), 1);
+    }
+
+    #[test]
+    fn fifty_six_group() {
+        let (_eco, servers) = population();
+        let in_56 = servers
+            .iter()
+            .filter(|s| s.in_pub_leaf_no_intermediate_group)
+            .count();
+        assert_eq!(in_56, 56);
+    }
+
+    #[test]
+    fn anchored_leaves_are_ct_logged_and_chains_are_hybrid() {
+        let (eco, servers) = population();
+        for s in &servers {
+            if let ChainCategory::Hybrid(HybridKind::CompleteAnchored { .. }) = s.category {
+                let leaf = &s.endpoint.chain[0];
+                assert!(eco.ct.contains(&leaf.fingerprint()), "leaf must be CT-logged");
+                // Leaf issued by a non-public issuer...
+                assert_eq!(
+                    eco.trust.classify(leaf),
+                    certchain_trust::IssuerClass::NonPublicDb
+                );
+                // ...while the signing CA's own cert is public-DB-issued.
+                assert_eq!(
+                    eco.trust.classify(&s.endpoint.chain[1]),
+                    certchain_trust::IssuerClass::PublicDb
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scalyr_chains_continue_the_sequence() {
+        let (_eco, servers) = population();
+        for s in &servers {
+            if matches!(
+                s.category,
+                ChainCategory::Hybrid(HybridKind::CompletePubToPrv)
+            ) {
+                let chain = &s.endpoint.chain;
+                assert_eq!(chain.len(), 4);
+                for i in 0..3 {
+                    assert_eq!(
+                        chain[i].issuer, chain[i + 1].subject,
+                        "every adjacent pair matches (that is the point)"
+                    );
+                }
+                // The trailing certificate has a different issuer.
+                assert_ne!(chain[3].issuer, chain[3].subject);
+            }
+        }
+    }
+
+    #[test]
+    fn fake_le_chains_present() {
+        let (_eco, servers) = population();
+        let fake = servers
+            .iter()
+            .filter(|s| {
+                s.endpoint.chain.iter().any(|c| {
+                    c.subject.common_name() == Some("Fake LE Intermediate X1")
+                })
+            })
+            .count();
+        assert_eq!(fake, 14);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let mut eco_a = Ecosystem::bootstrap(5);
+        let a = build(&mut eco_a, 0);
+        let mut eco_b = Ecosystem::bootstrap(5);
+        let b = build(&mut eco_b, 0);
+        for (x, y) in a.iter().zip(&b) {
+            let fx: Vec<_> = x.endpoint.chain.iter().map(|c| c.fingerprint()).collect();
+            let fy: Vec<_> = y.endpoint.chain.iter().map(|c| c.fingerprint()).collect();
+            assert_eq!(fx, fy);
+        }
+    }
+}

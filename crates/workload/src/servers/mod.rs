@@ -1,0 +1,153 @@
+//! Server-population builders, one per chain category.
+//!
+//! Every builder returns [`GeneratedServer`]s carrying the ground-truth
+//! label, the statistical weight, and the traffic group the volume model
+//! uses. The analysis pipeline never sees these labels; integration tests
+//! use them to score the pipeline's classifications.
+
+pub mod hybrid;
+pub mod nonpub;
+pub mod public;
+
+use crate::issuers::{AnchoredCategory, InterceptionCategory};
+use certchain_netsim::ServerEndpoint;
+use std::net::Ipv4Addr;
+
+/// Ground-truth chain category (what the generator actually built).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChainCategory {
+    /// All certificates issued by public-DB issuers.
+    PublicOnly,
+    /// All certificates from non-public-DB issuers.
+    NonPublicOnly(NonPubKind),
+    /// Mixed issuers.
+    Hybrid(HybridKind),
+    /// Delivered by a TLS-interception middlebox.
+    Interception(InterceptionCategory),
+}
+
+/// Sub-kinds of non-public-DB-only chains (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NonPubKind {
+    /// One self-signed certificate.
+    SingleSelfSigned,
+    /// One certificate with distinct issuer and subject.
+    SingleDistinct,
+    /// The DGA cluster (a special case of SingleDistinct).
+    Dga,
+    /// Multi-certificate chain forming a complete matched path.
+    MultiMatched,
+    /// Multi-certificate chain containing a matched path plus extras.
+    MultiContains,
+    /// Multi-certificate chain with no matched path.
+    MultiNoPath,
+}
+
+/// Sub-kinds of hybrid chains (Tables 3, 6, 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HybridKind {
+    /// Complete path: non-public leaf anchored to a public root (Table 6).
+    /// `expired` marks the 3 chains whose leaf had expired.
+    CompleteAnchored {
+        category: AnchoredCategory,
+        expired: bool,
+    },
+    /// Complete path: public leaf + intermediates followed by a private
+    /// certificate continuing the subject/issuer sequence (Scalyr/Canal+).
+    CompletePubToPrv,
+    /// Contains a complete matched path plus unnecessary certificates.
+    ContainsPath(ContainsKind),
+    /// No complete matched path (Table 7).
+    NoPath(NoPathKind),
+}
+
+/// What kind of unnecessary certificate pollutes a contains-path chain
+/// (Appendix F.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContainsKind {
+    /// `Fake LE Intermediate X1` staging certificate appended (14 chains).
+    FakeLeStaging,
+    /// Corporate self-signed certificate appended (HP `tester` etc.).
+    AppendedSelfSigned,
+    /// Extra root certificates from unrelated public CAs appended.
+    AppendedRoots,
+    /// Athenz service certificates appended by misconfigured software.
+    AppendedAthenz,
+    /// Stray leaf prepended before the complete matched path.
+    LeadingStrayLeaf,
+}
+
+/// Table 7 rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NoPathKind {
+    /// Self-signed leaf followed by mismatched pairs (108 chains).
+    SelfSignedLeafMismatches,
+    /// Self-signed leaf followed by a valid sub-chain (13 chains).
+    SelfSignedLeafValidSubchain,
+    /// Every issuer–subject pair mismatched (61 chains).
+    AllMismatched,
+    /// Some pairs match but no complete path (27 chains).
+    PartialMismatched,
+    /// Non-public root appended to a truncated public sub-chain (5 chains).
+    RootAppended,
+    /// Non-public root plus mismatched pairs (1 chain).
+    RootAndMismatches,
+}
+
+/// Traffic group: selects the volume/mix parameters in `traffic.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrafficGroup {
+    PublicOnly,
+    HybridComplete,
+    HybridCompleteExpired,
+    HybridCompleteScalyr,
+    HybridContains,
+    HybridNoPath,
+    HybridNoPath56,
+    NonPubSingle,
+    NonPubDga,
+    NonPubMulti,
+    /// The three freak-length chains of §4.1: one unestablished
+    /// connection each.
+    NonPubFreak,
+    Interception(InterceptionCategory),
+}
+
+/// One generated server plus its labels.
+#[derive(Debug, Clone)]
+pub struct GeneratedServer {
+    /// The endpoint as the network simulator sees it.
+    pub endpoint: ServerEndpoint,
+    /// Ground-truth category.
+    pub category: ChainCategory,
+    /// Statistical weight: how many paper-scale chains this generated chain
+    /// represents (1.0 for full-fidelity populations).
+    pub weight: f64,
+    /// Member of the 56-chain "public leaf without issuing intermediate"
+    /// subgroup (§4.2).
+    pub in_pub_leaf_no_intermediate_group: bool,
+    /// Traffic group.
+    pub group: TrafficGroup,
+}
+
+/// Allocate server IPs from TEST-NET-3-like space, deterministic by id.
+pub fn server_ip(id: u64) -> Ipv4Addr {
+    // 45.0.0.0/8-style synthetic space, skipping .0 and .255 host octets.
+    let a = 45u8;
+    let b = ((id >> 12) & 0xff) as u8;
+    let c = ((id >> 6) & 0x3f) as u8 * 4 + 1;
+    let d = ((id & 0x3f) as u8) * 4 + 1;
+    Ipv4Addr::new(a, b, c, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_ips_are_stable_and_distinct_enough() {
+        assert_eq!(server_ip(1), server_ip(1));
+        let ips: std::collections::HashSet<_> = (0u64..4096).map(server_ip).collect();
+        assert_eq!(ips.len(), 4096);
+    }
+}

@@ -1,0 +1,719 @@
+//! The non-public-DB-only population (§4.3, Table 8).
+//!
+//! Bulk sub-populations (self-signed singles, matched multi-cert chains)
+//! are scaled by the profile's `chain_scale`; the small tails the paper
+//! reports as absolute numbers (the DGA cluster, the 142 contains-path and
+//! 87 no-path multi chains, the complex-PKI chains of Figure 7) are
+//! generated at full fidelity with weight 1.
+
+use crate::calibration::{CalibrationTargets, CampusProfile};
+use crate::dga;
+use crate::misconfig;
+use crate::pki::{ca_validity, CaHandle, Ecosystem};
+use crate::servers::{server_ip, ChainCategory, GeneratedServer, NonPubKind, TrafficGroup};
+use certchain_asn1::Asn1Time;
+use certchain_cryptosim::KeyPair;
+use certchain_x509::{
+    BasicConstraints, Certificate, CertificateBuilder, DistinguishedName, Extension, KeyUsage,
+    Serial, Validity,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn t(y: u64, m: u64, d: u64) -> Asn1Time {
+    Asn1Time::from_ymd_hms(y, m, d, 0, 0, 0).expect("valid date")
+}
+
+/// How many servers of each sub-kind to generate for a profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonPubCounts {
+    /// Scaled self-signed singles.
+    pub single_self_signed: usize,
+    /// Scaled distinct-issuer singles (excluding the DGA cluster).
+    pub single_distinct: usize,
+    /// Full-fidelity DGA cluster chains.
+    pub dga: usize,
+    /// Scaled matched multi-cert chains.
+    pub multi_matched: usize,
+    /// Full-fidelity contains-a-matched-path chains (Table 8: 142).
+    pub multi_contains: usize,
+    /// Full-fidelity no-matched-path chains (Table 8: 87).
+    pub multi_no_path: usize,
+}
+
+impl NonPubCounts {
+    /// Derive counts from the calibration targets and profile scale.
+    pub fn from_profile(targets: &CalibrationTargets, profile: &CampusProfile) -> NonPubCounts {
+        let singles = targets.nonpub_chains as f64 * targets.nonpub_single_share;
+        let self_signed = singles * targets.nonpub_single_selfsigned_share;
+        let distinct = singles - self_signed;
+        let multi = targets.nonpub_chains as f64 - singles;
+        let matched =
+            multi - targets.nonpub_multi_contains as f64 - targets.nonpub_multi_no_path as f64;
+        let scale = profile.chain_scale;
+        NonPubCounts {
+            single_self_signed: (self_signed * scale).round().max(1.0) as usize,
+            single_distinct: (distinct * scale).round().max(1.0) as usize,
+            dga: 30,
+            multi_matched: (matched * scale).round().max(1.0) as usize,
+            multi_contains: targets.nonpub_multi_contains as usize,
+            multi_no_path: targets.nonpub_multi_no_path as usize,
+        }
+    }
+}
+
+/// Deterministically spread an index over 0..10_000 so small populations
+/// still follow the Table 4 port proportions.
+fn mix10k(i: usize) -> usize {
+    (i.wrapping_mul(2_654_435_761)) % 10_000
+}
+
+/// Port assignment following Table 4's non-public single-cert column.
+fn single_port(i: usize) -> u16 {
+    match mix10k(i) {
+        0..=4628 => 443,
+        4629..=6780 => 8888,
+        6781..=8688 => 33854,
+        8689..=9110 => 13000,
+        9111..=9240 => 25,
+        9241..=9620 => 8443,
+        9621..=9810 => 10443,
+        _ => 4443,
+    }
+}
+
+/// Port assignment following Table 4's non-public multi-cert column.
+fn multi_port(i: usize) -> u16 {
+    match mix10k(i) {
+        0..=8350 => 443,
+        8351..=8768 => 8531,
+        8769..=9053 => 9093,
+        9054..=9234 => 38881,
+        9235..=9379 => 6443,
+        9380..=9689 => 8080,
+        _ => 8444,
+    }
+}
+
+/// Build a self-signed certificate with controllable basicConstraints
+/// presence (§4.3: most non-public certs omit the extension entirely).
+fn self_signed_device(
+    seed: u64,
+    label: &str,
+    cn: &str,
+    serial: Serial,
+    include_bc: bool,
+    validity: Validity,
+) -> Arc<Certificate> {
+    let kp = KeyPair::derive(seed, label);
+    let dn = DistinguishedName::cn(cn);
+    let mut b = CertificateBuilder::new()
+        .serial(serial)
+        .issuer(dn.clone())
+        .subject(dn)
+        .validity(validity);
+    if include_bc {
+        b = b.extension(Extension::BasicConstraints(BasicConstraints {
+            ca: false,
+            path_len: None,
+        }));
+    }
+    b.sign(&kp).into_arc()
+}
+
+/// A private-PKI CA whose certificate may omit basicConstraints — the
+/// §4.3 observation that 78.32% of subsequently-presented non-public certs
+/// lack the extension.
+fn np_ca(
+    seed: u64,
+    label: &str,
+    dn: DistinguishedName,
+    parent: Option<&CaHandle>,
+    include_bc: bool,
+    serial: Serial,
+) -> CaHandle {
+    let keypair = KeyPair::derive(seed, label);
+    let (issuer_dn, signer) = match parent {
+        Some(p) => (p.dn.clone(), p.keypair.clone()),
+        None => (dn.clone(), keypair.clone()),
+    };
+    let mut b = CertificateBuilder::new()
+        .serial(serial)
+        .issuer(issuer_dn)
+        .subject(dn.clone())
+        .validity(ca_validity())
+        .public_key(keypair.public().clone());
+    if include_bc {
+        b = b
+            .extension(Extension::BasicConstraints(BasicConstraints {
+                ca: true,
+                path_len: None,
+            }))
+            .extension(Extension::KeyUsage(KeyUsage::ca()));
+    }
+    let cert = b.sign(&signer).into_arc();
+    CaHandle { dn, keypair, cert }
+}
+
+/// A private organization's PKI: root plus a few intermediates.
+struct PrivatePki {
+    root: CaHandle,
+    intermediates: Vec<CaHandle>,
+}
+
+fn build_private_pkis(eco: &mut Ecosystem, n: usize, rng: &mut StdRng) -> Vec<PrivatePki> {
+    let mut pkis = Vec::with_capacity(n);
+    for p in 0..n {
+        let org = format!("PrivOrg{p:03}");
+        let serial = eco.next_serial();
+        let root = np_ca(
+            eco.seed,
+            &format!("np-root:{org}"),
+            DistinguishedName::cn_o(&format!("{org} Root CA"), &org),
+            None,
+            rng.gen_bool(0.2168), // BC present on 21.68% of subsequent certs
+            serial,
+        );
+        let n_icas = 1 + (p % 3);
+        let mut intermediates = Vec::with_capacity(n_icas);
+        for k in 0..n_icas {
+            let serial = eco.next_serial();
+            intermediates.push(np_ca(
+                eco.seed,
+                &format!("np-ica:{org}:{k}"),
+                DistinguishedName::cn_o(&format!("{org} Issuing CA {k}"), &org),
+                Some(&root),
+                rng.gen_bool(0.2168),
+                serial,
+            ));
+        }
+        pkis.push(PrivatePki {
+            root,
+            intermediates,
+        });
+    }
+    pkis
+}
+
+/// Issue a non-public leaf with BC present at the first-presented rate
+/// (44.69%).
+fn np_leaf(
+    eco: &mut Ecosystem,
+    ca: &CaHandle,
+    domain: &str,
+    rng: &mut StdRng,
+) -> Arc<Certificate> {
+    let serial = eco.next_serial();
+    let kp = KeyPair::derive(eco.seed, &format!("np-leaf:{domain}:{serial}"));
+    let mut b = CertificateBuilder::new()
+        .serial(serial)
+        .issuer(ca.dn.clone())
+        .subject(DistinguishedName::cn(domain))
+        .validity(Validity::days_from(t(2020, 6, 1), 365 + (rng.gen_range(0..400))))
+        .public_key(kp.public().clone());
+    if rng.gen_bool(0.4469) {
+        b = b
+            .extension(Extension::BasicConstraints(BasicConstraints {
+                ca: false,
+                path_len: None,
+            }))
+            .extension(Extension::SubjectAltName(vec![domain.to_string()]));
+    }
+    b.sign(&ca.keypair).into_arc()
+}
+
+/// Build the whole non-public-DB-only population.
+pub fn build(
+    eco: &mut Ecosystem,
+    base_id: u64,
+    counts: NonPubCounts,
+    profile: &CampusProfile,
+) -> Vec<GeneratedServer> {
+    let mut rng = StdRng::seed_from_u64(profile.seed ^ 0x6e6f_6e70); // "nonp"
+    let chain_weight = profile.chain_weight();
+    let mut out = Vec::new();
+    let push = |out: &mut Vec<GeneratedServer>,
+                    chain: Vec<Arc<Certificate>>,
+                    kind: NonPubKind,
+                    weight: f64,
+                    domain: Option<String>,
+                    port: u16,
+                    group: TrafficGroup| {
+        let sid = base_id + out.len() as u64;
+        out.push(GeneratedServer {
+            endpoint: certchain_netsim::ServerEndpoint::new(
+                sid,
+                server_ip(sid),
+                port,
+                domain,
+                chain,
+            ),
+            category: ChainCategory::NonPublicOnly(kind),
+            weight,
+            in_pub_leaf_no_intermediate_group: false,
+            group,
+        });
+    };
+
+    // ---- Self-signed singles (printers, appliances, default vhosts). ----
+    for i in 0..counts.single_self_signed {
+        let serial = eco.next_serial();
+        let include_bc = (i * 10_000 / counts.single_self_signed.max(1)) >= 5531;
+        let has_domain = (i * 1000 / counts.single_self_signed.max(1)) >= 867;
+        let cn = format!("device-{i:05}.local");
+        let cert = self_signed_device(
+            eco.seed,
+            &format!("np-ss:{i}"),
+            &cn,
+            serial,
+            include_bc,
+            Validity::days_from(t(2019, 1, 1), 3650),
+        );
+        push(
+            &mut out,
+            vec![cert],
+            NonPubKind::SingleSelfSigned,
+            chain_weight,
+            has_domain.then(|| cn.clone()),
+            single_port(i),
+            TrafficGroup::NonPubSingle,
+        );
+    }
+
+    // ---- Distinct-issuer singles (non-DGA). ----
+    for i in 0..counts.single_distinct {
+        let serial = eco.next_serial();
+        let cert = misconfig::orphan_cert(
+            eco.seed,
+            &format!("np-sd:{i}"),
+            &format!("Gateway CA {i}"),
+            &format!("gw-{i:04}.internal"),
+            serial,
+        );
+        push(
+            &mut out,
+            vec![cert],
+            NonPubKind::SingleDistinct,
+            chain_weight,
+            None,
+            single_port(i + 17),
+            TrafficGroup::NonPubSingle,
+        );
+    }
+
+    // ---- The DGA cluster (full fidelity; §4.3 special case). ----
+    for i in 0..counts.dga {
+        let serial = eco.next_serial();
+        let issuer_domain = dga::dga_domain(&mut rng, 8 + (i % 9));
+        let subject_domain = dga::dga_domain(&mut rng, 8 + ((i + 3) % 9));
+        let kp = KeyPair::derive(eco.seed, &format!("dga:{i}"));
+        let days = rng.gen_range(4..=365);
+        let start = t(2020, 9, 1).plus_days(rng.gen_range(0..300));
+        let cert = CertificateBuilder::new()
+            .serial(serial)
+            .issuer(DistinguishedName::cn(&issuer_domain))
+            .subject(DistinguishedName::cn(&subject_domain))
+            .validity(Validity::days_from(start, days))
+            .public_key(kp.public().clone())
+            .sign(&KeyPair::derive(eco.seed, &format!("dga-signer:{i}")))
+            .into_arc();
+        push(
+            &mut out,
+            vec![cert],
+            NonPubKind::Dga,
+            1.0,
+            None,
+            443,
+            TrafficGroup::NonPubDga,
+        );
+    }
+
+    // ---- The three freak chains (§4.1): unusually long chains of
+    // 3,822 / 921 / 41 certificates, each observed exactly once and never
+    // established. Modelled as a misconfigured server repeating one
+    // self-signed certificate (cheap to ship, still a real length-N
+    // delivered chain) — Figure 1 excludes them as outliers.
+    for (k, freak_len) in [3_822usize, 921, 41].into_iter().enumerate() {
+        let serial = eco.next_serial();
+        let cert = self_signed_device(
+            eco.seed,
+            &format!("np-freak:{k}"),
+            &format!("freak-{k}.misconfigured.internal"),
+            serial,
+            false,
+            Validity::days_from(t(2020, 1, 1), 3650),
+        );
+        let chain = vec![cert; freak_len];
+        push(
+            &mut out,
+            chain,
+            NonPubKind::MultiMatched,
+            1.0,
+            None,
+            443,
+            TrafficGroup::NonPubFreak,
+        );
+    }
+
+    // ---- Private PKIs for the multi-cert chains. ----
+    let pkis = build_private_pkis(eco, 40, &mut rng);
+
+    // Matched multi-cert chains (scaled). Lengths 2–5 with the §4.3 note
+    // that intermediates are linked to at most two other intermediates in
+    // the straightforward deployments.
+    for i in 0..counts.multi_matched {
+        let pki = &pkis[i % (pkis.len() - 2)]; // last 2 PKIs reserved as hubs
+        let ica = &pki.intermediates[i % pki.intermediates.len()];
+        let domain = format!("svc-{i:04}.corp.internal");
+        let leaf = np_leaf(eco, ica, &domain, &mut rng);
+        let chain = match i % 20 {
+            0..=11 => vec![leaf, Arc::clone(&ica.cert)],
+            12..=16 => vec![leaf, Arc::clone(&ica.cert), Arc::clone(&pki.root.cert)],
+            17..=18 => {
+                // Four-cert chain through a second intermediate tier.
+                let serial = eco.next_serial();
+                let sub = np_ca(
+                    eco.seed,
+                    &format!("np-sub:{i}"),
+                    DistinguishedName::cn(&format!("Sub CA {i}")),
+                    Some(ica),
+                    rng.gen_bool(0.2168),
+                    serial,
+                );
+                let leaf2 = np_leaf(eco, &sub, &domain, &mut rng);
+                vec![
+                    leaf2,
+                    Arc::clone(&sub.cert),
+                    Arc::clone(&ica.cert),
+                    Arc::clone(&pki.root.cert),
+                ]
+            }
+            _ => {
+                // Five-cert chain.
+                let serial = eco.next_serial();
+                let sub = np_ca(
+                    eco.seed,
+                    &format!("np-sub5a:{i}"),
+                    DistinguishedName::cn(&format!("Sub5a CA {i}")),
+                    Some(ica),
+                    rng.gen_bool(0.2168),
+                    serial,
+                );
+                let serial = eco.next_serial();
+                let sub2 = np_ca(
+                    eco.seed,
+                    &format!("np-sub5b:{i}"),
+                    DistinguishedName::cn(&format!("Sub5b CA {i}")),
+                    Some(&sub),
+                    rng.gen_bool(0.2168),
+                    serial,
+                );
+                let leaf2 = np_leaf(eco, &sub2, &domain, &mut rng);
+                vec![
+                    leaf2,
+                    Arc::clone(&sub2.cert),
+                    Arc::clone(&sub.cert),
+                    Arc::clone(&ica.cert),
+                    Arc::clone(&pki.root.cert),
+                ]
+            }
+        };
+        let has_domain = (i * 1000 / counts.multi_matched.max(1)) >= 663;
+        push(
+            &mut out,
+            chain,
+            NonPubKind::MultiMatched,
+            chain_weight,
+            has_domain.then_some(domain),
+            multi_port(i),
+            TrafficGroup::NonPubMulti,
+        );
+    }
+
+    // Complex-PKI matched chains (Figure 7): hub intermediates adjacent to
+    // ≥3 distinct intermediates across chains. Full fidelity, 12 chains.
+    let hub_pki = &pkis[pkis.len() - 1];
+    let serial_base: Vec<Serial> = (0..4).map(|_| eco.next_serial()).collect();
+    let hub = np_ca(
+        eco.seed,
+        "np-hub",
+        DistinguishedName::cn_o("Hub Issuing CA", "PrivOrgHub"),
+        Some(&hub_pki.root),
+        true,
+        serial_base[0].clone(),
+    );
+    let spokes: Vec<CaHandle> = (0..4)
+        .map(|k| {
+            let serial = eco.next_serial();
+            np_ca(
+                eco.seed,
+                &format!("np-spoke:{k}"),
+                DistinguishedName::cn_o(&format!("Spoke CA {k}"), "PrivOrgHub"),
+                Some(&hub),
+                true,
+                serial,
+            )
+        })
+        .collect();
+    for i in 0..12 {
+        let spoke = &spokes[i % spokes.len()];
+        let domain = format!("hub-svc-{i}.corp.internal");
+        let leaf = np_leaf(eco, spoke, &domain, &mut rng);
+        let chain = vec![
+            leaf,
+            Arc::clone(&spoke.cert),
+            Arc::clone(&hub.cert),
+            Arc::clone(&hub_pki.root.cert),
+        ];
+        push(
+            &mut out,
+            chain,
+            NonPubKind::MultiMatched,
+            1.0,
+            Some(domain),
+            multi_port(i),
+            TrafficGroup::NonPubMulti,
+        );
+    }
+
+    // Contains-a-matched-path chains (142, full fidelity): matched path
+    // plus a private junk certificate.
+    for i in 0..counts.multi_contains {
+        let pki = &pkis[i % (pkis.len() - 2)];
+        let ica = &pki.intermediates[i % pki.intermediates.len()];
+        let domain = format!("extra-{i:03}.corp.internal");
+        let leaf = np_leaf(eco, ica, &domain, &mut rng);
+        let serial = eco.next_serial();
+        let junk = misconfig::self_signed(
+            eco.seed,
+            &format!("np-junk:{i}"),
+            &format!("stale-appliance-{i}.internal"),
+            serial,
+        );
+        let chain = vec![leaf, Arc::clone(&ica.cert), junk];
+        push(
+            &mut out,
+            chain,
+            NonPubKind::MultiContains,
+            1.0,
+            Some(domain),
+            multi_port(i + 3),
+            TrafficGroup::NonPubMulti,
+        );
+    }
+
+    // No-matched-path chains (87, full fidelity): the intermediate that
+    // issued the leaf is missing.
+    for i in 0..counts.multi_no_path {
+        let pki = &pkis[i % (pkis.len() - 2)];
+        let wrong_ica = &pki.intermediates[0];
+        let domain = format!("broken-{i:03}.corp.internal");
+        // The leaf claims an issuer that is not in the chain.
+        let serial = eco.next_serial();
+        let ghost = np_ca(
+            eco.seed,
+            &format!("np-ghost:{i}"),
+            DistinguishedName::cn(&format!("Ghost Issuing CA {i}")),
+            Some(&pki.root),
+            false,
+            serial,
+        );
+        let leaf = np_leaf(eco, &ghost, &domain, &mut rng);
+        let second = if i % 2 == 0 {
+            Arc::clone(&wrong_ica.cert)
+        } else {
+            let serial = eco.next_serial();
+            misconfig::orphan_cert(
+                eco.seed,
+                &format!("np-np:{i}"),
+                &format!("Lost CA {i}"),
+                &format!("Found CA {i}"),
+                serial,
+            )
+        };
+        // Ensure the second certificate really does not match the leaf's
+        // issuer: the ghost CA's cert is deliberately not included.
+        let chain = vec![leaf, second];
+        push(
+            &mut out,
+            chain,
+            NonPubKind::MultiNoPath,
+            1.0,
+            Some(domain),
+            multi_port(i + 7),
+            TrafficGroup::NonPubMulti,
+        );
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::CalibrationTargets;
+
+    fn population() -> (Ecosystem, Vec<GeneratedServer>, NonPubCounts) {
+        let targets = CalibrationTargets::paper();
+        let profile = CampusProfile::quick();
+        let counts = NonPubCounts::from_profile(&targets, &profile);
+        let mut eco = Ecosystem::bootstrap(profile.seed);
+        let servers = build(&mut eco, 50_000, counts, &profile);
+        (eco, servers, counts)
+    }
+
+    fn kind_count(servers: &[GeneratedServer], kind: NonPubKind) -> usize {
+        servers
+            .iter()
+            .filter(|s| s.category == ChainCategory::NonPublicOnly(kind))
+            .count()
+    }
+
+    #[test]
+    fn counts_follow_profile() {
+        let (_eco, servers, counts) = population();
+        assert_eq!(
+            kind_count(&servers, NonPubKind::SingleSelfSigned),
+            counts.single_self_signed
+        );
+        assert_eq!(
+            kind_count(&servers, NonPubKind::SingleDistinct),
+            counts.single_distinct
+        );
+        assert_eq!(kind_count(&servers, NonPubKind::Dga), counts.dga);
+        assert_eq!(kind_count(&servers, NonPubKind::MultiContains), 142);
+        assert_eq!(kind_count(&servers, NonPubKind::MultiNoPath), 87);
+    }
+
+    #[test]
+    fn weighted_single_share_matches_paper() {
+        let (_eco, servers, _) = population();
+        let weighted = |pred: &dyn Fn(&GeneratedServer) -> bool| -> f64 {
+            servers.iter().filter(|s| pred(s)).map(|s| s.weight).sum()
+        };
+        let singles = weighted(&|s| {
+            matches!(
+                s.category,
+                ChainCategory::NonPublicOnly(
+                    NonPubKind::SingleSelfSigned | NonPubKind::SingleDistinct | NonPubKind::Dga
+                )
+            )
+        });
+        let total = weighted(&|_| true);
+        let share = singles / total;
+        assert!(
+            (share - 0.7810).abs() < 0.02,
+            "weighted single share = {share}"
+        );
+    }
+
+    #[test]
+    fn all_chains_classify_non_public() {
+        let (eco, servers, _) = population();
+        for s in servers.iter().take(50) {
+            for cert in &s.endpoint.chain {
+                assert_eq!(
+                    eco.trust.classify(cert),
+                    certchain_trust::IssuerClass::NonPublicDb,
+                    "cert in {:?} chain",
+                    s.category
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matched_chains_really_match() {
+        let (_eco, servers, _) = population();
+        for s in &servers {
+            if s.category == ChainCategory::NonPublicOnly(NonPubKind::MultiMatched) {
+                let chain = &s.endpoint.chain;
+                for i in 0..chain.len() - 1 {
+                    assert_eq!(chain[i].issuer, chain[i + 1].subject);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_path_chains_have_zero_matches() {
+        let (_eco, servers, _) = population();
+        for s in &servers {
+            if s.category == ChainCategory::NonPublicOnly(NonPubKind::MultiNoPath) {
+                let chain = &s.endpoint.chain;
+                for i in 0..chain.len() - 1 {
+                    assert_ne!(chain[i].issuer, chain[i + 1].subject);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dga_chains_match_pattern_and_validity() {
+        let (_eco, servers, _) = population();
+        for s in &servers {
+            if s.category == ChainCategory::NonPublicOnly(NonPubKind::Dga) {
+                let cert = &s.endpoint.chain[0];
+                let issuer = cert.issuer.common_name().unwrap();
+                let subject = cert.subject.common_name().unwrap();
+                assert!(dga::matches_dga_pattern(issuer), "{issuer}");
+                assert!(dga::matches_dga_pattern(subject), "{subject}");
+                assert_ne!(issuer, subject);
+                let days = cert.validity.lifetime_days();
+                assert!((4..=365).contains(&days), "{days}");
+            }
+        }
+    }
+
+    #[test]
+    fn hub_intermediate_links_to_three_plus_spokes() {
+        let (_eco, servers, _) = population();
+        use std::collections::{HashMap, HashSet};
+        // adjacency: for each intermediate (by subject), which distinct
+        // intermediate subjects appear adjacent across chains.
+        let mut adj: HashMap<String, HashSet<String>> = HashMap::new();
+        for s in &servers {
+            let chain = &s.endpoint.chain;
+            for w in chain.windows(2) {
+                let a = w[0].subject.to_rfc4514();
+                let b = w[1].subject.to_rfc4514();
+                if a.contains("CA") && b.contains("CA") {
+                    adj.entry(b.clone()).or_default().insert(a.clone());
+                    adj.entry(a).or_default().insert(b);
+                }
+            }
+        }
+        let max_links = adj.values().map(|v| v.len()).max().unwrap_or(0);
+        assert!(max_links >= 3, "hub should link >=3 intermediates, got {max_links}");
+    }
+
+    #[test]
+    fn bc_omission_rates_roughly_match() {
+        let (_eco, servers, _) = population();
+        let mut first = (0usize, 0usize);
+        let mut subsequent = (0usize, 0usize);
+        for s in &servers {
+            if s.endpoint.chain_len() > 10 {
+                continue; // the freak chains repeat one cert thousands of times
+            }
+            for (i, cert) in s.endpoint.chain.iter().enumerate() {
+                let omitted = cert.basic_constraints().is_none();
+                if i == 0 {
+                    first.0 += omitted as usize;
+                    first.1 += 1;
+                } else {
+                    subsequent.0 += omitted as usize;
+                    subsequent.1 += 1;
+                }
+            }
+        }
+        let first_rate = first.0 as f64 / first.1 as f64;
+        let subsequent_rate = subsequent.0 as f64 / subsequent.1.max(1) as f64;
+        assert!((first_rate - 0.5531).abs() < 0.10, "first = {first_rate}");
+        assert!(
+            (subsequent_rate - 0.7832).abs() < 0.12,
+            "subsequent = {subsequent_rate}"
+        );
+    }
+}

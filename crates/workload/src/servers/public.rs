@@ -1,0 +1,111 @@
+//! The public-DB-only background population.
+//!
+//! The paper reports only this population's chain-length distribution
+//! (Figure 1: >60% of public chains are advertised with length 2, since
+//! servers usually omit the root). It also supplies the pool of "popular
+//! public domains" whose CT records the interception detector
+//! cross-references.
+
+use crate::pki::Ecosystem;
+use crate::servers::{server_ip, ChainCategory, GeneratedServer, TrafficGroup};
+use certchain_asn1::Asn1Time;
+use std::sync::Arc;
+
+/// Deterministic synthetic public domain names.
+pub fn public_domain(i: usize) -> String {
+    const WORDS: [&str; 16] = [
+        "news", "video", "cloud", "shop", "mail", "search", "social", "bank",
+        "stream", "game", "learn", "travel", "forum", "music", "docs", "photo",
+    ];
+    format!("{}{}.example.com", WORDS[i % WORDS.len()], i)
+}
+
+/// Build `count` public-DB-only servers with Figure-1-shaped chain lengths:
+/// 8% length 1 (leaf only, missing intermediate), 62% length 2 (leaf+ICA),
+/// 25% length 3 (root included), 5% length 4 (extra intermediate chain).
+///
+/// Every leaf is CT-logged, which is what lets the interception detector
+/// establish the "real" issuer for these domains.
+pub fn build(
+    eco: &mut Ecosystem,
+    base_id: u64,
+    count: usize,
+    weight: f64,
+) -> Vec<GeneratedServer> {
+    let start = Asn1Time::from_ymd_hms(2020, 8, 1, 0, 0, 0).expect("valid date");
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let family = i % eco.public_cas.len();
+        let domain = public_domain(i);
+        let leaf = eco.issue_public_leaf(family, &domain, start.plus_days((i % 200) as u64), 397);
+        let ica = Arc::clone(&eco.public_cas[family].ica.cert);
+        let root = Arc::clone(&eco.public_cas[family].root.cert);
+        let chain = match i % 100 {
+            // 8%: leaf only (server forgot the intermediate).
+            0..=7 => vec![leaf],
+            // 62%: the canonical [leaf, intermediate].
+            8..=69 => vec![leaf, ica],
+            // 25%: root needlessly included.
+            70..=94 => vec![leaf, ica, root],
+            // 5%: longer chain (cross-signed intermediate added).
+            _ => {
+                let other = (family + 1) % eco.public_cas.len();
+                let extra = Arc::clone(&eco.public_cas[other].ica.cert);
+                vec![leaf, ica, root, extra]
+            }
+        };
+        let sid = base_id + i as u64;
+        out.push(GeneratedServer {
+            endpoint: certchain_netsim::ServerEndpoint::new(
+                sid,
+                server_ip(sid),
+                443,
+                Some(domain),
+                chain,
+            ),
+            category: ChainCategory::PublicOnly,
+            weight,
+            in_pub_leaf_no_intermediate_group: false,
+            group: TrafficGroup::PublicOnly,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_distribution_matches_figure1() {
+        let mut eco = Ecosystem::bootstrap(3);
+        let servers = build(&mut eco, 0, 1000, 100.0);
+        assert_eq!(servers.len(), 1000);
+        let len2 = servers
+            .iter()
+            .filter(|s| s.endpoint.chain_len() == 2)
+            .count();
+        // 62% at length 2.
+        assert!((600..=640).contains(&len2), "len2 = {len2}");
+        let len1 = servers
+            .iter()
+            .filter(|s| s.endpoint.chain_len() == 1)
+            .count();
+        assert!((70..=90).contains(&len1), "len1 = {len1}");
+    }
+
+    #[test]
+    fn leaves_are_ct_logged() {
+        let mut eco = Ecosystem::bootstrap(3);
+        let servers = build(&mut eco, 0, 50, 1.0);
+        for s in &servers {
+            assert!(eco.ct.contains(&s.endpoint.chain[0].fingerprint()));
+        }
+    }
+
+    #[test]
+    fn domains_are_distinct() {
+        let domains: std::collections::HashSet<_> = (0..500).map(public_domain).collect();
+        assert_eq!(domains.len(), 500);
+    }
+}

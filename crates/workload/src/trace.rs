@@ -1,0 +1,360 @@
+//! Trace assembly: populations + volume model → Zeek-shaped logs.
+
+use crate::calibration::{CalibrationTargets, CampusProfile};
+use crate::interception::{self, InterceptionCounts};
+use crate::pki::Ecosystem;
+use crate::servers::{hybrid, nonpub, public, GeneratedServer, TrafficGroup};
+use crate::traffic::group_spec;
+use certchain_asn1::Asn1Time;
+use certchain_ctlog::DomainIndex;
+use certchain_netsim::handshake::record_connection;
+use certchain_netsim::{Client, SimClock, SslRecord, TlsVersion, X509Record};
+
+use certchain_x509::{DistinguishedName, Fingerprint};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub use crate::servers::{ChainCategory, ContainsKind, HybridKind, NonPubKind, NoPathKind};
+
+/// Reporting sidecar for one connection record: which server produced it
+/// and how many paper-scale connections it represents. The analysis
+/// pipeline itself never reads this — it exists so experiment reports can
+/// rescale to paper numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnMeta {
+    /// Index into [`CampusTrace::servers`].
+    pub server_idx: usize,
+    /// Statistical weight of this record.
+    pub weight: f64,
+}
+
+/// Ground truth: generator-side labels for scoring the analysis pipeline.
+#[derive(Debug, Default)]
+pub struct GroundTruth {
+    /// Delivered-chain fingerprints → server index.
+    pub by_chain: HashMap<Vec<Fingerprint>, usize>,
+}
+
+/// The complete synthetic campus trace.
+#[derive(Debug)]
+pub struct CampusTrace {
+    /// Profile used.
+    pub profile: CampusProfile,
+    /// Paper targets (for reporting).
+    pub targets: CalibrationTargets,
+    /// ssl.log records.
+    pub ssl_records: Vec<SslRecord>,
+    /// Per-record sidecar, aligned with `ssl_records`.
+    pub conn_meta: Vec<ConnMeta>,
+    /// x509.log records, one per distinct certificate.
+    pub x509_records: Vec<X509Record>,
+    /// The generated server population with ground-truth labels.
+    pub servers: Vec<GeneratedServer>,
+    /// The full PKI ecosystem (trust databases, CT log, CA keys — the
+    /// latter are what the §5 evolution operators re-issue with).
+    pub eco: Ecosystem,
+    /// crt.sh-style domain index over the CT log.
+    pub ct_index: DomainIndex,
+    /// Publicly disclosed cross-signing relationships.
+    pub cross_sign_disclosures: Vec<(DistinguishedName, DistinguishedName)>,
+    /// Ground-truth labels.
+    pub truth: GroundTruth,
+}
+
+impl CampusTrace {
+    /// Generate the full trace for `profile`.
+    pub fn generate(profile: CampusProfile) -> CampusTrace {
+        let targets = CalibrationTargets::paper();
+        let mut eco = Ecosystem::bootstrap(profile.seed);
+
+        // Build the populations. Public first: the CT index must know the
+        // "real" issuers of the domains interception middleboxes forge.
+        let public_weight =
+            (targets.total_chains as f64 * (1.0 - targets.share_nonpub_only - targets.share_hybrid - targets.share_interception))
+                / profile.public_chains.max(1) as f64;
+        let mut servers = public::build(&mut eco, 0, profile.public_chains, public_weight);
+        servers.extend(hybrid::build(&mut eco, 100_000));
+        let np_counts = nonpub::NonPubCounts::from_profile(&targets, &profile);
+        servers.extend(nonpub::build(&mut eco, 200_000, np_counts, &profile));
+        let ic_counts = InterceptionCounts::from_profile(&targets, &profile);
+        servers.extend(interception::build(
+            &mut eco,
+            400_000,
+            ic_counts,
+            &profile,
+            profile.public_chains,
+        ));
+
+        // Volume model: group servers, then emit connections.
+        let mut by_group: BTreeMap<TrafficGroup, Vec<usize>> = BTreeMap::new();
+        for (idx, s) in servers.iter().enumerate() {
+            by_group.entry(s.group).or_default().push(idx);
+        }
+
+        let clock = SimClock::campus_window_start();
+        let window_secs =
+            SimClock::campus_window_end().unix_secs() - clock.now().unix_secs();
+        let mut ssl_records = Vec::new();
+        let mut conn_meta = Vec::new();
+        let mut x509_records = Vec::new();
+        let mut seen_certs: HashSet<Fingerprint> = HashSet::new();
+        // Validation outcome cache: (server, policy id) → established.
+        let mut outcome_cache: HashMap<(usize, u8), bool> = HashMap::new();
+        let mut uid: u64 = 0;
+
+        for (group, members) in &by_group {
+            let spec = group_spec(*group, &targets, &profile);
+            let n = members.len() as u64;
+            if n == 0 || spec.connections == 0 {
+                continue;
+            }
+            // Every generated chain must be *observed* at least once, even
+            // in groups whose scaled connection volume rounds below the
+            // server count (e.g. the 0.02%-of-connections interception
+            // categories of Table 1). Floor the record count at one per
+            // server and rescale the per-record weight so the weighted
+            // connection total is preserved.
+            let records = spec.connections.max(n);
+            let conn_weight =
+                spec.conn_weight * spec.connections as f64 / records as f64;
+            let per_server = records / n;
+            let remainder = (records % n) as usize;
+            let mut k_in_group: u64 = 0;
+            for (slot, &server_idx) in members.iter().enumerate() {
+                let server = &servers[server_idx];
+                let conns = per_server + u64::from(slot < remainder);
+                for _ in 0..conns {
+                    uid += 1;
+                    let policy = spec.mix.pick(k_in_group, records);
+                    k_in_group += 1;
+                    let at = Asn1Time::from_unix(
+                        clock.now().unix_secs()
+                            + uid.wrapping_mul(2_654_435_761) % window_secs,
+                    );
+                    let client = Client::new(
+                        spec.pool.public_ip(uid.wrapping_mul(0x9e37_79b9)),
+                        policy,
+                    );
+                    // The paper's analyzed logs only carry chain-bearing
+                    // connections (TLS ≤ 1.2). Roughly a quarter of TLS
+                    // traffic is 1.3 and invisible to the monitor (§6.3);
+                    // modelled as TLS 1.3-only *servers* in the public
+                    // background, whose chains passive monitoring never
+                    // sees (the IP-space sweep of `scanner::sweep` recovers
+                    // them).
+                    let version = if *group == TrafficGroup::PublicOnly && server_idx % 4 == 3 {
+                        TlsVersion::Tls13
+                    } else {
+                        TlsVersion::Tls12
+                    };
+                    // Validation outcomes are designed to be
+                    // time-invariant within the window; validate once per
+                    // (server, policy) and reuse the verdict.
+                    let policy_id = policy_id(policy);
+                    let established =
+                        *outcome_cache.entry((server_idx, policy_id)).or_insert_with(|| {
+                            certchain_netsim::validate_chain(
+                                policy.validation,
+                                &server.endpoint.chain,
+                                &eco.trust,
+                                at,
+                                policy
+                                    .sends_sni
+                                    .then(|| server.endpoint.domain.as_deref())
+                                    .flatten(),
+                            )
+                            .is_ok()
+                        });
+                    let outcome = record_connection(
+                        uid,
+                        at,
+                        &client,
+                        &server.endpoint,
+                        established,
+                        version,
+                    );
+                    if version == TlsVersion::Tls12 {
+                        for cert in &server.endpoint.chain {
+                            if seen_certs.insert(cert.fingerprint()) {
+                                x509_records.push(X509Record::from_certificate(at, cert));
+                            }
+                        }
+                    }
+                    ssl_records.push(outcome.ssl);
+                    conn_meta.push(ConnMeta {
+                        server_idx,
+                        weight: conn_weight,
+                    });
+                }
+            }
+        }
+
+        let mut truth = GroundTruth::default();
+        for (idx, s) in servers.iter().enumerate() {
+            let fps: Vec<Fingerprint> =
+                s.endpoint.chain.iter().map(|c| c.fingerprint()).collect();
+            truth.by_chain.insert(fps, idx);
+        }
+
+        let ct_index = DomainIndex::build(&[&eco.ct]);
+        let cross_sign_disclosures = eco.cross_sign_disclosures.clone();
+        CampusTrace {
+            profile,
+            targets,
+            ssl_records,
+            conn_meta,
+            x509_records,
+            servers,
+            eco,
+            ct_index,
+            cross_sign_disclosures,
+            truth,
+        }
+    }
+}
+
+fn policy_id(policy: certchain_netsim::ClientPolicy) -> u8 {
+    use certchain_netsim::ValidationPolicy::*;
+    let v = match policy.validation {
+        Browser => 0,
+        StrictPresented => 1,
+        Permissive => 2,
+    };
+    v | ((policy.sends_sni as u8) << 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_trace() -> &'static CampusTrace {
+        static TRACE: std::sync::OnceLock<CampusTrace> = std::sync::OnceLock::new();
+        TRACE.get_or_init(|| CampusTrace::generate(CampusProfile::quick()))
+    }
+
+    #[test]
+    fn trace_generates_and_joins() {
+        let trace = quick_trace();
+        assert!(!trace.ssl_records.is_empty());
+        assert_eq!(trace.ssl_records.len(), trace.conn_meta.len());
+        // Every fingerprint referenced by an ssl record exists in x509.log.
+        let known: HashSet<Fingerprint> =
+            trace.x509_records.iter().map(|r| r.fingerprint).collect();
+        for rec in trace.ssl_records.iter().take(2_000) {
+            for fp in &rec.cert_chain_fps {
+                assert!(known.contains(fp), "dangling fingerprint in ssl.log");
+            }
+        }
+    }
+
+    #[test]
+    fn timestamps_are_inside_the_window() {
+        let trace = quick_trace();
+        let start = SimClock::campus_window_start().now();
+        let end = SimClock::campus_window_end();
+        for rec in &trace.ssl_records {
+            assert!(rec.ts >= start && rec.ts <= end, "ts {} outside window", rec.ts);
+        }
+    }
+
+    #[test]
+    fn hybrid_connections_are_full_fidelity() {
+        let trace = quick_trace();
+        let hybrid_conns: f64 = trace
+            .conn_meta
+            .iter()
+            .filter(|m| {
+                matches!(
+                    trace.servers[m.server_idx].category,
+                    ChainCategory::Hybrid(_)
+                )
+            })
+            .map(|m| m.weight)
+            .sum();
+        let target = trace.targets.hybrid_connections as f64;
+        assert!(
+            (hybrid_conns - target).abs() / target < 0.01,
+            "hybrid weighted connections = {hybrid_conns}, target {target}"
+        );
+    }
+
+    #[test]
+    fn hybrid_establishment_rates_match_paper() {
+        let trace = quick_trace();
+        let mut complete = (0u64, 0u64);
+        let mut contains = (0u64, 0u64);
+        let mut no_path = (0u64, 0u64);
+        for (rec, meta) in trace.ssl_records.iter().zip(&trace.conn_meta) {
+            let server = &trace.servers[meta.server_idx];
+            let bucket = match server.category {
+                ChainCategory::Hybrid(
+                    HybridKind::CompleteAnchored { .. } | HybridKind::CompletePubToPrv,
+                ) => &mut complete,
+                ChainCategory::Hybrid(HybridKind::ContainsPath(_)) => &mut contains,
+                ChainCategory::Hybrid(HybridKind::NoPath(_)) => &mut no_path,
+                _ => continue,
+            };
+            bucket.0 += rec.established as u64;
+            bucket.1 += 1;
+        }
+        let rate = |b: &(u64, u64)| b.0 as f64 / b.1.max(1) as f64;
+        assert!(
+            (rate(&complete) - 0.9756).abs() < 0.01,
+            "complete rate = {}",
+            rate(&complete)
+        );
+        assert!(
+            (rate(&contains) - 0.9204).abs() < 0.01,
+            "contains rate = {}",
+            rate(&contains)
+        );
+        assert!(
+            (rate(&no_path) - 0.5742).abs() < 0.015,
+            "no-path rate = {}",
+            rate(&no_path)
+        );
+    }
+
+    #[test]
+    fn single_cert_sni_rate_matches_paper() {
+        let trace = quick_trace();
+        let mut no_sni = 0f64;
+        let mut total = 0f64;
+        for (rec, meta) in trace.ssl_records.iter().zip(&trace.conn_meta) {
+            let server = &trace.servers[meta.server_idx];
+            if matches!(
+                server.category,
+                ChainCategory::NonPublicOnly(
+                    NonPubKind::SingleSelfSigned | NonPubKind::SingleDistinct | NonPubKind::Dga
+                )
+            ) {
+                // Weighted: the full-fidelity DGA cluster is a large share
+                // of *generated* records at small scales but a negligible
+                // share of paper-scale connections.
+                total += meta.weight;
+                no_sni += meta.weight * (rec.server_name.is_none() as u64 as f64);
+            }
+        }
+        let rate = no_sni / total.max(1.0);
+        assert!((rate - 0.867).abs() < 0.04, "single no-SNI rate = {rate}");
+    }
+
+    #[test]
+    fn ground_truth_covers_every_chain() {
+        let trace = quick_trace();
+        assert_eq!(trace.truth.by_chain.len(), trace.servers.len());
+        for rec in trace.ssl_records.iter().take(500) {
+            if !rec.cert_chain_fps.is_empty() {
+                assert!(trace.truth.by_chain.contains_key(&rec.cert_chain_fps));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = CampusTrace::generate(CampusProfile::quick());
+        let b = CampusTrace::generate(CampusProfile::quick());
+        assert_eq!(a.ssl_records.len(), b.ssl_records.len());
+        assert_eq!(a.ssl_records[..100], b.ssl_records[..100]);
+        assert_eq!(a.x509_records.len(), b.x509_records.len());
+    }
+}

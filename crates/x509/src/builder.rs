@@ -1,0 +1,240 @@
+//! Fluent certificate construction.
+
+use crate::cert::{AlgorithmId, Certificate};
+use crate::dn::DistinguishedName;
+use crate::extensions::{BasicConstraints, Extension, KeyUsage};
+use crate::serial::Serial;
+use crate::validity::Validity;
+use certchain_asn1::Asn1Time;
+use certchain_cryptosim::{sign, KeyPair, PublicKey};
+
+/// Builder for [`Certificate`].
+///
+/// Defaults: version 2 (v3), serial 1, SimSig algorithm, empty issuer and
+/// subject, a one-day validity starting at the Unix epoch, and no
+/// extensions. Everything is overridable, including into deliberately
+/// malformed shapes — the misconfiguration operators in the `workload`
+/// crate rely on that freedom.
+#[derive(Debug, Clone)]
+pub struct CertificateBuilder {
+    version: u64,
+    serial: Serial,
+    algorithm: AlgorithmId,
+    issuer: DistinguishedName,
+    validity: Validity,
+    subject: DistinguishedName,
+    public_key: Option<PublicKey>,
+    extensions: Vec<Extension>,
+}
+
+impl Default for CertificateBuilder {
+    fn default() -> CertificateBuilder {
+        CertificateBuilder {
+            version: 2,
+            serial: Serial::from_u64(1),
+            algorithm: AlgorithmId::SimSig,
+            issuer: DistinguishedName::empty(),
+            validity: Validity::days_from(Asn1Time::from_unix(0), 1),
+            subject: DistinguishedName::empty(),
+            public_key: None,
+            extensions: Vec::new(),
+        }
+    }
+}
+
+impl CertificateBuilder {
+    /// Fresh builder with defaults.
+    pub fn new() -> CertificateBuilder {
+        CertificateBuilder::default()
+    }
+
+    /// X.509 version number (0 = v1, 2 = v3).
+    pub fn version(mut self, version: u64) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// Serial number.
+    pub fn serial(mut self, serial: Serial) -> Self {
+        self.serial = serial;
+        self
+    }
+
+    /// Signature algorithm.
+    pub fn algorithm(mut self, algorithm: AlgorithmId) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Issuer DN.
+    pub fn issuer(mut self, issuer: DistinguishedName) -> Self {
+        self.issuer = issuer;
+        self
+    }
+
+    /// Validity window.
+    pub fn validity(mut self, validity: Validity) -> Self {
+        self.validity = validity;
+        self
+    }
+
+    /// Subject DN.
+    pub fn subject(mut self, subject: DistinguishedName) -> Self {
+        self.subject = subject;
+        self
+    }
+
+    /// Subject public key.
+    pub fn public_key(mut self, key: PublicKey) -> Self {
+        self.public_key = Some(key);
+        self
+    }
+
+    /// Append one extension.
+    pub fn extension(mut self, ext: Extension) -> Self {
+        self.extensions.push(ext);
+        self
+    }
+
+    /// Convenience: mark as a CA with standard CA extensions.
+    pub fn ca(self, path_len: Option<u64>) -> Self {
+        self.extension(Extension::BasicConstraints(BasicConstraints {
+            ca: true,
+            path_len,
+        }))
+        .extension(Extension::KeyUsage(KeyUsage::ca()))
+    }
+
+    /// Convenience: mark as a leaf with standard server-cert extensions.
+    pub fn leaf_for(self, dns_name: &str) -> Self {
+        self.extension(Extension::BasicConstraints(BasicConstraints {
+            ca: false,
+            path_len: None,
+        }))
+        .extension(Extension::KeyUsage(KeyUsage::leaf()))
+        .extension(Extension::SubjectAltName(vec![dns_name.to_string()]))
+    }
+
+    /// Sign with the issuer's keypair and produce the certificate.
+    ///
+    /// The subject public key defaults to the *signer's* public key when not
+    /// set (the self-signed root case).
+    pub fn sign(self, issuer_keypair: &KeyPair) -> Certificate {
+        let public_key = self
+            .public_key
+            .unwrap_or_else(|| issuer_keypair.public().clone());
+        // Assemble once with a placeholder signature to obtain TBS bytes,
+        // then attach the real signature.
+        let tbs = Certificate::assemble(
+            self.version,
+            self.serial.clone(),
+            self.algorithm.clone(),
+            self.issuer.clone(),
+            self.validity,
+            self.subject.clone(),
+            public_key.clone(),
+            self.extensions.clone(),
+            certchain_cryptosim::Signature::from_bytes([0; 32]),
+        )
+        .tbs_der();
+        let signature = sign(issuer_keypair, &tbs);
+        Certificate::assemble(
+            self.version,
+            self.serial,
+            self.algorithm,
+            self.issuer,
+            self.validity,
+            self.subject,
+            public_key,
+            self.extensions,
+            signature,
+        )
+    }
+
+    /// Produce a certificate whose signature is garbage — it will fail
+    /// key-signature validation while remaining structurally valid. Models
+    /// the paper's impersonation / corrupted-signature cases.
+    pub fn sign_invalid(self) -> Certificate {
+        let public_key = self
+            .public_key
+            .clone()
+            .unwrap_or_else(|| KeyPair::derive(0, "builder:fallback").public().clone());
+        Certificate::assemble(
+            self.version,
+            self.serial,
+            self.algorithm,
+            self.issuer,
+            self.validity,
+            self.subject,
+            public_key,
+            self.extensions,
+            certchain_cryptosim::Signature::from_bytes([0xde; 32]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> Asn1Time {
+        Asn1Time::from_ymd_hms(2020, 9, 1, 0, 0, 0).unwrap()
+    }
+
+    #[test]
+    fn ca_helper_sets_extensions() {
+        let kp = KeyPair::derive(1, "root");
+        let dn = DistinguishedName::cn_o("Root", "Org");
+        let cert = CertificateBuilder::new()
+            .issuer(dn.clone())
+            .subject(dn)
+            .validity(Validity::days_from(t0(), 3650))
+            .ca(Some(2))
+            .sign(&kp);
+        let bc = cert.basic_constraints().unwrap();
+        assert!(bc.ca);
+        assert_eq!(bc.path_len, Some(2));
+        assert!(cert.is_self_signed());
+        assert!(cert.verify_signed_by(kp.public()));
+    }
+
+    #[test]
+    fn leaf_helper_sets_san() {
+        let ca = KeyPair::derive(1, "ca");
+        let leaf_key = KeyPair::derive(1, "leaf");
+        let cert = CertificateBuilder::new()
+            .issuer(DistinguishedName::cn("CA"))
+            .subject(DistinguishedName::cn("www.example.org"))
+            .validity(Validity::days_from(t0(), 90))
+            .public_key(leaf_key.public().clone())
+            .leaf_for("www.example.org")
+            .sign(&ca);
+        assert_eq!(cert.dns_names(), vec!["www.example.org"]);
+        assert!(!cert.basic_constraints().unwrap().ca);
+    }
+
+    #[test]
+    fn default_public_key_is_signer() {
+        let kp = KeyPair::derive(5, "self");
+        let cert = CertificateBuilder::new()
+            .issuer(DistinguishedName::cn("s"))
+            .subject(DistinguishedName::cn("s"))
+            .validity(Validity::days_from(t0(), 1))
+            .sign(&kp);
+        assert_eq!(&cert.public_key, kp.public());
+    }
+
+    #[test]
+    fn sign_invalid_fails_verification() {
+        let ca = KeyPair::derive(1, "ca");
+        let cert = CertificateBuilder::new()
+            .issuer(DistinguishedName::cn("CA"))
+            .subject(DistinguishedName::cn("victim.org"))
+            .validity(Validity::days_from(t0(), 30))
+            .public_key(KeyPair::derive(9, "v").public().clone())
+            .sign_invalid();
+        assert!(!cert.verify_signed_by(ca.public()));
+        // Still parses from DER.
+        assert!(crate::Certificate::parse(cert.der()).is_ok());
+    }
+}

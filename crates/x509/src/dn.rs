@@ -1,0 +1,467 @@
+//! Distinguished names: the issuer/subject fields the paper's
+//! issuer–subject validation methodology compares.
+//!
+//! A [`DistinguishedName`] is an ordered sequence of RDNs; each RDN here
+//! holds a single attribute-value pair (multi-valued RDNs are vanishingly
+//! rare in server certificates and are not modelled). Supports DER
+//! (RDNSequence) and the RFC 4514 string form both ways.
+
+use certchain_asn1::{oid::known, reader, Asn1Error, Asn1Result, Decoder, Encoder, Oid, Tag};
+use std::fmt;
+
+/// Attribute types found in subject/issuer names.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttrType {
+    /// CN
+    CommonName,
+    /// C
+    Country,
+    /// L
+    Locality,
+    /// ST
+    StateOrProvince,
+    /// O
+    Organization,
+    /// OU
+    OrganizationalUnit,
+    /// emailAddress (PKCS#9) — common in private-PKI DNs like the paper's
+    /// `emailAddress=webmaster@localhost` leaf cluster.
+    EmailAddress,
+    /// Anything else, kept by OID.
+    Other(Oid),
+}
+
+impl AttrType {
+    /// The attribute's OID.
+    pub fn oid(&self) -> Oid {
+        match self {
+            AttrType::CommonName => known::common_name(),
+            AttrType::Country => known::country(),
+            AttrType::Locality => known::locality(),
+            AttrType::StateOrProvince => known::state_or_province(),
+            AttrType::Organization => known::organization(),
+            AttrType::OrganizationalUnit => known::organizational_unit(),
+            AttrType::EmailAddress => known::email_address(),
+            AttrType::Other(oid) => oid.clone(),
+        }
+    }
+
+    /// Map an OID back to the enum.
+    pub fn from_oid(oid: Oid) -> AttrType {
+        if oid == known::common_name() {
+            AttrType::CommonName
+        } else if oid == known::country() {
+            AttrType::Country
+        } else if oid == known::locality() {
+            AttrType::Locality
+        } else if oid == known::state_or_province() {
+            AttrType::StateOrProvince
+        } else if oid == known::organization() {
+            AttrType::Organization
+        } else if oid == known::organizational_unit() {
+            AttrType::OrganizationalUnit
+        } else if oid == known::email_address() {
+            AttrType::EmailAddress
+        } else {
+            AttrType::Other(oid)
+        }
+    }
+
+    /// RFC 4514 short name, or dotted OID for unknown types.
+    pub fn short_name(&self) -> String {
+        match self {
+            AttrType::CommonName => "CN".into(),
+            AttrType::Country => "C".into(),
+            AttrType::Locality => "L".into(),
+            AttrType::StateOrProvince => "ST".into(),
+            AttrType::Organization => "O".into(),
+            AttrType::OrganizationalUnit => "OU".into(),
+            AttrType::EmailAddress => "emailAddress".into(),
+            AttrType::Other(oid) => oid.to_string(),
+        }
+    }
+
+    /// Parse an RFC 4514 attribute key.
+    pub fn from_short_name(name: &str) -> Option<AttrType> {
+        match name {
+            "CN" => Some(AttrType::CommonName),
+            "C" => Some(AttrType::Country),
+            "L" => Some(AttrType::Locality),
+            "ST" => Some(AttrType::StateOrProvince),
+            "O" => Some(AttrType::Organization),
+            "OU" => Some(AttrType::OrganizationalUnit),
+            "emailAddress" | "E" => Some(AttrType::EmailAddress),
+            other => other.parse::<Oid>().ok().map(AttrType::Other),
+        }
+    }
+}
+
+/// A single-valued relative distinguished name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rdn {
+    /// Attribute type.
+    pub attr: AttrType,
+    /// Attribute value.
+    pub value: String,
+}
+
+/// An ordered distinguished name, e.g. `CN=example.org, O=Acme, C=US`.
+///
+/// ```
+/// use certchain_x509::DistinguishedName;
+/// let dn = DistinguishedName::cn_o("R3", "Let's Encrypt");
+/// assert_eq!(dn.to_rfc4514(), "CN=R3, O=Let's Encrypt");
+/// assert_eq!(DistinguishedName::parse_rfc4514(&dn.to_rfc4514()), Some(dn));
+/// ```
+///
+/// Equality is exact (same attributes, same values, same order), mirroring
+/// the byte comparison Zeek logs permit. RFC 5280 name *matching* rules
+/// (case folding etc.) are intentionally not applied: the paper compares
+/// logged strings.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct DistinguishedName {
+    rdns: Vec<Rdn>,
+}
+
+impl DistinguishedName {
+    /// Empty name (used by some malformed certificates).
+    pub fn empty() -> DistinguishedName {
+        DistinguishedName::default()
+    }
+
+    /// Build from `(type, value)` pairs in order.
+    pub fn from_pairs(pairs: &[(AttrType, &str)]) -> DistinguishedName {
+        DistinguishedName {
+            rdns: pairs
+                .iter()
+                .map(|(attr, value)| Rdn {
+                    attr: attr.clone(),
+                    value: (*value).to_string(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Convenience: a name with just a common name.
+    pub fn cn(common_name: &str) -> DistinguishedName {
+        DistinguishedName::from_pairs(&[(AttrType::CommonName, common_name)])
+    }
+
+    /// Convenience: `CN=…, O=…` (the usual CA shape).
+    pub fn cn_o(common_name: &str, org: &str) -> DistinguishedName {
+        DistinguishedName::from_pairs(&[
+            (AttrType::CommonName, common_name),
+            (AttrType::Organization, org),
+        ])
+    }
+
+    /// The RDNs in order.
+    pub fn rdns(&self) -> &[Rdn] {
+        &self.rdns
+    }
+
+    /// Whether no RDNs are present.
+    pub fn is_empty(&self) -> bool {
+        self.rdns.is_empty()
+    }
+
+    /// First value of the given attribute type, if any.
+    pub fn get(&self, attr: &AttrType) -> Option<&str> {
+        self.rdns
+            .iter()
+            .find(|r| &r.attr == attr)
+            .map(|r| r.value.as_str())
+    }
+
+    /// The common name, if any.
+    pub fn common_name(&self) -> Option<&str> {
+        self.get(&AttrType::CommonName)
+    }
+
+    /// Append an RDN (builder style).
+    pub fn with(mut self, attr: AttrType, value: &str) -> DistinguishedName {
+        self.rdns.push(Rdn {
+            attr,
+            value: value.to_string(),
+        });
+        self
+    }
+
+    /// DER-encode as an RDNSequence.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.sequence(|enc| {
+            for rdn in &self.rdns {
+                enc.set(|enc| {
+                    enc.sequence(|enc| {
+                        enc.oid(&rdn.attr.oid());
+                        if reader::is_printable(&rdn.value) {
+                            enc.printable_string(&rdn.value);
+                        } else {
+                            enc.utf8_string(&rdn.value);
+                        }
+                    });
+                });
+            }
+        });
+    }
+
+    /// Decode an RDNSequence.
+    pub fn decode(dec: &mut Decoder<'_>) -> Asn1Result<DistinguishedName> {
+        let seq = dec.expect(Tag::SEQUENCE)?;
+        let mut inner = seq.decoder()?;
+        let mut rdns = Vec::new();
+        while !inner.is_at_end() {
+            let set = inner.expect(Tag::SET)?;
+            let mut set_dec = set.decoder()?;
+            let atav = set_dec.expect(Tag::SEQUENCE)?;
+            if !set_dec.is_at_end() {
+                // Multi-valued RDN: unsupported by this model.
+                return Err(Asn1Error::UnconsumedContent {
+                    offset: set_dec.offset(),
+                });
+            }
+            let mut atav_dec = atav.decoder()?;
+            let oid = atav_dec.oid()?;
+            let value = atav_dec.directory_string()?.to_string();
+            atav_dec.finish()?;
+            rdns.push(Rdn {
+                attr: AttrType::from_oid(oid),
+                value,
+            });
+        }
+        Ok(DistinguishedName { rdns })
+    }
+
+    /// Render in RFC 4514 style (`CN=a, O=b`), escaping `,`, `+`, `"`, `\`,
+    /// `<`, `>`, `;`, leading/trailing spaces and leading `#`.
+    pub fn to_rfc4514(&self) -> String {
+        let mut out = String::new();
+        for (i, rdn) in self.rdns.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&rdn.attr.short_name());
+            out.push('=');
+            out.push_str(&escape_value(&rdn.value));
+        }
+        out
+    }
+
+    /// Parse an RFC 4514-style string. Accepts both `, ` and `,` separators.
+    pub fn parse_rfc4514(s: &str) -> Option<DistinguishedName> {
+        if s.trim().is_empty() {
+            return Some(DistinguishedName::empty());
+        }
+        let mut rdns = Vec::new();
+        for part in split_unescaped(s, ',') {
+            let part = part.trim_start();
+            let eq = find_unescaped(part, '=')?;
+            let (key, value) = part.split_at(eq);
+            let attr = AttrType::from_short_name(key.trim())?;
+            rdns.push(Rdn {
+                attr,
+                value: unescape_value(&value[1..]),
+            });
+        }
+        Some(DistinguishedName { rdns })
+    }
+}
+
+fn escape_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let chars: Vec<char> = v.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        let needs_escape = matches!(c, ',' | '+' | '"' | '\\' | '<' | '>' | ';')
+            || (i == 0 && (c == ' ' || c == '#'))
+            || (i == chars.len() - 1 && c == ' ');
+        if needs_escape {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+fn unescape_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(next) = chars.next() {
+                out.push(next);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn split_unescaped(s: &str, sep: char) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == sep {
+            parts.push(&s[start..i]);
+            start = i + c.len_utf8();
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+fn find_unescaped(s: &str, target: char) -> Option<usize> {
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == target {
+            return Some(i);
+        }
+    }
+    None
+}
+
+impl fmt::Display for DistinguishedName {
+    /// Delegates to the RFC 4514 form.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_rfc4514())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certchain_asn1::writer::encode;
+
+    #[test]
+    fn build_and_query() {
+        let dn = DistinguishedName::cn_o("Let's Encrypt R3", "Let's Encrypt");
+        assert_eq!(dn.common_name(), Some("Let's Encrypt R3"));
+        assert_eq!(dn.get(&AttrType::Organization), Some("Let's Encrypt"));
+        assert_eq!(dn.get(&AttrType::Country), None);
+        assert!(!dn.is_empty());
+        assert!(DistinguishedName::empty().is_empty());
+    }
+
+    #[test]
+    fn rfc4514_rendering() {
+        let dn = DistinguishedName::from_pairs(&[
+            (AttrType::CommonName, "example.org"),
+            (AttrType::Organization, "Acme, Inc."),
+            (AttrType::Country, "US"),
+        ]);
+        assert_eq!(dn.to_rfc4514(), "CN=example.org, O=Acme\\, Inc., C=US");
+    }
+
+    #[test]
+    fn rfc4514_round_trip() {
+        let cases = [
+            DistinguishedName::cn("plain.example.org"),
+            DistinguishedName::from_pairs(&[
+                (AttrType::CommonName, "with, comma"),
+                (AttrType::Organization, "trailing space "),
+                (AttrType::OrganizationalUnit, "#leading hash"),
+            ]),
+            // The paper's localhost leaf (Appendix F.3 footnote).
+            DistinguishedName::from_pairs(&[
+                (AttrType::EmailAddress, "webmaster@localhost"),
+                (AttrType::CommonName, "localhost"),
+                (AttrType::OrganizationalUnit, "none"),
+                (AttrType::Organization, "none"),
+                (AttrType::Locality, "Sometown"),
+                (AttrType::StateOrProvince, "Someprovince"),
+                (AttrType::Country, "US"),
+            ]),
+            DistinguishedName::empty(),
+        ];
+        for dn in cases {
+            let rendered = dn.to_rfc4514();
+            let parsed = DistinguishedName::parse_rfc4514(&rendered).unwrap();
+            assert_eq!(parsed, dn, "string form: {rendered}");
+        }
+    }
+
+    #[test]
+    fn rfc4514_parse_tolerates_tight_commas() {
+        let dn = DistinguishedName::parse_rfc4514("CN=a,O=b,C=US").unwrap();
+        assert_eq!(dn.rdns().len(), 3);
+        assert_eq!(dn.common_name(), Some("a"));
+    }
+
+    #[test]
+    fn rfc4514_parse_rejects_garbage() {
+        assert!(DistinguishedName::parse_rfc4514("no equals sign").is_none());
+        assert!(DistinguishedName::parse_rfc4514("NOTAKEY!=x").is_none());
+    }
+
+    #[test]
+    fn der_round_trip() {
+        let dn = DistinguishedName::from_pairs(&[
+            (AttrType::CommonName, "Grüße GmbH"), // forces UTF8String
+            (AttrType::Organization, "Acme Corp"), // PrintableString
+            (AttrType::Country, "DE"),
+        ]);
+        let der = encode(|e| dn.encode(e));
+        let mut dec = Decoder::new(&der);
+        let decoded = DistinguishedName::decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(decoded, dn);
+    }
+
+    #[test]
+    fn der_empty_name() {
+        let dn = DistinguishedName::empty();
+        let der = encode(|e| dn.encode(e));
+        assert_eq!(der, [0x30, 0x00]);
+        let mut dec = Decoder::new(&der);
+        assert_eq!(DistinguishedName::decode(&mut dec).unwrap(), dn);
+    }
+
+    #[test]
+    fn der_unknown_attribute_survives() {
+        let oid: Oid = "1.2.3.4.5".parse().unwrap();
+        let dn = DistinguishedName::from_pairs(&[(AttrType::Other(oid.clone()), "custom")]);
+        let der = encode(|e| dn.encode(e));
+        let mut dec = Decoder::new(&der);
+        let decoded = DistinguishedName::decode(&mut dec).unwrap();
+        assert_eq!(decoded.get(&AttrType::Other(oid)), Some("custom"));
+    }
+
+    #[test]
+    fn order_matters_for_equality() {
+        let a = DistinguishedName::from_pairs(&[
+            (AttrType::CommonName, "x"),
+            (AttrType::Organization, "y"),
+        ]);
+        let b = DistinguishedName::from_pairs(&[
+            (AttrType::Organization, "y"),
+            (AttrType::CommonName, "x"),
+        ]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn attr_short_names_round_trip() {
+        for attr in [
+            AttrType::CommonName,
+            AttrType::Country,
+            AttrType::Locality,
+            AttrType::StateOrProvince,
+            AttrType::Organization,
+            AttrType::OrganizationalUnit,
+            AttrType::EmailAddress,
+        ] {
+            let name = attr.short_name();
+            assert_eq!(AttrType::from_short_name(&name), Some(attr.clone()));
+            assert_eq!(AttrType::from_oid(attr.oid()), attr);
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! X.509 v3 extensions relevant to chain analysis.
+//!
+//! The paper observes (§4.3) that non-public-DB certificates frequently
+//! *omit* basicConstraints entirely (55.31% of first-presented, 78.32% of
+//! subsequently-presented certificates), so presence/absence is modelled
+//! explicitly: a certificate's extension list simply may or may not contain
+//! [`Extension::BasicConstraints`].
+
+use certchain_asn1::{oid::known, Asn1Error, Asn1Result, Decoder, Encoder, Oid, Tag};
+
+/// basicConstraints (RFC 5280 §4.2.1.9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BasicConstraints {
+    /// Whether the subject is a CA.
+    pub ca: bool,
+    /// Optional maximum number of intermediate certificates below this one.
+    pub path_len: Option<u64>,
+}
+
+/// keyUsage bits (RFC 5280 §4.2.1.3). Only the bits the chain analysis
+/// distinguishes are modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct KeyUsage {
+    /// digitalSignature (bit 0).
+    pub digital_signature: bool,
+    /// keyCertSign (bit 5) — what makes an issuer an issuer.
+    pub key_cert_sign: bool,
+    /// cRLSign (bit 6).
+    pub crl_sign: bool,
+}
+
+impl KeyUsage {
+    /// Usage bits typical of a CA certificate.
+    pub fn ca() -> KeyUsage {
+        KeyUsage {
+            digital_signature: false,
+            key_cert_sign: true,
+            crl_sign: true,
+        }
+    }
+
+    /// Usage bits typical of a TLS server (leaf) certificate.
+    pub fn leaf() -> KeyUsage {
+        KeyUsage {
+            digital_signature: true,
+            key_cert_sign: false,
+            crl_sign: false,
+        }
+    }
+
+    fn to_bits(self) -> u8 {
+        let mut b = 0u8;
+        if self.digital_signature {
+            b |= 0b1000_0000;
+        }
+        if self.key_cert_sign {
+            b |= 0b0000_0100;
+        }
+        if self.crl_sign {
+            b |= 0b0000_0010;
+        }
+        b
+    }
+
+    fn from_bits(b: u8) -> KeyUsage {
+        KeyUsage {
+            digital_signature: b & 0b1000_0000 != 0,
+            key_cert_sign: b & 0b0000_0100 != 0,
+            crl_sign: b & 0b0000_0010 != 0,
+        }
+    }
+}
+
+/// A certificate extension.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Extension {
+    /// basicConstraints; criticality follows CA practice (critical on CAs).
+    BasicConstraints(BasicConstraints),
+    /// keyUsage.
+    KeyUsage(KeyUsage),
+    /// subjectAltName restricted to dNSName entries (the only kind the
+    /// study touches).
+    SubjectAltName(Vec<String>),
+    /// subjectKeyIdentifier: 20-byte key id.
+    SubjectKeyId([u8; 20]),
+    /// authorityKeyIdentifier (keyIdentifier form only).
+    AuthorityKeyId([u8; 20]),
+    /// RFC 6962 SCT list; each entry is an opaque serialized SCT.
+    SctList(Vec<Vec<u8>>),
+    /// Anything else, preserved as raw DER content.
+    Unknown {
+        /// The extension's OID.
+        oid: Oid,
+        /// Criticality flag as logged.
+        critical: bool,
+        /// Raw extnValue DER content.
+        der: Vec<u8>,
+    },
+}
+
+impl Extension {
+    /// The extension's OID.
+    pub fn oid(&self) -> Oid {
+        match self {
+            Extension::BasicConstraints(_) => known::basic_constraints(),
+            Extension::KeyUsage(_) => known::key_usage(),
+            Extension::SubjectAltName(_) => known::subject_alt_name(),
+            Extension::SubjectKeyId(_) => known::subject_key_identifier(),
+            Extension::AuthorityKeyId(_) => known::authority_key_identifier(),
+            Extension::SctList(_) => known::sct_list(),
+            Extension::Unknown { oid, .. } => oid.clone(),
+        }
+    }
+
+    fn critical(&self) -> bool {
+        match self {
+            Extension::BasicConstraints(_) | Extension::KeyUsage(_) => true,
+            Extension::Unknown { critical, .. } => *critical,
+            _ => false,
+        }
+    }
+
+    /// Encode the extension's extnValue content (the DER inside the OCTET
+    /// STRING wrapper).
+    fn encode_value(&self) -> Vec<u8> {
+        certchain_asn1::writer::encode(|enc| match self {
+            Extension::BasicConstraints(bc) => enc.sequence(|enc| {
+                // DER DEFAULT FALSE: only encode when true.
+                if bc.ca {
+                    enc.boolean(true);
+                }
+                if let Some(n) = bc.path_len {
+                    enc.integer_u64(n);
+                }
+            }),
+            Extension::KeyUsage(ku) => {
+                // BIT STRING with up to 8 named bits; DER wants trailing
+                // zero bits trimmed, but one full octet keeps this simple
+                // and is accepted by every parser (unused-bits = 0 form is
+                // what our asn1 layer supports).
+                enc.bit_string(&[ku.to_bits()]);
+            }
+            Extension::SubjectAltName(names) => enc.sequence(|enc| {
+                for name in names {
+                    // dNSName is [2] IMPLICIT IA5String.
+                    enc.primitive(Tag::context_primitive(2), name.as_bytes());
+                }
+            }),
+            Extension::SubjectKeyId(id) => enc.octet_string(id),
+            Extension::AuthorityKeyId(id) => enc.sequence(|enc| {
+                // keyIdentifier [0] IMPLICIT OCTET STRING.
+                enc.primitive(Tag::context_primitive(0), id);
+            }),
+            Extension::SctList(scts) => enc.sequence(|enc| {
+                for sct in scts {
+                    enc.octet_string(sct);
+                }
+            }),
+            Extension::Unknown { der, .. } => enc.raw(der),
+        })
+    }
+
+    /// Encode the full Extension SEQUENCE.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.sequence(|enc| {
+            enc.oid(&self.oid());
+            if self.critical() {
+                enc.boolean(true);
+            }
+            enc.octet_string(&self.encode_value());
+        });
+    }
+
+    /// Decode one Extension SEQUENCE.
+    pub fn decode(dec: &mut Decoder<'_>) -> Asn1Result<Extension> {
+        dec.sequence(|inner| {
+            let oid = inner.oid()?;
+            let critical = if inner.peek_tag().ok() == Some(Tag::BOOLEAN) {
+                inner.boolean()?
+            } else {
+                false
+            };
+            let value = inner.octet_string()?;
+            Extension::decode_value(oid, critical, value)
+        })
+    }
+
+    fn decode_value(oid: Oid, critical: bool, value: &[u8]) -> Asn1Result<Extension> {
+        let mut dec = Decoder::new(value);
+        if oid == known::basic_constraints() {
+            let bc = dec.sequence(|inner| {
+                let ca = if inner.peek_tag().ok() == Some(Tag::BOOLEAN) {
+                    inner.boolean()?
+                } else {
+                    false
+                };
+                let path_len = if !inner.is_at_end() {
+                    Some(inner.integer_u64()?)
+                } else {
+                    None
+                };
+                Ok(BasicConstraints { ca, path_len })
+            })?;
+            dec.finish()?;
+            Ok(Extension::BasicConstraints(bc))
+        } else if oid == known::key_usage() {
+            let bits = dec.bit_string()?;
+            dec.finish()?;
+            Ok(Extension::KeyUsage(KeyUsage::from_bits(
+                bits.first().copied().unwrap_or(0),
+            )))
+        } else if oid == known::subject_alt_name() {
+            let names = decode_san(&mut dec)?;
+            dec.finish()?;
+            Ok(Extension::SubjectAltName(names))
+        } else if oid == known::subject_key_identifier() {
+            let id = dec.octet_string()?;
+            dec.finish()?;
+            Ok(Extension::SubjectKeyId(to_key_id(id, 0)?))
+        } else if oid == known::authority_key_identifier() {
+            let tlv = dec.expect(Tag::SEQUENCE)?;
+            let mut inner = tlv.decoder()?;
+            let ki = inner.any()?;
+            if !ki.tag.is_context(0) {
+                return Err(Asn1Error::UnexpectedTag {
+                    offset: ki.offset,
+                    expected: Tag::context_primitive(0).byte(),
+                    found: ki.tag.byte(),
+                });
+            }
+            dec.finish()?;
+            Ok(Extension::AuthorityKeyId(to_key_id(ki.content, ki.offset)?))
+        } else if oid == known::sct_list() {
+            let tlv = dec.expect(Tag::SEQUENCE)?;
+            let mut inner = tlv.decoder()?;
+            let mut scts = Vec::new();
+            while !inner.is_at_end() {
+                scts.push(inner.octet_string()?.to_vec());
+            }
+            dec.finish()?;
+            Ok(Extension::SctList(scts))
+        } else {
+            Ok(Extension::Unknown {
+                oid,
+                critical,
+                der: value.to_vec(),
+            })
+        }
+    }
+}
+
+fn to_key_id(bytes: &[u8], offset: usize) -> Asn1Result<[u8; 20]> {
+    bytes
+        .try_into()
+        .map_err(|_| Asn1Error::InvalidLength { offset })
+}
+
+fn decode_san(dec: &mut Decoder<'_>) -> Asn1Result<Vec<String>> {
+    let tlv = dec.expect(Tag::SEQUENCE)?;
+    let mut inner = tlv.decoder()?;
+    let mut names = Vec::new();
+    while !inner.is_at_end() {
+        let entry = inner.any()?;
+        if entry.tag.is_context(2) {
+            let s = std::str::from_utf8(entry.content).map_err(|_| Asn1Error::InvalidString {
+                offset: entry.content_offset,
+                kind: "IA5String",
+            })?;
+            names.push(s.to_string());
+        }
+        // Other GeneralName kinds are skipped (not used by the model).
+    }
+    Ok(names)
+}
+
+/// Encode an extension list as the `[3] EXPLICIT SEQUENCE OF Extension`
+/// TBS field. No-op when the list is empty (v1-style certificates, common
+/// among the non-public-DB issuers the paper studies).
+pub fn encode_extensions(enc: &mut Encoder, exts: &[Extension]) {
+    if exts.is_empty() {
+        return;
+    }
+    enc.explicit(3, |enc| {
+        enc.sequence(|enc| {
+            for ext in exts {
+                ext.encode(enc);
+            }
+        });
+    });
+}
+
+/// Decode the optional extensions field.
+pub fn decode_extensions(dec: &mut Decoder<'_>) -> Asn1Result<Vec<Extension>> {
+    let Some(wrapper) = dec.optional(Tag::context(3))? else {
+        return Ok(Vec::new());
+    };
+    let mut outer = wrapper.decoder()?;
+    let seq = outer.expect(Tag::SEQUENCE)?;
+    outer.finish()?;
+    let mut inner = seq.decoder()?;
+    let mut exts = Vec::new();
+    while !inner.is_at_end() {
+        exts.push(Extension::decode(&mut inner)?);
+    }
+    Ok(exts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certchain_asn1::writer::encode;
+
+    fn round_trip(ext: Extension) -> Extension {
+        let der = encode(|e| ext.encode(e));
+        let mut dec = Decoder::new(&der);
+        let out = Extension::decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+        out
+    }
+
+    #[test]
+    fn basic_constraints_round_trip() {
+        for bc in [
+            BasicConstraints { ca: true, path_len: None },
+            BasicConstraints { ca: true, path_len: Some(0) },
+            BasicConstraints { ca: true, path_len: Some(3) },
+            BasicConstraints { ca: false, path_len: None },
+        ] {
+            assert_eq!(round_trip(Extension::BasicConstraints(bc)), Extension::BasicConstraints(bc));
+        }
+    }
+
+    #[test]
+    fn key_usage_round_trip() {
+        for ku in [KeyUsage::ca(), KeyUsage::leaf(), KeyUsage::default()] {
+            assert_eq!(round_trip(Extension::KeyUsage(ku)), Extension::KeyUsage(ku));
+        }
+    }
+
+    #[test]
+    fn san_round_trip() {
+        let ext = Extension::SubjectAltName(vec![
+            "example.org".into(),
+            "*.example.org".into(),
+            "app.scalyr.com".into(),
+        ]);
+        assert_eq!(round_trip(ext.clone()), ext);
+    }
+
+    #[test]
+    fn key_ids_round_trip() {
+        let id = [7u8; 20];
+        assert_eq!(round_trip(Extension::SubjectKeyId(id)), Extension::SubjectKeyId(id));
+        assert_eq!(round_trip(Extension::AuthorityKeyId(id)), Extension::AuthorityKeyId(id));
+    }
+
+    #[test]
+    fn sct_list_round_trip() {
+        let ext = Extension::SctList(vec![vec![1, 2, 3], vec![4, 5]]);
+        assert_eq!(round_trip(ext.clone()), ext);
+    }
+
+    #[test]
+    fn unknown_extension_preserved() {
+        let oid: Oid = "1.2.3.4".parse().unwrap();
+        let der = encode(|e| e.utf8_string("opaque"));
+        let ext = Extension::Unknown {
+            oid,
+            critical: true,
+            der,
+        };
+        assert_eq!(round_trip(ext.clone()), ext);
+    }
+
+    #[test]
+    fn extension_list_round_trip() {
+        let exts = vec![
+            Extension::BasicConstraints(BasicConstraints { ca: true, path_len: Some(1) }),
+            Extension::KeyUsage(KeyUsage::ca()),
+            Extension::SubjectKeyId([1u8; 20]),
+        ];
+        let der = encode(|e| encode_extensions(e, &exts));
+        let mut dec = Decoder::new(&der);
+        assert_eq!(decode_extensions(&mut dec).unwrap(), exts);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn empty_extension_list_encodes_nothing() {
+        let der = encode(|e| encode_extensions(e, &[]));
+        assert!(der.is_empty());
+        let mut dec = Decoder::new(&der);
+        assert!(decode_extensions(&mut dec).unwrap().is_empty());
+    }
+
+    #[test]
+    fn criticality_flags() {
+        let bc = Extension::BasicConstraints(BasicConstraints { ca: true, path_len: None });
+        let der = encode(|e| bc.encode(e));
+        // SEQUENCE { OID, BOOLEAN TRUE, OCTET STRING } — criticality present.
+        assert!(der.windows(3).any(|w| w == [0x01, 0x01, 0xff]));
+
+        let san = Extension::SubjectAltName(vec!["x.org".into()]);
+        let der = encode(|e| san.encode(e));
+        assert!(!der.windows(3).any(|w| w == [0x01, 0x01, 0xff]));
+    }
+}

@@ -1,0 +1,205 @@
+//! PEM armor (RFC 7468) with a from-scratch base64 codec.
+//!
+//! Used by the scanner crate to mimic `openssl s_client -showcerts` output
+//! in the retrospective experiment.
+
+use std::fmt;
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Errors from PEM parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PemError {
+    /// No BEGIN line with the expected label.
+    MissingBegin,
+    /// No END line with the expected label.
+    MissingEnd,
+    /// A character outside the base64 alphabet.
+    InvalidBase64,
+}
+
+impl fmt::Display for PemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PemError::MissingBegin => write!(f, "missing PEM BEGIN line"),
+            PemError::MissingEnd => write!(f, "missing PEM END line"),
+            PemError::InvalidBase64 => write!(f, "invalid base64 in PEM body"),
+        }
+    }
+}
+
+impl std::error::Error for PemError {}
+
+/// Encode bytes as base64 (standard alphabet, padded).
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        ];
+        let n = (b[0] as u32) << 16 | (b[1] as u32) << 8 | b[2] as u32;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decode base64 (whitespace tolerated, padding required where applicable).
+pub fn base64_decode(text: &str) -> Result<Vec<u8>, PemError> {
+    fn value(c: u8) -> Result<u32, PemError> {
+        match c {
+            b'A'..=b'Z' => Ok((c - b'A') as u32),
+            b'a'..=b'z' => Ok((c - b'a' + 26) as u32),
+            b'0'..=b'9' => Ok((c - b'0' + 52) as u32),
+            b'+' => Ok(62),
+            b'/' => Ok(63),
+            _ => Err(PemError::InvalidBase64),
+        }
+    }
+    let cleaned: Vec<u8> = text
+        .bytes()
+        .filter(|b| !b.is_ascii_whitespace())
+        .collect();
+    if cleaned.len() % 4 != 0 {
+        return Err(PemError::InvalidBase64);
+    }
+    let mut out = Vec::with_capacity(cleaned.len() / 4 * 3);
+    for quad in cleaned.chunks(4) {
+        let pad = quad.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 || quad[..4 - pad].iter().any(|&c| c == b'=') {
+            return Err(PemError::InvalidBase64);
+        }
+        let mut n: u32 = 0;
+        for &c in &quad[..4 - pad] {
+            n = (n << 6) | value(c)?;
+        }
+        n <<= 6 * pad as u32;
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+/// Wrap DER bytes in PEM armor with the given label (e.g. `CERTIFICATE`).
+pub fn encode(label: &str, der: &[u8]) -> String {
+    let b64 = base64_encode(der);
+    let mut out = format!("-----BEGIN {label}-----\n");
+    for line in b64.as_bytes().chunks(64) {
+        out.push_str(std::str::from_utf8(line).expect("base64 is ASCII"));
+        out.push('\n');
+    }
+    out.push_str(&format!("-----END {label}-----\n"));
+    out
+}
+
+/// Extract every PEM block with the given label, in order.
+pub fn decode_all(label: &str, text: &str) -> Result<Vec<Vec<u8>>, PemError> {
+    let begin = format!("-----BEGIN {label}-----");
+    let end = format!("-----END {label}-----");
+    let mut blocks = Vec::new();
+    let mut rest = text;
+    loop {
+        let Some(b) = rest.find(&begin) else {
+            break;
+        };
+        let after_begin = &rest[b + begin.len()..];
+        let e = after_begin.find(&end).ok_or(PemError::MissingEnd)?;
+        blocks.push(base64_decode(&after_begin[..e])?);
+        rest = &after_begin[e + end.len()..];
+    }
+    if blocks.is_empty() {
+        return Err(PemError::MissingBegin);
+    }
+    Ok(blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_known_vectors() {
+        // RFC 4648 vectors.
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(base64_encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn base64_round_trip() {
+        for len in 0..48 {
+            let data: Vec<u8> = (0..len as u8).collect();
+            assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn base64_rejects_garbage() {
+        assert_eq!(base64_decode("!!!!"), Err(PemError::InvalidBase64));
+        assert_eq!(base64_decode("abc"), Err(PemError::InvalidBase64));
+        assert_eq!(base64_decode("a==="), Err(PemError::InvalidBase64));
+        assert_eq!(base64_decode("=abc"), Err(PemError::InvalidBase64));
+    }
+
+    #[test]
+    fn pem_round_trip() {
+        let der = (0u16..300).map(|i| (i % 251) as u8).collect::<Vec<_>>();
+        let pem = encode("CERTIFICATE", &der);
+        assert!(pem.starts_with("-----BEGIN CERTIFICATE-----\n"));
+        assert!(pem.ends_with("-----END CERTIFICATE-----\n"));
+        // 64-char line wrapping.
+        assert!(pem.lines().all(|l| l.len() <= 64 || l.starts_with("-----")));
+        let blocks = decode_all("CERTIFICATE", &pem).unwrap();
+        assert_eq!(blocks, vec![der]);
+    }
+
+    #[test]
+    fn multiple_blocks_in_order() {
+        let a = vec![1u8, 2, 3];
+        let b = vec![4u8, 5];
+        let text = format!("{}{}", encode("CERTIFICATE", &a), encode("CERTIFICATE", &b));
+        assert_eq!(decode_all("CERTIFICATE", &text).unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn missing_blocks_reported() {
+        assert_eq!(
+            decode_all("CERTIFICATE", "no pem here"),
+            Err(PemError::MissingBegin)
+        );
+        assert_eq!(
+            decode_all("CERTIFICATE", "-----BEGIN CERTIFICATE-----\nZm9v"),
+            Err(PemError::MissingEnd)
+        );
+    }
+
+    #[test]
+    fn label_mismatch_is_missing() {
+        let pem = encode("PRIVATE KEY", &[1, 2, 3]);
+        assert_eq!(
+            decode_all("CERTIFICATE", &pem),
+            Err(PemError::MissingBegin)
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Certificate serial numbers (RFC 5280 §4.1.2.2: up to 20 octets,
+//! non-negative).
+
+use certchain_asn1::{Asn1Result, Decoder, Encoder};
+use std::fmt;
+
+/// A certificate serial number: an unsigned big-endian integer of at most
+/// 20 octets. Stored with leading zeros trimmed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Serial {
+    bytes: Vec<u8>,
+}
+
+impl Serial {
+    /// From a u64 counter (the simulator's default).
+    pub fn from_u64(value: u64) -> Serial {
+        let bytes = value.to_be_bytes();
+        let start = bytes.iter().position(|&b| b != 0).unwrap_or(7);
+        Serial {
+            bytes: bytes[start..].to_vec(),
+        }
+    }
+
+    /// From raw magnitude bytes (trims leading zeros; clamps to 20 octets by
+    /// keeping the least-significant 20, as misbehaving CAs do in practice).
+    pub fn from_bytes(bytes: &[u8]) -> Serial {
+        let trimmed: Vec<u8> = {
+            let start = bytes.iter().position(|&b| b != 0).unwrap_or(bytes.len());
+            bytes[start..].to_vec()
+        };
+        if trimmed.is_empty() {
+            return Serial { bytes: vec![0] };
+        }
+        let keep = trimmed.len().min(20);
+        Serial {
+            bytes: trimmed[trimmed.len() - keep..].to_vec(),
+        }
+    }
+
+    /// Magnitude bytes (no sign octet, no leading zeros — except the single
+    /// zero byte for serial 0).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Encode as a DER INTEGER.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.integer_bytes(&self.bytes);
+    }
+
+    /// Decode from a DER INTEGER.
+    pub fn decode(dec: &mut Decoder<'_>) -> Asn1Result<Serial> {
+        let bytes = dec.integer_bytes()?;
+        Ok(Serial::from_bytes(bytes))
+    }
+
+    /// Uppercase colon-free hex, the form crt.sh displays.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(self.bytes.len() * 2);
+        for b in &self.bytes {
+            use std::fmt::Write;
+            write!(s, "{b:02X}").expect("writing to String cannot fail");
+        }
+        s
+    }
+}
+
+impl fmt::Display for Serial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certchain_asn1::writer::encode;
+
+    #[test]
+    fn from_u64_trims() {
+        assert_eq!(Serial::from_u64(0).as_bytes(), &[0]);
+        assert_eq!(Serial::from_u64(1).as_bytes(), &[1]);
+        assert_eq!(Serial::from_u64(0x1234).as_bytes(), &[0x12, 0x34]);
+    }
+
+    #[test]
+    fn from_bytes_trims_and_clamps() {
+        assert_eq!(Serial::from_bytes(&[0, 0, 5]).as_bytes(), &[5]);
+        assert_eq!(Serial::from_bytes(&[]).as_bytes(), &[0]);
+        let long = [0xffu8; 25];
+        assert_eq!(Serial::from_bytes(&long).as_bytes().len(), 20);
+    }
+
+    #[test]
+    fn der_round_trip() {
+        for serial in [
+            Serial::from_u64(0),
+            Serial::from_u64(127),
+            Serial::from_u64(128),
+            Serial::from_u64(u64::MAX),
+            Serial::from_bytes(&[0x80; 20]),
+        ] {
+            let der = encode(|e| serial.encode(e));
+            let mut dec = Decoder::new(&der);
+            assert_eq!(Serial::decode(&mut dec).unwrap(), serial);
+        }
+    }
+
+    #[test]
+    fn hex_display() {
+        assert_eq!(Serial::from_u64(0xdead).to_string(), "DEAD");
+        assert_eq!(Serial::from_u64(0).to_string(), "00");
+    }
+}

@@ -1,0 +1,118 @@
+//! Certificate validity periods.
+
+use certchain_asn1::{Asn1Result, Asn1Time, Decoder, Encoder};
+
+/// The notBefore/notAfter window of a certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Validity {
+    /// Start of validity (inclusive).
+    pub not_before: Asn1Time,
+    /// End of validity (inclusive, per RFC 5280).
+    pub not_after: Asn1Time,
+}
+
+impl Validity {
+    /// A window starting at `not_before` and lasting `days` whole days.
+    pub fn days_from(not_before: Asn1Time, days: u64) -> Validity {
+        Validity {
+            not_before,
+            not_after: not_before.plus_days(days),
+        }
+    }
+
+    /// Whether `at` falls inside the window.
+    pub fn contains(&self, at: Asn1Time) -> bool {
+        self.not_before <= at && at <= self.not_after
+    }
+
+    /// Whether the certificate is expired at `at`.
+    pub fn is_expired_at(&self, at: Asn1Time) -> bool {
+        at > self.not_after
+    }
+
+    /// Whole days between notBefore and notAfter.
+    pub fn lifetime_days(&self) -> u64 {
+        (self.not_after.unix_secs() - self.not_before.unix_secs()) / 86_400
+    }
+
+    /// How many whole days past expiry `at` is (0 when not expired).
+    pub fn days_expired_at(&self, at: Asn1Time) -> u64 {
+        if at <= self.not_after {
+            0
+        } else {
+            (at.unix_secs() - self.not_after.unix_secs()) / 86_400
+        }
+    }
+
+    /// DER SEQUENCE { notBefore, notAfter }.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.sequence(|enc| {
+            enc.time(self.not_before);
+            enc.time(self.not_after);
+        });
+    }
+
+    /// Decode the DER form.
+    pub fn decode(dec: &mut Decoder<'_>) -> Asn1Result<Validity> {
+        dec.sequence(|inner| {
+            Ok(Validity {
+                not_before: inner.time()?,
+                not_after: inner.time()?,
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certchain_asn1::writer::encode;
+
+    fn t(y: u64, mo: u64, d: u64) -> Asn1Time {
+        Asn1Time::from_ymd_hms(y, mo, d, 0, 0, 0).unwrap()
+    }
+
+    #[test]
+    fn contains_is_inclusive() {
+        let v = Validity {
+            not_before: t(2020, 9, 1),
+            not_after: t(2021, 8, 31),
+        };
+        assert!(v.contains(t(2020, 9, 1)));
+        assert!(v.contains(t(2021, 8, 31)));
+        assert!(v.contains(t(2021, 1, 15)));
+        assert!(!v.contains(t(2020, 8, 31)));
+        assert!(!v.contains(t(2021, 9, 1)));
+    }
+
+    #[test]
+    fn lifetime_and_expiry() {
+        let v = Validity::days_from(t(2020, 9, 1), 90);
+        assert_eq!(v.lifetime_days(), 90);
+        assert!(!v.is_expired_at(t(2020, 11, 30)));
+        assert!(v.is_expired_at(t(2020, 12, 1)));
+        assert_eq!(v.days_expired_at(t(2020, 11, 1)), 0);
+        // 5+ years past expiry — the paper's long-expired hybrid leaves.
+        assert!(v.days_expired_at(t(2026, 1, 1)) > 5 * 365);
+    }
+
+    #[test]
+    fn der_round_trip() {
+        let v = Validity::days_from(t(2020, 9, 1), 365);
+        let der = encode(|e| v.encode(e));
+        let mut dec = Decoder::new(&der);
+        assert_eq!(Validity::decode(&mut dec).unwrap(), v);
+    }
+
+    #[test]
+    fn der_round_trip_generalized_time() {
+        // notAfter beyond 2049 forces GeneralizedTime.
+        let v = Validity {
+            not_before: t(2020, 9, 1),
+            not_after: t(2055, 1, 1),
+        };
+        let der = encode(|e| v.encode(e));
+        let mut dec = Decoder::new(&der);
+        assert_eq!(Validity::decode(&mut dec).unwrap(), v);
+    }
+}

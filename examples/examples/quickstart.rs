@@ -1,0 +1,86 @@
+//! Quickstart: build a tiny PKI, deliver a misconfigured chain, and watch
+//! two validation strategies disagree — the paper's §5/§6.1 finding in
+//! thirty lines of API.
+//!
+//! ```sh
+//! cargo run -p certchain-examples --example quickstart
+//! ```
+
+use certchain_asn1::Asn1Time;
+use certchain_cryptosim::KeyPair;
+use certchain_netsim::{validate_chain, ValidationPolicy};
+use certchain_trust::TrustDb;
+use certchain_x509::{CertificateBuilder, DistinguishedName, Serial, Validity};
+use std::sync::Arc;
+
+fn main() {
+    // --- A minimal public PKI: root (trusted everywhere) + intermediate.
+    let root_kp = KeyPair::derive(1, "quickstart:root");
+    let root_dn = DistinguishedName::cn_o("Example Trust Root", "Example Trust LLC");
+    let validity = Validity::days_from(Asn1Time::from_ymd_hms(2020, 1, 1, 0, 0, 0).unwrap(), 3650);
+    let root = CertificateBuilder::new()
+        .serial(Serial::from_u64(1))
+        .issuer(root_dn.clone())
+        .subject(root_dn.clone())
+        .validity(validity)
+        .ca(None)
+        .sign(&root_kp)
+        .into_arc();
+
+    let ica_kp = KeyPair::derive(1, "quickstart:ica");
+    let ica_dn = DistinguishedName::cn_o("Example Issuing CA", "Example Trust LLC");
+    let ica = CertificateBuilder::new()
+        .serial(Serial::from_u64(2))
+        .issuer(root_dn)
+        .subject(ica_dn.clone())
+        .validity(validity)
+        .public_key(ica_kp.public().clone())
+        .ca(Some(0))
+        .sign(&root_kp)
+        .into_arc();
+
+    let leaf_kp = KeyPair::derive(1, "quickstart:leaf");
+    let leaf = CertificateBuilder::new()
+        .serial(Serial::from_u64(3))
+        .issuer(ica_dn)
+        .subject(DistinguishedName::cn("www.example.org"))
+        .validity(validity)
+        .public_key(leaf_kp.public().clone())
+        .leaf_for("www.example.org")
+        .sign(&ica_kp)
+        .into_arc();
+
+    let mut trust = TrustDb::new();
+    trust.add_root_everywhere(Arc::clone(&root));
+
+    // --- The server misconfiguration the paper keeps finding: a perfectly
+    // good chain with an unnecessary self-signed certificate appended.
+    let junk_kp = KeyPair::derive(9, "quickstart:junk");
+    let junk_dn = DistinguishedName::cn_o("tester", "HP Inc.");
+    let junk = CertificateBuilder::new()
+        .serial(Serial::from_u64(4))
+        .issuer(junk_dn.clone())
+        .subject(junk_dn)
+        .validity(validity)
+        .sign(&junk_kp)
+        .into_arc();
+    let delivered = vec![leaf, ica, junk];
+
+    let at = Asn1Time::from_ymd_hms(2021, 6, 1, 0, 0, 0).unwrap();
+    println!("delivered chain:");
+    for (i, cert) in delivered.iter().enumerate() {
+        println!("  [{i}] subject: {}", cert.subject);
+        println!("      issuer:  {}", cert.issuer);
+    }
+    println!();
+    for (name, policy) in [
+        ("Chrome-like (path building)", ValidationPolicy::Browser),
+        ("OpenSSL-like (strict presented)", ValidationPolicy::StrictPresented),
+    ] {
+        match validate_chain(policy, &delivered, &trust, at, Some("www.example.org")) {
+            Ok(()) => println!("{name}: VALID"),
+            Err(e) => println!("{name}: REJECTED ({e})"),
+        }
+    }
+    println!("\nSame chain, two answers — exactly the inconsistency the paper warns about (§6.1).");
+}

@@ -1,0 +1,62 @@
+//! The November-2024 retrospective (§5 + Appendix D): evolve the ecosystem
+//! three years forward, scan every previously-flagged server with the
+//! simulated `s_client`, and compare the two validation methods.
+//!
+//! ```sh
+//! cargo run -p certchain-examples --example revisit_2024
+//! ```
+
+use certchain_scanner::revisit::revisit;
+use certchain_scanner::{compare, scan_all};
+use certchain_workload::evolve::RevisitPopulation;
+use certchain_workload::pki::Ecosystem;
+use certchain_workload::servers::hybrid;
+
+fn main() {
+    println!("bootstrapping PKI ecosystem and the 321 hybrid servers…");
+    let mut eco = Ecosystem::bootstrap(20250901);
+    let hybrid_servers = hybrid::build(&mut eco, 100_000);
+    let refs: Vec<_> = hybrid_servers.iter().collect();
+
+    println!("evolving to November 2024 and scanning…");
+    let population = RevisitPopulation::generate(&mut eco, &refs);
+    let results = scan_all(&population);
+    println!("  scanned {} chains from reachable servers\n", results.len());
+
+    // --- Table 5.
+    let t5 = compare(&results);
+    println!("Table 5 (issuer-subject vs key-signature):");
+    println!("  single-certificate chains : {} / {}", t5.is_single, t5.ks_single);
+    println!("  valid chains              : {} / {}", t5.is_valid, t5.ks_valid);
+    println!("  broken chains             : {} / {}", t5.is_broken, t5.ks_broken);
+    println!("  unrecognized keys         : - / {}", t5.ks_unrecognized);
+    println!(
+        "  ASN.1-error disagreements : {} (the paper found exactly one)\n",
+        t5.parse_error_disagreements
+    );
+
+    // --- §5 report.
+    let report = revisit(&population, &eco.trust);
+    let h = &report.hybrid;
+    println!("§5 hybrid revisit: {}/321 reachable", h.reachable);
+    println!(
+        "  {} now public-DB ({} via Let's Encrypt), {} now non-public, {} still hybrid",
+        h.now_public, h.now_lets_encrypt, h.now_nonpub, h.still_hybrid
+    );
+    let n = &report.nonpub;
+    println!(
+        "§5 non-public revisit: {}/{} servers now deliver multi-cert chains ({:.2}% complete)",
+        n.now_multi,
+        n.servers,
+        n.complete_share * 100.0
+    );
+    println!("\nChrome vs OpenSSL on the complete+unnecessary chains:");
+    for case in &report.divergence {
+        println!(
+            "  {} → Chrome: {} | OpenSSL-strict: {}",
+            case.domain,
+            if case.chrome_valid { "VALID" } else { "REJECT" },
+            if case.openssl_valid { "VALID" } else { "REJECT" }
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Shared helpers for the example binaries.
+//!
+//! Run the examples with, e.g.:
+//! ```sh
+//! cargo run -p certchain-examples --example quickstart
+//! ```
+
+use certchain_chainlab::{Analysis, CrossSignRegistry, Pipeline};
+use certchain_workload::{CampusProfile, CampusTrace};
+
+/// Generate a small campus trace and analyze it — the setup most examples
+/// start from.
+pub fn quick_lab() -> (CampusTrace, Analysis) {
+    let trace = CampusTrace::generate(CampusProfile::quick());
+    let weights: Vec<f64> = trace.conn_meta.iter().map(|m| m.weight).collect();
+    let pipeline = Pipeline::new(
+        &trace.eco.trust,
+        &trace.ct_index,
+        CrossSignRegistry::from_disclosures(&trace.cross_sign_disclosures),
+    );
+    let analysis = pipeline.analyze(&trace.ssl_records, &trace.x509_records, Some(&weights));
+    (trace, analysis)
+}

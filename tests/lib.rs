@@ -1,0 +1,22 @@
+//! Cross-crate integration tests live in `tests/tests/`; this helper crate
+//! hosts the shared fixtures.
+
+use certchain_chainlab::{Analysis, CrossSignRegistry, Pipeline};
+use certchain_workload::{CampusProfile, CampusTrace};
+use std::sync::OnceLock;
+
+/// A shared quick-profile trace + analysis, generated once per test binary.
+pub fn shared_lab() -> &'static (CampusTrace, Analysis) {
+    static CELL: OnceLock<(CampusTrace, Analysis)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let trace = CampusTrace::generate(CampusProfile::quick());
+        let weights: Vec<f64> = trace.conn_meta.iter().map(|m| m.weight).collect();
+        let pipeline = Pipeline::new(
+            &trace.eco.trust,
+            &trace.ct_index,
+            CrossSignRegistry::from_disclosures(&trace.cross_sign_disclosures),
+        );
+        let analysis = pipeline.analyze(&trace.ssl_records, &trace.x509_records, Some(&weights));
+        (trace, analysis)
+    })
+}

@@ -1,0 +1,84 @@
+//! Integration: the campus trace's hybrid servers feed the 2024 evolution,
+//! the scanner consumes the evolved population, and the §5 / Table 5
+//! numbers come out — across four crates.
+
+use certchain_integration::shared_lab;
+use certchain_scanner::revisit::{matches_paper, revisit};
+use certchain_scanner::{compare, scan_all};
+use certchain_workload::evolve::RevisitPopulation;
+use certchain_workload::pki::Ecosystem;
+use certchain_workload::trace::ChainCategory;
+
+fn population() -> (Ecosystem, RevisitPopulation) {
+    let (trace, _) = shared_lab();
+    // Re-bootstrap an ecosystem with the same seed (the shared lab's eco is
+    // behind a shared reference). Serial numbers are globally sequential,
+    // so the public population must be regenerated first, exactly as
+    // `CampusTrace::generate` does — then determinism guarantees the
+    // hybrid servers come out byte-identical.
+    let mut eco = Ecosystem::bootstrap(trace.profile.seed);
+    let public_weight = 1.0; // weight does not influence certificates
+    let _public = certchain_workload::servers::public::build(
+        &mut eco,
+        0,
+        trace.profile.public_chains,
+        public_weight,
+    );
+    let hybrid = certchain_workload::servers::hybrid::build(&mut eco, 100_000);
+    // The regenerated hybrid servers must equal the trace's (determinism).
+    let trace_hybrid: Vec<_> = trace
+        .servers
+        .iter()
+        .filter(|s| matches!(s.category, ChainCategory::Hybrid(_)))
+        .collect();
+    assert_eq!(hybrid.len(), trace_hybrid.len());
+    for (a, b) in hybrid.iter().zip(&trace_hybrid) {
+        let fa: Vec<_> = a.endpoint.chain.iter().map(|c| c.fingerprint()).collect();
+        let fb: Vec<_> = b.endpoint.chain.iter().map(|c| c.fingerprint()).collect();
+        assert_eq!(fa, fb, "hybrid regeneration must be deterministic");
+    }
+    let refs: Vec<_> = hybrid.iter().collect();
+    let pop = RevisitPopulation::generate(&mut eco, &refs);
+    (eco, pop)
+}
+
+#[test]
+fn section5_and_table5_from_campus_hybrids() {
+    let (eco, pop) = population();
+    let report = revisit(&pop, &eco.trust);
+    matches_paper(&report).unwrap();
+
+    let results = scan_all(&pop);
+    let t5 = compare(&results);
+    assert_eq!(t5.total, 12_676);
+    assert_eq!(
+        (t5.is_single, t5.is_valid, t5.is_broken),
+        (2_568, 9_825, 283)
+    );
+    assert_eq!(
+        (t5.ks_single, t5.ks_valid, t5.ks_broken, t5.ks_unrecognized),
+        (2_568, 9_821, 284, 3)
+    );
+    assert_eq!(t5.parse_error_disagreements, 1);
+    assert_eq!(t5.position_disagreements, 0);
+}
+
+#[test]
+fn divergence_cases_match_section5() {
+    let (eco, pop) = population();
+    let report = revisit(&pop, &eco.trust);
+    assert_eq!(report.divergence.len(), 3);
+    assert!(report
+        .divergence
+        .iter()
+        .all(|c| c.chrome_valid && !c.openssl_valid));
+}
+
+#[test]
+fn unreachable_servers_stay_dark() {
+    let (_eco, pop) = population();
+    let unreachable = pop.servers.iter().filter(|s| !s.reachable()).count();
+    assert_eq!(unreachable, 51);
+    let scanned = scan_all(&pop).len();
+    assert_eq!(scanned + unreachable, pop.servers.len());
+}

@@ -1,0 +1,58 @@
+//! Seed invariance: the structural invariants the paper reports must hold
+//! for *any* ecosystem seed, not just the default — the full-fidelity
+//! populations are constructed, not sampled.
+
+use certchain_workload::pki::Ecosystem;
+use certchain_workload::servers::hybrid;
+use certchain_workload::trace::{ChainCategory, HybridKind};
+
+#[test]
+fn hybrid_taxonomy_holds_across_seeds() {
+    for seed in [1u64, 777, 0xDEAD_BEEF] {
+        let mut eco = Ecosystem::bootstrap(seed);
+        let servers = hybrid::build(&mut eco, 0);
+        assert_eq!(servers.len(), 321, "seed {seed}");
+
+        let mut complete = 0;
+        let mut scalyr = 0;
+        let mut contains = 0;
+        let mut no_path = 0;
+        let mut ge_half = 0;
+        for s in &servers {
+            let ChainCategory::Hybrid(kind) = s.category else {
+                panic!("non-hybrid server from the hybrid builder");
+            };
+            match kind {
+                HybridKind::CompleteAnchored { .. } => complete += 1,
+                HybridKind::CompletePubToPrv => scalyr += 1,
+                HybridKind::ContainsPath(_) => contains += 1,
+                HybridKind::NoPath(_) => {
+                    no_path += 1;
+                    // Mismatch ratio from raw adjacency (generator-side).
+                    let chain = &s.endpoint.chain;
+                    let pairs = chain.len() - 1;
+                    let mismatches = chain
+                        .windows(2)
+                        .filter(|w| w[0].issuer != w[1].subject)
+                        .count();
+                    if mismatches as f64 / pairs as f64 >= 0.5 {
+                        ge_half += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!((complete, scalyr, contains, no_path), (26, 10, 70, 215), "seed {seed}");
+        assert_eq!(ge_half, 122, "Figure 6 split must be exact for seed {seed}");
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_certificates() {
+    let mut a = Ecosystem::bootstrap(101);
+    let mut b = Ecosystem::bootstrap(102);
+    let sa = hybrid::build(&mut a, 0);
+    let sb = hybrid::build(&mut b, 0);
+    let fa = sa[0].endpoint.chain[0].fingerprint();
+    let fb = sb[0].endpoint.chain[0].fingerprint();
+    assert_ne!(fa, fb, "seeds must actually vary the key material");
+}

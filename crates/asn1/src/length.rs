@@ -101,7 +101,19 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        for len in [0usize, 1, 42, 127, 128, 129, 255, 256, 1000, 1 << 20, usize::MAX >> 8] {
+        for len in [
+            0usize,
+            1,
+            42,
+            127,
+            128,
+            129,
+            255,
+            256,
+            1000,
+            1 << 20,
+            usize::MAX >> 8,
+        ] {
             let buf = enc(len);
             let (decoded, consumed) = decode_length(&buf, 0).unwrap();
             assert_eq!(decoded, len);

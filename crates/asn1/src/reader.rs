@@ -107,13 +107,12 @@ impl<'a> Decoder<'a> {
         let tag = self.peek_tag()?;
         let (len, len_octets) = decode_length(self.input, self.pos + 1)?;
         let content_start = self.pos + 1 + len_octets;
-        let content = self
-            .input
-            .get(content_start..content_start + len)
-            .ok_or(Asn1Error::LengthOverflow {
+        let content = self.input.get(content_start..content_start + len).ok_or(
+            Asn1Error::LengthOverflow {
                 offset: self.base + self.pos + 1,
                 length: len,
-            })?;
+            },
+        )?;
         self.pos = content_start + len;
         Ok(Tlv {
             tag,
@@ -255,12 +254,8 @@ fn validate_integer(content: &[u8], offset: usize) -> Asn1Result<()> {
         [] => Err(Asn1Error::InvalidInteger { offset }),
         // Non-minimal: leading 0x00 followed by a byte without MSB set,
         // or leading 0xFF followed by a byte with MSB set.
-        [0x00, second, ..] if second & 0x80 == 0 => {
-            Err(Asn1Error::InvalidInteger { offset })
-        }
-        [0xff, second, ..] if second & 0x80 != 0 => {
-            Err(Asn1Error::InvalidInteger { offset })
-        }
+        [0x00, second, ..] if second & 0x80 == 0 => Err(Asn1Error::InvalidInteger { offset }),
+        [0xff, second, ..] if second & 0x80 != 0 => Err(Asn1Error::InvalidInteger { offset }),
         _ => Ok(()),
     }
 }
@@ -324,7 +319,11 @@ pub fn string_content<'a>(tlv: Tlv<'a>) -> Asn1Result<&'a str> {
 /// Whether `s` fits the ASN.1 PrintableString alphabet.
 pub fn is_printable(s: &str) -> bool {
     s.bytes().all(|b| {
-        b.is_ascii_alphanumeric() || matches!(b, b' ' | b'\'' | b'(' | b')' | b'+' | b',' | b'-' | b'.' | b'/' | b':' | b'=' | b'?')
+        b.is_ascii_alphanumeric()
+            || matches!(
+                b,
+                b' ' | b'\'' | b'(' | b')' | b'+' | b',' | b'-' | b'.' | b'/' | b':' | b'=' | b'?'
+            )
     })
 }
 
@@ -392,9 +391,7 @@ mod tests {
             })
         });
         let mut d = Decoder::new(&der);
-        let err = d
-            .sequence(|inner| inner.integer_u64())
-            .unwrap_err();
+        let err = d.sequence(|inner| inner.integer_u64()).unwrap_err();
         assert!(matches!(err, Asn1Error::UnconsumedContent { .. }));
     }
 
@@ -460,7 +457,10 @@ mod tests {
         });
         let mut d = Decoder::new(&der);
         d.boolean().unwrap();
-        assert!(matches!(d.finish(), Err(Asn1Error::TrailingData { offset: 3 })));
+        assert!(matches!(
+            d.finish(),
+            Err(Asn1Error::TrailingData { offset: 3 })
+        ));
     }
 
     #[test]

@@ -98,7 +98,14 @@ impl Asn1Time {
             days -= days_in_month(year, month);
             month += 1;
         }
-        (year, month, days + 1, rem / 3_600, (rem % 3_600) / 60, rem % 60)
+        (
+            year,
+            month,
+            days + 1,
+            rem / 3_600,
+            (rem % 3_600) / 60,
+            rem % 60,
+        )
     }
 
     /// Add a duration in whole days.
@@ -136,8 +143,7 @@ impl Asn1Time {
     /// Parse DER UTCTime content. Two-digit years follow the RFC 5280 rule:
     /// 00..=49 → 20xx, 50..=99 → 19xx (pre-1970 is rejected by this crate).
     pub fn parse_utc_time(content: &[u8], offset: usize) -> Asn1Result<Asn1Time> {
-        let s =
-            std::str::from_utf8(content).map_err(|_| Asn1Error::InvalidTime { offset })?;
+        let s = std::str::from_utf8(content).map_err(|_| Asn1Error::InvalidTime { offset })?;
         if s.len() != 13 || !s.ends_with('Z') {
             return Err(Asn1Error::InvalidTime { offset });
         }
@@ -152,16 +158,22 @@ impl Asn1Time {
 
     /// Parse DER GeneralizedTime content (`YYYYMMDDHHMMSSZ`).
     pub fn parse_generalized_time(content: &[u8], offset: usize) -> Asn1Result<Asn1Time> {
-        let s =
-            std::str::from_utf8(content).map_err(|_| Asn1Error::InvalidTime { offset })?;
+        let s = std::str::from_utf8(content).map_err(|_| Asn1Error::InvalidTime { offset })?;
         if s.len() != 15 || !s.ends_with('Z') {
             return Err(Asn1Error::InvalidTime { offset });
         }
         let d = |r: std::ops::Range<usize>| -> Asn1Result<u64> {
             s[r].parse().map_err(|_| Asn1Error::InvalidTime { offset })
         };
-        Asn1Time::from_ymd_hms(d(0..4)?, d(4..6)?, d(6..8)?, d(8..10)?, d(10..12)?, d(12..14)?)
-            .map_err(|_| Asn1Error::InvalidTime { offset })
+        Asn1Time::from_ymd_hms(
+            d(0..4)?,
+            d(4..6)?,
+            d(6..8)?,
+            d(8..10)?,
+            d(10..12)?,
+            d(12..14)?,
+        )
+        .map_err(|_| Asn1Error::InvalidTime { offset })
     }
 }
 
@@ -210,7 +222,9 @@ mod tests {
             let t = Asn1Time::from_unix(secs);
             let (y, mo, d, h, mi, s) = t.to_ymd_hms();
             assert_eq!(
-                Asn1Time::from_ymd_hms(y, mo, d, h, mi, s).unwrap().unix_secs(),
+                Asn1Time::from_ymd_hms(y, mo, d, h, mi, s)
+                    .unwrap()
+                    .unix_secs(),
                 secs
             );
         }
@@ -237,8 +251,7 @@ mod tests {
     fn parse_generalized_time_round_trip() {
         let t = Asn1Time::from_ymd_hms(2055, 12, 31, 23, 59, 59).unwrap();
         let parsed =
-            Asn1Time::parse_generalized_time(t.to_generalized_time_string().as_bytes(), 0)
-                .unwrap();
+            Asn1Time::parse_generalized_time(t.to_generalized_time_string().as_bytes(), 0).unwrap();
         assert_eq!(parsed, t);
     }
 

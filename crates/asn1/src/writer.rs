@@ -66,8 +66,7 @@ impl Encoder {
             // Shift the body right to make room for the longer length.
             let mut len_bytes = Vec::with_capacity(need);
             encode_length(&mut len_bytes, body_len);
-            self.buf
-                .splice(len_pos..len_pos + 1, len_bytes.into_iter());
+            self.buf.splice(len_pos..len_pos + 1, len_bytes);
         }
     }
 
@@ -255,7 +254,7 @@ mod tests {
         assert_eq!(der[0], 0x30);
         assert_eq!(der[1], 0x81);
         assert_eq!(der[2] as usize, 200 + 2 + 1); // content + octet-string TL
-        // And the nested octet string survives intact.
+                                                  // And the nested octet string survives intact.
         assert_eq!(&der[der.len() - 200..], payload.as_slice());
     }
 

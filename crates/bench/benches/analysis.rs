@@ -4,9 +4,9 @@
 
 use certchain_bench::Lab;
 use certchain_chainlab::matchpath::analyze;
-use certchain_chainlab::{CrossSignRegistry, Pipeline};
+use certchain_chainlab::{CrossSignRegistry, Pipeline, PipelineOptions};
 use certchain_workload::{CampusProfile, CampusTrace};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn tiny_profile() -> CampusProfile {
     // Smaller than `quick` so per-iteration time stays sane under Criterion.
@@ -46,6 +46,47 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_pipeline_threads(c: &mut Criterion) {
+    let trace = CampusTrace::generate(tiny_profile());
+    let weights: Vec<f64> = trace.conn_meta.iter().map(|m| m.weight).collect();
+    let mut group = c.benchmark_group("pipeline/threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let pipeline = Pipeline::with_options(
+                        &trace.eco.trust,
+                        &trace.ct_index,
+                        CrossSignRegistry::from_disclosures(&trace.cross_sign_disclosures),
+                        PipelineOptions {
+                            threads,
+                            ..PipelineOptions::default()
+                        },
+                    );
+                    pipeline.analyze(&trace.ssl_records, &trace.x509_records, Some(&weights))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_trace_generation_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload/threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| CampusTrace::generate_with(tiny_profile(), threads)),
+        );
+    }
+    group.finish();
+}
+
 fn bench_matchpath(c: &mut Criterion) {
     let lab = Lab::new(tiny_profile());
     // Pick a long hybrid chain for a representative path analysis.
@@ -61,5 +102,12 @@ fn bench_matchpath(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_trace_generation, bench_pipeline, bench_matchpath);
+criterion_group!(
+    benches,
+    bench_trace_generation,
+    bench_pipeline,
+    bench_pipeline_threads,
+    bench_trace_generation_threads,
+    bench_matchpath
+);
 criterion_main!(benches);

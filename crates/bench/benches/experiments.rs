@@ -5,8 +5,8 @@
 //! these benches time the table/figure computations.)
 
 use certchain_bench::{
-    figure1, figure4, figure5, figure6, figure7_8, table1, table2, table3, table4, table6,
-    table7, table8, Lab,
+    figure1, figure4, figure5, figure6, figure7_8, table1, table2, table3, table4, table6, table7,
+    table8, Lab,
 };
 use certchain_workload::CampusProfile;
 use criterion::{criterion_group, criterion_main, Criterion};

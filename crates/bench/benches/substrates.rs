@@ -54,7 +54,9 @@ fn bench_simsig(c: &mut Criterion) {
     let cert = sample_cert();
     let tbs = cert.tbs_der();
     let sig = sign(&kp, &tbs);
-    c.bench_function("simsig/sign", |b| b.iter(|| sign(&kp, std::hint::black_box(&tbs))));
+    c.bench_function("simsig/sign", |b| {
+        b.iter(|| sign(&kp, std::hint::black_box(&tbs)))
+    });
     c.bench_function("simsig/verify", |b| {
         b.iter(|| verify(kp.public(), std::hint::black_box(&tbs), &sig))
     });

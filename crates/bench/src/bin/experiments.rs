@@ -20,7 +20,11 @@ fn main() {
     }
     println!(
         "=== overall: {} ===",
-        if all_ok { "ALL EXPERIMENTS WITHIN TOLERANCE" } else { "SOME EXPERIMENTS OUT OF TOLERANCE" }
+        if all_ok {
+            "ALL EXPERIMENTS WITHIN TOLERANCE"
+        } else {
+            "SOME EXPERIMENTS OUT OF TOLERANCE"
+        }
     );
     std::process::exit(i32::from(!all_ok));
 }

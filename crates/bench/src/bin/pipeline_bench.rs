@@ -1,0 +1,75 @@
+//! Pipeline scaling measurement: times the full analysis at several thread
+//! counts and writes `BENCH_pipeline.json` (wall time, chains/sec,
+//! conns/sec per thread count).
+//!
+//! `CERTCHAIN_PROFILE=quick` selects the test-sized trace; the default is
+//! the paper-calibrated one.
+
+use certchain_chainlab::json::JsonValue;
+use certchain_chainlab::{Analysis, CrossSignRegistry, Pipeline, PipelineOptions};
+use certchain_workload::CampusTrace;
+use std::time::Instant;
+
+fn main() {
+    let profile_name = std::env::var("CERTCHAIN_PROFILE").unwrap_or_else(|_| "default".into());
+    let trace = CampusTrace::generate(certchain_bench::profile_from_env());
+    let weights: Vec<f64> = trace.conn_meta.iter().map(|m| m.weight).collect();
+
+    let analyze = |threads: usize| -> (Analysis, f64) {
+        let pipeline = Pipeline::with_options(
+            &trace.eco.trust,
+            &trace.ct_index,
+            CrossSignRegistry::from_disclosures(&trace.cross_sign_disclosures),
+            PipelineOptions {
+                threads,
+                ..PipelineOptions::default()
+            },
+        );
+        // Warm up once so page cache / allocator state is comparable, then
+        // report the best of three timed runs.
+        pipeline.analyze(&trace.ssl_records, &trace.x509_records, Some(&weights));
+        let mut best = f64::INFINITY;
+        let mut analysis = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let a = pipeline.analyze(&trace.ssl_records, &trace.x509_records, Some(&weights));
+            best = best.min(start.elapsed().as_secs_f64());
+            analysis = Some(a);
+        }
+        (analysis.expect("ran at least once"), best)
+    };
+
+    let conns = trace.ssl_records.len() as f64;
+    let mut results = Vec::new();
+    let mut baseline_secs = None;
+    for threads in [1usize, 2, 4, 8] {
+        let (analysis, secs) = analyze(threads);
+        let chains = analysis.chains.len() as f64;
+        let baseline = *baseline_secs.get_or_insert(secs);
+        results.push(JsonValue::Obj(vec![
+            ("threads".into(), JsonValue::Num(threads as f64)),
+            ("wall_ms".into(), JsonValue::Num(secs * 1e3)),
+            ("chains_per_sec".into(), JsonValue::Num(chains / secs)),
+            ("conns_per_sec".into(), JsonValue::Num(conns / secs)),
+            ("speedup_vs_1".into(), JsonValue::Num(baseline / secs)),
+        ]));
+        eprintln!(
+            "threads={threads:<2} wall={:.1}ms  {:.0} chains/s  {:.0} conns/s",
+            secs * 1e3,
+            chains / secs,
+            conns / secs
+        );
+    }
+
+    let doc = JsonValue::Obj(vec![
+        ("profile".into(), JsonValue::Str(profile_name)),
+        ("connections".into(), JsonValue::Num(conns)),
+        (
+            "distinct_chains".into(),
+            JsonValue::Num(trace.truth.by_chain.len() as f64),
+        ),
+        ("results".into(), JsonValue::Arr(results)),
+    ]);
+    std::fs::write("BENCH_pipeline.json", doc.to_pretty()).expect("write BENCH_pipeline.json");
+    eprintln!("wrote BENCH_pipeline.json");
+}

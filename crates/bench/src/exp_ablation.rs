@@ -10,9 +10,7 @@
 
 use crate::lab::Lab;
 use crate::ExperimentOutput;
-use certchain_chainlab::{
-    ChainCategoryLabel, CrossSignRegistry, Pipeline, PipelineOptions,
-};
+use certchain_chainlab::{ChainCategoryLabel, CrossSignRegistry, Pipeline, PipelineOptions};
 use certchain_report::{ComparisonTable, Table};
 
 /// Run the pipeline with alternative options and compare outcomes.
@@ -30,7 +28,11 @@ pub fn ablation(lab: &Lab) -> ExperimentOutput {
             ..PipelineOptions::default()
         },
     )
-    .analyze(&lab.trace.ssl_records, &lab.trace.x509_records, Some(&weights));
+    .analyze(
+        &lab.trace.ssl_records,
+        &lab.trace.x509_records,
+        Some(&weights),
+    );
 
     // --- Variant B: cross-signing disclosures ignored.
     let no_crosssign = Pipeline::with_options(
@@ -42,7 +44,11 @@ pub fn ablation(lab: &Lab) -> ExperimentOutput {
             ..PipelineOptions::default()
         },
     )
-    .analyze(&lab.trace.ssl_records, &lab.trace.x509_records, Some(&weights));
+    .analyze(
+        &lab.trace.ssl_records,
+        &lab.trace.x509_records,
+        Some(&weights),
+    );
 
     let baseline_entities = lab.analysis.interception_entities.len();
     let unconfirmed_entities = unconfirmed.interception_entities.len();
@@ -60,7 +66,12 @@ pub fn ablation(lab: &Lab) -> ExperimentOutput {
 
     let mut table = Table::new(
         "Ablation: pipeline design choices",
-        &["Variant", "Interception entities", "Hybrid chains", "Total mismatched pairs"],
+        &[
+            "Variant",
+            "Interception entities",
+            "Hybrid chains",
+            "Total mismatched pairs",
+        ],
     );
     table.row(&[
         "baseline (paper's method)".into(),
@@ -77,7 +88,10 @@ pub fn ablation(lab: &Lab) -> ExperimentOutput {
     table.row(&[
         "cross-signing ignored".into(),
         no_crosssign.interception_entities.len().to_string(),
-        no_crosssign.chains_in(ChainCategoryLabel::Hybrid).count().to_string(),
+        no_crosssign
+            .chains_in(ChainCategoryLabel::Hybrid)
+            .count()
+            .to_string(),
         no_xsign_mismatches.to_string(),
     ]);
 

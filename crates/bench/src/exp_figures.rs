@@ -33,10 +33,7 @@ pub fn figure1(lab: &Lab) -> ExperimentOutput {
         if !dist.excluded().is_empty() {
             rendered.push_str(&format!(
                 "   (excluded outliers: {:?})\n",
-                dist.excluded()
-                    .iter()
-                    .map(|&(l, _)| l)
-                    .collect::<Vec<_>>()
+                dist.excluded().iter().map(|&(l, _)| l).collect::<Vec<_>>()
             ));
         }
     }
@@ -71,7 +68,12 @@ pub fn figure1(lab: &Lab) -> ExperimentOutput {
         .iter()
         .map(|&(l, _)| dists[&ChainCategoryLabel::Hybrid].share(l))
         .fold(0.0_f64, f64::max);
-    comparison.add("hybrid: max single-length share < 0.5", 0.0, f64::from(u8::from(hybrid_max_share >= 0.5)), 0.0);
+    comparison.add(
+        "hybrid: max single-length share < 0.5",
+        0.0,
+        f64::from(u8::from(hybrid_max_share >= 0.5)),
+        0.0,
+    );
 
     ExperimentOutput {
         id: "figure1",
@@ -120,9 +122,19 @@ pub fn figure4(lab: &Lab) -> ExperimentOutput {
     }
 
     let mut comparison = ComparisonTable::new();
-    comparison.add("contains-path chains rendered", 70.0, columns.len() as f64, 0.0);
+    comparison.add(
+        "contains-path chains rendered",
+        70.0,
+        columns.len() as f64,
+        0.0,
+    );
     let max_height = columns.iter().map(Vec::len).max().unwrap_or(0);
-    comparison.add("max chain height ≥ 5 (long tail exists)", 1.0, f64::from(u8::from(max_height >= 5)), 0.0);
+    comparison.add(
+        "max chain height ≥ 5 (long tail exists)",
+        1.0,
+        f64::from(u8::from(max_height >= 5)),
+        0.0,
+    );
 
     ExperimentOutput {
         id: "figure4",
@@ -147,11 +159,7 @@ pub fn figure5(lab: &Lab) -> ExperimentOutput {
         rows.sort_by_key(|((c, r), _)| (format!("{c:?}"), format!("{r:?}")));
         rows
     } {
-        table.row(&[
-            format!("{class:?}"),
-            format!("{role:?}"),
-            count.to_string(),
-        ]);
+        table.row(&[format!("{class:?}"), format!("{role:?}"), count.to_string()]);
     }
     table.row(&[
         "(edges)".into(),
@@ -172,11 +180,18 @@ pub fn figure5(lab: &Lab) -> ExperimentOutput {
         .sum();
     // Structural expectations: both classes present, shared public
     // intermediates give fewer public nodes than chains.
-    comparison.add("both classes present", 1.0, f64::from(u8::from(public_nodes > 0 && nonpub_nodes > 0)), 0.0);
+    comparison.add(
+        "both classes present",
+        1.0,
+        f64::from(u8::from(public_nodes > 0 && nonpub_nodes > 0)),
+        0.0,
+    );
     comparison.add(
         "graph is connected enough (edges ≥ nodes)",
         1.0,
-        f64::from(u8::from(graph.cooccur_edges.len() as u64 >= (public_nodes + nonpub_nodes) / 2)),
+        f64::from(u8::from(
+            graph.cooccur_edges.len() as u64 >= (public_nodes + nonpub_nodes) / 2,
+        )),
         0.0,
     );
 
@@ -230,12 +245,8 @@ pub fn figure7_8(lab: &Lab) -> ExperimentOutput {
     let mut ic_graph = ChainGraph::new();
     for chain in &lab.analysis.chains {
         match chain.category {
-            ChainCategoryLabel::NonPublicOnly => {
-                np_graph.add_chain(&chain.certs, &chain.classes)
-            }
-            ChainCategoryLabel::Interception => {
-                ic_graph.add_chain(&chain.certs, &chain.classes)
-            }
+            ChainCategoryLabel::NonPublicOnly => np_graph.add_chain(&chain.certs, &chain.classes),
+            ChainCategoryLabel::Interception => ic_graph.add_chain(&chain.certs, &chain.classes),
             _ => {}
         }
     }
@@ -243,7 +254,12 @@ pub fn figure7_8(lab: &Lab) -> ExperimentOutput {
     let ic_hubs = ic_graph.hub_intermediates(3);
     let mut table = Table::new(
         "Figures 7/8: complex PKI structures (intermediates adjacent to ≥3 intermediates)",
-        &["Population", "#. Hub intermediates", "#. Nodes", "#. Adjacency edges"],
+        &[
+            "Population",
+            "#. Hub intermediates",
+            "#. Nodes",
+            "#. Adjacency edges",
+        ],
     );
     table.row(&[
         "Non-public-DB-only".into(),
@@ -259,8 +275,18 @@ pub fn figure7_8(lab: &Lab) -> ExperimentOutput {
     ]);
 
     let mut comparison = ComparisonTable::new();
-    comparison.add("non-public hubs exist", 1.0, f64::from(u8::from(!np_hubs.is_empty())), 0.0);
-    comparison.add("interception hubs exist", 1.0, f64::from(u8::from(!ic_hubs.is_empty())), 0.0);
+    comparison.add(
+        "non-public hubs exist",
+        1.0,
+        f64::from(u8::from(!np_hubs.is_empty())),
+        0.0,
+    );
+    comparison.add(
+        "interception hubs exist",
+        1.0,
+        f64::from(u8::from(!ic_hubs.is_empty())),
+        0.0,
+    );
 
     ExperimentOutput {
         id: "figure7_8",

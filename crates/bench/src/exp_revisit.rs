@@ -23,8 +23,7 @@ fn build_population(lab: &mut Lab) -> RevisitPopulation {
         .iter()
         .map(|&i| lab.trace.servers[i].clone())
         .collect();
-    let refs: Vec<&certchain_workload::servers::GeneratedServer> =
-        hybrid_servers.iter().collect();
+    let refs: Vec<&certchain_workload::servers::GeneratedServer> = hybrid_servers.iter().collect();
     RevisitPopulation::generate(&mut lab.trace.eco, &refs)
 }
 
@@ -67,12 +66,37 @@ pub fn table5(lab: &mut Lab) -> ExperimentOutput {
     let targets = &lab.trace.targets;
     let mut comparison = ComparisonTable::new();
     comparison
-        .add("total chains", targets.t5_total_chains as f64, t5.total as f64, 0.0)
+        .add(
+            "total chains",
+            targets.t5_total_chains as f64,
+            t5.total as f64,
+            0.0,
+        )
         .add("single", targets.t5_single as f64, t5.is_single as f64, 0.0)
-        .add("IS valid", targets.t5_issuer_subject_valid as f64, t5.is_valid as f64, 0.0)
-        .add("IS broken", targets.t5_issuer_subject_broken as f64, t5.is_broken as f64, 0.0)
-        .add("KS valid", targets.t5_keysig_valid as f64, t5.ks_valid as f64, 0.0)
-        .add("KS broken", targets.t5_keysig_broken as f64, t5.ks_broken as f64, 0.0)
+        .add(
+            "IS valid",
+            targets.t5_issuer_subject_valid as f64,
+            t5.is_valid as f64,
+            0.0,
+        )
+        .add(
+            "IS broken",
+            targets.t5_issuer_subject_broken as f64,
+            t5.is_broken as f64,
+            0.0,
+        )
+        .add(
+            "KS valid",
+            targets.t5_keysig_valid as f64,
+            t5.ks_valid as f64,
+            0.0,
+        )
+        .add(
+            "KS broken",
+            targets.t5_keysig_broken as f64,
+            t5.ks_broken as f64,
+            0.0,
+        )
         .add(
             "KS unrecognized keys",
             targets.t5_unrecognized_keys as f64,
@@ -109,13 +133,22 @@ pub fn revisit_report(lab: &mut Lab) -> ExperimentOutput {
         ("  now non-public-only", h.now_nonpub as f64),
         ("  still hybrid", h.still_hybrid as f64),
         ("    complete, clean", h.still_complete_clean as f64),
-        ("    complete + unnecessary", h.still_complete_unnecessary as f64),
+        (
+            "    complete + unnecessary",
+            h.still_complete_unnecessary as f64,
+        ),
         ("    no matched path", h.still_no_path as f64),
         ("non-public servers scanned", n.servers as f64),
         ("  now multi-certificate", n.now_multi as f64),
         ("    previously multi", n.prev_multi as f64),
-        ("    previously single self-signed", n.prev_single_self_signed as f64),
-        ("    previously single distinct", n.prev_single_distinct as f64),
+        (
+            "    previously single self-signed",
+            n.prev_single_self_signed as f64,
+        ),
+        (
+            "    previously single distinct",
+            n.prev_single_distinct as f64,
+        ),
     ] {
         table.row(&[name.to_string(), num(value, 0)]);
     }
@@ -130,17 +163,41 @@ pub fn revisit_report(lab: &mut Lab) -> ExperimentOutput {
             "  {}: Chrome {} / OpenSSL-strict {}\n",
             case.domain,
             if case.chrome_valid { "VALID" } else { "REJECT" },
-            if case.openssl_valid { "VALID" } else { "REJECT" },
+            if case.openssl_valid {
+                "VALID"
+            } else {
+                "REJECT"
+            },
         ));
     }
 
     let t = &lab.trace.targets;
     let mut comparison = ComparisonTable::new();
     comparison
-        .add("reachable hybrid servers", t.revisit_hybrid_reachable as f64, h.reachable as f64, 0.0)
-        .add("now public", t.revisit_hybrid_now_public as f64, h.now_public as f64, 0.0)
-        .add("now non-public", t.revisit_hybrid_now_nonpub as f64, h.now_nonpub as f64, 0.0)
-        .add("still hybrid", t.revisit_hybrid_still_hybrid as f64, h.still_hybrid as f64, 0.0)
+        .add(
+            "reachable hybrid servers",
+            t.revisit_hybrid_reachable as f64,
+            h.reachable as f64,
+            0.0,
+        )
+        .add(
+            "now public",
+            t.revisit_hybrid_now_public as f64,
+            h.now_public as f64,
+            0.0,
+        )
+        .add(
+            "now non-public",
+            t.revisit_hybrid_now_nonpub as f64,
+            h.now_nonpub as f64,
+            0.0,
+        )
+        .add(
+            "still hybrid",
+            t.revisit_hybrid_still_hybrid as f64,
+            h.still_hybrid as f64,
+            0.0,
+        )
         .add(
             "still hybrid: complete clean",
             t.revisit_hybrid_complete_clean as f64,
@@ -153,8 +210,18 @@ pub fn revisit_report(lab: &mut Lab) -> ExperimentOutput {
             h.still_complete_unnecessary as f64,
             0.0,
         )
-        .add("non-public servers", t.revisit_nonpub_servers as f64, n.servers as f64, 0.0)
-        .add("now multi", t.revisit_nonpub_now_multi as f64, n.now_multi as f64, 0.0)
+        .add(
+            "non-public servers",
+            t.revisit_nonpub_servers as f64,
+            n.servers as f64,
+            0.0,
+        )
+        .add(
+            "now multi",
+            t.revisit_nonpub_now_multi as f64,
+            n.now_multi as f64,
+            0.0,
+        )
         .add(
             "prev multi share",
             t.revisit_nonpub_prev_multi_share,

@@ -14,7 +14,10 @@ pub fn sweep(lab: &Lab) -> ExperimentOutput {
     );
     table.row(&["servers scanned".into(), report.servers_scanned.to_string()]);
     table.row(&["chains obtained".into(), report.chains_obtained.to_string()]);
-    table.row(&["distinct chains (sweep)".into(), report.distinct_chains.to_string()]);
+    table.row(&[
+        "distinct chains (sweep)".into(),
+        report.distinct_chains.to_string(),
+    ]);
     table.row(&[
         "distinct chains (passive)".into(),
         lab.analysis.chains.len().to_string(),

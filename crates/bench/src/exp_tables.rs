@@ -45,12 +45,16 @@ pub fn table1(lab: &Lab) -> ExperimentOutput {
 
     let mut table = Table::new(
         "Table 1: Categories of issuers conducting TLS interception",
-        &["Category", "#. Issuers", "% Connections", "#. Client IPs (weighted)"],
+        &[
+            "Category",
+            "#. Issuers",
+            "% Connections",
+            "#. Client IPs (weighted)",
+        ],
     );
     let mut comparison = ComparisonTable::new();
     let conn_weight = lab.trace.profile.conn_weight();
-    for (cat, issuers_paper, conns_paper, _ips_paper) in lab.trace.targets.interception_categories
-    {
+    for (cat, issuers_paper, conns_paper, _ips_paper) in lab.trace.targets.interception_categories {
         let category = InterceptionCategory::all()
             .into_iter()
             .find(|c| c.name() == cat)
@@ -71,7 +75,12 @@ pub fn table1(lab: &Lab) -> ExperimentOutput {
             0.15,
         );
         if conns_paper >= 0.1 {
-            comparison.add(&format!("{cat}: % connections"), conns_paper, conn_share, 0.05);
+            comparison.add(
+                &format!("{cat}: % connections"),
+                conns_paper,
+                conn_share,
+                0.05,
+            );
         }
     }
     comparison.add(
@@ -151,16 +160,31 @@ pub fn table2(lab: &Lab) -> ExperimentOutput {
     let t = &lab.trace.targets;
     let mut comparison = ComparisonTable::new();
     comparison
-        .add("non-public-DB-only chains", t.nonpub_chains as f64, np.0, 0.10)
+        .add(
+            "non-public-DB-only chains",
+            t.nonpub_chains as f64,
+            np.0,
+            0.10,
+        )
         .add("hybrid chains", t.hybrid_chains as f64, hy.0, 0.0)
-        .add("interception chains", t.interception_chains as f64, ic.0, 0.10)
+        .add(
+            "interception chains",
+            t.interception_chains as f64,
+            ic.0,
+            0.10,
+        )
         .add(
             "non-public connections",
             t.nonpub_connections as f64,
             np.1,
             0.05,
         )
-        .add("hybrid connections", t.hybrid_connections as f64, hy.1, 0.01)
+        .add(
+            "hybrid connections",
+            t.hybrid_connections as f64,
+            hy.1,
+            0.01,
+        )
         .add(
             "interception connections",
             t.interception_connections as f64,
@@ -261,7 +285,12 @@ pub fn table3(lab: &Lab) -> ExperimentOutput {
             complete_prv as f64,
             0.0,
         )
-        .add("contains path", t.hybrid_contains_path as f64, contains as f64, 0.0)
+        .add(
+            "contains path",
+            t.hybrid_contains_path as f64,
+            contains as f64,
+            0.0,
+        )
         .add("no path", t.hybrid_no_path as f64, no_path as f64, 0.0)
         .add(
             "established: complete",
@@ -318,12 +347,12 @@ pub fn table4(lab: &Lab) -> ExperimentOutput {
     let hybrid = lab
         .analysis
         .usage_of(|c| c.category == ChainCategoryLabel::Hybrid);
-    let single = lab.analysis.usage_of(|c| {
-        c.category == ChainCategoryLabel::NonPublicOnly && c.key.len() == 1
-    });
-    let multi = lab.analysis.usage_of(|c| {
-        c.category == ChainCategoryLabel::NonPublicOnly && c.key.len() > 1
-    });
+    let single = lab
+        .analysis
+        .usage_of(|c| c.category == ChainCategoryLabel::NonPublicOnly && c.key.len() == 1);
+    let multi = lab
+        .analysis
+        .usage_of(|c| c.category == ChainCategoryLabel::NonPublicOnly && c.key.len() > 1);
     let interception = lab
         .analysis
         .usage_of(|c| c.category == ChainCategoryLabel::Interception);
@@ -416,17 +445,29 @@ pub fn table6(lab: &Lab) -> ExperimentOutput {
     if uncategorized > 0 {
         table.row(&["(uncategorized)".into(), num(uncategorized as f64, 0)]);
     }
-    table.row(&[
-        "CT-logged leaves".into(),
-        format!("{ct_logged}/{ct_total}"),
-    ]);
+    table.row(&["CT-logged leaves".into(), format!("{ct_logged}/{ct_total}")]);
 
     let t = &lab.trace.targets;
     let mut comparison = ComparisonTable::new();
     comparison
-        .add("corporate chains", t.anchored_corporate as f64, corp as f64, 0.0)
-        .add("government chains", t.anchored_government as f64, gov as f64, 0.0)
-        .add("CT-logged share", 1.0, ct_logged as f64 / ct_total.max(1) as f64, 0.0);
+        .add(
+            "corporate chains",
+            t.anchored_corporate as f64,
+            corp as f64,
+            0.0,
+        )
+        .add(
+            "government chains",
+            t.anchored_government as f64,
+            gov as f64,
+            0.0,
+        )
+        .add(
+            "CT-logged share",
+            1.0,
+            ct_logged as f64 / ct_total.max(1) as f64,
+            0.0,
+        );
 
     ExperimentOutput {
         id: "table6",
@@ -604,8 +645,18 @@ pub fn table8(lab: &Lab) -> ExperimentOutput {
             ic.is_path / ic.multi.max(1.0),
             0.06,
         )
-        .add("non-pub contains", t.nonpub_multi_contains as f64, np.contains as f64, 0.02)
-        .add("non-pub no path", t.nonpub_multi_no_path as f64, np.no_path as f64, 0.05)
+        .add(
+            "non-pub contains",
+            t.nonpub_multi_contains as f64,
+            np.contains as f64,
+            0.02,
+        )
+        .add(
+            "non-pub no path",
+            t.nonpub_multi_no_path as f64,
+            np.no_path as f64,
+            0.05,
+        )
         .add(
             "interception contains",
             t.interception_multi_contains as f64,
@@ -636,7 +687,12 @@ pub fn table8(lab: &Lab) -> ExperimentOutput {
             ic.single / (ic.single + ic.multi),
             0.06,
         )
-        .add("DGA connections", t.dga_connections as f64, dga.connections, 0.01)
+        .add(
+            "DGA connections",
+            t.dga_connections as f64,
+            dga.connections,
+            0.01,
+        )
         .add(
             "DGA client IPs",
             t.dga_client_ips as f64,

@@ -40,7 +40,8 @@ impl ExperimentOutput {
             "##### {} #####\n{}\n{}\n",
             self.id,
             self.rendered,
-            self.comparison.render(&format!("{}: paper vs measured", self.id))
+            self.comparison
+                .render(&format!("{}: paper vs measured", self.id))
         )
     }
 }

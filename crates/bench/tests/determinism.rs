@@ -1,0 +1,45 @@
+//! Thread-count invariance: the parallel pipeline must render the exact
+//! same paper artifacts as the sequential one, byte for byte.
+
+use certchain_bench::{table2, table3, table7, Lab};
+use certchain_chainlab::{CrossSignRegistry, Pipeline, PipelineOptions};
+use certchain_workload::{CampusProfile, CampusTrace};
+
+#[test]
+fn tables_are_byte_identical_across_thread_counts() {
+    let trace = CampusTrace::generate_with(CampusProfile::quick(), 0);
+    let weights: Vec<f64> = trace.conn_meta.iter().map(|m| m.weight).collect();
+
+    let analyze = |trace: &CampusTrace, threads: usize| {
+        let pipeline = Pipeline::with_options(
+            &trace.eco.trust,
+            &trace.ct_index,
+            CrossSignRegistry::from_disclosures(&trace.cross_sign_disclosures),
+            PipelineOptions {
+                threads,
+                ..PipelineOptions::default()
+            },
+        );
+        pipeline.analyze(&trace.ssl_records, &trace.x509_records, Some(&weights))
+    };
+
+    let baseline = analyze(&trace, 1);
+    let mut lab = Lab {
+        trace,
+        analysis: baseline,
+    };
+    let render = |lab: &Lab| {
+        (
+            table2(lab).rendered,
+            table3(lab).rendered,
+            table7(lab).rendered,
+        )
+    };
+    let sequential = render(&lab);
+
+    for threads in [2, 8] {
+        lab.analysis = analyze(&lab.trace, threads);
+        let parallel = render(&lab);
+        assert_eq!(sequential, parallel, "threads = {threads} diverged");
+    }
+}

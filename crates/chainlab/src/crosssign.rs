@@ -25,9 +25,7 @@ impl CrossSignRegistry {
     }
 
     /// Build from `(subject, alternate_issuer)` disclosure pairs.
-    pub fn from_disclosures(
-        pairs: &[(DistinguishedName, DistinguishedName)],
-    ) -> CrossSignRegistry {
+    pub fn from_disclosures(pairs: &[(DistinguishedName, DistinguishedName)]) -> CrossSignRegistry {
         let mut reg = CrossSignRegistry::new();
         for (subject, issuer) in pairs {
             reg.disclose(subject.clone(), issuer.clone());
@@ -115,10 +113,7 @@ mod tests {
 
     #[test]
     fn from_disclosures_builds() {
-        let reg = CrossSignRegistry::from_disclosures(&[
-            (dn("A"), dn("B")),
-            (dn("A"), dn("C")),
-        ]);
+        let reg = CrossSignRegistry::from_disclosures(&[(dn("A"), dn("B")), (dn("A"), dn("C"))]);
         assert_eq!(reg.len(), 2);
         assert!(!reg.is_empty());
         assert!(reg.pair_matches(&dn("B"), &dn("A")));

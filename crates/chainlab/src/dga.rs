@@ -9,6 +9,7 @@
 //! single-certificate chain.
 
 use crate::model::CertRecord;
+use std::borrow::Borrow;
 
 /// Tiny deny-list of common real-word labels so obviously human domains
 /// never cluster (the real pipeline used manual inspection; this keeps the
@@ -48,11 +49,11 @@ pub fn looks_generated(cn: &str) -> bool {
 }
 
 /// Whether a single-certificate chain belongs to the DGA cluster.
-pub fn is_dga_chain(chain: &[CertRecord]) -> bool {
+pub fn is_dga_chain<C: Borrow<CertRecord>>(chain: &[C]) -> bool {
     if chain.len() != 1 {
         return false;
     }
-    let cert = &chain[0];
+    let cert = chain[0].borrow();
     if cert.is_self_signed() {
         return false; // cluster members have distinct issuer and subject
     }
@@ -83,18 +84,30 @@ mod tests {
 
     #[test]
     fn cluster_members_detected() {
-        assert!(is_dga_chain(&single("www.bakelotifu.com", "www.rimatodesa.com")));
+        assert!(is_dga_chain(&single(
+            "www.bakelotifu.com",
+            "www.rimatodesa.com"
+        )));
     }
 
     #[test]
     fn self_signed_is_excluded() {
-        assert!(!is_dga_chain(&single("www.bakelotifu.com", "www.bakelotifu.com")));
+        assert!(!is_dga_chain(&single(
+            "www.bakelotifu.com",
+            "www.bakelotifu.com"
+        )));
     }
 
     #[test]
     fn human_domains_are_excluded() {
-        assert!(!is_dga_chain(&single("www.mynewssite.com", "www.bakelotifu.com")));
-        assert!(!is_dga_chain(&single("www.bakelotifu.com", "printer.local")));
+        assert!(!is_dga_chain(&single(
+            "www.mynewssite.com",
+            "www.bakelotifu.com"
+        )));
+        assert!(!is_dga_chain(&single(
+            "www.bakelotifu.com",
+            "printer.local"
+        )));
         assert!(!is_dga_chain(&single("Corp CA", "host.corp")));
     }
 

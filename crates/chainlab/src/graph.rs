@@ -9,6 +9,7 @@
 use crate::classify::CertClass;
 use crate::model::CertRecord;
 use certchain_x509::Fingerprint;
+use std::borrow::Borrow;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Node role by position and self-signedness.
@@ -72,8 +73,9 @@ impl ChainGraph {
     }
 
     /// Fold one chain (with per-cert classes) into the graph.
-    pub fn add_chain(&mut self, chain: &[CertRecord], classes: &[CertClass]) {
+    pub fn add_chain<C: Borrow<CertRecord>>(&mut self, chain: &[C], classes: &[CertClass]) {
         for (i, (cert, &class)) in chain.iter().zip(classes).enumerate() {
+            let cert = cert.borrow();
             let role = role_of(i, cert);
             self.nodes
                 .entry(cert.fingerprint)
@@ -90,12 +92,16 @@ impl ChainGraph {
         }
         for i in 0..chain.len() {
             for j in i + 1..chain.len() {
-                self.cooccur_edges
-                    .insert(ordered(chain[i].fingerprint, chain[j].fingerprint));
+                self.cooccur_edges.insert(ordered(
+                    chain[i].borrow().fingerprint,
+                    chain[j].borrow().fingerprint,
+                ));
             }
             if i + 1 < chain.len() {
-                self.adjacency_edges
-                    .insert(ordered(chain[i].fingerprint, chain[i + 1].fingerprint));
+                self.adjacency_edges.insert(ordered(
+                    chain[i].borrow().fingerprint,
+                    chain[i + 1].borrow().fingerprint,
+                ));
             }
         }
     }
@@ -195,7 +201,7 @@ mod tests {
         // Hub H adjacent to M1, M2, M3 across three chains.
         let hub = cert(10, "Root", "H");
         for (i, m) in ["M1", "M2", "M3"].iter().enumerate() {
-            let leaf = cert(20 + i as u8, *m, &format!("svc{i}.org"));
+            let leaf = cert(20 + i as u8, m, &format!("svc{i}.org"));
             let mid = cert(30 + i as u8, "H", m);
             g.add_chain(
                 &[leaf, mid, hub.clone(), cert(40, "Root", "Root")],

@@ -3,6 +3,7 @@
 use crate::classify::CertClass;
 use crate::matchpath::{PathReport, PathVerdict};
 use crate::model::CertRecord;
+use std::borrow::Borrow;
 
 /// Table 3 top-level categories.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,8 +38,8 @@ pub enum NoPathCategory {
 }
 
 /// Categorize a hybrid chain given its per-cert classes and path report.
-pub fn categorize(
-    chain: &[CertRecord],
+pub fn categorize<C: Borrow<CertRecord>>(
+    chain: &[C],
     classes: &[CertClass],
     report: &PathReport,
 ) -> HybridCategory {
@@ -57,17 +58,17 @@ pub fn categorize(
     }
 }
 
-fn no_path_category(
-    chain: &[CertRecord],
+fn no_path_category<C: Borrow<CertRecord>>(
+    chain: &[C],
     classes: &[CertClass],
     report: &PathReport,
 ) -> NoPathCategory {
     let leaf_self_signed =
-        chain[0].is_self_signed() && classes[0] == CertClass::NonPublicDbIssued;
+        chain[0].borrow().is_self_signed() && classes[0] == CertClass::NonPublicDbIssued;
     if leaf_self_signed {
         // Valid sub-chain: everything after the leaf forms one matched run.
-        let rest_fully_matched = report.pair_matches.len() >= 2
-            && report.pair_matches[1..].iter().all(|&m| m);
+        let rest_fully_matched =
+            report.pair_matches.len() >= 2 && report.pair_matches[1..].iter().all(|&m| m);
         return if rest_fully_matched {
             NoPathCategory::SelfSignedLeafValidSubchain
         } else {
@@ -80,7 +81,10 @@ fn no_path_category(
         .iter()
         .enumerate()
         .skip(1)
-        .find(|(i, c)| c.is_self_signed() && classes[*i] == CertClass::NonPublicDbIssued)
+        .find(|(i, c)| {
+            let cert: &CertRecord = (*c).borrow();
+            cert.is_self_signed() && classes[*i] == CertClass::NonPublicDbIssued
+        })
         .map(|(i, _)| i);
     if let Some(root_idx) = non_pub_root_at {
         // "Appended to a valid sub-chain": the root sits at the end, the
@@ -88,11 +92,8 @@ fn no_path_category(
         // sequence (the leaf's own pair is broken — otherwise the chain
         // would contain a complete path), and that sub-chain involves a
         // public-DB issuer.
-        let sub_chain_ok = root_idx >= 2
-            && report.pair_matches[1..root_idx - 1].iter().all(|&m| m);
-        let prefix_has_public = classes[..root_idx]
-            .iter()
-            .any(|&c| c == CertClass::PublicDbIssued);
+        let sub_chain_ok = root_idx >= 2 && report.pair_matches[1..root_idx - 1].iter().all(|&m| m);
+        let prefix_has_public = classes[..root_idx].contains(&CertClass::PublicDbIssued);
         if root_idx == chain.len() - 1 && sub_chain_ok && prefix_has_public {
             return NoPathCategory::RootAppendedToValidSubchain;
         }
@@ -107,18 +108,18 @@ fn no_path_category(
 
 /// §4.2's 56-chain subgroup: the chain includes a public-DB-issued leaf
 /// but no certificate that issues it.
-pub fn has_public_leaf_without_intermediate(
-    chain: &[CertRecord],
+pub fn has_public_leaf_without_intermediate<C: Borrow<CertRecord>>(
+    chain: &[C],
     classes: &[CertClass],
 ) -> bool {
     if chain.is_empty() || classes[0] != CertClass::PublicDbIssued {
         return false;
     }
-    let leaf = &chain[0];
+    let leaf = chain[0].borrow();
     if leaf.is_self_signed() || !leaf.is_leaf_candidate() {
         return false;
     }
-    !chain[1..].iter().any(|c| c.subject == leaf.issuer)
+    !chain[1..].iter().any(|c| c.borrow().subject == leaf.issuer)
 }
 
 /// One cell of the Figure 4 structure matrix.
@@ -133,8 +134,8 @@ pub enum Fig4Cell {
 }
 
 /// Figure 4: per-position cell classification for one chain.
-pub fn structure_matrix_column(
-    chain: &[CertRecord],
+pub fn structure_matrix_column<C: Borrow<CertRecord>>(
+    chain: &[C],
     classes: &[CertClass],
     report: &PathReport,
 ) -> Vec<Fig4Cell> {
@@ -210,7 +211,10 @@ mod tests {
             cert(3, "AAA Root", "USERTrust", Some(true)),
             cert(4, "Scalyr", "AAA Root", None),
         ];
-        assert_eq!(cat(&chain, &[P, P, P, NP]), HybridCategory::CompletePubToPrv);
+        assert_eq!(
+            cat(&chain, &[P, P, P, NP]),
+            HybridCategory::CompletePubToPrv
+        );
     }
 
     #[test]
@@ -324,10 +328,7 @@ mod tests {
         assert!(!has_public_leaf_without_intermediate(&chain, &[P, P]));
 
         // Non-public leaf → not in the group.
-        let chain = [
-            cert(1, "Ghost", "site.org", None),
-            cert(2, "A", "B", None),
-        ];
+        let chain = [cert(1, "Ghost", "site.org", None), cert(2, "A", "B", None)];
         assert!(!has_public_leaf_without_intermediate(&chain, &[NP, NP]));
     }
 

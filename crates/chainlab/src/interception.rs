@@ -13,6 +13,7 @@ use crate::model::CertRecord;
 use certchain_ctlog::DomainIndex;
 use certchain_trust::TrustDb;
 use certchain_x509::DistinguishedName;
+use std::borrow::Borrow;
 
 /// Verdict for one (chain, SNI) observation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,13 +27,13 @@ pub enum InterceptionVerdict {
 }
 
 /// Detect interception for one chain observation.
-pub fn detect(
-    chain: &[CertRecord],
+pub fn detect<C: Borrow<CertRecord>>(
+    chain: &[C],
     sni: Option<&str>,
     trust: &TrustDb,
     ct: &DomainIndex,
 ) -> InterceptionVerdict {
-    let Some(leaf) = chain.first() else {
+    let Some(leaf) = chain.first().map(Borrow::borrow) else {
         return InterceptionVerdict::Unknown;
     };
     // Step 1: the leaf's issuer must be outside the public databases.
@@ -59,8 +60,8 @@ pub fn detect(
 
 /// The issuer identity an interception verdict attributes the middlebox
 /// to: the leaf's issuer DN.
-pub fn intercepting_issuer(chain: &[CertRecord]) -> Option<&DistinguishedName> {
-    chain.first().map(|leaf| &leaf.issuer)
+pub fn intercepting_issuer<C: Borrow<CertRecord>>(chain: &[C]) -> Option<&DistinguishedName> {
+    chain.first().map(|leaf| &leaf.borrow().issuer)
 }
 
 #[cfg(test)]
@@ -68,9 +69,7 @@ mod tests {
     use super::*;
     use certchain_asn1::Asn1Time;
     use certchain_cryptosim::KeyPair;
-    use certchain_x509::{
-        CertificateBuilder, Fingerprint, Validity,
-    };
+    use certchain_x509::{CertificateBuilder, Fingerprint, Validity};
     use std::sync::Arc;
 
     struct Fixture {
@@ -171,7 +170,8 @@ mod tests {
         let f = fixture();
         let mb = DistinguishedName::cn("TimeShift CA");
         let mut rec = record(&mb, "bank.example");
-        rec.validity = Validity::days_from(Asn1Time::from_ymd_hms(2035, 1, 1, 0, 0, 0).unwrap(), 10);
+        rec.validity =
+            Validity::days_from(Asn1Time::from_ymd_hms(2035, 1, 1, 0, 0, 0).unwrap(), 10);
         assert_eq!(
             detect(&[rec], Some("bank.example"), &f.trust, &f.ct),
             InterceptionVerdict::Unknown
@@ -182,9 +182,9 @@ mod tests {
     fn empty_chain_is_unknown() {
         let f = fixture();
         assert_eq!(
-            detect(&[], Some("bank.example"), &f.trust, &f.ct),
+            detect::<CertRecord>(&[], Some("bank.example"), &f.trust, &f.ct),
             InterceptionVerdict::Unknown
         );
-        assert!(intercepting_issuer(&[]).is_none());
+        assert!(intercepting_issuer::<CertRecord>(&[]).is_none());
     }
 }

@@ -44,11 +44,7 @@ impl LengthDistribution {
         if self.total == 0.0 {
             return 0.0;
         }
-        self.counts
-            .range(..=len)
-            .map(|(_, w)| w)
-            .sum::<f64>()
-            / self.total
+        self.counts.range(..=len).map(|(_, w)| w).sum::<f64>() / self.total
     }
 
     /// `(length, weighted count)` pairs in ascending length order.

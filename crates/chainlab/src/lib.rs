@@ -31,6 +31,7 @@ pub mod dga;
 pub mod graph;
 pub mod hybrid;
 pub mod interception;
+pub mod json;
 pub mod lengths;
 pub mod lint;
 pub mod matchpath;

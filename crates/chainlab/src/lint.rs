@@ -24,6 +24,7 @@
 use crate::matchpath::PathReport;
 use crate::model::CertRecord;
 use certchain_asn1::Asn1Time;
+use std::borrow::Borrow;
 use std::fmt;
 
 /// Severity of a finding.
@@ -64,7 +65,11 @@ impl fmt::Display for Finding {
 ///
 /// `report` must be the chain's [`PathReport`] (so unnecessary-certificate
 /// detection agrees with the structure analysis).
-pub fn lint_chain(chain: &[CertRecord], report: &PathReport, at: Asn1Time) -> Vec<Finding> {
+pub fn lint_chain<C: Borrow<CertRecord>>(
+    chain: &[C],
+    report: &PathReport,
+    at: Asn1Time,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
 
     // Certificates covered by some matched run.
@@ -76,6 +81,7 @@ pub fn lint_chain(chain: &[CertRecord], report: &PathReport, at: Asn1Time) -> Ve
     }
 
     for (i, cert) in chain.iter().enumerate() {
+        let cert = cert.borrow();
         if cert.bc_ca.is_none() {
             findings.push(Finding {
                 check: "basic-constraints-missing",
@@ -140,7 +146,7 @@ pub fn lint_chain(chain: &[CertRecord], report: &PathReport, at: Asn1Time) -> Ve
             });
         }
     }
-    if chain.len() > 1 && chain[0].is_self_signed() {
+    if chain.len() > 1 && chain[0].borrow().is_self_signed() {
         findings.push(Finding {
             check: "self-signed-leaf-with-tail",
             severity: Severity::Warning,
@@ -226,7 +232,10 @@ mod tests {
         ];
         let report = analyze(&chain, &CrossSignRegistry::new());
         let findings = lint_chain(&chain, &report, at_day(10));
-        let root = findings.iter().find(|f| f.check == "root-included").unwrap();
+        let root = findings
+            .iter()
+            .find(|f| f.check == "root-included")
+            .unwrap();
         assert_eq!(root.severity, Severity::Info);
     }
 

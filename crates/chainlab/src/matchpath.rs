@@ -23,6 +23,7 @@
 
 use crate::crosssign::CrossSignRegistry;
 use crate::model::CertRecord;
+use std::borrow::Borrow;
 
 /// One maximal matched run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,7 +90,7 @@ pub struct PathReport {
 /// assert_eq!(report.verdict, PathVerdict::IsComplete);
 /// assert_eq!(report.mismatch_ratio, 0.0);
 /// ```
-pub fn analyze(chain: &[CertRecord], crosssign: &CrossSignRegistry) -> PathReport {
+pub fn analyze<C: Borrow<CertRecord>>(chain: &[C], crosssign: &CrossSignRegistry) -> PathReport {
     let n = chain.len();
     if n <= 1 {
         return PathReport {
@@ -101,7 +102,7 @@ pub fn analyze(chain: &[CertRecord], crosssign: &CrossSignRegistry) -> PathRepor
         };
     }
     let pair_matches: Vec<bool> = (0..n - 1)
-        .map(|i| crosssign.pair_matches(&chain[i].issuer, &chain[i + 1].subject))
+        .map(|i| crosssign.pair_matches(&chain[i].borrow().issuer, &chain[i + 1].borrow().subject))
         .collect();
     let mismatch_positions: Vec<usize> = pair_matches
         .iter()
@@ -122,7 +123,7 @@ pub fn analyze(chain: &[CertRecord], crosssign: &CrossSignRegistry) -> PathRepor
             runs.push(MatchedRun {
                 start,
                 end: i, // pair indices start..i-1 cover certs start..=i
-                starts_at_leaf: chain[start].is_leaf_candidate(),
+                starts_at_leaf: chain[start].borrow().is_leaf_candidate(),
             });
         } else {
             i += 1;
@@ -269,7 +270,10 @@ mod tests {
     #[test]
     fn cross_signing_rescues_a_pair() {
         let mut registry = CrossSignRegistry::new();
-        registry.disclose(DistinguishedName::cn("ICA"), DistinguishedName::cn("AltRoot"));
+        registry.disclose(
+            DistinguishedName::cn("ICA"),
+            DistinguishedName::cn("AltRoot"),
+        );
         // The leaf names "AltRoot" as issuer, but the presented parent is
         // the cross-signed twin with subject "ICA".
         let chain = [
@@ -303,7 +307,10 @@ mod tests {
             cert(3, "C", "C", Some(true)),
         ];
         let r = analyze(&chain, &reg());
-        assert_eq!(path_verdict_leaf_agnostic(&r), PathVerdict::ContainsComplete);
+        assert_eq!(
+            path_verdict_leaf_agnostic(&r),
+            PathVerdict::ContainsComplete
+        );
 
         // None → No.
         let chain = [cert(1, "X", "A", None), cert(2, "Y", "B", None)];

@@ -58,6 +58,16 @@ impl CertRecord {
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ChainKey(pub Vec<Fingerprint>);
 
+/// Lets a `HashMap<ChainKey, _>` be probed with the borrowed fingerprint
+/// slice from an ssl.log record, so the hot accumulation loop only
+/// allocates a `ChainKey` for chains it has not seen before. Sound because
+/// `Vec<T>` and `[T]` hash and compare identically.
+impl std::borrow::Borrow<[Fingerprint]> for ChainKey {
+    fn borrow(&self) -> &[Fingerprint] {
+        &self.0
+    }
+}
+
 impl ChainKey {
     /// Chain length.
     pub fn len(&self) -> usize {

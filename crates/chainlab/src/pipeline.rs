@@ -15,6 +15,7 @@ use certchain_netsim::{SslRecord, X509Record};
 use certchain_trust::TrustDb;
 use certchain_x509::{DistinguishedName, Fingerprint};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// §3.2.2 chain categories.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,8 +36,9 @@ pub enum ChainCategoryLabel {
 pub struct ChainAnalysis {
     /// Ordered fingerprints (the chain's identity).
     pub key: ChainKey,
-    /// Resolved certificate records, delivery order.
-    pub certs: Vec<CertRecord>,
+    /// Resolved certificate records, delivery order. Certificates are
+    /// interned once per fingerprint and shared across chains.
+    pub certs: Vec<Arc<CertRecord>>,
     /// Per-certificate issuer classification.
     pub classes: Vec<CertClass>,
     /// §3.2.2 category.
@@ -87,6 +89,13 @@ pub struct PipelineOptions {
     /// candidate is confirmed (the paper's manual-investigation step).
     /// 1 disables corroboration; the default is 2.
     pub confirmation_min_domains: usize,
+    /// Worker threads for the parallel stages. `0` (the default) resolves
+    /// to the machine's available parallelism; `1` runs the fully
+    /// sequential path. The output is byte-identical for every value:
+    /// chains are sharded by a stable hash of their fingerprint sequence,
+    /// each chain's connections are folded in global record order within
+    /// its shard, and per-chain results merge in `ChainKey` order.
+    pub threads: usize,
 }
 
 impl Default for PipelineOptions {
@@ -94,8 +103,34 @@ impl Default for PipelineOptions {
         PipelineOptions {
             honor_cross_signing: true,
             confirmation_min_domains: 2,
+            threads: 0,
         }
     }
+}
+
+/// Resolve a thread-count knob: `0` means available parallelism.
+pub(crate) fn resolve_threads(requested: usize) -> usize {
+    if requested != 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Stable shard id for a chain: FNV-1a over the fingerprint bytes. Must
+/// not vary across runs or platforms — shard membership decides which
+/// worker folds a chain's connection stream, and determinism relies on
+/// every chain living in exactly one shard.
+fn shard_of(fps: &[Fingerprint], shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for fp in fps {
+        for &b in &fp.0 {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    (h % shards as u64) as usize
 }
 
 /// The configured analyzer.
@@ -146,6 +181,9 @@ impl<'a> Pipeline<'a> {
     /// `weights`, when given, must align with `ssl` and carries each
     /// record's statistical weight (1.0 when absent). The pipeline itself
     /// is weight-agnostic; weights only flow into the usage aggregates.
+    ///
+    /// The stages run on [`PipelineOptions::threads`] workers; the result
+    /// is byte-identical for every thread count (see the options docs).
     pub fn analyze(
         &self,
         ssl: &[SslRecord],
@@ -155,25 +193,118 @@ impl<'a> Pipeline<'a> {
         if let Some(w) = weights {
             assert_eq!(w.len(), ssl.len(), "weights must align with ssl records");
         }
-        // --- Certificate enrichment: index x509.log by fingerprint.
-        let mut cert_index: HashMap<Fingerprint, CertRecord> = HashMap::new();
-        for rec in x509 {
-            if let Some(cert) = CertRecord::from_record(rec) {
-                cert_index.entry(rec.fingerprint).or_insert(cert);
-            }
-        }
+        let threads = resolve_threads(self.options.threads);
 
-        // --- Group connections by delivered chain.
-        struct ChainAccum {
-            usage: UsageStats,
-            snis: BTreeSet<String>,
+        // --- Certificate enrichment: index x509.log by fingerprint,
+        // interning each certificate once behind an `Arc` so chains share
+        // records instead of cloning them.
+        let cert_index = intern_certs(x509, threads);
+
+        // --- Group connections by delivered chain, resolve certificates,
+        // and classify — sharded by chain so every worker owns its chains'
+        // whole connection stream (accumulation order per chain matches
+        // the sequential fold exactly).
+        let (mut prepared, no_chain_records, unresolvable_records) =
+            self.accumulate(ssl, weights, &cert_index, threads);
+        prepared.sort_by(|a, b| a.key.cmp(&b.key));
+
+        // --- Pass 1: identify interception entities via CT
+        // cross-referencing over SNI-bearing observations. The paper
+        // confirmed candidates "through manual investigation"; the
+        // automatic proxy here is corroboration — an entity must be seen
+        // forging at least two distinct domains. One-off conflicts (e.g. a
+        // stale leaf for a renamed host preceding a valid chain) stay out.
+        let interception_entities = self.find_entities(&prepared, threads);
+
+        // --- Pass 2: categorize every chain and run structure analysis.
+        // The effective registry is resolved once, outside the per-chain
+        // work.
+        let empty_registry = CrossSignRegistry::new();
+        let registry = if self.options.honor_cross_signing {
+            &self.crosssign
+        } else {
+            &empty_registry
+        };
+        let (chains, distinct) =
+            self.analyze_chains(prepared, &interception_entities, registry, threads);
+        let index = chains
+            .iter()
+            .enumerate()
+            .map(|(i, chain)| (chain.key.clone(), i))
+            .collect();
+
+        Analysis {
+            chains,
+            index,
+            no_chain_records,
+            unresolvable_records,
+            distinct_certificates: distinct.len(),
+            interception_entities,
         }
+    }
+
+    /// Stage 1/2: fold ssl records into per-chain accumulators and build
+    /// the classified [`Prepared`] vector (unsorted). With several
+    /// workers, chains are sharded by [`shard_of`]; each worker scans the
+    /// whole record stream in order and folds only its own shard's
+    /// records, so per-chain f64 accumulation order is identical to the
+    /// sequential fold. Returns `(prepared, no_chain, unresolvable)`.
+    fn accumulate(
+        &self,
+        ssl: &[SslRecord],
+        weights: Option<&[f64]>,
+        cert_index: &HashMap<Fingerprint, Arc<CertRecord>>,
+        threads: usize,
+    ) -> (Vec<Prepared>, u64, u64) {
+        let shards = threads.max(1);
+        if shards == 1 {
+            return self.accumulate_shard(ssl, weights, cert_index, 0, 1);
+        }
+        let results: Vec<(Vec<Prepared>, u64, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        self.accumulate_shard(ssl, weights, cert_index, shard, shards)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("accumulation worker panicked"))
+                .collect()
+        });
+        let mut prepared = Vec::with_capacity(results.iter().map(|(p, _, _)| p.len()).sum());
+        let mut no_chain = 0u64;
+        let mut unresolvable = 0u64;
+        for (part, nc, ur) in results {
+            prepared.extend(part);
+            no_chain += nc;
+            unresolvable += ur;
+        }
+        (prepared, no_chain, unresolvable)
+    }
+
+    /// One shard's share of [`Pipeline::accumulate`]. Records without a
+    /// chain have no shard; shard 0 counts them.
+    fn accumulate_shard(
+        &self,
+        ssl: &[SslRecord],
+        weights: Option<&[f64]>,
+        cert_index: &HashMap<Fingerprint, Arc<CertRecord>>,
+        shard: usize,
+        shards: usize,
+    ) -> (Vec<Prepared>, u64, u64) {
         let mut accums: HashMap<ChainKey, ChainAccum> = HashMap::new();
-        let mut no_chain_records = 0u64;
-        let mut unresolvable_records = 0u64;
+        let mut no_chain = 0u64;
+        let mut unresolvable = 0u64;
         for (i, rec) in ssl.iter().enumerate() {
             if rec.cert_chain_fps.is_empty() {
-                no_chain_records += 1;
+                if shard == 0 {
+                    no_chain += 1;
+                }
+                continue;
+            }
+            if shards > 1 && shard_of(&rec.cert_chain_fps, shards) != shard {
                 continue;
             }
             if !rec
@@ -181,15 +312,18 @@ impl<'a> Pipeline<'a> {
                 .iter()
                 .all(|fp| cert_index.contains_key(fp))
             {
-                unresolvable_records += 1;
+                unresolvable += 1;
                 continue;
             }
             let weight = weights.map(|w| w[i]).unwrap_or(1.0);
-            let key = ChainKey(rec.cert_chain_fps.clone());
-            let entry = accums.entry(key).or_insert_with(|| ChainAccum {
-                usage: UsageStats::default(),
-                snis: BTreeSet::new(),
-            });
+            // Probe with the borrowed fingerprint slice first; a `ChainKey`
+            // is only allocated the first time a chain is seen.
+            if !accums.contains_key(rec.cert_chain_fps.as_slice()) {
+                accums.insert(ChainKey(rec.cert_chain_fps.clone()), ChainAccum::default());
+            }
+            let entry = accums
+                .get_mut(rec.cert_chain_fps.as_slice())
+                .expect("present or just inserted");
             entry.usage.add(
                 rec.established,
                 rec.server_name.is_some(),
@@ -201,23 +335,11 @@ impl<'a> Pipeline<'a> {
                 entry.snis.insert(sni.clone());
             }
         }
-
-        // --- Resolve certificates and classify, chain by chain.
-        struct Prepared {
-            key: ChainKey,
-            certs: Vec<CertRecord>,
-            classes: Vec<CertClass>,
-            snis: BTreeSet<String>,
-            usage: UsageStats,
-        }
-        let mut prepared: Vec<Prepared> = accums
+        let prepared = accums
             .into_iter()
             .map(|(key, accum)| {
-                let certs: Vec<CertRecord> = key
-                    .0
-                    .iter()
-                    .map(|fp| cert_index[fp].clone())
-                    .collect();
+                let certs: Vec<Arc<CertRecord>> =
+                    key.0.iter().map(|fp| Arc::clone(&cert_index[fp])).collect();
                 let classes: Vec<CertClass> =
                     certs.iter().map(|c| classify(c, self.trust)).collect();
                 Prepared {
@@ -229,126 +351,232 @@ impl<'a> Pipeline<'a> {
                 }
             })
             .collect();
-        prepared.sort_by(|a, b| a.key.cmp(&b.key));
+        (prepared, no_chain, unresolvable)
+    }
 
-        // --- Pass 1: identify interception entities via CT
-        // cross-referencing over SNI-bearing observations. The paper
-        // confirmed candidates "through manual investigation"; the
-        // automatic proxy here is corroboration — an entity must be seen
-        // forging at least two distinct domains. One-off conflicts (e.g. a
-        // stale leaf for a renamed host preceding a valid chain) stay out.
-        let mut candidate_domains: HashMap<String, BTreeSet<&str>> = HashMap::new();
-        for p in &prepared {
+    /// Pass-1 kernel: candidate entity → forged-domain set over `part`.
+    fn scan_entities<'p>(&self, part: &'p [Prepared]) -> HashMap<String, BTreeSet<&'p str>> {
+        let mut candidates: HashMap<String, BTreeSet<&'p str>> = HashMap::new();
+        for p in part {
             for sni in &p.snis {
                 if detect(&p.certs, Some(sni), self.trust, self.ct)
                     == InterceptionVerdict::LikelyIntercepted
                 {
-                    candidate_domains
+                    candidates
                         .entry(issuer_entity(&p.certs[0].issuer))
                         .or_default()
                         .insert(sni.as_str());
                 }
             }
         }
-        let interception_entities: BTreeSet<String> = candidate_domains
+        candidates
+    }
+
+    /// Pass 1 over the sorted chains: confirmed interception entities.
+    fn find_entities(&self, prepared: &[Prepared], threads: usize) -> BTreeSet<String> {
+        let candidate_domains = if threads <= 1 || prepared.len() < 2 {
+            self.scan_entities(prepared)
+        } else {
+            let chunk = prepared.len().div_ceil(threads);
+            let maps: Vec<HashMap<String, BTreeSet<&str>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = prepared
+                    .chunks(chunk)
+                    .map(|part| scope.spawn(|| self.scan_entities(part)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pass-1 worker panicked"))
+                    .collect()
+            });
+            // Entity → domain-set union is order-insensitive.
+            let mut merged: HashMap<String, BTreeSet<&str>> = HashMap::new();
+            for map in maps {
+                for (entity, domains) in map {
+                    merged.entry(entity).or_default().extend(domains);
+                }
+            }
+            merged
+        };
+        candidate_domains
             .into_iter()
             .filter_map(|(entity, domains)| {
                 (domains.len() >= self.options.confirmation_min_domains).then_some(entity)
             })
-            .collect();
+            .collect()
+    }
 
-        // --- Pass 2: categorize every chain and run structure analysis.
-        let mut chains = Vec::with_capacity(prepared.len());
-        let mut index = HashMap::with_capacity(prepared.len());
-        let mut distinct: BTreeSet<Fingerprint> = BTreeSet::new();
-        for p in prepared {
-            distinct.extend(p.key.0.iter().copied());
-            let any_public = p
-                .classes
-                .iter()
-                .any(|&c| c == CertClass::PublicDbIssued);
-            let all_public = p
-                .classes
-                .iter()
-                .all(|&c| c == CertClass::PublicDbIssued);
-            let entity_hit = p
-                .certs
-                .iter()
-                .map(|c| issuer_entity(&c.issuer))
-                .find(|e| interception_entities.contains(e));
-            let category = if let Some(_e) = &entity_hit {
-                ChainCategoryLabel::Interception
-            } else if all_public {
-                ChainCategoryLabel::PublicOnly
-            } else if any_public {
-                ChainCategoryLabel::Hybrid
-            } else {
-                ChainCategoryLabel::NonPublicOnly
-            };
-            let registry: &CrossSignRegistry = if self.options.honor_cross_signing {
-                &self.crosssign
-            } else {
-                static EMPTY: std::sync::OnceLock<CrossSignRegistry> = std::sync::OnceLock::new();
-                EMPTY.get_or_init(CrossSignRegistry::new)
-            };
-            let path = matchpath::analyze(&p.certs, registry);
-            let hybrid_category = (category == ChainCategoryLabel::Hybrid)
-                .then(|| hybrid::categorize(&p.certs, &p.classes, &path));
-            let pub_leaf_no_intermediate = category == ChainCategoryLabel::Hybrid
-                && matches!(hybrid_category, Some(HybridCategory::NoPath(_)))
-                && hybrid::has_public_leaf_without_intermediate(&p.certs, &p.classes);
-            let leaf_ct_logged = match hybrid_category {
-                Some(HybridCategory::CompleteNonPubToPub) => {
-                    Some(self.ct.contains_fingerprint(&p.certs[0].fingerprint))
-                }
-                _ => None,
-            };
-            let is_dga =
-                category == ChainCategoryLabel::NonPublicOnly && is_dga_chain(&p.certs);
-
-            let idx = chains.len();
-            index.insert(p.key.clone(), idx);
-            chains.push(ChainAnalysis {
-                key: p.key,
-                certs: p.certs,
-                classes: p.classes,
-                category,
-                path,
-                hybrid_category,
-                pub_leaf_no_intermediate,
-                is_dga,
-                leaf_ct_logged,
-                interception_entity: entity_hit,
-                snis: p.snis,
-                usage: p.usage,
-            });
+    /// Pass 2: per-chain categorization and structure analysis, in
+    /// parallel over contiguous chunks of the sorted `prepared` vector.
+    /// Chunks concatenate back in order, so the output sequence equals the
+    /// sequential one.
+    fn analyze_chains(
+        &self,
+        prepared: Vec<Prepared>,
+        entities: &BTreeSet<String>,
+        registry: &CrossSignRegistry,
+        threads: usize,
+    ) -> (Vec<ChainAnalysis>, BTreeSet<Fingerprint>) {
+        let total = prepared.len();
+        let analyze_part = |part: Vec<Prepared>| {
+            let mut chains = Vec::with_capacity(part.len());
+            let mut distinct: BTreeSet<Fingerprint> = BTreeSet::new();
+            for p in part {
+                distinct.extend(p.key.0.iter().copied());
+                chains.push(self.analyze_one(p, entities, registry));
+            }
+            (chains, distinct)
+        };
+        if threads <= 1 || total < 2 {
+            return analyze_part(prepared);
         }
+        let chunk_size = total.div_ceil(threads);
+        let mut parts: Vec<Vec<Prepared>> = Vec::with_capacity(threads);
+        let mut rest = prepared;
+        while rest.len() > chunk_size {
+            let tail = rest.split_off(chunk_size);
+            parts.push(std::mem::replace(&mut rest, tail));
+        }
+        parts.push(rest);
+        let results: Vec<(Vec<ChainAnalysis>, BTreeSet<Fingerprint>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = parts
+                    .into_iter()
+                    .map(|part| scope.spawn(|| analyze_part(part)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pass-2 worker panicked"))
+                    .collect()
+            });
+        let mut chains = Vec::with_capacity(total);
+        let mut distinct = BTreeSet::new();
+        for (part, part_distinct) in results {
+            chains.extend(part);
+            distinct.extend(part_distinct);
+        }
+        (chains, distinct)
+    }
 
-        Analysis {
-            chains,
-            index,
-            no_chain_records,
-            unresolvable_records,
-            distinct_certificates: distinct.len(),
-            interception_entities,
+    /// The per-chain body of pass 2.
+    fn analyze_one(
+        &self,
+        p: Prepared,
+        entities: &BTreeSet<String>,
+        registry: &CrossSignRegistry,
+    ) -> ChainAnalysis {
+        let any_public = p.classes.contains(&CertClass::PublicDbIssued);
+        let all_public = p.classes.iter().all(|&c| c == CertClass::PublicDbIssued);
+        let entity_hit = p
+            .certs
+            .iter()
+            .map(|c| issuer_entity(&c.issuer))
+            .find(|e| entities.contains(e));
+        let category = if entity_hit.is_some() {
+            ChainCategoryLabel::Interception
+        } else if all_public {
+            ChainCategoryLabel::PublicOnly
+        } else if any_public {
+            ChainCategoryLabel::Hybrid
+        } else {
+            ChainCategoryLabel::NonPublicOnly
+        };
+        let path = matchpath::analyze(&p.certs, registry);
+        let hybrid_category = (category == ChainCategoryLabel::Hybrid)
+            .then(|| hybrid::categorize(&p.certs, &p.classes, &path));
+        let pub_leaf_no_intermediate = category == ChainCategoryLabel::Hybrid
+            && matches!(hybrid_category, Some(HybridCategory::NoPath(_)))
+            && hybrid::has_public_leaf_without_intermediate(&p.certs, &p.classes);
+        let leaf_ct_logged = match hybrid_category {
+            Some(HybridCategory::CompleteNonPubToPub) => {
+                Some(self.ct.contains_fingerprint(&p.certs[0].fingerprint))
+            }
+            _ => None,
+        };
+        let is_dga = category == ChainCategoryLabel::NonPublicOnly && is_dga_chain(&p.certs);
+        ChainAnalysis {
+            key: p.key,
+            certs: p.certs,
+            classes: p.classes,
+            category,
+            path,
+            hybrid_category,
+            pub_leaf_no_intermediate,
+            is_dga,
+            leaf_ct_logged,
+            interception_entity: entity_hit,
+            snis: p.snis,
+            usage: p.usage,
         }
     }
 }
 
+/// Per-chain connection accumulator (stage 1).
+#[derive(Default)]
+struct ChainAccum {
+    usage: UsageStats,
+    snis: BTreeSet<String>,
+}
+
+/// A chain with resolved certificates and classes, before pass 2.
+struct Prepared {
+    key: ChainKey,
+    certs: Vec<Arc<CertRecord>>,
+    classes: Vec<CertClass>,
+    snis: BTreeSet<String>,
+    usage: UsageStats,
+}
+
+/// Build the fingerprint → interned certificate index. First occurrence
+/// in `x509` wins, matching the sequential fold: per-worker chunks stay
+/// in input order and merge in chunk order.
+fn intern_certs(x509: &[X509Record], threads: usize) -> HashMap<Fingerprint, Arc<CertRecord>> {
+    let mut cert_index: HashMap<Fingerprint, Arc<CertRecord>> = HashMap::with_capacity(x509.len());
+    if threads <= 1 || x509.len() < 2 {
+        for rec in x509 {
+            if let Some(cert) = CertRecord::from_record(rec) {
+                cert_index
+                    .entry(rec.fingerprint)
+                    .or_insert_with(|| Arc::new(cert));
+            }
+        }
+        return cert_index;
+    }
+    let chunk = x509.len().div_ceil(threads);
+    let parsed: Vec<Vec<(Fingerprint, Arc<CertRecord>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = x509
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    part.iter()
+                        .filter_map(|rec| {
+                            CertRecord::from_record(rec)
+                                .map(|cert| (rec.fingerprint, Arc::new(cert)))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("intern worker panicked"))
+            .collect()
+    });
+    for part in parsed {
+        for (fp, cert) in part {
+            cert_index.entry(fp).or_insert(cert);
+        }
+    }
+    cert_index
+}
+
 impl Analysis {
     /// Chains of one category.
-    pub fn chains_in(
-        &self,
-        category: ChainCategoryLabel,
-    ) -> impl Iterator<Item = &ChainAnalysis> {
+    pub fn chains_in(&self, category: ChainCategoryLabel) -> impl Iterator<Item = &ChainAnalysis> {
         self.chains.iter().filter(move |c| c.category == category)
     }
 
     /// Weighted usage aggregate over a chain subset.
-    pub fn usage_of(
-        &self,
-        mut pred: impl FnMut(&ChainAnalysis) -> bool,
-    ) -> UsageStats {
+    pub fn usage_of(&self, mut pred: impl FnMut(&ChainAnalysis) -> bool) -> UsageStats {
         let mut out = UsageStats::default();
         for chain in self.chains.iter().filter(|c| pred(c)) {
             out.merge(&chain.usage);
@@ -383,9 +611,7 @@ mod tests {
     #[test]
     fn hybrid_count_is_exactly_321() {
         let (_trace, analysis) = analysis();
-        let hybrid = analysis
-            .chains_in(ChainCategoryLabel::Hybrid)
-            .count();
+        let hybrid = analysis.chains_in(ChainCategoryLabel::Hybrid).count();
         assert_eq!(hybrid, 321);
     }
 
@@ -464,9 +690,7 @@ mod tests {
             analysis.interception_entities.len()
         );
         // And interception chains should be a large population.
-        let interception = analysis
-            .chains_in(ChainCategoryLabel::Interception)
-            .count();
+        let interception = analysis.chains_in(ChainCategoryLabel::Interception).count();
         let truth_interception = trace
             .servers
             .iter()
@@ -559,7 +783,10 @@ mod tests {
             }
         }
         let accuracy = agree as f64 / total as f64;
-        assert!(accuracy > 0.97, "pipeline/ground-truth agreement = {accuracy}");
+        assert!(
+            accuracy > 0.97,
+            "pipeline/ground-truth agreement = {accuracy}"
+        );
     }
 
     #[test]

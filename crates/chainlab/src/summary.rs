@@ -2,13 +2,13 @@
 //! surface (`certchain analyze --json`).
 
 use crate::hybrid::{HybridCategory, NoPathCategory};
+use crate::json::{JsonError, JsonValue};
 use crate::matchpath::{path_verdict_leaf_agnostic, PathVerdict};
 use crate::pipeline::{Analysis, ChainCategoryLabel};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Usage numbers for one group of chains.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GroupSummary {
     /// Distinct chains.
     pub chains: u64,
@@ -24,7 +24,7 @@ pub struct GroupSummary {
 
 /// Path statistics for multi-certificate chains of one category
 /// (the Table 8 shape).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PathSummary {
     /// Multi-certificate chains that are one matched path.
     pub is_matched: u64,
@@ -39,7 +39,7 @@ pub struct PathSummary {
 }
 
 /// The complete machine-readable summary.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AnalysisSummary {
     /// Per-category usage (`public`, `non_public`, `hybrid`,
     /// `interception`).
@@ -158,13 +158,193 @@ impl AnalysisSummary {
 
     /// Serialize as pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("summary serializes")
+        self.to_value().to_pretty()
     }
 
     /// Parse back from JSON.
-    pub fn from_json(text: &str) -> Result<AnalysisSummary, serde_json::Error> {
-        serde_json::from_str(text)
+    pub fn from_json(text: &str) -> Result<AnalysisSummary, JsonError> {
+        AnalysisSummary::from_value(&crate::json::parse(text)?)
     }
+
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            (
+                "categories".into(),
+                JsonValue::Obj(
+                    self.categories
+                        .iter()
+                        .map(|(k, g)| (k.clone(), g.to_value()))
+                        .collect(),
+                ),
+            ),
+            (
+                "hybrid_taxonomy".into(),
+                JsonValue::Obj(
+                    self.hybrid_taxonomy
+                        .iter()
+                        .map(|(k, &n)| (k.clone(), JsonValue::Num(n as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "pub_leaf_no_intermediate".into(),
+                JsonValue::Num(self.pub_leaf_no_intermediate as f64),
+            ),
+            ("non_public_paths".into(), self.non_public_paths.to_value()),
+            (
+                "interception_paths".into(),
+                self.interception_paths.to_value(),
+            ),
+            (
+                "interception_entities".into(),
+                JsonValue::Arr(
+                    self.interception_entities
+                        .iter()
+                        .map(|e| JsonValue::Str(e.clone()))
+                        .collect(),
+                ),
+            ),
+            ("dga_chains".into(), JsonValue::Num(self.dga_chains as f64)),
+            (
+                "ct_logged".into(),
+                JsonValue::Arr(vec![
+                    JsonValue::Num(self.ct_logged.0 as f64),
+                    JsonValue::Num(self.ct_logged.1 as f64),
+                ]),
+            ),
+            (
+                "no_chain_records".into(),
+                JsonValue::Num(self.no_chain_records as f64),
+            ),
+            (
+                "unresolvable_records".into(),
+                JsonValue::Num(self.unresolvable_records as f64),
+            ),
+        ])
+    }
+
+    fn from_value(v: &JsonValue) -> Result<AnalysisSummary, JsonError> {
+        let ct = req(v, "ct_logged")?
+            .as_arr()
+            .filter(|a| a.len() == 2)
+            .ok_or_else(|| shape("`ct_logged` must be a two-element array"))?;
+        Ok(AnalysisSummary {
+            categories: req(v, "categories")?
+                .as_obj()
+                .ok_or_else(|| shape("`categories` must be an object"))?
+                .iter()
+                .map(|(k, g)| Ok((k.clone(), GroupSummary::from_value(g)?)))
+                .collect::<Result<_, JsonError>>()?,
+            hybrid_taxonomy: req(v, "hybrid_taxonomy")?
+                .as_obj()
+                .ok_or_else(|| shape("`hybrid_taxonomy` must be an object"))?
+                .iter()
+                .map(|(k, n)| Ok((k.clone(), as_count(n, k)?)))
+                .collect::<Result<_, JsonError>>()?,
+            pub_leaf_no_intermediate: count_field(v, "pub_leaf_no_intermediate")?,
+            non_public_paths: PathSummary::from_value(req(v, "non_public_paths")?)?,
+            interception_paths: PathSummary::from_value(req(v, "interception_paths")?)?,
+            interception_entities: req(v, "interception_entities")?
+                .as_arr()
+                .ok_or_else(|| shape("`interception_entities` must be an array"))?
+                .iter()
+                .map(|e| {
+                    e.as_str()
+                        .map(String::from)
+                        .ok_or_else(|| shape("entity must be a string"))
+                })
+                .collect::<Result<_, JsonError>>()?,
+            dga_chains: count_field(v, "dga_chains")?,
+            ct_logged: (
+                as_count(&ct[0], "ct_logged")?,
+                as_count(&ct[1], "ct_logged")?,
+            ),
+            no_chain_records: count_field(v, "no_chain_records")?,
+            unresolvable_records: count_field(v, "unresolvable_records")?,
+        })
+    }
+}
+
+impl GroupSummary {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("chains".into(), JsonValue::Num(self.chains as f64)),
+            ("connections".into(), JsonValue::Num(self.connections)),
+            (
+                "established_rate".into(),
+                JsonValue::Num(self.established_rate),
+            ),
+            ("no_sni_rate".into(), JsonValue::Num(self.no_sni_rate)),
+            ("client_ips".into(), JsonValue::Num(self.client_ips as f64)),
+        ])
+    }
+
+    fn from_value(v: &JsonValue) -> Result<GroupSummary, JsonError> {
+        Ok(GroupSummary {
+            chains: count_field(v, "chains")?,
+            connections: num_field(v, "connections")?,
+            established_rate: num_field(v, "established_rate")?,
+            no_sni_rate: num_field(v, "no_sni_rate")?,
+            client_ips: count_field(v, "client_ips")?,
+        })
+    }
+}
+
+impl PathSummary {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("is_matched".into(), JsonValue::Num(self.is_matched as f64)),
+            (
+                "contains_matched".into(),
+                JsonValue::Num(self.contains_matched as f64),
+            ),
+            ("no_match".into(), JsonValue::Num(self.no_match as f64)),
+            ("single".into(), JsonValue::Num(self.single as f64)),
+            (
+                "single_self_signed".into(),
+                JsonValue::Num(self.single_self_signed as f64),
+            ),
+        ])
+    }
+
+    fn from_value(v: &JsonValue) -> Result<PathSummary, JsonError> {
+        Ok(PathSummary {
+            is_matched: count_field(v, "is_matched")?,
+            contains_matched: count_field(v, "contains_matched")?,
+            no_match: count_field(v, "no_match")?,
+            single: count_field(v, "single")?,
+            single_self_signed: count_field(v, "single_self_signed")?,
+        })
+    }
+}
+
+/// Structural (non-syntax) decode error; offset 0 because the value tree
+/// no longer tracks source positions.
+fn shape(message: impl Into<String>) -> JsonError {
+    JsonError {
+        offset: 0,
+        message: message.into(),
+    }
+}
+
+fn req<'v>(v: &'v JsonValue, key: &str) -> Result<&'v JsonValue, JsonError> {
+    v.get(key)
+        .ok_or_else(|| shape(format!("missing field `{key}`")))
+}
+
+fn as_count(v: &JsonValue, key: &str) -> Result<u64, JsonError> {
+    v.as_u64()
+        .ok_or_else(|| shape(format!("`{key}` must be a non-negative integer")))
+}
+
+fn count_field(v: &JsonValue, key: &str) -> Result<u64, JsonError> {
+    as_count(req(v, key)?, key)
+}
+
+fn num_field(v: &JsonValue, key: &str) -> Result<f64, JsonError> {
+    req(v, key)?
+        .as_f64()
+        .ok_or_else(|| shape(format!("`{key}` must be a number")))
 }
 
 #[cfg(test)]

@@ -3,42 +3,67 @@
 
 use crate::dataset::{load_crosssign, load_ct_index, load_trust};
 use crate::{io_ctx, CliError, CliResult};
+use certchain_chainlab::PipelineOptions;
 use certchain_chainlab::{Analysis, ChainCategoryLabel, CrossSignRegistry, Pipeline};
-use certchain_netsim::zeek::reader::{read_ssl_log, read_x509_log};
+use certchain_netsim::zeek::reader::{read_ssl_log_with, read_x509_log_with};
 use certchain_report::table::{num, pct};
 use certchain_report::Table;
 use std::path::Path;
 
 /// Analyze `<dir>/ssl.log` + `<dir>/x509.log` against the trust material
-/// and CT corpus in the same directory. Returns the rendered report.
+/// and CT corpus in the same directory, using all available cores.
+/// Returns the rendered report.
 pub fn analyze(dir: &Path) -> CliResult<String> {
-    let (analysis, _trust) = run_pipeline(dir)?;
+    analyze_with(dir, 0)
+}
+
+/// Like [`analyze`], on `threads` worker threads (`0` = available
+/// parallelism). The report is identical for every thread count.
+pub fn analyze_with(dir: &Path, threads: usize) -> CliResult<String> {
+    let (analysis, _trust) = run_pipeline_with(dir, threads)?;
     Ok(render(&analysis))
 }
 
 /// Like [`analyze`], but emit the machine-readable JSON summary.
 pub fn analyze_json(dir: &Path) -> CliResult<String> {
-    let (analysis, _trust) = run_pipeline(dir)?;
+    analyze_json_with(dir, 0)
+}
+
+/// Like [`analyze_json`], on `threads` worker threads.
+pub fn analyze_json_with(dir: &Path, threads: usize) -> CliResult<String> {
+    let (analysis, _trust) = run_pipeline_with(dir, threads)?;
     let mut json = certchain_chainlab::AnalysisSummary::from_analysis(&analysis).to_json();
     json.push('\n');
     Ok(json)
 }
 
 /// Run the pipeline and return the raw analysis (used by tests).
-pub fn run_pipeline(
+pub fn run_pipeline(dir: &Path) -> CliResult<(Analysis, certchain_trust::TrustDb)> {
+    run_pipeline_with(dir, 0)
+}
+
+/// [`run_pipeline`] with an explicit worker-thread count, applied to both
+/// the log parse and the analysis stages.
+pub fn run_pipeline_with(
     dir: &Path,
+    threads: usize,
 ) -> CliResult<(Analysis, certchain_trust::TrustDb)> {
     let ssl_text = std::fs::read_to_string(dir.join("ssl.log"))
         .map_err(io_ctx(format!("reading {}/ssl.log", dir.display())))?;
     let x509_text = std::fs::read_to_string(dir.join("x509.log"))
         .map_err(io_ctx(format!("reading {}/x509.log", dir.display())))?;
-    let ssl = read_ssl_log(&ssl_text).map_err(|e| CliError::Invalid(format!("ssl.log: {e}")))?;
-    let x509 =
-        read_x509_log(&x509_text).map_err(|e| CliError::Invalid(format!("x509.log: {e}")))?;
+    let ssl = read_ssl_log_with(&ssl_text, threads)
+        .map_err(|e| CliError::Invalid(format!("ssl.log: {e}")))?;
+    let x509 = read_x509_log_with(&x509_text, threads)
+        .map_err(|e| CliError::Invalid(format!("x509.log: {e}")))?;
     let trust = load_trust(dir)?;
     let ct = load_ct_index(dir)?;
     let crosssign = CrossSignRegistry::from_disclosures(&load_crosssign(dir)?);
-    let pipeline = Pipeline::new(&trust, &ct, crosssign);
+    let options = PipelineOptions {
+        threads,
+        ..PipelineOptions::default()
+    };
+    let pipeline = Pipeline::with_options(&trust, &ct, crosssign, options);
     let analysis = pipeline.analyze(&ssl, &x509, None);
     Ok((analysis, trust))
 }
@@ -47,7 +72,13 @@ fn render(analysis: &Analysis) -> String {
     let mut out = String::new();
     let mut census = Table::new(
         "Chain census",
-        &["Category", "#. Chains", "Connections", "Established", "No-SNI"],
+        &[
+            "Category",
+            "#. Chains",
+            "Connections",
+            "Established",
+            "No-SNI",
+        ],
     );
     for (name, cat) in [
         ("Public-DB-only", ChainCategoryLabel::PublicOnly),

@@ -1,8 +1,8 @@
 //! The `certchain` command-line tool.
 //!
 //! ```text
-//! certchain generate --out <dir> [--profile quick|default] [--seed N]
-//! certchain analyze  --dir <dir>
+//! certchain generate --out <dir> [--profile quick|default] [--seed N] [--threads N]
+//! certchain analyze  --dir <dir> [--threads N]
 //! certchain validate <chain.pem> [--dir <dataset dir with trust/>]
 //! ```
 
@@ -15,11 +15,13 @@ const USAGE: &str = "\
 certchain — certificate-chain structure and usage analysis
 
 USAGE:
-  certchain generate --out <dir> [--profile quick|default] [--seed N]
+  certchain generate --out <dir> [--profile quick|default] [--seed N] [--threads N]
       Generate a synthetic campus dataset (Zeek logs + trust PEMs + CT corpus).
-  certchain analyze --dir <dir> [--json]
+  certchain analyze --dir <dir> [--json] [--threads N]
       Analyze <dir>/ssl.log and <dir>/x509.log against <dir>/trust and
       <dir>/ct; --json emits the machine-readable summary.
+      --threads sets the worker-thread count for both commands (default:
+      all cores); the output is identical for every value.
   certchain validate <chain.pem> [--dir <dataset dir>]
       Run the issuer-subject and key-signature validators over a PEM chain;
       with --dir, also compare browser vs strict validation policies.
@@ -58,25 +60,25 @@ fn run(args: &[String]) -> CliResult<String> {
             let mut profile = match flag_value(args, "--profile")?.as_deref() {
                 Some("quick") => CampusProfile::quick(),
                 Some("default") | None => CampusProfile::default(),
-                Some(other) => {
-                    return Err(CliError::Invalid(format!("unknown profile {other:?}")))
-                }
+                Some(other) => return Err(CliError::Invalid(format!("unknown profile {other:?}"))),
             };
             if let Some(seed) = flag_value(args, "--seed")? {
                 profile.seed = seed
                     .parse()
                     .map_err(|_| CliError::Invalid(format!("bad seed {seed:?}")))?;
             }
-            let summary = generate::generate(&PathBuf::from(out), profile)?;
+            let threads = parse_threads(args)?;
+            let summary = generate::generate_with(&PathBuf::from(out), profile, threads)?;
             Ok(format!("{summary}\n"))
         }
         "analyze" => {
             let dir = flag_value(args, "--dir")?
                 .ok_or_else(|| CliError::Invalid("analyze requires --dir <dir>".into()))?;
+            let threads = parse_threads(args)?;
             if args.iter().any(|a| a == "--json") {
-                analyze::analyze_json(&PathBuf::from(dir))
+                analyze::analyze_json_with(&PathBuf::from(dir), threads)
             } else {
-                analyze::analyze(&PathBuf::from(dir))
+                analyze::analyze_with(&PathBuf::from(dir), threads)
             }
         }
         "validate" => {
@@ -118,8 +120,18 @@ fn parse_date(s: &str) -> CliResult<certchain_asn1::Asn1Time> {
         .iter()
         .map(|p| p.parse().map_err(|_| bad()))
         .collect::<CliResult<_>>()?;
-    certchain_asn1::Asn1Time::from_ymd_hms(nums[0], nums[1], nums[2], 0, 0, 0)
-        .map_err(|_| bad())
+    certchain_asn1::Asn1Time::from_ymd_hms(nums[0], nums[1], nums[2], 0, 0, 0).map_err(|_| bad())
+}
+
+/// `--threads N` extraction: absent → 0 (all cores).
+fn parse_threads(args: &[String]) -> CliResult<usize> {
+    use certchain_cli::CliError;
+    match flag_value(args, "--threads")? {
+        None => Ok(0),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Invalid(format!("bad thread count {v:?}"))),
+    }
 }
 
 /// `--flag value` extraction.

@@ -28,8 +28,8 @@ pub fn read_pem_dir(dir: &Path) -> CliResult<Vec<Arc<Certificate>>> {
         .collect();
     paths.sort();
     for path in paths {
-        let text =
-            std::fs::read_to_string(&path).map_err(io_ctx(format!("reading {}", path.display())))?;
+        let text = std::fs::read_to_string(&path)
+            .map_err(io_ctx(format!("reading {}", path.display())))?;
         let blocks = pem::decode_all("CERTIFICATE", &text)
             .map_err(|e| CliError::Invalid(format!("{}: {e}", path.display())))?;
         for der in blocks {
@@ -92,7 +92,8 @@ pub fn load_crosssign(dir: &Path) -> CliResult<Vec<(DistinguishedName, Distingui
     if !path.is_file() {
         return Ok(Vec::new());
     }
-    let text = std::fs::read_to_string(&path).map_err(io_ctx(format!("reading {}", path.display())))?;
+    let text =
+        std::fs::read_to_string(&path).map_err(io_ctx(format!("reading {}", path.display())))?;
     let mut pairs = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.is_empty() || line.starts_with('#') {
@@ -119,7 +120,8 @@ mod tests {
     use certchain_x509::{CertificateBuilder, Validity};
 
     fn tempdir(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("certchain-cli-test-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("certchain-cli-test-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir

@@ -9,11 +9,18 @@ use std::collections::HashSet;
 use std::io::Write;
 use std::path::Path;
 
-/// Generate a trace with `profile` and write the full dataset to `out`.
+/// Generate a trace with `profile` and write the full dataset to `out`,
+/// using all available cores.
 ///
 /// Returns a short human-readable summary.
 pub fn generate(out: &Path, profile: CampusProfile) -> CliResult<String> {
-    let trace = CampusTrace::generate(profile);
+    generate_with(out, profile, 0)
+}
+
+/// Like [`generate`], on `threads` worker threads (`0` = available
+/// parallelism). The dataset is identical for every thread count.
+pub fn generate_with(out: &Path, profile: CampusProfile, threads: usize) -> CliResult<String> {
+    let trace = CampusTrace::generate_with(profile, threads);
     write_dataset(out, &trace)?;
     Ok(format!(
         "wrote {} connection records, {} certificates, {} servers to {}",
@@ -73,7 +80,11 @@ pub fn write_dataset(out: &Path, trace: &CampusTrace) -> CliResult<()> {
     // Cross-signing disclosures.
     let mut tsv = String::from("# subject<TAB>alternate issuer\n");
     for (subject, issuer) in &trace.cross_sign_disclosures {
-        tsv.push_str(&format!("{}\t{}\n", subject.to_rfc4514(), issuer.to_rfc4514()));
+        tsv.push_str(&format!(
+            "{}\t{}\n",
+            subject.to_rfc4514(),
+            issuer.to_rfc4514()
+        ));
     }
     std::fs::write(out.join("crosssign.tsv"), tsv).map_err(io_ctx("writing crosssign.tsv"))?;
 

@@ -6,7 +6,9 @@ use crate::{io_ctx, CliError, CliResult};
 use certchain_asn1::Asn1Time;
 use certchain_netsim::{validate_chain, ValidationPolicy};
 use certchain_scanner::sclient::{ScanResult, ScannedCert};
-use certchain_scanner::{validate_issuer_subject, validate_keysig, IssuerSubjectVerdict, KeysigVerdict};
+use certchain_scanner::{
+    validate_issuer_subject, validate_keysig, IssuerSubjectVerdict, KeysigVerdict,
+};
 use certchain_trust::TrustDb;
 use certchain_x509::{pem, Certificate};
 use std::path::Path;
@@ -76,7 +78,10 @@ pub fn validate(path: &Path, trust: Option<&TrustDb>, at: Option<Asn1Time>) -> C
             out.push('\n');
             for (name, policy) in [
                 ("browser (path building) ", ValidationPolicy::Browser),
-                ("strict (presented chain)", ValidationPolicy::StrictPresented),
+                (
+                    "strict (presented chain)",
+                    ValidationPolicy::StrictPresented,
+                ),
             ] {
                 match validate_chain(policy, &chain, trust, at, None) {
                     Ok(()) => out.push_str(&format!("{name}: VALID\n")),

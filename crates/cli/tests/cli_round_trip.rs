@@ -46,7 +46,7 @@ fn analyze_recovers_the_structure_from_disk() {
     assert_eq!(analysis.unresolvable_records, 0);
     assert_eq!(analysis.chains_in(ChainCategoryLabel::Hybrid).count(), 321);
     assert_eq!(analysis.interception_entities.len(), 80);
-    assert!(trust.ccadb().len() > 0);
+    assert!(!trust.ccadb().is_empty());
     // The rendered report mentions the census and hybrid taxonomy.
     let report = analyze::analyze(dir).unwrap();
     assert!(report.contains("Chain census"));

@@ -65,10 +65,7 @@ impl DomainIndex {
             cert,
         };
         for name in names {
-            self.by_domain
-                .entry(name)
-                .or_default()
-                .push(record.clone());
+            self.by_domain.entry(name).or_default().push(record.clone());
         }
     }
 

@@ -35,7 +35,11 @@ pub struct TreeHead {
 impl TreeHead {
     /// Verify the head's signature.
     pub fn verify(&self, log_pub: &PublicKey) -> bool {
-        verify(log_pub, &head_payload(self.tree_size, &self.root, self.timestamp), &self.signature)
+        verify(
+            log_pub,
+            &head_payload(self.tree_size, &self.root, self.timestamp),
+            &self.signature,
+        )
     }
 }
 

@@ -261,8 +261,8 @@ mod tests {
             vec![0x40, 0x41, 0x42, 0x43],
             vec![0x50, 0x51, 0x52, 0x53, 0x54, 0x55, 0x56, 0x57],
             vec![
-                0x60, 0x61, 0x62, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x6b, 0x6c,
-                0x6d, 0x6e, 0x6f,
+                0x60, 0x61, 0x62, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x6b, 0x6c, 0x6d,
+                0x6e, 0x6f,
             ],
         ]
     }
@@ -293,7 +293,12 @@ mod tests {
         ];
         for (i, input) in inputs.iter().enumerate() {
             tree.push(input);
-            assert_eq!(hex(&tree.root()), expected[i], "root after {} leaves", i + 1);
+            assert_eq!(
+                hex(&tree.root()),
+                expected[i],
+                "root after {} leaves",
+                i + 1
+            );
         }
     }
 

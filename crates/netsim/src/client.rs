@@ -71,7 +71,10 @@ mod tests {
 
     #[test]
     fn profiles() {
-        assert_eq!(ClientPolicy::browser().validation, ValidationPolicy::Browser);
+        assert_eq!(
+            ClientPolicy::browser().validation,
+            ValidationPolicy::Browser
+        );
         assert!(ClientPolicy::browser().sends_sni);
         assert_eq!(
             ClientPolicy::strict().validation,

@@ -133,7 +133,6 @@ mod tests {
     use certchain_cryptosim::KeyPair;
     use certchain_x509::{CertificateBuilder, DistinguishedName, Validity};
     use std::net::Ipv4Addr;
-    use std::sync::Arc;
 
     fn at() -> Asn1Time {
         Asn1Time::from_ymd_hms(2020, 10, 1, 8, 0, 0).unwrap()
@@ -163,7 +162,10 @@ mod tests {
     #[test]
     fn permissive_client_establishes_to_self_signed() {
         let server = self_signed_server();
-        let client = Client::new(Ipv4Addr::new(128, 143, 5, 5), ClientPolicy::permissive_no_sni());
+        let client = Client::new(
+            Ipv4Addr::new(128, 143, 5, 5),
+            ClientPolicy::permissive_no_sni(),
+        );
         let trust = TrustDb::new();
         let out = simulate_connection(1, at(), &client, &server, &trust, TlsVersion::Tls12);
         assert!(out.ssl.established);

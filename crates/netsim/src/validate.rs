@@ -146,7 +146,10 @@ fn validate_browser(
     // name; otherwise every presented certificate (headless clients without
     // SNI accept whichever entity certificate the path building succeeds on).
     let mut candidates: Vec<&Arc<Certificate>> = match sni {
-        Some(name) => chain.iter().filter(|c| cert_matches_name(c, name)).collect(),
+        Some(name) => chain
+            .iter()
+            .filter(|c| cert_matches_name(c, name))
+            .collect(),
         None => chain.iter().collect(),
     };
     if candidates.is_empty() {
@@ -367,11 +370,7 @@ mod tests {
     #[test]
     fn chain_with_root_included_passes_both() {
         let p = pki();
-        let chain = vec![
-            Arc::clone(&p.leaf),
-            Arc::clone(&p.ica),
-            Arc::clone(&p.root),
-        ];
+        let chain = vec![Arc::clone(&p.leaf), Arc::clone(&p.ica), Arc::clone(&p.root)];
         for policy in [ValidationPolicy::Browser, ValidationPolicy::StrictPresented] {
             validate_chain(policy, &chain, &p.trust, at(), Some("www.example.org")).unwrap();
         }
@@ -447,8 +446,14 @@ mod tests {
     fn out_of_order_chain_browser_only() {
         let p = pki();
         let chain = vec![Arc::clone(&p.ica), Arc::clone(&p.leaf)];
-        validate_chain(ValidationPolicy::Browser, &chain, &p.trust, at(), Some("www.example.org"))
-            .unwrap();
+        validate_chain(
+            ValidationPolicy::Browser,
+            &chain,
+            &p.trust,
+            at(),
+            Some("www.example.org"),
+        )
+        .unwrap();
         assert!(validate_chain(
             ValidationPolicy::StrictPresented,
             &chain,
@@ -483,9 +488,7 @@ mod tests {
             .sign(&kp)
             .into_arc();
         let chain = vec![cert];
-        assert!(
-            validate_chain(ValidationPolicy::Browser, &chain, &p.trust, at(), None).is_err()
-        );
+        assert!(validate_chain(ValidationPolicy::Browser, &chain, &p.trust, at(), None).is_err());
         assert_eq!(
             validate_chain(
                 ValidationPolicy::StrictPresented,

@@ -35,8 +35,11 @@ fn err(line: usize, message: impl Into<String>) -> ReadError {
     }
 }
 
+/// Data rows of a Zeek log: (1-based line number, tab-split fields).
+type DataRows<'a> = Vec<(usize, Vec<&'a str>)>;
+
 /// Split a Zeek log into its field-index map and data rows.
-fn rows(text: &str) -> Result<(HashMap<String, usize>, Vec<(usize, Vec<&str>)>), ReadError> {
+fn rows(text: &str) -> Result<(HashMap<String, usize>, DataRows<'_>), ReadError> {
     let mut fields: Option<HashMap<String, usize>> = None;
     let mut data = Vec::new();
     for (i, line) in text.lines().enumerate() {
@@ -72,101 +75,179 @@ fn col<'a>(
         .ok_or_else(|| err(line, format!("row too short for field {name}")))
 }
 
-/// Parse a complete ssl.log.
-pub fn read_ssl_log(text: &str) -> Result<Vec<SslRecord>, ReadError> {
-    let (fields, data) = rows(text)?;
-    let mut out = Vec::with_capacity(data.len());
-    for (line, row) in data {
-        let ts = parse::ts(col(&row, &fields, "ts", line)?)
-            .ok_or_else(|| err(line, "bad ts"))?;
-        let uid = zeek_unescape(col(&row, &fields, "uid", line)?);
-        let orig_h: Ipv4Addr = col(&row, &fields, "id.orig_h", line)?
-            .parse()
-            .map_err(|_| err(line, "bad id.orig_h"))?;
-        let orig_p: u16 = col(&row, &fields, "id.orig_p", line)?
-            .parse()
-            .map_err(|_| err(line, "bad id.orig_p"))?;
-        let resp_h: Ipv4Addr = col(&row, &fields, "id.resp_h", line)?
-            .parse()
-            .map_err(|_| err(line, "bad id.resp_h"))?;
-        let resp_p: u16 = col(&row, &fields, "id.resp_p", line)?
-            .parse()
-            .map_err(|_| err(line, "bad id.resp_p"))?;
-        let version = parse_version(col(&row, &fields, "version", line)?)
-            .ok_or_else(|| err(line, "bad version"))?;
-        let server_name = parse::optional(col(&row, &fields, "server_name", line)?);
-        let established = parse::boolean(col(&row, &fields, "established", line)?)
-            .ok_or_else(|| err(line, "bad established"))?;
-        let cert_chain_fps = parse::vector(col(&row, &fields, "cert_chain_fps", line)?)
-            .iter()
-            .map(|h| Fingerprint::from_hex(h).ok_or_else(|| err(line, "bad fingerprint")))
-            .collect::<Result<Vec<_>, _>>()?;
-        out.push(SslRecord {
-            ts,
-            uid,
-            orig_h,
-            orig_p,
-            resp_h,
-            resp_p,
-            version,
-            server_name,
-            established,
-            cert_chain_fps,
-        });
-    }
-    Ok(out)
+/// Parse one ssl.log data row.
+fn parse_ssl_row(
+    line: usize,
+    row: &[&str],
+    fields: &HashMap<String, usize>,
+) -> Result<SslRecord, ReadError> {
+    let ts = parse::ts(col(row, fields, "ts", line)?).ok_or_else(|| err(line, "bad ts"))?;
+    let uid = zeek_unescape(col(row, fields, "uid", line)?);
+    let orig_h: Ipv4Addr = col(row, fields, "id.orig_h", line)?
+        .parse()
+        .map_err(|_| err(line, "bad id.orig_h"))?;
+    let orig_p: u16 = col(row, fields, "id.orig_p", line)?
+        .parse()
+        .map_err(|_| err(line, "bad id.orig_p"))?;
+    let resp_h: Ipv4Addr = col(row, fields, "id.resp_h", line)?
+        .parse()
+        .map_err(|_| err(line, "bad id.resp_h"))?;
+    let resp_p: u16 = col(row, fields, "id.resp_p", line)?
+        .parse()
+        .map_err(|_| err(line, "bad id.resp_p"))?;
+    let version = parse_version(col(row, fields, "version", line)?)
+        .ok_or_else(|| err(line, "bad version"))?;
+    let server_name = parse::optional(col(row, fields, "server_name", line)?);
+    let established = parse::boolean(col(row, fields, "established", line)?)
+        .ok_or_else(|| err(line, "bad established"))?;
+    let cert_chain_fps = parse::vector(col(row, fields, "cert_chain_fps", line)?)
+        .iter()
+        .map(|h| Fingerprint::from_hex(h).ok_or_else(|| err(line, "bad fingerprint")))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SslRecord {
+        ts,
+        uid,
+        orig_h,
+        orig_p,
+        resp_h,
+        resp_p,
+        version,
+        server_name,
+        established,
+        cert_chain_fps,
+    })
 }
 
-/// Parse a complete x509.log.
-pub fn read_x509_log(text: &str) -> Result<Vec<X509Record>, ReadError> {
-    let (fields, data) = rows(text)?;
-    let mut out = Vec::with_capacity(data.len());
-    for (line, row) in data {
-        let ts = parse::ts(col(&row, &fields, "ts", line)?)
-            .ok_or_else(|| err(line, "bad ts"))?;
-        let fingerprint = Fingerprint::from_hex(col(&row, &fields, "fingerprint", line)?)
-            .ok_or_else(|| err(line, "bad fingerprint"))?;
-        let cert_version: u64 = col(&row, &fields, "certificate.version", line)?
-            .parse()
-            .map_err(|_| err(line, "bad certificate.version"))?;
-        let serial = zeek_unescape(col(&row, &fields, "certificate.serial", line)?);
-        let subject = zeek_unescape(col(&row, &fields, "certificate.subject", line)?);
-        let issuer = zeek_unescape(col(&row, &fields, "certificate.issuer", line)?);
-        let not_before = parse::ts(col(&row, &fields, "certificate.not_valid_before", line)?)
-            .ok_or_else(|| err(line, "bad not_valid_before"))?;
-        let not_after = parse::ts(col(&row, &fields, "certificate.not_valid_after", line)?)
-            .ok_or_else(|| err(line, "bad not_valid_after"))?;
-        let basic_constraints_ca =
-            match parse::optional(col(&row, &fields, "basic_constraints.ca", line)?) {
-                None => None,
-                Some(v) => Some(
-                    parse::boolean(&v).ok_or_else(|| err(line, "bad basic_constraints.ca"))?,
-                ),
-            };
-        let path_len = match parse::optional(col(&row, &fields, "basic_constraints.path_len", line)?)
-        {
+/// Parse one x509.log data row.
+fn parse_x509_row(
+    line: usize,
+    row: &[&str],
+    fields: &HashMap<String, usize>,
+) -> Result<X509Record, ReadError> {
+    let ts = parse::ts(col(row, fields, "ts", line)?).ok_or_else(|| err(line, "bad ts"))?;
+    let fingerprint = Fingerprint::from_hex(col(row, fields, "fingerprint", line)?)
+        .ok_or_else(|| err(line, "bad fingerprint"))?;
+    let cert_version: u64 = col(row, fields, "certificate.version", line)?
+        .parse()
+        .map_err(|_| err(line, "bad certificate.version"))?;
+    let serial = zeek_unescape(col(row, fields, "certificate.serial", line)?);
+    let subject = zeek_unescape(col(row, fields, "certificate.subject", line)?);
+    let issuer = zeek_unescape(col(row, fields, "certificate.issuer", line)?);
+    let not_before = parse::ts(col(row, fields, "certificate.not_valid_before", line)?)
+        .ok_or_else(|| err(line, "bad not_valid_before"))?;
+    let not_after = parse::ts(col(row, fields, "certificate.not_valid_after", line)?)
+        .ok_or_else(|| err(line, "bad not_valid_after"))?;
+    let basic_constraints_ca =
+        match parse::optional(col(row, fields, "basic_constraints.ca", line)?) {
             None => None,
-            Some(v) => Some(
-                v.parse()
-                    .map_err(|_| err(line, "bad basic_constraints.path_len"))?,
-            ),
+            Some(v) => {
+                Some(parse::boolean(&v).ok_or_else(|| err(line, "bad basic_constraints.ca"))?)
+            }
         };
-        let san_dns = parse::vector(col(&row, &fields, "san.dns", line)?);
-        out.push(X509Record {
-            ts,
-            fingerprint,
-            cert_version,
-            serial,
-            subject,
-            issuer,
-            not_before,
-            not_after,
-            basic_constraints_ca,
-            path_len,
-            san_dns,
-        });
+    let path_len = match parse::optional(col(row, fields, "basic_constraints.path_len", line)?) {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| err(line, "bad basic_constraints.path_len"))?,
+        ),
+    };
+    let san_dns = parse::vector(col(row, fields, "san.dns", line)?);
+    Ok(X509Record {
+        ts,
+        fingerprint,
+        cert_version,
+        serial,
+        subject,
+        issuer,
+        not_before,
+        not_after,
+        basic_constraints_ca,
+        path_len,
+        san_dns,
+    })
+}
+
+/// Parse every data row, chunked across `threads` worker threads.
+///
+/// Rows are split into contiguous chunks and results concatenated in chunk
+/// order, so the output order matches the sequential parse. On failure the
+/// error with the smallest line number is reported — each chunk stops at
+/// its first bad row and chunks are contiguous, so that minimum is exactly
+/// the error the sequential parse would have hit first.
+fn parse_rows<T, F>(text: &str, threads: usize, parse_row: F) -> Result<Vec<T>, ReadError>
+where
+    T: Send,
+    F: Fn(usize, &[&str], &HashMap<String, usize>) -> Result<T, ReadError> + Sync,
+{
+    let (fields, data) = rows(text)?;
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    if threads <= 1 || data.len() < 2 {
+        return data
+            .iter()
+            .map(|(line, row)| parse_row(*line, row, &fields))
+            .collect();
     }
-    Ok(out)
+    let chunk = data.len().div_ceil(threads);
+    let results: Vec<Result<Vec<T>, ReadError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = data
+            .chunks(chunk)
+            .map(|part| {
+                let (fields, parse_row) = (&fields, &parse_row);
+                scope.spawn(move || {
+                    part.iter()
+                        .map(|(line, row)| parse_row(*line, row, fields))
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("log parser thread panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(data.len());
+    let mut first_err: Option<ReadError> = None;
+    for res in results {
+        match res {
+            Ok(mut part) => out.append(&mut part),
+            Err(e) if first_err.as_ref().map_or(true, |f| e.line < f.line) => first_err = Some(e),
+            Err(_) => {}
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// Parse a complete ssl.log using all available cores.
+pub fn read_ssl_log(text: &str) -> Result<Vec<SslRecord>, ReadError> {
+    read_ssl_log_with(text, 0)
+}
+
+/// Parse a complete ssl.log on `threads` worker threads (`0` = available
+/// parallelism). Output — including any reported error — is identical for
+/// every thread count.
+pub fn read_ssl_log_with(text: &str, threads: usize) -> Result<Vec<SslRecord>, ReadError> {
+    parse_rows(text, threads, parse_ssl_row)
+}
+
+/// Parse a complete x509.log using all available cores.
+pub fn read_x509_log(text: &str) -> Result<Vec<X509Record>, ReadError> {
+    read_x509_log_with(text, 0)
+}
+
+/// Parse a complete x509.log on `threads` worker threads (`0` = available
+/// parallelism). Output — including any reported error — is identical for
+/// every thread count.
+pub fn read_x509_log_with(text: &str, threads: usize) -> Result<Vec<X509Record>, ReadError> {
+    parse_rows(text, threads, parse_x509_row)
 }
 
 #[cfg(test)]
@@ -254,7 +335,51 @@ mod tests {
         text = text.replace("\tT\t", "\tQ\t");
         let e = read_ssl_log(&text).unwrap_err();
         assert!(e.message.contains("established"), "{e}");
-        assert!(e.line >= 8, "line numbers should skip headers, got {}", e.line);
+        assert!(
+            e.line >= 8,
+            "line numbers should skip headers, got {}",
+            e.line
+        );
+    }
+
+    #[test]
+    fn parallel_parse_matches_sequential() {
+        // Enough rows that an 8-way chunking actually splits the data.
+        let records: Vec<SslRecord> = (0..64)
+            .map(|i| {
+                let mut r = ssl_samples()[0].clone();
+                r.uid = format!("C{i:04}");
+                r.orig_p = 40_000 + i as u16;
+                r
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_ssl_log(&mut buf, &records, t()).unwrap();
+        let text = std::str::from_utf8(&buf).unwrap();
+        let seq = read_ssl_log_with(text, 1).unwrap();
+        for threads in [2, 3, 8] {
+            assert_eq!(read_ssl_log_with(text, threads).unwrap(), seq);
+        }
+    }
+
+    #[test]
+    fn parallel_parse_reports_the_earliest_error() {
+        let records: Vec<SslRecord> = (0..32)
+            .map(|i| {
+                let mut r = ssl_samples()[0].clone();
+                r.uid = format!("C{i:04}");
+                r
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_ssl_log(&mut buf, &records, t()).unwrap();
+        // Corrupt every data row's established column: every chunk fails,
+        // and the reported line must still be the first bad one.
+        let text = String::from_utf8(buf).unwrap().replace("\tT\t", "\tQ\t");
+        let seq = read_ssl_log_with(&text, 1).unwrap_err();
+        for threads in [2, 5, 8] {
+            assert_eq!(read_ssl_log_with(&text, threads).unwrap_err(), seq);
+        }
     }
 
     #[test]

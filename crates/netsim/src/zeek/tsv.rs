@@ -38,7 +38,12 @@ pub const X509_FIELDS: &[&str] = &[
     "san.dns",
 ];
 
-fn write_header(out: &mut impl Write, path: &str, fields: &[&str], open: Asn1Time) -> io::Result<()> {
+fn write_header(
+    out: &mut impl Write,
+    path: &str,
+    fields: &[&str],
+    open: Asn1Time,
+) -> io::Result<()> {
     writeln!(out, "#separator \\x09")?;
     writeln!(out, "#set_separator\t,")?;
     writeln!(out, "#empty_field\t(empty)")?;
@@ -113,9 +118,10 @@ fn escape_impl(field: &str, in_vector: bool) -> std::borrow::Cow<'_, str> {
             out.push(b);
         }
     }
-    std::borrow::Cow::Owned(String::from_utf8(out).expect(
-        "escaping only inserts ASCII and copies the original UTF-8 bytes",
-    ))
+    std::borrow::Cow::Owned(
+        String::from_utf8(out)
+            .expect("escaping only inserts ASCII and copies the original UTF-8 bytes"),
+    )
 }
 
 /// Undo [`zeek_escape`]. Operates on bytes so multi-byte UTF-8 characters
@@ -343,7 +349,14 @@ mod tests {
 
     #[test]
     fn zeek_escaping_round_trips() {
-        for field in ["a\tb\nc", "-", "(empty)", "with, comma", "back\\slash", "plain"] {
+        for field in [
+            "a\tb\nc",
+            "-",
+            "(empty)",
+            "with, comma",
+            "back\\slash",
+            "plain",
+        ] {
             let escaped = zeek_escape(field);
             assert!(!escaped.contains('\t') && !escaped.contains('\n'));
             assert_ne!(escaped, "-");
@@ -357,16 +370,26 @@ mod tests {
         // Scalar fields keep commas readable (tab-separated anyway).
         assert_eq!(zeek_escape("CN=a, O=b"), "CN=a, O=b");
         // Non-ASCII UTF-8 must survive both directions untouched.
-        for field in ["CN=Gr\u{fc}\u{df}e GmbH", "CN=\u{65e5}\u{672c}", "caf\u{e9}-\t-tab"] {
+        for field in [
+            "CN=Gr\u{fc}\u{df}e GmbH",
+            "CN=\u{65e5}\u{672c}",
+            "caf\u{e9}-\t-tab",
+        ] {
             assert_eq!(zeek_unescape(&zeek_escape(field)), field, "{field:?}");
         }
         // Unescaped clean fields borrow (no allocation on the hot path).
-        assert!(matches!(zeek_escape("plain"), std::borrow::Cow::Borrowed(_)));
+        assert!(matches!(
+            zeek_escape("plain"),
+            std::borrow::Cow::Borrowed(_)
+        ));
     }
 
     #[test]
     fn parse_helpers() {
-        assert_eq!(parse::ts("1598918400.000000").unwrap().unix_secs(), 1_598_918_400);
+        assert_eq!(
+            parse::ts("1598918400.000000").unwrap().unix_secs(),
+            1_598_918_400
+        );
         assert!(parse::ts("nonsense").is_none());
         assert_eq!(parse::boolean("T"), Some(true));
         assert_eq!(parse::boolean("x"), None);

@@ -31,7 +31,11 @@ fn arb_ssl_record() -> impl Strategy<Value = SslRecord> {
                 orig_p,
                 resp_h: Ipv4Addr::from(resp),
                 resp_p,
-                version: if v13 { TlsVersion::Tls13 } else { TlsVersion::Tls12 },
+                version: if v13 {
+                    TlsVersion::Tls13
+                } else {
+                    TlsVersion::Tls12
+                },
                 server_name: sni,
                 established,
                 cert_chain_fps: fps.into_iter().map(Fingerprint).collect(),

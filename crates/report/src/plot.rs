@@ -21,7 +21,10 @@ pub fn ascii_histogram(title: &str, buckets: &[(String, f64)], width: usize) -> 
     let mut out = format!("-- {title} (histogram) --\n");
     for (label, count) in buckets {
         let bar = "#".repeat(((count / max) * width as f64).round() as usize);
-        out.push_str(&format!("{label:>10} | {bar:<width$} {count:.1}\n", width = width));
+        out.push_str(&format!(
+            "{label:>10} | {bar:<width$} {count:.1}\n",
+            width = width
+        ));
     }
     out
 }
@@ -38,7 +41,11 @@ pub fn unit_buckets(values: &[(f64, f64)], n: usize) -> Vec<(String, f64)> {
         .enumerate()
         .map(|(i, c)| {
             (
-                format!("{:.1}-{:.1}", i as f64 / n as f64, (i + 1) as f64 / n as f64),
+                format!(
+                    "{:.1}-{:.1}",
+                    i as f64 / n as f64,
+                    (i + 1) as f64 / n as f64
+                ),
                 c,
             )
         })
@@ -54,11 +61,7 @@ mod tests {
         let points = vec![(1, 0.5), (2, 0.8), (3, 1.0)];
         let s = ascii_cdf("lengths", &points, 20);
         assert!(s.contains("(CDF)"));
-        let bars: Vec<usize> = s
-            .lines()
-            .skip(1)
-            .map(|l| l.matches('#').count())
-            .collect();
+        let bars: Vec<usize> = s.lines().skip(1).map(|l| l.matches('#').count()).collect();
         assert!(bars.windows(2).all(|w| w[0] <= w[1]));
     }
 
@@ -77,6 +80,9 @@ mod tests {
         let buckets = unit_buckets(&values, 2);
         assert_eq!(buckets.len(), 2);
         assert!((buckets[0].1 - 2.0).abs() < 1e-9);
-        assert!((buckets[1].1 - 2.0).abs() < 1e-9, "1.0 lands in the last bin");
+        assert!(
+            (buckets[1].1 - 2.0).abs() < 1e-9,
+            "1.0 lands in the last bin"
+        );
     }
 }

@@ -129,8 +129,7 @@ mod tests {
         assert!(s.contains("== Table X =="));
         assert!(s.contains("| Security & Network |"));
         // Column alignment: all lines same width.
-        let widths: std::collections::HashSet<usize> =
-            s.lines().skip(1).map(|l| l.len()).collect();
+        let widths: std::collections::HashSet<usize> = s.lines().skip(1).map(|l| l.len()).collect();
         assert_eq!(widths.len(), 1, "all table lines equally wide");
         assert_eq!(t.len(), 2);
     }

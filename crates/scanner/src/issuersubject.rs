@@ -68,7 +68,11 @@ mod tests {
 
     #[test]
     fn valid() {
-        let r = chain(&[("CN=ica", "CN=leaf"), ("CN=root", "CN=ica"), ("CN=root", "CN=root")]);
+        let r = chain(&[
+            ("CN=ica", "CN=leaf"),
+            ("CN=root", "CN=ica"),
+            ("CN=root", "CN=root"),
+        ]);
         assert_eq!(validate_issuer_subject(&r), IssuerSubjectVerdict::Valid);
     }
 

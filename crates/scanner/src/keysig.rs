@@ -110,7 +110,10 @@ mod tests {
     #[test]
     fn valid_chain() {
         let (leaf, root) = valid_pair();
-        assert_eq!(validate_keysig(&wrap(vec![leaf, root])), KeysigVerdict::Valid);
+        assert_eq!(
+            validate_keysig(&wrap(vec![leaf, root])),
+            KeysigVerdict::Valid
+        );
     }
 
     #[test]

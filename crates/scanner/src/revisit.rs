@@ -120,9 +120,7 @@ pub fn revisit(population: &RevisitPopulation, trust: &TrustDb) -> RevisitReport
                     nonpub.now_multi += 1;
                     match prev {
                         PrevState::NonPubMulti => nonpub.prev_multi += 1,
-                        PrevState::NonPubSingleSelfSigned => {
-                            nonpub.prev_single_self_signed += 1
-                        }
+                        PrevState::NonPubSingleSelfSigned => nonpub.prev_single_self_signed += 1,
                         PrevState::NonPubSingleDistinct => nonpub.prev_single_distinct += 1,
                         PrevState::Hybrid(_) => unreachable!("matched above"),
                     }
@@ -172,11 +170,20 @@ pub fn matches_paper(report: &RevisitReport) -> Result<(), String> {
         ("4 now non-public", h.now_nonpub == 4),
         ("35 still hybrid", h.still_hybrid == 35),
         ("9 complete clean", h.still_complete_clean == 9),
-        ("3 complete + unnecessary", h.still_complete_unnecessary == 3),
+        (
+            "3 complete + unnecessary",
+            h.still_complete_unnecessary == 3,
+        ),
         ("12,404 non-public servers", n.servers == 12_404),
         ("9,849 now multi", n.now_multi == 9_849),
-        ("39.00% previously multi", (n.prev_multi as f64 / n.now_multi as f64 - 0.39).abs() < 0.001),
-        ("~97.61% complete", (n.complete_share - 0.9761).abs() < 0.001),
+        (
+            "39.00% previously multi",
+            (n.prev_multi as f64 / n.now_multi as f64 - 0.39).abs() < 0.001,
+        ),
+        (
+            "~97.61% complete",
+            (n.complete_share - 0.9761).abs() < 0.001,
+        ),
     ];
     for (name, ok) in checks {
         if !ok {

@@ -112,11 +112,7 @@ mod tests {
         let results = scan_all(&pop);
         let malformed: Vec<_> = results
             .iter()
-            .filter(|r| {
-                r.chain
-                    .iter()
-                    .any(|c| Certificate::parse(&c.der).is_err())
-            })
+            .filter(|r| r.chain.iter().any(|c| Certificate::parse(&c.der).is_err()))
             .collect();
         assert_eq!(malformed.len(), 1, "exactly one ASN.1-broken chain");
     }

@@ -120,12 +120,8 @@ mod tests {
     #[test]
     fn sweep_against_empty_passive_counts_everything_as_missed() {
         let (trace, _) = setup();
-        let empty = Pipeline::new(
-            &trace.eco.trust,
-            &trace.ct_index,
-            CrossSignRegistry::new(),
-        )
-        .analyze(&[], &[], None);
+        let empty = Pipeline::new(&trace.eco.trust, &trace.ct_index, CrossSignRegistry::new())
+            .analyze(&[], &[], None);
         let report = ip_space_sweep(&trace.servers, &empty);
         assert_eq!(report.chains_missed_by_passive, report.distinct_chains);
     }

@@ -283,9 +283,7 @@ mod tests {
         let f = fixture();
         let mut ccadb = Ccadb::new();
         let ica = intermediate(&f, "Constrained ICA", &f.root_kp);
-        ccadb
-            .add_intermediate(ica, &f.stores, true, false)
-            .unwrap();
+        ccadb.add_intermediate(ica, &f.stores, true, false).unwrap();
         assert_eq!(ccadb.len(), 1);
     }
 }

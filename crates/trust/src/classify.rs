@@ -230,12 +230,11 @@ mod tests {
     #[test]
     fn trusted_root_itself_is_public() {
         let w = world();
-        let root = w
-            .db
-            .store(RootProgram::Mozilla)
-            .unwrap()
-            .roots_for_subject(&w.root_dn)[0]
-            .clone();
+        let root =
+            w.db.store(RootProgram::Mozilla)
+                .unwrap()
+                .roots_for_subject(&w.root_dn)[0]
+                .clone();
         assert!(root.is_self_signed());
         assert_eq!(w.db.classify(&root), IssuerClass::PublicDb);
     }

@@ -69,12 +69,12 @@ mod tests {
     #[test]
     fn normal_domains_do_not_match() {
         for d in [
-            "www.example.com",     // 'example' breaks alternation
-            "www.google.com",      // too short
-            "mail.abcdefgh.com",   // wrong prefix
-            "www.badomain.org",    // wrong suffix
-            "www.BADOMAIN.com",    // uppercase
-            "www.www.kazete.com",  // nested
+            "www.example.com",    // 'example' breaks alternation
+            "www.google.com",     // too short
+            "mail.abcdefgh.com",  // wrong prefix
+            "www.badomain.org",   // wrong suffix
+            "www.BADOMAIN.com",   // uppercase
+            "www.www.kazete.com", // nested
         ] {
             assert!(!matches_dga_pattern(d), "{d}");
         }

@@ -22,9 +22,7 @@
 
 use crate::misconfig;
 use crate::pki::{ca_validity, CaHandle, Ecosystem};
-use crate::servers::{
-    server_ip, ChainCategory, GeneratedServer, HybridKind,
-};
+use crate::servers::{server_ip, ChainCategory, GeneratedServer, HybridKind};
 use certchain_asn1::Asn1Time;
 use certchain_netsim::ServerEndpoint;
 use certchain_x509::{AlgorithmId, Certificate, DistinguishedName, Validity};
@@ -168,7 +166,12 @@ impl RevisitPopulation {
 fn le_chain(eco: &mut Ecosystem, domain: &str) -> Vec<Arc<Certificate>> {
     let le = eco.lets_encrypt().ica.clone();
     let serial = eco.next_serial();
-    let leaf = le.issue_leaf(domain, Validity::days_from(nov_2024(), 90), serial, eco.seed);
+    let leaf = le.issue_leaf(
+        domain,
+        Validity::days_from(nov_2024(), 90),
+        serial,
+        eco.seed,
+    );
     vec![leaf, Arc::clone(&le.cert)]
 }
 
@@ -210,12 +213,8 @@ fn evolve_hybrid(
             (NowState::PublicValid, le_chain(eco, &domain))
         } else if i < P::HYBRID_TO_PUBLIC + P::HYBRID_TO_NONPUB {
             let serial = eco.next_serial();
-            let cert = misconfig::self_signed(
-                eco.seed,
-                &format!("revisit-nonpub:{i}"),
-                &domain,
-                serial,
-            );
+            let cert =
+                misconfig::self_signed(eco.seed, &format!("revisit-nonpub:{i}"), &domain, serial);
             (NowState::NonPubSingle, vec![cert])
         } else if i < P::HYBRID_TO_PUBLIC + P::HYBRID_TO_NONPUB + P::HYBRID_STILL_COMPLETE_CLEAN {
             // Still hybrid, complete clean: a fresh anchored chain in the
@@ -241,11 +240,10 @@ fn evolve_hybrid(
                 NowState::HybridCompleteClean,
                 vec![leaf, Arc::clone(&signing.cert), Arc::clone(&ica.cert)],
             )
-        } else if i
-            < P::HYBRID_TO_PUBLIC
-                + P::HYBRID_TO_NONPUB
-                + P::HYBRID_STILL_COMPLETE_CLEAN
-                + P::HYBRID_STILL_COMPLETE_UNNECESSARY
+        } else if i < P::HYBRID_TO_PUBLIC
+            + P::HYBRID_TO_NONPUB
+            + P::HYBRID_STILL_COMPLETE_CLEAN
+            + P::HYBRID_STILL_COMPLETE_UNNECESSARY
         {
             // Complete path + unnecessary cert: the Chrome/OpenSSL
             // divergence chains of §5.
@@ -259,10 +257,7 @@ fn evolve_hybrid(
                 "appliance.local",
                 serial,
             );
-            (
-                NowState::HybridCompleteUnnecessary,
-                vec![leaf, ica, junk],
-            )
+            (NowState::HybridCompleteUnnecessary, vec![leaf, ica, junk])
         } else {
             // Still hybrid, no matched path.
             let family = i % eco.public_cas.len();
@@ -346,17 +341,13 @@ fn evolve_nonpub(eco: &mut Ecosystem, out: &mut Vec<RevisitServer>) {
             PrevState::NonPubMulti // aliases
         };
         let (root, ica) = &pkis[i % n_pkis];
-        let is_multi = i < P::NONPUB_NOW_MULTI || i >= P::NONPUB_SERVERS;
+        let is_multi = !(P::NONPUB_NOW_MULTI..P::NONPUB_SERVERS).contains(&i);
         let mut quirk = KeysigQuirk::None;
         let mut wire_der_override = None;
         let (now, chain): (NowState, Vec<Arc<Certificate>>) = if !is_multi {
             let serial = eco.next_serial();
-            let cert = misconfig::self_signed(
-                eco.seed,
-                &format!("revisit-single:{i}"),
-                &domain,
-                serial,
-            );
+            let cert =
+                misconfig::self_signed(eco.seed, &format!("revisit-single:{i}"), &domain, serial);
             (NowState::NonPubSingle, vec![cert])
         } else if i < P::NONPUB_MULTI_BROKEN {
             // Broken multi chain: leaf + non-issuing intermediate.
@@ -405,8 +396,7 @@ fn evolve_nonpub(eco: &mut Ecosystem, out: &mut Vec<RevisitServer>) {
                 // The wire bytes of the intermediate are corrupted in a way
                 // that the strict DER parser rejects (truncated inner TLV)
                 // while the field-level view stays intact.
-                let mut ders: Vec<Vec<u8>> =
-                    chain.iter().map(|c| c.der().to_vec()).collect();
+                let mut ders: Vec<Vec<u8>> = chain.iter().map(|c| c.der().to_vec()).collect();
                 let der = &mut ders[1];
                 let last = der.len() - 1;
                 der.truncate(last);
@@ -448,7 +438,8 @@ mod tests {
         assert_eq!(P::HYBRID_REACHABLE, 270);
         assert_eq!(P::HYBRID_TOTAL - P::HYBRID_REACHABLE, 51);
         assert_eq!(
-            P::HYBRID_TO_PUBLIC + P::HYBRID_TO_NONPUB
+            P::HYBRID_TO_PUBLIC
+                + P::HYBRID_TO_NONPUB
                 + P::HYBRID_STILL_COMPLETE_CLEAN
                 + P::HYBRID_STILL_COMPLETE_UNNECESSARY
                 + P::HYBRID_STILL_NO_PATH,

@@ -50,10 +50,7 @@ pub fn build_middleboxes(eco: &mut Ecosystem) -> Vec<Middlebox> {
                 &root,
                 eco.seed,
                 &format!("mb-ica:{}", vendor.name),
-                DistinguishedName::cn_o(
-                    &format!("{} Intermediate CA", vendor.name),
-                    &vendor.name,
-                ),
+                DistinguishedName::cn_o(&format!("{} Intermediate CA", vendor.name), &vendor.name),
                 ca_validity(),
                 serial,
             );
@@ -172,11 +169,11 @@ pub fn build(
     let chain_weight = profile.chain_weight();
     let mut out = Vec::new();
     let push = |out: &mut Vec<GeneratedServer>,
-                    chain: Vec<Arc<Certificate>>,
-                    category: InterceptionCategory,
-                    weight: f64,
-                    domain: Option<String>,
-                    port: u16| {
+                chain: Vec<Arc<Certificate>>,
+                category: InterceptionCategory,
+                weight: f64,
+                domain: Option<String>,
+                port: u16| {
         let sid = base_id + out.len() as u64;
         out.push(GeneratedServer {
             endpoint: certchain_netsim::ServerEndpoint::new(
@@ -236,10 +233,7 @@ pub fn build(
         // ~2% of chains come from the stealth middlebox intercepting
         // private-origin domains (undetectable via CT — Appendix B).
         let (mb, domain) = if i % 50 == 49 {
-            (
-                stealth.clone(),
-                format!("private-origin-{i}.corp.internal"),
-            )
+            (stealth.clone(), format!("private-origin-{i}.corp.internal"))
         } else {
             (
                 boxes[vendor_for(i, &boxes)].clone(),
@@ -312,10 +306,7 @@ pub fn build(
             &mb.root,
             eco.seed,
             "mb-central-ica",
-            DistinguishedName::cn_o(
-                &format!("{} Central CA", mb.vendor.name),
-                &mb.vendor.name,
-            ),
+            DistinguishedName::cn_o(&format!("{} Central CA", mb.vendor.name), &mb.vendor.name),
             ca_validity(),
             serial,
         );
@@ -505,10 +496,7 @@ mod tests {
     #[test]
     fn fortinet_port_dominates() {
         let (_eco, servers) = population();
-        let p8013 = servers
-            .iter()
-            .filter(|s| s.endpoint.port == 8013)
-            .count() as f64;
+        let p8013 = servers.iter().filter(|s| s.endpoint.port == 8013).count() as f64;
         let share = p8013 / servers.len() as f64;
         assert!((share - 0.354).abs() < 0.05, "8013 share = {share}");
     }

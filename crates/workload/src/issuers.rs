@@ -99,22 +99,102 @@ pub fn anchored_issuers() -> Vec<AnchoredIssuerSpec> {
     let mut specs = Vec::with_capacity(26);
     // --- Government: USA (Federal PKI), Korea (KLID), Brazil (ITI) ---
     let gov: [(&str, &str, &str, &str); 16] = [
-        ("Veterans Affairs CA B3", "U.S. Department of Veterans Affairs", "Verizon SSP CA A2", "va-services.gov.test"),
-        ("Veterans Affairs CA B4", "U.S. Department of Veterans Affairs", "Verizon SSP CA A2", "portal.va.gov.test"),
-        ("DHS CA4", "U.S. Department of Homeland Security", "Verizon SSP CA A2", "apps.dhs.gov.test"),
-        ("Treasury OCIO CA", "U.S. Department of the Treasury", "Verizon SSP CA A2", "fiscal.treasury.gov.test"),
-        ("GPO SCA", "U.S. Government Publishing Office", "Verizon SSP CA A2", "permanent.gpo.gov.test"),
-        ("KLID CA 1", "Korea Local Information Research & Development Institute", "KICA Public CA", "minwon.klid.kr.test"),
-        ("KLID CA 2", "Korea Local Information Research & Development Institute", "KICA Public CA", "portal.klid.kr.test"),
-        ("GPKI ROOT CA Sub", "Government of Korea", "KICA Public CA", "gov.kr.test"),
-        ("KOSCOM CA 3", "Government of Korea", "KICA Public CA", "koscom.kr.test"),
-        ("EPKI Gov CA", "Government of Korea", "KICA Public CA", "epki.go.kr.test"),
-        ("AC Secretaria da Receita Federal do Brasil", "Instituto Nacional de Tecnologia da Informacao", "AC Raiz Intermediaria v5", "receita.fazenda.gov.br.test"),
-        ("AC Presidencia da Republica", "Instituto Nacional de Tecnologia da Informacao", "AC Raiz Intermediaria v5", "planalto.gov.br.test"),
-        ("AC Caixa", "Instituto Nacional de Tecnologia da Informacao", "AC Raiz Intermediaria v5", "caixa.gov.br.test"),
-        ("AC Serpro", "Instituto Nacional de Tecnologia da Informacao", "AC Raiz Intermediaria v5", "serpro.gov.br.test"),
-        ("AC Certisign Multipla", "Instituto Nacional de Tecnologia da Informacao", "AC Raiz Intermediaria v5", "certisign.com.br.test"),
-        ("AC Imprensa Oficial", "Instituto Nacional de Tecnologia da Informacao", "AC Raiz Intermediaria v5", "imprensaoficial.sp.gov.br.test"),
+        (
+            "Veterans Affairs CA B3",
+            "U.S. Department of Veterans Affairs",
+            "Verizon SSP CA A2",
+            "va-services.gov.test",
+        ),
+        (
+            "Veterans Affairs CA B4",
+            "U.S. Department of Veterans Affairs",
+            "Verizon SSP CA A2",
+            "portal.va.gov.test",
+        ),
+        (
+            "DHS CA4",
+            "U.S. Department of Homeland Security",
+            "Verizon SSP CA A2",
+            "apps.dhs.gov.test",
+        ),
+        (
+            "Treasury OCIO CA",
+            "U.S. Department of the Treasury",
+            "Verizon SSP CA A2",
+            "fiscal.treasury.gov.test",
+        ),
+        (
+            "GPO SCA",
+            "U.S. Government Publishing Office",
+            "Verizon SSP CA A2",
+            "permanent.gpo.gov.test",
+        ),
+        (
+            "KLID CA 1",
+            "Korea Local Information Research & Development Institute",
+            "KICA Public CA",
+            "minwon.klid.kr.test",
+        ),
+        (
+            "KLID CA 2",
+            "Korea Local Information Research & Development Institute",
+            "KICA Public CA",
+            "portal.klid.kr.test",
+        ),
+        (
+            "GPKI ROOT CA Sub",
+            "Government of Korea",
+            "KICA Public CA",
+            "gov.kr.test",
+        ),
+        (
+            "KOSCOM CA 3",
+            "Government of Korea",
+            "KICA Public CA",
+            "koscom.kr.test",
+        ),
+        (
+            "EPKI Gov CA",
+            "Government of Korea",
+            "KICA Public CA",
+            "epki.go.kr.test",
+        ),
+        (
+            "AC Secretaria da Receita Federal do Brasil",
+            "Instituto Nacional de Tecnologia da Informacao",
+            "AC Raiz Intermediaria v5",
+            "receita.fazenda.gov.br.test",
+        ),
+        (
+            "AC Presidencia da Republica",
+            "Instituto Nacional de Tecnologia da Informacao",
+            "AC Raiz Intermediaria v5",
+            "planalto.gov.br.test",
+        ),
+        (
+            "AC Caixa",
+            "Instituto Nacional de Tecnologia da Informacao",
+            "AC Raiz Intermediaria v5",
+            "caixa.gov.br.test",
+        ),
+        (
+            "AC Serpro",
+            "Instituto Nacional de Tecnologia da Informacao",
+            "AC Raiz Intermediaria v5",
+            "serpro.gov.br.test",
+        ),
+        (
+            "AC Certisign Multipla",
+            "Instituto Nacional de Tecnologia da Informacao",
+            "AC Raiz Intermediaria v5",
+            "certisign.com.br.test",
+        ),
+        (
+            "AC Imprensa Oficial",
+            "Instituto Nacional de Tecnologia da Informacao",
+            "AC Raiz Intermediaria v5",
+            "imprensaoficial.sp.gov.br.test",
+        ),
     ];
     for (ca_cn, org, ica, domain) in gov {
         specs.push(AnchoredIssuerSpec {
@@ -127,16 +207,66 @@ pub fn anchored_issuers() -> Vec<AnchoredIssuerSpec> {
     }
     // --- Corporate: Symantec Private SSL, SignKorea, others ---
     let corp: [(&str, &str, &str, &str); 10] = [
-        ("Symantec Private SSL SHA1 CA", "Symantec Corporation", "Symantec Class 3 Secure Server CA - G4", "internal.symantec.com.test"),
-        ("Symantec Private SSL CA - G2", "Symantec Corporation", "Symantec Class 3 Secure Server CA - G4", "apps.symantec.com.test"),
-        ("SignKorea SSL CA", "SignKorea Co., Ltd.", "KICA Public CA", "signkorea.co.kr.test"),
-        ("SignKorea EV CA", "SignKorea Co., Ltd.", "KICA Public CA", "ev.signkorea.co.kr.test"),
-        ("Hyundai AutoEver CA", "Hyundai AutoEver Corp.", "KICA Public CA", "autoever.hyundai.test"),
-        ("Samsung SDS CA 2", "Samsung SDS Co., Ltd.", "KICA Public CA", "sds.samsung.test"),
-        ("LG CNS Internal CA", "LG CNS Co., Ltd.", "KICA Public CA", "cns.lg.test"),
-        ("Banco do Brasil CA", "Banco do Brasil S.A.", "AC Raiz Intermediaria v5", "bb.com.br.test"),
-        ("Petrobras CA", "Petroleo Brasileiro S.A.", "AC Raiz Intermediaria v5", "petrobras.com.br.test"),
-        ("Embraer Private CA", "Embraer S.A.", "AC Raiz Intermediaria v5", "embraer.com.br.test"),
+        (
+            "Symantec Private SSL SHA1 CA",
+            "Symantec Corporation",
+            "Symantec Class 3 Secure Server CA - G4",
+            "internal.symantec.com.test",
+        ),
+        (
+            "Symantec Private SSL CA - G2",
+            "Symantec Corporation",
+            "Symantec Class 3 Secure Server CA - G4",
+            "apps.symantec.com.test",
+        ),
+        (
+            "SignKorea SSL CA",
+            "SignKorea Co., Ltd.",
+            "KICA Public CA",
+            "signkorea.co.kr.test",
+        ),
+        (
+            "SignKorea EV CA",
+            "SignKorea Co., Ltd.",
+            "KICA Public CA",
+            "ev.signkorea.co.kr.test",
+        ),
+        (
+            "Hyundai AutoEver CA",
+            "Hyundai AutoEver Corp.",
+            "KICA Public CA",
+            "autoever.hyundai.test",
+        ),
+        (
+            "Samsung SDS CA 2",
+            "Samsung SDS Co., Ltd.",
+            "KICA Public CA",
+            "sds.samsung.test",
+        ),
+        (
+            "LG CNS Internal CA",
+            "LG CNS Co., Ltd.",
+            "KICA Public CA",
+            "cns.lg.test",
+        ),
+        (
+            "Banco do Brasil CA",
+            "Banco do Brasil S.A.",
+            "AC Raiz Intermediaria v5",
+            "bb.com.br.test",
+        ),
+        (
+            "Petrobras CA",
+            "Petroleo Brasileiro S.A.",
+            "AC Raiz Intermediaria v5",
+            "petrobras.com.br.test",
+        ),
+        (
+            "Embraer Private CA",
+            "Embraer S.A.",
+            "AC Raiz Intermediaria v5",
+            "embraer.com.br.test",
+        ),
     ];
     for (ca_cn, org, ica, domain) in corp {
         specs.push(AnchoredIssuerSpec {
@@ -205,9 +335,21 @@ pub fn interception_vendors() -> Vec<InterceptionVendor> {
     use InterceptionCategory::*;
     let mut vendors = Vec::with_capacity(80);
     let named_security = [
-        "Zscaler", "McAfee Web Gateway", "FireEye", "Fortinet FortiGate", "Palo Alto Networks",
-        "Blue Coat ProxySG", "Sophos UTM", "Check Point", "Cisco Umbrella", "Netskope",
-        "Forcepoint", "Barracuda", "WatchGuard", "Smoothwall", "ContentKeeper",
+        "Zscaler",
+        "McAfee Web Gateway",
+        "FireEye",
+        "Fortinet FortiGate",
+        "Palo Alto Networks",
+        "Blue Coat ProxySG",
+        "Sophos UTM",
+        "Check Point",
+        "Cisco Umbrella",
+        "Netskope",
+        "Forcepoint",
+        "Barracuda",
+        "WatchGuard",
+        "Smoothwall",
+        "ContentKeeper",
     ];
     for name in named_security {
         vendors.push(InterceptionVendor {
@@ -221,7 +363,12 @@ pub fn interception_vendors() -> Vec<InterceptionVendor> {
             category: SecurityAndNetwork,
         });
     }
-    let named_corp = ["Freddie Mac", "Acme Global Holdings", "Initech", "Umbrella Corp"];
+    let named_corp = [
+        "Freddie Mac",
+        "Acme Global Holdings",
+        "Initech",
+        "Umbrella Corp",
+    ];
     for name in named_corp {
         vendors.push(InterceptionVendor {
             name: name.to_string(),
@@ -317,7 +464,9 @@ mod tests {
 
     #[test]
     fn public_cas_include_lets_encrypt() {
-        assert!(PUBLIC_CAS.iter().any(|c| c.org == "Let's Encrypt" && c.automated));
+        assert!(PUBLIC_CAS
+            .iter()
+            .any(|c| c.org == "Let's Encrypt" && c.automated));
         // CA CNs are unique.
         let roots: std::collections::HashSet<_> = PUBLIC_CAS.iter().map(|c| c.root_cn).collect();
         assert_eq!(roots.len(), PUBLIC_CAS.len());

@@ -7,16 +7,17 @@
 
 use crate::pki::{ca_validity, CaHandle};
 use certchain_cryptosim::KeyPair;
-use certchain_x509::{
-    Certificate, CertificateBuilder, DistinguishedName, Serial, Validity,
-};
+use certchain_x509::{Certificate, CertificateBuilder, DistinguishedName, Serial, Validity};
 use std::sync::Arc;
 
 /// Append an unrelated certificate after an otherwise valid chain
 /// (Appendix F.2: the HP `CN=tester` self-signed cert, Athenz certs,
 /// stray roots from other CAs). The appended certificate does not link to
 /// the chain, so strict validators reject the result.
-pub fn append_unnecessary(chain: &[Arc<Certificate>], junk: Arc<Certificate>) -> Vec<Arc<Certificate>> {
+pub fn append_unnecessary(
+    chain: &[Arc<Certificate>],
+    junk: Arc<Certificate>,
+) -> Vec<Arc<Certificate>> {
     let mut out = chain.to_vec();
     out.push(junk);
     out
@@ -25,7 +26,10 @@ pub fn append_unnecessary(chain: &[Arc<Certificate>], junk: Arc<Certificate>) ->
 /// Prepend a stray leaf before the complete matched path (§4.2: "several
 /// chains begin with a leaf certificate followed by the complete matched
 /// path", whose issuer does not match the following subject).
-pub fn prepend_stray_leaf(chain: &[Arc<Certificate>], stray: Arc<Certificate>) -> Vec<Arc<Certificate>> {
+pub fn prepend_stray_leaf(
+    chain: &[Arc<Certificate>],
+    stray: Arc<Certificate>,
+) -> Vec<Arc<Certificate>> {
     let mut out = Vec::with_capacity(chain.len() + 1);
     out.push(stray);
     out.extend_from_slice(chain);
@@ -149,7 +153,13 @@ pub fn self_signed(seed: u64, label: &str, cn: &str, serial: Serial) -> Arc<Cert
 
 /// A certificate with *distinct*, unrelated issuer and subject whose issuer
 /// matches nothing in the chain (a pure mismatch filler).
-pub fn orphan_cert(seed: u64, label: &str, issuer_cn: &str, subject_cn: &str, serial: Serial) -> Arc<Certificate> {
+pub fn orphan_cert(
+    seed: u64,
+    label: &str,
+    issuer_cn: &str,
+    subject_cn: &str,
+    serial: Serial,
+) -> Arc<Certificate> {
     let signer = KeyPair::derive(seed, &format!("{label}:signer"));
     let subject_kp = KeyPair::derive(seed, &format!("{label}:subject"));
     CertificateBuilder::new()
@@ -261,7 +271,10 @@ mod tests {
         let cert = localhost_leaf(1, Serial::from_u64(1));
         assert!(cert.is_self_signed());
         let rendered = cert.subject.to_rfc4514();
-        assert!(rendered.contains("emailAddress=webmaster@localhost"), "{rendered}");
+        assert!(
+            rendered.contains("emailAddress=webmaster@localhost"),
+            "{rendered}"
+        );
         assert!(rendered.contains("CN=localhost"));
         assert!(rendered.contains("ST=Someprovince"));
     }

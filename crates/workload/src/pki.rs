@@ -6,9 +6,7 @@ use certchain_asn1::Asn1Time;
 use certchain_cryptosim::KeyPair;
 use certchain_ctlog::CtLog;
 use certchain_trust::TrustDb;
-use certchain_x509::{
-    Certificate, CertificateBuilder, DistinguishedName, Serial, Validity,
-};
+use certchain_x509::{Certificate, CertificateBuilder, DistinguishedName, Serial, Validity};
 use std::sync::Arc;
 
 /// A certificate authority we hold the key for.
@@ -250,7 +248,9 @@ mod tests {
         let eco = Ecosystem::bootstrap(7);
         assert_eq!(eco.public_cas.len(), PUBLIC_CAS.len());
         for family in &eco.public_cas {
-            assert!(eco.trust.is_listed_certificate(&family.root.cert.fingerprint()));
+            assert!(eco
+                .trust
+                .is_listed_certificate(&family.root.cert.fingerprint()));
             assert!(eco.trust.is_listed_subject(&family.ica.dn));
         }
         // One cross-sign entry disclosed.
@@ -283,7 +283,10 @@ mod tests {
         let comodo = eco.public_ca("COMODO RSA Certification Authority").unwrap();
         let sectigo = eco.public_ca("AAA Certificate Services").unwrap();
         // Primary certificate verifies under COMODO root.
-        assert!(comodo.ica.cert.verify_signed_by(&comodo.root.cert.public_key));
+        assert!(comodo
+            .ica
+            .cert
+            .verify_signed_by(&comodo.root.cert.public_key));
         // The cross-signed twin (same subject DN) sits in CCADB; any cert
         // issued by the COMODO ICA also chains through Sectigo's root via
         // the cross certificate, because the ICA keypair is shared.

@@ -8,8 +8,7 @@ use crate::issuers::anchored_issuers;
 use crate::misconfig;
 use crate::pki::{ca_validity, CaHandle, Ecosystem};
 use crate::servers::{
-    server_ip, ChainCategory, ContainsKind, GeneratedServer, HybridKind, NoPathKind,
-    TrafficGroup,
+    server_ip, ChainCategory, ContainsKind, GeneratedServer, HybridKind, NoPathKind, TrafficGroup,
 };
 use certchain_asn1::Asn1Time;
 use certchain_netsim::ServerEndpoint;
@@ -45,7 +44,10 @@ fn hybrid_port(index: usize) -> u16 {
 fn anchored_public_icas(eco: &mut Ecosystem) -> HashMap<&'static str, CaHandle> {
     let mut out = HashMap::new();
     let specs: [(&'static str, &str); 3] = [
-        ("Verizon SSP CA A2", "Entrust Root Certification Authority - G2"),
+        (
+            "Verizon SSP CA A2",
+            "Entrust Root Certification Authority - G2",
+        ),
         ("KICA Public CA", "GlobalSign Root CA"),
         ("AC Raiz Intermediaria v5", "DigiCert Global Root CA"),
     ];
@@ -161,7 +163,8 @@ pub fn build(eco: &mut Ecosystem, base_id: u64) -> Vec<GeneratedServer> {
         ca_validity(),
         serial,
     );
-    eco.trust.add_ccadb_intermediate(Arc::clone(&usertrust.cert));
+    eco.trust
+        .add_ccadb_intermediate(Arc::clone(&usertrust.cert));
     // Re-parent the issuing ICA under USERTrust so the chain has two
     // intermediates: leaf ← DV ICA ← USERTrust ← AAA root.
     let serial = eco.next_serial();
@@ -250,6 +253,7 @@ fn public_pair(
     vec![leaf, ica]
 }
 
+#[allow(clippy::too_many_arguments)]
 fn push_server(
     out: &mut Vec<GeneratedServer>,
     base_id: u64,
@@ -280,7 +284,10 @@ fn build_contains(eco: &mut Ecosystem, out: &mut Vec<GeneratedServer>, base_id: 
         // Complete path up to the LE root, then the staging placeholder.
         chain.push(Arc::clone(&eco.public_cas[le_idx].root.cert));
         let serial = eco.next_serial();
-        let chain = misconfig::append_unnecessary(&chain, misconfig::fake_le_staging_cert(eco.seed, serial));
+        let chain = misconfig::append_unnecessary(
+            &chain,
+            misconfig::fake_le_staging_cert(eco.seed, serial),
+        );
         push_server(
             out,
             base_id,
@@ -780,7 +787,10 @@ mod tests {
         let (_eco, servers) = population();
         assert_eq!(servers.len(), 321);
         assert_eq!(
-            count_kind(&servers, |k| matches!(k, HybridKind::CompleteAnchored { .. })),
+            count_kind(&servers, |k| matches!(
+                k,
+                HybridKind::CompleteAnchored { .. }
+            )),
             26
         );
         assert_eq!(
@@ -804,8 +814,10 @@ mod tests {
         let mut gov = 0;
         let mut expired = 0;
         for s in &servers {
-            if let ChainCategory::Hybrid(HybridKind::CompleteAnchored { category, expired: e }) =
-                s.category
+            if let ChainCategory::Hybrid(HybridKind::CompleteAnchored {
+                category,
+                expired: e,
+            }) = s.category
             {
                 match category {
                     AnchoredCategory::Corporate => corp += 1,
@@ -825,7 +837,10 @@ mod tests {
     fn table7_counts() {
         let (_eco, servers) = population();
         let count = |kind: NoPathKind| {
-            count_kind(&servers, |k| matches!(k, HybridKind::NoPath(n) if *n == kind))
+            count_kind(
+                &servers,
+                |k| matches!(k, HybridKind::NoPath(n) if *n == kind),
+            )
         };
         assert_eq!(count(NoPathKind::SelfSignedLeafMismatches), 108);
         assert_eq!(count(NoPathKind::SelfSignedLeafValidSubchain), 13);
@@ -851,7 +866,10 @@ mod tests {
         for s in &servers {
             if let ChainCategory::Hybrid(HybridKind::CompleteAnchored { .. }) = s.category {
                 let leaf = &s.endpoint.chain[0];
-                assert!(eco.ct.contains(&leaf.fingerprint()), "leaf must be CT-logged");
+                assert!(
+                    eco.ct.contains(&leaf.fingerprint()),
+                    "leaf must be CT-logged"
+                );
                 // Leaf issued by a non-public issuer...
                 assert_eq!(
                     eco.trust.classify(leaf),
@@ -878,7 +896,8 @@ mod tests {
                 assert_eq!(chain.len(), 4);
                 for i in 0..3 {
                     assert_eq!(
-                        chain[i].issuer, chain[i + 1].subject,
+                        chain[i].issuer,
+                        chain[i + 1].subject,
                         "every adjacent pair matches (that is the point)"
                     );
                 }
@@ -894,9 +913,10 @@ mod tests {
         let fake = servers
             .iter()
             .filter(|s| {
-                s.endpoint.chain.iter().any(|c| {
-                    c.subject.common_name() == Some("Fake LE Intermediate X1")
-                })
+                s.endpoint
+                    .chain
+                    .iter()
+                    .any(|c| c.subject.common_name() == Some("Fake LE Intermediate X1"))
             })
             .count();
         assert_eq!(fake, 14);

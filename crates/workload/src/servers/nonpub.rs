@@ -198,19 +198,17 @@ fn build_private_pkis(eco: &mut Ecosystem, n: usize, rng: &mut StdRng) -> Vec<Pr
 
 /// Issue a non-public leaf with BC present at the first-presented rate
 /// (44.69%).
-fn np_leaf(
-    eco: &mut Ecosystem,
-    ca: &CaHandle,
-    domain: &str,
-    rng: &mut StdRng,
-) -> Arc<Certificate> {
+fn np_leaf(eco: &mut Ecosystem, ca: &CaHandle, domain: &str, rng: &mut StdRng) -> Arc<Certificate> {
     let serial = eco.next_serial();
     let kp = KeyPair::derive(eco.seed, &format!("np-leaf:{domain}:{serial}"));
     let mut b = CertificateBuilder::new()
         .serial(serial)
         .issuer(ca.dn.clone())
         .subject(DistinguishedName::cn(domain))
-        .validity(Validity::days_from(t(2020, 6, 1), 365 + (rng.gen_range(0..400))))
+        .validity(Validity::days_from(
+            t(2020, 6, 1),
+            365 + (rng.gen_range(0..400)),
+        ))
         .public_key(kp.public().clone());
     if rng.gen_bool(0.4469) {
         b = b
@@ -234,12 +232,12 @@ pub fn build(
     let chain_weight = profile.chain_weight();
     let mut out = Vec::new();
     let push = |out: &mut Vec<GeneratedServer>,
-                    chain: Vec<Arc<Certificate>>,
-                    kind: NonPubKind,
-                    weight: f64,
-                    domain: Option<String>,
-                    port: u16,
-                    group: TrafficGroup| {
+                chain: Vec<Arc<Certificate>>,
+                kind: NonPubKind,
+                weight: f64,
+                domain: Option<String>,
+                port: u16,
+                group: TrafficGroup| {
         let sid = base_id + out.len() as u64;
         out.push(GeneratedServer {
             endpoint: certchain_netsim::ServerEndpoint::new(
@@ -685,7 +683,10 @@ mod tests {
             }
         }
         let max_links = adj.values().map(|v| v.len()).max().unwrap_or(0);
-        assert!(max_links >= 3, "hub should link >=3 intermediates, got {max_links}");
+        assert!(
+            max_links >= 3,
+            "hub should link >=3 intermediates, got {max_links}"
+        );
     }
 
     #[test]

@@ -14,8 +14,8 @@ use std::sync::Arc;
 /// Deterministic synthetic public domain names.
 pub fn public_domain(i: usize) -> String {
     const WORDS: [&str; 16] = [
-        "news", "video", "cloud", "shop", "mail", "search", "social", "bank",
-        "stream", "game", "learn", "travel", "forum", "music", "docs", "photo",
+        "news", "video", "cloud", "shop", "mail", "search", "social", "bank", "stream", "game",
+        "learn", "travel", "forum", "music", "docs", "photo",
     ];
     format!("{}{}.example.com", WORDS[i % WORDS.len()], i)
 }
@@ -26,12 +26,7 @@ pub fn public_domain(i: usize) -> String {
 ///
 /// Every leaf is CT-logged, which is what lets the interception detector
 /// establish the "real" issuer for these domains.
-pub fn build(
-    eco: &mut Ecosystem,
-    base_id: u64,
-    count: usize,
-    weight: f64,
-) -> Vec<GeneratedServer> {
+pub fn build(eco: &mut Ecosystem, base_id: u64, count: usize, weight: f64) -> Vec<GeneratedServer> {
     let start = Asn1Time::from_ymd_hms(2020, 8, 1, 0, 0, 0).expect("valid date");
     let mut out = Vec::with_capacity(count);
     for i in 0..count {

@@ -4,7 +4,7 @@ use crate::calibration::{CalibrationTargets, CampusProfile};
 use crate::interception::{self, InterceptionCounts};
 use crate::pki::Ecosystem;
 use crate::servers::{hybrid, nonpub, public, GeneratedServer, TrafficGroup};
-use crate::traffic::group_spec;
+use crate::traffic::{group_spec, GroupSpec};
 use certchain_asn1::Asn1Time;
 use certchain_ctlog::DomainIndex;
 use certchain_netsim::handshake::record_connection;
@@ -13,13 +13,13 @@ use certchain_netsim::{Client, SimClock, SslRecord, TlsVersion, X509Record};
 use certchain_x509::{DistinguishedName, Fingerprint};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-pub use crate::servers::{ChainCategory, ContainsKind, HybridKind, NonPubKind, NoPathKind};
+pub use crate::servers::{ChainCategory, ContainsKind, HybridKind, NoPathKind, NonPubKind};
 
 /// Reporting sidecar for one connection record: which server produced it
 /// and how many paper-scale connections it represents. The analysis
 /// pipeline itself never reads this — it exists so experiment reports can
 /// rescale to paper numbers.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConnMeta {
     /// Index into [`CampusTrace::servers`].
     pub server_idx: usize,
@@ -61,16 +61,38 @@ pub struct CampusTrace {
 }
 
 impl CampusTrace {
-    /// Generate the full trace for `profile`.
+    /// Generate the full trace for `profile` using all available cores.
+    ///
+    /// Shorthand for [`CampusTrace::generate_with`] with `threads = 0`; the
+    /// produced trace is identical for every thread count.
     pub fn generate(profile: CampusProfile) -> CampusTrace {
+        CampusTrace::generate_with(profile, 0)
+    }
+
+    /// Generate the full trace for `profile` on `threads` worker threads
+    /// (`0` = available parallelism, `1` = fully sequential).
+    ///
+    /// Population building mutates the PKI ecosystem and stays sequential.
+    /// Connection emission, however, is a pure function of the connection's
+    /// global `uid` and its index within its traffic group, so it is
+    /// decomposed into one work item per server with precomputed index
+    /// offsets (prefix sums over the sequential emission order) and sharded
+    /// contiguously across threads. Shards are merged back in work-item
+    /// order, so the result is identical to the sequential trace for any
+    /// thread count.
+    pub fn generate_with(profile: CampusProfile, threads: usize) -> CampusTrace {
+        let threads = resolve_threads(threads);
         let targets = CalibrationTargets::paper();
         let mut eco = Ecosystem::bootstrap(profile.seed);
 
         // Build the populations. Public first: the CT index must know the
         // "real" issuers of the domains interception middleboxes forge.
-        let public_weight =
-            (targets.total_chains as f64 * (1.0 - targets.share_nonpub_only - targets.share_hybrid - targets.share_interception))
-                / profile.public_chains.max(1) as f64;
+        let public_weight = (targets.total_chains as f64
+            * (1.0
+                - targets.share_nonpub_only
+                - targets.share_hybrid
+                - targets.share_interception))
+            / profile.public_chains.max(1) as f64;
         let mut servers = public::build(&mut eco, 0, profile.public_chains, public_weight);
         servers.extend(hybrid::build(&mut eco, 100_000));
         let np_counts = nonpub::NonPubCounts::from_profile(&targets, &profile);
@@ -90,17 +112,13 @@ impl CampusTrace {
             by_group.entry(s.group).or_default().push(idx);
         }
 
-        let clock = SimClock::campus_window_start();
-        let window_secs =
-            SimClock::campus_window_end().unix_secs() - clock.now().unix_secs();
-        let mut ssl_records = Vec::new();
-        let mut conn_meta = Vec::new();
-        let mut x509_records = Vec::new();
-        let mut seen_certs: HashSet<Fingerprint> = HashSet::new();
-        // Validation outcome cache: (server, policy id) → established.
-        let mut outcome_cache: HashMap<(usize, u8), bool> = HashMap::new();
+        // Flatten the volume model into per-server work items carrying
+        // their `uid` / in-group index offsets. Each server appears in
+        // exactly one item, so a per-shard validation-outcome cache hits
+        // exactly as often as the sequential one.
+        let mut specs: Vec<GroupSpec> = Vec::new();
+        let mut items: Vec<WorkItem> = Vec::new();
         let mut uid: u64 = 0;
-
         for (group, members) in &by_group {
             let spec = group_spec(*group, &targets, &profile);
             let n = members.len() as u64;
@@ -114,84 +132,83 @@ impl CampusTrace {
             // server and rescale the per-record weight so the weighted
             // connection total is preserved.
             let records = spec.connections.max(n);
-            let conn_weight =
-                spec.conn_weight * spec.connections as f64 / records as f64;
+            let conn_weight = spec.conn_weight * spec.connections as f64 / records as f64;
             let per_server = records / n;
             let remainder = (records % n) as usize;
+            let spec_idx = specs.len();
+            specs.push(spec);
             let mut k_in_group: u64 = 0;
             for (slot, &server_idx) in members.iter().enumerate() {
-                let server = &servers[server_idx];
                 let conns = per_server + u64::from(slot < remainder);
-                for _ in 0..conns {
-                    uid += 1;
-                    let policy = spec.mix.pick(k_in_group, records);
-                    k_in_group += 1;
-                    let at = Asn1Time::from_unix(
-                        clock.now().unix_secs()
-                            + uid.wrapping_mul(2_654_435_761) % window_secs,
-                    );
-                    let client = Client::new(
-                        spec.pool.public_ip(uid.wrapping_mul(0x9e37_79b9)),
-                        policy,
-                    );
-                    // The paper's analyzed logs only carry chain-bearing
-                    // connections (TLS ≤ 1.2). Roughly a quarter of TLS
-                    // traffic is 1.3 and invisible to the monitor (§6.3);
-                    // modelled as TLS 1.3-only *servers* in the public
-                    // background, whose chains passive monitoring never
-                    // sees (the IP-space sweep of `scanner::sweep` recovers
-                    // them).
-                    let version = if *group == TrafficGroup::PublicOnly && server_idx % 4 == 3 {
-                        TlsVersion::Tls13
-                    } else {
-                        TlsVersion::Tls12
-                    };
-                    // Validation outcomes are designed to be
-                    // time-invariant within the window; validate once per
-                    // (server, policy) and reuse the verdict.
-                    let policy_id = policy_id(policy);
-                    let established =
-                        *outcome_cache.entry((server_idx, policy_id)).or_insert_with(|| {
-                            certchain_netsim::validate_chain(
-                                policy.validation,
-                                &server.endpoint.chain,
-                                &eco.trust,
-                                at,
-                                policy
-                                    .sends_sni
-                                    .then(|| server.endpoint.domain.as_deref())
-                                    .flatten(),
-                            )
-                            .is_ok()
-                        });
-                    let outcome = record_connection(
-                        uid,
-                        at,
-                        &client,
-                        &server.endpoint,
-                        established,
-                        version,
-                    );
-                    if version == TlsVersion::Tls12 {
-                        for cert in &server.endpoint.chain {
-                            if seen_certs.insert(cert.fingerprint()) {
-                                x509_records.push(X509Record::from_certificate(at, cert));
-                            }
-                        }
-                    }
-                    ssl_records.push(outcome.ssl);
-                    conn_meta.push(ConnMeta {
-                        server_idx,
-                        weight: conn_weight,
-                    });
+                items.push(WorkItem {
+                    server_idx,
+                    group: *group,
+                    spec_idx,
+                    conns,
+                    uid_start: uid,
+                    k_start: k_in_group,
+                    records,
+                    conn_weight,
+                });
+                uid += conns;
+                k_in_group += conns;
+            }
+        }
+
+        let clock = SimClock::campus_window_start();
+        let base_secs = clock.now().unix_secs();
+        let window_secs = SimClock::campus_window_end().unix_secs() - base_secs;
+
+        let shards = shard_items(&items, threads);
+        let emitted: Vec<ShardOutput> = if shards.len() <= 1 {
+            vec![emit_shard(
+                &items,
+                &servers,
+                &specs,
+                &eco,
+                base_secs,
+                window_secs,
+            )]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|part| {
+                        let (servers, specs, eco) = (&servers, &specs, &eco);
+                        scope.spawn(move || {
+                            emit_shard(part, servers, specs, eco, base_secs, window_secs)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("trace emitter thread panicked"))
+                    .collect()
+            })
+        };
+
+        // Merge in shard (= sequential stream) order. x509.log keeps the
+        // first sighting of each certificate: within a shard local-first is
+        // stream-first, and shards are concatenated in stream order, so
+        // keeping the globally-first record reproduces the sequential
+        // dedup exactly.
+        let mut ssl_records = Vec::new();
+        let mut conn_meta = Vec::new();
+        let mut x509_records = Vec::new();
+        let mut seen_certs: HashSet<Fingerprint> = HashSet::new();
+        for shard in emitted {
+            ssl_records.extend(shard.ssl);
+            conn_meta.extend(shard.meta);
+            for rec in shard.x509 {
+                if seen_certs.insert(rec.fingerprint) {
+                    x509_records.push(rec);
                 }
             }
         }
 
         let mut truth = GroundTruth::default();
         for (idx, s) in servers.iter().enumerate() {
-            let fps: Vec<Fingerprint> =
-                s.endpoint.chain.iter().map(|c| c.fingerprint()).collect();
+            let fps: Vec<Fingerprint> = s.endpoint.chain.iter().map(|c| c.fingerprint()).collect();
             truth.by_chain.insert(fps, idx);
         }
 
@@ -210,6 +227,144 @@ impl CampusTrace {
             truth,
         }
     }
+}
+
+/// One server's slice of the emission stream: everything the sequential
+/// loop would have known when it reached this server, captured as plain
+/// offsets so any thread can emit the slice independently.
+#[derive(Debug, Clone, Copy)]
+struct WorkItem {
+    server_idx: usize,
+    group: TrafficGroup,
+    spec_idx: usize,
+    /// Connection records to emit for this server.
+    conns: u64,
+    /// Global `uid` counter value just before this item's first record.
+    uid_start: u64,
+    /// In-group connection index of this item's first record.
+    k_start: u64,
+    /// Total records in the group (the policy-mix denominator).
+    records: u64,
+    conn_weight: f64,
+}
+
+/// What one shard of work items produces. `x509` holds the shard-local
+/// first sighting of each certificate, in stream order.
+struct ShardOutput {
+    ssl: Vec<SslRecord>,
+    meta: Vec<ConnMeta>,
+    x509: Vec<X509Record>,
+}
+
+/// Split `items` into at most `threads` contiguous chunks, balanced by
+/// connection count. Chunk boundaries never affect the merged output —
+/// they only set the parallel grain.
+fn shard_items(items: &[WorkItem], threads: usize) -> Vec<&[WorkItem]> {
+    if threads <= 1 || items.len() < 2 {
+        return vec![items];
+    }
+    let total: u64 = items.iter().map(|i| i.conns).sum::<u64>().max(1);
+    let shards = threads.min(items.len());
+    let mut parts = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    let mut emitted: u64 = 0;
+    for shard in 1..shards {
+        let target = total * shard as u64 / shards as u64;
+        let mut end = start;
+        while end < items.len() && emitted < target {
+            emitted += items[end].conns;
+            end += 1;
+        }
+        parts.push(&items[start..end]);
+        start = end;
+    }
+    parts.push(&items[start..]);
+    parts
+}
+
+/// Emit every connection record for one shard of work items. Pure function
+/// of the item offsets: the sequential loop and any sharding of it produce
+/// the same records in the same relative order.
+fn emit_shard(
+    items: &[WorkItem],
+    servers: &[GeneratedServer],
+    specs: &[GroupSpec],
+    eco: &Ecosystem,
+    base_secs: u64,
+    window_secs: u64,
+) -> ShardOutput {
+    let mut out = ShardOutput {
+        ssl: Vec::new(),
+        meta: Vec::new(),
+        x509: Vec::new(),
+    };
+    let mut seen_certs: HashSet<Fingerprint> = HashSet::new();
+    // Validation outcome cache: (server, policy id) → established.
+    // Validation outcomes are designed to be time-invariant within the
+    // window; validate once per (server, policy) and reuse the verdict.
+    let mut outcome_cache: HashMap<(usize, u8), bool> = HashMap::new();
+    for item in items {
+        let server = &servers[item.server_idx];
+        let spec = &specs[item.spec_idx];
+        for c in 0..item.conns {
+            let uid = item.uid_start + c + 1;
+            let policy = spec.mix.pick(item.k_start + c, item.records);
+            let at = Asn1Time::from_unix(base_secs + uid.wrapping_mul(2_654_435_761) % window_secs);
+            let client = Client::new(spec.pool.public_ip(uid.wrapping_mul(0x9e37_79b9)), policy);
+            // The paper's analyzed logs only carry chain-bearing
+            // connections (TLS ≤ 1.2). Roughly a quarter of TLS traffic is
+            // 1.3 and invisible to the monitor (§6.3); modelled as TLS
+            // 1.3-only *servers* in the public background, whose chains
+            // passive monitoring never sees (the IP-space sweep of
+            // `scanner::sweep` recovers them).
+            let version = if item.group == TrafficGroup::PublicOnly && item.server_idx % 4 == 3 {
+                TlsVersion::Tls13
+            } else {
+                TlsVersion::Tls12
+            };
+            let policy_id = policy_id(policy);
+            let established = *outcome_cache
+                .entry((item.server_idx, policy_id))
+                .or_insert_with(|| {
+                    certchain_netsim::validate_chain(
+                        policy.validation,
+                        &server.endpoint.chain,
+                        &eco.trust,
+                        at,
+                        policy
+                            .sends_sni
+                            .then_some(server.endpoint.domain.as_deref())
+                            .flatten(),
+                    )
+                    .is_ok()
+                });
+            let outcome =
+                record_connection(uid, at, &client, &server.endpoint, established, version);
+            if version == TlsVersion::Tls12 {
+                for cert in &server.endpoint.chain {
+                    if seen_certs.insert(cert.fingerprint()) {
+                        out.x509.push(X509Record::from_certificate(at, cert));
+                    }
+                }
+            }
+            out.ssl.push(outcome.ssl);
+            out.meta.push(ConnMeta {
+                server_idx: item.server_idx,
+                weight: item.conn_weight,
+            });
+        }
+    }
+    out
+}
+
+/// `0` → available parallelism (falling back to 1), anything else as-is.
+fn resolve_threads(requested: usize) -> usize {
+    if requested != 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn policy_id(policy: certchain_netsim::ClientPolicy) -> u8 {
@@ -252,7 +407,11 @@ mod tests {
         let start = SimClock::campus_window_start().now();
         let end = SimClock::campus_window_end();
         for rec in &trace.ssl_records {
-            assert!(rec.ts >= start && rec.ts <= end, "ts {} outside window", rec.ts);
+            assert!(
+                rec.ts >= start && rec.ts <= end,
+                "ts {} outside window",
+                rec.ts
+            );
         }
     }
 
@@ -356,5 +515,14 @@ mod tests {
         assert_eq!(a.ssl_records.len(), b.ssl_records.len());
         assert_eq!(a.ssl_records[..100], b.ssl_records[..100]);
         assert_eq!(a.x509_records.len(), b.x509_records.len());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_trace() {
+        let seq = CampusTrace::generate_with(CampusProfile::quick(), 1);
+        let par = CampusTrace::generate_with(CampusProfile::quick(), 4);
+        assert_eq!(seq.ssl_records, par.ssl_records);
+        assert_eq!(seq.conn_meta, par.conn_meta);
+        assert_eq!(seq.x509_records, par.x509_records);
     }
 }

@@ -11,8 +11,8 @@
 use crate::calibration::{CalibrationTargets, CampusProfile};
 use crate::issuers::InterceptionCategory;
 use crate::servers::TrafficGroup;
-use certchain_netsim::ClientPolicy;
 use certchain_netsim::nat::NatPool;
+use certchain_netsim::ClientPolicy;
 use std::net::Ipv4Addr;
 
 /// Weighted client-policy mix. Shares must sum to ~1.
@@ -61,7 +61,10 @@ pub struct GroupSpec {
 
 fn pool(base_block: u32, size: u32) -> NatPool {
     // Carve disjoint /16-ish blocks out of 128.x space per group.
-    NatPool::new(Ipv4Addr::from(0x8000_0000u32 + (base_block << 16)), size.max(1))
+    NatPool::new(
+        Ipv4Addr::from(0x8000_0000u32 + (base_block << 16)),
+        size.max(1),
+    )
 }
 
 /// Build the volume spec for each group.
@@ -163,9 +166,7 @@ pub fn group_spec(
             // either, so the policy is belt-and-suspenders.)
         },
         NonPubMulti => GroupSpec {
-            connections: scaled(
-                targets.nonpub_connections as f64 - 140_000_000.0,
-            ),
+            connections: scaled(targets.nonpub_connections as f64 - 140_000_000.0),
             conn_weight: profile.conn_weight(),
             pool: pool(9, (9_304.0 * cs).round().max(4.0) as u32),
             // 66.3% of multi-cert servers are reached by raw IP (no
@@ -188,7 +189,10 @@ pub fn group_spec(
             GroupSpec {
                 connections: scaled(targets.interception_connections as f64 * share / 100.0),
                 conn_weight: profile.conn_weight(),
-                pool: pool(10 + idx as u32, (ips as f64 * cs * 10.0).round().max(2.0) as u32),
+                pool: pool(
+                    10 + idx as u32,
+                    (ips as f64 * cs * 10.0).round().max(2.0) as u32,
+                ),
                 // Managed endpoints have the vendor root installed
                 // (modelled as permissive); a small unmanaged share fails.
                 mix: PolicyMix::new(vec![(perm, 0.97), (browser, 0.03)]),

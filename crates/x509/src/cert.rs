@@ -136,7 +136,14 @@ impl Certificate {
         signature: Signature,
     ) -> Certificate {
         let tbs = encode_tbs(
-            version, &serial, &algorithm, &issuer, &validity, &subject, &public_key, &extensions,
+            version,
+            &serial,
+            &algorithm,
+            &issuer,
+            &validity,
+            &subject,
+            &public_key,
+            &extensions,
         );
         let der = writer::encode(|enc| {
             enc.sequence(|enc| {

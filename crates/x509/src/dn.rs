@@ -405,7 +405,7 @@ mod tests {
     #[test]
     fn der_round_trip() {
         let dn = DistinguishedName::from_pairs(&[
-            (AttrType::CommonName, "Grüße GmbH"), // forces UTF8String
+            (AttrType::CommonName, "Grüße GmbH"),  // forces UTF8String
             (AttrType::Organization, "Acme Corp"), // PrintableString
             (AttrType::Country, "DE"),
         ]);

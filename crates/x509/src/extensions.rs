@@ -321,12 +321,27 @@ mod tests {
     #[test]
     fn basic_constraints_round_trip() {
         for bc in [
-            BasicConstraints { ca: true, path_len: None },
-            BasicConstraints { ca: true, path_len: Some(0) },
-            BasicConstraints { ca: true, path_len: Some(3) },
-            BasicConstraints { ca: false, path_len: None },
+            BasicConstraints {
+                ca: true,
+                path_len: None,
+            },
+            BasicConstraints {
+                ca: true,
+                path_len: Some(0),
+            },
+            BasicConstraints {
+                ca: true,
+                path_len: Some(3),
+            },
+            BasicConstraints {
+                ca: false,
+                path_len: None,
+            },
         ] {
-            assert_eq!(round_trip(Extension::BasicConstraints(bc)), Extension::BasicConstraints(bc));
+            assert_eq!(
+                round_trip(Extension::BasicConstraints(bc)),
+                Extension::BasicConstraints(bc)
+            );
         }
     }
 
@@ -350,8 +365,14 @@ mod tests {
     #[test]
     fn key_ids_round_trip() {
         let id = [7u8; 20];
-        assert_eq!(round_trip(Extension::SubjectKeyId(id)), Extension::SubjectKeyId(id));
-        assert_eq!(round_trip(Extension::AuthorityKeyId(id)), Extension::AuthorityKeyId(id));
+        assert_eq!(
+            round_trip(Extension::SubjectKeyId(id)),
+            Extension::SubjectKeyId(id)
+        );
+        assert_eq!(
+            round_trip(Extension::AuthorityKeyId(id)),
+            Extension::AuthorityKeyId(id)
+        );
     }
 
     #[test]
@@ -375,7 +396,10 @@ mod tests {
     #[test]
     fn extension_list_round_trip() {
         let exts = vec![
-            Extension::BasicConstraints(BasicConstraints { ca: true, path_len: Some(1) }),
+            Extension::BasicConstraints(BasicConstraints {
+                ca: true,
+                path_len: Some(1),
+            }),
             Extension::KeyUsage(KeyUsage::ca()),
             Extension::SubjectKeyId([1u8; 20]),
         ];
@@ -395,7 +419,10 @@ mod tests {
 
     #[test]
     fn criticality_flags() {
-        let bc = Extension::BasicConstraints(BasicConstraints { ca: true, path_len: None });
+        let bc = Extension::BasicConstraints(BasicConstraints {
+            ca: true,
+            path_len: None,
+        });
         let der = encode(|e| bc.encode(e));
         // SEQUENCE { OID, BOOLEAN TRUE, OCTET STRING } — criticality present.
         assert!(der.windows(3).any(|w| w == [0x01, 0x01, 0xff]));

@@ -68,17 +68,14 @@ pub fn base64_decode(text: &str) -> Result<Vec<u8>, PemError> {
             _ => Err(PemError::InvalidBase64),
         }
     }
-    let cleaned: Vec<u8> = text
-        .bytes()
-        .filter(|b| !b.is_ascii_whitespace())
-        .collect();
+    let cleaned: Vec<u8> = text.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
     if cleaned.len() % 4 != 0 {
         return Err(PemError::InvalidBase64);
     }
     let mut out = Vec::with_capacity(cleaned.len() / 4 * 3);
     for quad in cleaned.chunks(4) {
         let pad = quad.iter().rev().take_while(|&&c| c == b'=').count();
-        if pad > 2 || quad[..4 - pad].iter().any(|&c| c == b'=') {
+        if pad > 2 || quad[..4 - pad].contains(&b'=') {
             return Err(PemError::InvalidBase64);
         }
         let mut n: u32 = 0;
@@ -115,10 +112,7 @@ pub fn decode_all(label: &str, text: &str) -> Result<Vec<Vec<u8>>, PemError> {
     let end = format!("-----END {label}-----");
     let mut blocks = Vec::new();
     let mut rest = text;
-    loop {
-        let Some(b) = rest.find(&begin) else {
-            break;
-        };
+    while let Some(b) = rest.find(&begin) {
         let after_begin = &rest[b + begin.len()..];
         let e = after_begin.find(&end).ok_or(PemError::MissingEnd)?;
         blocks.push(base64_decode(&after_begin[..e])?);
@@ -197,9 +191,6 @@ mod tests {
     #[test]
     fn label_mismatch_is_missing() {
         let pem = encode("PRIVATE KEY", &[1, 2, 3]);
-        assert_eq!(
-            decode_all("CERTIFICATE", &pem),
-            Err(PemError::MissingBegin)
-        );
+        assert_eq!(decode_all("CERTIFICATE", &pem), Err(PemError::MissingBegin));
     }
 }

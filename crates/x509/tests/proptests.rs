@@ -19,15 +19,13 @@ fn arb_dn() -> impl Strategy<Value = DistinguishedName> {
         Just(AttrType::OrganizationalUnit),
         Just(AttrType::EmailAddress),
     ];
-    proptest::collection::vec((attr, "[a-zA-Z0-9 .,@=+<>#;\\\\-]{1,24}"), 0..5).prop_map(
-        |pairs| {
-            let mut dn = DistinguishedName::empty();
-            for (attr, value) in pairs {
-                dn = dn.with(attr, &value);
-            }
-            dn
-        },
-    )
+    proptest::collection::vec((attr, "[a-zA-Z0-9 .,@=+<>#;\\\\-]{1,24}"), 0..5).prop_map(|pairs| {
+        let mut dn = DistinguishedName::empty();
+        for (attr, value) in pairs {
+            dn = dn.with(attr, &value);
+        }
+        dn
+    })
 }
 
 fn arb_extensions() -> impl Strategy<Value = Vec<Extension>> {

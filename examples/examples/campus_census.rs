@@ -22,7 +22,13 @@ fn main() {
 
     let mut table = Table::new(
         "Chain census (per §3.2.2 categories)",
-        &["Category", "#. Chains", "Weighted conns", "Established", "No-SNI"],
+        &[
+            "Category",
+            "#. Chains",
+            "Weighted conns",
+            "Established",
+            "No-SNI",
+        ],
     );
     for (name, cat) in [
         ("Public-DB-only", ChainCategoryLabel::PublicOnly),

@@ -8,9 +8,9 @@
 //! ```
 
 use certchain_asn1::Asn1Time;
+use certchain_cryptosim::sha256;
 use certchain_ctlog::merkle::{leaf_hash, verify_consistency, verify_inclusion};
 use certchain_ctlog::{CtLog, DomainIndex};
-use certchain_cryptosim::sha256;
 use certchain_workload::pki::{ca_validity, CaHandle, Ecosystem};
 use certchain_x509::{DistinguishedName, Validity};
 use std::sync::Arc;

@@ -55,11 +55,7 @@ fn main() {
     // invisible to this method.
     let evaded = analysis
         .chains_in(ChainCategoryLabel::NonPublicOnly)
-        .filter(|c| {
-            c.snis
-                .iter()
-                .any(|s| s.starts_with("private-origin-"))
-        })
+        .filter(|c| c.snis.iter().any(|s| s.starts_with("private-origin-")))
         .count();
     println!("undetectable (non-CT origin) interception chains misfiled as non-public: {evaded}");
 }

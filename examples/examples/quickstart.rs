@@ -75,7 +75,10 @@ fn main() {
     println!();
     for (name, policy) in [
         ("Chrome-like (path building)", ValidationPolicy::Browser),
-        ("OpenSSL-like (strict presented)", ValidationPolicy::StrictPresented),
+        (
+            "OpenSSL-like (strict presented)",
+            ValidationPolicy::StrictPresented,
+        ),
     ] {
         match validate_chain(policy, &delivered, &trust, at, Some("www.example.org")) {
             Ok(()) => println!("{name}: VALID"),

@@ -21,14 +21,26 @@ fn main() {
     println!("evolving to November 2024 and scanning…");
     let population = RevisitPopulation::generate(&mut eco, &refs);
     let results = scan_all(&population);
-    println!("  scanned {} chains from reachable servers\n", results.len());
+    println!(
+        "  scanned {} chains from reachable servers\n",
+        results.len()
+    );
 
     // --- Table 5.
     let t5 = compare(&results);
     println!("Table 5 (issuer-subject vs key-signature):");
-    println!("  single-certificate chains : {} / {}", t5.is_single, t5.ks_single);
-    println!("  valid chains              : {} / {}", t5.is_valid, t5.ks_valid);
-    println!("  broken chains             : {} / {}", t5.is_broken, t5.ks_broken);
+    println!(
+        "  single-certificate chains : {} / {}",
+        t5.is_single, t5.ks_single
+    );
+    println!(
+        "  valid chains              : {} / {}",
+        t5.is_valid, t5.ks_valid
+    );
+    println!(
+        "  broken chains             : {} / {}",
+        t5.is_broken, t5.ks_broken
+    );
     println!("  unrecognized keys         : - / {}", t5.ks_unrecognized);
     println!(
         "  ASN.1-error disagreements : {} (the paper found exactly one)\n",
@@ -56,7 +68,11 @@ fn main() {
             "  {} → Chrome: {} | OpenSSL-strict: {}",
             case.domain,
             if case.chrome_valid { "VALID" } else { "REJECT" },
-            if case.openssl_valid { "VALID" } else { "REJECT" }
+            if case.openssl_valid {
+                "VALID"
+            } else {
+                "REJECT"
+            }
         );
     }
 }

@@ -38,7 +38,11 @@ fn main() -> std::io::Result<()> {
     // Read back and analyze the files, exactly as one would real logs.
     let ssl = read_ssl_log(&std::fs::read_to_string(&ssl_path)?).expect("ssl.log parses");
     let x509 = read_x509_log(&std::fs::read_to_string(&x509_path)?).expect("x509.log parses");
-    println!("read back {} ssl records, {} x509 records", ssl.len(), x509.len());
+    println!(
+        "read back {} ssl records, {} x509 records",
+        ssl.len(),
+        x509.len()
+    );
 
     let pipeline = Pipeline::new(
         &trace.eco.trust,

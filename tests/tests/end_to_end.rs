@@ -45,10 +45,7 @@ fn analysis_identical_over_serialized_logs() {
     let reparsed = pipeline.analyze(&ssl, &x509, Some(&weights));
 
     assert_eq!(reparsed.chains.len(), direct.chains.len());
-    assert_eq!(
-        reparsed.interception_entities,
-        direct.interception_entities
-    );
+    assert_eq!(reparsed.interception_entities, direct.interception_entities);
     for cat in [
         ChainCategoryLabel::PublicOnly,
         ChainCategoryLabel::NonPublicOnly,
@@ -65,10 +62,7 @@ fn analysis_identical_over_serialized_logs() {
     for chain in &direct.chains {
         let idx = reparsed.index[&chain.key];
         assert_eq!(reparsed.chains[idx].category, chain.category);
-        assert_eq!(
-            reparsed.chains[idx].hybrid_category,
-            chain.hybrid_category
-        );
+        assert_eq!(reparsed.chains[idx].hybrid_category, chain.hybrid_category);
     }
 }
 
@@ -78,7 +72,11 @@ fn headline_numbers_survive_the_whole_stack() {
     // Table 2 / §3.2.2 shape.
     assert_eq!(analysis.chains_in(ChainCategoryLabel::Hybrid).count(), 321);
     // §4.2 CT compliance.
-    let logged: Vec<bool> = analysis.chains.iter().filter_map(|c| c.leaf_ct_logged).collect();
+    let logged: Vec<bool> = analysis
+        .chains
+        .iter()
+        .filter_map(|c| c.leaf_ct_logged)
+        .collect();
     assert_eq!(logged.len(), 26);
     assert!(logged.iter().all(|&l| l));
     // Figure 6: 56.74% of no-path chains at ratio ≥ 0.5.

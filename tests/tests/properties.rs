@@ -10,10 +10,20 @@ use proptest::prelude::*;
 /// Arbitrary chains over a small DN alphabet so matches actually occur.
 fn arb_chain() -> impl Strategy<Value = Vec<CertRecord>> {
     let name = prop_oneof![
-        Just("A"), Just("B"), Just("C"), Just("D"), Just("E"), Just("leaf.org")
+        Just("A"),
+        Just("B"),
+        Just("C"),
+        Just("D"),
+        Just("E"),
+        Just("leaf.org")
     ];
     proptest::collection::vec(
-        (name.clone(), name, proptest::option::of(any::<bool>()), any::<u8>()),
+        (
+            name.clone(),
+            name,
+            proptest::option::of(any::<bool>()),
+            any::<u8>(),
+        ),
         1..8,
     )
     .prop_map(|specs| {
@@ -59,8 +69,8 @@ proptest! {
             prop_assert!(run.end < chain.len());
             prop_assert!(run.start >= last_end, "runs are ordered and disjoint");
             last_end = run.end;
-            for pair in run.start..run.end {
-                covered[pair] = true;
+            for slot in &mut covered[run.start..run.end] {
+                *slot = true;
             }
         }
         for (i, (&m, &c)) in report.pair_matches.iter().zip(&covered).enumerate() {

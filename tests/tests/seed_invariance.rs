@@ -41,7 +41,11 @@ fn hybrid_taxonomy_holds_across_seeds() {
                 }
             }
         }
-        assert_eq!((complete, scalyr, contains, no_path), (26, 10, 70, 215), "seed {seed}");
+        assert_eq!(
+            (complete, scalyr, contains, no_path),
+            (26, 10, 70, 215),
+            "seed {seed}"
+        );
         assert_eq!(ge_half, 122, "Figure 6 split must be exact for seed {seed}");
     }
 }

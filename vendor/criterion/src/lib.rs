@@ -1,0 +1,249 @@
+//! A minimal, offline, API-compatible subset of the `criterion` crate.
+//!
+//! This workspace builds in hermetic environments with no registry access;
+//! the `harness = false` bench targets compile against this vendored shim.
+//! It provides the surface the repo's benches use — [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size` / `throughput` /
+//! `bench_function` / `bench_with_input` / `finish`, [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: one warm-up call, then a timed
+//! loop sized to roughly 100 ms (capped by the group's sample size), and
+//! a single mean-per-iteration line on stdout. There are no statistics,
+//! plots, or saved baselines — the numbers are indicative, not
+//! publication-grade; use the dedicated `--bin` emitters for recorded
+//! measurements.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, e.g. `parse/4096`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group supplies the function name).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    /// Upper bound on timed iterations (derived from the sample size).
+    max_iters: u64,
+    /// Filled in by [`Bencher::iter`]: (total elapsed, iterations).
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `f`, first warming up with one untimed call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std_black_box(f());
+        // Size the timed loop to ~100 ms using one measured call.
+        let probe_start = Instant::now();
+        std_black_box(f());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(50));
+        let target = Duration::from_millis(100);
+        let iters = (target.as_nanos() / probe.as_nanos()).clamp(1, self.max_iters as u128) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std_black_box(f());
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+fn run_one(
+    full_id: &str,
+    max_iters: u64,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        max_iters,
+        result: None,
+    };
+    f(&mut bencher);
+    let Some((elapsed, iters)) = bencher.result else {
+        println!("{full_id:<48} (no Bencher::iter call)");
+        return;
+    };
+    let mean = elapsed / iters.max(1) as u32;
+    let mut line = format!(
+        "{full_id:<48} mean {:>12}  ({iters} iters)",
+        format_duration(mean)
+    );
+    if let Some(tp) = throughput {
+        let per_sec = |count: u64| count as f64 / mean.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:.1} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:.0} elem/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Cap timed iterations for each benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Report throughput alongside mean time.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id);
+        run_one(&full_id, self.sample_size.max(1) * 10, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (upstream finalizes reports here; the shim prints live).
+    pub fn finish(self) {}
+}
+
+/// The bench driver (subset of upstream `Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Run an ungrouped benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_one(&id.to_string(), 1000, None, f);
+        self
+    }
+}
+
+/// Bundle bench functions under one callable group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); the shim
+            // runs every group unconditionally and ignores them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0u64..4).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher {
+            max_iters: 50,
+            result: None,
+        };
+        b.iter(|| black_box(1 + 1));
+        let (elapsed, iters) = b.result.expect("iter must record");
+        assert!((1..=50).contains(&iters));
+        assert!(elapsed.as_nanos() > 0);
+    }
+}

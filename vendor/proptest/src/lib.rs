@@ -1,0 +1,692 @@
+//! A minimal, offline, API-compatible subset of the `proptest` crate.
+//!
+//! This workspace builds in hermetic environments with no registry access;
+//! the property tests run against this vendored shim instead of upstream
+//! `proptest`. The surface mirrors what the repo's tests use:
+//!
+//! - the [`proptest!`] macro with `name: Type` and `pat in strategy`
+//!   parameters and an optional `#![proptest_config(..)]` header,
+//! - [`Strategy`] with `prop_map` / `boxed`, [`Just`], integer-range and
+//!   tuple strategies, string-literal "regex" strategies over a small
+//!   pattern language (char classes + `{m,n}` repetition + `\PC`),
+//! - [`collection::vec`], [`option::of`], [`sample::Index`],
+//!   [`any`] for the primitive types the tests draw,
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   [`prop_oneof!`].
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test SplitMix64 stream (seeded by the test's module path), there is
+//! no shrinking, and failed assertions panic immediately with the failing
+//! values in the message.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Run configuration (subset of upstream `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-test generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded stream.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Stable FNV-1a seed for a test, derived from its full path.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A value generator (subset of upstream `Strategy`).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> BoxedStrategy<V> {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always-this-value strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed alternatives ([`prop_oneof!`]).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// From pre-boxed alternatives (at least one).
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Union<V> {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + (((rng.next_u64() as u128 * span) >> 64) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + (((rng.next_u64() as u128 * span) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+
+/// Types with a canonical uniform strategy ([`any`]).
+pub trait Arbitrary {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! array_arbitrary {
+    ($($n:literal),*) => {$(
+        impl Arbitrary for [u8; $n] {
+            fn arbitrary(rng: &mut TestRng) -> [u8; $n] {
+                let mut out = [0u8; $n];
+                for chunk in out.chunks_mut(8) {
+                    let v = rng.next_u64().to_le_bytes();
+                    chunk.copy_from_slice(&v[..chunk.len()]);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+array_arbitrary!(4, 8, 16, 20, 32);
+
+/// Strategy for any [`Arbitrary`] type.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Vec of `element` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Clone> Clone for VecStrategy<S> {
+        fn clone(&self) -> VecStrategy<S> {
+            VecStrategy {
+                element: self.element.clone(),
+                size: self.size.clone(),
+            }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "empty vec size range");
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Option strategies (subset of `proptest::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Some`/`None` with equal probability.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `proptest::option::of`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+/// Sampling helpers (subset of `proptest::sample`).
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An arbitrary index into a collection of as-yet-unknown size.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolve against a concrete length (`len > 0`).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+// --- String-literal "regex" strategies -----------------------------------
+
+/// One atom of the mini pattern language.
+enum PatItem {
+    /// A literal character.
+    Literal(char),
+    /// A character class with repetition bounds.
+    Class {
+        set: Vec<char>,
+        min: usize,
+        max: usize,
+    },
+}
+
+/// Printable-character pool backing `\PC` (ASCII printable, Latin-1
+/// letters, and a few multi-byte code points to exercise UTF-8 paths).
+fn printable_pool() -> Vec<char> {
+    let mut set: Vec<char> = (0x20u32..0x7f).filter_map(char::from_u32).collect();
+    set.extend((0xe0u32..=0xff).filter_map(char::from_u32));
+    set.extend(['€', 'π', '中', '文', '✓']);
+    set
+}
+
+/// Parse `[...]` (after the opening bracket) into a char set.
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    set.push(p);
+                }
+                return set;
+            }
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                if let Some(p) = pending.replace(escaped) {
+                    set.push(p);
+                }
+            }
+            '-' if pending.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                let lo = pending.take().expect("checked above");
+                let hi = chars.next().expect("peeked above");
+                let (lo, hi) = (lo as u32, hi as u32);
+                assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                set.extend((lo..=hi).filter_map(char::from_u32));
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    set.push(p);
+                }
+            }
+        }
+    }
+}
+
+/// Parse optional `{m,n}` repetition following an atom.
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<(usize, usize)> {
+    if chars.peek() != Some(&'{') {
+        return None;
+    }
+    chars.next();
+    let mut body = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            let (m, n) = body
+                .split_once(',')
+                .expect("pattern repetition needs {m,n}");
+            return Some((
+                m.trim().parse().expect("bad repetition lower bound"),
+                n.trim().parse().expect("bad repetition upper bound"),
+            ));
+        }
+        body.push(c);
+    }
+    panic!("unterminated repetition");
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatItem> {
+    let mut chars = pattern.chars().peekable();
+    let mut items = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Some(parse_class(&mut chars, pattern)),
+            '\\' => match chars.next() {
+                Some('P') => {
+                    // `\PC`: any printable (non-control) character.
+                    assert_eq!(chars.next(), Some('C'), "only \\PC is supported");
+                    Some(printable_pool())
+                }
+                Some(escaped) => {
+                    items.push(PatItem::Literal(escaped));
+                    None
+                }
+                None => panic!("dangling escape in pattern {pattern:?}"),
+            },
+            other => {
+                items.push(PatItem::Literal(other));
+                None
+            }
+        };
+        if let Some(set) = atom {
+            assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+            let (min, max) = parse_repeat(&mut chars).unwrap_or((1, 1));
+            items.push(PatItem::Class { set, min, max });
+        }
+    }
+    items
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for item in parse_pattern(self) {
+            match item {
+                PatItem::Literal(c) => out.push(c),
+                PatItem::Class { set, min, max } => {
+                    let count = min + rng.below((max - min + 1) as u64) as usize;
+                    for _ in 0..count {
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// --- Macros ----------------------------------------------------------------
+
+/// The test-defining macro (subset of upstream `proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident ( $($params:tt)* ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __seed =
+                $crate::seed_from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::TestRng::new(
+                    __seed ^ (__case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                $crate::__proptest_bind! { __rng; $($params)* }
+                $body
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $p:pat in $s:expr) => {
+        let $p = $crate::Strategy::generate(&($s), &mut $rng);
+    };
+    ($rng:ident; $p:pat in $s:expr, $($rest:tt)*) => {
+        let $p = $crate::Strategy::generate(&($s), &mut $rng);
+        $crate::__proptest_bind! { $rng; $($rest)* }
+    };
+    ($rng:ident; $n:ident : $t:ty) => {
+        let $n: $t = $crate::Arbitrary::arbitrary(&mut $rng);
+    };
+    ($rng:ident; $n:ident : $t:ty, $($rest:tt)*) => {
+        let $n: $t = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind! { $rng; $($rest)* }
+    };
+}
+
+/// Assertion macros: panic immediately (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_language_generates_matching_strings() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[A-Za-z0-9]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+
+            let s = Strategy::generate(&"CN=[a-z]{1,4}", &mut rng);
+            assert!(s.starts_with("CN="));
+
+            let s = Strategy::generate(&"[a-z0-9.-]{1,32}", &mut rng);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '-'));
+
+            let s = Strategy::generate(&"\\PC{0,64}", &mut rng);
+            assert!(s.chars().count() <= 64);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn escaped_backslash_class() {
+        let mut rng = TestRng::new(2);
+        let mut saw_backslash = false;
+        for _ in 0..500 {
+            let s = Strategy::generate(&"[a\\\\-]{1,8}", &mut rng);
+            assert!(s.chars().all(|c| c == 'a' || c == '\\' || c == '-'));
+            saw_backslash |= s.contains('\\');
+        }
+        assert!(saw_backslash);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_with_typed_params(value: u64, flag: bool) {
+            let _ = (value, flag);
+        }
+
+        #[test]
+        fn macro_with_strategies(
+            x in 0u64..100,
+            v in crate::collection::vec(any::<u8>(), 0..4),
+            o in crate::option::of(0u64..8),
+            idx in any::<crate::sample::Index>(),
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!(v.len() < 4);
+            if let Some(inner) = o {
+                prop_assert!(inner < 8);
+            }
+            prop_assert!(idx.index(10) < 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn configured_case_count(seed in 0u64..1000) {
+            let _ = seed;
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let name = prop_oneof![Just("A"), Just("B")];
+        let strat = (name.clone(), name).prop_map(|(a, b)| format!("{a}{b}"));
+        let mut rng = TestRng::new(3);
+        for _ in 0..50 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!(["AA", "AB", "BA", "BB"].contains(&s.as_str()));
+        }
+    }
+}

@@ -1,8 +1,14 @@
 //! Thread-count invariance: the parallel pipeline must render the exact
-//! same paper artifacts as the sequential one, byte for byte.
+//! same paper artifacts as the sequential one, byte for byte — whether
+//! the records arrive as in-memory slices (batch) or are streamed off
+//! serialized Zeek logs (the bounded-memory path `certchain analyze`
+//! uses).
 
 use certchain_bench::{table2, table3, table7, Lab};
 use certchain_chainlab::{CrossSignRegistry, Pipeline, PipelineOptions};
+use certchain_netsim::zeek::reader::{read_ssl_log, read_x509_log};
+use certchain_netsim::zeek::tsv::{write_ssl_log, write_x509_log};
+use certchain_netsim::{SimClock, SslLogStream, X509LogStream};
 use certchain_workload::{CampusProfile, CampusTrace};
 
 #[test]
@@ -41,5 +47,75 @@ fn tables_are_byte_identical_across_thread_counts() {
         lab.analysis = analyze(&lab.trace, threads);
         let parallel = render(&lab);
         assert_eq!(sequential, parallel, "threads = {threads} diverged");
+    }
+}
+
+/// The streaming ingestion path — serialized Zeek logs, record streams,
+/// chunked accumulation — must render the same Tables 2/3/7 as the batch
+/// path over the same logs, for every thread count.
+#[test]
+fn streaming_path_renders_identical_tables() {
+    let trace = CampusTrace::generate_with(CampusProfile::quick(), 0);
+    // Serialize the logs exactly as `certchain generate` writes them.
+    let open = SimClock::campus_window_start().now();
+    let mut ssl_buf = Vec::new();
+    write_ssl_log(&mut ssl_buf, &trace.ssl_records, open).unwrap();
+    let mut x509_buf = Vec::new();
+    write_x509_log(&mut x509_buf, &trace.x509_records, open).unwrap();
+
+    // Batch baseline: whole-log parse, unweighted in-memory analysis
+    // (real Zeek logs carry no statistical weights, so the streaming path
+    // is weight-1.0 by construction — compare like with like).
+    let ssl = read_ssl_log(std::str::from_utf8(&ssl_buf).unwrap()).unwrap();
+    let x509 = read_x509_log(std::str::from_utf8(&x509_buf).unwrap()).unwrap();
+    let batch = Pipeline::with_options(
+        &trace.eco.trust,
+        &trace.ct_index,
+        CrossSignRegistry::from_disclosures(&trace.cross_sign_disclosures),
+        PipelineOptions {
+            threads: 1,
+            ..PipelineOptions::default()
+        },
+    )
+    .analyze(&ssl, &x509, None);
+
+    let stream_analyze = |trace: &CampusTrace, threads: usize| {
+        let pipeline = Pipeline::with_options(
+            &trace.eco.trust,
+            &trace.ct_index,
+            CrossSignRegistry::from_disclosures(&trace.cross_sign_disclosures),
+            PipelineOptions {
+                threads,
+                ..PipelineOptions::default()
+            },
+        );
+        pipeline
+            .analyze_stream(
+                SslLogStream::new(&ssl_buf[..]),
+                X509LogStream::new(&x509_buf[..]),
+            )
+            .expect("well-formed logs stream cleanly")
+    };
+
+    let mut lab = Lab {
+        trace,
+        analysis: batch,
+    };
+    let render = |lab: &Lab| {
+        (
+            table2(lab).rendered,
+            table3(lab).rendered,
+            table7(lab).rendered,
+        )
+    };
+    let baseline = render(&lab);
+
+    for threads in [1, 2, 8] {
+        lab.analysis = stream_analyze(&lab.trace, threads);
+        let streamed = render(&lab);
+        assert_eq!(
+            baseline, streamed,
+            "streaming path diverged at threads = {threads}"
+        );
     }
 }

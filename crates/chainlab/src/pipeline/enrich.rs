@@ -1,0 +1,80 @@
+//! Stage 2 — enrich: intern x509.log rows into shared certificate
+//! records, one `Arc` per distinct fingerprint.
+//!
+//! Real campus logs repeat certificates enormously (every connection
+//! re-logs the chain it saw), so the index is the compact side of the
+//! dataset: O(distinct certificates) regardless of connection volume.
+//! First occurrence wins, so re-logged rows never perturb the index and
+//! both entry points agree on which row defines a fingerprint.
+
+use crate::model::CertRecord;
+use certchain_netsim::X509Record;
+use certchain_x509::Fingerprint;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Build the fingerprint → interned certificate index from an in-memory
+/// slice. First occurrence in `x509` wins, matching the sequential fold:
+/// per-worker chunks stay in input order and merge in chunk order.
+pub(crate) fn intern_certs(
+    x509: &[X509Record],
+    threads: usize,
+) -> HashMap<Fingerprint, Arc<CertRecord>> {
+    let mut cert_index: HashMap<Fingerprint, Arc<CertRecord>> = HashMap::with_capacity(x509.len());
+    if threads <= 1 || x509.len() < 2 {
+        for rec in x509 {
+            if let Some(cert) = CertRecord::from_record(rec) {
+                cert_index
+                    .entry(rec.fingerprint)
+                    .or_insert_with(|| Arc::new(cert));
+            }
+        }
+        return cert_index;
+    }
+    let chunk = x509.len().div_ceil(threads);
+    let parsed: Vec<Vec<(Fingerprint, Arc<CertRecord>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = x509
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    part.iter()
+                        .filter_map(|rec| {
+                            CertRecord::from_record(rec)
+                                .map(|cert| (rec.fingerprint, Arc::new(cert)))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("intern worker panicked"))
+            .collect()
+    });
+    for part in parsed {
+        for (fp, cert) in part {
+            cert_index.entry(fp).or_insert(cert);
+        }
+    }
+    cert_index
+}
+
+/// Build the index from a fallible record stream without ever holding the
+/// raw rows: each row is parsed and either interned or dropped as a
+/// duplicate, so peak memory is O(distinct certificates). The first
+/// reader error aborts and is returned as-is. For well-formed input the
+/// result equals [`intern_certs`] over the collected rows.
+pub(crate) fn intern_certs_stream<E>(
+    x509: impl Iterator<Item = Result<X509Record, E>>,
+) -> Result<HashMap<Fingerprint, Arc<CertRecord>>, E> {
+    let mut cert_index: HashMap<Fingerprint, Arc<CertRecord>> = HashMap::new();
+    for rec in x509 {
+        let rec = rec?;
+        if let Some(cert) = CertRecord::from_record(&rec) {
+            cert_index
+                .entry(rec.fingerprint)
+                .or_insert_with(|| Arc::new(cert));
+        }
+    }
+    Ok(cert_index)
+}

@@ -1,0 +1,85 @@
+//! Stage 4 — finalize: pass 2 over the sorted chains and [`Analysis`]
+//! assembly.
+//!
+//! Everything here operates on the `ChainKey`-sorted `Prepared` vector,
+//! which is the single total order the determinism guarantee hangs on:
+//! contiguous chunks concatenate back in order, so the output sequence
+//! equals the sequential one for every thread count.
+
+use super::categorize::{self, Prepared};
+use super::{Analysis, ChainAnalysis, Pipeline};
+use crate::crosssign::CrossSignRegistry;
+use certchain_x509::Fingerprint;
+use std::collections::BTreeSet;
+
+/// Pass 2: per-chain categorization and structure analysis, in parallel
+/// over contiguous chunks of the sorted `prepared` vector.
+pub(crate) fn analyze_chains(
+    pipe: &Pipeline<'_>,
+    prepared: Vec<Prepared>,
+    entities: &BTreeSet<String>,
+    registry: &CrossSignRegistry,
+    threads: usize,
+) -> (Vec<ChainAnalysis>, BTreeSet<Fingerprint>) {
+    let total = prepared.len();
+    let analyze_part = |part: Vec<Prepared>| {
+        let mut chains = Vec::with_capacity(part.len());
+        let mut distinct: BTreeSet<Fingerprint> = BTreeSet::new();
+        for p in part {
+            distinct.extend(p.key.0.iter().copied());
+            chains.push(categorize::analyze_one(pipe, p, entities, registry));
+        }
+        (chains, distinct)
+    };
+    if threads <= 1 || total < 2 {
+        return analyze_part(prepared);
+    }
+    let chunk_size = total.div_ceil(threads);
+    let mut parts: Vec<Vec<Prepared>> = Vec::with_capacity(threads);
+    let mut rest = prepared;
+    while rest.len() > chunk_size {
+        let tail = rest.split_off(chunk_size);
+        parts.push(std::mem::replace(&mut rest, tail));
+    }
+    parts.push(rest);
+    let results: Vec<(Vec<ChainAnalysis>, BTreeSet<Fingerprint>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| scope.spawn(|| analyze_part(part)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pass-2 worker panicked"))
+            .collect()
+    });
+    let mut chains = Vec::with_capacity(total);
+    let mut distinct = BTreeSet::new();
+    for (part, part_distinct) in results {
+        chains.extend(part);
+        distinct.extend(part_distinct);
+    }
+    (chains, distinct)
+}
+
+/// Assemble the final [`Analysis`] value.
+pub(crate) fn assemble(
+    chains: Vec<ChainAnalysis>,
+    distinct: BTreeSet<Fingerprint>,
+    no_chain_records: u64,
+    unresolvable_records: u64,
+    interception_entities: BTreeSet<String>,
+) -> Analysis {
+    let index = chains
+        .iter()
+        .enumerate()
+        .map(|(i, chain)| (chain.key.clone(), i))
+        .collect();
+    Analysis {
+        chains,
+        index,
+        no_chain_records,
+        unresolvable_records,
+        distinct_certificates: distinct.len(),
+        interception_entities,
+    }
+}

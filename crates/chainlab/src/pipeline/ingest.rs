@@ -1,0 +1,216 @@
+//! Stage 1 — ingest: fold the ssl.log record stream into per-chain
+//! accumulators, chunk by chunk.
+//!
+//! The engine is generic over how records arrive: the batch path feeds it
+//! `&SslRecord` borrows with per-record weights, the streaming path feeds
+//! it owned records at weight 1.0. Either way only [`CHUNK`] records are
+//! in flight at once, so peak memory is O(distinct chains), not
+//! O(connections).
+//!
+//! Parallelism is *partition-dispatch*: the main thread reads one chunk,
+//! splits it by [`shard_of`] into per-shard batches, and hands each batch
+//! to a persistent worker over a bounded channel. Each chain belongs to
+//! exactly one shard and batches arrive in stream order, so every chain's
+//! f64 accumulation order equals the sequential fold — the root of the
+//! byte-identical-across-thread-counts guarantee. (The previous design
+//! instead had *every* worker rescan the whole record slice and keep only
+//! its shard's records — O(records × threads) total work, which made the
+//! pipeline scale *negatively* with thread count.)
+
+use super::categorize::{self, Prepared};
+use super::{Pipeline, SslItem};
+use crate::model::{CertRecord, ChainKey};
+use crate::usage::UsageStats;
+use certchain_netsim::SslRecord;
+use certchain_x509::Fingerprint;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+
+/// Records ingested per dispatch round. Large enough to amortize channel
+/// and scheduling overhead, small enough that in-flight memory stays
+/// negligible next to the per-chain accumulators.
+pub(crate) const CHUNK: usize = 8192;
+
+/// Bounded depth of each worker's batch queue: the main thread stalls
+/// instead of buffering unboundedly when workers fall behind.
+const CHANNEL_DEPTH: usize = 4;
+
+/// Per-chain connection accumulator.
+#[derive(Default)]
+pub(crate) struct ChainAccum {
+    pub(crate) usage: UsageStats,
+    pub(crate) snis: BTreeSet<String>,
+}
+
+/// Stable shard id for a chain: FNV-1a over the fingerprint bytes. Must
+/// not vary across runs or platforms — shard membership decides which
+/// worker folds a chain's connection stream, and determinism relies on
+/// every chain living in exactly one shard.
+pub(crate) fn shard_of(fps: &[Fingerprint], shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for fp in fps {
+        for &b in &fp.0 {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    (h % shards as u64) as usize
+}
+
+/// Fold one resolvable record into its chain's accumulator.
+fn fold(accums: &mut HashMap<ChainKey, ChainAccum>, rec: &SslRecord, weight: f64) {
+    // Probe with the borrowed fingerprint slice first; a `ChainKey` is
+    // only allocated the first time a chain is seen.
+    if !accums.contains_key(rec.cert_chain_fps.as_slice()) {
+        accums.insert(ChainKey(rec.cert_chain_fps.clone()), ChainAccum::default());
+    }
+    let entry = accums
+        .get_mut(rec.cert_chain_fps.as_slice())
+        .expect("present or just inserted");
+    entry.usage.add(
+        rec.established,
+        rec.server_name.is_some(),
+        rec.resp_p,
+        rec.orig_h,
+        weight,
+    );
+    if let Some(sni) = &rec.server_name {
+        entry.snis.insert(sni.clone());
+    }
+}
+
+/// Fold the record stream into classified [`Prepared`] chains (unsorted).
+/// Returns `(prepared, no_chain, unresolvable)`.
+pub(crate) fn accumulate<B, I>(
+    pipe: &Pipeline<'_>,
+    records: I,
+    cert_index: &HashMap<Fingerprint, Arc<CertRecord>>,
+    threads: usize,
+) -> (Vec<Prepared>, u64, u64)
+where
+    B: SslItem,
+    I: Iterator<Item = (B, f64)>,
+{
+    if threads <= 1 {
+        return sequential(pipe, records, cert_index);
+    }
+    dispatch(pipe, records, cert_index, threads)
+}
+
+/// The single-threaded fold — also the semantic reference the parallel
+/// path must reproduce byte-for-byte.
+fn sequential<B, I>(
+    pipe: &Pipeline<'_>,
+    records: I,
+    cert_index: &HashMap<Fingerprint, Arc<CertRecord>>,
+) -> (Vec<Prepared>, u64, u64)
+where
+    B: SslItem,
+    I: Iterator<Item = (B, f64)>,
+{
+    let mut accums: HashMap<ChainKey, ChainAccum> = HashMap::new();
+    let mut no_chain = 0u64;
+    let mut unresolvable = 0u64;
+    for (item, weight) in records {
+        let rec = item.borrow();
+        if rec.cert_chain_fps.is_empty() {
+            no_chain += 1;
+            continue;
+        }
+        if !rec
+            .cert_chain_fps
+            .iter()
+            .all(|fp| cert_index.contains_key(fp))
+        {
+            unresolvable += 1;
+            continue;
+        }
+        fold(&mut accums, rec, weight);
+    }
+    (
+        categorize::prepare(pipe, accums, cert_index),
+        no_chain,
+        unresolvable,
+    )
+}
+
+/// The parallel fold: one persistent worker per shard, fed per-shard
+/// batches by the main thread, which performs the only scan of the record
+/// stream. Counters are sums (order-insensitive); per-chain accumulation
+/// order is the batch arrival order, i.e. global stream order.
+fn dispatch<B, I>(
+    pipe: &Pipeline<'_>,
+    mut records: I,
+    cert_index: &HashMap<Fingerprint, Arc<CertRecord>>,
+    threads: usize,
+) -> (Vec<Prepared>, u64, u64)
+where
+    B: SslItem,
+    I: Iterator<Item = (B, f64)>,
+{
+    let shards = threads;
+    let mut no_chain = 0u64;
+    let results: Vec<(Vec<Prepared>, u64)> = std::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = sync_channel::<Vec<(B, f64)>>(CHANNEL_DEPTH);
+            senders.push(tx);
+            handles.push(scope.spawn(move || {
+                let mut accums: HashMap<ChainKey, ChainAccum> = HashMap::new();
+                let mut unresolvable = 0u64;
+                while let Ok(batch) = rx.recv() {
+                    for (item, weight) in batch {
+                        let rec = item.borrow();
+                        if !rec
+                            .cert_chain_fps
+                            .iter()
+                            .all(|fp| cert_index.contains_key(fp))
+                        {
+                            unresolvable += 1;
+                            continue;
+                        }
+                        fold(&mut accums, rec, weight);
+                    }
+                }
+                (categorize::prepare(pipe, accums, cert_index), unresolvable)
+            }));
+        }
+        // The only scan: read a chunk, partition it, dispatch it.
+        let mut batches: Vec<Vec<(B, f64)>> = (0..shards).map(|_| Vec::new()).collect();
+        loop {
+            let mut saw_any = false;
+            for (item, weight) in records.by_ref().take(CHUNK) {
+                saw_any = true;
+                if item.borrow().cert_chain_fps.is_empty() {
+                    no_chain += 1;
+                    continue;
+                }
+                let shard = shard_of(&item.borrow().cert_chain_fps, shards);
+                batches[shard].push((item, weight));
+            }
+            for (shard, batch) in batches.iter_mut().enumerate() {
+                if !batch.is_empty() {
+                    senders[shard]
+                        .send(std::mem::take(batch))
+                        .expect("accumulation worker hung up early");
+                }
+            }
+            if !saw_any {
+                break;
+            }
+        }
+        drop(senders);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("accumulation worker panicked"))
+            .collect()
+    });
+    let mut prepared = Vec::with_capacity(results.iter().map(|(p, _)| p.len()).sum());
+    let mut unresolvable = 0u64;
+    for (part, ur) in results {
+        prepared.extend(part);
+        unresolvable += ur;
+    }
+    (prepared, no_chain, unresolvable)
+}

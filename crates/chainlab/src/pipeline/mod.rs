@@ -1,0 +1,594 @@
+//! The end-to-end analysis pipeline (Figure 2's "certificate chain
+//! structure analyzer"), as four explicit stages:
+//!
+//! 1. [`ingest`] — fold the ssl.log record stream into per-chain
+//!    accumulators, chunk by chunk with a fixed chunk size, so peak memory
+//!    is O(distinct chains) rather than O(connections);
+//! 2. [`enrich`] — intern x509.log rows into shared [`CertRecord`]s, one
+//!    `Arc` per distinct fingerprint;
+//! 3. [`categorize`] — interception-entity discovery (pass 1) and
+//!    per-chain categorization + structure analysis (pass 2);
+//! 4. [`finalize`] — the sorted merge and [`Analysis`] assembly that pin
+//!    the byte-identical-across-thread-counts guarantee.
+//!
+//! Batch callers use [`Pipeline::analyze`] over in-memory slices; the
+//! bounded-memory path is [`Pipeline::analyze_stream`], which consumes
+//! `Result`-yielding record iterators (e.g. the streaming Zeek readers in
+//! `certchain_netsim::zeek::stream`) and never materializes the connection
+//! stream.
+
+pub mod categorize;
+pub mod enrich;
+pub mod finalize;
+pub mod ingest;
+
+use crate::classify::CertClass;
+use crate::crosssign::CrossSignRegistry;
+use crate::hybrid::HybridCategory;
+use crate::matchpath::PathReport;
+use crate::model::{CertRecord, ChainKey};
+use crate::usage::UsageStats;
+use certchain_ctlog::DomainIndex;
+use certchain_netsim::{SslRecord, X509Record};
+use certchain_trust::TrustDb;
+use std::borrow::Borrow;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+pub use categorize::issuer_entity;
+
+/// §3.2.2 chain categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChainCategoryLabel {
+    /// Exclusively public-DB-issued certificates.
+    PublicOnly,
+    /// Exclusively non-public-DB-issued certificates (interception
+    /// excluded).
+    NonPublicOnly,
+    /// Both classes present.
+    Hybrid,
+    /// Issued by an entity identified as performing TLS interception.
+    Interception,
+}
+
+/// Everything the pipeline learned about one distinct delivered chain.
+#[derive(Debug, Clone)]
+pub struct ChainAnalysis {
+    /// Ordered fingerprints (the chain's identity).
+    pub key: ChainKey,
+    /// Resolved certificate records, delivery order. Certificates are
+    /// interned once per fingerprint and shared across chains.
+    pub certs: Vec<Arc<CertRecord>>,
+    /// Per-certificate issuer classification.
+    pub classes: Vec<CertClass>,
+    /// §3.2.2 category.
+    pub category: ChainCategoryLabel,
+    /// Issuer–subject path report.
+    pub path: PathReport,
+    /// Hybrid taxonomy (only for hybrid chains).
+    pub hybrid_category: Option<HybridCategory>,
+    /// §4.2's 56-chain subgroup membership.
+    pub pub_leaf_no_intermediate: bool,
+    /// Whether the chain is in the DGA cluster (§4.3).
+    pub is_dga: bool,
+    /// For complete non-public→public chains: is the leaf CT-logged?
+    pub leaf_ct_logged: Option<bool>,
+    /// The intercepting entity key, when category is Interception.
+    pub interception_entity: Option<String>,
+    /// SNIs observed with this chain.
+    pub snis: BTreeSet<String>,
+    /// Aggregated usage over the chain's connections.
+    pub usage: UsageStats,
+}
+
+/// Pipeline output.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Per-chain results.
+    pub chains: Vec<ChainAnalysis>,
+    /// Chain key → index into `chains`.
+    pub index: HashMap<ChainKey, usize>,
+    /// ssl.log records carrying no certificates (TLS 1.3 connections).
+    pub no_chain_records: u64,
+    /// Records referencing fingerprints absent from x509.log.
+    pub unresolvable_records: u64,
+    /// Distinct certificates seen across all analyzed chains.
+    pub distinct_certificates: usize,
+    /// The interception entities identified in pass 1.
+    pub interception_entities: BTreeSet<String>,
+}
+
+/// Tunable analysis options — the ablation knobs DESIGN.md calls out.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Honor cross-signing disclosures during pair matching (§4.2 /
+    /// Appendix D.1). Disabling reproduces the naive matcher and its
+    /// false mismatches on cross-signed chains.
+    pub honor_cross_signing: bool,
+    /// Minimum number of distinct forged domains before an interception
+    /// candidate is confirmed (the paper's manual-investigation step).
+    /// 1 disables corroboration; the default is 2.
+    pub confirmation_min_domains: usize,
+    /// Worker threads for the parallel stages. `0` (the default) resolves
+    /// to the machine's available parallelism; `1` runs the fully
+    /// sequential path. The output is byte-identical for every value:
+    /// chains are sharded by a stable hash of their fingerprint sequence,
+    /// the record stream is partitioned to workers in order (so each
+    /// chain's connections are folded in global record order), and
+    /// per-chain results merge in `ChainKey` order.
+    pub threads: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> PipelineOptions {
+        PipelineOptions {
+            honor_cross_signing: true,
+            confirmation_min_domains: 2,
+            threads: 0,
+        }
+    }
+}
+
+/// Resolve a thread-count knob: `0` means available parallelism.
+pub(crate) fn resolve_threads(requested: usize) -> usize {
+    if requested != 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// The configured analyzer.
+pub struct Pipeline<'a> {
+    pub(crate) trust: &'a TrustDb,
+    pub(crate) ct: &'a DomainIndex,
+    pub(crate) crosssign: CrossSignRegistry,
+    pub(crate) options: PipelineOptions,
+}
+
+impl<'a> Pipeline<'a> {
+    /// Configure the analyzer.
+    pub fn new(
+        trust: &'a TrustDb,
+        ct: &'a DomainIndex,
+        crosssign: CrossSignRegistry,
+    ) -> Pipeline<'a> {
+        Pipeline::with_options(trust, ct, crosssign, PipelineOptions::default())
+    }
+
+    /// Configure with explicit [`PipelineOptions`] (ablation studies).
+    pub fn with_options(
+        trust: &'a TrustDb,
+        ct: &'a DomainIndex,
+        crosssign: CrossSignRegistry,
+        options: PipelineOptions,
+    ) -> Pipeline<'a> {
+        Pipeline {
+            trust,
+            ct,
+            crosssign,
+            options,
+        }
+    }
+
+    /// Run the full analysis over in-memory record slices.
+    ///
+    /// `weights`, when given, must align with `ssl` and carries each
+    /// record's statistical weight (1.0 when absent). The pipeline itself
+    /// is weight-agnostic; weights only flow into the usage aggregates.
+    ///
+    /// The stages run on [`PipelineOptions::threads`] workers; the result
+    /// is byte-identical for every thread count (see the options docs).
+    pub fn analyze(
+        &self,
+        ssl: &[SslRecord],
+        x509: &[X509Record],
+        weights: Option<&[f64]>,
+    ) -> Analysis {
+        if let Some(w) = weights {
+            assert_eq!(w.len(), ssl.len(), "weights must align with ssl records");
+        }
+        let threads = resolve_threads(self.options.threads);
+        let cert_index = enrich::intern_certs(x509, threads);
+        let weight_of = |i: usize| weights.map(|w| w[i]).unwrap_or(1.0);
+        let records = ssl.iter().enumerate().map(|(i, rec)| (rec, weight_of(i)));
+        let (prepared, no_chain, unresolvable) =
+            ingest::accumulate(self, records, &cert_index, threads);
+        self.finish(prepared, no_chain, unresolvable, threads)
+    }
+
+    /// Run the full analysis over streaming record sources — the
+    /// bounded-memory path. `x509` is drained first (the certificate index
+    /// must exist before connections can be resolved); `ssl` is then
+    /// consumed chunk by chunk, so peak memory is O(distinct chains +
+    /// distinct certificates), never O(connections). Every record carries
+    /// weight 1.0 (real Zeek logs have no statistical weights).
+    ///
+    /// The first reader error aborts the analysis and is returned as-is.
+    /// For well-formed input the result is byte-identical to
+    /// [`Pipeline::analyze`] over the collected records, for every thread
+    /// count.
+    pub fn analyze_stream<E, I, J>(&self, ssl: I, x509: J) -> Result<Analysis, E>
+    where
+        I: Iterator<Item = Result<SslRecord, E>>,
+        J: Iterator<Item = Result<X509Record, E>>,
+    {
+        let threads = resolve_threads(self.options.threads);
+        let cert_index = enrich::intern_certs_stream(x509)?;
+        let mut first_err: Option<E> = None;
+        let records = FuseOnErr {
+            inner: ssl,
+            err: &mut first_err,
+        };
+        let (prepared, no_chain, unresolvable) =
+            ingest::accumulate(self, records, &cert_index, threads);
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(self.finish(prepared, no_chain, unresolvable, threads))
+    }
+
+    /// The stages downstream of accumulation, shared by the batch and
+    /// streaming paths: sorted merge, pass 1, pass 2, assembly.
+    fn finish(
+        &self,
+        mut prepared: Vec<categorize::Prepared>,
+        no_chain_records: u64,
+        unresolvable_records: u64,
+        threads: usize,
+    ) -> Analysis {
+        // A single total order over chains: everything downstream —
+        // pass-1 scans, pass-2 chunking, the output vector — derives from
+        // it, which is what makes the result thread-count-invariant.
+        prepared.sort_by(|a, b| a.key.cmp(&b.key));
+
+        // Pass 1: identify interception entities via CT cross-referencing
+        // over SNI-bearing observations. The paper confirmed candidates
+        // "through manual investigation"; the automatic proxy here is
+        // corroboration — an entity must be seen forging at least two
+        // distinct domains.
+        let interception_entities = categorize::find_entities(self, &prepared, threads);
+
+        // Pass 2: categorize every chain and run structure analysis. The
+        // effective registry is resolved once, outside the per-chain work.
+        let empty_registry = CrossSignRegistry::new();
+        let registry = if self.options.honor_cross_signing {
+            &self.crosssign
+        } else {
+            &empty_registry
+        };
+        let (chains, distinct) =
+            finalize::analyze_chains(self, prepared, &interception_entities, registry, threads);
+        finalize::assemble(
+            chains,
+            distinct,
+            no_chain_records,
+            unresolvable_records,
+            interception_entities,
+        )
+    }
+}
+
+/// Iterator adapter: yields `(record, 1.0)` until the first `Err`, which
+/// is parked in `err` and ends the stream. This lets the infallible
+/// accumulation engine drive fallible sources without buffering them.
+struct FuseOnErr<'e, E, I> {
+    inner: I,
+    err: &'e mut Option<E>,
+}
+
+impl<E, I, T> Iterator for FuseOnErr<'_, E, I>
+where
+    I: Iterator<Item = Result<T, E>>,
+{
+    type Item = (T, f64);
+
+    fn next(&mut self) -> Option<(T, f64)> {
+        if self.err.is_some() {
+            return None;
+        }
+        match self.inner.next()? {
+            Ok(rec) => Some((rec, 1.0)),
+            Err(e) => {
+                *self.err = Some(e);
+                None
+            }
+        }
+    }
+}
+
+/// Marker trait bound used by the accumulation engine: it folds either
+/// borrowed records (batch) or owned records (streaming).
+pub(crate) trait SslItem: Borrow<SslRecord> + Send {}
+impl<T: Borrow<SslRecord> + Send> SslItem for T {}
+
+impl Analysis {
+    /// Chains of one category.
+    pub fn chains_in(&self, category: ChainCategoryLabel) -> impl Iterator<Item = &ChainAnalysis> {
+        self.chains.iter().filter(move |c| c.category == category)
+    }
+
+    /// Weighted usage aggregate over a chain subset.
+    pub fn usage_of(&self, mut pred: impl FnMut(&ChainAnalysis) -> bool) -> UsageStats {
+        let mut out = UsageStats::default();
+        for chain in self.chains.iter().filter(|c| pred(c)) {
+            out.merge(&chain.usage);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certchain_workload::{CampusProfile, CampusTrace};
+
+    fn analysis() -> &'static (CampusTrace, Analysis) {
+        static CELL: std::sync::OnceLock<(CampusTrace, Analysis)> = std::sync::OnceLock::new();
+        CELL.get_or_init(|| {
+            let trace = CampusTrace::generate(CampusProfile::quick());
+            let weights: Vec<f64> = trace.conn_meta.iter().map(|m| m.weight).collect();
+            let pipeline = Pipeline::new(
+                &trace.eco.trust,
+                &trace.ct_index,
+                CrossSignRegistry::from_disclosures(&trace.cross_sign_disclosures),
+            );
+            let analysis =
+                pipeline.analyze(&trace.ssl_records, &trace.x509_records, Some(&weights));
+            // `analysis` borrows nothing from `trace` (all owned data), so
+            // moving both into the cell is fine.
+            (trace, analysis)
+        })
+    }
+
+    #[test]
+    fn hybrid_count_is_exactly_321() {
+        let (_trace, analysis) = analysis();
+        let hybrid = analysis.chains_in(ChainCategoryLabel::Hybrid).count();
+        assert_eq!(hybrid, 321);
+    }
+
+    #[test]
+    fn table3_categories_from_logs_alone() {
+        use crate::hybrid::HybridCategory as H;
+        let (_trace, analysis) = analysis();
+        let mut complete_np = 0;
+        let mut complete_prv = 0;
+        let mut contains = 0;
+        let mut no_path = 0;
+        for c in analysis.chains_in(ChainCategoryLabel::Hybrid) {
+            match c.hybrid_category.expect("hybrid chains are categorized") {
+                H::CompleteNonPubToPub => complete_np += 1,
+                H::CompletePubToPrv => complete_prv += 1,
+                H::ContainsPath => contains += 1,
+                H::NoPath(_) => no_path += 1,
+            }
+        }
+        assert_eq!(complete_np, 26, "Table 3: non-pub chained to pub");
+        assert_eq!(complete_prv, 10, "Table 3: pub chained to prv");
+        assert_eq!(contains, 70, "Table 3: contains a matched path");
+        assert_eq!(no_path, 215, "Table 3: no matched path");
+    }
+
+    #[test]
+    fn table7_rows_recovered() {
+        use crate::hybrid::{HybridCategory as H, NoPathCategory as N};
+        let (_trace, analysis) = analysis();
+        let mut counts: HashMap<N, usize> = HashMap::new();
+        for c in analysis.chains_in(ChainCategoryLabel::Hybrid) {
+            if let Some(H::NoPath(n)) = c.hybrid_category {
+                *counts.entry(n).or_default() += 1;
+            }
+        }
+        assert_eq!(counts[&N::SelfSignedLeafMismatches], 108);
+        assert_eq!(counts[&N::SelfSignedLeafValidSubchain], 13);
+        assert_eq!(counts[&N::AllMismatched], 61);
+        assert_eq!(counts[&N::PartialMismatched], 27);
+        assert_eq!(counts[&N::RootAppendedToValidSubchain], 5);
+        assert_eq!(counts[&N::RootAndMismatches], 1);
+    }
+
+    #[test]
+    fn fifty_six_group_recovered() {
+        let (_trace, analysis) = analysis();
+        let in_56 = analysis
+            .chains
+            .iter()
+            .filter(|c| c.pub_leaf_no_intermediate)
+            .count();
+        assert_eq!(in_56, 56);
+    }
+
+    #[test]
+    fn ct_compliance_all_logged() {
+        let (_trace, analysis) = analysis();
+        let logged: Vec<_> = analysis
+            .chains
+            .iter()
+            .filter_map(|c| c.leaf_ct_logged)
+            .collect();
+        assert_eq!(logged.len(), 26);
+        assert!(logged.iter().all(|&l| l), "§4.2: all 26 leaves CT-logged");
+    }
+
+    #[test]
+    fn interception_entities_found() {
+        let (trace, analysis) = analysis();
+        // The generator plants 80 vendors; the detector should find most
+        // of them (the single-cert and no-SNI tails are only attributable
+        // via entity matching, which is exactly what pass 2 does).
+        assert!(
+            analysis.interception_entities.len() >= 60,
+            "found {} entities",
+            analysis.interception_entities.len()
+        );
+        // And interception chains should be a large population.
+        let interception = analysis.chains_in(ChainCategoryLabel::Interception).count();
+        let truth_interception = trace
+            .servers
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.category,
+                    certchain_workload::trace::ChainCategory::Interception(_)
+                )
+            })
+            .count();
+        // Detection is best-effort (the paper's caveat): we must find most
+        // but not necessarily all.
+        assert!(
+            interception as f64 > truth_interception as f64 * 0.9,
+            "detected {interception} of {truth_interception}"
+        );
+    }
+
+    #[test]
+    fn undetectable_interception_misclassifies_as_nonpub() {
+        let (trace, analysis) = analysis();
+        // Appendix B: chains forging non-CT domains evade detection and
+        // land in non-public-only — confirm at least one such chain.
+        let mut evaded = 0;
+        for (key, &server_idx) in &trace.truth.by_chain {
+            let server = &trace.servers[server_idx];
+            let truly_interception = matches!(
+                server.category,
+                certchain_workload::trace::ChainCategory::Interception(_)
+            );
+            if !truly_interception {
+                continue;
+            }
+            let Some(&idx) = analysis.index.get(&ChainKey(key.clone())) else {
+                continue;
+            };
+            if analysis.chains[idx].category == ChainCategoryLabel::NonPublicOnly {
+                evaded += 1;
+            }
+        }
+        assert!(evaded > 0, "the Appendix-B caveat should manifest");
+    }
+
+    #[test]
+    fn dga_cluster_detected() {
+        let (_trace, analysis) = analysis();
+        let dga = analysis.chains.iter().filter(|c| c.is_dga).count();
+        assert_eq!(dga, 30, "the generated DGA cluster is fully recovered");
+    }
+
+    #[test]
+    fn hybrid_establishment_rates() {
+        use crate::hybrid::HybridCategory as H;
+        let (_trace, analysis) = analysis();
+        let complete = analysis.usage_of(|c| {
+            matches!(
+                c.hybrid_category,
+                Some(H::CompleteNonPubToPub | H::CompletePubToPrv)
+            )
+        });
+        let contains = analysis.usage_of(|c| matches!(c.hybrid_category, Some(H::ContainsPath)));
+        let no_path = analysis.usage_of(|c| matches!(c.hybrid_category, Some(H::NoPath(_))));
+        assert!((complete.established_rate() - 0.9756).abs() < 0.01);
+        assert!((contains.established_rate() - 0.9204).abs() < 0.01);
+        assert!((no_path.established_rate() - 0.5742).abs() < 0.015);
+    }
+
+    #[test]
+    fn classification_agrees_with_ground_truth() {
+        use certchain_workload::trace::ChainCategory as Truth;
+        let (trace, analysis) = analysis();
+        let mut agree = 0u64;
+        let mut total = 0u64;
+        for (key, &server_idx) in &trace.truth.by_chain {
+            let Some(&idx) = analysis.index.get(&ChainKey(key.clone())) else {
+                continue;
+            };
+            let got = analysis.chains[idx].category;
+            let want = &trace.servers[server_idx].category;
+            total += 1;
+            let matches = matches!(
+                (got, want),
+                (ChainCategoryLabel::PublicOnly, Truth::PublicOnly)
+                    | (ChainCategoryLabel::NonPublicOnly, Truth::NonPublicOnly(_))
+                    | (ChainCategoryLabel::Hybrid, Truth::Hybrid(_))
+                    | (ChainCategoryLabel::Interception, Truth::Interception(_))
+            );
+            if matches {
+                agree += 1;
+            }
+        }
+        let accuracy = agree as f64 / total as f64;
+        assert!(
+            accuracy > 0.97,
+            "pipeline/ground-truth agreement = {accuracy}"
+        );
+    }
+
+    #[test]
+    fn tls13_records_are_skipped() {
+        let (_trace, analysis) = analysis();
+        assert!(analysis.no_chain_records > 0);
+        assert_eq!(analysis.unresolvable_records, 0);
+    }
+
+    #[test]
+    fn stream_analysis_matches_batch() {
+        let (trace, _analysis) = analysis();
+        let pipeline = Pipeline::new(
+            &trace.eco.trust,
+            &trace.ct_index,
+            CrossSignRegistry::from_disclosures(&trace.cross_sign_disclosures),
+        );
+        // Unweighted batch over the in-memory records...
+        let batch = pipeline.analyze(&trace.ssl_records, &trace.x509_records, None);
+        // ...must equal the streaming path over the same records (every
+        // record Ok, weight 1.0), for sequential and parallel runs.
+        for threads in [1usize, 3] {
+            let pipeline = Pipeline::with_options(
+                &trace.eco.trust,
+                &trace.ct_index,
+                CrossSignRegistry::from_disclosures(&trace.cross_sign_disclosures),
+                PipelineOptions {
+                    threads,
+                    ..PipelineOptions::default()
+                },
+            );
+            let streamed = pipeline
+                .analyze_stream(
+                    trace.ssl_records.iter().cloned().map(Ok::<_, ()>),
+                    trace.x509_records.iter().cloned().map(Ok::<_, ()>),
+                )
+                .expect("no reader errors");
+            assert_eq!(streamed.chains.len(), batch.chains.len());
+            assert_eq!(streamed.no_chain_records, batch.no_chain_records);
+            assert_eq!(streamed.distinct_certificates, batch.distinct_certificates);
+            for (s, b) in streamed.chains.iter().zip(&batch.chains) {
+                assert_eq!(s.key, b.key);
+                assert_eq!(s.category, b.category);
+                assert_eq!(s.usage.connections, b.usage.connections);
+                assert_eq!(s.usage.established, b.usage.established);
+                assert_eq!(s.snis, b.snis);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_analysis_propagates_reader_errors() {
+        let (trace, _analysis) = analysis();
+        let pipeline = Pipeline::new(
+            &trace.eco.trust,
+            &trace.ct_index,
+            CrossSignRegistry::from_disclosures(&trace.cross_sign_disclosures),
+        );
+        let ssl = trace
+            .ssl_records
+            .iter()
+            .take(100)
+            .cloned()
+            .map(Ok)
+            .chain(std::iter::once(Err("bad row")));
+        let x509 = trace.x509_records.iter().cloned().map(Ok);
+        let err = pipeline.analyze_stream(ssl, x509).unwrap_err();
+        assert_eq!(err, "bad row");
+    }
+}

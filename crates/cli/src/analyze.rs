@@ -5,7 +5,7 @@ use crate::dataset::{load_crosssign, load_ct_index, load_trust};
 use crate::{io_ctx, CliError, CliResult};
 use certchain_chainlab::PipelineOptions;
 use certchain_chainlab::{Analysis, ChainCategoryLabel, CrossSignRegistry, Pipeline};
-use certchain_netsim::zeek::reader::{read_ssl_log_with, read_x509_log_with};
+use certchain_netsim::{SslLogStream, X509LogStream};
 use certchain_report::table::{num, pct};
 use certchain_report::Table;
 use std::path::Path;
@@ -44,18 +44,18 @@ pub fn run_pipeline(dir: &Path) -> CliResult<(Analysis, certchain_trust::TrustDb
 
 /// [`run_pipeline`] with an explicit worker-thread count, applied to both
 /// the log parse and the analysis stages.
+///
+/// The logs are *streamed* off disk into the pipeline — neither file is
+/// ever loaded into a single `String`, so peak memory is bounded by the
+/// number of distinct chains and certificates, not by connection volume.
 pub fn run_pipeline_with(
     dir: &Path,
     threads: usize,
 ) -> CliResult<(Analysis, certchain_trust::TrustDb)> {
-    let ssl_text = std::fs::read_to_string(dir.join("ssl.log"))
+    let ssl_file = std::fs::File::open(dir.join("ssl.log"))
         .map_err(io_ctx(format!("reading {}/ssl.log", dir.display())))?;
-    let x509_text = std::fs::read_to_string(dir.join("x509.log"))
+    let x509_file = std::fs::File::open(dir.join("x509.log"))
         .map_err(io_ctx(format!("reading {}/x509.log", dir.display())))?;
-    let ssl = read_ssl_log_with(&ssl_text, threads)
-        .map_err(|e| CliError::Invalid(format!("ssl.log: {e}")))?;
-    let x509 = read_x509_log_with(&x509_text, threads)
-        .map_err(|e| CliError::Invalid(format!("x509.log: {e}")))?;
     let trust = load_trust(dir)?;
     let ct = load_ct_index(dir)?;
     let crosssign = CrossSignRegistry::from_disclosures(&load_crosssign(dir)?);
@@ -64,7 +64,11 @@ pub fn run_pipeline_with(
         ..PipelineOptions::default()
     };
     let pipeline = Pipeline::with_options(&trust, &ct, crosssign, options);
-    let analysis = pipeline.analyze(&ssl, &x509, None);
+    let ssl = SslLogStream::new(std::io::BufReader::new(ssl_file))
+        .map(|r| r.map_err(|e| CliError::Invalid(format!("ssl.log: {e}"))));
+    let x509 = X509LogStream::new(std::io::BufReader::new(x509_file))
+        .map(|r| r.map_err(|e| CliError::Invalid(format!("x509.log: {e}"))));
+    let analysis = pipeline.analyze_stream(ssl, x509)?;
     Ok((analysis, trust))
 }
 

@@ -1,9 +1,15 @@
 //! `certchain generate`: export a synthetic campus dataset to disk.
+//!
+//! The Zeek logs are written *while the trace is generated*: a
+//! [`TraceSink`] feeds each record straight into the incremental log
+//! writers, so the connection stream is never materialized in memory.
+//! Only the compact sidecars (trust material, CT corpus, disclosures) go
+//! through the in-memory trace context.
 
-use crate::{io_ctx, CliResult};
-use certchain_netsim::zeek::tsv::{write_ssl_log, write_x509_log};
-use certchain_netsim::SimClock;
-use certchain_workload::{CampusProfile, CampusTrace};
+use crate::{io_ctx, CliError, CliResult};
+use certchain_netsim::zeek::tsv::{SslLogWriter, X509LogWriter};
+use certchain_netsim::{SimClock, SslRecord, X509Record};
+use certchain_workload::{CampusProfile, CampusTrace, ConnMeta, TraceSink};
 use certchain_x509::pem;
 use std::collections::HashSet;
 use std::io::Write;
@@ -18,43 +24,127 @@ pub fn generate(out: &Path, profile: CampusProfile) -> CliResult<String> {
 }
 
 /// Like [`generate`], on `threads` worker threads (`0` = available
-/// parallelism). The dataset is identical for every thread count.
+/// parallelism). The dataset is identical for every thread count, and
+/// identical to writing a fully materialized [`CampusTrace`].
 pub fn generate_with(out: &Path, profile: CampusProfile, threads: usize) -> CliResult<String> {
-    let trace = CampusTrace::generate_with(profile, threads);
-    write_dataset(out, &trace)?;
+    for sub in ["trust/roots", "trust/ccadb", "ct"] {
+        std::fs::create_dir_all(out.join(sub))
+            .map_err(io_ctx(format!("creating {}", out.join(sub).display())))?;
+    }
+    let open = SimClock::campus_window_start().now();
+    let ssl = std::io::BufWriter::new(
+        std::fs::File::create(out.join("ssl.log")).map_err(io_ctx("creating ssl.log"))?,
+    );
+    let x509 = std::io::BufWriter::new(
+        std::fs::File::create(out.join("x509.log")).map_err(io_ctx("creating x509.log"))?,
+    );
+    let mut sink = FileSink {
+        ssl: SslLogWriter::new(ssl, open).map_err(io_ctx("writing ssl.log"))?,
+        x509: X509LogWriter::new(x509, open).map_err(io_ctx("writing x509.log"))?,
+        ssl_count: 0,
+        x509_count: 0,
+    };
+    let ctx = CampusTrace::stream_with(profile, threads, &mut sink)?;
+    sink.ssl
+        .finish()
+        .and_then(|mut w| w.flush())
+        .map_err(io_ctx("closing ssl.log"))?;
+    sink.x509
+        .finish()
+        .and_then(|mut w| w.flush())
+        .map_err(io_ctx("closing x509.log"))?;
+    write_sidecars(out, &ctx.servers, &ctx.eco, &ctx.cross_sign_disclosures)?;
     Ok(format!(
         "wrote {} connection records, {} certificates, {} servers to {}",
-        trace.ssl_records.len(),
-        trace.x509_records.len(),
-        trace.servers.len(),
+        sink.ssl_count,
+        sink.x509_count,
+        ctx.servers.len(),
         out.display()
     ))
 }
 
-/// Write an already-generated trace as an on-disk dataset.
+/// The streaming sink: every record goes straight to its log writer.
+struct FileSink<W1: Write, W2: Write> {
+    ssl: SslLogWriter<W1>,
+    x509: X509LogWriter<W2>,
+    ssl_count: u64,
+    x509_count: u64,
+}
+
+impl<W1: Write, W2: Write> TraceSink for FileSink<W1, W2> {
+    type Error = CliError;
+
+    fn ssl(&mut self, record: SslRecord, _meta: ConnMeta) -> Result<(), CliError> {
+        self.ssl_count += 1;
+        self.ssl.record(&record).map_err(io_ctx("writing ssl.log"))
+    }
+
+    fn x509(&mut self, record: X509Record) -> Result<(), CliError> {
+        self.x509_count += 1;
+        self.x509
+            .record(&record)
+            .map_err(io_ctx("writing x509.log"))
+    }
+}
+
+/// Write an already-generated trace as an on-disk dataset (the batch
+/// counterpart of [`generate_with`], kept for callers that already hold a
+/// [`CampusTrace`]; both produce byte-identical datasets).
 pub fn write_dataset(out: &Path, trace: &CampusTrace) -> CliResult<()> {
     for sub in ["trust/roots", "trust/ccadb", "ct"] {
         std::fs::create_dir_all(out.join(sub))
             .map_err(io_ctx(format!("creating {}", out.join(sub).display())))?;
     }
     let open = SimClock::campus_window_start().now();
+    let mut ssl = SslLogWriter::new(
+        std::io::BufWriter::new(
+            std::fs::File::create(out.join("ssl.log")).map_err(io_ctx("creating ssl.log"))?,
+        ),
+        open,
+    )
+    .map_err(io_ctx("writing ssl.log"))?;
+    for rec in &trace.ssl_records {
+        ssl.record(rec).map_err(io_ctx("writing ssl.log"))?;
+    }
+    ssl.finish()
+        .and_then(|mut w| w.flush())
+        .map_err(io_ctx("closing ssl.log"))?;
+    let mut x509 = X509LogWriter::new(
+        std::io::BufWriter::new(
+            std::fs::File::create(out.join("x509.log")).map_err(io_ctx("creating x509.log"))?,
+        ),
+        open,
+    )
+    .map_err(io_ctx("writing x509.log"))?;
+    for rec in &trace.x509_records {
+        x509.record(rec).map_err(io_ctx("writing x509.log"))?;
+    }
+    x509.finish()
+        .and_then(|mut w| w.flush())
+        .map_err(io_ctx("closing x509.log"))?;
+    write_sidecars(
+        out,
+        &trace.servers,
+        &trace.eco,
+        &trace.cross_sign_disclosures,
+    )
+}
 
-    // Zeek logs.
-    let mut ssl = std::io::BufWriter::new(
-        std::fs::File::create(out.join("ssl.log")).map_err(io_ctx("creating ssl.log"))?,
-    );
-    write_ssl_log(&mut ssl, &trace.ssl_records, open).map_err(io_ctx("writing ssl.log"))?;
-    ssl.flush().map_err(io_ctx("flushing ssl.log"))?;
-    let mut x509 = std::io::BufWriter::new(
-        std::fs::File::create(out.join("x509.log")).map_err(io_ctx("creating x509.log"))?,
-    );
-    write_x509_log(&mut x509, &trace.x509_records, open).map_err(io_ctx("writing x509.log"))?;
-    x509.flush().map_err(io_ctx("flushing x509.log"))?;
-
+/// The non-log dataset files shared by the streaming and batch writers:
+/// trust material, CT corpus, cross-signing disclosures, sample chain.
+fn write_sidecars(
+    out: &Path,
+    servers: &[certchain_workload::servers::GeneratedServer],
+    eco: &certchain_workload::Ecosystem,
+    cross_sign_disclosures: &[(
+        certchain_x509::DistinguishedName,
+        certchain_x509::DistinguishedName,
+    )],
+) -> CliResult<()> {
     // Trust material: roots (deduplicated across programs) and CCADB.
     let mut seen = HashSet::new();
     let mut root_idx = 0usize;
-    for store in trace.eco.trust.stores().values() {
+    for store in eco.trust.stores().values() {
         for root in store.iter() {
             if seen.insert(root.fingerprint()) {
                 let path = out.join(format!("trust/roots/root-{root_idx:03}.pem"));
@@ -64,14 +154,14 @@ pub fn write_dataset(out: &Path, trace: &CampusTrace) -> CliResult<()> {
             }
         }
     }
-    for (i, entry) in trace.eco.trust.ccadb().iter().enumerate() {
+    for (i, entry) in eco.trust.ccadb().iter().enumerate() {
         let path = out.join(format!("trust/ccadb/ica-{i:03}.pem"));
         std::fs::write(&path, pem::encode("CERTIFICATE", entry.cert.der()))
             .map_err(io_ctx(format!("writing {}", path.display())))?;
     }
 
     // CT corpus.
-    for (i, entry) in trace.eco.ct.entries().iter().enumerate() {
+    for (i, entry) in eco.ct.entries().iter().enumerate() {
         let path = out.join(format!("ct/logged-{i:05}.pem"));
         std::fs::write(&path, pem::encode("CERTIFICATE", entry.cert.der()))
             .map_err(io_ctx(format!("writing {}", path.display())))?;
@@ -79,7 +169,7 @@ pub fn write_dataset(out: &Path, trace: &CampusTrace) -> CliResult<()> {
 
     // Cross-signing disclosures.
     let mut tsv = String::from("# subject<TAB>alternate issuer\n");
-    for (subject, issuer) in &trace.cross_sign_disclosures {
+    for (subject, issuer) in cross_sign_disclosures {
         tsv.push_str(&format!(
             "{}\t{}\n",
             subject.to_rfc4514(),
@@ -90,7 +180,7 @@ pub fn write_dataset(out: &Path, trace: &CampusTrace) -> CliResult<()> {
 
     // A sample delivered chain for `certchain validate`: the first hybrid
     // contains-path server (complete path + unnecessary certificate).
-    if let Some(server) = trace.servers.iter().find(|s| {
+    if let Some(server) = servers.iter().find(|s| {
         matches!(
             s.category,
             certchain_workload::trace::ChainCategory::Hybrid(

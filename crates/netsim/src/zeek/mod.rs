@@ -8,4 +8,5 @@
 
 pub mod reader;
 pub mod record;
+pub mod stream;
 pub mod tsv;

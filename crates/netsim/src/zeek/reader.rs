@@ -1,46 +1,26 @@
-//! Zeek TSV log reading — the inverse of [`crate::zeek::tsv`].
+//! Whole-log Zeek TSV reading — collect-adapters over the streaming
+//! readers in [`crate::zeek::stream`], plus a chunked parallel parse for
+//! callers that already hold the full log text in memory.
 //!
-//! The chain-analysis pipeline consumes these readers, so running it over a
-//! directory of *real* Zeek logs with the same field subset would work
-//! unchanged.
+//! New code should prefer the streams (bounded memory); these entry points
+//! exist so batch callers migrate incrementally and keep working.
 
 use crate::zeek::record::{SslRecord, X509Record};
-use crate::zeek::tsv::{parse, parse_version, zeek_unescape};
-use certchain_x509::Fingerprint;
-use std::collections::HashMap;
-use std::fmt;
-use std::net::Ipv4Addr;
+use crate::zeek::stream::{parse_ssl_row, parse_x509_row, FieldMap, SslLogStream, X509LogStream};
 
-/// A log-parsing failure with its line number.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ReadError {
-    /// 1-based line number.
-    pub line: usize,
-    /// What went wrong.
-    pub message: String,
-}
+pub use crate::zeek::stream::ReadError;
 
-impl fmt::Display for ReadError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
-    }
-}
-
-impl std::error::Error for ReadError {}
-
-fn err(line: usize, message: impl Into<String>) -> ReadError {
-    ReadError {
-        line,
-        message: message.into(),
-    }
-}
+use crate::zeek::stream::err;
 
 /// Data rows of a Zeek log: (1-based line number, tab-split fields).
 type DataRows<'a> = Vec<(usize, Vec<&'a str>)>;
 
-/// Split a Zeek log into its field-index map and data rows.
-fn rows(text: &str) -> Result<(HashMap<String, usize>, DataRows<'_>), ReadError> {
-    let mut fields: Option<HashMap<String, usize>> = None;
+/// Split a Zeek log into its field-index map and data rows. A data row
+/// before the `#fields` header fails exactly like the streaming readers
+/// (which cannot parse a row whose columns are still unknown), so batch
+/// and stream reads of the same malformed log report the same error.
+fn rows(text: &str) -> Result<(FieldMap, DataRows<'_>), ReadError> {
+    let mut fields: Option<FieldMap> = None;
     let mut data = Vec::new();
     for (i, line) in text.lines().enumerate() {
         let lineno = i + 1;
@@ -54,117 +34,14 @@ fn rows(text: &str) -> Result<(HashMap<String, usize>, DataRows<'_>), ReadError>
         } else if line.starts_with('#') || line.is_empty() {
             continue;
         } else {
+            if fields.is_none() {
+                return Err(err(0, "missing #fields header"));
+            }
             data.push((lineno, line.split('\t').collect()));
         }
     }
     let fields = fields.ok_or_else(|| err(0, "missing #fields header"))?;
     Ok((fields, data))
-}
-
-fn col<'a>(
-    row: &[&'a str],
-    fields: &HashMap<String, usize>,
-    name: &str,
-    line: usize,
-) -> Result<&'a str, ReadError> {
-    let idx = *fields
-        .get(name)
-        .ok_or_else(|| err(line, format!("missing field {name}")))?;
-    row.get(idx)
-        .copied()
-        .ok_or_else(|| err(line, format!("row too short for field {name}")))
-}
-
-/// Parse one ssl.log data row.
-fn parse_ssl_row(
-    line: usize,
-    row: &[&str],
-    fields: &HashMap<String, usize>,
-) -> Result<SslRecord, ReadError> {
-    let ts = parse::ts(col(row, fields, "ts", line)?).ok_or_else(|| err(line, "bad ts"))?;
-    let uid = zeek_unescape(col(row, fields, "uid", line)?);
-    let orig_h: Ipv4Addr = col(row, fields, "id.orig_h", line)?
-        .parse()
-        .map_err(|_| err(line, "bad id.orig_h"))?;
-    let orig_p: u16 = col(row, fields, "id.orig_p", line)?
-        .parse()
-        .map_err(|_| err(line, "bad id.orig_p"))?;
-    let resp_h: Ipv4Addr = col(row, fields, "id.resp_h", line)?
-        .parse()
-        .map_err(|_| err(line, "bad id.resp_h"))?;
-    let resp_p: u16 = col(row, fields, "id.resp_p", line)?
-        .parse()
-        .map_err(|_| err(line, "bad id.resp_p"))?;
-    let version = parse_version(col(row, fields, "version", line)?)
-        .ok_or_else(|| err(line, "bad version"))?;
-    let server_name = parse::optional(col(row, fields, "server_name", line)?);
-    let established = parse::boolean(col(row, fields, "established", line)?)
-        .ok_or_else(|| err(line, "bad established"))?;
-    let cert_chain_fps = parse::vector(col(row, fields, "cert_chain_fps", line)?)
-        .iter()
-        .map(|h| Fingerprint::from_hex(h).ok_or_else(|| err(line, "bad fingerprint")))
-        .collect::<Result<Vec<_>, _>>()?;
-    Ok(SslRecord {
-        ts,
-        uid,
-        orig_h,
-        orig_p,
-        resp_h,
-        resp_p,
-        version,
-        server_name,
-        established,
-        cert_chain_fps,
-    })
-}
-
-/// Parse one x509.log data row.
-fn parse_x509_row(
-    line: usize,
-    row: &[&str],
-    fields: &HashMap<String, usize>,
-) -> Result<X509Record, ReadError> {
-    let ts = parse::ts(col(row, fields, "ts", line)?).ok_or_else(|| err(line, "bad ts"))?;
-    let fingerprint = Fingerprint::from_hex(col(row, fields, "fingerprint", line)?)
-        .ok_or_else(|| err(line, "bad fingerprint"))?;
-    let cert_version: u64 = col(row, fields, "certificate.version", line)?
-        .parse()
-        .map_err(|_| err(line, "bad certificate.version"))?;
-    let serial = zeek_unescape(col(row, fields, "certificate.serial", line)?);
-    let subject = zeek_unescape(col(row, fields, "certificate.subject", line)?);
-    let issuer = zeek_unescape(col(row, fields, "certificate.issuer", line)?);
-    let not_before = parse::ts(col(row, fields, "certificate.not_valid_before", line)?)
-        .ok_or_else(|| err(line, "bad not_valid_before"))?;
-    let not_after = parse::ts(col(row, fields, "certificate.not_valid_after", line)?)
-        .ok_or_else(|| err(line, "bad not_valid_after"))?;
-    let basic_constraints_ca =
-        match parse::optional(col(row, fields, "basic_constraints.ca", line)?) {
-            None => None,
-            Some(v) => {
-                Some(parse::boolean(&v).ok_or_else(|| err(line, "bad basic_constraints.ca"))?)
-            }
-        };
-    let path_len = match parse::optional(col(row, fields, "basic_constraints.path_len", line)?) {
-        None => None,
-        Some(v) => Some(
-            v.parse()
-                .map_err(|_| err(line, "bad basic_constraints.path_len"))?,
-        ),
-    };
-    let san_dns = parse::vector(col(row, fields, "san.dns", line)?);
-    Ok(X509Record {
-        ts,
-        fingerprint,
-        cert_version,
-        serial,
-        subject,
-        issuer,
-        not_before,
-        not_after,
-        basic_constraints_ca,
-        path_len,
-        san_dns,
-    })
 }
 
 /// Parse every data row, chunked across `threads` worker threads.
@@ -177,7 +54,7 @@ fn parse_x509_row(
 fn parse_rows<T, F>(text: &str, threads: usize, parse_row: F) -> Result<Vec<T>, ReadError>
 where
     T: Send,
-    F: Fn(usize, &[&str], &HashMap<String, usize>) -> Result<T, ReadError> + Sync,
+    F: Fn(usize, &[&str], &FieldMap) -> Result<T, ReadError> + Sync,
 {
     let (fields, data) = rows(text)?;
     let threads = if threads == 0 {
@@ -226,27 +103,34 @@ where
     }
 }
 
-/// Parse a complete ssl.log using all available cores.
+/// Parse a complete ssl.log: a thin collect-adapter over [`SslLogStream`].
 pub fn read_ssl_log(text: &str) -> Result<Vec<SslRecord>, ReadError> {
-    read_ssl_log_with(text, 0)
+    SslLogStream::new(text.as_bytes()).collect()
 }
 
 /// Parse a complete ssl.log on `threads` worker threads (`0` = available
-/// parallelism). Output — including any reported error — is identical for
-/// every thread count.
+/// parallelism, `1` = the streaming collect). Output — including any
+/// reported error — is identical for every thread count.
 pub fn read_ssl_log_with(text: &str, threads: usize) -> Result<Vec<SslRecord>, ReadError> {
+    if threads == 1 {
+        return read_ssl_log(text);
+    }
     parse_rows(text, threads, parse_ssl_row)
 }
 
-/// Parse a complete x509.log using all available cores.
+/// Parse a complete x509.log: a thin collect-adapter over
+/// [`X509LogStream`].
 pub fn read_x509_log(text: &str) -> Result<Vec<X509Record>, ReadError> {
-    read_x509_log_with(text, 0)
+    X509LogStream::new(text.as_bytes()).collect()
 }
 
 /// Parse a complete x509.log on `threads` worker threads (`0` = available
-/// parallelism). Output — including any reported error — is identical for
-/// every thread count.
+/// parallelism, `1` = the streaming collect). Output — including any
+/// reported error — is identical for every thread count.
 pub fn read_x509_log_with(text: &str, threads: usize) -> Result<Vec<X509Record>, ReadError> {
+    if threads == 1 {
+        return read_x509_log(text);
+    }
     parse_rows(text, threads, parse_x509_row)
 }
 
@@ -256,6 +140,8 @@ mod tests {
     use crate::handshake::TlsVersion;
     use crate::zeek::tsv::{write_ssl_log, write_x509_log};
     use certchain_asn1::Asn1Time;
+    use certchain_x509::Fingerprint;
+    use std::net::Ipv4Addr;
 
     fn t() -> Asn1Time {
         Asn1Time::from_ymd_hms(2020, 9, 1, 0, 0, 0).unwrap()

@@ -1,0 +1,360 @@
+//! Streaming Zeek TSV log readers: bounded-memory, line-at-a-time record
+//! iterators over any [`BufRead`].
+//!
+//! This is the ingestion core the analysis pipeline consumes. A
+//! [`SslLogStream`] / [`X509LogStream`] yields `Result<Record, ReadError>`
+//! per data row, holding only the current line in memory — the whole-log
+//! readers in [`crate::zeek::reader`] are thin collect-adapters over these
+//! streams. Error semantics match the batch readers exactly: the first bad
+//! row ends the stream with the same line number and message the batch
+//! parse reports, and a log whose data starts before (or without) a
+//! `#fields` header fails with the batch reader's `missing #fields header`
+//! error.
+
+use crate::zeek::record::{SslRecord, X509Record};
+use crate::zeek::tsv::{parse, parse_version, zeek_unescape};
+use certchain_x509::Fingerprint;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::BufRead;
+use std::net::Ipv4Addr;
+
+/// A log-parsing failure with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadError {
+    /// 1-based line number (0 for whole-file failures such as a missing
+    /// `#fields` header).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+pub(crate) fn err(line: usize, message: impl Into<String>) -> ReadError {
+    ReadError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Field name → column index, from the `#fields` header.
+pub(crate) type FieldMap = HashMap<String, usize>;
+
+/// Look a named column up in a tab-split row.
+pub(crate) fn col<'a>(
+    row: &[&'a str],
+    fields: &FieldMap,
+    name: &str,
+    line: usize,
+) -> Result<&'a str, ReadError> {
+    let idx = *fields
+        .get(name)
+        .ok_or_else(|| err(line, format!("missing field {name}")))?;
+    row.get(idx)
+        .copied()
+        .ok_or_else(|| err(line, format!("row too short for field {name}")))
+}
+
+/// Parse one ssl.log data row.
+pub(crate) fn parse_ssl_row(
+    line: usize,
+    row: &[&str],
+    fields: &FieldMap,
+) -> Result<SslRecord, ReadError> {
+    let ts = parse::ts(col(row, fields, "ts", line)?).ok_or_else(|| err(line, "bad ts"))?;
+    let uid = zeek_unescape(col(row, fields, "uid", line)?);
+    let orig_h: Ipv4Addr = col(row, fields, "id.orig_h", line)?
+        .parse()
+        .map_err(|_| err(line, "bad id.orig_h"))?;
+    let orig_p: u16 = col(row, fields, "id.orig_p", line)?
+        .parse()
+        .map_err(|_| err(line, "bad id.orig_p"))?;
+    let resp_h: Ipv4Addr = col(row, fields, "id.resp_h", line)?
+        .parse()
+        .map_err(|_| err(line, "bad id.resp_h"))?;
+    let resp_p: u16 = col(row, fields, "id.resp_p", line)?
+        .parse()
+        .map_err(|_| err(line, "bad id.resp_p"))?;
+    let version = parse_version(col(row, fields, "version", line)?)
+        .ok_or_else(|| err(line, "bad version"))?;
+    let server_name = parse::optional(col(row, fields, "server_name", line)?);
+    let established = parse::boolean(col(row, fields, "established", line)?)
+        .ok_or_else(|| err(line, "bad established"))?;
+    let cert_chain_fps = parse::vector(col(row, fields, "cert_chain_fps", line)?)
+        .iter()
+        .map(|h| Fingerprint::from_hex(h).ok_or_else(|| err(line, "bad fingerprint")))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SslRecord {
+        ts,
+        uid,
+        orig_h,
+        orig_p,
+        resp_h,
+        resp_p,
+        version,
+        server_name,
+        established,
+        cert_chain_fps,
+    })
+}
+
+/// Parse one x509.log data row.
+pub(crate) fn parse_x509_row(
+    line: usize,
+    row: &[&str],
+    fields: &FieldMap,
+) -> Result<X509Record, ReadError> {
+    let ts = parse::ts(col(row, fields, "ts", line)?).ok_or_else(|| err(line, "bad ts"))?;
+    let fingerprint = Fingerprint::from_hex(col(row, fields, "fingerprint", line)?)
+        .ok_or_else(|| err(line, "bad fingerprint"))?;
+    let cert_version: u64 = col(row, fields, "certificate.version", line)?
+        .parse()
+        .map_err(|_| err(line, "bad certificate.version"))?;
+    let serial = zeek_unescape(col(row, fields, "certificate.serial", line)?);
+    let subject = zeek_unescape(col(row, fields, "certificate.subject", line)?);
+    let issuer = zeek_unescape(col(row, fields, "certificate.issuer", line)?);
+    let not_before = parse::ts(col(row, fields, "certificate.not_valid_before", line)?)
+        .ok_or_else(|| err(line, "bad not_valid_before"))?;
+    let not_after = parse::ts(col(row, fields, "certificate.not_valid_after", line)?)
+        .ok_or_else(|| err(line, "bad not_valid_after"))?;
+    let basic_constraints_ca =
+        match parse::optional(col(row, fields, "basic_constraints.ca", line)?) {
+            None => None,
+            Some(v) => {
+                Some(parse::boolean(&v).ok_or_else(|| err(line, "bad basic_constraints.ca"))?)
+            }
+        };
+    let path_len = match parse::optional(col(row, fields, "basic_constraints.path_len", line)?) {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| err(line, "bad basic_constraints.path_len"))?,
+        ),
+    };
+    let san_dns = parse::vector(col(row, fields, "san.dns", line)?);
+    Ok(X509Record {
+        ts,
+        fingerprint,
+        cert_version,
+        serial,
+        subject,
+        issuer,
+        not_before,
+        not_after,
+        basic_constraints_ca,
+        path_len,
+        san_dns,
+    })
+}
+
+/// The streaming scaffolding shared by both log types: header handling,
+/// line counting, comment skipping, and fused-after-error iteration. Only
+/// one line is buffered at a time.
+struct LogStream<R: BufRead, T> {
+    reader: R,
+    buf: String,
+    lineno: usize,
+    fields: Option<FieldMap>,
+    done: bool,
+    parse_row: fn(usize, &[&str], &FieldMap) -> Result<T, ReadError>,
+}
+
+impl<R: BufRead, T> LogStream<R, T> {
+    fn new(reader: R, parse_row: fn(usize, &[&str], &FieldMap) -> Result<T, ReadError>) -> Self {
+        LogStream {
+            reader,
+            buf: String::new(),
+            lineno: 0,
+            fields: None,
+            done: false,
+            parse_row,
+        }
+    }
+
+    /// Yield the next record, an error (which fuses the stream), or `None`
+    /// at end of input.
+    fn next_record(&mut self) -> Option<Result<T, ReadError>> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.buf.clear();
+            match self.reader.read_line(&mut self.buf) {
+                Ok(0) => {
+                    self.done = true;
+                    if self.fields.is_none() {
+                        // Empty file, or a log with no `#fields` line at
+                        // all: the batch reader reports this as a
+                        // whole-file error with line 0.
+                        return Some(Err(err(0, "missing #fields header")));
+                    }
+                    return None;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(err(self.lineno + 1, format!("io error: {e}"))));
+                }
+            }
+            self.lineno += 1;
+            // `str::lines` semantics: strip the newline and a trailing CR.
+            let line = self.buf.strip_suffix('\n').unwrap_or(&self.buf);
+            let line = line.strip_suffix('\r').unwrap_or(line);
+            if let Some(rest) = line.strip_prefix("#fields\t") {
+                self.fields = Some(
+                    rest.split('\t')
+                        .enumerate()
+                        .map(|(idx, name)| (name.to_string(), idx))
+                        .collect(),
+                );
+                continue;
+            }
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let Some(fields) = &self.fields else {
+                self.done = true;
+                return Some(Err(err(0, "missing #fields header")));
+            };
+            let row: Vec<&str> = line.split('\t').collect();
+            let res = (self.parse_row)(self.lineno, &row, fields);
+            if res.is_err() {
+                self.done = true;
+            }
+            return Some(res);
+        }
+    }
+}
+
+/// Streaming ssl.log reader: yields one [`SslRecord`] per data row without
+/// ever holding more than the current line in memory.
+///
+/// ```no_run
+/// use certchain_netsim::zeek::stream::SslLogStream;
+/// use std::io::BufReader;
+/// let file = std::fs::File::open("ssl.log").unwrap();
+/// for record in SslLogStream::new(BufReader::new(file)) {
+///     let record = record.expect("well-formed row");
+///     let _ = record.cert_chain_fps;
+/// }
+/// ```
+pub struct SslLogStream<R: BufRead>(LogStream<R, SslRecord>);
+
+impl<R: BufRead> SslLogStream<R> {
+    /// Stream records from `reader`.
+    pub fn new(reader: R) -> Self {
+        SslLogStream(LogStream::new(reader, parse_ssl_row))
+    }
+}
+
+impl<R: BufRead> Iterator for SslLogStream<R> {
+    type Item = Result<SslRecord, ReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next_record()
+    }
+}
+
+/// Streaming x509.log reader: yields one [`X509Record`] per data row.
+pub struct X509LogStream<R: BufRead>(LogStream<R, X509Record>);
+
+impl<R: BufRead> X509LogStream<R> {
+    /// Stream records from `reader`.
+    pub fn new(reader: R) -> Self {
+        X509LogStream(LogStream::new(reader, parse_x509_row))
+    }
+}
+
+impl<R: BufRead> Iterator for X509LogStream<R> {
+    type Item = Result<X509Record, ReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next_record()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handshake::TlsVersion;
+    use crate::zeek::tsv::{write_ssl_log, write_x509_log};
+    use certchain_asn1::Asn1Time;
+
+    fn t() -> Asn1Time {
+        Asn1Time::from_ymd_hms(2020, 9, 1, 0, 0, 0).unwrap()
+    }
+
+    fn sample_ssl() -> SslRecord {
+        SslRecord {
+            ts: t(),
+            uid: "Cabc".into(),
+            orig_h: Ipv4Addr::new(128, 143, 1, 2),
+            orig_p: 50000,
+            resp_h: Ipv4Addr::new(203, 0, 113, 5),
+            resp_p: 443,
+            version: TlsVersion::Tls12,
+            server_name: Some("example.org".into()),
+            established: true,
+            cert_chain_fps: vec![Fingerprint([3; 32])],
+        }
+    }
+
+    #[test]
+    fn stream_round_trips_ssl() {
+        let records = vec![sample_ssl(), {
+            let mut r = sample_ssl();
+            r.uid = "Cdef".into();
+            r.server_name = None;
+            r.cert_chain_fps.clear();
+            r
+        }];
+        let mut buf = Vec::new();
+        write_ssl_log(&mut buf, &records, t()).unwrap();
+        let parsed: Vec<SslRecord> = SslLogStream::new(buf.as_slice())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn stream_round_trips_x509() {
+        let records = vec![X509Record {
+            ts: t(),
+            fingerprint: Fingerprint([9; 32]),
+            cert_version: 3,
+            serial: "BEEF".into(),
+            subject: "CN=a, O=b\\, Inc., C=US".into(),
+            issuer: "CN=ca".into(),
+            not_before: t(),
+            not_after: t().plus_days(397),
+            basic_constraints_ca: Some(true),
+            path_len: Some(0),
+            san_dns: vec!["a.org".into()],
+        }];
+        let mut buf = Vec::new();
+        write_x509_log(&mut buf, &records, t()).unwrap();
+        let parsed: Vec<X509Record> = X509LogStream::new(buf.as_slice())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn stream_fuses_after_first_error() {
+        let mut buf = Vec::new();
+        write_ssl_log(&mut buf, &[sample_ssl(), sample_ssl()], t()).unwrap();
+        // Corrupt both data rows' established column.
+        let text = String::from_utf8(buf).unwrap().replace("\tT\t", "\tQ\t");
+        let mut stream = SslLogStream::new(text.as_bytes());
+        let first = stream.next().expect("one item");
+        assert!(first.is_err());
+        assert!(stream.next().is_none(), "stream is fused after an error");
+    }
+}

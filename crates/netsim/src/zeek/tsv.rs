@@ -151,18 +151,28 @@ pub fn zeek_unescape(field: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
-/// Write a complete ssl.log.
-pub fn write_ssl_log(
-    out: &mut impl Write,
-    records: &[SslRecord],
+/// Incremental ssl.log writer: header on construction, one record at a
+/// time, `#close` on [`SslLogWriter::finish`]. This is the sink side of
+/// the streaming ingestion core — `certchain generate` writes records to
+/// disk as they are emitted instead of materializing the full trace.
+pub struct SslLogWriter<W: Write> {
+    out: W,
     open: Asn1Time,
-) -> io::Result<()> {
-    write_header(out, "ssl", SSL_FIELDS, open)?;
-    for r in records {
+}
+
+impl<W: Write> SslLogWriter<W> {
+    /// Write the Zeek header and return the writer.
+    pub fn new(mut out: W, open: Asn1Time) -> io::Result<SslLogWriter<W>> {
+        write_header(&mut out, "ssl", SSL_FIELDS, open)?;
+        Ok(SslLogWriter { out, open })
+    }
+
+    /// Append one data row.
+    pub fn record(&mut self, r: &SslRecord) -> io::Result<()> {
         let fps: Vec<String> = r.cert_chain_fps.iter().map(|f| f.to_hex()).collect();
         let sni: Option<std::borrow::Cow<'_, str>> = r.server_name.as_deref().map(zeek_escape);
         writeln!(
-            out,
+            self.out,
             "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             ts_str(r.ts),
             zeek_escape(&r.uid),
@@ -174,22 +184,33 @@ pub fn write_ssl_log(
             opt_str(sni.as_deref()),
             bool_str(r.established),
             vec_str(&fps),
-        )?;
+        )
     }
-    writeln!(out, "#close\t{open}")?;
-    Ok(())
+
+    /// Write the `#close` footer and hand the inner writer back.
+    pub fn finish(mut self) -> io::Result<W> {
+        writeln!(self.out, "#close\t{}", self.open)?;
+        Ok(self.out)
+    }
 }
 
-/// Write a complete x509.log.
-pub fn write_x509_log(
-    out: &mut impl Write,
-    records: &[X509Record],
+/// Incremental x509.log writer; see [`SslLogWriter`].
+pub struct X509LogWriter<W: Write> {
+    out: W,
     open: Asn1Time,
-) -> io::Result<()> {
-    write_header(out, "x509", X509_FIELDS, open)?;
-    for r in records {
+}
+
+impl<W: Write> X509LogWriter<W> {
+    /// Write the Zeek header and return the writer.
+    pub fn new(mut out: W, open: Asn1Time) -> io::Result<X509LogWriter<W>> {
+        write_header(&mut out, "x509", X509_FIELDS, open)?;
+        Ok(X509LogWriter { out, open })
+    }
+
+    /// Append one data row.
+    pub fn record(&mut self, r: &X509Record) -> io::Result<()> {
         writeln!(
-            out,
+            self.out,
             "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             ts_str(r.ts),
             r.fingerprint.to_hex(),
@@ -204,9 +225,41 @@ pub fn write_x509_log(
                 .map(|n| n.to_string())
                 .unwrap_or_else(|| "-".to_string()),
             vec_str(&r.san_dns),
-        )?;
+        )
     }
-    writeln!(out, "#close\t{open}")?;
+
+    /// Write the `#close` footer and hand the inner writer back.
+    pub fn finish(mut self) -> io::Result<W> {
+        writeln!(self.out, "#close\t{}", self.open)?;
+        Ok(self.out)
+    }
+}
+
+/// Write a complete ssl.log (batch adapter over [`SslLogWriter`]).
+pub fn write_ssl_log(
+    out: &mut impl Write,
+    records: &[SslRecord],
+    open: Asn1Time,
+) -> io::Result<()> {
+    let mut w = SslLogWriter::new(out, open)?;
+    for r in records {
+        w.record(r)?;
+    }
+    w.finish()?;
+    Ok(())
+}
+
+/// Write a complete x509.log (batch adapter over [`X509LogWriter`]).
+pub fn write_x509_log(
+    out: &mut impl Write,
+    records: &[X509Record],
+    open: Asn1Time,
+) -> io::Result<()> {
+    let mut w = X509LogWriter::new(out, open)?;
+    for r in records {
+        w.record(r)?;
+    }
+    w.finish()?;
     Ok(())
 }
 

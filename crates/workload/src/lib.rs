@@ -32,4 +32,4 @@ pub mod traffic;
 
 pub use calibration::{CalibrationTargets, CampusProfile};
 pub use pki::Ecosystem;
-pub use trace::{CampusTrace, ChainCategory, ConnMeta, GroundTruth};
+pub use trace::{CampusTrace, ChainCategory, ConnMeta, GroundTruth, TraceContext, TraceSink};

@@ -60,6 +60,64 @@ pub struct CampusTrace {
     pub truth: GroundTruth,
 }
 
+/// Receives a generated trace record-by-record, in the deterministic
+/// emission order. Sinks let `certchain generate` write Zeek logs straight
+/// to disk without materializing the trace: only one emission window is in
+/// memory at a time, regardless of connection volume.
+pub trait TraceSink {
+    /// Error surfaced by the sink (e.g. `std::io::Error` for file sinks).
+    type Error;
+    /// One ssl.log record with its reporting sidecar.
+    fn ssl(&mut self, record: SslRecord, meta: ConnMeta) -> Result<(), Self::Error>;
+    /// One x509.log record — the global first sighting of a certificate.
+    fn x509(&mut self, record: X509Record) -> Result<(), Self::Error>;
+}
+
+/// Everything a generated trace carries besides the record streams:
+/// populations, PKI state, CT index, and ground truth. This is what
+/// [`CampusTrace::stream_with`] returns after the records have been
+/// delivered to the sink.
+#[derive(Debug)]
+pub struct TraceContext {
+    /// Profile used.
+    pub profile: CampusProfile,
+    /// Paper targets (for reporting).
+    pub targets: CalibrationTargets,
+    /// The generated server population with ground-truth labels.
+    pub servers: Vec<GeneratedServer>,
+    /// The full PKI ecosystem.
+    pub eco: Ecosystem,
+    /// crt.sh-style domain index over the CT log.
+    pub ct_index: DomainIndex,
+    /// Publicly disclosed cross-signing relationships.
+    pub cross_sign_disclosures: Vec<(DistinguishedName, DistinguishedName)>,
+    /// Ground-truth labels.
+    pub truth: GroundTruth,
+}
+
+/// The in-memory sink behind [`CampusTrace::generate_with`].
+#[derive(Default)]
+struct VecSink {
+    ssl: Vec<SslRecord>,
+    meta: Vec<ConnMeta>,
+    x509: Vec<X509Record>,
+}
+
+impl TraceSink for VecSink {
+    type Error = std::convert::Infallible;
+
+    fn ssl(&mut self, record: SslRecord, meta: ConnMeta) -> Result<(), Self::Error> {
+        self.ssl.push(record);
+        self.meta.push(meta);
+        Ok(())
+    }
+
+    fn x509(&mut self, record: X509Record) -> Result<(), Self::Error> {
+        self.x509.push(record);
+        Ok(())
+    }
+}
+
 impl CampusTrace {
     /// Generate the full trace for `profile` using all available cores.
     ///
@@ -72,15 +130,48 @@ impl CampusTrace {
     /// Generate the full trace for `profile` on `threads` worker threads
     /// (`0` = available parallelism, `1` = fully sequential).
     ///
+    /// This is [`CampusTrace::stream_with`] into an in-memory sink; the
+    /// record vectors hold exactly the stream a file sink would have
+    /// written.
+    pub fn generate_with(profile: CampusProfile, threads: usize) -> CampusTrace {
+        let mut sink = VecSink::default();
+        let ctx =
+            CampusTrace::stream_with(profile, threads, &mut sink).unwrap_or_else(|e| match e {});
+        CampusTrace {
+            profile: ctx.profile,
+            targets: ctx.targets,
+            ssl_records: sink.ssl,
+            conn_meta: sink.meta,
+            x509_records: sink.x509,
+            servers: ctx.servers,
+            eco: ctx.eco,
+            ct_index: ctx.ct_index,
+            cross_sign_disclosures: ctx.cross_sign_disclosures,
+            truth: ctx.truth,
+        }
+    }
+
+    /// Generate the trace for `profile` on `threads` worker threads,
+    /// delivering every record to `sink` instead of materializing it.
+    ///
     /// Population building mutates the PKI ecosystem and stays sequential.
     /// Connection emission, however, is a pure function of the connection's
     /// global `uid` and its index within its traffic group, so it is
-    /// decomposed into one work item per server with precomputed index
-    /// offsets (prefix sums over the sequential emission order) and sharded
-    /// contiguously across threads. Shards are merged back in work-item
-    /// order, so the result is identical to the sequential trace for any
-    /// thread count.
-    pub fn generate_with(profile: CampusProfile, threads: usize) -> CampusTrace {
+    /// decomposed into work items with precomputed index offsets (prefix
+    /// sums over the sequential emission order), split into fixed-size
+    /// batches, and emitted a window of `threads` batches at a time.
+    /// Batches drain to the sink in batch (= sequential stream) order and
+    /// certificates dedup against a global first-sighting set, so the
+    /// delivered stream is identical to the sequential one for any thread
+    /// count — and identical to the vectors [`CampusTrace::generate_with`]
+    /// returns.
+    ///
+    /// The first sink error aborts generation and is returned as-is.
+    pub fn stream_with<S: TraceSink>(
+        profile: CampusProfile,
+        threads: usize,
+        sink: &mut S,
+    ) -> Result<TraceContext, S::Error> {
         let threads = resolve_threads(threads);
         let targets = CalibrationTargets::paper();
         let mut eco = Ecosystem::bootstrap(profile.seed);
@@ -159,49 +250,53 @@ impl CampusTrace {
         let base_secs = clock.now().unix_secs();
         let window_secs = SimClock::campus_window_end().unix_secs() - base_secs;
 
-        let shards = shard_items(&items, threads);
-        let emitted: Vec<ShardOutput> = if shards.len() <= 1 {
-            vec![emit_shard(
-                &items,
-                &servers,
-                &specs,
-                &eco,
-                base_secs,
-                window_secs,
-            )]
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .iter()
-                    .map(|part| {
-                        let (servers, specs, eco) = (&servers, &specs, &eco);
-                        scope.spawn(move || {
-                            emit_shard(part, servers, specs, eco, base_secs, window_secs)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("trace emitter thread panicked"))
-                    .collect()
-            })
-        };
-
-        // Merge in shard (= sequential stream) order. x509.log keeps the
-        // first sighting of each certificate: within a shard local-first is
-        // stream-first, and shards are concatenated in stream order, so
-        // keeping the globally-first record reproduces the sequential
-        // dedup exactly.
-        let mut ssl_records = Vec::new();
-        let mut conn_meta = Vec::new();
-        let mut x509_records = Vec::new();
+        // Emit in fixed-size batches, a window of `threads` at a time.
+        // Batches drain in batch (= sequential stream) order; x509.log
+        // keeps the first sighting of each certificate: within a batch
+        // local-first is stream-first, and batches drain in stream order,
+        // so keeping the globally-first record reproduces the sequential
+        // dedup exactly. Peak memory is one window of batch outputs,
+        // independent of total connection volume.
+        let batches = batch_items(items);
         let mut seen_certs: HashSet<Fingerprint> = HashSet::new();
-        for shard in emitted {
-            ssl_records.extend(shard.ssl);
-            conn_meta.extend(shard.meta);
-            for rec in shard.x509 {
+        let drain = |sink: &mut S,
+                     out: ShardOutput,
+                     seen_certs: &mut HashSet<Fingerprint>|
+         -> Result<(), S::Error> {
+            for rec in out.x509 {
                 if seen_certs.insert(rec.fingerprint) {
-                    x509_records.push(rec);
+                    sink.x509(rec)?;
+                }
+            }
+            for (rec, meta) in out.ssl.into_iter().zip(out.meta) {
+                sink.ssl(rec, meta)?;
+            }
+            Ok(())
+        };
+        if threads <= 1 {
+            for batch in &batches {
+                let out = emit_shard(batch, &servers, &specs, &eco, base_secs, window_secs);
+                drain(sink, out, &mut seen_certs)?;
+            }
+        } else {
+            for window in batches.chunks(threads) {
+                let outs: Vec<ShardOutput> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = window
+                        .iter()
+                        .map(|batch| {
+                            let (servers, specs, eco) = (&servers, &specs, &eco);
+                            scope.spawn(move || {
+                                emit_shard(batch, servers, specs, eco, base_secs, window_secs)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("trace emitter thread panicked"))
+                        .collect()
+                });
+                for out in outs {
+                    drain(sink, out, &mut seen_certs)?;
                 }
             }
         }
@@ -214,18 +309,15 @@ impl CampusTrace {
 
         let ct_index = DomainIndex::build(&[&eco.ct]);
         let cross_sign_disclosures = eco.cross_sign_disclosures.clone();
-        CampusTrace {
+        Ok(TraceContext {
             profile,
             targets,
-            ssl_records,
-            conn_meta,
-            x509_records,
             servers,
             eco,
             ct_index,
             cross_sign_disclosures,
             truth,
-        }
+        })
     }
 }
 
@@ -256,30 +348,46 @@ struct ShardOutput {
     x509: Vec<X509Record>,
 }
 
-/// Split `items` into at most `threads` contiguous chunks, balanced by
-/// connection count. Chunk boundaries never affect the merged output —
-/// they only set the parallel grain.
-fn shard_items(items: &[WorkItem], threads: usize) -> Vec<&[WorkItem]> {
-    if threads <= 1 || items.len() < 2 {
-        return vec![items];
-    }
-    let total: u64 = items.iter().map(|i| i.conns).sum::<u64>().max(1);
-    let shards = threads.min(items.len());
-    let mut parts = Vec::with_capacity(shards);
-    let mut start = 0usize;
-    let mut emitted: u64 = 0;
-    for shard in 1..shards {
-        let target = total * shard as u64 / shards as u64;
-        let mut end = start;
-        while end < items.len() && emitted < target {
-            emitted += items[end].conns;
-            end += 1;
+/// Connection records per emission batch. The batch is both the parallel
+/// grain and the streaming memory bound: at most one window of batch
+/// outputs is ever materialized.
+const BATCH_CONNS: u64 = 16_384;
+
+/// Split the work items into contiguous batches of ~[`BATCH_CONNS`]
+/// records. Emission is a pure function of an item's offsets, so an item
+/// larger than a batch is split — the tail keeps emitting the same
+/// records from its advanced `uid_start`/`k_start`. Batch boundaries
+/// never affect the drained output, only the grain.
+fn batch_items(items: Vec<WorkItem>) -> Vec<Vec<WorkItem>> {
+    let mut batches = Vec::new();
+    let mut cur: Vec<WorkItem> = Vec::new();
+    let mut cur_conns = 0u64;
+    for mut item in items {
+        loop {
+            let room = BATCH_CONNS - cur_conns;
+            if item.conns <= room {
+                cur_conns += item.conns;
+                cur.push(item);
+                if cur_conns == BATCH_CONNS {
+                    batches.push(std::mem::take(&mut cur));
+                    cur_conns = 0;
+                }
+                break;
+            }
+            let mut head = item;
+            head.conns = room;
+            cur.push(head);
+            batches.push(std::mem::take(&mut cur));
+            cur_conns = 0;
+            item.uid_start += room;
+            item.k_start += room;
+            item.conns -= room;
         }
-        parts.push(&items[start..end]);
-        start = end;
     }
-    parts.push(&items[start..]);
-    parts
+    if !cur.is_empty() {
+        batches.push(cur);
+    }
+    batches
 }
 
 /// Emit every connection record for one shard of work items. Pure function
@@ -515,6 +623,95 @@ mod tests {
         assert_eq!(a.ssl_records.len(), b.ssl_records.len());
         assert_eq!(a.ssl_records[..100], b.ssl_records[..100]);
         assert_eq!(a.x509_records.len(), b.x509_records.len());
+    }
+
+    #[test]
+    fn stream_matches_generate() {
+        struct CountSink {
+            ssl: u64,
+            x509: u64,
+            weight: f64,
+        }
+        impl TraceSink for CountSink {
+            type Error = std::convert::Infallible;
+            fn ssl(&mut self, _rec: SslRecord, meta: ConnMeta) -> Result<(), Self::Error> {
+                self.ssl += 1;
+                self.weight += meta.weight;
+                Ok(())
+            }
+            fn x509(&mut self, _rec: X509Record) -> Result<(), Self::Error> {
+                self.x509 += 1;
+                Ok(())
+            }
+        }
+        let trace = quick_trace();
+        let mut sink = CountSink {
+            ssl: 0,
+            x509: 0,
+            weight: 0.0,
+        };
+        let ctx = CampusTrace::stream_with(CampusProfile::quick(), 2, &mut sink)
+            .unwrap_or_else(|e| match e {});
+        assert_eq!(sink.ssl as usize, trace.ssl_records.len());
+        assert_eq!(sink.x509 as usize, trace.x509_records.len());
+        let total: f64 = trace.conn_meta.iter().map(|m| m.weight).sum();
+        assert!((sink.weight - total).abs() < 1e-6);
+        assert_eq!(ctx.servers.len(), trace.servers.len());
+    }
+
+    #[test]
+    fn sink_errors_abort_generation() {
+        struct FailingSink {
+            remaining: u64,
+        }
+        impl TraceSink for FailingSink {
+            type Error = &'static str;
+            fn ssl(&mut self, _rec: SslRecord, _meta: ConnMeta) -> Result<(), Self::Error> {
+                if self.remaining == 0 {
+                    return Err("disk full");
+                }
+                self.remaining -= 1;
+                Ok(())
+            }
+            fn x509(&mut self, _rec: X509Record) -> Result<(), Self::Error> {
+                Ok(())
+            }
+        }
+        let mut sink = FailingSink { remaining: 10 };
+        let err = CampusTrace::stream_with(CampusProfile::quick(), 2, &mut sink).unwrap_err();
+        assert_eq!(err, "disk full");
+    }
+
+    #[test]
+    fn batches_split_large_items_without_changing_records() {
+        // An item larger than BATCH_CONNS must split into offset-advanced
+        // tails that cover exactly the same (uid, k) pairs.
+        let item = WorkItem {
+            server_idx: 0,
+            group: TrafficGroup::PublicOnly,
+            spec_idx: 0,
+            conns: BATCH_CONNS * 2 + 17,
+            uid_start: 5,
+            k_start: 3,
+            records: BATCH_CONNS * 3,
+            conn_weight: 1.0,
+        };
+        let batches = batch_items(vec![item]);
+        assert_eq!(batches.len(), 3);
+        let mut uid = item.uid_start;
+        let mut k = item.k_start;
+        let mut conns = 0;
+        for batch in &batches {
+            for part in batch {
+                assert_eq!(part.uid_start, uid);
+                assert_eq!(part.k_start, k);
+                assert_eq!(part.records, item.records);
+                uid += part.conns;
+                k += part.conns;
+                conns += part.conns;
+            }
+        }
+        assert_eq!(conns, item.conns);
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! A from-scratch DER (Distinguished Encoding Rules) subset sufficient for

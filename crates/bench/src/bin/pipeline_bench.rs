@@ -26,8 +26,15 @@ struct CountingAlloc;
 static LIVE: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: both methods delegate to the `System` allocator unchanged and
+// only maintain atomic side counters, so `GlobalAlloc`'s contract is
+// inherited from `System` wholesale.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: contract inherited from the trait; `layout` is forwarded
+    // to `System.alloc` untouched.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: same non-zero-size `layout` the caller provided under
+        // `GlobalAlloc`'s contract.
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
             let live = LIVE.fetch_add(layout.size(), Relaxed) + layout.size();
@@ -36,7 +43,11 @@ unsafe impl GlobalAlloc for CountingAlloc {
         p
     }
 
+    // SAFETY: contract inherited from the trait; the `ptr`/`layout` pair
+    // is forwarded to `System.dealloc` untouched.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: the caller guarantees `ptr` came from `alloc` with this
+        // `layout`, and `alloc` always returns `System` pointers.
         unsafe { System.dealloc(ptr, layout) };
         LIVE.fetch_sub(layout.size(), Relaxed);
     }

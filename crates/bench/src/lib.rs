@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The experiment harness: one function per paper table/figure.
 //!
 //! Each `table*` / `figure*` function renders the reproduced artifact and

@@ -72,6 +72,7 @@ impl CrossSignRegistry {
 
     /// Number of disclosed relationships.
     pub fn len(&self) -> usize {
+        // srclint: commutative -- order-insensitive sum of set sizes
         self.alternates.values().map(|v| v.len()).sum()
     }
 

@@ -106,9 +106,11 @@ impl ChainGraph {
         }
     }
 
-    /// Node count by (class, role).
+    /// Node count by (class, role). Callers that render the census must
+    /// order the returned map themselves (the figure code sorts rows).
     pub fn census(&self) -> HashMap<(CertClass, CertRole), u64> {
         let mut out = HashMap::new();
+        // srclint: commutative -- counting fold; +1 per node in any order
         for node in self.nodes.values() {
             *out.entry((node.class, node.role)).or_default() += 1;
         }

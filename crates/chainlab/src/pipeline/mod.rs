@@ -134,6 +134,7 @@ pub(crate) fn resolve_threads(requested: usize) -> usize {
     if requested != 0 {
         requested
     } else {
+        // srclint: allow(det-thread-sensitivity) -- knob resolution only; output is byte-identical for every thread count (determinism regression test)
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)

@@ -44,6 +44,7 @@ impl UsageStats {
         for (&port, &w) in &other.ports {
             *self.ports.entry(port).or_default() += w;
         }
+        // srclint: commutative -- set union; insertion order is invisible
         self.client_ips.extend(other.client_ips.iter().copied());
         self.records += other.records;
     }

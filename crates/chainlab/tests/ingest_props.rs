@@ -1,0 +1,244 @@
+//! Property test for the chunk-partition-dispatch ingestion invariant.
+//!
+//! `Pipeline::analyze` shards chains by a stable fingerprint hash and
+//! partitions the record stream to workers in global order, so the fold
+//! each chain sees is identical for every thread count. This test feeds
+//! random batches — chains drawn from a small certificate pool, empty
+//! chains (TLS 1.3), unresolvable fingerprints, duplicated chains with
+//! distinct connection metadata, non-trivial weights — through the
+//! pipeline at thread counts 2..=8 and requires the full `Analysis` to
+//! be identical (f64 fields bit-for-bit) to the sequential fold. A
+//! fixed deterministic case larger than one ingest chunk (8192 records)
+//! exercises the multi-chunk dispatch path.
+
+use certchain_asn1::Asn1Time;
+use certchain_chainlab::{Analysis, CrossSignRegistry, Pipeline, PipelineOptions};
+use certchain_ctlog::DomainIndex;
+use certchain_netsim::{SslRecord, TlsVersion, X509Record};
+use certchain_trust::TrustDb;
+use certchain_x509::Fingerprint;
+use proptest::prelude::*;
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+
+/// The fixed certificate pool chains draw from: a root, an intermediate,
+/// three leaves below the intermediate, and a self-signed odd one out.
+fn cert_pool() -> Vec<X509Record> {
+    let ts = Asn1Time::from_unix(1_600_000_000);
+    let cert = |n: u8, subject: &str, issuer: &str, ca: Option<bool>, san: &[&str]| X509Record {
+        ts,
+        fingerprint: Fingerprint([n; 32]),
+        cert_version: 3,
+        serial: format!("{n:02X}"),
+        subject: subject.to_string(),
+        issuer: issuer.to_string(),
+        not_before: ts,
+        not_after: Asn1Time::from_unix(1_600_000_000 + 86_400 * 365),
+        basic_constraints_ca: ca,
+        path_len: None,
+        san_dns: san.iter().map(|s| s.to_string()).collect(),
+    };
+    vec![
+        cert(1, "CN=Pool Root CA", "CN=Pool Root CA", Some(true), &[]),
+        cert(2, "CN=Pool Mid CA", "CN=Pool Root CA", Some(true), &[]),
+        cert(
+            3,
+            "CN=svc0.example.org",
+            "CN=Pool Mid CA",
+            Some(false),
+            &["svc0.example.org"],
+        ),
+        cert(
+            4,
+            "CN=svc1.example.org",
+            "CN=Pool Mid CA",
+            None,
+            &["svc1.example.org"],
+        ),
+        cert(
+            5,
+            "CN=svc2.example.org",
+            "CN=Pool Mid CA",
+            Some(false),
+            &["svc2.example.org"],
+        ),
+        cert(6, "CN=self.local", "CN=self.local", None, &["self.local"]),
+    ]
+}
+
+/// Map a generated index to a fingerprint: indexes past the pool refer to
+/// certificates absent from x509.log (unresolvable chains).
+fn fp_of(index: u8) -> Fingerprint {
+    let pool = cert_pool();
+    if (index as usize) < pool.len() {
+        pool[index as usize].fingerprint
+    } else {
+        Fingerprint([0xE0 + index; 32])
+    }
+}
+
+/// One random connection: chain drawn from the pool (possibly empty or
+/// unresolvable), metadata from small sets so chains repeat across
+/// records with different usage contributions.
+fn arb_conn() -> impl Strategy<Value = SslRecord> {
+    (
+        0u64..86_400,
+        "[a-z0-9]{6,6}",
+        0u8..16,
+        any::<u16>(),
+        0u8..4,
+        0usize..3,
+        any::<bool>(),
+        proptest::option::of(prop_oneof![
+            Just("svc0.example.org".to_string()),
+            Just("svc1.example.org".to_string()),
+            Just("proxy.internal".to_string()),
+        ]),
+        any::<bool>(),
+        proptest::collection::vec(0u8..8, 0..4),
+    )
+        .prop_map(
+            |(ts, uid, client, orig_p, resp, port_pick, v13, sni, established, chain)| SslRecord {
+                ts: Asn1Time::from_unix(1_600_000_000 + ts),
+                uid: format!("C{uid}"),
+                orig_h: Ipv4Addr::new(10, 0, 0, client),
+                orig_p,
+                resp_h: Ipv4Addr::new(192, 168, 1, resp),
+                resp_p: [443, 8443, 9000][port_pick],
+                version: if v13 {
+                    TlsVersion::Tls13
+                } else {
+                    TlsVersion::Tls12
+                },
+                server_name: sni,
+                established,
+                cert_chain_fps: chain.into_iter().map(fp_of).collect(),
+            },
+        )
+}
+
+fn run(ssl: &[SslRecord], x509: &[X509Record], weights: &[f64], threads: usize) -> Analysis {
+    let trust = TrustDb::new();
+    let ct = DomainIndex::new();
+    let pipeline = Pipeline::with_options(
+        &trust,
+        &ct,
+        CrossSignRegistry::new(),
+        PipelineOptions {
+            threads,
+            ..PipelineOptions::default()
+        },
+    );
+    pipeline.analyze(ssl, x509, Some(weights))
+}
+
+/// Canonical, fully ordered rendering of an `Analysis`. Float fields are
+/// rendered as raw bits so "identical" means bit-for-bit, not
+/// approximately equal; the two hash-ordered containers (`index`,
+/// `client_ips`) are sorted before rendering.
+fn canon(a: &Analysis) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "no_chain={} unresolvable={} distinct={} entities={:?}",
+        a.no_chain_records,
+        a.unresolvable_records,
+        a.distinct_certificates,
+        a.interception_entities
+    )
+    .unwrap();
+    let mut index: Vec<(&certchain_chainlab::ChainKey, &usize)> = a.index.iter().collect();
+    index.sort();
+    writeln!(out, "index={index:?}").unwrap();
+    for c in &a.chains {
+        let mut ips: Vec<Ipv4Addr> = c.usage.client_ips.iter().copied().collect();
+        ips.sort();
+        let ports: Vec<(u16, u64)> = c
+            .usage
+            .ports
+            .iter()
+            .map(|(&p, w)| (p, w.to_bits()))
+            .collect();
+        writeln!(
+            out,
+            "chain key={:?} certs={:?} classes={:?} cat={:?} path={:?} hybrid={:?} \
+             nolink56={} dga={} ct={:?} entity={:?} snis={:?} \
+             conn={} est={} sni_w={} ports={ports:?} ips={ips:?} recs={}",
+            c.key,
+            c.certs.iter().map(|r| r.fingerprint).collect::<Vec<_>>(),
+            c.classes,
+            c.category,
+            c.path,
+            c.hybrid_category,
+            c.pub_leaf_no_intermediate,
+            c.is_dga,
+            c.leaf_ct_logged,
+            c.interception_entity,
+            c.snis,
+            c.usage.connections.to_bits(),
+            c.usage.established.to_bits(),
+            c.usage.with_sni.to_bits(),
+            c.usage.records,
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Non-uniform but deterministic per-record weights, so dispatch-order
+/// mistakes show up as f64 summation differences.
+fn weights_for(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i % 7) + 1) as f64 * 0.5).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn analysis_is_thread_count_invariant(
+        records in proptest::collection::vec(arb_conn(), 0..160),
+        threads in 2usize..9,
+    ) {
+        let x509 = cert_pool();
+        let weights = weights_for(records.len());
+        let sequential = canon(&run(&records, &x509, &weights, 1));
+        let parallel = canon(&run(&records, &x509, &weights, threads));
+        prop_assert_eq!(sequential, parallel, "threads = {} diverged", threads);
+    }
+}
+
+/// The dispatch path splits work in `CHUNK = 8192`-record slices; a batch
+/// spanning several chunks must still fold every chain in global record
+/// order. 20k records cover three chunks with a partial tail.
+#[test]
+fn multi_chunk_batches_stay_invariant() {
+    let x509 = cert_pool();
+    let pool_chains: [&[u8]; 6] = [&[3, 2, 1], &[4, 2], &[5, 2, 1], &[6], &[9, 2], &[]];
+    let records: Vec<SslRecord> = (0..20_000u32)
+        .map(|i| {
+            let chain = pool_chains[i as usize % pool_chains.len()];
+            SslRecord {
+                ts: Asn1Time::from_unix(1_600_000_000 + u64::from(i)),
+                uid: format!("C{i:06}"),
+                orig_h: Ipv4Addr::new(10, 0, (i / 256) as u8, (i % 256) as u8),
+                orig_p: 40_000 + (i % 20_000) as u16,
+                resp_h: Ipv4Addr::new(192, 168, 1, (i % 7) as u8),
+                resp_p: if i % 3 == 0 { 443 } else { 8443 },
+                version: if chain.is_empty() {
+                    TlsVersion::Tls13
+                } else {
+                    TlsVersion::Tls12
+                },
+                server_name: (i % 5 != 0).then(|| format!("svc{}.example.org", i % 3)),
+                established: i % 11 != 0,
+                cert_chain_fps: chain.iter().copied().map(fp_of).collect(),
+            }
+        })
+        .collect();
+    let weights = weights_for(records.len());
+    let sequential = canon(&run(&records, &x509, &weights, 1));
+    for threads in [2, 5, 8] {
+        let parallel = canon(&run(&records, &x509, &weights, threads));
+        assert_eq!(sequential, parallel, "threads = {threads} diverged");
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Library backing the `certchain` command-line tool.
 //!
 //! The CLI is the downstream-user surface of the reproduction: it exports

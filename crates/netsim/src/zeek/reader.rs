@@ -58,6 +58,7 @@ where
 {
     let (fields, data) = rows(text)?;
     let threads = if threads == 0 {
+        // srclint: allow(det-thread-sensitivity) -- knob resolution only; rows are reassembled in input order regardless of count
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Rendering utilities for the experiment harness: ASCII tables in the

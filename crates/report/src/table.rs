@@ -128,9 +128,12 @@ mod tests {
         let s = t.render();
         assert!(s.contains("== Table X =="));
         assert!(s.contains("| Security & Network |"));
-        // Column alignment: all lines same width.
-        let widths: std::collections::HashSet<usize> = s.lines().skip(1).map(|l| l.len()).collect();
-        assert_eq!(widths.len(), 1, "all table lines equally wide");
+        // Column alignment: all lines same width. (Named distinctly from
+        // `render`'s `widths` vector — srclint's binding tracking is
+        // file-scoped.)
+        let line_widths: std::collections::HashSet<usize> =
+            s.lines().skip(1).map(|l| l.len()).collect();
+        assert_eq!(line_widths.len(), 1, "all table lines equally wide");
         assert_eq!(t.len(), 2);
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! The November-2024 retrospective scanner (§5) and the validation-method

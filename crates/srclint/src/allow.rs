@@ -1,0 +1,147 @@
+//! The allowlist file (`srclint.allow` at the workspace root).
+//!
+//! Each entry suppresses one rule in one file and must carry a reason and
+//! an expiry note, so suppressions stay auditable and time-bounded:
+//!
+//! ```text
+//! # comment
+//! det-wallclock crates/cli/src/validate.rs -- reason text (expires: revisit note)
+//! ```
+//!
+//! Entries that suppress nothing are reported by `check` as stale — an
+//! allowlist only stays trustworthy if it shrinks when the code heals.
+
+use crate::rules::RuleId;
+use std::fmt;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// The rule being suppressed.
+    pub rule: RuleId,
+    /// Workspace-relative file the suppression applies to.
+    pub path: String,
+    /// Why the finding is acceptable.
+    pub reason: String,
+    /// When/under what condition the entry should be removed.
+    pub expires: String,
+    /// 1-based line in the allowlist file.
+    pub line: usize,
+}
+
+impl fmt::Display for AllowEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} -- {} (expires: {})",
+            self.rule, self.path, self.reason, self.expires
+        )
+    }
+}
+
+/// A malformed allowlist line.
+#[derive(Debug, Clone)]
+pub struct AllowParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AllowParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "srclint.allow:{}: {}", self.line, self.message)
+    }
+}
+
+/// Parse the allowlist file contents.
+pub fn parse(contents: &str) -> Result<Vec<AllowEntry>, AllowParseError> {
+    let mut entries = Vec::new();
+    for (idx, raw) in contents.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| AllowParseError { line, message };
+        let (head, rest) = text
+            .split_once(" -- ")
+            .ok_or_else(|| err("missing ` -- reason` separator".into()))?;
+        let mut fields = head.split_whitespace();
+        let rule_name = fields
+            .next()
+            .ok_or_else(|| err("missing rule name".into()))?;
+        let rule =
+            RuleId::parse(rule_name).ok_or_else(|| err(format!("unknown rule `{rule_name}`")))?;
+        let path = fields
+            .next()
+            .ok_or_else(|| err("missing file path".into()))?
+            .to_string();
+        if fields.next().is_some() {
+            return Err(err("unexpected extra field before ` -- `".into()));
+        }
+        let Some(open) = rest.rfind("(expires:") else {
+            return Err(err(
+                "entry must end with an `(expires: <note>)` expiry note".into(),
+            ));
+        };
+        let reason = rest[..open].trim().to_string();
+        let note = rest[open + "(expires:".len()..].trim();
+        let expires = note
+            .strip_suffix(')')
+            .ok_or_else(|| err("unterminated `(expires: ...)` note".into()))?
+            .trim()
+            .to_string();
+        if reason.is_empty() {
+            return Err(err("empty reason".into()));
+        }
+        if expires.is_empty() {
+            return Err(err("empty expiry note".into()));
+        }
+        entries.push(AllowEntry {
+            rule,
+            path,
+            reason,
+            expires,
+            line,
+        });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_skips_comments() {
+        let src = "# header\n\
+                   \n\
+                   det-wallclock crates/cli/src/validate.rs -- CLI lints real chains (expires: when --now is required)\n";
+        let got = parse(src).expect("parses");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, RuleId::DetWallclock);
+        assert_eq!(got[0].path, "crates/cli/src/validate.rs");
+        assert_eq!(got[0].reason, "CLI lints real chains");
+        assert_eq!(got[0].expires, "when --now is required");
+        assert_eq!(got[0].line, 3);
+    }
+
+    #[test]
+    fn rejects_missing_expiry() {
+        let e = parse("det-wallclock a.rs -- just because\n").unwrap_err();
+        assert!(e.message.contains("expires"));
+    }
+
+    #[test]
+    fn rejects_unknown_rule() {
+        let e = parse("not-a-rule a.rs -- x (expires: y)\n").unwrap_err();
+        assert!(e.message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn rejects_missing_separator() {
+        let e = parse("det-wallclock a.rs reason (expires: y)\n").unwrap_err();
+        assert!(e.message.contains("separator"));
+    }
+}

@@ -1,0 +1,326 @@
+//! A comment- and string-literal-aware line scanner for Rust source.
+//!
+//! The rules in this crate match on *code text*, never on text inside
+//! string literals or comments, and separately on *comment text* (for
+//! `// SAFETY:` and `// srclint:` markers). This module produces that
+//! split without a full parser: a character-level state machine that
+//! understands line comments, (nested) block comments, string literals
+//! (plain, byte, raw with any hash count), char/byte-char literals, and
+//! the `'lifetime` ambiguity.
+//!
+//! String and char literal *contents* are blanked to spaces in the code
+//! view — the surrounding quotes stay, so token shapes survive — which is
+//! what lets srclint scan its own rule tables (full of `"HashMap"`-like
+//! pattern strings) without flagging itself.
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// Code text with comments removed and literal contents blanked.
+    pub code: String,
+    /// Comment text on this line (markers `//`, `/*`, `*/` included).
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comment at the given depth.
+    BlockComment(usize),
+    /// Plain or byte string literal.
+    Str,
+    /// Raw (byte) string literal closed by `"` plus this many `#`s.
+    RawStr(usize),
+}
+
+/// Split `source` into per-line code/comment views.
+pub fn lex(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut number = 1usize;
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    macro_rules! flush_line {
+        () => {
+            lines.push(Line {
+                number,
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+            });
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            flush_line!();
+            number += 1;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let rest = &chars[i..];
+                if rest.starts_with(&['/', '/']) {
+                    state = State::LineComment;
+                    comment.push_str("//");
+                    i += 2;
+                } else if rest.starts_with(&['/', '*']) {
+                    state = State::BlockComment(1);
+                    comment.push_str("/*");
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if let Some(consumed) = raw_str_open(rest, prev_is_ident(&chars, i)) {
+                    let hashes = consumed.hashes;
+                    for _ in 0..consumed.len {
+                        code.push(chars[i]);
+                        i += 1;
+                    }
+                    state = if consumed.raw {
+                        State::RawStr(hashes)
+                    } else {
+                        State::Str
+                    };
+                } else if c == '\'' {
+                    i = consume_quote(&chars, i, &mut code);
+                } else if c == 'b' && !prev_is_ident(&chars, i) && rest.get(1) == Some(&'\'') {
+                    code.push('b');
+                    i = consume_quote(&chars, i + 1, &mut code);
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let rest = &chars[i..];
+                if rest.starts_with(&['*', '/']) {
+                    comment.push_str("*/");
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if rest.starts_with(&['/', '*']) {
+                    comment.push_str("/*");
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push(' ');
+                    if i + 1 < chars.len() && chars[i + 1] != '\n' {
+                        code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"'
+                    && chars[i + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&h| h == '#')
+                        .count()
+                        == hashes
+                {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push('#');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() || lines.is_empty() {
+        flush_line!();
+    }
+    lines
+}
+
+/// Is `chars[i - 1]` an identifier character? Guards the `r"`/`b"`
+/// prefixes against matching the tail of a longer identifier.
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+struct RawOpen {
+    /// Characters in the opening sequence (`r`/`b` prefix, hashes, quote).
+    len: usize,
+    hashes: usize,
+    raw: bool,
+}
+
+/// Match a raw/byte string opener (`r"`, `r#"`, `br##"`, `b"`, ...) at the
+/// head of `rest`.
+fn raw_str_open(rest: &[char], prev_ident: bool) -> Option<RawOpen> {
+    if prev_ident {
+        return None;
+    }
+    let mut j = 0usize;
+    let mut raw = false;
+    if rest.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if rest.get(j) == Some(&'r') {
+        raw = true;
+        j += 1;
+    }
+    if j == 0 {
+        return None;
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while rest.get(j + hashes) == Some(&'#') {
+            hashes += 1;
+        }
+    }
+    (rest.get(j + hashes) == Some(&'"')).then_some(RawOpen {
+        len: j + hashes + 1,
+        hashes,
+        raw,
+    })
+}
+
+/// Consume a `'` at `chars[i]`: either a char literal (contents blanked)
+/// or a lifetime/label (left in the code as-is). Returns the next index.
+fn consume_quote(chars: &[char], i: usize, code: &mut String) -> usize {
+    debug_assert_eq!(chars[i], '\'');
+    let next = chars.get(i + 1).copied();
+    match next {
+        // Escape sequence: consume through the closing quote.
+        Some('\\') => {
+            code.push('\'');
+            let mut j = i + 2;
+            // Skip the escaped char; `\u{...}` runs to its brace.
+            if chars.get(j) == Some(&'u') && chars.get(j + 1) == Some(&'{') {
+                while j < chars.len() && chars[j] != '}' {
+                    j += 1;
+                }
+            }
+            j += 1;
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            code.push(' ');
+            code.push('\'');
+            j + 1
+        }
+        // `'x'` — a one-char literal.
+        Some(_) if chars.get(i + 2) == Some(&'\'') => {
+            code.push('\'');
+            code.push(' ');
+            code.push('\'');
+            i + 3
+        }
+        // A lifetime (`'a`) or loop label (`'outer:`).
+        _ => {
+            code.push('\'');
+            i + 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn comments_are_split_out() {
+        let lines = lex("let x = 1; // trailing\n/* block */ let y = 2;\n");
+        assert_eq!(lines[0].code, "let x = 1; ");
+        assert_eq!(lines[0].comment, "// trailing");
+        assert_eq!(lines[1].code, " let y = 2;");
+        assert_eq!(lines[1].comment, "/* block */");
+    }
+
+    #[test]
+    fn strings_are_blanked_but_quoted() {
+        let got = code_of("let s = \"HashMap.iter()\";\n");
+        assert_eq!(got[0], "let s = \"              \";");
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let got = code_of("let a = r#\"x \" y\"#; let b = b\"q\"; let c = br##\"z\"##;\n");
+        assert!(!got[0].contains('x'));
+        assert!(!got[0].contains('q'));
+        assert!(!got[0].contains('z'));
+        assert!(got[0].ends_with("\"##;"));
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_ignored() {
+        let lines = lex("let u = \"https://e.org/*x*/\"; let v = 3;\n");
+        assert_eq!(lines[0].comment, "");
+        assert!(lines[0].code.contains("let v = 3;"));
+    }
+
+    #[test]
+    fn strings_inside_comments_are_ignored() {
+        let lines = lex("// has \"quotes\" inside\nlet w = 4;\n");
+        assert_eq!(lines[0].code, "");
+        assert_eq!(lines[1].code, "let w = 4;");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = lex("/* outer /* inner */ still */ let z = 5;\n");
+        assert_eq!(lines[0].code.trim(), "let z = 5;");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let got = code_of("fn f<'a>(x: &'a str) { let c = '\"'; let d = '\\''; let e = 'x'; }\n");
+        assert!(got[0].contains("fn f<'a>(x: &'a str)"));
+        // No stray quote state: everything after the literals survives.
+        assert!(got[0].ends_with('}'));
+    }
+
+    #[test]
+    fn multi_line_block_comment_spans_lines() {
+        let lines = lex("a();\n/* one\ntwo */ b();\n");
+        assert_eq!(lines[1].code, "");
+        assert_eq!(lines[1].comment, "/* one");
+        assert!(lines[2].code.contains("b();"));
+        assert!(lines[2].comment.contains("two */"));
+    }
+}

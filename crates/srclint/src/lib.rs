@@ -1,0 +1,329 @@
+#![forbid(unsafe_code)]
+//! `certchain-srclint`: a workspace determinism-and-safety static
+//! analysis pass.
+//!
+//! The workspace's headline guarantee is that Tables 2/3/7 render
+//! byte-identical across thread counts and across the batch/streaming
+//! paths. That guarantee is pinned by regression tests, but the hazards
+//! that can silently break it — hash-ordered iteration feeding ordered
+//! output, wall-clock reads, thread-count-dependent logic — live in
+//! dozens of files. This crate scans the workspace's own Rust source
+//! with a hand-rolled comment/string-aware lexer ([`lexer`]) and enforces
+//! the rule catalog in [`rules`] as a CI gate:
+//!
+//! ```text
+//! cargo run -p certchain-srclint -- check
+//! cargo run -p certchain-srclint -- list-suppressions
+//! ```
+//!
+//! Suppressions are explicit and auditable: `// srclint: commutative`
+//! justifies an order-insensitive hash iteration at the site,
+//! `// srclint: allow(<rule>) -- reason` silences any rule at the site,
+//! and `srclint.allow` ([`allow`]) holds file-level suppressions with
+//! mandatory expiry notes. `list-suppressions` prints all three kinds.
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+
+use allow::AllowEntry;
+use certchain_chainlab::json::JsonValue;
+use rules::{Finding, RuleId, Suppression};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories (workspace-relative) never scanned: build output, VCS
+/// metadata, and srclint's own intentionally-bad fixture corpus.
+const SKIP_DIRS: &[&str] = &["target", ".git", "crates/srclint/tests/fixtures"];
+
+/// Name of the allowlist file at the scan root.
+pub const ALLOWLIST_FILE: &str = "srclint.allow";
+
+/// The result of a full workspace scan.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Findings not silenced by any marker or allowlist entry, in
+    /// (path, line) order.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by an inline marker or allowlist entry.
+    pub suppressed: Vec<Finding>,
+    /// Allowlist entries that matched no finding (stale — remove them).
+    pub stale_allows: Vec<AllowEntry>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl CheckReport {
+    /// Render as a JSON document (machine-readable CI output).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            (
+                "files_scanned".into(),
+                JsonValue::Num(self.files_scanned as f64),
+            ),
+            (
+                "findings".into(),
+                JsonValue::Arr(self.findings.iter().map(finding_json).collect()),
+            ),
+            (
+                "suppressed".into(),
+                JsonValue::Arr(self.suppressed.iter().map(finding_json).collect()),
+            ),
+            (
+                "stale_allowlist_entries".into(),
+                JsonValue::Arr(self.stale_allows.iter().map(allow_json).collect()),
+            ),
+        ])
+    }
+}
+
+fn finding_json(f: &Finding) -> JsonValue {
+    let mut obj = vec![
+        ("rule".into(), JsonValue::Str(f.rule.name().into())),
+        ("path".into(), JsonValue::Str(f.path.clone())),
+        ("line".into(), JsonValue::Num(f.line as f64)),
+        ("message".into(), JsonValue::Str(f.message.clone())),
+        ("snippet".into(), JsonValue::Str(f.snippet.clone())),
+    ];
+    if let Some(s) = &f.suppression {
+        let (kind, detail) = match s {
+            Suppression::CommutativeMarker => ("commutative-marker", String::new()),
+            Suppression::InlineAllow(reason) => ("inline-allow", reason.clone()),
+            Suppression::Allowlist(reason) => ("allowlist", reason.clone()),
+        };
+        obj.push(("suppressed_by".into(), JsonValue::Str(kind.into())));
+        if !detail.is_empty() {
+            obj.push(("suppression_reason".into(), JsonValue::Str(detail)));
+        }
+    }
+    JsonValue::Obj(obj)
+}
+
+fn allow_json(e: &AllowEntry) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("rule".into(), JsonValue::Str(e.rule.name().into())),
+        ("path".into(), JsonValue::Str(e.path.clone())),
+        ("reason".into(), JsonValue::Str(e.reason.clone())),
+        ("expires".into(), JsonValue::Str(e.expires.clone())),
+        ("allowlist_line".into(), JsonValue::Num(e.line as f64)),
+    ])
+}
+
+/// A scan error: IO or a malformed allowlist.
+#[derive(Debug)]
+pub enum Error {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Malformed `srclint.allow`.
+    Allowlist(allow::AllowParseError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Allowlist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Error {
+        Error::Io(e)
+    }
+}
+
+/// Walk `root` for `.rs` files, skipping [`SKIP_DIRS`]. Returns
+/// workspace-relative paths (forward slashes), sorted for deterministic
+/// report order.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let rel = rel_path(root, &path);
+            if SKIP_DIRS.iter().any(|s| rel == *s) || rel.ends_with("/target") {
+                continue;
+            }
+            let ty = entry.file_type()?;
+            if ty.is_dir() {
+                stack.push(path);
+            } else if ty.is_file() && rel.ends_with(".rs") {
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Load the allowlist at `root`, if present.
+pub fn load_allowlist(root: &Path) -> Result<Vec<AllowEntry>, Error> {
+    let path = root.join(ALLOWLIST_FILE);
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let contents = fs::read_to_string(path)?;
+    allow::parse(&contents).map_err(Error::Allowlist)
+}
+
+/// Scan the workspace rooted at `root` and apply suppressions.
+pub fn check(root: &Path) -> Result<CheckReport, Error> {
+    let allows = load_allowlist(root)?;
+    let mut allow_hits = vec![0usize; allows.len()];
+    let mut report = CheckReport::default();
+    for rel in collect_rs_files(root)? {
+        let source = fs::read_to_string(root.join(&rel))?;
+        let lines = lexer::lex(&source);
+        let info = rules::classify(&rel);
+        report.files_scanned += 1;
+        for mut finding in rules::scan_file(&info, &lines) {
+            if finding.suppression.is_none() {
+                if let Some(i) = allows
+                    .iter()
+                    .position(|e| e.rule == finding.rule && e.path == finding.path)
+                {
+                    allow_hits[i] += 1;
+                    finding.suppression = Some(Suppression::Allowlist(allows[i].reason.clone()));
+                }
+            }
+            if finding.suppression.is_some() {
+                report.suppressed.push(finding);
+            } else {
+                report.findings.push(finding);
+            }
+        }
+    }
+    report.stale_allows = allows
+        .into_iter()
+        .zip(allow_hits)
+        .filter_map(|(e, hits)| (hits == 0).then_some(e))
+        .collect();
+    Ok(report)
+}
+
+/// One entry in the suppression audit (`list-suppressions`).
+#[derive(Debug, Clone)]
+pub struct SuppressionSite {
+    /// `commutative-marker`, `inline-allow`, or `allowlist`.
+    pub kind: &'static str,
+    /// Where the suppression lives (`path:line`; the allowlist file for
+    /// allowlist entries).
+    pub path: String,
+    /// 1-based line of the marker / allowlist entry.
+    pub line: usize,
+    /// Rule suppressed (`det-unordered-iter` for commutative markers;
+    /// best-effort parse for inline allows).
+    pub rule: String,
+    /// Reason / justification text.
+    pub reason: String,
+    /// Whether the suppression currently silences at least one finding.
+    pub active: bool,
+}
+
+/// Audit every suppression in the workspace: inline markers (found by
+/// scanning comments) and allowlist entries, each tagged with whether it
+/// currently matches a finding.
+pub fn list_suppressions(root: &Path) -> Result<Vec<SuppressionSite>, Error> {
+    let report = check(root)?;
+    let active_key = |f: &Finding| (f.path.clone(), f.rule);
+    let active: std::collections::BTreeSet<(String, RuleId)> =
+        report.suppressed.iter().map(active_key).collect();
+    let mut out = Vec::new();
+    for rel in collect_rs_files(root)? {
+        let source = fs::read_to_string(root.join(&rel))?;
+        for line in lexer::lex(&source) {
+            let Some(pos) = line.comment.find("srclint:") else {
+                continue;
+            };
+            let body = line.comment[pos + "srclint:".len()..].trim();
+            let (kind, rule, reason) = if let Some(rest) = body.strip_prefix("commutative") {
+                let reason = rest.trim().trim_start_matches("--").trim();
+                (
+                    "commutative-marker",
+                    RuleId::DetUnorderedIter.name().to_string(),
+                    reason.to_string(),
+                )
+            } else if let Some(rest) = body.strip_prefix("allow(") {
+                let (rule, tail) = rest.split_once(')').unwrap_or((rest, ""));
+                (
+                    "inline-allow",
+                    rule.trim().to_string(),
+                    tail.trim().trim_start_matches("--").trim().to_string(),
+                )
+            } else {
+                continue;
+            };
+            let is_active =
+                RuleId::parse(&rule).is_some_and(|r| active.contains(&(rel.clone(), r)));
+            out.push(SuppressionSite {
+                kind,
+                path: rel.clone(),
+                line: line.number,
+                rule,
+                reason,
+                active: is_active,
+            });
+        }
+    }
+    for entry in load_allowlist(root)? {
+        let is_active = !report.stale_allows.iter().any(|s| s.line == entry.line);
+        out.push(SuppressionSite {
+            kind: "allowlist",
+            path: ALLOWLIST_FILE.to_string(),
+            line: entry.line,
+            rule: entry.rule.name().to_string(),
+            reason: format!("{} (expires: {})", entry.reason, entry.expires),
+            active: is_active,
+        });
+    }
+    Ok(out)
+}
+
+/// Render the suppression audit as JSON.
+pub fn suppressions_json(sites: &[SuppressionSite]) -> JsonValue {
+    JsonValue::Arr(
+        sites
+            .iter()
+            .map(|s| {
+                JsonValue::Obj(vec![
+                    ("kind".into(), JsonValue::Str(s.kind.into())),
+                    ("path".into(), JsonValue::Str(s.path.clone())),
+                    ("line".into(), JsonValue::Num(s.line as f64)),
+                    ("rule".into(), JsonValue::Str(s.rule.clone())),
+                    ("reason".into(), JsonValue::Str(s.reason.clone())),
+                    ("active".into(), JsonValue::Bool(s.active)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Find the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(contents) = fs::read_to_string(&manifest) {
+            if contents.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,144 @@
+//! CLI for the srclint workspace analysis pass.
+//!
+//! ```text
+//! certchain-srclint check [--json] [--root DIR]
+//! certchain-srclint list-suppressions [--json] [--root DIR]
+//! certchain-srclint rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings (or stale allowlist
+//! entries), 2 usage/IO error.
+
+use certchain_srclint::rules::RuleId;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: certchain-srclint <command> [options]
+
+commands:
+  check               scan the workspace; exit 1 on unsuppressed findings
+  list-suppressions   audit every suppression marker and allowlist entry
+  rules               print the rule catalog
+
+options:
+  --json              machine-readable output
+  --root DIR          scan root (default: nearest ancestor workspace)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut rest = args[1..].iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match rest.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().expect("cwd");
+            match certchain_srclint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match command.as_str() {
+        "check" => run_check(&root, json),
+        "list-suppressions" => run_list(&root, json),
+        "rules" => run_rules(),
+        other => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_check(root: &std::path::Path, json: bool) -> ExitCode {
+    let report = match certchain_srclint::check(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("srclint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", report.to_json().to_pretty());
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        for stale in &report.stale_allows {
+            println!(
+                "srclint.allow:{}: stale entry (matched no finding): {stale}",
+                stale.line
+            );
+        }
+        eprintln!(
+            "srclint: {} file(s), {} finding(s), {} suppressed, {} stale allowlist entr(ies)",
+            report.files_scanned,
+            report.findings.len(),
+            report.suppressed.len(),
+            report.stale_allows.len(),
+        );
+    }
+    if report.findings.is_empty() && report.stale_allows.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn run_list(root: &std::path::Path, json: bool) -> ExitCode {
+    let sites = match certchain_srclint::list_suppressions(root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("srclint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!(
+            "{}",
+            certchain_srclint::suppressions_json(&sites).to_pretty()
+        );
+    } else {
+        for s in &sites {
+            let status = if s.active { "active" } else { "inactive" };
+            println!(
+                "{}:{}: [{}] {} ({}) {}",
+                s.path, s.line, s.rule, s.kind, status, s.reason
+            );
+        }
+        eprintln!("srclint: {} suppression site(s)", sites.len());
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_rules() -> ExitCode {
+    for rule in RuleId::ALL {
+        println!("{:28} {}", rule.name(), rule.description());
+    }
+    ExitCode::SUCCESS
+}

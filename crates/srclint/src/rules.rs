@@ -1,0 +1,801 @@
+//! The srclint rule catalog.
+//!
+//! Every rule answers one question about a single file, given the
+//! [`crate::lexer::Line`] view and the file's workspace classification.
+//! Rules are deliberately lexical: srclint runs on every CI push, must
+//! build with zero dependencies beyond the workspace, and favors a small
+//! number of auditable false positives (silenced with justification
+//! markers) over parser-grade precision.
+
+use crate::lexer::Line;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Crates whose output feeds the byte-identical tables/figures. The
+/// det-unordered-iter rule only applies here.
+pub const DET_CRATES: &[&str] = &["chainlab", "report", "workload", "netsim"];
+
+/// Crates exempt from det-wallclock: timing is their purpose.
+pub const WALLCLOCK_EXEMPT: &[&str] = &["bench", "vendor/criterion"];
+
+/// The rule identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// `HashMap`/`HashSet` iteration in a determinism-critical crate.
+    DetUnorderedIter,
+    /// Wall-clock reads (`Instant::now`/`SystemTime::now`) in library code.
+    DetWallclock,
+    /// Thread-count/identity probes that can leak into output.
+    DetThreadSensitivity,
+    /// `unsafe` without a `// SAFETY:` comment.
+    UnsafeNeedsSafetyComment,
+    /// `#[allow(...)]` without a same-line reason comment.
+    NoSilentAllow,
+}
+
+impl RuleId {
+    /// Every rule, in catalog order.
+    pub const ALL: [RuleId; 5] = [
+        RuleId::DetUnorderedIter,
+        RuleId::DetWallclock,
+        RuleId::DetThreadSensitivity,
+        RuleId::UnsafeNeedsSafetyComment,
+        RuleId::NoSilentAllow,
+    ];
+
+    /// Stable kebab-case name (used in output, markers, the allowlist).
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::DetUnorderedIter => "det-unordered-iter",
+            RuleId::DetWallclock => "det-wallclock",
+            RuleId::DetThreadSensitivity => "det-thread-sensitivity",
+            RuleId::UnsafeNeedsSafetyComment => "unsafe-needs-safety-comment",
+            RuleId::NoSilentAllow => "no-silent-allow",
+        }
+    }
+
+    /// Parse a rule name.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.name() == s)
+    }
+
+    /// One-line description for `rules` output and reports.
+    pub fn description(self) -> &'static str {
+        match self {
+            RuleId::DetUnorderedIter => {
+                "HashMap/HashSet iteration inside determinism-critical crates \
+                 (chainlab/report/workload/netsim) must be justified with \
+                 `// srclint: commutative` or replaced by an ordered container"
+            }
+            RuleId::DetWallclock => {
+                "library code must not read the wall clock \
+                 (Instant::now/SystemTime::now); outputs must be re-runnable"
+            }
+            RuleId::DetThreadSensitivity => {
+                "available_parallelism/thread::current must not influence \
+                 non-bench output; thread-count knobs need a justification"
+            }
+            RuleId::UnsafeNeedsSafetyComment => {
+                "every `unsafe` block/fn/impl needs a `// SAFETY:` comment \
+                 on the same or a nearby preceding line"
+            }
+            RuleId::NoSilentAllow => "#[allow(...)] requires a same-line `// reason` comment",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a finding was silenced, if it was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Suppression {
+    /// `// srclint: commutative` on the same or previous line.
+    CommutativeMarker,
+    /// `// srclint: allow(<rule>) -- reason` on the same or previous line.
+    InlineAllow(String),
+    /// Matched an entry in the allowlist file.
+    Allowlist(String),
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Set when an inline marker or allowlist entry silenced the finding.
+    pub suppression: Option<Suppression>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    | {}",
+            self.path, self.line, self.rule, self.message, self.snippet
+        )
+    }
+}
+
+/// Where a file sits in the workspace — decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source (`crates/<c>/src/**`, not `src/bin`).
+    Lib,
+    /// Binary source (`src/bin/**`, `src/main.rs`).
+    Bin,
+    /// Tests and benches (`tests/**`, `benches/**`).
+    Test,
+    /// `examples/**`.
+    Example,
+}
+
+/// A classified workspace file.
+#[derive(Debug, Clone)]
+pub struct FileInfo {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// `chainlab`, `vendor/rand`, `tests`, `examples`, ...
+    pub crate_name: String,
+    /// Position-derived kind.
+    pub kind: FileKind,
+}
+
+/// Classify a workspace-relative path.
+pub fn classify(rel_path: &str) -> FileInfo {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let crate_name = match parts.first().copied() {
+        Some("crates") => parts.get(1).copied().unwrap_or("").to_string(),
+        Some("vendor") => format!("vendor/{}", parts.get(1).copied().unwrap_or("")),
+        Some(other) => other.to_string(),
+        None => String::new(),
+    };
+    let tail: Vec<&str> = if matches!(parts.first().copied(), Some("crates" | "vendor")) {
+        parts[2..].to_vec()
+    } else {
+        parts[1..].to_vec()
+    };
+    let kind = match tail.first().copied() {
+        Some("tests") | Some("benches") => FileKind::Test,
+        Some("examples") => FileKind::Example,
+        Some("src") => {
+            if tail.get(1).copied() == Some("bin") || tail.get(1).copied() == Some("main.rs") {
+                FileKind::Bin
+            } else {
+                FileKind::Lib
+            }
+        }
+        _ => FileKind::Lib,
+    };
+    // The workspace-level `examples/` member is all example code.
+    let kind = if crate_name == "examples" {
+        FileKind::Example
+    } else {
+        kind
+    };
+    FileInfo {
+        path: rel_path.to_string(),
+        crate_name,
+        kind,
+    }
+}
+
+/// First line of the file's `#[cfg(test)]` region, if any. By workspace
+/// convention the unit-test module is the last item in a file, so
+/// everything from that attribute on is treated as test code.
+fn test_region_start(lines: &[Line]) -> Option<usize> {
+    lines
+        .iter()
+        .find(|l| l.code.contains("#[cfg(test)]"))
+        .map(|l| l.number)
+}
+
+/// Run every applicable rule over one file.
+pub fn scan_file(info: &FileInfo, lines: &[Line]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let test_start = test_region_start(lines);
+    let in_test_region = |n: usize| test_start.is_some_and(|s| n >= s);
+
+    if DET_CRATES.contains(&info.crate_name.as_str()) && info.kind == FileKind::Lib {
+        det_unordered_iter(info, lines, &mut findings);
+    }
+    if info.kind == FileKind::Lib && !WALLCLOCK_EXEMPT.contains(&info.crate_name.as_str()) {
+        det_wallclock(info, lines, &in_test_region, &mut findings);
+    }
+    if info.kind == FileKind::Lib
+        && info.crate_name != "bench"
+        && !info.crate_name.starts_with("vendor/")
+    {
+        det_thread_sensitivity(info, lines, &in_test_region, &mut findings);
+    }
+    unsafe_needs_safety_comment(info, lines, &mut findings);
+    no_silent_allow(info, lines, &mut findings);
+    findings
+}
+
+/// The iteration methods whose order follows the hasher, not the data.
+const UNORDERED_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+fn det_unordered_iter(info: &FileInfo, lines: &[Line], out: &mut Vec<Finding>) {
+    let names = hash_typed_names(lines);
+    if names.is_empty() {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        let mut hit: Option<String> = None;
+        // `map.iter()`-style: an unordered method invoked on a tracked name.
+        for m in UNORDERED_METHODS {
+            for pos in find_method_calls(&line.code, m) {
+                if let Some(recv) = ident_ending_at(&line.code, pos) {
+                    if names.contains(recv) {
+                        hit = Some(format!("`{recv}.{m}()`"));
+                    }
+                }
+            }
+        }
+        // `for x in &map`-style: the for-expression ends in a tracked name.
+        if hit.is_none() {
+            if let Some(name) = for_loop_over(&line.code, &names) {
+                hit = Some(format!("`for .. in {name}`"));
+            }
+        }
+        let Some(what) = hit else { continue };
+        let suppression = (marker_near(lines, idx, "srclint: commutative"))
+            .then_some(Suppression::CommutativeMarker)
+            .or_else(|| inline_allow_near(lines, idx, RuleId::DetUnorderedIter));
+        out.push(Finding {
+            rule: RuleId::DetUnorderedIter,
+            path: info.path.clone(),
+            line: line.number,
+            snippet: snippet_of(line),
+            message: format!(
+                "{what} iterates a hash container in determinism-critical crate \
+                 `{}`; iteration order follows the hasher. Sort first, use an \
+                 ordered container, or justify with `// srclint: commutative`",
+                info.crate_name
+            ),
+            suppression,
+        });
+    }
+}
+
+fn det_wallclock(
+    info: &FileInfo,
+    lines: &[Line],
+    in_test_region: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test_region(line.number) {
+            continue;
+        }
+        for probe in ["Instant::now", "SystemTime::now"] {
+            if contains_token_path(&line.code, probe) {
+                out.push(Finding {
+                    rule: RuleId::DetWallclock,
+                    path: info.path.clone(),
+                    line: line.number,
+                    snippet: snippet_of(line),
+                    message: format!(
+                        "`{probe}()` in library code: analysis outputs must be \
+                         reproducible from inputs alone"
+                    ),
+                    suppression: inline_allow_near(lines, idx, RuleId::DetWallclock),
+                });
+            }
+        }
+    }
+}
+
+fn det_thread_sensitivity(
+    info: &FileInfo,
+    lines: &[Line],
+    in_test_region: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test_region(line.number) {
+            continue;
+        }
+        for probe in ["available_parallelism", "thread::current"] {
+            if contains_token_path(&line.code, probe) {
+                out.push(Finding {
+                    rule: RuleId::DetThreadSensitivity,
+                    path: info.path.clone(),
+                    line: line.number,
+                    snippet: snippet_of(line),
+                    message: format!(
+                        "`{probe}` makes behavior depend on the host's thread \
+                         configuration; outputs must be identical across thread \
+                         counts (justify knob-resolution sites inline)"
+                    ),
+                    suppression: inline_allow_near(lines, idx, RuleId::DetThreadSensitivity),
+                });
+            }
+        }
+    }
+}
+
+fn unsafe_needs_safety_comment(info: &FileInfo, lines: &[Line], out: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if !has_word(&line.code, "unsafe") {
+            continue;
+        }
+        // A SAFETY comment on the same line or within the three preceding
+        // lines covers this `unsafe`.
+        let covered = (idx.saturating_sub(3)..=idx).any(|j| lines[j].comment.contains("SAFETY:"));
+        if covered {
+            continue;
+        }
+        out.push(Finding {
+            rule: RuleId::UnsafeNeedsSafetyComment,
+            path: info.path.clone(),
+            line: line.number,
+            snippet: snippet_of(line),
+            message: "`unsafe` without a `// SAFETY:` comment on the same or a \
+                      nearby preceding line"
+                .to_string(),
+            suppression: inline_allow_near(lines, idx, RuleId::UnsafeNeedsSafetyComment),
+        });
+    }
+}
+
+fn no_silent_allow(info: &FileInfo, lines: &[Line], out: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        if !(code.contains("#[allow(") || code.contains("#![allow(")) {
+            continue;
+        }
+        if !line.comment.trim_start_matches('/').trim().is_empty() {
+            continue;
+        }
+        out.push(Finding {
+            rule: RuleId::NoSilentAllow,
+            path: info.path.clone(),
+            line: line.number,
+            snippet: snippet_of(line),
+            message: "silent `#[allow(...)]`: add a same-line `// reason` comment".to_string(),
+            suppression: inline_allow_near(lines, idx, RuleId::NoSilentAllow),
+        });
+    }
+}
+
+fn snippet_of(line: &Line) -> String {
+    line.code.trim().chars().take(120).collect()
+}
+
+/// `// srclint: <marker>` on the flagged line or the line above.
+fn marker_near(lines: &[Line], idx: usize, marker: &str) -> bool {
+    let check = |l: &Line| l.comment.contains(marker);
+    check(&lines[idx]) || (idx > 0 && check(&lines[idx - 1]))
+}
+
+/// `// srclint: allow(<rule>) -- reason` on the flagged line or the line
+/// above. The reason text is captured for `list-suppressions`.
+fn inline_allow_near(lines: &[Line], idx: usize, rule: RuleId) -> Option<Suppression> {
+    let needle = format!("srclint: allow({})", rule.name());
+    for j in [Some(idx), idx.checked_sub(1)].into_iter().flatten() {
+        if let Some(pos) = lines[j].comment.find(&needle) {
+            let rest = lines[j].comment[pos + needle.len()..].trim();
+            let reason = rest.trim_start_matches("--").trim().to_string();
+            return Some(Suppression::InlineAllow(reason));
+        }
+    }
+    None
+}
+
+/// Identifiers in this file whose type is `HashMap`/`HashSet` (or a local
+/// alias of one): `name: HashMap<..>` annotations (params, fields, lets)
+/// and `let name = HashMap::new()`-style initializations.
+fn hash_typed_names(lines: &[Line]) -> BTreeSet<String> {
+    let mut hash_types: BTreeSet<String> = ["HashMap", "HashSet"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    // Local `type Alias = HashMap<..>` declarations extend the type set.
+    for line in lines {
+        let code = &line.code;
+        if let Some(tpos) = find_word(code, "type") {
+            let rest = &code[tpos + 4..];
+            if let Some(eq) = rest.find('=') {
+                let alias = rest[..eq].trim();
+                let rhs = rest[eq + 1..].trim_start();
+                if is_hash_type_head(rhs, &hash_types) && is_ident(alias_head(alias)) {
+                    hash_types.insert(alias_head(alias).to_string());
+                }
+            }
+        }
+    }
+    let mut names = BTreeSet::new();
+    for line in lines {
+        collect_annotated(&line.code, &hash_types, &mut names);
+        collect_let_inits(&line.code, &hash_types, &mut names);
+    }
+    names
+}
+
+/// Strip generics from an alias head: `FieldMap` from `FieldMap` (aliases
+/// with parameters are not tracked).
+fn alias_head(alias: &str) -> &str {
+    alias.split('<').next().unwrap_or(alias).trim()
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Does a type expression start with one of the hash types (after `&`,
+/// `mut`, and any `path::` qualifiers)?
+fn is_hash_type_head(mut ty: &str, hash_types: &BTreeSet<String>) -> bool {
+    ty = ty.trim_start();
+    ty = ty.strip_prefix('&').unwrap_or(ty).trim_start();
+    ty = ty.strip_prefix("mut ").unwrap_or(ty).trim_start();
+    loop {
+        let head_len = ty
+            .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .unwrap_or(ty.len());
+        let head = &ty[..head_len];
+        let rest = &ty[head_len..];
+        if let Some(stripped) = rest.strip_prefix("::") {
+            ty = stripped;
+            continue;
+        }
+        if !hash_types.contains(head) {
+            return false;
+        }
+        // The base types are always written with generics; a bare head is
+        // some unrelated item. Local aliases are complete types as-is.
+        return if head == "HashMap" || head == "HashSet" {
+            rest.trim_start().starts_with('<')
+        } else {
+            true
+        };
+    }
+}
+
+/// `name: <hash type>` annotations (fn params, struct fields, lets).
+fn collect_annotated(code: &str, hash_types: &BTreeSet<String>, out: &mut BTreeSet<String>) {
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b':' {
+            continue;
+        }
+        // Skip `::` path separators.
+        if i + 1 < bytes.len() && bytes[i + 1] == b':' {
+            continue;
+        }
+        if i > 0 && bytes[i - 1] == b':' {
+            continue;
+        }
+        if !is_hash_type_head(&code[i + 1..], hash_types) {
+            continue;
+        }
+        // Identifier immediately before the `:`.
+        if let Some(name) = ident_ending_at(code, i) {
+            if is_ident(name) {
+                out.insert(name.to_string());
+            }
+        }
+    }
+}
+
+/// `let [mut] name = HashMap::new()` / `..with_capacity(..)` /
+/// `..collect::<HashMap<..>>()` initializations.
+fn collect_let_inits(code: &str, hash_types: &BTreeSet<String>, out: &mut BTreeSet<String>) {
+    let Some(let_pos) = find_word(code, "let") else {
+        return;
+    };
+    let rest = &code[let_pos + 3..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name_len = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    let name = &rest[..name_len];
+    let after = rest[name_len..].trim_start();
+    if !is_ident(name) || !after.starts_with('=') {
+        return;
+    }
+    let rhs = &after[1..];
+    let init = hash_types.iter().any(|t| {
+        rhs.contains(&format!("{t}::new()"))
+            || rhs.contains(&format!("{t}::with_capacity"))
+            || rhs.contains(&format!("{t}::from"))
+            || rhs.contains(&format!("collect::<{t}"))
+    });
+    if init {
+        out.insert(name.to_string());
+    }
+}
+
+/// Positions of `.method(` calls (returns the index of the `.`).
+fn find_method_calls(code: &str, method: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let pat = format!(".{method}(");
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(&pat) {
+        let at = start + pos;
+        // Reject longer method names ending with ours (`.retain(` vs `.in(`).
+        out.push(at);
+        start = at + pat.len();
+    }
+    out
+}
+
+/// The identifier ending right before byte `end` (skipping trailing
+/// spaces), or `None`.
+fn ident_ending_at(code: &str, end: usize) -> Option<&str> {
+    let head = code[..end].trim_end();
+    let mut start = head.len();
+    for (pos, c) in head.char_indices().rev() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            start = pos;
+        } else {
+            break;
+        }
+    }
+    (start < head.len()).then(|| &head[start..])
+}
+
+/// `for .. in <expr>` where the expression's trailing identifier is a
+/// tracked name (covers `&map`, `&mut map`, `self.map`).
+fn for_loop_over<'n>(code: &str, names: &'n BTreeSet<String>) -> Option<&'n str> {
+    let for_pos = find_word(code, "for")?;
+    let in_pos = for_pos + find_word(&code[for_pos..], "in")?;
+    // The loop body may share the line; a for-expression cannot contain an
+    // unparenthesized `{`, so everything from the first brace is body.
+    let expr = code[in_pos + 2..].split('{').next().unwrap_or("").trim();
+    let tail_start = expr
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .map(|p| p + expr[p..].chars().next().map_or(1, char::len_utf8))
+        .unwrap_or(0);
+    let tail = &expr[tail_start..];
+    names.get(tail).map(|s| s.as_str())
+}
+
+/// Whole-word occurrence of `word` in `code` (identifier boundaries).
+fn find_word(code: &str, word: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || {
+            let c = bytes[at - 1] as char;
+            !(c.is_alphanumeric() || c == '_')
+        };
+        let end = at + word.len();
+        let after_ok = end >= code.len() || {
+            let c = bytes[end] as char;
+            !(c.is_alphanumeric() || c == '_')
+        };
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + word.len().max(1);
+    }
+    None
+}
+
+fn has_word(code: &str, word: &str) -> bool {
+    find_word(code, word).is_some()
+}
+
+/// `Foo::bar`-style probe with an identifier boundary on each side.
+fn contains_token_path(code: &str, path: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(path) {
+        let at = start + pos;
+        let before_ok = at == 0 || {
+            let c = code.as_bytes()[at - 1] as char;
+            !(c.is_alphanumeric() || c == '_')
+        };
+        let end = at + path.len();
+        let after_ok = end >= code.len() || {
+            let c = code.as_bytes()[end] as char;
+            !(c.is_alphanumeric() || c == '_')
+        };
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + path.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scan(path: &str, src: &str) -> Vec<Finding> {
+        scan_file(&classify(path), &lex(src))
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<(RuleId, usize, bool)> {
+        findings
+            .iter()
+            .map(|f| (f.rule, f.line, f.suppression.is_some()))
+            .collect()
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(
+            classify("crates/chainlab/src/usage.rs").crate_name,
+            "chainlab"
+        );
+        assert_eq!(classify("crates/chainlab/src/usage.rs").kind, FileKind::Lib);
+        assert_eq!(
+            classify("crates/cli/src/bin/certchain.rs").kind,
+            FileKind::Bin
+        );
+        assert_eq!(classify("crates/srclint/src/main.rs").kind, FileKind::Bin);
+        assert_eq!(
+            classify("crates/netsim/tests/zeek_stream.rs").kind,
+            FileKind::Test
+        );
+        assert_eq!(
+            classify("crates/bench/benches/pipeline.rs").kind,
+            FileKind::Test
+        );
+        assert_eq!(classify("vendor/rand/src/lib.rs").crate_name, "vendor/rand");
+        assert_eq!(classify("examples/src/lib.rs").kind, FileKind::Example);
+        assert_eq!(classify("tests/tests/end_to_end.rs").kind, FileKind::Test);
+    }
+
+    #[test]
+    fn unordered_iter_flags_map_methods() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, u32>) {\n\
+                   for (k, v) in m.iter() { println!(\"{k}{v}\"); }\n\
+                   }\n";
+        let got = scan("crates/chainlab/src/x.rs", src);
+        assert_eq!(rules_of(&got), vec![(RuleId::DetUnorderedIter, 3, false)]);
+    }
+
+    #[test]
+    fn unordered_iter_flags_for_over_ref() {
+        let src = "fn f() {\n\
+                   let mut m = std::collections::HashSet::new();\n\
+                   m.insert(1);\n\
+                   for v in &m { drop(v); }\n\
+                   }\n";
+        let got = scan("crates/report/src/x.rs", src);
+        assert_eq!(rules_of(&got), vec![(RuleId::DetUnorderedIter, 4, false)]);
+    }
+
+    #[test]
+    fn unordered_iter_honors_commutative_marker() {
+        let src = "fn f(m: std::collections::HashMap<u8, u8>) -> u32 {\n\
+                   // srclint: commutative -- order-insensitive sum\n\
+                   m.values().map(|&v| v as u32).sum()\n\
+                   }\n";
+        let got = scan("crates/workload/src/x.rs", src);
+        assert_eq!(rules_of(&got), vec![(RuleId::DetUnorderedIter, 3, true)]);
+    }
+
+    #[test]
+    fn unordered_iter_ignores_vec_and_btree() {
+        let src = "fn f(v: Vec<u32>, b: std::collections::BTreeMap<u8, u8>) {\n\
+                   for x in v.iter() { drop(x); }\n\
+                   for (k, _) in b.iter() { drop(k); }\n\
+                   }\n";
+        assert!(scan("crates/chainlab/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unordered_iter_only_in_det_crates() {
+        let src = "fn f(m: &std::collections::HashMap<u8, u8>) {\n\
+                   for k in m.keys() { drop(k); }\n\
+                   }\n";
+        assert!(scan("crates/trust/src/x.rs", src).is_empty());
+        assert!(!scan("crates/netsim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unordered_iter_tracks_type_aliases() {
+        let src = "type FieldMap = HashMap<String, usize>;\n\
+                   fn f(fields: &FieldMap) {\n\
+                   for k in fields.keys() { drop(k); }\n\
+                   }\n";
+        let got = scan("crates/netsim/src/x.rs", src);
+        assert_eq!(rules_of(&got), vec![(RuleId::DetUnorderedIter, 3, false)]);
+    }
+
+    #[test]
+    fn patterns_inside_strings_do_not_fire() {
+        let src = "fn f() { let s = \"HashMap::new() Instant::now() unsafe\"; drop(s); }\n";
+        assert!(scan("crates/chainlab/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wallclock_flags_lib_not_tests() {
+        let src = "fn now() -> u64 { let t = std::time::Instant::now(); 0 }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { let _ = std::time::SystemTime::now(); }\n\
+                   }\n";
+        let got = scan("crates/cli/src/x.rs", src);
+        assert_eq!(rules_of(&got), vec![(RuleId::DetWallclock, 1, false)]);
+    }
+
+    #[test]
+    fn wallclock_exempts_bins_and_criterion() {
+        let src = "fn main() { let _ = std::time::Instant::now(); }\n";
+        assert!(scan("crates/cli/src/bin/certchain.rs", src).is_empty());
+        assert!(scan("vendor/criterion/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn thread_sensitivity_flags_and_allows_inline() {
+        let src = "fn threads() -> usize {\n\
+                   // srclint: allow(det-thread-sensitivity) -- resolves a knob; output invariant\n\
+                   std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)\n\
+                   }\n\
+                   fn bad() -> usize { std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }\n";
+        let got = scan("crates/chainlab/src/x.rs", src);
+        assert_eq!(
+            rules_of(&got),
+            vec![
+                (RuleId::DetThreadSensitivity, 3, true),
+                (RuleId::DetThreadSensitivity, 5, false)
+            ]
+        );
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let src = "fn f() {\n\
+                   let x = unsafe { std::mem::zeroed::<u8>() };\n\
+                   // SAFETY: zeroed u8 is valid.\n\
+                   let y = unsafe { std::mem::zeroed::<u8>() };\n\
+                   drop((x, y));\n\
+                   }\n";
+        let got = scan("crates/asn1/src/x.rs", src);
+        assert_eq!(
+            rules_of(&got),
+            vec![(RuleId::UnsafeNeedsSafetyComment, 2, false)]
+        );
+    }
+
+    #[test]
+    fn unsafe_code_lint_name_is_not_the_keyword() {
+        let src = "#![forbid(unsafe_code)]\nfn f() {}\n";
+        assert!(scan("crates/asn1/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn silent_allow_flagged_commented_allow_ok() {
+        let src = "#[allow(dead_code)]\n\
+                   fn a() {}\n\
+                   #[allow(clippy::too_many_arguments)] // mirrors the paper's table layout\n\
+                   fn b() {}\n";
+        let got = scan("crates/x509/src/x.rs", src);
+        assert_eq!(rules_of(&got), vec![(RuleId::NoSilentAllow, 1, false)]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Fixture-corpus and self-application tests for srclint.
+//!
+//! The corpus under `tests/fixtures/` is a miniature workspace of
+//! known-bad (and known-good) snippets; these tests pin exactly which
+//! findings the pass produces there. The final test turns the acceptance
+//! criterion into a regression test: the real workspace must scan clean.
+
+use certchain_srclint::rules::RuleId;
+use std::path::{Path, PathBuf};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn fixture_corpus_produces_expected_findings() {
+    let report = certchain_srclint::check(&fixtures_root()).expect("scan fixtures");
+    let got: Vec<(String, String, usize)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.name().to_string(), f.path.clone(), f.line))
+        .collect();
+    let want: Vec<(String, String, usize)> = [
+        (
+            RuleId::DetUnorderedIter,
+            "crates/chainlab/src/bad_iter.rs",
+            7,
+        ),
+        (
+            RuleId::DetUnorderedIter,
+            "crates/chainlab/src/bad_iter.rs",
+            14,
+        ),
+        (
+            RuleId::DetThreadSensitivity,
+            "crates/netsim/src/bad_threads.rs",
+            4,
+        ),
+        (RuleId::DetWallclock, "crates/report/src/bad_clock.rs", 4),
+        (
+            RuleId::UnsafeNeedsSafetyComment,
+            "crates/trust/src/bad_unsafe.rs",
+            4,
+        ),
+        (RuleId::NoSilentAllow, "crates/x509/src/bad_allow.rs", 3),
+        (
+            RuleId::UnsafeNeedsSafetyComment,
+            "vendor/shim/src/lib.rs",
+            11,
+        ),
+    ]
+    .into_iter()
+    .map(|(r, p, l)| (r.name().to_string(), p.to_string(), l))
+    .collect();
+    assert_eq!(got, want, "fixture corpus findings drifted");
+}
+
+#[test]
+fn fixture_corpus_suppressions_are_honored_and_audited() {
+    let report = certchain_srclint::check(&fixtures_root()).expect("scan fixtures");
+    let suppressed: Vec<(String, usize)> = report
+        .suppressed
+        .iter()
+        .map(|f| (f.path.clone(), f.line))
+        .collect();
+    assert!(
+        suppressed.contains(&("crates/chainlab/src/ok_iter.rs".to_string(), 7)),
+        "commutative marker must suppress the values() fold: {suppressed:?}"
+    );
+    assert!(
+        suppressed.contains(&("crates/report/src/allowed_clock.rs".to_string(), 4)),
+        "allowlist must suppress the SystemTime read: {suppressed:?}"
+    );
+    // The deliberately-stale entry (rule already marker-suppressed) is
+    // reported so dead allowlist weight cannot accumulate.
+    assert_eq!(report.stale_allows.len(), 1);
+    assert_eq!(report.stale_allows[0].rule, RuleId::DetUnorderedIter);
+}
+
+#[test]
+fn fixture_corpus_suppression_audit_lists_all_kinds() {
+    let sites = certchain_srclint::list_suppressions(&fixtures_root()).expect("audit fixtures");
+    let kinds: Vec<&str> = sites.iter().map(|s| s.kind).collect();
+    assert!(kinds.contains(&"commutative-marker"));
+    assert!(kinds.contains(&"allowlist"));
+    let marker = sites
+        .iter()
+        .find(|s| s.kind == "commutative-marker")
+        .expect("marker site");
+    assert_eq!(marker.path, "crates/chainlab/src/ok_iter.rs");
+    assert_eq!(marker.line, 6);
+    assert!(marker.active, "marker suppresses a live finding");
+    let stale = sites
+        .iter()
+        .find(|s| s.kind == "allowlist" && s.rule == "det-unordered-iter")
+        .expect("stale allowlist site");
+    assert!(!stale.active, "stale entries audit as inactive");
+}
+
+#[test]
+fn fixture_corpus_json_report_round_trips() {
+    let report = certchain_srclint::check(&fixtures_root()).expect("scan fixtures");
+    let printed = report.to_json().to_pretty();
+    let parsed = certchain_chainlab::json::parse(&printed).expect("valid JSON");
+    let findings = parsed.get("findings").expect("findings array");
+    match findings {
+        certchain_chainlab::json::JsonValue::Arr(items) => {
+            assert_eq!(items.len(), report.findings.len());
+        }
+        other => panic!("findings is not an array: {other:?}"),
+    }
+}
+
+#[test]
+fn real_workspace_scans_clean() {
+    let report = certchain_srclint::check(&workspace_root()).expect("scan workspace");
+    assert!(
+        report.findings.is_empty(),
+        "unsuppressed srclint findings in the workspace:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.stale_allows.is_empty(),
+        "stale srclint.allow entries: {:?}",
+        report.stale_allows
+    );
+    // Sanity: the walk really covered the workspace.
+    assert!(
+        report.files_scanned > 100,
+        "only {} files",
+        report.files_scanned
+    );
+}

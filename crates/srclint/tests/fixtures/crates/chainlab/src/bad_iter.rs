@@ -1,0 +1,18 @@
+//! Fixture: unordered iteration feeding ordered output (known-bad).
+
+use std::collections::{HashMap, HashSet};
+
+pub fn render(counts: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in counts.iter() {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+pub fn first(set: &HashSet<u32>) -> Option<u32> {
+    for v in set {
+        return Some(*v);
+    }
+    None
+}

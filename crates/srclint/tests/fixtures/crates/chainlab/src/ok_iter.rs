@@ -1,0 +1,16 @@
+//! Fixture: justified / ordered iteration (known-good).
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn total(counts: &HashMap<String, u64>) -> u64 {
+    // srclint: commutative -- order-insensitive sum
+    counts.values().sum()
+}
+
+pub fn render(ordered: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in ordered.iter() {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}

@@ -1,0 +1,7 @@
+//! Fixture: thread-count probe influencing output (known-bad).
+
+pub fn shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

@@ -1,0 +1,8 @@
+//! Fixture: wall-clock read suppressed by the allowlist.
+
+pub fn stamp_secs() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

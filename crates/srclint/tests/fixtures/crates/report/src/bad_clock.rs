@@ -1,0 +1,5 @@
+//! Fixture: wall-clock read in library code (known-bad).
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

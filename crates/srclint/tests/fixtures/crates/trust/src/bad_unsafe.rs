@@ -1,0 +1,10 @@
+//! Fixture: unsafe with and without SAFETY comments.
+
+pub fn undocumented(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub fn documented(xs: &[u8]) -> u8 {
+    // SAFETY: fixture callers always pass a non-empty slice.
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,7 @@
+//! Fixture: silent allow attribute.
+
+#[allow(dead_code)]
+fn helper() {}
+
+#[allow(dead_code)] // fixture: reason comment present
+fn documented_helper() {}

@@ -1,0 +1,12 @@
+//! Fixture: vendor crates are exempt from det-* rules but not from the
+//! safety rules.
+
+use std::collections::HashMap;
+
+pub fn join(m: &HashMap<u32, u32>) -> u32 {
+    m.keys().sum()
+}
+
+pub fn raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

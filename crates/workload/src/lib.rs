@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The synthetic campus: a full PKI ecosystem and TLS traffic trace
 //! calibrated to the paper's published distributions.
 //!

@@ -253,7 +253,7 @@ fn public_pair(
     vec![leaf, ica]
 }
 
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // internal helper threading the full generator state through
 fn push_server(
     out: &mut Vec<GeneratedServer>,
     base_id: u64,

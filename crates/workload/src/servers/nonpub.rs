@@ -682,6 +682,7 @@ mod tests {
                 }
             }
         }
+        // srclint: commutative -- max over set sizes; order-insensitive
         let max_links = adj.values().map(|v| v.len()).max().unwrap_or(0);
         assert!(
             max_links >= 3,

@@ -470,6 +470,7 @@ fn resolve_threads(requested: usize) -> usize {
     if requested != 0 {
         return requested;
     }
+    // srclint: allow(det-thread-sensitivity) -- knob resolution only; generated traces are independent of the count
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)

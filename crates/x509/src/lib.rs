@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! X.509 v3 certificate model over the workspace's DER layer.

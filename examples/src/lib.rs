@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared helpers for the example binaries.
 //!
 //! Run the examples with, e.g.:

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! A minimal, offline, API-compatible subset of the `proptest` crate.
 //!
 //! This workspace builds in hermetic environments with no registry access;

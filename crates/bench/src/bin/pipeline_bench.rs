@@ -15,9 +15,11 @@ use certchain_chainlab::{Analysis, CrossSignRegistry, Pipeline, PipelineOptions}
 use certchain_netsim::zeek::reader::{read_ssl_log, read_x509_log};
 use certchain_netsim::zeek::tsv::{write_ssl_log, write_x509_log};
 use certchain_netsim::{SimClock, SslLogStream, X509LogStream};
+use certchain_obs::{MetricsSnapshot, Registry};
 use certchain_workload::CampusTrace;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Exact-count heap instrumentation: live bytes and a high-water mark.
@@ -85,41 +87,68 @@ fn main() {
         )
     };
 
-    let analyze = |threads: usize| -> (Analysis, f64) {
-        let pipeline = pipeline_with(threads);
+    let analyze = |threads: usize| -> (Analysis, f64, MetricsSnapshot) {
         // Warm up once so page cache / allocator state is comparable, then
-        // report the best of three timed runs.
-        pipeline.analyze(&trace.ssl_records, &trace.x509_records, Some(&weights));
+        // report the best of three timed runs. Each timed run gets a fresh
+        // metrics registry so its stage timings describe exactly one run.
+        pipeline_with(threads).analyze(&trace.ssl_records, &trace.x509_records, Some(&weights));
         let mut best = f64::INFINITY;
         let mut analysis = None;
+        let mut snapshot = None;
         for _ in 0..3 {
+            let registry = Arc::new(Registry::new());
+            let pipeline = pipeline_with(threads).with_metrics(Arc::clone(&registry));
             let start = Instant::now();
             let a = pipeline.analyze(&trace.ssl_records, &trace.x509_records, Some(&weights));
-            best = best.min(start.elapsed().as_secs_f64());
+            let secs = start.elapsed().as_secs_f64();
+            if secs < best {
+                best = secs;
+                snapshot = Some(registry.snapshot());
+            }
             analysis = Some(a);
         }
-        (analysis.expect("ran at least once"), best)
+        (
+            analysis.expect("ran at least once"),
+            best,
+            snapshot.expect("ran at least once"),
+        )
     };
 
     let conns = trace.ssl_records.len() as f64;
     let mut results = Vec::new();
+    let mut snapshots = Vec::new();
     let mut baseline_secs = None;
     for threads in [1usize, 2, 4, 8] {
-        let (analysis, secs) = analyze(threads);
+        let (analysis, secs, snapshot) = analyze(threads);
         let chains = analysis.chains.len() as f64;
         let baseline = *baseline_secs.get_or_insert(secs);
+        let stage_ms = JsonValue::Obj(
+            snapshot
+                .stages
+                .iter()
+                .map(|(name, s)| (name.clone(), JsonValue::Num(s.wall_ms)))
+                .collect(),
+        );
+        let breakdown: Vec<String> = snapshot
+            .stages
+            .iter()
+            .map(|(name, s)| format!("{name} {:.1}ms", s.wall_ms))
+            .collect();
         results.push(JsonValue::Obj(vec![
             ("threads".into(), JsonValue::Num(threads as f64)),
             ("wall_ms".into(), JsonValue::Num(secs * 1e3)),
             ("chains_per_sec".into(), JsonValue::Num(chains / secs)),
             ("conns_per_sec".into(), JsonValue::Num(conns / secs)),
             ("speedup_vs_1".into(), JsonValue::Num(baseline / secs)),
+            ("stage_ms".into(), stage_ms),
         ]));
+        snapshots.push((format!("threads-{threads}"), snapshot.to_json()));
         eprintln!(
-            "threads={threads:<2} wall={:.1}ms  {:.0} chains/s  {:.0} conns/s",
+            "threads={threads:<2} wall={:.1}ms  {:.0} chains/s  {:.0} conns/s  [{}]",
             secs * 1e3,
             chains / secs,
-            conns / secs
+            conns / secs,
+            breakdown.join(", ")
         );
     }
 
@@ -184,4 +213,11 @@ fn main() {
     ]);
     std::fs::write("BENCH_pipeline.json", doc.to_pretty()).expect("write BENCH_pipeline.json");
     eprintln!("wrote BENCH_pipeline.json");
+
+    // Full per-thread-count metrics snapshots: the `deterministic` section
+    // must be identical across the four runs (only `timing` may differ).
+    let metrics_doc = JsonValue::Obj(vec![("runs".into(), JsonValue::Obj(snapshots))]);
+    std::fs::write("BENCH_pipeline_metrics.json", metrics_doc.to_pretty())
+        .expect("write BENCH_pipeline_metrics.json");
+    eprintln!("wrote BENCH_pipeline_metrics.json");
 }

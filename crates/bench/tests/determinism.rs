@@ -9,7 +9,9 @@ use certchain_chainlab::{CrossSignRegistry, Pipeline, PipelineOptions};
 use certchain_netsim::zeek::reader::{read_ssl_log, read_x509_log};
 use certchain_netsim::zeek::tsv::{write_ssl_log, write_x509_log};
 use certchain_netsim::{SimClock, SslLogStream, X509LogStream};
+use certchain_obs::Registry;
 use certchain_workload::{CampusProfile, CampusTrace};
+use std::sync::Arc;
 
 #[test]
 fn tables_are_byte_identical_across_thread_counts() {
@@ -116,6 +118,73 @@ fn streaming_path_renders_identical_tables() {
         assert_eq!(
             baseline, streamed,
             "streaming path diverged at threads = {threads}"
+        );
+    }
+}
+
+/// Observability is a pure bystander: attaching a metrics registry must
+/// not perturb a single output byte, and the snapshot's deterministic
+/// section (counters, gauges, histograms) must be bit-identical at
+/// thread counts 1, 2, and 8. Only the `timing` section may vary.
+#[test]
+fn metrics_never_perturb_tables_and_are_thread_invariant() {
+    let trace = CampusTrace::generate_with(CampusProfile::quick(), 0);
+    let weights: Vec<f64> = trace.conn_meta.iter().map(|m| m.weight).collect();
+
+    let analyze = |trace: &CampusTrace, threads: usize, registry: Option<&Arc<Registry>>| {
+        let mut pipeline = Pipeline::with_options(
+            &trace.eco.trust,
+            &trace.ct_index,
+            CrossSignRegistry::from_disclosures(&trace.cross_sign_disclosures),
+            PipelineOptions {
+                threads,
+                ..PipelineOptions::default()
+            },
+        );
+        if let Some(r) = registry {
+            pipeline = pipeline.with_metrics(Arc::clone(r));
+        }
+        pipeline.analyze(&trace.ssl_records, &trace.x509_records, Some(&weights))
+    };
+
+    let plain = analyze(&trace, 2, None);
+    let registry = Arc::new(Registry::new());
+    let observed = analyze(&trace, 2, Some(&registry));
+    let mut lab = Lab {
+        trace,
+        analysis: plain,
+    };
+    let render = |lab: &Lab| {
+        (
+            table2(lab).rendered,
+            table3(lab).rendered,
+            table7(lab).rendered,
+        )
+    };
+    let without_metrics = render(&lab);
+    lab.analysis = observed;
+    assert_eq!(
+        without_metrics,
+        render(&lab),
+        "attaching a metrics registry changed the rendered tables"
+    );
+
+    let fingerprint_at = |threads: usize| {
+        let registry = Arc::new(Registry::new());
+        analyze(&lab.trace, threads, Some(&registry));
+        registry.snapshot().deterministic_fingerprint()
+    };
+    let baseline = fingerprint_at(1);
+    assert_eq!(
+        baseline,
+        registry.snapshot().deterministic_fingerprint(),
+        "threads = 2 snapshot diverged from sequential"
+    );
+    for threads in [2, 8] {
+        assert_eq!(
+            baseline,
+            fingerprint_at(threads),
+            "deterministic snapshot section diverged at threads = {threads}"
         );
     }
 }

@@ -32,7 +32,6 @@ pub mod dga;
 pub mod graph;
 pub mod hybrid;
 pub mod interception;
-pub mod json;
 pub mod lengths;
 pub mod lint;
 pub mod matchpath;
@@ -40,6 +39,11 @@ pub mod model;
 pub mod pipeline;
 pub mod summary;
 pub mod usage;
+
+/// The workspace JSON value type, re-exported from `certchain-obs` (its
+/// home since the observability layer landed) so existing
+/// `certchain_chainlab::json::JsonValue` paths keep working.
+pub use certchain_obs::json;
 
 pub use classify::CertClass;
 pub use crosssign::CrossSignRegistry;

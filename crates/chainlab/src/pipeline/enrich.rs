@@ -13,36 +13,53 @@ use certchain_x509::Fingerprint;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// The interned certificate index: fingerprint -> shared record.
+pub(crate) type CertIndex = HashMap<Fingerprint, Arc<CertRecord>>;
+
+/// One intern worker's output: interned pairs in input order, plus the
+/// worker's unparseable-row tally.
+type InternedChunk = (Vec<(Fingerprint, Arc<CertRecord>)>, u64);
+
 /// Build the fingerprint → interned certificate index from an in-memory
 /// slice. First occurrence in `x509` wins, matching the sequential fold:
 /// per-worker chunks stay in input order and merge in chunk order.
-pub(crate) fn intern_certs(
-    x509: &[X509Record],
-    threads: usize,
-) -> HashMap<Fingerprint, Arc<CertRecord>> {
-    let mut cert_index: HashMap<Fingerprint, Arc<CertRecord>> = HashMap::with_capacity(x509.len());
+/// Returns the index plus the count of rows that failed to parse into a
+/// [`CertRecord`] (a per-row property, so the tally is chunk-order
+/// independent and thread-count invariant).
+pub(crate) fn intern_certs(x509: &[X509Record], threads: usize) -> (CertIndex, u64) {
+    let mut cert_index: CertIndex = HashMap::with_capacity(x509.len());
+    let mut unparseable = 0u64;
     if threads <= 1 || x509.len() < 2 {
         for rec in x509 {
-            if let Some(cert) = CertRecord::from_record(rec) {
-                cert_index
-                    .entry(rec.fingerprint)
-                    .or_insert_with(|| Arc::new(cert));
+            match CertRecord::from_record(rec) {
+                Some(cert) => {
+                    cert_index
+                        .entry(rec.fingerprint)
+                        .or_insert_with(|| Arc::new(cert));
+                }
+                None => unparseable += 1,
             }
         }
-        return cert_index;
+        return (cert_index, unparseable);
     }
     let chunk = x509.len().div_ceil(threads);
-    let parsed: Vec<Vec<(Fingerprint, Arc<CertRecord>)>> = std::thread::scope(|scope| {
+    let parsed: Vec<InternedChunk> = std::thread::scope(|scope| {
         let handles: Vec<_> = x509
             .chunks(chunk)
             .map(|part| {
                 scope.spawn(move || {
-                    part.iter()
-                        .filter_map(|rec| {
-                            CertRecord::from_record(rec)
-                                .map(|cert| (rec.fingerprint, Arc::new(cert)))
+                    let mut bad = 0u64;
+                    let ok: Vec<_> = part
+                        .iter()
+                        .filter_map(|rec| match CertRecord::from_record(rec) {
+                            Some(cert) => Some((rec.fingerprint, Arc::new(cert))),
+                            None => {
+                                bad += 1;
+                                None
+                            }
                         })
-                        .collect::<Vec<_>>()
+                        .collect();
+                    (ok, bad)
                 })
             })
             .collect();
@@ -51,30 +68,38 @@ pub(crate) fn intern_certs(
             .map(|h| h.join().expect("intern worker panicked"))
             .collect()
     });
-    for part in parsed {
+    for (part, bad) in parsed {
+        unparseable += bad;
         for (fp, cert) in part {
             cert_index.entry(fp).or_insert(cert);
         }
     }
-    cert_index
+    (cert_index, unparseable)
 }
 
 /// Build the index from a fallible record stream without ever holding the
 /// raw rows: each row is parsed and either interned or dropped as a
 /// duplicate, so peak memory is O(distinct certificates). The first
 /// reader error aborts and is returned as-is. For well-formed input the
-/// result equals [`intern_certs`] over the collected rows.
+/// result equals [`intern_certs`] over the collected rows. Returns
+/// `(index, rows_consumed, unparseable_rows)`.
 pub(crate) fn intern_certs_stream<E>(
     x509: impl Iterator<Item = Result<X509Record, E>>,
-) -> Result<HashMap<Fingerprint, Arc<CertRecord>>, E> {
-    let mut cert_index: HashMap<Fingerprint, Arc<CertRecord>> = HashMap::new();
+) -> Result<(CertIndex, u64, u64), E> {
+    let mut cert_index: CertIndex = HashMap::new();
+    let mut rows = 0u64;
+    let mut unparseable = 0u64;
     for rec in x509 {
         let rec = rec?;
-        if let Some(cert) = CertRecord::from_record(&rec) {
-            cert_index
-                .entry(rec.fingerprint)
-                .or_insert_with(|| Arc::new(cert));
+        rows += 1;
+        match CertRecord::from_record(&rec) {
+            Some(cert) => {
+                cert_index
+                    .entry(rec.fingerprint)
+                    .or_insert_with(|| Arc::new(cert));
+            }
+            None => unparseable += 1,
         }
     }
-    Ok(cert_index)
+    Ok((cert_index, rows, unparseable))
 }

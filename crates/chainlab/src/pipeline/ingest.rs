@@ -24,6 +24,7 @@ use crate::usage::UsageStats;
 use certchain_netsim::SslRecord;
 use certchain_x509::Fingerprint;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
 
@@ -41,6 +42,19 @@ const CHANNEL_DEPTH: usize = 4;
 pub(crate) struct ChainAccum {
     pub(crate) usage: UsageStats,
     pub(crate) snis: BTreeSet<String>,
+}
+
+/// Record accounting produced by one accumulation run. Every field is a
+/// commutative integer sum over the record stream, so the values are
+/// identical for every thread count.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct IngestCounts {
+    /// Total ssl.log records consumed (including skipped ones).
+    pub(crate) records: u64,
+    /// Records with an empty certificate chain (TLS 1.3 connections).
+    pub(crate) no_chain: u64,
+    /// Records referencing fingerprints absent from the x509 index.
+    pub(crate) unresolvable: u64,
 }
 
 /// Stable shard id for a chain: FNV-1a over the fingerprint bytes. Must
@@ -79,14 +93,14 @@ fn fold(accums: &mut HashMap<ChainKey, ChainAccum>, rec: &SslRecord, weight: f64
     }
 }
 
-/// Fold the record stream into classified [`Prepared`] chains (unsorted).
-/// Returns `(prepared, no_chain, unresolvable)`.
+/// Fold the record stream into classified [`Prepared`] chains (unsorted)
+/// plus the run's [`IngestCounts`].
 pub(crate) fn accumulate<B, I>(
     pipe: &Pipeline<'_>,
     records: I,
     cert_index: &HashMap<Fingerprint, Arc<CertRecord>>,
     threads: usize,
-) -> (Vec<Prepared>, u64, u64)
+) -> (Vec<Prepared>, IngestCounts)
 where
     B: SslItem,
     I: Iterator<Item = (B, f64)>,
@@ -103,18 +117,21 @@ fn sequential<B, I>(
     pipe: &Pipeline<'_>,
     records: I,
     cert_index: &HashMap<Fingerprint, Arc<CertRecord>>,
-) -> (Vec<Prepared>, u64, u64)
+) -> (Vec<Prepared>, IngestCounts)
 where
     B: SslItem,
     I: Iterator<Item = (B, f64)>,
 {
     let mut accums: HashMap<ChainKey, ChainAccum> = HashMap::new();
-    let mut no_chain = 0u64;
-    let mut unresolvable = 0u64;
+    let mut counts = IngestCounts::default();
     for (item, weight) in records {
+        counts.records += 1;
+        if counts.records % CHUNK as u64 == 0 {
+            pipe.obs.tick(counts.records, 0, &[]);
+        }
         let rec = item.borrow();
         if rec.cert_chain_fps.is_empty() {
-            no_chain += 1;
+            counts.no_chain += 1;
             continue;
         }
         if !rec
@@ -122,44 +139,53 @@ where
             .iter()
             .all(|fp| cert_index.contains_key(fp))
         {
-            unresolvable += 1;
+            counts.unresolvable += 1;
             continue;
         }
         fold(&mut accums, rec, weight);
     }
-    (
-        categorize::prepare(pipe, accums, cert_index),
-        no_chain,
-        unresolvable,
-    )
+    pipe.obs.finish_progress(counts.records);
+    (categorize::prepare(pipe, accums, cert_index), counts)
 }
 
 /// The parallel fold: one persistent worker per shard, fed per-shard
 /// batches by the main thread, which performs the only scan of the record
 /// stream. Counters are sums (order-insensitive); per-chain accumulation
 /// order is the batch arrival order, i.e. global stream order.
+///
+/// Progress instrumentation rides the dispatch loop: each shard carries
+/// an in-flight batch counter (incremented on send, decremented by the
+/// worker) and a processed-record tally, giving the reporter queue depth
+/// and per-worker throughput without any extra synchronization on the
+/// fold itself. Those values are scheduling-dependent and go only to
+/// stderr — the deterministic counters come from [`IngestCounts`].
 fn dispatch<B, I>(
     pipe: &Pipeline<'_>,
     mut records: I,
     cert_index: &HashMap<Fingerprint, Arc<CertRecord>>,
     threads: usize,
-) -> (Vec<Prepared>, u64, u64)
+) -> (Vec<Prepared>, IngestCounts)
 where
     B: SslItem,
     I: Iterator<Item = (B, f64)>,
 {
     let shards = threads;
-    let mut no_chain = 0u64;
+    let mut counts = IngestCounts::default();
+    let in_flight: Vec<AtomicUsize> = (0..shards).map(|_| AtomicUsize::new(0)).collect();
+    let worker_records: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(0)).collect();
     let results: Vec<(Vec<Prepared>, u64)> = std::thread::scope(|scope| {
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
-        for _ in 0..shards {
+        for shard in 0..shards {
             let (tx, rx) = sync_channel::<Vec<(B, f64)>>(CHANNEL_DEPTH);
             senders.push(tx);
+            let in_flight = &in_flight[shard];
+            let processed = &worker_records[shard];
             handles.push(scope.spawn(move || {
                 let mut accums: HashMap<ChainKey, ChainAccum> = HashMap::new();
                 let mut unresolvable = 0u64;
                 while let Ok(batch) = rx.recv() {
+                    processed.fetch_add(batch.len() as u64, Relaxed);
                     for (item, weight) in batch {
                         let rec = item.borrow();
                         if !rec
@@ -172,6 +198,7 @@ where
                         }
                         fold(&mut accums, rec, weight);
                     }
+                    in_flight.fetch_sub(1, Relaxed);
                 }
                 (categorize::prepare(pipe, accums, cert_index), unresolvable)
             }));
@@ -182,8 +209,9 @@ where
             let mut saw_any = false;
             for (item, weight) in records.by_ref().take(CHUNK) {
                 saw_any = true;
+                counts.records += 1;
                 if item.borrow().cert_chain_fps.is_empty() {
-                    no_chain += 1;
+                    counts.no_chain += 1;
                     continue;
                 }
                 let shard = shard_of(&item.borrow().cert_chain_fps, shards);
@@ -191,10 +219,16 @@ where
             }
             for (shard, batch) in batches.iter_mut().enumerate() {
                 if !batch.is_empty() {
+                    in_flight[shard].fetch_add(1, Relaxed);
                     senders[shard]
                         .send(std::mem::take(batch))
                         .expect("accumulation worker hung up early");
                 }
+            }
+            if pipe.obs.progress.is_some() {
+                let depth: usize = in_flight.iter().map(|d| d.load(Relaxed)).sum();
+                let per_worker: Vec<u64> = worker_records.iter().map(|w| w.load(Relaxed)).collect();
+                pipe.obs.tick(counts.records, depth, &per_worker);
             }
             if !saw_any {
                 break;
@@ -206,11 +240,11 @@ where
             .map(|h| h.join().expect("accumulation worker panicked"))
             .collect()
     });
+    pipe.obs.finish_progress(counts.records);
     let mut prepared = Vec::with_capacity(results.iter().map(|(p, _)| p.len()).sum());
-    let mut unresolvable = 0u64;
     for (part, ur) in results {
         prepared.extend(part);
-        unresolvable += ur;
+        counts.unresolvable += ur;
     }
-    (prepared, no_chain, unresolvable)
+    (prepared, counts)
 }

@@ -21,6 +21,7 @@ pub mod categorize;
 pub mod enrich;
 pub mod finalize;
 pub mod ingest;
+pub(crate) mod observe;
 
 use crate::classify::CertClass;
 use crate::crosssign::CrossSignRegistry;
@@ -30,6 +31,7 @@ use crate::model::{CertRecord, ChainKey};
 use crate::usage::UsageStats;
 use certchain_ctlog::DomainIndex;
 use certchain_netsim::{SslRecord, X509Record};
+use certchain_obs::{Progress, Registry};
 use certchain_trust::TrustDb;
 use std::borrow::Borrow;
 use std::collections::{BTreeSet, HashMap};
@@ -147,6 +149,7 @@ pub struct Pipeline<'a> {
     pub(crate) ct: &'a DomainIndex,
     pub(crate) crosssign: CrossSignRegistry,
     pub(crate) options: PipelineOptions,
+    pub(crate) obs: observe::PipelineObs,
 }
 
 impl<'a> Pipeline<'a> {
@@ -171,7 +174,25 @@ impl<'a> Pipeline<'a> {
             ct,
             crosssign,
             options,
+            obs: observe::PipelineObs::default(),
         }
+    }
+
+    /// Attach a metrics registry. Every stage then records durations into
+    /// the registry's timing section and per-stage record counts into its
+    /// deterministic section; the analysis output itself is byte-identical
+    /// with or without a registry attached (pinned by a regression test).
+    pub fn with_metrics(mut self, registry: Arc<Registry>) -> Pipeline<'a> {
+        self.obs.metrics = Some(registry);
+        self
+    }
+
+    /// Attach a progress reporter, driven from the ingest dispatch loop
+    /// (records/sec, chunk queue depth, per-worker throughput). Progress
+    /// goes to stderr only and never into any emitted artifact.
+    pub fn with_progress(mut self, progress: Arc<Progress>) -> Pipeline<'a> {
+        self.obs.progress = Some(progress);
+        self
     }
 
     /// Run the full analysis over in-memory record slices.
@@ -192,12 +213,18 @@ impl<'a> Pipeline<'a> {
             assert_eq!(w.len(), ssl.len(), "weights must align with ssl records");
         }
         let threads = resolve_threads(self.options.threads);
-        let cert_index = enrich::intern_certs(x509, threads);
+        let (cert_index, unparseable) = {
+            let _span = self.obs.stage("enrich");
+            enrich::intern_certs(x509, threads)
+        };
+        self.record_enrich(x509.len() as u64, unparseable, cert_index.len());
         let weight_of = |i: usize| weights.map(|w| w[i]).unwrap_or(1.0);
         let records = ssl.iter().enumerate().map(|(i, rec)| (rec, weight_of(i)));
-        let (prepared, no_chain, unresolvable) =
-            ingest::accumulate(self, records, &cert_index, threads);
-        self.finish(prepared, no_chain, unresolvable, threads)
+        let (prepared, counts) = {
+            let _span = self.obs.stage("ingest");
+            ingest::accumulate(self, records, &cert_index, threads)
+        };
+        self.finish(prepared, counts, threads)
     }
 
     /// Run the full analysis over streaming record sources — the
@@ -217,18 +244,33 @@ impl<'a> Pipeline<'a> {
         J: Iterator<Item = Result<X509Record, E>>,
     {
         let threads = resolve_threads(self.options.threads);
-        let cert_index = enrich::intern_certs_stream(x509)?;
+        let (cert_index, x509_rows, unparseable) = {
+            let _span = self.obs.stage("enrich");
+            enrich::intern_certs_stream(x509)?
+        };
+        self.record_enrich(x509_rows, unparseable, cert_index.len());
         let mut first_err: Option<E> = None;
         let records = FuseOnErr {
             inner: ssl,
             err: &mut first_err,
         };
-        let (prepared, no_chain, unresolvable) =
-            ingest::accumulate(self, records, &cert_index, threads);
+        let (prepared, counts) = {
+            let _span = self.obs.stage("ingest");
+            ingest::accumulate(self, records, &cert_index, threads)
+        };
         if let Some(e) = first_err {
             return Err(e);
         }
-        Ok(self.finish(prepared, no_chain, unresolvable, threads))
+        Ok(self.finish(prepared, counts, threads))
+    }
+
+    /// Record enrich-stage accounting: row totals, parse failures, and
+    /// the interned-index size (all thread-count invariant). The intern
+    /// hit rate is derivable as `1 - certs_interned / x509_rows`.
+    fn record_enrich(&self, rows: u64, unparseable: u64, interned: usize) {
+        self.obs.add("pipeline.x509_rows", rows);
+        self.obs.add("pipeline.x509_unparseable_rows", unparseable);
+        self.obs.set("pipeline.certs_interned", interned as u64);
     }
 
     /// The stages downstream of accumulation, shared by the batch and
@@ -236,10 +278,25 @@ impl<'a> Pipeline<'a> {
     fn finish(
         &self,
         mut prepared: Vec<categorize::Prepared>,
-        no_chain_records: u64,
-        unresolvable_records: u64,
+        counts: ingest::IngestCounts,
         threads: usize,
     ) -> Analysis {
+        // Ingest accounting: commutative integer sums plus the merged
+        // chain set's size and length distribution — all invariant across
+        // thread counts by the same argument as the tables themselves.
+        self.obs.add("pipeline.ssl_records", counts.records);
+        self.obs.add("pipeline.no_chain_records", counts.no_chain);
+        self.obs
+            .add("pipeline.unresolvable_records", counts.unresolvable);
+        self.obs
+            .set("pipeline.distinct_chains", prepared.len() as u64);
+        if let Some(r) = &self.obs.metrics {
+            let lengths = r.histogram("pipeline.chain_length");
+            for p in &prepared {
+                lengths.observe(p.key.0.len() as u64);
+            }
+        }
+
         // A single total order over chains: everything downstream —
         // pass-1 scans, pass-2 chunking, the output vector — derives from
         // it, which is what makes the result thread-count-invariant.
@@ -250,10 +307,14 @@ impl<'a> Pipeline<'a> {
         // "through manual investigation"; the automatic proxy here is
         // corroboration — an entity must be seen forging at least two
         // distinct domains.
-        let interception_entities = categorize::find_entities(self, &prepared, threads);
+        let interception_entities = {
+            let _span = self.obs.stage("categorize");
+            categorize::find_entities(self, &prepared, threads)
+        };
 
         // Pass 2: categorize every chain and run structure analysis. The
         // effective registry is resolved once, outside the per-chain work.
+        let _span = self.obs.stage("finalize");
         let empty_registry = CrossSignRegistry::new();
         let registry = if self.options.honor_cross_signing {
             &self.crosssign
@@ -262,13 +323,22 @@ impl<'a> Pipeline<'a> {
         };
         let (chains, distinct) =
             finalize::analyze_chains(self, prepared, &interception_entities, registry, threads);
-        finalize::assemble(
+        let analysis = finalize::assemble(
             chains,
             distinct,
-            no_chain_records,
-            unresolvable_records,
+            counts.no_chain,
+            counts.unresolvable,
             interception_entities,
-        )
+        );
+        self.obs.set(
+            "pipeline.distinct_certificates",
+            analysis.distinct_certificates as u64,
+        );
+        self.obs.set(
+            "pipeline.interception_entities",
+            analysis.interception_entities.len() as u64,
+        );
+        analysis
     }
 }
 

@@ -1,0 +1,64 @@
+//! Pipeline-side observability hooks.
+//!
+//! A [`Pipeline`](super::Pipeline) optionally carries a metrics registry
+//! and a progress reporter; every hook here is a no-op when they are
+//! absent, so the instrumented code paths read the same either way and
+//! the byte-identical-tables guarantee is trivially unaffected by
+//! turning metrics on (a regression test pins that too).
+//!
+//! Determinism discipline: everything recorded through this module into
+//! the registry is derived from thread-count-invariant state — record
+//! totals (commutative integer sums), post-merge collection sizes, and
+//! the deterministic chain set. Scheduling-dependent values (queue
+//! depths, per-worker throughput) go only to the progress reporter,
+//! which writes to stderr and never into an artifact.
+
+use certchain_obs::{Progress, Registry, StageTimer};
+use std::sync::Arc;
+
+/// Optional observability wiring carried by a pipeline.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct PipelineObs {
+    /// Deterministic counters/gauges/histograms + stage timings.
+    pub(crate) metrics: Option<Arc<Registry>>,
+    /// Throttled stderr reporter (never feeds artifacts).
+    pub(crate) progress: Option<Arc<Progress>>,
+}
+
+impl PipelineObs {
+    /// Open a stage span (records wall time into the `timing` section on
+    /// drop).
+    pub(crate) fn stage(&self, name: &str) -> Option<StageTimer<'_>> {
+        self.metrics.as_deref().map(|r| r.stage(name))
+    }
+
+    /// Add to a counter. Called with `n == 0` too, deliberately: the
+    /// counter is still registered, so snapshot keys are stable whether
+    /// or not events occurred.
+    pub(crate) fn add(&self, name: &str, n: u64) {
+        if let Some(r) = &self.metrics {
+            r.counter(name).add(n);
+        }
+    }
+
+    /// Set a gauge.
+    pub(crate) fn set(&self, name: &str, v: u64) {
+        if let Some(r) = &self.metrics {
+            r.gauge(name).set(v);
+        }
+    }
+
+    /// Forward a progress tick (rate-limited by the reporter).
+    pub(crate) fn tick(&self, records: u64, queue_depth: usize, per_worker: &[u64]) {
+        if let Some(p) = &self.progress {
+            p.tick(records, queue_depth, per_worker);
+        }
+    }
+
+    /// Emit the final progress line.
+    pub(crate) fn finish_progress(&self, records: u64) {
+        if let Some(p) = &self.progress {
+            p.finish(records);
+        }
+    }
+}

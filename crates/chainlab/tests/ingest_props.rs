@@ -10,6 +10,11 @@
 //! be identical (f64 fields bit-for-bit) to the sequential fold. A
 //! fixed deterministic case larger than one ingest chunk (8192 records)
 //! exercises the multi-chunk dispatch path.
+//!
+//! Every run also attaches a fresh metrics registry and requires the
+//! snapshot's *deterministic* section (counters, gauges, histograms —
+//! not timing) to be byte-identical across thread counts: observability
+//! must never observe the scheduler.
 
 use certchain_asn1::Asn1Time;
 use certchain_chainlab::{Analysis, CrossSignRegistry, Pipeline, PipelineOptions};
@@ -117,9 +122,18 @@ fn arb_conn() -> impl Strategy<Value = SslRecord> {
         )
 }
 
-fn run(ssl: &[SslRecord], x509: &[X509Record], weights: &[f64], threads: usize) -> Analysis {
+/// Run the instrumented pipeline; the second value is the metrics
+/// snapshot's deterministic fingerprint (pretty-printed counters, gauges,
+/// and histograms — timing excluded).
+fn run(
+    ssl: &[SslRecord],
+    x509: &[X509Record],
+    weights: &[f64],
+    threads: usize,
+) -> (Analysis, String) {
     let trust = TrustDb::new();
     let ct = DomainIndex::new();
+    let registry = std::sync::Arc::new(certchain_obs::Registry::new());
     let pipeline = Pipeline::with_options(
         &trust,
         &ct,
@@ -128,8 +142,10 @@ fn run(ssl: &[SslRecord], x509: &[X509Record], weights: &[f64], threads: usize) 
             threads,
             ..PipelineOptions::default()
         },
-    );
-    pipeline.analyze(ssl, x509, Some(weights))
+    )
+    .with_metrics(std::sync::Arc::clone(&registry));
+    let analysis = pipeline.analyze(ssl, x509, Some(weights));
+    (analysis, registry.snapshot().deterministic_fingerprint())
 }
 
 /// Canonical, fully ordered rendering of an `Analysis`. Float fields are
@@ -201,9 +217,20 @@ proptest! {
     ) {
         let x509 = cert_pool();
         let weights = weights_for(records.len());
-        let sequential = canon(&run(&records, &x509, &weights, 1));
-        let parallel = canon(&run(&records, &x509, &weights, threads));
-        prop_assert_eq!(sequential, parallel, "threads = {} diverged", threads);
+        let (seq_analysis, seq_metrics) = run(&records, &x509, &weights, 1);
+        let (par_analysis, par_metrics) = run(&records, &x509, &weights, threads);
+        prop_assert_eq!(
+            canon(&seq_analysis),
+            canon(&par_analysis),
+            "threads = {} diverged",
+            threads
+        );
+        prop_assert_eq!(
+            seq_metrics,
+            par_metrics,
+            "metrics snapshot diverged at threads = {}",
+            threads
+        );
     }
 }
 
@@ -236,9 +263,18 @@ fn multi_chunk_batches_stay_invariant() {
         })
         .collect();
     let weights = weights_for(records.len());
-    let sequential = canon(&run(&records, &x509, &weights, 1));
+    let (seq_analysis, seq_metrics) = run(&records, &x509, &weights, 1);
+    let sequential = canon(&seq_analysis);
     for threads in [2, 5, 8] {
-        let parallel = canon(&run(&records, &x509, &weights, threads));
-        assert_eq!(sequential, parallel, "threads = {threads} diverged");
+        let (par_analysis, par_metrics) = run(&records, &x509, &weights, threads);
+        assert_eq!(
+            sequential,
+            canon(&par_analysis),
+            "threads = {threads} diverged"
+        );
+        assert_eq!(
+            seq_metrics, par_metrics,
+            "metrics snapshot diverged at threads = {threads}"
+        );
     }
 }

@@ -5,10 +5,27 @@ use crate::dataset::{load_crosssign, load_ct_index, load_trust};
 use crate::{io_ctx, CliError, CliResult};
 use certchain_chainlab::PipelineOptions;
 use certchain_chainlab::{Analysis, ChainCategoryLabel, CrossSignRegistry, Pipeline};
-use certchain_netsim::{SslLogStream, X509LogStream};
+use certchain_netsim::{SslLogStream, StreamStats, X509LogStream};
+use certchain_obs::{Progress, Registry};
 use certchain_report::table::{num, pct};
 use certchain_report::Table;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Knobs for `certchain analyze` beyond the dataset directory.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzeOptions {
+    /// Worker threads (`0` = available parallelism).
+    pub threads: usize,
+    /// Emit the machine-readable JSON summary instead of tables.
+    pub json: bool,
+    /// Write a `certchain-metrics/v1` snapshot to this path.
+    pub metrics_json: Option<PathBuf>,
+    /// Report live progress (records/sec, queue depth) on stderr.
+    pub progress: bool,
+    /// Print the stage-timing and counter summary on stderr at the end.
+    pub verbose: bool,
+}
 
 /// Analyze `<dir>/ssl.log` + `<dir>/x509.log` against the trust material
 /// and CT corpus in the same directory, using all available cores.
@@ -20,8 +37,13 @@ pub fn analyze(dir: &Path) -> CliResult<String> {
 /// Like [`analyze`], on `threads` worker threads (`0` = available
 /// parallelism). The report is identical for every thread count.
 pub fn analyze_with(dir: &Path, threads: usize) -> CliResult<String> {
-    let (analysis, _trust) = run_pipeline_with(dir, threads)?;
-    Ok(render(&analysis))
+    analyze_opts(
+        dir,
+        &AnalyzeOptions {
+            threads,
+            ..AnalyzeOptions::default()
+        },
+    )
 }
 
 /// Like [`analyze`], but emit the machine-readable JSON summary.
@@ -31,10 +53,51 @@ pub fn analyze_json(dir: &Path) -> CliResult<String> {
 
 /// Like [`analyze_json`], on `threads` worker threads.
 pub fn analyze_json_with(dir: &Path, threads: usize) -> CliResult<String> {
-    let (analysis, _trust) = run_pipeline_with(dir, threads)?;
-    let mut json = certchain_chainlab::AnalysisSummary::from_analysis(&analysis).to_json();
-    json.push('\n');
-    Ok(json)
+    analyze_opts(
+        dir,
+        &AnalyzeOptions {
+            threads,
+            json: true,
+            ..AnalyzeOptions::default()
+        },
+    )
+}
+
+/// The full `certchain analyze` implementation: streams the logs in
+/// permissive (loss-accounting) mode, runs the instrumented pipeline, and
+/// honors every [`AnalyzeOptions`] knob. The table/JSON report bytes are
+/// identical whatever the observability settings — metrics ride alongside
+/// the analysis, never inside it.
+pub fn analyze_opts(dir: &Path, opts: &AnalyzeOptions) -> CliResult<String> {
+    let registry = Arc::new(Registry::new());
+    let (analysis, ssl_stats, x509_stats) = {
+        let _total = registry.stage("analyze_total");
+        run_observed(dir, opts, &registry)?
+    };
+    record_stream_stats(&registry, "zeek.ssl", &ssl_stats);
+    record_stream_stats(&registry, "zeek.x509", &x509_stats);
+    let dropped = ssl_stats.malformed() + x509_stats.malformed();
+    registry.counter("records_dropped").add(dropped);
+
+    let out = if opts.json {
+        let mut json = certchain_chainlab::AnalysisSummary::from_analysis(&analysis).to_json();
+        json.push('\n');
+        json
+    } else {
+        let mut text = render(&analysis);
+        text.push_str(&loss_line(&analysis, &ssl_stats, &x509_stats));
+        text
+    };
+
+    if let Some(path) = &opts.metrics_json {
+        let text = registry.snapshot().to_json().to_pretty() + "\n";
+        std::fs::write(path, text)
+            .map_err(io_ctx(format!("writing metrics to {}", path.display())))?;
+    }
+    if opts.verbose {
+        eprint!("{}", verbose_summary(&registry));
+    }
+    Ok(out)
 }
 
 /// Run the pipeline and return the raw analysis (used by tests).
@@ -70,6 +133,102 @@ pub fn run_pipeline_with(
         .map(|r| r.map_err(|e| CliError::Invalid(format!("x509.log: {e}"))));
     let analysis = pipeline.analyze_stream(ssl, x509)?;
     Ok((analysis, trust))
+}
+
+/// The observed pipeline run behind [`analyze_opts`]: permissive streams
+/// (malformed rows skipped and tallied, header problems still fatal), the
+/// metrics registry attached, and optional progress reporting.
+fn run_observed(
+    dir: &Path,
+    opts: &AnalyzeOptions,
+    registry: &Arc<Registry>,
+) -> CliResult<(Analysis, Arc<StreamStats>, Arc<StreamStats>)> {
+    let ssl_file = std::fs::File::open(dir.join("ssl.log"))
+        .map_err(io_ctx(format!("reading {}/ssl.log", dir.display())))?;
+    let x509_file = std::fs::File::open(dir.join("x509.log"))
+        .map_err(io_ctx(format!("reading {}/x509.log", dir.display())))?;
+    let trust = load_trust(dir)?;
+    let ct = load_ct_index(dir)?;
+    let crosssign = CrossSignRegistry::from_disclosures(&load_crosssign(dir)?);
+    let options = PipelineOptions {
+        threads: opts.threads,
+        ..PipelineOptions::default()
+    };
+    let mut pipeline =
+        Pipeline::with_options(&trust, &ct, crosssign, options).with_metrics(Arc::clone(registry));
+    if opts.progress {
+        pipeline = pipeline.with_progress(Arc::new(Progress::stderr("analyze")));
+    }
+    let ssl_stream = SslLogStream::permissive(std::io::BufReader::new(ssl_file));
+    let ssl_stats = ssl_stream.stats();
+    let x509_stream = X509LogStream::permissive(std::io::BufReader::new(x509_file));
+    let x509_stats = x509_stream.stats();
+    let ssl = ssl_stream.map(|r| r.map_err(|e| CliError::Invalid(format!("ssl.log: {e}"))));
+    let x509 = x509_stream.map(|r| r.map_err(|e| CliError::Invalid(format!("x509.log: {e}"))));
+    let analysis = pipeline.analyze_stream(ssl, x509)?;
+    Ok((analysis, ssl_stats, x509_stats))
+}
+
+/// Transfer one stream's loss-accounting tallies into the registry under
+/// `prefix` (`zeek.ssl` / `zeek.x509`): lines read, records yielded, a
+/// malformed total, and one counter per parse-failure reason.
+fn record_stream_stats(registry: &Registry, prefix: &str, stats: &StreamStats) {
+    registry
+        .counter(&format!("{prefix}.lines_read"))
+        .add(stats.lines());
+    registry
+        .counter(&format!("{prefix}.records"))
+        .add(stats.records());
+    registry
+        .counter(&format!("{prefix}.malformed"))
+        .add(stats.malformed());
+    for (reason, n) in stats.malformed_by_reason() {
+        registry
+            .counter(&format!("{prefix}.malformed.{reason}"))
+            .add(n);
+    }
+}
+
+/// The one-line loss-accounting summary appended to the human report:
+/// every input line either became a record, was a header/comment, or is
+/// tallied here as malformed; every record either reached a chain or is
+/// tallied as no-chain/unresolvable.
+fn loss_line(analysis: &Analysis, ssl: &StreamStats, x509: &StreamStats) -> String {
+    format!(
+        "loss accounting: ssl.log {} lines -> {} records ({} malformed); \
+         x509.log {} lines -> {} records ({} malformed); \
+         {} no-chain, {} unresolvable\n",
+        ssl.lines(),
+        ssl.records(),
+        ssl.malformed(),
+        x509.lines(),
+        x509.records(),
+        x509.malformed(),
+        analysis.no_chain_records,
+        analysis.unresolvable_records,
+    )
+}
+
+/// The `-v` stderr epilogue: stage wall times and deterministic counters.
+fn verbose_summary(registry: &Registry) -> String {
+    let snap = registry.snapshot();
+    let mut out = String::from("stage timings:\n");
+    for (name, stage) in &snap.stages {
+        out.push_str(&format!(
+            "  {name:<16} {:>10.1} ms  ({} invocation{})\n",
+            stage.wall_ms,
+            stage.invocations,
+            if stage.invocations == 1 { "" } else { "s" }
+        ));
+    }
+    out.push_str("counters:\n");
+    for (name, value) in &snap.counters {
+        out.push_str(&format!("  {name:<32} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        out.push_str(&format!("  {name:<32} {value}\n"));
+    }
+    out
 }
 
 fn render(analysis: &Analysis) -> String {

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! certchain generate --out <dir> [--profile quick|default] [--seed N] [--threads N]
-//! certchain analyze  --dir <dir> [--threads N]
+//!                    [--progress] [--metrics-json <path>]
+//! certchain analyze  --dir <dir> [--threads N] [--json]
+//!                    [--progress] [--metrics-json <path>] [-v]
 //! certchain validate <chain.pem> [--dir <dataset dir with trust/>]
 //! ```
 
@@ -16,12 +18,19 @@ certchain — certificate-chain structure and usage analysis
 
 USAGE:
   certchain generate --out <dir> [--profile quick|default] [--seed N] [--threads N]
+                     [--progress] [--metrics-json <path>]
       Generate a synthetic campus dataset (Zeek logs + trust PEMs + CT corpus).
   certchain analyze --dir <dir> [--json] [--threads N]
+                    [--progress] [--metrics-json <path>] [-v|--verbose]
       Analyze <dir>/ssl.log and <dir>/x509.log against <dir>/trust and
       <dir>/ct; --json emits the machine-readable summary.
       --threads sets the worker-thread count for both commands (default:
       all cores); the output is identical for every value.
+
+  Observability (both commands; never changes the output bytes):
+      --metrics-json <path>  write a certchain-metrics/v1 snapshot
+      --progress             live records/sec + queue depth on stderr
+      -v, --verbose          stage timings and counters on stderr (analyze)
   certchain validate <chain.pem> [--dir <dataset dir>]
       Run the issuer-subject and key-signature validators over a PEM chain;
       with --dir, also compare browser vs strict validation policies.
@@ -67,19 +76,25 @@ fn run(args: &[String]) -> CliResult<String> {
                     .parse()
                     .map_err(|_| CliError::Invalid(format!("bad seed {seed:?}")))?;
             }
-            let threads = parse_threads(args)?;
-            let summary = generate::generate_with(&PathBuf::from(out), profile, threads)?;
+            let opts = generate::GenerateOptions {
+                threads: parse_threads(args)?,
+                progress: has_flag(args, "--progress"),
+                metrics_json: flag_value(args, "--metrics-json")?.map(PathBuf::from),
+            };
+            let summary = generate::generate_opts(&PathBuf::from(out), profile, &opts)?;
             Ok(format!("{summary}\n"))
         }
         "analyze" => {
             let dir = flag_value(args, "--dir")?
                 .ok_or_else(|| CliError::Invalid("analyze requires --dir <dir>".into()))?;
-            let threads = parse_threads(args)?;
-            if args.iter().any(|a| a == "--json") {
-                analyze::analyze_json_with(&PathBuf::from(dir), threads)
-            } else {
-                analyze::analyze_with(&PathBuf::from(dir), threads)
-            }
+            let opts = analyze::AnalyzeOptions {
+                threads: parse_threads(args)?,
+                json: has_flag(args, "--json"),
+                metrics_json: flag_value(args, "--metrics-json")?.map(PathBuf::from),
+                progress: has_flag(args, "--progress"),
+                verbose: has_flag(args, "-v") || has_flag(args, "--verbose"),
+            };
+            analyze::analyze_opts(&PathBuf::from(dir), &opts)
         }
         "validate" => {
             let chain = args
@@ -132,6 +147,11 @@ fn parse_threads(args: &[String]) -> CliResult<usize> {
             .parse()
             .map_err(|_| CliError::Invalid(format!("bad thread count {v:?}"))),
     }
+}
+
+/// Boolean flag presence.
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
 }
 
 /// `--flag value` extraction.

@@ -9,11 +9,27 @@
 use crate::{io_ctx, CliError, CliResult};
 use certchain_netsim::zeek::tsv::{SslLogWriter, X509LogWriter};
 use certchain_netsim::{SimClock, SslRecord, X509Record};
+use certchain_obs::{Progress, Registry};
 use certchain_workload::{CampusProfile, CampusTrace, ConnMeta, TraceSink};
 use certchain_x509::pem;
 use std::collections::HashSet;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Records between progress ticks from the file sink.
+const PROGRESS_EVERY: u64 = 8192;
+
+/// Knobs for `certchain generate` beyond profile and output directory.
+#[derive(Debug, Clone, Default)]
+pub struct GenerateOptions {
+    /// Worker threads (`0` = available parallelism).
+    pub threads: usize,
+    /// Report live progress (records/sec) on stderr.
+    pub progress: bool,
+    /// Write a `certchain-metrics/v1` snapshot to this path.
+    pub metrics_json: Option<PathBuf>,
+}
 
 /// Generate a trace with `profile` and write the full dataset to `out`,
 /// using all available cores.
@@ -27,10 +43,29 @@ pub fn generate(out: &Path, profile: CampusProfile) -> CliResult<String> {
 /// parallelism). The dataset is identical for every thread count, and
 /// identical to writing a fully materialized [`CampusTrace`].
 pub fn generate_with(out: &Path, profile: CampusProfile, threads: usize) -> CliResult<String> {
+    generate_opts(
+        out,
+        profile,
+        &GenerateOptions {
+            threads,
+            ..GenerateOptions::default()
+        },
+    )
+}
+
+/// The full `certchain generate` implementation, honoring every
+/// [`GenerateOptions`] knob. The dataset bytes are identical whatever the
+/// observability settings.
+pub fn generate_opts(
+    out: &Path,
+    profile: CampusProfile,
+    opts: &GenerateOptions,
+) -> CliResult<String> {
     for sub in ["trust/roots", "trust/ccadb", "ct"] {
         std::fs::create_dir_all(out.join(sub))
             .map_err(io_ctx(format!("creating {}", out.join(sub).display())))?;
     }
+    let registry = Arc::new(Registry::new());
     let open = SimClock::campus_window_start().now();
     let ssl = std::io::BufWriter::new(
         std::fs::File::create(out.join("ssl.log")).map_err(io_ctx("creating ssl.log"))?,
@@ -43,8 +78,15 @@ pub fn generate_with(out: &Path, profile: CampusProfile, threads: usize) -> CliR
         x509: X509LogWriter::new(x509, open).map_err(io_ctx("writing x509.log"))?,
         ssl_count: 0,
         x509_count: 0,
+        progress: opts.progress.then(|| Progress::stderr("generate")),
     };
-    let ctx = CampusTrace::stream_with(profile, threads, &mut sink)?;
+    let ctx = {
+        let _span = registry.stage("generate_total");
+        CampusTrace::stream_observed(profile, opts.threads, &mut sink, Some(&registry))?
+    };
+    if let Some(p) = &sink.progress {
+        p.finish(sink.ssl_count);
+    }
     sink.ssl
         .finish()
         .and_then(|mut w| w.flush())
@@ -53,7 +95,15 @@ pub fn generate_with(out: &Path, profile: CampusProfile, threads: usize) -> CliR
         .finish()
         .and_then(|mut w| w.flush())
         .map_err(io_ctx("closing x509.log"))?;
-    write_sidecars(out, &ctx.servers, &ctx.eco, &ctx.cross_sign_disclosures)?;
+    {
+        let _span = registry.stage("write_sidecars");
+        write_sidecars(out, &ctx.servers, &ctx.eco, &ctx.cross_sign_disclosures)?;
+    }
+    if let Some(path) = &opts.metrics_json {
+        let text = registry.snapshot().to_json().to_pretty() + "\n";
+        std::fs::write(path, text)
+            .map_err(io_ctx(format!("writing metrics to {}", path.display())))?;
+    }
     Ok(format!(
         "wrote {} connection records, {} certificates, {} servers to {}",
         sink.ssl_count,
@@ -69,6 +119,7 @@ struct FileSink<W1: Write, W2: Write> {
     x509: X509LogWriter<W2>,
     ssl_count: u64,
     x509_count: u64,
+    progress: Option<Progress>,
 }
 
 impl<W1: Write, W2: Write> TraceSink for FileSink<W1, W2> {
@@ -76,6 +127,11 @@ impl<W1: Write, W2: Write> TraceSink for FileSink<W1, W2> {
 
     fn ssl(&mut self, record: SslRecord, _meta: ConnMeta) -> Result<(), CliError> {
         self.ssl_count += 1;
+        if let Some(p) = &self.progress {
+            if self.ssl_count % PROGRESS_EVERY == 0 {
+                p.tick(self.ssl_count, 0, &[]);
+            }
+        }
         self.ssl.record(&record).map_err(io_ctx("writing ssl.log"))
     }
 

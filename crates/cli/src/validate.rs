@@ -129,13 +129,11 @@ pub fn lint(path: &Path, at: Option<Asn1Time>) -> CliResult<String> {
 }
 
 /// Current wall-clock time as an [`Asn1Time`]. The simulator never uses
-/// wall time, but the CLI lints *real* chains for *today's* user.
+/// wall time, but the CLI lints *real* chains for *today's* user — so the
+/// read goes through `obs::clock`, the workspace's single sanctioned
+/// wall-clock site.
 fn now() -> Asn1Time {
-    let secs = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    Asn1Time::from_unix(secs)
+    Asn1Time::from_unix(certchain_obs::clock::wall_unix_secs())
 }
 
 fn describe_is(v: &IssuerSubjectVerdict) -> String {

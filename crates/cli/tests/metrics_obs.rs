@@ -1,0 +1,138 @@
+//! Observability round-trip: `analyze_opts` with a metrics path must
+//! write a parseable `certchain-metrics/v1` snapshot whose loss
+//! accounting balances, must not change the report bytes, and must tally
+//! (not swallow, not die on) malformed Zeek rows.
+
+use certchain_cli::{analyze, generate};
+use certchain_obs::json::JsonValue;
+use certchain_workload::CampusProfile;
+use std::path::PathBuf;
+
+/// A tiny dataset: this file is about the metrics plumbing, not volume.
+fn tiny_profile() -> CampusProfile {
+    CampusProfile {
+        seed: 99,
+        chain_scale: 0.0005,
+        conn_scale: 0.00005,
+        public_chains: 120,
+        public_conns_per_chain: 2,
+    }
+}
+
+fn fresh_dataset(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("certchain-obs-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    generate::generate(&dir, tiny_profile()).expect("generate succeeds");
+    dir
+}
+
+#[test]
+fn snapshot_parses_and_loss_accounting_balances() {
+    let dir = fresh_dataset("clean");
+    let metrics_path = dir.join("metrics.json");
+    let opts = analyze::AnalyzeOptions {
+        metrics_json: Some(metrics_path.clone()),
+        ..analyze::AnalyzeOptions::default()
+    };
+    let report = analyze::analyze_opts(&dir, &opts).unwrap();
+    assert!(report.contains("Chain census"));
+    assert!(report.contains("loss accounting:"), "{report}");
+
+    let text = std::fs::read_to_string(&metrics_path).unwrap();
+    let snap = certchain_obs::json::parse(&text).expect("snapshot is valid JSON");
+    assert_eq!(
+        snap.get("schema").and_then(JsonValue::as_str),
+        Some("certchain-metrics/v1")
+    );
+    let counter = |name: &str| {
+        snap.get("deterministic")
+            .and_then(|d| d.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+    };
+    assert_eq!(counter("records_dropped"), 0);
+    assert_eq!(counter("zeek.ssl.malformed"), 0);
+    // Loss accounting: every line is a record, a header line, or malformed.
+    let header_lines = 8; // Zeek preamble + #close
+    assert_eq!(
+        counter("zeek.ssl.lines_read"),
+        counter("zeek.ssl.records") + header_lines
+    );
+    assert_eq!(
+        counter("pipeline.ssl_records"),
+        counter("zeek.ssl.records"),
+        "every parsed record reached the pipeline"
+    );
+    // Timing is present but segregated from the deterministic section.
+    assert!(snap.get("timing").and_then(|t| t.get("stages")).is_some());
+    assert!(snap
+        .get("deterministic")
+        .and_then(|d| d.get("histograms"))
+        .and_then(|h| h.get("pipeline.chain_length"))
+        .is_some());
+}
+
+#[test]
+fn report_bytes_are_identical_with_metrics_on_or_off() {
+    let dir = fresh_dataset("bytes");
+    let without = analyze::analyze_opts(&dir, &analyze::AnalyzeOptions::default()).unwrap();
+    let with = analyze::analyze_opts(
+        &dir,
+        &analyze::AnalyzeOptions {
+            metrics_json: Some(dir.join("metrics.json")),
+            verbose: true,
+            ..analyze::AnalyzeOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(without, with, "metrics/verbose changed the report bytes");
+}
+
+#[test]
+fn malformed_rows_are_tallied_not_fatal() {
+    let dir = fresh_dataset("malformed");
+    // Corrupt one data row: a non-boolean `established` field fails the
+    // parser but must only be tallied in permissive (CLI) mode.
+    let ssl_path = dir.join("ssl.log");
+    let log = std::fs::read_to_string(&ssl_path).unwrap();
+    let mut corrupted = false;
+    let patched: Vec<String> = log
+        .lines()
+        .map(|l| {
+            if !corrupted && !l.starts_with('#') {
+                corrupted = true;
+                let mut fields: Vec<&str> = l.split('\t').collect();
+                let established = fields.len() - 2; // last column is cert_chain_fps
+                fields[established] = "maybe";
+                fields.join("\t")
+            } else {
+                l.to_string()
+            }
+        })
+        .collect();
+    assert!(corrupted, "found a data row to corrupt");
+    std::fs::write(&ssl_path, patched.join("\n") + "\n").unwrap();
+
+    let metrics_path = dir.join("metrics.json");
+    let opts = analyze::AnalyzeOptions {
+        metrics_json: Some(metrics_path.clone()),
+        ..analyze::AnalyzeOptions::default()
+    };
+    let report = analyze::analyze_opts(&dir, &opts).unwrap();
+    assert!(report.contains("(1 malformed)"), "{report}");
+
+    let snap =
+        certchain_obs::json::parse(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+    let counters = snap
+        .get("deterministic")
+        .and_then(|d| d.get("counters"))
+        .expect("counters present");
+    let counter = |name: &str| counters.get(name).and_then(JsonValue::as_u64);
+    assert_eq!(counter("records_dropped"), Some(1));
+    assert_eq!(counter("zeek.ssl.malformed"), Some(1));
+    assert_eq!(counter("zeek.ssl.malformed.bad established"), Some(1));
+
+    // The strict library path still refuses the corrupted log.
+    assert!(analyze::run_pipeline(&dir).is_err());
+}

@@ -32,4 +32,4 @@ pub use endpoint::ServerEndpoint;
 pub use handshake::{simulate_connection, ConnectionOutcome, TlsVersion};
 pub use validate::{validate_chain, ValidationError, ValidationPolicy};
 pub use zeek::record::{SslRecord, X509Record};
-pub use zeek::stream::{ReadError, SslLogStream, X509LogStream};
+pub use zeek::stream::{ReadError, SslLogStream, StreamStats, X509LogStream};

@@ -10,14 +10,26 @@
 //! parse reports, and a log whose data starts before (or without) a
 //! `#fields` header fails with the batch reader's `missing #fields header`
 //! error.
+//!
+//! Real-world logs are messier than the synthetic corpus, and a
+//! measurement pipeline must account for every record it drops. Each
+//! stream therefore keeps [`StreamStats`] — lines read, records yielded,
+//! malformed rows tallied by parse-failure reason — shared behind an
+//! `Arc` so callers can read the tallies after the stream is consumed.
+//! The `permissive` constructors additionally *skip* malformed data rows
+//! instead of fusing (header problems stay fatal either way): that is
+//! the loss-accounting mode `certchain analyze` runs in, with the counts
+//! surfaced in its summary line and metrics snapshot.
 
 use crate::zeek::record::{SslRecord, X509Record};
 use crate::zeek::tsv::{parse, parse_version, zeek_unescape};
 use certchain_x509::Fingerprint;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::io::BufRead;
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
 
 /// A log-parsing failure with its line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -154,6 +166,54 @@ pub(crate) fn parse_x509_row(
     })
 }
 
+/// Shared, thread-safe tallies for one log stream: the loss-accounting
+/// ledger. Counts are exact (every input line lands in exactly one of
+/// comment/record/malformed), so `lines = comments + records + malformed`
+/// once the stream is exhausted.
+#[derive(Debug, Default)]
+pub struct StreamStats {
+    lines: AtomicU64,
+    records: AtomicU64,
+    malformed: AtomicU64,
+    by_reason: Mutex<BTreeMap<String, u64>>,
+}
+
+impl StreamStats {
+    /// Input lines consumed, including headers and comments.
+    pub fn lines(&self) -> u64 {
+        self.lines.load(Relaxed)
+    }
+
+    /// Well-formed data rows yielded as records.
+    pub fn records(&self) -> u64 {
+        self.records.load(Relaxed)
+    }
+
+    /// Malformed data rows (skipped in permissive mode, fatal otherwise).
+    pub fn malformed(&self) -> u64 {
+        self.malformed.load(Relaxed)
+    }
+
+    /// Malformed-row tallies keyed by parse-failure reason (e.g.
+    /// `bad ts`, `missing field server_name`), sorted by reason.
+    pub fn malformed_by_reason(&self) -> BTreeMap<String, u64> {
+        self.by_reason
+            .lock()
+            .expect("stream stats poisoned")
+            .clone()
+    }
+
+    fn note_malformed(&self, reason: &str) {
+        self.malformed.fetch_add(1, Relaxed);
+        *self
+            .by_reason
+            .lock()
+            .expect("stream stats poisoned")
+            .entry(reason.to_string())
+            .or_default() += 1;
+    }
+}
+
 /// The streaming scaffolding shared by both log types: header handling,
 /// line counting, comment skipping, and fused-after-error iteration. Only
 /// one line is buffered at a time.
@@ -163,6 +223,8 @@ struct LogStream<R: BufRead, T> {
     lineno: usize,
     fields: Option<FieldMap>,
     done: bool,
+    permissive: bool,
+    stats: Arc<StreamStats>,
     parse_row: fn(usize, &[&str], &FieldMap) -> Result<T, ReadError>,
 }
 
@@ -174,8 +236,19 @@ impl<R: BufRead, T> LogStream<R, T> {
             lineno: 0,
             fields: None,
             done: false,
+            permissive: false,
+            stats: Arc::new(StreamStats::default()),
             parse_row,
         }
+    }
+
+    fn permissive(
+        reader: R,
+        parse_row: fn(usize, &[&str], &FieldMap) -> Result<T, ReadError>,
+    ) -> Self {
+        let mut stream = LogStream::new(reader, parse_row);
+        stream.permissive = true;
+        stream
     }
 
     /// Yield the next record, an error (which fuses the stream), or `None`
@@ -204,6 +277,7 @@ impl<R: BufRead, T> LogStream<R, T> {
                 }
             }
             self.lineno += 1;
+            self.stats.lines.fetch_add(1, Relaxed);
             // `str::lines` semantics: strip the newline and a trailing CR.
             let line = self.buf.strip_suffix('\n').unwrap_or(&self.buf);
             let line = line.strip_suffix('\r').unwrap_or(line);
@@ -224,11 +298,22 @@ impl<R: BufRead, T> LogStream<R, T> {
                 return Some(Err(err(0, "missing #fields header")));
             };
             let row: Vec<&str> = line.split('\t').collect();
-            let res = (self.parse_row)(self.lineno, &row, fields);
-            if res.is_err() {
-                self.done = true;
+            match (self.parse_row)(self.lineno, &row, fields) {
+                Ok(rec) => {
+                    self.stats.records.fetch_add(1, Relaxed);
+                    return Some(Ok(rec));
+                }
+                Err(e) => {
+                    self.stats.note_malformed(&e.message);
+                    if self.permissive {
+                        // Loss-accounting mode: the row is tallied and
+                        // skipped; the stream keeps going.
+                        continue;
+                    }
+                    self.done = true;
+                    return Some(Err(e));
+                }
             }
-            return Some(res);
         }
     }
 }
@@ -252,6 +337,18 @@ impl<R: BufRead> SslLogStream<R> {
     pub fn new(reader: R) -> Self {
         SslLogStream(LogStream::new(reader, parse_ssl_row))
     }
+
+    /// Stream records from `reader`, skipping (and tallying) malformed
+    /// data rows instead of fusing. Header problems stay fatal.
+    pub fn permissive(reader: R) -> Self {
+        SslLogStream(LogStream::permissive(reader, parse_ssl_row))
+    }
+
+    /// The stream's loss-accounting tallies (shared; read them after the
+    /// stream is consumed).
+    pub fn stats(&self) -> Arc<StreamStats> {
+        Arc::clone(&self.0.stats)
+    }
 }
 
 impl<R: BufRead> Iterator for SslLogStream<R> {
@@ -269,6 +366,18 @@ impl<R: BufRead> X509LogStream<R> {
     /// Stream records from `reader`.
     pub fn new(reader: R) -> Self {
         X509LogStream(LogStream::new(reader, parse_x509_row))
+    }
+
+    /// Stream records from `reader`, skipping (and tallying) malformed
+    /// data rows instead of fusing. Header problems stay fatal.
+    pub fn permissive(reader: R) -> Self {
+        X509LogStream(LogStream::permissive(reader, parse_x509_row))
+    }
+
+    /// The stream's loss-accounting tallies (shared; read them after the
+    /// stream is consumed).
+    pub fn stats(&self) -> Arc<StreamStats> {
+        Arc::clone(&self.0.stats)
     }
 }
 
@@ -356,5 +465,98 @@ mod tests {
         let first = stream.next().expect("one item");
         assert!(first.is_err());
         assert!(stream.next().is_none(), "stream is fused after an error");
+    }
+
+    #[test]
+    fn permissive_stream_skips_and_tallies_malformed_rows() {
+        let records = vec![sample_ssl(), sample_ssl(), sample_ssl()];
+        let mut buf = Vec::new();
+        write_ssl_log(&mut buf, &records, t()).unwrap();
+        // Corrupt exactly the second data row's established column.
+        let text = String::from_utf8(buf).unwrap();
+        let mut seen = 0;
+        let text: String = text
+            .lines()
+            .map(|l| {
+                let mut l = l.to_string();
+                if !l.starts_with('#') {
+                    seen += 1;
+                    if seen == 2 {
+                        l = l.replace("\tT\t", "\tQ\t");
+                    }
+                }
+                l + "\n"
+            })
+            .collect();
+        let stream = SslLogStream::permissive(text.as_bytes());
+        let stats = stream.stats();
+        let parsed: Vec<SslRecord> = stream.collect::<Result<_, _>>().expect("no fatal errors");
+        assert_eq!(parsed.len(), 2, "good rows still come through");
+        assert_eq!(stats.records(), 2);
+        assert_eq!(stats.malformed(), 1);
+        let reasons = stats.malformed_by_reason();
+        assert_eq!(reasons.get("bad established"), Some(&1));
+        // Every line is accounted for: headers + 3 data rows.
+        assert_eq!(
+            stats.lines(),
+            stats.records() + stats.malformed() + (stats.lines() - 3)
+        );
+    }
+
+    #[test]
+    fn permissive_stream_still_fails_on_missing_header() {
+        let text = "no header here\n";
+        let mut stream = SslLogStream::permissive(text.as_bytes());
+        let first = stream.next().expect("one item");
+        let e = first.expect_err("header problems stay fatal");
+        assert_eq!(e.line, 0);
+        assert!(e.message.contains("missing #fields header"));
+    }
+
+    #[test]
+    fn strict_stream_tallies_the_fatal_row_too() {
+        let mut buf = Vec::new();
+        write_ssl_log(&mut buf, &[sample_ssl()], t()).unwrap();
+        let text = String::from_utf8(buf).unwrap().replace("\tT\t", "\tQ\t");
+        let stream = SslLogStream::new(text.as_bytes());
+        let stats = stream.stats();
+        let results: Vec<_> = stream.collect();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_err());
+        assert_eq!(stats.malformed(), 1);
+        assert_eq!(stats.records(), 0);
+    }
+
+    #[test]
+    fn permissive_x509_stream_skips_bad_fingerprints() {
+        let records = vec![X509Record {
+            ts: t(),
+            fingerprint: Fingerprint([9; 32]),
+            cert_version: 3,
+            serial: "BEEF".into(),
+            subject: "CN=a".into(),
+            issuer: "CN=ca".into(),
+            not_before: t(),
+            not_after: t().plus_days(397),
+            basic_constraints_ca: None,
+            path_len: None,
+            san_dns: vec![],
+        }];
+        let mut buf = Vec::new();
+        write_x509_log(&mut buf, &records, t()).unwrap();
+        let good = String::from_utf8(buf).unwrap();
+        // Append a data row with a truncated fingerprint.
+        let bad_row = good
+            .lines()
+            .find(|l| !l.starts_with('#'))
+            .unwrap()
+            .replacen(&Fingerprint([9; 32]).to_hex(), "abcd", 1);
+        let text = format!("{good}{bad_row}\n");
+        let stream = X509LogStream::permissive(text.as_bytes());
+        let stats = stream.stats();
+        let parsed: Vec<X509Record> = stream.collect::<Result<_, _>>().expect("no fatal errors");
+        assert_eq!(parsed, records);
+        assert_eq!(stats.malformed(), 1);
+        assert_eq!(stats.malformed_by_reason().get("bad fingerprint"), Some(&1));
     }
 }

@@ -1,0 +1,69 @@
+//! The single sanctioned wall-clock access point in the workspace.
+//!
+//! The determinism guarantee (Tables 2/3/7 byte-identical across thread
+//! counts and ingestion paths) forbids wall-clock reads anywhere near
+//! analysis logic, and srclint's `det-wallclock` rule enforces that
+//! mechanically. Real time is still needed in two places: stage timing
+//! for the observability layer (strictly confined to the non-deterministic
+//! `timing` section of [`crate::MetricsSnapshot`]) and the CLI `validate`
+//! command's "lint this chain as of now" default. Both go through this
+//! module, which srclint recognises as the one file where
+//! `Instant::now`/`SystemTime::now` may appear. Adding a wall-clock read
+//! anywhere else fails CI; routing it through here makes it auditable.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// A monotonic stopwatch for stage spans and progress rates.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Milliseconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+/// Seconds since the Unix epoch, saturating at 0 if the system clock is
+/// set before 1970. Used by `certchain validate` when no explicit
+/// `--now` override is given.
+pub fn wall_unix_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let w = Stopwatch::start();
+        let a = w.elapsed_ms();
+        let b = w.elapsed_ms();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn wall_clock_is_past_2020() {
+        // 2020-01-01 in Unix seconds; any sane test host is later.
+        assert!(wall_unix_secs() > 1_577_836_800);
+    }
+}

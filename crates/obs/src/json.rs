@@ -1,9 +1,10 @@
 //! A tiny self-contained JSON value type with a pretty printer and a
 //! recursive-descent parser.
 //!
-//! The workspace builds hermetically with no external crates, so the
-//! machine-readable summary surface ([`crate::AnalysisSummary`]) carries
-//! its own JSON support. The subset is exactly what that surface needs:
+//! The workspace builds hermetically with no external crates, so every
+//! machine-readable surface (analysis summaries, bench artifacts, the
+//! [`crate::MetricsSnapshot`]) carries its own JSON support. The subset
+//! is exactly what those surfaces need:
 //! objects (insertion-ordered), arrays, strings, f64 numbers, booleans,
 //! and null; `\uXXXX` escapes (including surrogate pairs) are handled on
 //! parse, and the printer escapes control characters.

@@ -1,0 +1,201 @@
+//! A point-in-time export of a [`Registry`](crate::Registry), split into
+//! a deterministic section and a timing section.
+//!
+//! Schema (`certchain-metrics/v1`):
+//!
+//! ```text
+//! {
+//!   "schema": "certchain-metrics/v1",
+//!   "deterministic": {            // thread-count invariant, byte-stable
+//!     "counters":   { name: u64, ... },        // sorted by name
+//!     "gauges":     { name: u64, ... },
+//!     "histograms": { name: { "count", "sum", "buckets": [{"le","count"}] } }
+//!   },
+//!   "timing": {                   // wall-clock; NOT deterministic
+//!     "stages": { name: { "wall_ms": f64, "invocations": u64 } }
+//!   }
+//! }
+//! ```
+//!
+//! The split is a contract, not a convention: everything under
+//! `deterministic` is integer-valued, ordered by `BTreeMap`, and pinned
+//! bit-identical across thread counts by the workspace's invariance
+//! tests ([`MetricsSnapshot::deterministic_fingerprint`] is what those
+//! tests compare). Anything wall-clock-derived lives under `timing` and
+//! may differ between otherwise identical runs.
+
+use crate::json::JsonValue;
+use std::collections::BTreeMap;
+
+/// Frozen state of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Non-empty buckets as (inclusive upper bound rendered as a decimal
+    /// string, tally), in ascending bound order.
+    pub buckets: Vec<(String, u64)>,
+}
+
+/// Frozen accumulated timing of one stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSnapshot {
+    /// Total wall time across invocations, in milliseconds.
+    pub wall_ms: f64,
+    /// Number of completed spans.
+    pub invocations: u64,
+}
+
+/// A complete, serialisable metrics export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Stage timings by name (non-deterministic section).
+    pub stages: BTreeMap<String, StageSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Schema identifier stamped into every serialised snapshot.
+    pub const SCHEMA: &'static str = "certchain-metrics/v1";
+
+    /// The deterministic section alone (counters, gauges, histograms).
+    pub fn deterministic_json(&self) -> JsonValue {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), JsonValue::Num(*v as f64)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), JsonValue::Num(*v as f64)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .map(|(le, n)| {
+                        JsonValue::Obj(vec![
+                            ("le".into(), JsonValue::Str(le.clone())),
+                            ("count".into(), JsonValue::Num(*n as f64)),
+                        ])
+                    })
+                    .collect();
+                (
+                    k.clone(),
+                    JsonValue::Obj(vec![
+                        ("count".into(), JsonValue::Num(h.count as f64)),
+                        ("sum".into(), JsonValue::Num(h.sum as f64)),
+                        ("buckets".into(), JsonValue::Arr(buckets)),
+                    ]),
+                )
+            })
+            .collect();
+        JsonValue::Obj(vec![
+            ("counters".into(), JsonValue::Obj(counters)),
+            ("gauges".into(), JsonValue::Obj(gauges)),
+            ("histograms".into(), JsonValue::Obj(histograms)),
+        ])
+    }
+
+    /// The timing section alone (stage wall times).
+    pub fn timing_json(&self) -> JsonValue {
+        let stages = self
+            .stages
+            .iter()
+            .map(|(k, s)| {
+                (
+                    k.clone(),
+                    JsonValue::Obj(vec![
+                        ("wall_ms".into(), JsonValue::Num(s.wall_ms)),
+                        ("invocations".into(), JsonValue::Num(s.invocations as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        JsonValue::Obj(vec![("stages".into(), JsonValue::Obj(stages))])
+    }
+
+    /// Full serialised form: schema tag + both sections.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("schema".into(), JsonValue::Str(Self::SCHEMA.into())),
+            ("deterministic".into(), self.deterministic_json()),
+            ("timing".into(), self.timing_json()),
+        ])
+    }
+
+    /// Byte-stable rendering of the deterministic section, for use in
+    /// thread-count-invariance assertions.
+    pub fn deterministic_fingerprint(&self) -> String {
+        self.deterministic_json().to_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    fn populated() -> Registry {
+        let reg = Registry::new();
+        reg.counter("b.count").add(3);
+        reg.counter("a.count").add(1);
+        reg.gauge("size").set(42);
+        reg.histogram("len").observe(5);
+        {
+            let _t = reg.stage("work");
+        }
+        reg
+    }
+
+    #[test]
+    fn schema_and_sections_round_trip() {
+        let snap = populated().snapshot();
+        let text = snap.to_json().to_pretty();
+        let doc = crate::json::parse(&text).expect("snapshot parses");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("certchain-metrics/v1")
+        );
+        let det = doc.get("deterministic").expect("deterministic section");
+        assert_eq!(
+            det.get("counters")
+                .and_then(|c| c.get("a.count"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        assert_eq!(
+            det.get("gauges")
+                .and_then(|g| g.get("size"))
+                .and_then(|v| v.as_u64()),
+            Some(42)
+        );
+        let timing = doc.get("timing").expect("timing section");
+        assert!(timing.get("stages").and_then(|s| s.get("work")).is_some());
+    }
+
+    #[test]
+    fn counters_render_sorted_by_name() {
+        let text = populated().snapshot().deterministic_fingerprint();
+        let a = text.find("a.count").expect("a.count present");
+        let b = text.find("b.count").expect("b.count present");
+        assert!(a < b, "BTreeMap ordering must sort counter names");
+    }
+
+    #[test]
+    fn fingerprint_excludes_timing() {
+        let snap = populated().snapshot();
+        assert!(!snap.deterministic_fingerprint().contains("wall_ms"));
+        assert_eq!(snap.stages.get("work").map(|s| s.invocations), Some(1));
+    }
+}

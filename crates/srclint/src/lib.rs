@@ -27,7 +27,7 @@ pub mod lexer;
 pub mod rules;
 
 use allow::AllowEntry;
-use certchain_chainlab::json::JsonValue;
+use certchain_obs::json::JsonValue;
 use rules::{Finding, RuleId, Suppression};
 use std::fs;
 use std::io;

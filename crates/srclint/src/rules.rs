@@ -13,10 +13,15 @@ use std::fmt;
 
 /// Crates whose output feeds the byte-identical tables/figures. The
 /// det-unordered-iter rule only applies here.
-pub const DET_CRATES: &[&str] = &["chainlab", "report", "workload", "netsim"];
+pub const DET_CRATES: &[&str] = &["chainlab", "obs", "report", "workload", "netsim"];
 
 /// Crates exempt from det-wallclock: timing is their purpose.
 pub const WALLCLOCK_EXEMPT: &[&str] = &["bench", "vendor/criterion"];
+
+/// The single sanctioned wall-clock call site. `obs::clock` wraps
+/// `Instant`/`SystemTime` behind an audited monotonic-stopwatch API;
+/// every other library read must go through it.
+pub const WALLCLOCK_SANCTIONED_FILE: &str = "crates/obs/src/clock.rs";
 
 /// The rule identifiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -64,12 +69,13 @@ impl RuleId {
         match self {
             RuleId::DetUnorderedIter => {
                 "HashMap/HashSet iteration inside determinism-critical crates \
-                 (chainlab/report/workload/netsim) must be justified with \
+                 (chainlab/obs/report/workload/netsim) must be justified with \
                  `// srclint: commutative` or replaced by an ordered container"
             }
             RuleId::DetWallclock => {
                 "library code must not read the wall clock \
-                 (Instant::now/SystemTime::now); outputs must be re-runnable"
+                 (Instant::now/SystemTime::now) outside obs::clock, the single \
+                 sanctioned call site; outputs must be re-runnable"
             }
             RuleId::DetThreadSensitivity => {
                 "available_parallelism/thread::current must not influence \
@@ -210,7 +216,10 @@ pub fn scan_file(info: &FileInfo, lines: &[Line]) -> Vec<Finding> {
     if DET_CRATES.contains(&info.crate_name.as_str()) && info.kind == FileKind::Lib {
         det_unordered_iter(info, lines, &mut findings);
     }
-    if info.kind == FileKind::Lib && !WALLCLOCK_EXEMPT.contains(&info.crate_name.as_str()) {
+    if info.kind == FileKind::Lib
+        && !WALLCLOCK_EXEMPT.contains(&info.crate_name.as_str())
+        && info.path != WALLCLOCK_SANCTIONED_FILE
+    {
         det_wallclock(info, lines, &in_test_region, &mut findings);
     }
     if info.kind == FileKind::Lib
@@ -299,7 +308,8 @@ fn det_wallclock(
                     snippet: snippet_of(line),
                     message: format!(
                         "`{probe}()` in library code: analysis outputs must be \
-                         reproducible from inputs alone"
+                         reproducible from inputs alone; route timing through \
+                         `certchain_obs::clock`, the single sanctioned site"
                     ),
                     suppression: inline_allow_near(lines, idx, RuleId::DetWallclock),
                 });
@@ -749,6 +759,24 @@ mod tests {
         let src = "fn main() { let _ = std::time::Instant::now(); }\n";
         assert!(scan("crates/cli/src/bin/certchain.rs", src).is_empty());
         assert!(scan("vendor/criterion/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wallclock_sanctions_exactly_obs_clock() {
+        let src = "pub fn start() { let _ = std::time::Instant::now(); }\n";
+        assert!(scan(WALLCLOCK_SANCTIONED_FILE, src).is_empty());
+        // Any other file in obs — or anywhere else — still fires.
+        let got = scan("crates/obs/src/metrics.rs", src);
+        assert_eq!(rules_of(&got), vec![(RuleId::DetWallclock, 1, false)]);
+    }
+
+    #[test]
+    fn unordered_iter_applies_to_obs() {
+        let src = "fn f(m: &std::collections::HashMap<u8, u8>) {\n\
+                   for k in m.keys() { drop(k); }\n\
+                   }\n";
+        let got = scan("crates/obs/src/x.rs", src);
+        assert_eq!(rules_of(&got), vec![(RuleId::DetUnorderedIter, 2, false)]);
     }
 
     #[test]

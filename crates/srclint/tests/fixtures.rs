@@ -108,10 +108,10 @@ fn fixture_corpus_suppression_audit_lists_all_kinds() {
 fn fixture_corpus_json_report_round_trips() {
     let report = certchain_srclint::check(&fixtures_root()).expect("scan fixtures");
     let printed = report.to_json().to_pretty();
-    let parsed = certchain_chainlab::json::parse(&printed).expect("valid JSON");
+    let parsed = certchain_obs::json::parse(&printed).expect("valid JSON");
     let findings = parsed.get("findings").expect("findings array");
     match findings {
-        certchain_chainlab::json::JsonValue::Arr(items) => {
+        certchain_obs::json::JsonValue::Arr(items) => {
             assert_eq!(items.len(), report.findings.len());
         }
         other => panic!("findings is not an array: {other:?}"),

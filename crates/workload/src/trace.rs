@@ -9,6 +9,7 @@ use certchain_asn1::Asn1Time;
 use certchain_ctlog::DomainIndex;
 use certchain_netsim::handshake::record_connection;
 use certchain_netsim::{Client, SimClock, SslRecord, TlsVersion, X509Record};
+use certchain_obs::Registry;
 
 use certchain_x509::{DistinguishedName, Fingerprint};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -172,6 +173,22 @@ impl CampusTrace {
         threads: usize,
         sink: &mut S,
     ) -> Result<TraceContext, S::Error> {
+        CampusTrace::stream_observed(profile, threads, sink, None)
+    }
+
+    /// [`CampusTrace::stream_with`] plus generation accounting: when a
+    /// metrics registry is given, the emitted volumes are recorded into
+    /// it — `generate.connections` (ssl records delivered to the sink),
+    /// `generate.certificates` (deduplicated x509 records), and the
+    /// `generate.servers` / `generate.distinct_chains` population gauges.
+    /// All four are derived from the deterministic delivered stream, so
+    /// they are identical for every thread count.
+    pub fn stream_observed<S: TraceSink>(
+        profile: CampusProfile,
+        threads: usize,
+        sink: &mut S,
+        metrics: Option<&Registry>,
+    ) -> Result<TraceContext, S::Error> {
         let threads = resolve_threads(threads);
         let targets = CalibrationTargets::paper();
         let mut eco = Ecosystem::bootstrap(profile.seed);
@@ -259,14 +276,22 @@ impl CampusTrace {
         // independent of total connection volume.
         let batches = batch_items(items);
         let mut seen_certs: HashSet<Fingerprint> = HashSet::new();
+        let conn_counter = metrics.map(|r| r.counter("generate.connections"));
+        let cert_counter = metrics.map(|r| r.counter("generate.certificates"));
         let drain = |sink: &mut S,
                      out: ShardOutput,
                      seen_certs: &mut HashSet<Fingerprint>|
          -> Result<(), S::Error> {
             for rec in out.x509 {
                 if seen_certs.insert(rec.fingerprint) {
+                    if let Some(c) = &cert_counter {
+                        c.inc();
+                    }
                     sink.x509(rec)?;
                 }
+            }
+            if let Some(c) = &conn_counter {
+                c.add(out.ssl.len() as u64);
             }
             for (rec, meta) in out.ssl.into_iter().zip(out.meta) {
                 sink.ssl(rec, meta)?;
@@ -305,6 +330,11 @@ impl CampusTrace {
         for (idx, s) in servers.iter().enumerate() {
             let fps: Vec<Fingerprint> = s.endpoint.chain.iter().map(|c| c.fingerprint()).collect();
             truth.by_chain.insert(fps, idx);
+        }
+        if let Some(r) = metrics {
+            r.gauge("generate.servers").set(servers.len() as u64);
+            r.gauge("generate.distinct_chains")
+                .set(truth.by_chain.len() as u64);
         }
 
         let ct_index = DomainIndex::build(&[&eco.ct]);

@@ -1,0 +1,167 @@
+//! The columnar analyze path: fold straight off a mapped
+//! [`DatasetReader`], no parse stage, workers sharded by row ranges.
+//!
+//! The TSV streaming path pays for a text parse of every row and funnels
+//! the whole stream through one dispatch thread (the partition-dispatch
+//! scan in [`super::ingest`]), because a chain's connections must reach
+//! exactly one worker for the f64 fold order to match the sequential
+//! reference. Columnar input removes both costs: fields decode with
+//! offset arithmetic off the mapped columns, and workers take contiguous
+//! *row ranges* instead of chain shards. Range sharding means one chain's
+//! connections can land in several workers — which is sound here because
+//! every on-disk row folds at weight 1.0, so all the f64 aggregates are
+//! exact small integers and merging per-worker partials (in worker-index
+//! order) is bit-identical to the sequential fold. The batch path's
+//! fractional per-record weights are exactly why *it* cannot shard by
+//! range and the columnar path can.
+
+use super::categorize::{self, Prepared};
+use super::enrich::CertIndex;
+use super::ingest::{ChainAccum, IngestCounts};
+use super::{resolve_threads, Analysis, Pipeline};
+use crate::model::{CertRecord, ChainKey};
+use certchain_colstore::{ColError, ColResult, DatasetReader, SslColumns, X509Columns};
+use std::collections::HashMap;
+
+impl Pipeline<'_> {
+    /// Run the full analysis over an open columnar store. For a store
+    /// converted from (or generated alongside) a TSV dataset, the result
+    /// is byte-identical to [`Pipeline::analyze_stream`] over the Zeek
+    /// readers, for every thread count.
+    ///
+    /// The first corrupt-data error aborts the analysis and is returned
+    /// as-is (truncation is already caught by [`DatasetReader::open`]).
+    pub fn analyze_colstore(&self, reader: &DatasetReader) -> Result<Analysis, ColError> {
+        let threads = resolve_threads(self.options.threads);
+        self.obs
+            .add("colstore.rows_read", reader.ssl_rows() + reader.x509_rows());
+        self.obs.set("colstore.bytes_mapped", reader.bytes_mapped());
+        let (cert_index, unparseable) = {
+            let _span = self.obs.stage("enrich");
+            enrich_columns(&reader.x509()?)?
+        };
+        self.record_enrich(reader.x509_rows(), unparseable, cert_index.len());
+        let (prepared, counts) = {
+            let _span = self.obs.stage("ingest");
+            ingest_columns(self, &reader.ssl()?, &cert_index, threads)?
+        };
+        Ok(self.finish(prepared, counts, threads))
+    }
+}
+
+/// Enrich off the x509 columns: first occurrence of a fingerprint wins,
+/// and a duplicate is skipped on the 4-byte fingerprint index alone —
+/// the row's strings are never resolved. Returns the interned index and
+/// the unparseable-row tally.
+fn enrich_columns(cols: &X509Columns<'_>) -> ColResult<(CertIndex, u64)> {
+    let mut cert_index: CertIndex = HashMap::new();
+    let mut unparseable = 0u64;
+    for row in 0..cols.rows {
+        let fp = cols.fingerprint(row)?;
+        if cert_index.contains_key(&fp) {
+            continue;
+        }
+        let rec = cols.record(row)?;
+        match CertRecord::from_record(&rec) {
+            Some(cert) => {
+                cert_index.insert(fp, std::sync::Arc::new(cert));
+            }
+            None => unparseable += 1,
+        }
+    }
+    Ok((cert_index, unparseable))
+}
+
+/// Fold rows `lo..hi` into per-chain accumulators. This is the one body
+/// both the sequential and the range-sharded parallel path run.
+fn fold_range(
+    cols: &SslColumns<'_>,
+    lo: u64,
+    hi: u64,
+    cert_index: &CertIndex,
+) -> ColResult<(HashMap<ChainKey, ChainAccum>, IngestCounts)> {
+    let mut accums: HashMap<ChainKey, ChainAccum> = HashMap::new();
+    let mut counts = IngestCounts::default();
+    let mut fps = Vec::new();
+    for row in lo..hi {
+        counts.records += 1;
+        cols.chain_fps_into(row, &mut fps)?;
+        if fps.is_empty() {
+            counts.no_chain += 1;
+            continue;
+        }
+        if !fps.iter().all(|fp| cert_index.contains_key(fp)) {
+            counts.unresolvable += 1;
+            continue;
+        }
+        // Probe with the borrowed slice; allocate a key only on first
+        // sight of a chain (same discipline as the streaming fold).
+        if !accums.contains_key(fps.as_slice()) {
+            accums.insert(ChainKey(fps.clone()), ChainAccum::default());
+        }
+        let entry = accums
+            .get_mut(fps.as_slice())
+            .expect("present or just inserted");
+        let sni = cols.sni(row)?;
+        entry.usage.add(
+            cols.established(row),
+            sni.is_some(),
+            cols.resp_p(row),
+            cols.orig_h(row),
+            1.0,
+        );
+        if let Some(sni) = sni {
+            entry.snis.insert(sni.to_string());
+        }
+    }
+    Ok((accums, counts))
+}
+
+/// Ingest the ssl table: contiguous row ranges per worker, partials
+/// merged in worker-index order, then one classification pass.
+fn ingest_columns(
+    pipe: &Pipeline<'_>,
+    cols: &SslColumns<'_>,
+    cert_index: &CertIndex,
+    threads: usize,
+) -> ColResult<(Vec<Prepared>, IngestCounts)> {
+    let rows = cols.rows;
+    let (accums, counts) = if threads <= 1 || rows < 2 {
+        fold_range(cols, 0, rows, cert_index)?
+    } else {
+        let per = rows.div_ceil(threads as u64);
+        let parts: Vec<ColResult<_>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads as u64)
+                .map(|w| {
+                    let lo = (w * per).min(rows);
+                    let hi = ((w + 1) * per).min(rows);
+                    scope.spawn(move || fold_range(cols, lo, hi, cert_index))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("columnar ingest worker panicked"))
+                .collect()
+        });
+        let mut merged: HashMap<ChainKey, ChainAccum> = HashMap::new();
+        let mut counts = IngestCounts::default();
+        for part in parts {
+            let (accums, c) = part?;
+            counts.records += c.records;
+            counts.no_chain += c.no_chain;
+            counts.unresolvable += c.unresolvable;
+            // srclint: commutative -- per-chain merge into a keyed map; ChainAccum::merge is commutative at unit weight, so worker-map iteration order is invisible
+            for (key, accum) in accums {
+                match merged.get_mut(&key) {
+                    Some(existing) => existing.merge(accum),
+                    None => {
+                        merged.insert(key, accum);
+                    }
+                }
+            }
+        }
+        (merged, counts)
+    };
+    pipe.obs.finish_progress(counts.records);
+    Ok((categorize::prepare(pipe, accums, cert_index), counts))
+}

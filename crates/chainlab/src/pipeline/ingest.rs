@@ -44,6 +44,18 @@ pub(crate) struct ChainAccum {
     pub(crate) snis: BTreeSet<String>,
 }
 
+impl ChainAccum {
+    /// Merge another accumulator for the same chain. Every field is a
+    /// commutative aggregate (integer-valued f64 sums at unit weight,
+    /// set unions), so merging per-worker partials in any fixed order
+    /// reproduces the sequential fold — the row-range-sharded columnar
+    /// path relies on this.
+    pub(crate) fn merge(&mut self, other: ChainAccum) {
+        self.usage.merge(&other.usage);
+        self.snis.extend(other.snis);
+    }
+}
+
 /// Record accounting produced by one accumulation run. Every field is a
 /// commutative integer sum over the record stream, so the values are
 /// identical for every thread count.

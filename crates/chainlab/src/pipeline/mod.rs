@@ -18,6 +18,7 @@
 //! stream.
 
 pub mod categorize;
+pub mod columnar;
 pub mod enrich;
 pub mod finalize;
 pub mod ingest;

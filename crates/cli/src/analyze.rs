@@ -1,10 +1,12 @@
 //! `certchain analyze`: run the full chain-analysis pipeline over an
 //! on-disk dataset (synthetic or real Zeek logs with the same fields).
 
-use crate::dataset::{load_crosssign, load_ct_index, load_trust};
+use crate::dataset::DatasetFormat;
+use crate::dataset::{colstore_dir, detect_format, load_crosssign, load_ct_index, load_trust};
 use crate::{io_ctx, CliError, CliResult};
 use certchain_chainlab::PipelineOptions;
 use certchain_chainlab::{Analysis, ChainCategoryLabel, CrossSignRegistry, Pipeline};
+use certchain_colstore::{DatasetReader, MapMode};
 use certchain_netsim::{SslLogStream, StreamStats, X509LogStream};
 use certchain_obs::{Progress, Registry};
 use certchain_report::table::{num, pct};
@@ -25,6 +27,24 @@ pub struct AnalyzeOptions {
     pub progress: bool,
     /// Print the stage-timing and counter summary on stderr at the end.
     pub verbose: bool,
+    /// Force a log representation instead of auto-detecting (`None`).
+    /// The report tables and JSON are byte-identical either way; only
+    /// the human report's loss-accounting line reflects the source.
+    pub format: Option<DatasetFormat>,
+}
+
+/// Input-side loss accounting, per source format. The TSV path tallies
+/// parse losses; the columnar path has no parse stage, so its row counts
+/// come straight from the validated manifest.
+enum LossStats {
+    Tsv {
+        ssl: Arc<StreamStats>,
+        x509: Arc<StreamStats>,
+    },
+    Columnar {
+        ssl_rows: u64,
+        x509_rows: u64,
+    },
 }
 
 /// Analyze `<dir>/ssl.log` + `<dir>/x509.log` against the trust material
@@ -69,14 +89,28 @@ pub fn analyze_json_with(dir: &Path, threads: usize) -> CliResult<String> {
 /// identical whatever the observability settings — metrics ride alongside
 /// the analysis, never inside it.
 pub fn analyze_opts(dir: &Path, opts: &AnalyzeOptions) -> CliResult<String> {
-    let registry = Arc::new(Registry::new());
-    let (analysis, ssl_stats, x509_stats) = {
-        let _total = registry.stage("analyze_total");
-        run_observed(dir, opts, &registry)?
+    let format = match opts.format {
+        Some(f) => f,
+        None => detect_format(dir)?,
     };
-    record_stream_stats(&registry, "zeek.ssl", &ssl_stats);
-    record_stream_stats(&registry, "zeek.x509", &x509_stats);
-    let dropped = ssl_stats.malformed() + x509_stats.malformed();
+    let registry = Arc::new(Registry::new());
+    let (analysis, loss) = {
+        let _total = registry.stage("analyze_total");
+        match format {
+            DatasetFormat::Tsv => run_observed(dir, opts, &registry)?,
+            DatasetFormat::Columnar => run_observed_colstore(dir, opts, &registry)?,
+        }
+    };
+    let dropped = match &loss {
+        LossStats::Tsv { ssl, x509 } => {
+            record_stream_stats(&registry, "zeek.ssl", ssl);
+            record_stream_stats(&registry, "zeek.x509", x509);
+            ssl.malformed() + x509.malformed()
+        }
+        // A columnar store is write-validated; there is nothing to drop.
+        // Still touch the counter so snapshot keys are format-stable.
+        LossStats::Columnar { .. } => 0,
+    };
     registry.counter("records_dropped").add(dropped);
 
     let out = if opts.json {
@@ -85,7 +119,7 @@ pub fn analyze_opts(dir: &Path, opts: &AnalyzeOptions) -> CliResult<String> {
         json
     } else {
         let mut text = render(&analysis);
-        text.push_str(&loss_line(&analysis, &ssl_stats, &x509_stats));
+        text.push_str(&loss_line(&analysis, &loss));
         text
     };
 
@@ -142,7 +176,7 @@ fn run_observed(
     dir: &Path,
     opts: &AnalyzeOptions,
     registry: &Arc<Registry>,
-) -> CliResult<(Analysis, Arc<StreamStats>, Arc<StreamStats>)> {
+) -> CliResult<(Analysis, LossStats)> {
     let ssl_file = std::fs::File::open(dir.join("ssl.log"))
         .map_err(io_ctx(format!("reading {}/ssl.log", dir.display())))?;
     let x509_file = std::fs::File::open(dir.join("x509.log"))
@@ -166,7 +200,48 @@ fn run_observed(
     let ssl = ssl_stream.map(|r| r.map_err(|e| CliError::Invalid(format!("ssl.log: {e}"))));
     let x509 = x509_stream.map(|r| r.map_err(|e| CliError::Invalid(format!("x509.log: {e}"))));
     let analysis = pipeline.analyze_stream(ssl, x509)?;
-    Ok((analysis, ssl_stats, x509_stats))
+    Ok((
+        analysis,
+        LossStats::Tsv {
+            ssl: ssl_stats,
+            x509: x509_stats,
+        },
+    ))
+}
+
+/// The columnar counterpart of [`run_observed`]: map the store, fold
+/// straight off the columns — no parse stage, no dispatch thread. The
+/// report is byte-identical to the TSV path over the same records.
+fn run_observed_colstore(
+    dir: &Path,
+    opts: &AnalyzeOptions,
+    registry: &Arc<Registry>,
+) -> CliResult<(Analysis, LossStats)> {
+    let store = colstore_dir(dir);
+    let reader = DatasetReader::open(&store, MapMode::Auto)
+        .map_err(|e| CliError::Invalid(format!("{}: {e}", store.display())))?;
+    let trust = load_trust(dir)?;
+    let ct = load_ct_index(dir)?;
+    let crosssign = CrossSignRegistry::from_disclosures(&load_crosssign(dir)?);
+    let options = PipelineOptions {
+        threads: opts.threads,
+        ..PipelineOptions::default()
+    };
+    let mut pipeline =
+        Pipeline::with_options(&trust, &ct, crosssign, options).with_metrics(Arc::clone(registry));
+    if opts.progress {
+        pipeline = pipeline.with_progress(Arc::new(Progress::stderr("analyze")));
+    }
+    let analysis = pipeline
+        .analyze_colstore(&reader)
+        .map_err(|e| CliError::Invalid(format!("{}: {e}", store.display())))?;
+    Ok((
+        analysis,
+        LossStats::Columnar {
+            ssl_rows: reader.ssl_rows(),
+            x509_rows: reader.x509_rows(),
+        },
+    ))
 }
 
 /// Transfer one stream's loss-accounting tallies into the registry under
@@ -192,20 +267,28 @@ fn record_stream_stats(registry: &Registry, prefix: &str, stats: &StreamStats) {
 /// The one-line loss-accounting summary appended to the human report:
 /// every input line either became a record, was a header/comment, or is
 /// tallied here as malformed; every record either reached a chain or is
-/// tallied as no-chain/unresolvable.
-fn loss_line(analysis: &Analysis, ssl: &StreamStats, x509: &StreamStats) -> String {
+/// tallied as no-chain/unresolvable. The columnar store has no parse
+/// stage, so its line reports manifest row counts instead.
+fn loss_line(analysis: &Analysis, loss: &LossStats) -> String {
+    let source = match loss {
+        LossStats::Tsv { ssl, x509 } => format!(
+            "ssl.log {} lines -> {} records ({} malformed); \
+             x509.log {} lines -> {} records ({} malformed)",
+            ssl.lines(),
+            ssl.records(),
+            ssl.malformed(),
+            x509.lines(),
+            x509.records(),
+            x509.malformed(),
+        ),
+        LossStats::Columnar {
+            ssl_rows,
+            x509_rows,
+        } => format!("colstore {ssl_rows} ssl rows, {x509_rows} x509 rows"),
+    };
     format!(
-        "loss accounting: ssl.log {} lines -> {} records ({} malformed); \
-         x509.log {} lines -> {} records ({} malformed); \
-         {} no-chain, {} unresolvable\n",
-        ssl.lines(),
-        ssl.records(),
-        ssl.malformed(),
-        x509.lines(),
-        x509.records(),
-        x509.malformed(),
-        analysis.no_chain_records,
-        analysis.unresolvable_records,
+        "loss accounting: {source}; {} no-chain, {} unresolvable\n",
+        analysis.no_chain_records, analysis.unresolvable_records,
     )
 }
 

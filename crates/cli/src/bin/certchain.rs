@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! certchain generate --out <dir> [--profile quick|default] [--seed N] [--threads N]
-//!                    [--progress] [--metrics-json <path>]
-//! certchain analyze  --dir <dir> [--threads N] [--json]
+//!                    [--format tsv|columnar] [--progress] [--metrics-json <path>]
+//! certchain convert  --dir <dir> [--metrics-json <path>]
+//! certchain analyze  --dir <dir> [--threads N] [--json] [--format tsv|columnar]
 //!                    [--progress] [--metrics-json <path>] [-v]
 //! certchain validate <chain.pem> [--dir <dataset dir with trust/>]
 //! ```
 
-use certchain_cli::{analyze, generate, validate, CliResult};
+use certchain_cli::dataset::DatasetFormat;
+use certchain_cli::{analyze, convert, generate, validate, CliResult};
 use certchain_workload::CampusProfile;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,14 +20,21 @@ certchain — certificate-chain structure and usage analysis
 
 USAGE:
   certchain generate --out <dir> [--profile quick|default] [--seed N] [--threads N]
-                     [--progress] [--metrics-json <path>]
-      Generate a synthetic campus dataset (Zeek logs + trust PEMs + CT corpus).
-  certchain analyze --dir <dir> [--json] [--threads N]
+                     [--format tsv|columnar] [--progress] [--metrics-json <path>]
+      Generate a synthetic campus dataset (logs + trust PEMs + CT corpus).
+      --format columnar writes the mmap-backed columnar store instead of
+      Zeek TSV logs; analyzing either yields byte-identical reports.
+  certchain convert --dir <dir> [--metrics-json <path>]
+      Re-encode <dir>/ssl.log + <dir>/x509.log as <dir>/colstore/, the
+      columnar store `analyze` then reads without a parse stage.
+  certchain analyze --dir <dir> [--json] [--threads N] [--format tsv|columnar]
                     [--progress] [--metrics-json <path>] [-v|--verbose]
-      Analyze <dir>/ssl.log and <dir>/x509.log against <dir>/trust and
-      <dir>/ct; --json emits the machine-readable summary.
-      --threads sets the worker-thread count for both commands (default:
-      all cores); the output is identical for every value.
+      Analyze the dataset logs against <dir>/trust and <dir>/ct; --json
+      emits the machine-readable summary. The columnar store is preferred
+      automatically when <dir>/colstore/dataset.json exists; --format
+      forces one representation.
+      --threads sets the worker-thread count (default: all cores); the
+      output is identical for every value.
 
   Observability (both commands; never changes the output bytes):
       --metrics-json <path>  write a certchain-metrics/v1 snapshot
@@ -80,9 +89,21 @@ fn run(args: &[String]) -> CliResult<String> {
                 threads: parse_threads(args)?,
                 progress: has_flag(args, "--progress"),
                 metrics_json: flag_value(args, "--metrics-json")?.map(PathBuf::from),
+                format: match flag_value(args, "--format")? {
+                    Some(f) => DatasetFormat::parse(&f)?,
+                    None => DatasetFormat::Tsv,
+                },
             };
             let summary = generate::generate_opts(&PathBuf::from(out), profile, &opts)?;
             Ok(format!("{summary}\n"))
+        }
+        "convert" => {
+            let dir = flag_value(args, "--dir")?
+                .ok_or_else(|| CliError::Invalid("convert requires --dir <dir>".into()))?;
+            let opts = convert::ConvertOptions {
+                metrics_json: flag_value(args, "--metrics-json")?.map(PathBuf::from),
+            };
+            convert::convert_opts(&PathBuf::from(dir), &opts)
         }
         "analyze" => {
             let dir = flag_value(args, "--dir")?
@@ -93,6 +114,10 @@ fn run(args: &[String]) -> CliResult<String> {
                 metrics_json: flag_value(args, "--metrics-json")?.map(PathBuf::from),
                 progress: has_flag(args, "--progress"),
                 verbose: has_flag(args, "-v") || has_flag(args, "--verbose"),
+                format: match flag_value(args, "--format")? {
+                    Some(f) => Some(DatasetFormat::parse(&f)?),
+                    None => None,
+                },
             };
             analyze::analyze_opts(&PathBuf::from(dir), &opts)
         }

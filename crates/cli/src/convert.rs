@@ -1,0 +1,88 @@
+//! `certchain convert`: re-encode a dataset's Zeek TSV logs as the
+//! mmap-backed columnar store, so subsequent `certchain analyze` runs
+//! skip the parse stage entirely.
+//!
+//! Conversion streams both logs in permissive mode (malformed rows are
+//! skipped and tallied, exactly like `analyze` does) into a
+//! [`DatasetWriter`] under `<dir>/colstore/`. The manifest is written
+//! last, so an interrupted conversion never leaves a store that
+//! `analyze` would auto-detect.
+
+use crate::dataset::colstore_dir;
+use crate::{io_ctx, CliError, CliResult};
+use certchain_colstore::DatasetWriter;
+use certchain_netsim::{SslLogStream, X509LogStream};
+use certchain_obs::Registry;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Knobs for `certchain convert` beyond the dataset directory.
+#[derive(Debug, Clone, Default)]
+pub struct ConvertOptions {
+    /// Write a `certchain-metrics/v1` snapshot to this path.
+    pub metrics_json: Option<PathBuf>,
+}
+
+/// Convert `<dir>/ssl.log` + `<dir>/x509.log` into `<dir>/colstore/`.
+/// Returns a short human-readable summary.
+pub fn convert(dir: &Path) -> CliResult<String> {
+    convert_opts(dir, &ConvertOptions::default())
+}
+
+/// The full `certchain convert` implementation.
+pub fn convert_opts(dir: &Path, opts: &ConvertOptions) -> CliResult<String> {
+    let registry = Arc::new(Registry::new());
+    let store = colstore_dir(dir);
+    let col_err = |e: certchain_colstore::ColError| CliError::Invalid(format!("colstore: {e}"));
+    let manifest = {
+        let _span = registry.stage("convert_total");
+        let mut writer = DatasetWriter::create(&store).map_err(col_err)?;
+
+        let x509_file = std::fs::File::open(dir.join("x509.log"))
+            .map_err(io_ctx(format!("reading {}/x509.log", dir.display())))?;
+        let x509_stream = X509LogStream::permissive(std::io::BufReader::new(x509_file));
+        let x509_stats = x509_stream.stats();
+        for rec in x509_stream {
+            let rec = rec.map_err(|e| CliError::Invalid(format!("x509.log: {e}")))?;
+            writer.append_x509(&rec).map_err(col_err)?;
+        }
+
+        let ssl_file = std::fs::File::open(dir.join("ssl.log"))
+            .map_err(io_ctx(format!("reading {}/ssl.log", dir.display())))?;
+        let ssl_stream = SslLogStream::permissive(std::io::BufReader::new(ssl_file));
+        let ssl_stats = ssl_stream.stats();
+        for rec in ssl_stream {
+            let rec = rec.map_err(|e| CliError::Invalid(format!("ssl.log: {e}")))?;
+            writer.append_ssl(&rec).map_err(col_err)?;
+        }
+
+        for (prefix, stats) in [("zeek.ssl", &ssl_stats), ("zeek.x509", &x509_stats)] {
+            registry
+                .counter(&format!("{prefix}.lines_read"))
+                .add(stats.lines());
+            registry
+                .counter(&format!("{prefix}.records"))
+                .add(stats.records());
+            registry
+                .counter(&format!("{prefix}.malformed"))
+                .add(stats.malformed());
+        }
+        registry
+            .counter("records_dropped")
+            .add(ssl_stats.malformed() + x509_stats.malformed());
+        writer.finish().map_err(col_err)?
+    };
+    if let Some(path) = &opts.metrics_json {
+        let text = registry.snapshot().to_json().to_pretty() + "\n";
+        std::fs::write(path, text)
+            .map_err(io_ctx(format!("writing metrics to {}", path.display())))?;
+    }
+    Ok(format!(
+        "wrote {} ssl rows, {} x509 rows, {} dictionary entries, {} fingerprints to {}\n",
+        manifest.ssl_rows,
+        manifest.x509_rows,
+        manifest.dict_entries,
+        manifest.fp_entries,
+        store.display()
+    ))
+}

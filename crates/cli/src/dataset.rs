@@ -4,12 +4,19 @@
 //! <dir>/
 //!   ssl.log            Zeek-format TLS connection log
 //!   x509.log           Zeek-format certificate log
+//!   colstore/          columnar store (optional; preferred when present)
+//!     dataset.json          versioned manifest
+//!     *.dat, ssl.*, x509.*  one file per column
 //!   trust/roots/*.pem       trusted root certificates (all programs)
 //!   trust/ccadb/*.pem       CCADB-listed intermediates
 //!   ct/*.pem                CT-logged certificates (crt.sh-style corpus)
 //!   crosssign.tsv           subject<TAB>alternate-issuer disclosure pairs
 //!   sample-chain.pem        one delivered chain, for `certchain validate`
 //! ```
+//!
+//! A dataset carries its logs as Zeek TSV, as a columnar store, or both.
+//! [`detect_format`] prefers the columnar store when a manifest is
+//! present (it skips the parse stage entirely); `--format` overrides.
 
 use crate::{io_ctx, CliError, CliResult};
 use certchain_ctlog::DomainIndex;
@@ -17,6 +24,48 @@ use certchain_trust::TrustDb;
 use certchain_x509::{pem, Certificate, DistinguishedName};
 use std::path::Path;
 use std::sync::Arc;
+
+/// How a dataset's log tables are stored on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetFormat {
+    /// Zeek TSV logs (`ssl.log` / `x509.log`).
+    Tsv,
+    /// Columnar store under `colstore/` (`certchain-colstore/v1`).
+    Columnar,
+}
+
+impl DatasetFormat {
+    /// Parse a `--format` argument.
+    pub fn parse(s: &str) -> CliResult<DatasetFormat> {
+        match s {
+            "tsv" => Ok(DatasetFormat::Tsv),
+            "columnar" => Ok(DatasetFormat::Columnar),
+            other => Err(CliError::Invalid(format!(
+                "unknown format {other:?} (expected tsv or columnar)"
+            ))),
+        }
+    }
+}
+
+/// The columnar store directory of a dataset.
+pub fn colstore_dir(dir: &Path) -> std::path::PathBuf {
+    dir.join(certchain_colstore::STORE_DIR)
+}
+
+/// Detect which log representation to analyze: the columnar store when a
+/// manifest is present (no parse stage), Zeek TSV otherwise. A manifest
+/// that exists but fails the schema/version check is an error spelling
+/// out expected vs found — a newer- or older-format store must never
+/// silently fall back to re-parsing possibly stale TSV.
+pub fn detect_format(dir: &Path) -> CliResult<DatasetFormat> {
+    let store = colstore_dir(dir);
+    if store.join(certchain_colstore::MANIFEST_FILE).is_file() {
+        certchain_colstore::Manifest::load(&store)
+            .map_err(|e| CliError::Invalid(format!("{}: {e}", store.display())))?;
+        return Ok(DatasetFormat::Columnar);
+    }
+    Ok(DatasetFormat::Tsv)
+}
 
 /// Read every `*.pem` file under `dir` (non-recursive) into certificates.
 pub fn read_pem_dir(dir: &Path) -> CliResult<Vec<Arc<Certificate>>> {

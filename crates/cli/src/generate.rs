@@ -6,7 +6,9 @@
 //! Only the compact sidecars (trust material, CT corpus, disclosures) go
 //! through the in-memory trace context.
 
+use crate::dataset::{colstore_dir, DatasetFormat};
 use crate::{io_ctx, CliError, CliResult};
+use certchain_colstore::DatasetWriter;
 use certchain_netsim::zeek::tsv::{SslLogWriter, X509LogWriter};
 use certchain_netsim::{SimClock, SslRecord, X509Record};
 use certchain_obs::{Progress, Registry};
@@ -21,7 +23,7 @@ use std::sync::Arc;
 const PROGRESS_EVERY: u64 = 8192;
 
 /// Knobs for `certchain generate` beyond profile and output directory.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct GenerateOptions {
     /// Worker threads (`0` = available parallelism).
     pub threads: usize,
@@ -29,6 +31,21 @@ pub struct GenerateOptions {
     pub progress: bool,
     /// Write a `certchain-metrics/v1` snapshot to this path.
     pub metrics_json: Option<PathBuf>,
+    /// Log representation to write: Zeek TSV (the default) or the
+    /// columnar store. Sidecars are identical either way, and analyzing
+    /// either representation yields byte-identical reports.
+    pub format: DatasetFormat,
+}
+
+impl Default for GenerateOptions {
+    fn default() -> GenerateOptions {
+        GenerateOptions {
+            threads: 0,
+            progress: false,
+            metrics_json: None,
+            format: DatasetFormat::Tsv,
+        }
+    }
 }
 
 /// Generate a trace with `profile` and write the full dataset to `out`,
@@ -66,6 +83,35 @@ pub fn generate_opts(
             .map_err(io_ctx(format!("creating {}", out.join(sub).display())))?;
     }
     let registry = Arc::new(Registry::new());
+    let (ctx, ssl_count, x509_count) = match opts.format {
+        DatasetFormat::Tsv => generate_tsv(out, profile, opts, &registry)?,
+        DatasetFormat::Columnar => generate_columnar(out, profile, opts, &registry)?,
+    };
+    {
+        let _span = registry.stage("write_sidecars");
+        write_sidecars(out, &ctx.servers, &ctx.eco, &ctx.cross_sign_disclosures)?;
+    }
+    if let Some(path) = &opts.metrics_json {
+        let text = registry.snapshot().to_json().to_pretty() + "\n";
+        std::fs::write(path, text)
+            .map_err(io_ctx(format!("writing metrics to {}", path.display())))?;
+    }
+    Ok(format!(
+        "wrote {} connection records, {} certificates, {} servers to {}",
+        ssl_count,
+        x509_count,
+        ctx.servers.len(),
+        out.display()
+    ))
+}
+
+/// The TSV log-writing body of [`generate_opts`].
+fn generate_tsv(
+    out: &Path,
+    profile: CampusProfile,
+    opts: &GenerateOptions,
+    registry: &Arc<Registry>,
+) -> CliResult<(certchain_workload::trace::TraceContext, u64, u64)> {
     let open = SimClock::campus_window_start().now();
     let ssl = std::io::BufWriter::new(
         std::fs::File::create(out.join("ssl.log")).map_err(io_ctx("creating ssl.log"))?,
@@ -82,7 +128,7 @@ pub fn generate_opts(
     };
     let ctx = {
         let _span = registry.stage("generate_total");
-        CampusTrace::stream_observed(profile, opts.threads, &mut sink, Some(&registry))?
+        CampusTrace::stream_observed(profile, opts.threads, &mut sink, Some(registry))?
     };
     if let Some(p) = &sink.progress {
         p.finish(sink.ssl_count);
@@ -95,22 +141,35 @@ pub fn generate_opts(
         .finish()
         .and_then(|mut w| w.flush())
         .map_err(io_ctx("closing x509.log"))?;
-    {
-        let _span = registry.stage("write_sidecars");
-        write_sidecars(out, &ctx.servers, &ctx.eco, &ctx.cross_sign_disclosures)?;
+    Ok((ctx, sink.ssl_count, sink.x509_count))
+}
+
+/// The columnar log-writing body of [`generate_opts`]: the same record
+/// stream feeds a [`DatasetWriter`] instead of the TSV writers.
+fn generate_columnar(
+    out: &Path,
+    profile: CampusProfile,
+    opts: &GenerateOptions,
+    registry: &Arc<Registry>,
+) -> CliResult<(certchain_workload::trace::TraceContext, u64, u64)> {
+    let store = colstore_dir(out);
+    let mut sink = ColumnarSink {
+        writer: DatasetWriter::create(&store)
+            .map_err(|e| CliError::Invalid(format!("colstore: {e}")))?,
+        progress: opts.progress.then(|| Progress::stderr("generate")),
+    };
+    let ctx = {
+        let _span = registry.stage("generate_total");
+        CampusTrace::stream_observed(profile, opts.threads, &mut sink, Some(registry))?
+    };
+    let (ssl_count, x509_count) = sink.writer.rows();
+    if let Some(p) = &sink.progress {
+        p.finish(ssl_count);
     }
-    if let Some(path) = &opts.metrics_json {
-        let text = registry.snapshot().to_json().to_pretty() + "\n";
-        std::fs::write(path, text)
-            .map_err(io_ctx(format!("writing metrics to {}", path.display())))?;
-    }
-    Ok(format!(
-        "wrote {} connection records, {} certificates, {} servers to {}",
-        sink.ssl_count,
-        sink.x509_count,
-        ctx.servers.len(),
-        out.display()
-    ))
+    sink.writer
+        .finish()
+        .map_err(|e| CliError::Invalid(format!("colstore: {e}")))?;
+    Ok((ctx, ssl_count, x509_count))
 }
 
 /// The streaming sink: every record goes straight to its log writer.
@@ -140,6 +199,35 @@ impl<W1: Write, W2: Write> TraceSink for FileSink<W1, W2> {
         self.x509
             .record(&record)
             .map_err(io_ctx("writing x509.log"))
+    }
+}
+
+/// The columnar streaming sink: every record appends to its columns.
+struct ColumnarSink {
+    writer: DatasetWriter,
+    progress: Option<Progress>,
+}
+
+impl TraceSink for ColumnarSink {
+    type Error = CliError;
+
+    fn ssl(&mut self, record: SslRecord, _meta: ConnMeta) -> Result<(), CliError> {
+        self.writer
+            .append_ssl(&record)
+            .map_err(|e| CliError::Invalid(format!("colstore: {e}")))?;
+        if let Some(p) = &self.progress {
+            let (ssl_count, _) = self.writer.rows();
+            if ssl_count % PROGRESS_EVERY == 0 {
+                p.tick(ssl_count, 0, &[]);
+            }
+        }
+        Ok(())
+    }
+
+    fn x509(&mut self, record: X509Record) -> Result<(), CliError> {
+        self.writer
+            .append_x509(&record)
+            .map_err(|e| CliError::Invalid(format!("colstore: {e}")))
     }
 }
 

@@ -8,11 +8,13 @@
 //!
 //! ```sh
 //! certchain generate --out /tmp/campus --profile quick
-//! certchain analyze  --dir /tmp/campus
+//! certchain convert  --dir /tmp/campus        # TSV -> columnar store
+//! certchain analyze  --dir /tmp/campus        # auto-detects the store
 //! certchain validate /tmp/campus/sample-chain.pem
 //! ```
 
 pub mod analyze;
+pub mod convert;
 pub mod dataset;
 pub mod generate;
 pub mod validate;

@@ -1,0 +1,192 @@
+//! TSV-vs-columnar parity: `certchain convert` followed by a columnar
+//! `analyze` must reproduce the TSV analysis byte-for-byte — same JSON
+//! summary, same report tables, at every thread count — and a stale
+//! store version must fail loudly instead of silently falling back.
+
+use certchain_cli::dataset::DatasetFormat;
+use certchain_cli::{analyze, convert, generate};
+use certchain_obs::json::JsonValue;
+use certchain_workload::CampusProfile;
+use std::path::PathBuf;
+
+/// One shared dataset, generated and converted once: every test here
+/// reads it, none mutates it (the version test copies the store first).
+fn dataset_dir() -> &'static PathBuf {
+    static CELL: std::sync::OnceLock<PathBuf> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("certchain-colpar-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let profile = CampusProfile {
+            seed: 99,
+            chain_scale: 0.0005,
+            conn_scale: 0.00005,
+            public_chains: 120,
+            public_conns_per_chain: 2,
+        };
+        generate::generate(&dir, profile).expect("generate succeeds");
+        let summary = convert::convert(&dir).expect("convert succeeds");
+        assert!(summary.contains("ssl rows"), "{summary}");
+        dir
+    })
+}
+
+fn analyze_with(format: DatasetFormat, threads: usize, json: bool) -> String {
+    analyze::analyze_opts(
+        dataset_dir(),
+        &analyze::AnalyzeOptions {
+            threads,
+            json,
+            format: Some(format),
+            ..analyze::AnalyzeOptions::default()
+        },
+    )
+    .expect("analyze succeeds")
+}
+
+/// The human report minus its loss-accounting line, which by design
+/// describes the input representation (log lines vs store rows).
+fn tables_only(report: &str) -> String {
+    report
+        .lines()
+        .filter(|l| !l.contains("loss accounting:"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn json_summary_is_byte_identical_across_formats_and_threads() {
+    let baseline = analyze_with(DatasetFormat::Tsv, 1, true);
+    for threads in [1usize, 2, 8] {
+        for format in [DatasetFormat::Tsv, DatasetFormat::Columnar] {
+            let got = analyze_with(format, threads, true);
+            assert_eq!(
+                got, baseline,
+                "JSON diverged for {format:?} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn report_tables_are_byte_identical_across_formats() {
+    let tsv = analyze_with(DatasetFormat::Tsv, 1, false);
+    let col = analyze_with(DatasetFormat::Columnar, 8, false);
+    assert_ne!(tsv, col, "loss lines describe different representations");
+    assert_eq!(tables_only(&tsv), tables_only(&col));
+    assert!(
+        col.contains("colstore"),
+        "columnar loss line names the store"
+    );
+}
+
+#[test]
+fn store_is_auto_detected_when_present() {
+    // No explicit --format: the converted store must win over the TSVs.
+    let auto = analyze::analyze_opts(dataset_dir(), &analyze::AnalyzeOptions::default()).unwrap();
+    assert!(auto.contains("colstore"), "{auto}");
+}
+
+#[test]
+fn version_mismatch_fails_instead_of_falling_back() {
+    // Copy the dataset so the shared one keeps its valid store.
+    let src = dataset_dir();
+    let dir = std::env::temp_dir().join(format!("certchain-colpar-ver-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("colstore")).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        if entry.file_type().unwrap().is_file() {
+            std::fs::copy(entry.path(), dir.join(entry.file_name())).unwrap();
+        }
+    }
+    for entry in std::fs::read_dir(src.join("colstore")).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dir.join("colstore").join(entry.file_name())).unwrap();
+    }
+    for sub in ["trust/roots", "trust/ccadb", "ct"] {
+        std::fs::create_dir_all(dir.join(sub)).unwrap();
+        for entry in std::fs::read_dir(src.join(sub)).unwrap() {
+            let entry = entry.unwrap();
+            std::fs::copy(entry.path(), dir.join(sub).join(entry.file_name())).unwrap();
+        }
+    }
+    let manifest = dir.join("colstore/dataset.json");
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    let bumped = text.replace("\"version\": 1", "\"version\": 99");
+    assert_ne!(text, bumped, "manifest carries the version field");
+    std::fs::write(&manifest, bumped).unwrap();
+
+    // Auto-detection sees the manifest, reads a future version, and must
+    // error — analyzing the TSVs anyway would hide a real format skew.
+    let err = analyze::analyze_opts(&dir, &analyze::AnalyzeOptions::default()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("expected 1"), "{msg}");
+    assert!(msg.contains("found 99"), "{msg}");
+
+    // An explicit TSV override still works on the same directory.
+    let report = analyze::analyze_opts(
+        &dir,
+        &analyze::AnalyzeOptions {
+            format: Some(DatasetFormat::Tsv),
+            ..analyze::AnalyzeOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(report.contains("Chain census"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn columnar_metrics_are_thread_invariant_and_counted() {
+    let dir = dataset_dir();
+    let snapshot_for = |threads: usize, tag: &str| {
+        let path = std::env::temp_dir().join(format!(
+            "certchain-colpar-metrics-{tag}-{}.json",
+            std::process::id()
+        ));
+        analyze::analyze_opts(
+            dir,
+            &analyze::AnalyzeOptions {
+                threads,
+                format: Some(DatasetFormat::Columnar),
+                metrics_json: Some(path.clone()),
+                ..analyze::AnalyzeOptions::default()
+            },
+        )
+        .unwrap();
+        let snap = certchain_obs::json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let _ = std::fs::remove_file(&path);
+        snap
+    };
+    let one = snapshot_for(1, "t1");
+    let eight = snapshot_for(8, "t8");
+    // The deterministic section must not depend on the worker count.
+    assert_eq!(
+        one.get("deterministic").map(JsonValue::to_pretty),
+        eight.get("deterministic").map(JsonValue::to_pretty),
+        "deterministic metrics diverged across thread counts"
+    );
+    let metric = |section: &str, name: &str| {
+        one.get("deterministic")
+            .and_then(|d| d.get(section))
+            .and_then(|c| c.get(name))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| panic!("{section} entry {name} missing"))
+    };
+    let reader = certchain_colstore::DatasetReader::open(
+        &certchain_cli::dataset::colstore_dir(dir),
+        certchain_colstore::MapMode::Auto,
+    )
+    .unwrap();
+    assert_eq!(
+        metric("counters", "colstore.rows_read"),
+        reader.ssl_rows() + reader.x509_rows()
+    );
+    assert!(metric("gauges", "colstore.bytes_mapped") > 0);
+    assert_eq!(
+        metric("gauges", "colstore.bytes_mapped"),
+        reader.bytes_mapped()
+    );
+    // The TSV parse-stage counters stay format-stable (present, zeroed).
+    assert_eq!(metric("counters", "records_dropped"), 0);
+}

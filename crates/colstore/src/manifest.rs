@@ -1,0 +1,189 @@
+//! The versioned `dataset.json` manifest: the store's self-description,
+//! written last (so a crashed writer never leaves a manifest pointing at
+//! incomplete columns) and validated first.
+
+use crate::{ColError, ColResult, COLUMNS};
+use certchain_obs::json::{self, JsonValue};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Schema identifier stamped into every manifest.
+pub const SCHEMA: &str = "certchain-colstore/v1";
+
+/// Current format version. Bump on any layout change.
+pub const VERSION: u64 = 1;
+
+/// Manifest file name inside the store directory.
+pub const MANIFEST_FILE: &str = "dataset.json";
+
+/// Store directory name inside a dataset directory.
+pub const STORE_DIR: &str = "colstore";
+
+/// Parsed and schema-checked `dataset.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Format version (always [`VERSION`] for manifests this code wrote).
+    pub version: u64,
+    /// Rows in the ssl table.
+    pub ssl_rows: u64,
+    /// Rows in the x509 table.
+    pub x509_rows: u64,
+    /// Entries in the string dictionary.
+    pub dict_entries: u64,
+    /// Entries in the fingerprint table.
+    pub fp_entries: u64,
+    /// Byte length of every column file, keyed by file name.
+    pub columns: BTreeMap<String, u64>,
+}
+
+impl Manifest {
+    /// Serialise to the on-disk JSON document.
+    pub fn to_json(&self) -> JsonValue {
+        let columns = self
+            .columns
+            .iter()
+            .map(|(name, bytes)| (name.clone(), JsonValue::Num(*bytes as f64)))
+            .collect();
+        JsonValue::Obj(vec![
+            ("schema".into(), JsonValue::Str(SCHEMA.into())),
+            ("version".into(), JsonValue::Num(self.version as f64)),
+            ("ssl_rows".into(), JsonValue::Num(self.ssl_rows as f64)),
+            ("x509_rows".into(), JsonValue::Num(self.x509_rows as f64)),
+            (
+                "dict_entries".into(),
+                JsonValue::Num(self.dict_entries as f64),
+            ),
+            ("fp_entries".into(), JsonValue::Num(self.fp_entries as f64)),
+            ("columns".into(), JsonValue::Obj(columns)),
+        ])
+    }
+
+    /// Parse and schema-check a manifest document. Version mismatches are
+    /// reported with expected vs found so `certchain analyze` can fail
+    /// before touching any column bytes.
+    pub fn from_json(doc: &JsonValue) -> ColResult<Manifest> {
+        let schema = doc.get("schema").and_then(JsonValue::as_str);
+        if schema != Some(SCHEMA) {
+            return Err(ColError::Format(format!(
+                "columnar dataset schema mismatch: expected {SCHEMA:?}, found {:?}",
+                schema.unwrap_or("<missing>")
+            )));
+        }
+        let version = doc
+            .get("version")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| ColError::Format("manifest missing numeric \"version\"".into()))?;
+        if version != VERSION {
+            return Err(ColError::Format(format!(
+                "columnar dataset version mismatch: expected {VERSION}, found {version} \
+                 (re-run `certchain convert` or regenerate the dataset)"
+            )));
+        }
+        let field = |name: &str| {
+            doc.get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| ColError::Format(format!("manifest missing numeric {name:?}")))
+        };
+        let mut columns = BTreeMap::new();
+        let cols = doc
+            .get("columns")
+            .and_then(JsonValue::as_obj)
+            .ok_or_else(|| ColError::Format("manifest missing \"columns\" object".into()))?;
+        for (name, bytes) in cols {
+            let bytes = bytes.as_u64().ok_or_else(|| {
+                ColError::Format(format!("manifest column {name:?} has a non-numeric length"))
+            })?;
+            columns.insert(name.clone(), bytes);
+        }
+        for (name, _) in COLUMNS {
+            if !columns.contains_key(*name) {
+                return Err(ColError::Format(format!(
+                    "manifest is missing column {name:?}"
+                )));
+            }
+        }
+        Ok(Manifest {
+            version,
+            ssl_rows: field("ssl_rows")?,
+            x509_rows: field("x509_rows")?,
+            dict_entries: field("dict_entries")?,
+            fp_entries: field("fp_entries")?,
+            columns,
+        })
+    }
+
+    /// Read and check `<store_dir>/dataset.json`.
+    pub fn load(store_dir: &Path) -> ColResult<Manifest> {
+        let path = store_dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&path)
+            .map_err(crate::io_ctx(format!("reading {}", path.display())))?;
+        let doc = json::parse(&text)
+            .map_err(|e| ColError::Format(format!("{}: invalid JSON: {e}", path.display())))?;
+        Manifest::from_json(&doc)
+    }
+
+    /// Write `<store_dir>/dataset.json`.
+    pub fn store(&self, store_dir: &Path) -> ColResult<()> {
+        let path = store_dir.join(MANIFEST_FILE);
+        let text = self.to_json().to_pretty() + "\n";
+        std::fs::write(&path, text).map_err(crate::io_ctx(format!("writing {}", path.display())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            version: VERSION,
+            ssl_rows: 10,
+            x509_rows: 4,
+            dict_entries: 7,
+            fp_entries: 3,
+            columns: COLUMNS.iter().map(|(n, _)| (n.to_string(), 0)).collect(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let m = sample();
+        let back = Manifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn version_mismatch_names_expected_and_found() {
+        let mut doc = sample().to_json();
+        if let JsonValue::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "version" {
+                    *v = JsonValue::Num(99.0);
+                }
+            }
+        }
+        let err = Manifest::from_json(&doc).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("expected 1"), "{msg}");
+        assert!(msg.contains("found 99"), "{msg}");
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let doc = JsonValue::Obj(vec![(
+            "schema".into(),
+            JsonValue::Str("something-else/v9".into()),
+        )]);
+        let msg = Manifest::from_json(&doc).unwrap_err().to_string();
+        assert!(msg.contains(SCHEMA), "{msg}");
+        assert!(msg.contains("something-else/v9"), "{msg}");
+    }
+
+    #[test]
+    fn missing_column_is_rejected() {
+        let mut m = sample();
+        m.columns.remove("ssl.ts");
+        let msg = Manifest::from_json(&m.to_json()).unwrap_err().to_string();
+        assert!(msg.contains("ssl.ts"), "{msg}");
+    }
+}

@@ -1,0 +1,444 @@
+//! The mmap-backed dataset reader.
+//!
+//! [`DatasetReader::open`] validates the manifest and then checks, for
+//! every column file, that the on-disk byte length is exactly what the
+//! manifest recorded (and consistent with the row counts for fixed-width
+//! columns) — truncation is diagnosed up front, before any row is
+//! decoded. Column views ([`SslColumns`] / [`X509Columns`]) then decode
+//! fields with plain offset arithmetic off the mapped bytes, so analysis
+//! workers can shard by row ranges without any parse stage.
+
+use crate::dict::Dict;
+use crate::manifest::Manifest;
+use crate::map::{MapMode, Mapping};
+use crate::write::{decode_tls_version, FLAG_BC_CA, FLAG_BC_PRESENT, FLAG_PATH_LEN};
+use crate::{ColError, ColResult, COLUMNS};
+use certchain_asn1::Asn1Time;
+use certchain_netsim::handshake::TlsVersion;
+use certchain_netsim::zeek::record::{SslRecord, X509Record};
+use certchain_x509::Fingerprint;
+use std::net::Ipv4Addr;
+use std::path::Path;
+
+// Indices into `DatasetReader::maps`, in `COLUMNS` order.
+const STRINGS_IDX: usize = 0;
+const STRINGS_DAT: usize = 1;
+const FPS_DAT: usize = 2;
+const SSL_TS: usize = 3;
+const SSL_UID_IDX: usize = 4;
+const SSL_UID_DAT: usize = 5;
+const SSL_ORIG_H: usize = 6;
+const SSL_ORIG_P: usize = 7;
+const SSL_RESP_H: usize = 8;
+const SSL_RESP_P: usize = 9;
+const SSL_VERSION: usize = 10;
+const SSL_SNI: usize = 11;
+const SSL_ESTABLISHED: usize = 12;
+const SSL_CHAIN_IDX: usize = 13;
+const SSL_CHAIN_DAT: usize = 14;
+const X509_TS: usize = 15;
+const X509_FP: usize = 16;
+const X509_VERSION: usize = 17;
+const X509_SERIAL: usize = 18;
+const X509_SUBJECT: usize = 19;
+const X509_ISSUER: usize = 20;
+const X509_NOT_BEFORE: usize = 21;
+const X509_NOT_AFTER: usize = 22;
+const X509_FLAGS: usize = 23;
+const X509_PATH_LEN: usize = 24;
+const X509_SAN_IDX: usize = 25;
+const X509_SAN_DAT: usize = 26;
+
+/// An open, validated columnar store.
+pub struct DatasetReader {
+    manifest: Manifest,
+    maps: Vec<Mapping>,
+}
+
+impl std::fmt::Debug for DatasetReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DatasetReader")
+            .field("ssl_rows", &self.manifest.ssl_rows)
+            .field("x509_rows", &self.manifest.x509_rows)
+            .field("bytes_mapped", &self.bytes_mapped())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DatasetReader {
+    /// Open `store_dir`, validating manifest and column lengths.
+    pub fn open(store_dir: &Path, mode: MapMode) -> ColResult<DatasetReader> {
+        let manifest = Manifest::load(store_dir)?;
+        let mut maps = Vec::with_capacity(COLUMNS.len());
+        for (name, width) in COLUMNS {
+            let expected = *manifest
+                .columns
+                .get(*name)
+                .expect("from_json checked every column is present");
+            let map = Mapping::open(&store_dir.join(name), mode)?;
+            let found = map.len() as u64;
+            if found != expected {
+                return Err(ColError::Truncated {
+                    file: name.to_string(),
+                    expected,
+                    found,
+                });
+            }
+            if let Some(width) = width {
+                let rows = crate::rows_for(name, manifest.ssl_rows, manifest.x509_rows)
+                    .expect("fixed-width columns are table columns");
+                if found != rows * width {
+                    return Err(ColError::Corrupt(format!(
+                        "column {name}: {found} bytes is not {rows} rows x {width} bytes"
+                    )));
+                }
+            }
+            maps.push(map);
+        }
+        let reader = DatasetReader { manifest, maps };
+        reader.validate_tables()?;
+        Ok(reader)
+    }
+
+    /// Cross-file consistency checks that the per-file length check
+    /// cannot see: shared-table sizes and var-length final offsets.
+    fn validate_tables(&self) -> ColResult<()> {
+        let m = &self.manifest;
+        let checks: &[(&str, u64, u64)] = &[
+            (
+                "strings.idx",
+                self.maps[STRINGS_IDX].len() as u64,
+                m.dict_entries * 8,
+            ),
+            (
+                "fps.dat",
+                self.maps[FPS_DAT].len() as u64,
+                m.fp_entries * 32,
+            ),
+        ];
+        for (name, found, want) in checks {
+            if found != want {
+                return Err(ColError::Corrupt(format!(
+                    "table {name}: {found} bytes, expected {want}"
+                )));
+            }
+        }
+        // Dictionary offsets must be monotonic and end at the data length;
+        // `Dict::new` checks all of that, so a corrupted index is rejected
+        // here instead of surfacing mid-scan from a row accessor.
+        Dict::new(
+            self.maps[STRINGS_IDX].bytes(),
+            self.maps[STRINGS_DAT].bytes(),
+        )?;
+        // Each var-length pair: the last index entry must equal the data
+        // length (and an empty table implies an empty data file).
+        for (idx, dat, unit) in [
+            (SSL_UID_IDX, SSL_UID_DAT, 1u64),
+            (SSL_CHAIN_IDX, SSL_CHAIN_DAT, 4),
+            (X509_SAN_IDX, X509_SAN_DAT, 4),
+        ] {
+            let idx_bytes = self.maps[idx].bytes();
+            let dat_len = self.maps[dat].len() as u64;
+            let end = match idx_bytes.len() {
+                0 => 0,
+                n => u64::from_le_bytes(idx_bytes[n - 8..].try_into().expect("8-byte slice")),
+            };
+            if end != dat_len {
+                return Err(ColError::Corrupt(format!(
+                    "column {}: final offset {end} != data length {dat_len}",
+                    COLUMNS[idx].0
+                )));
+            }
+            if dat_len % unit != 0 {
+                return Err(ColError::Corrupt(format!(
+                    "column {}: length {dat_len} is not a multiple of {unit}",
+                    COLUMNS[dat].0
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The validated manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Rows in the ssl table.
+    pub fn ssl_rows(&self) -> u64 {
+        self.manifest.ssl_rows
+    }
+
+    /// Rows in the x509 table.
+    pub fn x509_rows(&self) -> u64 {
+        self.manifest.x509_rows
+    }
+
+    /// Total bytes brought into memory across all columns (mapped or
+    /// loaded, depending on [`MapMode`]).
+    pub fn bytes_mapped(&self) -> u64 {
+        self.maps.iter().map(|m| m.len() as u64).sum()
+    }
+
+    /// Column view over the ssl table.
+    pub fn ssl(&self) -> ColResult<SslColumns<'_>> {
+        Ok(SslColumns {
+            rows: self.manifest.ssl_rows,
+            ts: self.maps[SSL_TS].bytes(),
+            uid_idx: self.maps[SSL_UID_IDX].bytes(),
+            uid_dat: self.maps[SSL_UID_DAT].bytes(),
+            orig_h: self.maps[SSL_ORIG_H].bytes(),
+            orig_p: self.maps[SSL_ORIG_P].bytes(),
+            resp_h: self.maps[SSL_RESP_H].bytes(),
+            resp_p: self.maps[SSL_RESP_P].bytes(),
+            version: self.maps[SSL_VERSION].bytes(),
+            sni: self.maps[SSL_SNI].bytes(),
+            established: self.maps[SSL_ESTABLISHED].bytes(),
+            chain_idx: self.maps[SSL_CHAIN_IDX].bytes(),
+            chain_dat: self.maps[SSL_CHAIN_DAT].bytes(),
+            dict: self.dict()?,
+            fps: self.maps[FPS_DAT].bytes(),
+        })
+    }
+
+    /// Column view over the x509 table.
+    pub fn x509(&self) -> ColResult<X509Columns<'_>> {
+        Ok(X509Columns {
+            rows: self.manifest.x509_rows,
+            ts: self.maps[X509_TS].bytes(),
+            fp: self.maps[X509_FP].bytes(),
+            version: self.maps[X509_VERSION].bytes(),
+            serial: self.maps[X509_SERIAL].bytes(),
+            subject: self.maps[X509_SUBJECT].bytes(),
+            issuer: self.maps[X509_ISSUER].bytes(),
+            not_before: self.maps[X509_NOT_BEFORE].bytes(),
+            not_after: self.maps[X509_NOT_AFTER].bytes(),
+            flags: self.maps[X509_FLAGS].bytes(),
+            path_len: self.maps[X509_PATH_LEN].bytes(),
+            san_idx: self.maps[X509_SAN_IDX].bytes(),
+            san_dat: self.maps[X509_SAN_DAT].bytes(),
+            dict: self.dict()?,
+            fps: self.maps[FPS_DAT].bytes(),
+        })
+    }
+
+    fn dict(&self) -> ColResult<Dict<'_>> {
+        Dict::new(
+            self.maps[STRINGS_IDX].bytes(),
+            self.maps[STRINGS_DAT].bytes(),
+        )
+    }
+
+    /// Iterate ssl rows as [`SslRecord`]s — the same item shape as
+    /// `SslLogStream`, so stream-based consumers run unchanged.
+    pub fn ssl_iter(&self) -> ColResult<impl Iterator<Item = ColResult<SslRecord>> + '_> {
+        let cols = self.ssl()?;
+        Ok((0..cols.rows).map(move |row| cols.record(row)))
+    }
+
+    /// Iterate x509 rows as [`X509Record`]s, mirroring `X509LogStream`.
+    pub fn x509_iter(&self) -> ColResult<impl Iterator<Item = ColResult<X509Record>> + '_> {
+        let cols = self.x509()?;
+        Ok((0..cols.rows).map(move |row| cols.record(row)))
+    }
+}
+
+fn u64_at(col: &[u8], row: u64) -> u64 {
+    let at = (row as usize) * 8;
+    u64::from_le_bytes(col[at..at + 8].try_into().expect("8-byte slice"))
+}
+
+fn u32_at(col: &[u8], row: u64) -> u32 {
+    let at = (row as usize) * 4;
+    u32::from_le_bytes(col[at..at + 4].try_into().expect("4-byte slice"))
+}
+
+fn u16_at(col: &[u8], row: u64) -> u16 {
+    let at = (row as usize) * 2;
+    u16::from_le_bytes(col[at..at + 2].try_into().expect("2-byte slice"))
+}
+
+fn var_range(idx: &[u8], row: u64, dat_len: usize, what: &str) -> ColResult<(usize, usize)> {
+    let start = if row == 0 { 0 } else { u64_at(idx, row - 1) } as usize;
+    let end = u64_at(idx, row) as usize;
+    if start > end || end > dat_len {
+        return Err(ColError::Corrupt(format!(
+            "{what} row {row}: offsets {start}..{end} out of bounds (data length {dat_len})"
+        )));
+    }
+    Ok((start, end))
+}
+
+fn fp_at(fps: &[u8], idx: u32, what: &str) -> ColResult<Fingerprint> {
+    let at = (idx as usize) * 32;
+    let Some(bytes) = fps.get(at..at + 32) else {
+        return Err(ColError::Corrupt(format!(
+            "{what}: fingerprint index {idx} out of range ({} entries)",
+            fps.len() / 32
+        )));
+    };
+    Ok(Fingerprint(bytes.try_into().expect("32-byte slice")))
+}
+
+/// Borrowed, zero-copy accessors over the ssl table. All row arguments
+/// must be `< rows` (fixed-width reads panic past the end, like slice
+/// indexing); var-length and table lookups return [`ColError::Corrupt`]
+/// on inconsistent data.
+#[derive(Clone, Copy)]
+pub struct SslColumns<'a> {
+    /// Row count.
+    pub rows: u64,
+    ts: &'a [u8],
+    uid_idx: &'a [u8],
+    uid_dat: &'a [u8],
+    orig_h: &'a [u8],
+    orig_p: &'a [u8],
+    resp_h: &'a [u8],
+    resp_p: &'a [u8],
+    version: &'a [u8],
+    sni: &'a [u8],
+    established: &'a [u8],
+    chain_idx: &'a [u8],
+    chain_dat: &'a [u8],
+    dict: Dict<'a>,
+    fps: &'a [u8],
+}
+
+impl<'a> SslColumns<'a> {
+    /// Connection timestamp (epoch seconds).
+    pub fn ts(&self, row: u64) -> u64 {
+        u64_at(self.ts, row)
+    }
+
+    /// Connection uid.
+    pub fn uid(&self, row: u64) -> ColResult<&'a str> {
+        let (start, end) = var_range(self.uid_idx, row, self.uid_dat.len(), "ssl.uid")?;
+        std::str::from_utf8(&self.uid_dat[start..end])
+            .map_err(|_| ColError::Corrupt(format!("ssl.uid row {row} is not valid UTF-8")))
+    }
+
+    /// Originator (client) address.
+    pub fn orig_h(&self, row: u64) -> Ipv4Addr {
+        Ipv4Addr::from(u32_at(self.orig_h, row))
+    }
+
+    /// Originator port.
+    pub fn orig_p(&self, row: u64) -> u16 {
+        u16_at(self.orig_p, row)
+    }
+
+    /// Responder (server) address.
+    pub fn resp_h(&self, row: u64) -> Ipv4Addr {
+        Ipv4Addr::from(u32_at(self.resp_h, row))
+    }
+
+    /// Responder port.
+    pub fn resp_p(&self, row: u64) -> u16 {
+        u16_at(self.resp_p, row)
+    }
+
+    /// Negotiated TLS version.
+    pub fn version(&self, row: u64) -> ColResult<TlsVersion> {
+        decode_tls_version(self.version[row as usize])
+    }
+
+    /// SNI, when the client sent one.
+    pub fn sni(&self, row: u64) -> ColResult<Option<&'a str>> {
+        self.dict.get_opt(u32_at(self.sni, row))
+    }
+
+    /// Whether the handshake completed.
+    pub fn established(&self, row: u64) -> bool {
+        self.established[row as usize] != 0
+    }
+
+    /// Number of fingerprints in the row's delivered chain.
+    pub fn chain_len(&self, row: u64) -> ColResult<usize> {
+        let (start, end) = var_range(self.chain_idx, row, self.chain_dat.len(), "ssl.chain")?;
+        Ok((end - start) / 4)
+    }
+
+    /// Append the row's chain fingerprints to `out` (cleared first) —
+    /// lets the analyze hot path reuse one buffer across rows.
+    pub fn chain_fps_into(&self, row: u64, out: &mut Vec<Fingerprint>) -> ColResult<()> {
+        out.clear();
+        let (start, end) = var_range(self.chain_idx, row, self.chain_dat.len(), "ssl.chain")?;
+        for at in (start..end).step_by(4) {
+            let idx =
+                u32::from_le_bytes(self.chain_dat[at..at + 4].try_into().expect("4-byte slice"));
+            out.push(fp_at(self.fps, idx, "ssl.chain")?);
+        }
+        Ok(())
+    }
+
+    /// Materialise the full [`SslRecord`] for `row`.
+    pub fn record(&self, row: u64) -> ColResult<SslRecord> {
+        let mut chain = Vec::new();
+        self.chain_fps_into(row, &mut chain)?;
+        Ok(SslRecord {
+            ts: Asn1Time::from_unix(self.ts(row)),
+            uid: self.uid(row)?.to_string(),
+            orig_h: self.orig_h(row),
+            orig_p: self.orig_p(row),
+            resp_h: self.resp_h(row),
+            resp_p: self.resp_p(row),
+            version: self.version(row)?,
+            server_name: self.sni(row)?.map(str::to_string),
+            established: self.established(row),
+            cert_chain_fps: chain,
+        })
+    }
+}
+
+/// Borrowed, zero-copy accessors over the x509 table.
+#[derive(Clone, Copy)]
+pub struct X509Columns<'a> {
+    /// Row count.
+    pub rows: u64,
+    ts: &'a [u8],
+    fp: &'a [u8],
+    version: &'a [u8],
+    serial: &'a [u8],
+    subject: &'a [u8],
+    issuer: &'a [u8],
+    not_before: &'a [u8],
+    not_after: &'a [u8],
+    flags: &'a [u8],
+    path_len: &'a [u8],
+    san_idx: &'a [u8],
+    san_dat: &'a [u8],
+    dict: Dict<'a>,
+    fps: &'a [u8],
+}
+
+impl<'a> X509Columns<'a> {
+    /// The row's fingerprint (the join key with the ssl table).
+    pub fn fingerprint(&self, row: u64) -> ColResult<Fingerprint> {
+        fp_at(self.fps, u32_at(self.fp, row), "x509.fp")
+    }
+
+    /// Materialise the full [`X509Record`] for `row`.
+    pub fn record(&self, row: u64) -> ColResult<X509Record> {
+        let flags = self.flags[row as usize];
+        let (start, end) = var_range(self.san_idx, row, self.san_dat.len(), "x509.san")?;
+        let mut san_dns = Vec::with_capacity((end - start) / 4);
+        for at in (start..end).step_by(4) {
+            let idx =
+                u32::from_le_bytes(self.san_dat[at..at + 4].try_into().expect("4-byte slice"));
+            san_dns.push(self.dict.get(idx)?.to_string());
+        }
+        Ok(X509Record {
+            ts: Asn1Time::from_unix(u64_at(self.ts, row)),
+            fingerprint: self.fingerprint(row)?,
+            cert_version: u64_at(self.version, row),
+            serial: self.dict.get(u32_at(self.serial, row))?.to_string(),
+            subject: self.dict.get(u32_at(self.subject, row))?.to_string(),
+            issuer: self.dict.get(u32_at(self.issuer, row))?.to_string(),
+            not_before: Asn1Time::from_unix(u64_at(self.not_before, row)),
+            not_after: Asn1Time::from_unix(u64_at(self.not_after, row)),
+            basic_constraints_ca: (flags & FLAG_BC_PRESENT != 0).then_some(flags & FLAG_BC_CA != 0),
+            path_len: (flags & FLAG_PATH_LEN != 0).then(|| u64_at(self.path_len, row)),
+            san_dns,
+        })
+    }
+}

@@ -1,0 +1,272 @@
+//! Streaming columnar writer.
+//!
+//! Rows are appended one at a time and each field streams to its own
+//! buffered column file, so writer memory stays O(distinct strings +
+//! distinct fingerprints) regardless of row count. The shared tables
+//! (`strings.*`, `fps.dat`) and the manifest are written by
+//! [`DatasetWriter::finish`] — the manifest last, so a crashed write
+//! never leaves a manifest pointing at incomplete columns.
+
+use crate::dict::DictBuilder;
+use crate::manifest::Manifest;
+use crate::{io_ctx, ColError, ColResult, COLUMNS, VERSION};
+use certchain_netsim::handshake::TlsVersion;
+use certchain_netsim::zeek::record::{SslRecord, X509Record};
+use certchain_x509::Fingerprint;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Wire encoding of [`TlsVersion`] in the `ssl.version` column.
+pub fn encode_tls_version(v: TlsVersion) -> u8 {
+    match v {
+        TlsVersion::Tls12 => 0,
+        TlsVersion::Tls13 => 1,
+    }
+}
+
+/// Decode the `ssl.version` column byte.
+pub fn decode_tls_version(b: u8) -> ColResult<TlsVersion> {
+    match b {
+        0 => Ok(TlsVersion::Tls12),
+        1 => Ok(TlsVersion::Tls13),
+        other => Err(ColError::Corrupt(format!(
+            "unknown ssl.version byte {other}"
+        ))),
+    }
+}
+
+/// basicConstraints flag bits in the `x509.flags` column.
+pub const FLAG_BC_PRESENT: u8 = 1 << 0;
+/// CA bit (meaningful only when [`FLAG_BC_PRESENT`] is set).
+pub const FLAG_BC_CA: u8 = 1 << 1;
+/// pathLen-present bit.
+pub const FLAG_PATH_LEN: u8 = 1 << 2;
+
+struct Col {
+    name: &'static str,
+    file: BufWriter<File>,
+    bytes: u64,
+}
+
+impl Col {
+    fn put(&mut self, bytes: &[u8]) -> ColResult<()> {
+        self.file
+            .write_all(bytes)
+            .map_err(io_ctx(format!("writing column {}", self.name)))?;
+        self.bytes += bytes.len() as u64;
+        Ok(())
+    }
+}
+
+// Streamed-column indices into `DatasetWriter::cols`, in STREAMED order.
+const SSL_TS: usize = 0;
+const SSL_UID_IDX: usize = 1;
+const SSL_UID_DAT: usize = 2;
+const SSL_ORIG_H: usize = 3;
+const SSL_ORIG_P: usize = 4;
+const SSL_RESP_H: usize = 5;
+const SSL_RESP_P: usize = 6;
+const SSL_VERSION: usize = 7;
+const SSL_SNI: usize = 8;
+const SSL_ESTABLISHED: usize = 9;
+const SSL_CHAIN_IDX: usize = 10;
+const SSL_CHAIN_DAT: usize = 11;
+const X509_TS: usize = 12;
+const X509_FP: usize = 13;
+const X509_VERSION: usize = 14;
+const X509_SERIAL: usize = 15;
+const X509_SUBJECT: usize = 16;
+const X509_ISSUER: usize = 17;
+const X509_NOT_BEFORE: usize = 18;
+const X509_NOT_AFTER: usize = 19;
+const X509_FLAGS: usize = 20;
+const X509_PATH_LEN: usize = 21;
+const X509_SAN_IDX: usize = 22;
+const X509_SAN_DAT: usize = 23;
+
+/// Every per-row column, streamed to disk as rows arrive. The shared
+/// tables (`strings.*`, `fps.dat`) are not in this list — they are
+/// buffered in memory and written at finish.
+const STREAMED: &[&str] = &[
+    "ssl.ts",
+    "ssl.uid.idx",
+    "ssl.uid.dat",
+    "ssl.orig_h",
+    "ssl.orig_p",
+    "ssl.resp_h",
+    "ssl.resp_p",
+    "ssl.version",
+    "ssl.sni",
+    "ssl.established",
+    "ssl.chain.idx",
+    "ssl.chain.dat",
+    "x509.ts",
+    "x509.fp",
+    "x509.version",
+    "x509.serial",
+    "x509.subject",
+    "x509.issuer",
+    "x509.not_before",
+    "x509.not_after",
+    "x509.flags",
+    "x509.path_len",
+    "x509.san.idx",
+    "x509.san.dat",
+];
+
+/// Streaming writer for one columnar store directory.
+pub struct DatasetWriter {
+    dir: PathBuf,
+    cols: Vec<Col>,
+    dict: DictBuilder,
+    fp_lookup: HashMap<Fingerprint, u32>,
+    fp_order: Vec<Fingerprint>,
+    ssl_rows: u64,
+    x509_rows: u64,
+}
+
+impl DatasetWriter {
+    /// Create `store_dir` (and parents) and open every column file.
+    pub fn create(store_dir: &Path) -> ColResult<DatasetWriter> {
+        std::fs::create_dir_all(store_dir)
+            .map_err(io_ctx(format!("creating {}", store_dir.display())))?;
+        let mut cols = Vec::with_capacity(STREAMED.len());
+        for name in STREAMED {
+            let path = store_dir.join(name);
+            let file = File::create(&path)
+                .map_err(io_ctx(format!("creating column {}", path.display())))?;
+            cols.push(Col {
+                name,
+                file: BufWriter::new(file),
+                bytes: 0,
+            });
+        }
+        Ok(DatasetWriter {
+            dir: store_dir.to_path_buf(),
+            cols,
+            dict: DictBuilder::new(),
+            fp_lookup: HashMap::new(),
+            fp_order: Vec::new(),
+            ssl_rows: 0,
+            x509_rows: 0,
+        })
+    }
+
+    fn fp_index(&mut self, fp: &Fingerprint) -> ColResult<u32> {
+        if let Some(&idx) = self.fp_lookup.get(fp) {
+            return Ok(idx);
+        }
+        let idx = u32::try_from(self.fp_order.len())
+            .map_err(|_| ColError::Corrupt("fingerprint table exceeds u32 index space".into()))?;
+        self.fp_lookup.insert(*fp, idx);
+        self.fp_order.push(*fp);
+        Ok(idx)
+    }
+
+    /// Append one `ssl.log` row.
+    pub fn append_ssl(&mut self, rec: &SslRecord) -> ColResult<()> {
+        let sni = self.dict.intern_opt(rec.server_name.as_deref())?;
+        let mut chain = Vec::with_capacity(rec.cert_chain_fps.len() * 4);
+        for fp in &rec.cert_chain_fps {
+            chain.extend_from_slice(&self.fp_index(fp)?.to_le_bytes());
+        }
+        let c = &mut self.cols;
+        c[SSL_TS].put(&rec.ts.unix_secs().to_le_bytes())?;
+        c[SSL_UID_DAT].put(rec.uid.as_bytes())?;
+        let uid_end = c[SSL_UID_DAT].bytes;
+        c[SSL_UID_IDX].put(&uid_end.to_le_bytes())?;
+        c[SSL_ORIG_H].put(&u32::from(rec.orig_h).to_le_bytes())?;
+        c[SSL_ORIG_P].put(&rec.orig_p.to_le_bytes())?;
+        c[SSL_RESP_H].put(&u32::from(rec.resp_h).to_le_bytes())?;
+        c[SSL_RESP_P].put(&rec.resp_p.to_le_bytes())?;
+        c[SSL_VERSION].put(&[encode_tls_version(rec.version)])?;
+        c[SSL_SNI].put(&sni.to_le_bytes())?;
+        c[SSL_ESTABLISHED].put(&[u8::from(rec.established)])?;
+        c[SSL_CHAIN_DAT].put(&chain)?;
+        let chain_end = c[SSL_CHAIN_DAT].bytes;
+        c[SSL_CHAIN_IDX].put(&chain_end.to_le_bytes())?;
+        self.ssl_rows += 1;
+        Ok(())
+    }
+
+    /// Append one `x509.log` row.
+    pub fn append_x509(&mut self, rec: &X509Record) -> ColResult<()> {
+        let fp = self.fp_index(&rec.fingerprint)?;
+        let serial = self.dict.intern(&rec.serial)?;
+        let subject = self.dict.intern(&rec.subject)?;
+        let issuer = self.dict.intern(&rec.issuer)?;
+        let mut san = Vec::with_capacity(rec.san_dns.len() * 4);
+        for name in &rec.san_dns {
+            san.extend_from_slice(&self.dict.intern(name)?.to_le_bytes());
+        }
+        let mut flags = 0u8;
+        if let Some(ca) = rec.basic_constraints_ca {
+            flags |= FLAG_BC_PRESENT;
+            if ca {
+                flags |= FLAG_BC_CA;
+            }
+        }
+        if rec.path_len.is_some() {
+            flags |= FLAG_PATH_LEN;
+        }
+        let c = &mut self.cols;
+        c[X509_TS].put(&rec.ts.unix_secs().to_le_bytes())?;
+        c[X509_FP].put(&fp.to_le_bytes())?;
+        c[X509_VERSION].put(&rec.cert_version.to_le_bytes())?;
+        c[X509_SERIAL].put(&serial.to_le_bytes())?;
+        c[X509_SUBJECT].put(&subject.to_le_bytes())?;
+        c[X509_ISSUER].put(&issuer.to_le_bytes())?;
+        c[X509_NOT_BEFORE].put(&rec.not_before.unix_secs().to_le_bytes())?;
+        c[X509_NOT_AFTER].put(&rec.not_after.unix_secs().to_le_bytes())?;
+        c[X509_FLAGS].put(&[flags])?;
+        c[X509_PATH_LEN].put(&rec.path_len.unwrap_or(0).to_le_bytes())?;
+        c[X509_SAN_DAT].put(&san)?;
+        let san_end = c[X509_SAN_DAT].bytes;
+        c[X509_SAN_IDX].put(&san_end.to_le_bytes())?;
+        self.x509_rows += 1;
+        Ok(())
+    }
+
+    /// Rows appended so far, `(ssl, x509)`.
+    pub fn rows(&self) -> (u64, u64) {
+        (self.ssl_rows, self.x509_rows)
+    }
+
+    /// Flush all columns, write the shared tables, then the manifest.
+    pub fn finish(mut self) -> ColResult<Manifest> {
+        let mut columns = std::collections::BTreeMap::new();
+        for col in &mut self.cols {
+            col.file
+                .flush()
+                .map_err(io_ctx(format!("flushing column {}", col.name)))?;
+            columns.insert(col.name.to_string(), col.bytes);
+        }
+        let (idx, dat) = self.dict.to_files();
+        let mut fps = Vec::with_capacity(self.fp_order.len() * 32);
+        for fp in &self.fp_order {
+            fps.extend_from_slice(&fp.0);
+        }
+        for (name, bytes) in [
+            ("strings.idx", &idx),
+            ("strings.dat", &dat),
+            ("fps.dat", &fps),
+        ] {
+            let path = self.dir.join(name);
+            std::fs::write(&path, bytes).map_err(io_ctx(format!("writing {}", path.display())))?;
+            columns.insert(name.to_string(), bytes.len() as u64);
+        }
+        debug_assert_eq!(columns.len(), COLUMNS.len());
+        let manifest = Manifest {
+            version: VERSION,
+            ssl_rows: self.ssl_rows,
+            x509_rows: self.x509_rows,
+            dict_entries: self.dict.len(),
+            fp_entries: self.fp_order.len() as u64,
+            columns,
+        };
+        manifest.store(&self.dir)?;
+        Ok(manifest)
+    }
+}

@@ -13,7 +13,9 @@ use std::fmt;
 
 /// Crates whose output feeds the byte-identical tables/figures. The
 /// det-unordered-iter rule only applies here.
-pub const DET_CRATES: &[&str] = &["chainlab", "obs", "report", "workload", "netsim"];
+pub const DET_CRATES: &[&str] = &[
+    "chainlab", "colstore", "obs", "report", "workload", "netsim",
+];
 
 /// Crates exempt from det-wallclock: timing is their purpose.
 pub const WALLCLOCK_EXEMPT: &[&str] = &["bench", "vendor/criterion"];
@@ -352,9 +354,22 @@ fn unsafe_needs_safety_comment(info: &FileInfo, lines: &[Line], out: &mut Vec<Fi
         if !has_word(&line.code, "unsafe") {
             continue;
         }
-        // A SAFETY comment on the same line or within the three preceding
-        // lines covers this `unsafe`.
-        let covered = (idx.saturating_sub(3)..=idx).any(|j| lines[j].comment.contains("SAFETY:"));
+        // A SAFETY comment on the same line, or anywhere in the contiguous
+        // block of comment/attribute lines directly above (multi-line
+        // SAFETY comments and interposed `#[cfg(...)]` attributes are
+        // idiomatic), covers this `unsafe`.
+        let mut covered = line.comment.contains("SAFETY:");
+        for j in (0..idx).rev() {
+            if covered {
+                break;
+            }
+            let above = &lines[j];
+            let code = above.code.trim();
+            if !code.is_empty() && !code.starts_with("#[") {
+                break;
+            }
+            covered = above.comment.contains("SAFETY:");
+        }
         if covered {
             continue;
         }
@@ -808,6 +823,25 @@ mod tests {
         assert_eq!(
             rules_of(&got),
             vec![(RuleId::UnsafeNeedsSafetyComment, 2, false)]
+        );
+    }
+
+    #[test]
+    fn multi_line_safety_comment_with_cfg_attribute_covers() {
+        // The SAFETY: token several comment lines up, with a cfg attribute
+        // between the comment block and the `unsafe`, still counts; a code
+        // line breaks the block.
+        let src = "// SAFETY: the mapping is read-only and lives as long as\n\
+                   // the struct, so sharing it across threads is the same\n\
+                   // as sharing a shared slice.\n\
+                   #[cfg(unix)]\n\
+                   unsafe impl Send for M {}\n\
+                   fn gap() {}\n\
+                   unsafe impl Sync for M {}\n";
+        let got = scan("crates/asn1/src/x.rs", src);
+        assert_eq!(
+            rules_of(&got),
+            vec![(RuleId::UnsafeNeedsSafetyComment, 7, false)]
         );
     }
 

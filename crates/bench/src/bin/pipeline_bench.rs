@@ -11,8 +11,8 @@
 //! serialized logs — the path `certchain analyze` runs.
 
 use certchain_chainlab::json::JsonValue;
-use certchain_chainlab::{Analysis, CrossSignRegistry, Pipeline, PipelineOptions};
-use certchain_colstore::{DatasetReader, DatasetWriter, MapMode};
+use certchain_chainlab::{Analysis, CrossSignRegistry, Pipeline, PipelineOptions, RowFilter};
+use certchain_colstore::{DatasetReader, DatasetWriter, MapMode, WriterOptions, VERSION_V1};
 use certchain_netsim::zeek::reader::{read_ssl_log, read_x509_log};
 use certchain_netsim::zeek::tsv::{write_ssl_log, write_x509_log};
 use certchain_netsim::{SimClock, SslLogStream, X509LogStream};
@@ -102,6 +102,22 @@ fn thread_sweep(args: &[String], cores: usize) -> Vec<usize> {
         .into_iter()
         .filter(|&n| n == 1 || n <= cores)
         .collect()
+}
+
+/// Total bytes of the regular files directly inside `dir` (the columnar
+/// store is flat, so no recursion is needed).
+fn dir_size(dir: &std::path::Path) -> u64 {
+    let mut total = 0;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if let Ok(meta) = entry.metadata() {
+                if meta.is_file() {
+                    total += meta.len();
+                }
+            }
+        }
+    }
+    total
 }
 
 fn main() {
@@ -220,14 +236,20 @@ fn main() {
 
     // TSV-vs-columnar single-thread ingest: the same records, once parsed
     // from the serialized Zeek logs and once mapped from the columnar
-    // store, through an identical sequential analysis. This is the number
+    // store (in both the legacy raw-column v1 layout and the segmented v2
+    // one), through an identical sequential analysis. This is the number
     // the columnar store exists for — analyze time with the parse stage
-    // deleted.
-    let store =
-        std::env::temp_dir().join(format!("certchain-pipeline-bench-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&store);
-    {
-        let mut writer = DatasetWriter::create(&store).expect("create bench colstore");
+    // deleted — plus the v2-vs-v1 win from the vectorized segment fold.
+    let build_store = |path: &std::path::Path, version: u64| {
+        let _ = std::fs::remove_dir_all(path);
+        let mut writer = DatasetWriter::create_with(
+            path,
+            WriterOptions {
+                version,
+                ..WriterOptions::default()
+            },
+        )
+        .expect("create bench colstore");
         for rec in X509LogStream::new(&x509_buf[..]) {
             writer
                 .append_x509(&rec.expect("x509 rows round-trip"))
@@ -239,8 +261,23 @@ fn main() {
                 .expect("append ssl row");
         }
         writer.finish().expect("finish bench colstore");
-    }
-    let reader = DatasetReader::open(&store, MapMode::Auto).expect("open bench colstore");
+    };
+    let tmp = std::env::temp_dir();
+    let store_v1 = tmp.join(format!(
+        "certchain-pipeline-bench-v1-{}",
+        std::process::id()
+    ));
+    let store_v2 = tmp.join(format!(
+        "certchain-pipeline-bench-v2-{}",
+        std::process::id()
+    ));
+    build_store(&store_v1, VERSION_V1);
+    build_store(&store_v2, certchain_colstore::VERSION);
+    let v1_bytes = dir_size(&store_v1);
+    let v2_bytes = dir_size(&store_v2);
+    let compression_ratio = v1_bytes as f64 / v2_bytes.max(1) as f64;
+    let reader_v1 = DatasetReader::open(&store_v1, MapMode::Auto).expect("open v1 colstore");
+    let reader_v2 = DatasetReader::open(&store_v2, MapMode::Auto).expect("open v2 colstore");
 
     let tsv_run = || {
         pipeline_with(1)
@@ -250,14 +287,19 @@ fn main() {
             )
             .expect("streams parse cleanly")
     };
-    let col_run = || {
+    let col_v1_run = || {
         pipeline_with(1)
-            .analyze_colstore(&reader)
-            .expect("columnar store reads cleanly")
+            .analyze_colstore(&reader_v1)
+            .expect("v1 columnar store reads cleanly")
+    };
+    let col_v2_run = || {
+        pipeline_with(1)
+            .analyze_colstore(&reader_v2)
+            .expect("v2 columnar store reads cleanly")
     };
     // Peak heap from a dedicated run each, then best-of-three timing.
     let (_, tsv_ingest_peak) = peak_during(tsv_run);
-    let (_, col_ingest_peak) = peak_during(col_run);
+    let (_, col_ingest_peak) = peak_during(col_v2_run);
     let best_of = |f: &dyn Fn() -> Analysis| {
         let mut best = f64::INFINITY;
         for _ in 0..3 {
@@ -268,26 +310,82 @@ fn main() {
         best
     };
     let tsv_secs = best_of(&tsv_run);
-    let col_secs = best_of(&col_run);
+    let col_v1_secs = best_of(&col_v1_run);
+    let col_secs = best_of(&col_v2_run);
     let ingest_speedup = tsv_secs / col_secs;
+    let v2_vs_v1 = col_v1_secs / col_secs;
     eprintln!(
-        "ingest (1 thread): tsv {:.1}ms ({:.0} conns/s), columnar {:.1}ms ({:.0} conns/s), {:.2}x",
+        "ingest (1 thread): tsv {:.1}ms, columnar v1 {:.1}ms, v2 {:.1}ms ({:.0} conns/s) \
+         — {:.2}x vs tsv, {:.2}x vs v1, {:.2}x smaller on disk",
         tsv_secs * 1e3,
-        conns / tsv_secs,
+        col_v1_secs * 1e3,
         col_secs * 1e3,
         conns / col_secs,
         ingest_speedup,
+        v2_vs_v1,
+        compression_ratio,
     );
-    let _ = std::fs::remove_dir_all(&store);
+
+    // Zone-map effectiveness: analyze the v2 store filtered to its rarest
+    // SNI (deterministic pick: lowest count, then lexicographically
+    // smallest) and report what fraction of row bands the fold skipped.
+    let mut sni_freq: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for rec in &trace.ssl_records {
+        if let Some(sni) = &rec.server_name {
+            *sni_freq.entry(sni.as_str()).or_default() += 1;
+        }
+    }
+    let rare_sni = sni_freq
+        .iter()
+        .min_by_key(|(name, n)| (**n, **name))
+        .map(|(name, _)| (*name).to_string());
+    let (segments_read, segments_skipped) = {
+        let registry = Arc::new(Registry::new());
+        let pipeline = Pipeline::with_options(
+            &trace.eco.trust,
+            &trace.ct_index,
+            CrossSignRegistry::from_disclosures(&trace.cross_sign_disclosures),
+            PipelineOptions {
+                threads: 1,
+                filter: RowFilter {
+                    port: None,
+                    sni: rare_sni,
+                },
+                ..PipelineOptions::default()
+            },
+        )
+        .with_metrics(Arc::clone(&registry));
+        pipeline
+            .analyze_colstore(&reader_v2)
+            .expect("filtered v2 analysis reads cleanly");
+        let snap = registry.snapshot();
+        let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        (
+            counter("colstore.segments_read"),
+            counter("colstore.segments_skipped"),
+        )
+    };
+    let segments_skipped_pct =
+        100.0 * segments_skipped as f64 / (segments_read + segments_skipped).max(1) as f64;
+    eprintln!(
+        "zone maps (rare-SNI filter): {segments_skipped}/{} segments skipped ({segments_skipped_pct:.1}%)",
+        segments_read + segments_skipped,
+    );
+    let _ = std::fs::remove_dir_all(&store_v1);
+    let _ = std::fs::remove_dir_all(&store_v2);
 
     let note = if cores == 1 {
-        "single-core host: the default sweep is capped at available_parallelism, \
-         so only the threads=1 row is measured here (oversubscribed multi-thread \
-         rows would only record scheduler noise; pass --threads 1,2,4,8 to force \
-         them). Run CERTCHAIN_PROFILE=large on a multi-core host to observe \
-         scaling."
+        format!(
+            "observed {cores} core on this host: the default sweep is capped at \
+             available_parallelism, so only the threads=1 row is measured here \
+             (oversubscribed multi-thread rows would only record scheduler noise; \
+             pass --threads 1,2,4,8 to force them). Run CERTCHAIN_PROFILE=large \
+             on a multi-core host to observe scaling."
+        )
     } else {
-        "speedup measured against the single-thread run on this host"
+        format!(
+            "observed {cores} cores; speedup measured against the single-thread run on this host"
+        )
     };
 
     let doc = JsonValue::Obj(vec![
@@ -319,6 +417,10 @@ fn main() {
                     "tsv_peak_bytes".into(),
                     JsonValue::Num(tsv_ingest_peak as f64),
                 ),
+                (
+                    "columnar_v1_wall_ms".into(),
+                    JsonValue::Num(col_v1_secs * 1e3),
+                ),
                 ("columnar_wall_ms".into(), JsonValue::Num(col_secs * 1e3)),
                 (
                     "columnar_conns_per_sec".into(),
@@ -329,9 +431,18 @@ fn main() {
                     JsonValue::Num(col_ingest_peak as f64),
                 ),
                 ("speedup".into(), JsonValue::Num(ingest_speedup)),
+                ("speedup_v2_vs_v1".into(), JsonValue::Num(v2_vs_v1)),
+                (
+                    "compression_ratio".into(),
+                    JsonValue::Num(compression_ratio),
+                ),
+                (
+                    "segments_skipped_pct".into(),
+                    JsonValue::Num(segments_skipped_pct),
+                ),
             ]),
         ),
-        ("note".into(), JsonValue::Str(note.into())),
+        ("note".into(), JsonValue::Str(note)),
     ]);
     std::fs::write("BENCH_pipeline.json", doc.to_pretty()).expect("write BENCH_pipeline.json");
     eprintln!("wrote BENCH_pipeline.json");

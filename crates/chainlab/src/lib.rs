@@ -51,5 +51,7 @@ pub use hybrid::{HybridCategory, NoPathCategory};
 pub use lint::{lint_chain, Finding, Severity};
 pub use matchpath::{MatchedRun, PathReport, PathVerdict};
 pub use model::{CertRecord, ChainKey};
-pub use pipeline::{Analysis, ChainAnalysis, ChainCategoryLabel, Pipeline, PipelineOptions};
+pub use pipeline::{
+    Analysis, ChainAnalysis, ChainCategoryLabel, Pipeline, PipelineOptions, RowFilter,
+};
 pub use summary::AnalysisSummary;

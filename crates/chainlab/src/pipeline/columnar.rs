@@ -14,28 +14,63 @@
 //! order) is bit-identical to the sequential fold. The batch path's
 //! fractional per-record weights are exactly why *it* cannot shard by
 //! range and the columnar path can.
+//!
+//! Both store versions are served. A v1 store folds row by row off the
+//! zero-copy [`SslColumns`] view. A v2 store runs the vectorized fold:
+//! workers claim whole *segments*, consult each segment's zone map to
+//! skip row bands that cannot match the active [`super::RowFilter`]
+//! (filter predicates are resolved to dictionary codes once, so the
+//! per-row test is two integer compares), decode only the five columns
+//! the fold touches into reused scratch buffers, and key the per-chain
+//! accumulators by fingerprint-*code* sequences — fingerprints and SNI
+//! strings are resolved once per distinct chain at the end, not once per
+//! row. Zone-map skip decisions are per-segment properties of the data,
+//! so they are identical for every thread count, which keeps the
+//! `colstore.segments_*` metrics deterministic.
 
 use super::categorize::{self, Prepared};
 use super::enrich::CertIndex;
 use super::ingest::{ChainAccum, IngestCounts};
-use super::{resolve_threads, Analysis, Pipeline};
+use super::{resolve_threads, Analysis, Pipeline, RowFilter};
 use crate::model::{CertRecord, ChainKey};
-use certchain_colstore::{ColError, ColResult, DatasetReader, SslColumns, X509Columns};
-use std::collections::HashMap;
+use crate::usage::UsageStats;
+use certchain_colstore::{
+    ColError, ColResult, DatasetReader, SslColumns, SslSegments, X509Columns, X509Segments,
+    NONE_IDX, VERSION_V1,
+};
+use std::collections::{BTreeSet, HashMap};
+use std::net::Ipv4Addr;
 
 impl Pipeline<'_> {
-    /// Run the full analysis over an open columnar store. For a store
-    /// converted from (or generated alongside) a TSV dataset, the result
-    /// is byte-identical to [`Pipeline::analyze_stream`] over the Zeek
-    /// readers, for every thread count.
+    /// Run the full analysis over an open columnar store (either format
+    /// version). For a store converted from (or generated alongside) a
+    /// TSV dataset, the result is byte-identical to
+    /// [`Pipeline::analyze_stream`] over the Zeek readers, for every
+    /// thread count and for either store version.
     ///
     /// The first corrupt-data error aborts the analysis and is returned
     /// as-is (truncation is already caught by [`DatasetReader::open`]).
     pub fn analyze_colstore(&self, reader: &DatasetReader) -> Result<Analysis, ColError> {
         let threads = resolve_threads(self.options.threads);
+        self.obs.set("colstore.bytes_mapped", reader.bytes_mapped());
+        let filter = ColFilter::resolve(reader, &self.options.filter)?;
+        if reader.format_version() == VERSION_V1 {
+            self.analyze_colstore_v1(reader, &filter, threads)
+        } else {
+            self.analyze_colstore_v2(reader, &filter, threads)
+        }
+    }
+
+    /// The v1 path: per-row fold off the zero-copy column views.
+    fn analyze_colstore_v1(
+        &self,
+        reader: &DatasetReader,
+        filter: &ColFilter,
+        threads: usize,
+    ) -> Result<Analysis, ColError> {
+        // v1 has no zone maps: every row is scanned even under a filter.
         self.obs
             .add("colstore.rows_read", reader.ssl_rows() + reader.x509_rows());
-        self.obs.set("colstore.bytes_mapped", reader.bytes_mapped());
         let (cert_index, unparseable) = {
             let _span = self.obs.stage("enrich");
             enrich_columns(&reader.x509()?)?
@@ -43,16 +78,124 @@ impl Pipeline<'_> {
         self.record_enrich(reader.x509_rows(), unparseable, cert_index.len());
         let (prepared, counts) = {
             let _span = self.obs.stage("ingest");
-            ingest_columns(self, &reader.ssl()?, &cert_index, threads)?
+            ingest_columns(self, &reader.ssl()?, filter, &cert_index, threads)?
         };
+        Ok(self.finish(prepared, counts, threads))
+    }
+
+    /// The v2 path: segment-at-a-time decode, zone-map skipping, and the
+    /// code-keyed vectorized fold.
+    fn analyze_colstore_v2(
+        &self,
+        reader: &DatasetReader,
+        filter: &ColFilter,
+        threads: usize,
+    ) -> Result<Analysis, ColError> {
+        let x509 = reader.x509_segments()?;
+        let (cert_index, unparseable, x509_tally) = {
+            let _span = self.obs.stage("enrich");
+            enrich_segments(&x509)?
+        };
+        self.record_enrich(reader.x509_rows(), unparseable, cert_index.len());
+        let ssl = reader.ssl_segments()?;
+        let (prepared, counts, ssl_tally) = {
+            let _span = self.obs.stage("ingest");
+            ingest_segments(self, &ssl, filter, &cert_index, threads)?
+        };
+        // Scan accounting. Skip decisions are per-segment data
+        // properties, so every value here is thread-count-invariant;
+        // `rows_read` counts rows actually decoded (== the table totals
+        // when no filter is active, since nothing is skipped then).
+        let tally = x509_tally.plus(ssl_tally);
+        self.obs.add("colstore.rows_read", tally.rows);
+        self.obs.add("colstore.segments_read", tally.read);
+        self.obs.add("colstore.segments_skipped", tally.skipped);
+        self.obs.add("colstore.bytes_decoded", tally.bytes);
         Ok(self.finish(prepared, counts, threads))
     }
 }
 
-/// Enrich off the x509 columns: first occurrence of a fingerprint wins,
-/// and a duplicate is skipped on the 4-byte fingerprint index alone —
-/// the row's strings are never resolved. Returns the interned index and
-/// the unparseable-row tally.
+/// A [`RowFilter`] resolved against one store's dictionary, so the
+/// per-row test compares integers, never strings.
+struct ColFilter {
+    port: Option<u16>,
+    /// `None` — no SNI predicate. `Some(None)` — the predicate string is
+    /// not in the store's dictionary, so no row can match. `Some(Some(c))`
+    /// — match rows whose SNI dictionary code is exactly `c`.
+    sni: Option<Option<u32>>,
+}
+
+impl ColFilter {
+    fn resolve(reader: &DatasetReader, filter: &RowFilter) -> ColResult<ColFilter> {
+        let sni = match &filter.sni {
+            Some(s) => Some(reader.dict_lookup(s)?),
+            None => None,
+        };
+        Ok(ColFilter {
+            port: filter.port,
+            sni,
+        })
+    }
+
+    /// The per-row test, on raw column values.
+    fn admits(&self, resp_p: u16, sni_code: u32) -> bool {
+        if let Some(p) = self.port {
+            if resp_p != p {
+                return false;
+            }
+        }
+        match self.sni {
+            None => true,
+            Some(None) => false,
+            Some(Some(code)) => sni_code == code,
+        }
+    }
+
+    /// Whether any row of an ssl segment could pass, judged from zone
+    /// maps alone. Conservative in exactly one direction: `true` may be
+    /// wrong (rows are then tested individually), `false` never is.
+    fn may_match_segment(&self, ssl: &SslSegments<'_>, seg: usize) -> bool {
+        if let Some(p) = self.port {
+            if !ssl.resp_p.meta(seg).zone.contains(u64::from(p)) {
+                return false;
+            }
+        }
+        match self.sni {
+            None => true,
+            Some(None) => false,
+            Some(Some(code)) => ssl.sni.meta(seg).zone.may_contain_code(code),
+        }
+    }
+}
+
+/// Deterministic scan accounting for one segmented analysis.
+#[derive(Debug, Default, Clone, Copy)]
+struct SegTally {
+    /// Segments whose columns were decoded.
+    read: u64,
+    /// Segments skipped entirely via zone maps.
+    skipped: u64,
+    /// Rows in the decoded segments.
+    rows: u64,
+    /// Encoded payload bytes decoded.
+    bytes: u64,
+}
+
+impl SegTally {
+    fn plus(self, other: SegTally) -> SegTally {
+        SegTally {
+            read: self.read + other.read,
+            skipped: self.skipped + other.skipped,
+            rows: self.rows + other.rows,
+            bytes: self.bytes + other.bytes,
+        }
+    }
+}
+
+/// Enrich off the **v1** x509 columns: first occurrence of a fingerprint
+/// wins, and a duplicate is skipped on the 4-byte fingerprint index
+/// alone — the row's strings are never resolved. Returns the interned
+/// index and the unparseable-row tally.
 fn enrich_columns(cols: &X509Columns<'_>) -> ColResult<(CertIndex, u64)> {
     let mut cert_index: CertIndex = HashMap::new();
     let mut unparseable = 0u64;
@@ -72,18 +215,125 @@ fn enrich_columns(cols: &X509Columns<'_>) -> ColResult<(CertIndex, u64)> {
     Ok((cert_index, unparseable))
 }
 
-/// Fold rows `lo..hi` into per-chain accumulators. This is the one body
-/// both the sequential and the range-sharded parallel path run.
+/// Enrich off the **v2** x509 segments: decode a segment's columns once,
+/// then intern each row whose fingerprint *code* is unseen. An interned
+/// code is tracked in a plain bitmap, so duplicate rows — the common
+/// case, since every reappearance of a certificate logs a row — cost one
+/// vector load and no string resolution. A row that fails to parse is
+/// *not* marked seen, so a later duplicate retries it, matching the v1
+/// and streaming enrich semantics exactly.
+fn enrich_segments(cols: &X509Segments<'_>) -> ColResult<(CertIndex, u64, SegTally)> {
+    let mut cert_index: CertIndex = HashMap::new();
+    let mut unparseable = 0u64;
+    let mut tally = SegTally::default();
+    let mut interned = vec![false; cols.fps.len() / 32];
+    let (mut ts, mut fp, mut version) = (Vec::new(), Vec::new(), Vec::new());
+    let (mut serial, mut subject, mut issuer) = (Vec::new(), Vec::new(), Vec::new());
+    let (mut not_before, mut not_after) = (Vec::new(), Vec::new());
+    let (mut flags, mut path_len, mut san_idx) = (Vec::new(), Vec::new(), Vec::new());
+    for seg in 0..cols.segment_count() {
+        let columns = [
+            (&cols.ts, &mut ts),
+            (&cols.fp, &mut fp),
+            (&cols.version, &mut version),
+            (&cols.serial, &mut serial),
+            (&cols.subject, &mut subject),
+            (&cols.issuer, &mut issuer),
+            (&cols.not_before, &mut not_before),
+            (&cols.not_after, &mut not_after),
+            (&cols.flags, &mut flags),
+            (&cols.path_len, &mut path_len),
+            (&cols.san_idx, &mut san_idx),
+        ];
+        for (col, buf) in columns {
+            col.decode_into(seg, buf)?;
+            tally.bytes += col.meta(seg).bytes;
+        }
+        let (row_start, rows) = cols.ts.row_range(seg);
+        tally.read += 1;
+        tally.rows += rows;
+        let san_base = cols.san_start(seg);
+        for i in 0..rows as usize {
+            let row = row_start + i as u64;
+            let code = fp[i] as u32;
+            let slot = interned.get_mut(code as usize).ok_or_else(|| {
+                ColError::Corrupt(format!(
+                    "x509.fp row {row}: fingerprint index {code} out of range"
+                ))
+            })?;
+            if *slot {
+                continue;
+            }
+            let san_from = if i == 0 { san_base } else { san_idx[i - 1] };
+            let san_codes = var_codes(cols.san_dat, san_from, san_idx[i], "x509.san", row)?;
+            let mut san_dns = Vec::with_capacity(san_codes.len() / 4);
+            for entry in san_codes.chunks_exact(4) {
+                let c = u32::from_le_bytes(entry.try_into().expect("4-byte slice"));
+                san_dns.push(cols.dict.get(c)?.to_string());
+            }
+            let fl = flags[i] as u8;
+            let rec = certchain_netsim::X509Record {
+                ts: certchain_asn1::Asn1Time::from_unix(ts[i]),
+                fingerprint: cols.fp(code)?,
+                cert_version: version[i],
+                serial: cols.dict.get(serial[i] as u32)?.to_string(),
+                subject: cols.dict.get(subject[i] as u32)?.to_string(),
+                issuer: cols.dict.get(issuer[i] as u32)?.to_string(),
+                not_before: certchain_asn1::Asn1Time::from_unix(not_before[i]),
+                not_after: certchain_asn1::Asn1Time::from_unix(not_after[i]),
+                basic_constraints_ca: (fl & certchain_colstore::write::FLAG_BC_PRESENT != 0)
+                    .then_some(fl & certchain_colstore::write::FLAG_BC_CA != 0),
+                path_len: (fl & certchain_colstore::write::FLAG_PATH_LEN != 0).then(|| path_len[i]),
+                san_dns,
+            };
+            match CertRecord::from_record(&rec) {
+                Some(cert) => {
+                    cert_index.insert(rec.fingerprint, std::sync::Arc::new(cert));
+                    *slot = true;
+                }
+                None => unparseable += 1,
+            }
+        }
+    }
+    Ok((cert_index, unparseable, tally))
+}
+
+/// Bounds-check a decoded var-length `start..end` offset pair and return
+/// the slice; also enforces whole-number-of-u32-entries.
+fn var_codes<'a>(dat: &'a [u8], start: u64, end: u64, what: &str, row: u64) -> ColResult<&'a [u8]> {
+    if start > end || end > dat.len() as u64 {
+        return Err(ColError::Corrupt(format!(
+            "{what} row {row}: offsets {start}..{end} out of bounds (data length {})",
+            dat.len()
+        )));
+    }
+    let bytes = &dat[start as usize..end as usize];
+    if bytes.len() % 4 != 0 {
+        return Err(ColError::Corrupt(format!(
+            "{what} row {row}: {} bytes is not a whole number of entries",
+            bytes.len()
+        )));
+    }
+    Ok(bytes)
+}
+
+/// Fold rows `lo..hi` of a **v1** table into per-chain accumulators.
+/// This is the one body both the sequential and the range-sharded
+/// parallel v1 path run.
 fn fold_range(
     cols: &SslColumns<'_>,
     lo: u64,
     hi: u64,
+    filter: &ColFilter,
     cert_index: &CertIndex,
 ) -> ColResult<(HashMap<ChainKey, ChainAccum>, IngestCounts)> {
     let mut accums: HashMap<ChainKey, ChainAccum> = HashMap::new();
     let mut counts = IngestCounts::default();
     let mut fps = Vec::new();
     for row in lo..hi {
+        if !filter.admits(cols.resp_p(row), cols.sni_code(row)) {
+            continue;
+        }
         counts.records += 1;
         cols.chain_fps_into(row, &mut fps)?;
         if fps.is_empty() {
@@ -117,17 +367,18 @@ fn fold_range(
     Ok((accums, counts))
 }
 
-/// Ingest the ssl table: contiguous row ranges per worker, partials
+/// Ingest a **v1** ssl table: contiguous row ranges per worker, partials
 /// merged in worker-index order, then one classification pass.
 fn ingest_columns(
     pipe: &Pipeline<'_>,
     cols: &SslColumns<'_>,
+    filter: &ColFilter,
     cert_index: &CertIndex,
     threads: usize,
 ) -> ColResult<(Vec<Prepared>, IngestCounts)> {
     let rows = cols.rows;
     let (accums, counts) = if threads <= 1 || rows < 2 {
-        fold_range(cols, 0, rows, cert_index)?
+        fold_range(cols, 0, rows, filter, cert_index)?
     } else {
         let per = rows.div_ceil(threads as u64);
         let parts: Vec<ColResult<_>> = std::thread::scope(|scope| {
@@ -135,7 +386,7 @@ fn ingest_columns(
                 .map(|w| {
                     let lo = (w * per).min(rows);
                     let hi = ((w + 1) * per).min(rows);
-                    scope.spawn(move || fold_range(cols, lo, hi, cert_index))
+                    scope.spawn(move || fold_range(cols, lo, hi, filter, cert_index))
                 })
                 .collect();
             handles
@@ -164,4 +415,192 @@ fn ingest_columns(
     };
     pipe.obs.finish_progress(counts.records);
     Ok((categorize::prepare(pipe, accums, cert_index), counts))
+}
+
+/// Per-chain accumulator keyed by fingerprint-*code* sequence. Identical
+/// aggregates to [`ChainAccum`], but nothing is resolved to strings or
+/// 32-byte fingerprints during the fold — codes are rekeyed once per
+/// distinct chain afterwards.
+#[derive(Default)]
+struct CodeAccum {
+    usage: UsageStats,
+    sni_codes: BTreeSet<u32>,
+}
+
+impl CodeAccum {
+    /// Commutative merge, same argument as [`ChainAccum::merge`].
+    fn merge(&mut self, other: CodeAccum) {
+        self.usage.merge(&other.usage);
+        self.sni_codes.extend(other.sni_codes);
+    }
+}
+
+/// Fold segments `seg_lo..seg_hi` of a **v2** ssl table. Zone maps veto
+/// whole segments first; surviving segments decode only the five columns
+/// the fold touches, into scratch buffers reused across segments.
+fn fold_segments(
+    ssl: &SslSegments<'_>,
+    seg_lo: usize,
+    seg_hi: usize,
+    filter: &ColFilter,
+    resolvable: &[bool],
+) -> ColResult<(HashMap<Vec<u32>, CodeAccum>, IngestCounts, SegTally)> {
+    let mut accums: HashMap<Vec<u32>, CodeAccum> = HashMap::new();
+    let mut counts = IngestCounts::default();
+    let mut tally = SegTally::default();
+    let (mut resp_p, mut established) = (Vec::new(), Vec::new());
+    let (mut sni, mut orig_h, mut chain_idx) = (Vec::new(), Vec::new(), Vec::new());
+    let mut codes: Vec<u32> = Vec::new();
+    for seg in seg_lo..seg_hi {
+        if !filter.may_match_segment(ssl, seg) {
+            tally.skipped += 1;
+            continue;
+        }
+        let columns = [
+            (&ssl.resp_p, &mut resp_p),
+            (&ssl.established, &mut established),
+            (&ssl.sni, &mut sni),
+            (&ssl.orig_h, &mut orig_h),
+            (&ssl.chain_idx, &mut chain_idx),
+        ];
+        for (col, buf) in columns {
+            col.decode_into(seg, buf)?;
+            tally.bytes += col.meta(seg).bytes;
+        }
+        let (row_start, rows) = ssl.ts.row_range(seg);
+        tally.read += 1;
+        tally.rows += rows;
+        let chain_base = ssl.chain_start(seg);
+        for i in 0..rows as usize {
+            let sni_code = sni[i] as u32;
+            if !filter.admits(resp_p[i] as u16, sni_code) {
+                continue;
+            }
+            counts.records += 1;
+            let row = row_start + i as u64;
+            let from = if i == 0 { chain_base } else { chain_idx[i - 1] };
+            let chain_bytes = var_codes(ssl.chain_dat, from, chain_idx[i], "ssl.chain", row)?;
+            if chain_bytes.is_empty() {
+                counts.no_chain += 1;
+                continue;
+            }
+            codes.clear();
+            let mut all_resolvable = true;
+            for entry in chain_bytes.chunks_exact(4) {
+                let code = u32::from_le_bytes(entry.try_into().expect("4-byte slice"));
+                match resolvable.get(code as usize) {
+                    Some(ok) => all_resolvable &= ok,
+                    None => {
+                        return Err(ColError::Corrupt(format!(
+                            "ssl.chain row {row}: fingerprint index {code} out of range"
+                        )))
+                    }
+                }
+                codes.push(code);
+            }
+            if !all_resolvable {
+                counts.unresolvable += 1;
+                continue;
+            }
+            if !accums.contains_key(codes.as_slice()) {
+                accums.insert(codes.clone(), CodeAccum::default());
+            }
+            let entry = accums
+                .get_mut(codes.as_slice())
+                .expect("present or just inserted");
+            entry.usage.add(
+                established[i] != 0,
+                sni_code != NONE_IDX,
+                resp_p[i] as u16,
+                Ipv4Addr::from(orig_h[i] as u32),
+                1.0,
+            );
+            if sni_code != NONE_IDX {
+                entry.sni_codes.insert(sni_code);
+            }
+        }
+    }
+    Ok((accums, counts, tally))
+}
+
+/// Ingest a **v2** ssl table: contiguous *segment* ranges per worker,
+/// partials merged in worker-index order, code keys resolved once per
+/// distinct chain, then one classification pass.
+fn ingest_segments(
+    pipe: &Pipeline<'_>,
+    ssl: &SslSegments<'_>,
+    filter: &ColFilter,
+    cert_index: &CertIndex,
+    threads: usize,
+) -> ColResult<(Vec<Prepared>, IngestCounts, SegTally)> {
+    // Resolvability of every fingerprint code, precomputed once: the
+    // per-row test becomes a vector load instead of a hash probe.
+    let mut resolvable = vec![false; ssl.fp_count()];
+    for (code, slot) in resolvable.iter_mut().enumerate() {
+        *slot = cert_index.contains_key(&ssl.fp(code as u32)?);
+    }
+    let segs = ssl.segment_count();
+    let (code_accums, counts, tally) = if threads <= 1 || segs < 2 {
+        fold_segments(ssl, 0, segs, filter, &resolvable)?
+    } else {
+        let per = segs.div_ceil(threads);
+        let resolvable = &resolvable;
+        let parts: Vec<ColResult<_>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let lo = (w * per).min(segs);
+                    let hi = ((w + 1) * per).min(segs);
+                    scope.spawn(move || fold_segments(ssl, lo, hi, filter, resolvable))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("segmented ingest worker panicked"))
+                .collect()
+        });
+        let mut merged: HashMap<Vec<u32>, CodeAccum> = HashMap::new();
+        let mut counts = IngestCounts::default();
+        let mut tally = SegTally::default();
+        for part in parts {
+            let (accums, c, t) = part?;
+            counts.records += c.records;
+            counts.no_chain += c.no_chain;
+            counts.unresolvable += c.unresolvable;
+            tally = tally.plus(t);
+            // srclint: commutative -- per-chain merge into a keyed map; CodeAccum::merge is commutative at unit weight, so worker-map iteration order is invisible
+            for (key, accum) in accums {
+                match merged.get_mut(&key) {
+                    Some(existing) => existing.merge(accum),
+                    None => {
+                        merged.insert(key, accum);
+                    }
+                }
+            }
+        }
+        (merged, counts, tally)
+    };
+    // Rekey code sequences to fingerprint chains and SNI codes to
+    // strings — once per distinct chain, the only string work in the
+    // whole v2 ingest.
+    let mut accums: HashMap<ChainKey, ChainAccum> = HashMap::new();
+    // srclint: commutative -- map-to-map rekeying; the code->fingerprint mapping is injective, so each source entry lands in a distinct key and iteration order is invisible
+    for (code_key, code_accum) in code_accums {
+        let mut fps = Vec::with_capacity(code_key.len());
+        for code in &code_key {
+            fps.push(ssl.fp(*code)?);
+        }
+        let mut snis = BTreeSet::new();
+        for code in &code_accum.sni_codes {
+            snis.insert(ssl.dict.get(*code)?.to_string());
+        }
+        accums.insert(
+            ChainKey(fps),
+            ChainAccum {
+                usage: code_accum.usage,
+                snis,
+            },
+        );
+    }
+    pipe.obs.finish_progress(counts.records);
+    Ok((categorize::prepare(pipe, accums, cert_index), counts, tally))
 }

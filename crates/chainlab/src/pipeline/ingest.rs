@@ -137,11 +137,21 @@ where
     let mut accums: HashMap<ChainKey, ChainAccum> = HashMap::new();
     let mut counts = IngestCounts::default();
     for (item, weight) in records {
+        let rec = item.borrow();
+        // The filter runs before any accounting: rejected records are
+        // invisible, which is what makes whole-segment zone-map skipping
+        // in the columnar path equivalent to this per-record test.
+        if !pipe
+            .options
+            .filter
+            .admits(rec.resp_p, rec.server_name.as_deref())
+        {
+            continue;
+        }
         counts.records += 1;
         if counts.records % CHUNK as u64 == 0 {
             pipe.obs.tick(counts.records, 0, &[]);
         }
-        let rec = item.borrow();
         if rec.cert_chain_fps.is_empty() {
             counts.no_chain += 1;
             continue;
@@ -221,6 +231,18 @@ where
             let mut saw_any = false;
             for (item, weight) in records.by_ref().take(CHUNK) {
                 saw_any = true;
+                {
+                    // Same invisibility rule as the sequential reference:
+                    // reject before any counter moves.
+                    let rec = item.borrow();
+                    if !pipe
+                        .options
+                        .filter
+                        .admits(rec.resp_p, rec.server_name.as_deref())
+                    {
+                        continue;
+                    }
+                }
                 counts.records += 1;
                 if item.borrow().cert_chain_fps.is_empty() {
                     counts.no_chain += 1;

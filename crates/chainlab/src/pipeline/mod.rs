@@ -101,6 +101,42 @@ pub struct Analysis {
     pub interception_entities: BTreeSet<String>,
 }
 
+/// A row-level predicate applied before any connection enters the
+/// analysis. Filtered-out records are completely invisible: they are not
+/// counted in `pipeline.ssl_records`, the no-chain tally, or the
+/// unresolvable tally. That strong semantics is what lets the segmented
+/// columnar path drop whole row bands via zone maps — skipping a segment
+/// none of whose rows can match is then *exactly* equivalent to testing
+/// every row, so filtered reports stay byte-identical across the TSV,
+/// v1-columnar, and v2-columnar paths at every thread count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RowFilter {
+    /// Keep only connections to this responder port.
+    pub port: Option<u16>,
+    /// Keep only connections that sent exactly this SNI.
+    pub sni: Option<String>,
+}
+
+impl RowFilter {
+    /// Whether the filter admits every record (the default).
+    pub fn is_empty(&self) -> bool {
+        self.port.is_none() && self.sni.is_none()
+    }
+
+    /// Whether a record with this responder port and SNI passes.
+    pub fn admits(&self, resp_p: u16, sni: Option<&str>) -> bool {
+        if let Some(p) = self.port {
+            if resp_p != p {
+                return false;
+            }
+        }
+        match &self.sni {
+            Some(want) => sni == Some(want.as_str()),
+            None => true,
+        }
+    }
+}
+
 /// Tunable analysis options — the ablation knobs DESIGN.md calls out.
 #[derive(Debug, Clone)]
 pub struct PipelineOptions {
@@ -120,6 +156,9 @@ pub struct PipelineOptions {
     /// chain's connections are folded in global record order), and
     /// per-chain results merge in `ChainKey` order.
     pub threads: usize,
+    /// Connection predicate; the default admits everything. See
+    /// [`RowFilter`] for the filtered-rows-are-invisible semantics.
+    pub filter: RowFilter,
 }
 
 impl Default for PipelineOptions {
@@ -128,6 +167,7 @@ impl Default for PipelineOptions {
             honor_cross_signing: true,
             confirmation_min_domains: 2,
             threads: 0,
+            filter: RowFilter::default(),
         }
     }
 }

@@ -4,8 +4,8 @@
 use crate::dataset::DatasetFormat;
 use crate::dataset::{colstore_dir, detect_format, load_crosssign, load_ct_index, load_trust};
 use crate::{io_ctx, CliError, CliResult};
-use certchain_chainlab::PipelineOptions;
 use certchain_chainlab::{Analysis, ChainCategoryLabel, CrossSignRegistry, Pipeline};
+use certchain_chainlab::{PipelineOptions, RowFilter};
 use certchain_colstore::{DatasetReader, MapMode};
 use certchain_netsim::{SslLogStream, StreamStats, X509LogStream};
 use certchain_obs::{Progress, Registry};
@@ -31,6 +31,23 @@ pub struct AnalyzeOptions {
     /// The report tables and JSON are byte-identical either way; only
     /// the human report's loss-accounting line reflects the source.
     pub format: Option<DatasetFormat>,
+    /// Keep only connections to this responder port. Filtered-out rows
+    /// are invisible to the whole analysis; on a v2 columnar store the
+    /// filter also skips whole segments via zone maps. The report is
+    /// byte-identical across formats and thread counts either way.
+    pub filter_port: Option<u16>,
+    /// Keep only connections that sent exactly this SNI.
+    pub filter_sni: Option<String>,
+}
+
+impl AnalyzeOptions {
+    /// The pipeline-level row predicate these options describe.
+    fn row_filter(&self) -> RowFilter {
+        RowFilter {
+            port: self.filter_port,
+            sni: self.filter_sni.clone(),
+        }
+    }
 }
 
 /// Input-side loss accounting, per source format. The TSV path tallies
@@ -186,6 +203,7 @@ fn run_observed(
     let crosssign = CrossSignRegistry::from_disclosures(&load_crosssign(dir)?);
     let options = PipelineOptions {
         threads: opts.threads,
+        filter: opts.row_filter(),
         ..PipelineOptions::default()
     };
     let mut pipeline =
@@ -225,6 +243,7 @@ fn run_observed_colstore(
     let crosssign = CrossSignRegistry::from_disclosures(&load_crosssign(dir)?);
     let options = PipelineOptions {
         threads: opts.threads,
+        filter: opts.row_filter(),
         ..PipelineOptions::default()
     };
     let mut pipeline =

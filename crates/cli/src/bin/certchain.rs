@@ -3,14 +3,17 @@
 //! ```text
 //! certchain generate --out <dir> [--profile quick|default] [--seed N] [--threads N]
 //!                    [--format tsv|columnar] [--progress] [--metrics-json <path>]
-//! certchain convert  --dir <dir> [--metrics-json <path>]
+//! certchain convert  --dir <dir> [--force] [--store-version N] [--segment-rows N]
+//!                    [--metrics-json <path>]
+//! certchain compact  --dir <dir> [--segment-rows N] [--metrics-json <path>]
 //! certchain analyze  --dir <dir> [--threads N] [--json] [--format tsv|columnar]
+//!                    [--filter-port N] [--filter-sni <name>]
 //!                    [--progress] [--metrics-json <path>] [-v]
 //! certchain validate <chain.pem> [--dir <dataset dir with trust/>]
 //! ```
 
 use certchain_cli::dataset::DatasetFormat;
-use certchain_cli::{analyze, convert, generate, validate, CliResult};
+use certchain_cli::{analyze, compact, convert, generate, validate, CliResult};
 use certchain_workload::CampusProfile;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,10 +27,19 @@ USAGE:
       Generate a synthetic campus dataset (logs + trust PEMs + CT corpus).
       --format columnar writes the mmap-backed columnar store instead of
       Zeek TSV logs; analyzing either yields byte-identical reports.
-  certchain convert --dir <dir> [--metrics-json <path>]
+  certchain convert --dir <dir> [--force] [--store-version 1|2]
+                    [--segment-rows N] [--metrics-json <path>]
       Re-encode <dir>/ssl.log + <dir>/x509.log as <dir>/colstore/, the
-      columnar store `analyze` then reads without a parse stage.
+      columnar store `analyze` then reads without a parse stage. Refuses
+      to overwrite an existing store unless --force is given.
+      --store-version 1 writes the legacy raw-column layout;
+      --segment-rows tunes the v2 row-band size.
+  certchain compact --dir <dir> [--segment-rows N] [--metrics-json <path>]
+      Rewrite <dir>/colstore/ in the current segmented (v2) format —
+      the live-migration path for v1 stores. The original store is
+      replaced only after the new one is complete.
   certchain analyze --dir <dir> [--json] [--threads N] [--format tsv|columnar]
+                    [--filter-port N] [--filter-sni <name>]
                     [--progress] [--metrics-json <path>] [-v|--verbose]
       Analyze the dataset logs against <dir>/trust and <dir>/ct; --json
       emits the machine-readable summary. The columnar store is preferred
@@ -35,6 +47,9 @@ USAGE:
       forces one representation.
       --threads sets the worker-thread count (default: all cores); the
       output is identical for every value.
+      --filter-port / --filter-sni restrict the analysis to matching
+      connections (filtered rows are invisible); on a v2 store the
+      filter skips whole row bands via zone maps.
 
   Observability (both commands; never changes the output bytes):
       --metrics-json <path>  write a certchain-metrics/v1 snapshot
@@ -102,8 +117,20 @@ fn run(args: &[String]) -> CliResult<String> {
                 .ok_or_else(|| CliError::Invalid("convert requires --dir <dir>".into()))?;
             let opts = convert::ConvertOptions {
                 metrics_json: flag_value(args, "--metrics-json")?.map(PathBuf::from),
+                force: has_flag(args, "--force"),
+                store_version: parse_u64_flag(args, "--store-version")?,
+                segment_rows: parse_u64_flag(args, "--segment-rows")?,
             };
             convert::convert_opts(&PathBuf::from(dir), &opts)
+        }
+        "compact" => {
+            let dir = flag_value(args, "--dir")?
+                .ok_or_else(|| CliError::Invalid("compact requires --dir <dir>".into()))?;
+            let opts = compact::CompactOptions {
+                metrics_json: flag_value(args, "--metrics-json")?.map(PathBuf::from),
+                segment_rows: parse_u64_flag(args, "--segment-rows")?,
+            };
+            compact::compact_opts(&PathBuf::from(dir), &opts)
         }
         "analyze" => {
             let dir = flag_value(args, "--dir")?
@@ -118,6 +145,13 @@ fn run(args: &[String]) -> CliResult<String> {
                     Some(f) => Some(DatasetFormat::parse(&f)?),
                     None => None,
                 },
+                filter_port: match flag_value(args, "--filter-port")? {
+                    Some(v) => Some(v.parse().map_err(|_| {
+                        CliError::Invalid(format!("bad port {v:?} for --filter-port"))
+                    })?),
+                    None => None,
+                },
+                filter_sni: flag_value(args, "--filter-sni")?,
             };
             analyze::analyze_opts(&PathBuf::from(dir), &opts)
         }
@@ -161,6 +195,18 @@ fn parse_date(s: &str) -> CliResult<certchain_asn1::Asn1Time> {
         .map(|p| p.parse().map_err(|_| bad()))
         .collect::<CliResult<_>>()?;
     certchain_asn1::Asn1Time::from_ymd_hms(nums[0], nums[1], nums[2], 0, 0, 0).map_err(|_| bad())
+}
+
+/// Optional numeric flag extraction.
+fn parse_u64_flag(args: &[String], flag: &str) -> CliResult<Option<u64>> {
+    use certchain_cli::CliError;
+    match flag_value(args, flag)? {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| CliError::Invalid(format!("bad value {v:?} for {flag}"))),
+    }
 }
 
 /// `--threads N` extraction: absent → 0 (all cores).

@@ -10,7 +10,7 @@
 
 use crate::dataset::colstore_dir;
 use crate::{io_ctx, CliError, CliResult};
-use certchain_colstore::DatasetWriter;
+use certchain_colstore::{DatasetWriter, WriterOptions, MANIFEST_FILE};
 use certchain_netsim::{SslLogStream, X509LogStream};
 use certchain_obs::Registry;
 use std::path::{Path, PathBuf};
@@ -21,6 +21,13 @@ use std::sync::Arc;
 pub struct ConvertOptions {
     /// Write a `certchain-metrics/v1` snapshot to this path.
     pub metrics_json: Option<PathBuf>,
+    /// Overwrite an existing columnar store. Without this, conversion
+    /// refuses to clobber a directory that already holds a manifest.
+    pub force: bool,
+    /// Store format version to write (`None` = the current default).
+    pub store_version: Option<u64>,
+    /// Rows per v2 segment (`None` = the format default).
+    pub segment_rows: Option<u64>,
 }
 
 /// Convert `<dir>/ssl.log` + `<dir>/x509.log` into `<dir>/colstore/`.
@@ -33,10 +40,21 @@ pub fn convert(dir: &Path) -> CliResult<String> {
 pub fn convert_opts(dir: &Path, opts: &ConvertOptions) -> CliResult<String> {
     let registry = Arc::new(Registry::new());
     let store = colstore_dir(dir);
+    if store.join(MANIFEST_FILE).is_file() && !opts.force {
+        return Err(CliError::Invalid(format!(
+            "{} already holds a columnar store; pass --force to overwrite it",
+            store.display()
+        )));
+    }
+    let defaults = WriterOptions::default();
+    let writer_opts = WriterOptions {
+        version: opts.store_version.unwrap_or(defaults.version),
+        segment_rows: opts.segment_rows.unwrap_or(defaults.segment_rows),
+    };
     let col_err = |e: certchain_colstore::ColError| CliError::Invalid(format!("colstore: {e}"));
     let manifest = {
         let _span = registry.stage("convert_total");
-        let mut writer = DatasetWriter::create(&store).map_err(col_err)?;
+        let mut writer = DatasetWriter::create_with(&store, writer_opts).map_err(col_err)?;
 
         let x509_file = std::fs::File::open(dir.join("x509.log"))
             .map_err(io_ctx(format!("reading {}/x509.log", dir.display())))?;
@@ -78,7 +96,8 @@ pub fn convert_opts(dir: &Path, opts: &ConvertOptions) -> CliResult<String> {
             .map_err(io_ctx(format!("writing metrics to {}", path.display())))?;
     }
     Ok(format!(
-        "wrote {} ssl rows, {} x509 rows, {} dictionary entries, {} fingerprints to {}\n",
+        "wrote v{} store: {} ssl rows, {} x509 rows, {} dictionary entries, {} fingerprints to {}\n",
+        manifest.version,
         manifest.ssl_rows,
         manifest.x509_rows,
         manifest.dict_entries,

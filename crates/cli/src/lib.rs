@@ -9,11 +9,13 @@
 //! ```sh
 //! certchain generate --out /tmp/campus --profile quick
 //! certchain convert  --dir /tmp/campus        # TSV -> columnar store
+//! certchain compact  --dir /tmp/campus        # migrate store to current format
 //! certchain analyze  --dir /tmp/campus        # auto-detects the store
 //! certchain validate /tmp/campus/sample-chain.pem
 //! ```
 
 pub mod analyze;
+pub mod compact;
 pub mod convert;
 pub mod dataset;
 pub mod generate;

@@ -86,11 +86,11 @@ fn store_is_auto_detected_when_present() {
     assert!(auto.contains("colstore"), "{auto}");
 }
 
-#[test]
-fn version_mismatch_fails_instead_of_falling_back() {
-    // Copy the dataset so the shared one keeps its valid store.
+/// Copy the shared dataset (logs, trust material, CT corpus, and the
+/// converted store) into a private directory a test may mutate.
+fn copy_dataset(tag: &str) -> PathBuf {
     let src = dataset_dir();
-    let dir = std::env::temp_dir().join(format!("certchain-colpar-ver-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("certchain-colpar-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(dir.join("colstore")).unwrap();
     for entry in std::fs::read_dir(src).unwrap() {
@@ -110,9 +110,16 @@ fn version_mismatch_fails_instead_of_falling_back() {
             std::fs::copy(entry.path(), dir.join(sub).join(entry.file_name())).unwrap();
         }
     }
+    dir
+}
+
+#[test]
+fn version_mismatch_fails_instead_of_falling_back() {
+    // Copy the dataset so the shared one keeps its valid store.
+    let dir = copy_dataset("ver");
     let manifest = dir.join("colstore/dataset.json");
     let text = std::fs::read_to_string(&manifest).unwrap();
-    let bumped = text.replace("\"version\": 1", "\"version\": 99");
+    let bumped = text.replace("\"version\": 2", "\"version\": 99");
     assert_ne!(text, bumped, "manifest carries the version field");
     std::fs::write(&manifest, bumped).unwrap();
 
@@ -189,4 +196,140 @@ fn columnar_metrics_are_thread_invariant_and_counted() {
     );
     // The TSV parse-stage counters stay format-stable (present, zeroed).
     assert_eq!(metric("counters", "records_dropped"), 0);
+}
+
+#[test]
+fn convert_refuses_to_overwrite_without_force() {
+    let dir = copy_dataset("force");
+    let err = convert::convert(&dir).unwrap_err();
+    assert!(err.to_string().contains("--force"), "{err}");
+    let summary = convert::convert_opts(
+        &dir,
+        &convert::ConvertOptions {
+            force: true,
+            ..convert::ConvertOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(summary.contains("ssl rows"), "{summary}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compact_migrates_v1_stores_with_identical_reports() {
+    use certchain_cli::compact;
+    let dir = copy_dataset("compact");
+    // Rewrite the store in the legacy v1 layout first.
+    convert::convert_opts(
+        &dir,
+        &convert::ConvertOptions {
+            force: true,
+            store_version: Some(1),
+            ..convert::ConvertOptions::default()
+        },
+    )
+    .unwrap();
+    let manifest = certchain_colstore::Manifest::load(&dir.join("colstore")).unwrap();
+    assert_eq!(manifest.version, 1);
+    let report_at = |threads: usize| {
+        analyze::analyze_opts(
+            &dir,
+            &analyze::AnalyzeOptions {
+                threads,
+                json: true,
+                format: Some(DatasetFormat::Columnar),
+                ..analyze::AnalyzeOptions::default()
+            },
+        )
+        .unwrap()
+    };
+    let v1_report = report_at(1);
+    // Live migration: the v1 store analyzes without any re-conversion,
+    // and `compact` then rewrites it as v2 with byte-identical output.
+    let summary = compact::compact(&dir).unwrap();
+    assert!(summary.contains("from v1 to v2"), "{summary}");
+    let manifest = certchain_colstore::Manifest::load(&dir.join("colstore")).unwrap();
+    assert_eq!(manifest.version, 2);
+    for threads in [1usize, 2, 8] {
+        assert_eq!(
+            report_at(threads),
+            v1_report,
+            "diverged at {threads} threads"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn filtered_analysis_skips_segments_and_matches_tsv() {
+    let dir = copy_dataset("filter");
+    // Small row bands so the store has many segments to skip.
+    convert::convert_opts(
+        &dir,
+        &convert::ConvertOptions {
+            force: true,
+            segment_rows: Some(32),
+            ..convert::ConvertOptions::default()
+        },
+    )
+    .unwrap();
+    // Pick the rarest SNI in the store (lexicographically smallest on
+    // ties) — a predicate most row bands cannot match.
+    let store = certchain_cli::dataset::colstore_dir(&dir);
+    let reader =
+        certchain_colstore::DatasetReader::open(&store, certchain_colstore::MapMode::Auto).unwrap();
+    let mut freq: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for rec in reader.ssl_iter().unwrap() {
+        if let Some(sni) = rec.unwrap().server_name {
+            *freq.entry(sni).or_default() += 1;
+        }
+    }
+    let (sni, _) = freq
+        .iter()
+        .min_by_key(|(name, n)| (**n, (*name).clone()))
+        .expect("dataset has SNI-bearing rows");
+    let sni = sni.clone();
+    drop(reader);
+
+    let metrics_path = dir.join("filter-metrics.json");
+    let filtered = |format: DatasetFormat, threads: usize| {
+        analyze::analyze_opts(
+            &dir,
+            &analyze::AnalyzeOptions {
+                threads,
+                json: true,
+                format: Some(format),
+                filter_sni: Some(sni.clone()),
+                metrics_json: Some(metrics_path.clone()),
+                ..analyze::AnalyzeOptions::default()
+            },
+        )
+        .unwrap()
+    };
+    let baseline = filtered(DatasetFormat::Tsv, 1);
+    let unfiltered = analyze_with(DatasetFormat::Tsv, 1, true);
+    assert_ne!(baseline, unfiltered, "the filter must change the analysis");
+    for threads in [1usize, 2, 8] {
+        assert_eq!(
+            filtered(DatasetFormat::Columnar, threads),
+            baseline,
+            "filtered columnar diverged at {threads} threads"
+        );
+    }
+    // The last columnar run's metrics must show zone maps at work.
+    let snap =
+        certchain_obs::json::parse(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+    let counter = |name: &str| {
+        snap.get("deterministic")
+            .and_then(|d| d.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+    };
+    assert!(counter("colstore.segments_read") > 0);
+    assert!(
+        counter("colstore.segments_skipped") > 0,
+        "a rare-SNI filter must skip at least one segment"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,393 @@
+//! Per-segment integer codecs for the v2 format.
+//!
+//! Every fixed-width column value is widened to `u64` before encoding, so
+//! one codec set covers u8/u16/u32/u64 columns alike. Four encodings:
+//!
+//! * **Plain** — values at the column's native width, little-endian. The
+//!   fallback; always representable.
+//! * **Packed** — values at the minimal byte width that fits the segment
+//!   maximum (`param` = that width). Pays off on u64 columns whose values
+//!   are small (path lengths, cert versions).
+//! * **Delta** — an 8-byte LE base followed by `rows - 1` successive
+//!   differences packed at `param` bytes each. Only offered for
+//!   non-decreasing segments (timestamps, end-offset columns).
+//! * **Rle** — `(value: width bytes LE, run: u32 LE)` pairs. Wins on
+//!   low-cardinality columns (ports, flags, established).
+//!
+//! Selection is deterministic: the smallest encoded size wins, ties
+//! resolved by the fixed candidate order Plain, Packed, Delta, Rle — so
+//! identical input always produces identical bytes, which the workspace's
+//! byte-identity tests rely on.
+
+use crate::{ColError, ColResult};
+
+/// Segment encoding identifier, as recorded in the manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Raw values at native column width.
+    Plain,
+    /// Values at a smaller fixed byte width (`param`).
+    Packed,
+    /// Base + packed non-negative deltas (`param` = delta width).
+    Delta,
+    /// (value, u32 run-length) pairs.
+    Rle,
+}
+
+impl Encoding {
+    /// Manifest string form.
+    pub fn name(self) -> &'static str {
+        match self {
+            Encoding::Plain => "plain",
+            Encoding::Packed => "packed",
+            Encoding::Delta => "delta",
+            Encoding::Rle => "rle",
+        }
+    }
+
+    /// Parse the manifest string form.
+    pub fn parse(s: &str) -> ColResult<Encoding> {
+        match s {
+            "plain" => Ok(Encoding::Plain),
+            "packed" => Ok(Encoding::Packed),
+            "delta" => Ok(Encoding::Delta),
+            "rle" => Ok(Encoding::Rle),
+            other => Err(ColError::Format(format!(
+                "unknown segment encoding {other:?} (expected plain/packed/delta/rle)"
+            ))),
+        }
+    }
+}
+
+/// Largest value representable at `width` bytes.
+fn width_max(width: u8) -> u64 {
+    if width >= 8 {
+        u64::MAX
+    } else {
+        (1u64 << (8 * u32::from(width))) - 1
+    }
+}
+
+/// Minimal byte width in {1, 2, 4, 8} that fits `v`.
+fn byte_width(v: u64) -> u8 {
+    if v <= 0xFF {
+        1
+    } else if v <= 0xFFFF {
+        2
+    } else if v <= 0xFFFF_FFFF {
+        4
+    } else {
+        8
+    }
+}
+
+/// Append `v`'s low `width` bytes, little-endian.
+fn put_at(out: &mut Vec<u8>, v: u64, width: u8) {
+    out.extend_from_slice(&v.to_le_bytes()[..width as usize]);
+}
+
+/// Read one `width`-byte little-endian value at `at`.
+fn get_at(bytes: &[u8], at: usize, width: u8) -> u64 {
+    let mut buf = [0u8; 8];
+    buf[..width as usize].copy_from_slice(&bytes[at..at + width as usize]);
+    u64::from_le_bytes(buf)
+}
+
+/// Encode one segment of logical values for a column of native `width`,
+/// returning the chosen encoding, its parameter, and the payload bytes.
+///
+/// Every value must fit in `width` bytes (the writer only ever hands in
+/// values it produced at that width).
+pub fn encode(values: &[u64], width: u8) -> (Encoding, u8, Vec<u8>) {
+    debug_assert!(matches!(width, 1 | 2 | 4 | 8));
+    debug_assert!(values.iter().all(|&v| v <= width_max(width)));
+    let rows = values.len();
+    let mut best = (Encoding::Plain, width, rows * width as usize);
+
+    let max = values.iter().copied().max().unwrap_or(0);
+    let packed_w = byte_width(max);
+    if packed_w < width {
+        let size = rows * packed_w as usize;
+        if size < best.2 {
+            best = (Encoding::Packed, packed_w, size);
+        }
+    }
+
+    let sorted = values.windows(2).all(|w| w[0] <= w[1]);
+    let mut delta_w = 0u8;
+    if sorted && rows > 0 {
+        let max_delta = values.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+        delta_w = byte_width(max_delta);
+        let size = 8 + (rows - 1) * delta_w as usize;
+        if size < best.2 {
+            best = (Encoding::Delta, delta_w, size);
+        }
+    }
+
+    let mut runs = 0usize;
+    let mut i = 0usize;
+    while i < rows {
+        let mut j = i + 1;
+        while j < rows && values[j] == values[i] {
+            j += 1;
+        }
+        runs += 1;
+        i = j;
+    }
+    let rle_size = runs * (width as usize + 4);
+    if rows > 0 && rle_size < best.2 {
+        best = (Encoding::Rle, width, rle_size);
+    }
+
+    let (enc, param, size) = best;
+    let mut out = Vec::with_capacity(size);
+    match enc {
+        Encoding::Plain => {
+            for &v in values {
+                put_at(&mut out, v, width);
+            }
+        }
+        Encoding::Packed => {
+            for &v in values {
+                put_at(&mut out, v, param);
+            }
+        }
+        Encoding::Delta => {
+            out.extend_from_slice(&values[0].to_le_bytes());
+            for w in values.windows(2) {
+                put_at(&mut out, w[1] - w[0], delta_w);
+            }
+        }
+        Encoding::Rle => {
+            let mut i = 0usize;
+            while i < rows {
+                let mut j = i + 1;
+                while j < rows && values[j] == values[i] {
+                    j += 1;
+                }
+                put_at(&mut out, values[i], width);
+                out.extend_from_slice(&u32::try_from(j - i).unwrap_or(u32::MAX).to_le_bytes());
+                i = j;
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), size);
+    (enc, param, out)
+}
+
+/// Sanity-check an (encoding, param) pair against the column width,
+/// without touching payload bytes — used at manifest parse time.
+pub fn validate_param(enc: Encoding, param: u8, width: u8) -> ColResult<()> {
+    let ok = match enc {
+        Encoding::Plain | Encoding::Rle => param == width,
+        Encoding::Packed => matches!(param, 1 | 2 | 4 | 8) && param < width,
+        Encoding::Delta => matches!(param, 1 | 2 | 4 | 8),
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(ColError::Format(format!(
+            "segment encoding {} has invalid param {param} for a {width}-byte column",
+            enc.name()
+        )))
+    }
+}
+
+fn corrupt(what: &str, detail: impl std::fmt::Display) -> ColError {
+    ColError::Corrupt(format!("{what}: {detail}"))
+}
+
+/// Decode one segment's payload, appending exactly `rows` values to
+/// `out`. Validates payload length, run sums, value ranges, and delta
+/// overflow; any mismatch is a structured [`ColError::Corrupt`].
+pub fn decode_into(
+    enc: Encoding,
+    param: u8,
+    width: u8,
+    rows: usize,
+    bytes: &[u8],
+    out: &mut Vec<u64>,
+) -> ColResult<()> {
+    validate_param(enc, param, width).map_err(|e| corrupt("segment decode", e))?;
+    let max = width_max(width);
+    out.reserve(rows);
+    match enc {
+        Encoding::Plain | Encoding::Packed => {
+            let w = param as usize;
+            if bytes.len() != rows * w {
+                return Err(corrupt(
+                    "segment decode",
+                    format!("{} payload bytes for {rows} rows at width {w}", bytes.len()),
+                ));
+            }
+            match w {
+                1 => out.extend(bytes.iter().map(|&b| u64::from(b))),
+                2 => out.extend(
+                    bytes
+                        .chunks_exact(2)
+                        .map(|c| u64::from(u16::from_le_bytes(c.try_into().expect("2 bytes")))),
+                ),
+                4 => out.extend(
+                    bytes
+                        .chunks_exact(4)
+                        .map(|c| u64::from(u32::from_le_bytes(c.try_into().expect("4 bytes")))),
+                ),
+                _ => out.extend(
+                    bytes
+                        .chunks_exact(8)
+                        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))),
+                ),
+            }
+        }
+        Encoding::Delta => {
+            let expected = if rows == 0 {
+                0
+            } else {
+                8 + (rows - 1) * param as usize
+            };
+            if bytes.len() != expected {
+                return Err(corrupt(
+                    "segment decode",
+                    format!(
+                        "{} delta payload bytes, expected {expected} for {rows} rows",
+                        bytes.len()
+                    ),
+                ));
+            }
+            if rows == 0 {
+                return Ok(());
+            }
+            let mut cur = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+            if cur > max {
+                return Err(corrupt(
+                    "segment decode",
+                    format!("delta base {cur} exceeds {width}-byte column range"),
+                ));
+            }
+            out.push(cur);
+            let mut at = 8usize;
+            for _ in 1..rows {
+                let d = get_at(bytes, at, param);
+                at += param as usize;
+                cur = cur.checked_add(d).filter(|&v| v <= max).ok_or_else(|| {
+                    corrupt(
+                        "segment decode",
+                        format!("delta overflow past {width}-byte column range"),
+                    )
+                })?;
+                out.push(cur);
+            }
+        }
+        Encoding::Rle => {
+            let pair = width as usize + 4;
+            if bytes.len() % pair != 0 {
+                return Err(corrupt(
+                    "segment decode",
+                    format!(
+                        "{} rle payload bytes is not a multiple of {pair}",
+                        bytes.len()
+                    ),
+                ));
+            }
+            let mut total = 0usize;
+            for chunk in bytes.chunks_exact(pair) {
+                let v = get_at(chunk, 0, width);
+                let run = u32::from_le_bytes(chunk[width as usize..].try_into().expect("4 bytes"))
+                    as usize;
+                if run == 0 {
+                    return Err(corrupt("segment decode", "rle run of length 0"));
+                }
+                total += run;
+                if total > rows {
+                    return Err(corrupt(
+                        "segment decode",
+                        format!("rle runs exceed segment rows {rows}"),
+                    ));
+                }
+                for _ in 0..run {
+                    out.push(v);
+                }
+            }
+            if total != rows {
+                return Err(corrupt(
+                    "segment decode",
+                    format!("rle runs cover {total} rows, segment has {rows}"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(values: &[u64], width: u8) -> (Encoding, usize) {
+        let (enc, param, bytes) = encode(values, width);
+        let mut out = Vec::new();
+        decode_into(enc, param, width, values.len(), &bytes, &mut out).expect("decode");
+        assert_eq!(out, values);
+        (enc, bytes.len())
+    }
+
+    #[test]
+    fn sorted_wide_values_pick_delta() {
+        let values: Vec<u64> = (0..64).map(|i| 1_700_000_000 + i * 3).collect();
+        let (enc, size) = round_trip(&values, 8);
+        assert_eq!(enc, Encoding::Delta);
+        assert!(size < values.len() * 8);
+    }
+
+    #[test]
+    fn constant_values_pick_rle() {
+        let values = vec![443u64; 100];
+        let (enc, size) = round_trip(&values, 2);
+        assert_eq!(enc, Encoding::Rle);
+        assert_eq!(size, 6);
+    }
+
+    #[test]
+    fn small_u64_values_pick_packed() {
+        let values: Vec<u64> = (0..32).map(|i| u64::from(i % 7 == 0)).rev().collect();
+        let (enc, _) = round_trip(&values, 8);
+        assert!(matches!(enc, Encoding::Packed | Encoding::Rle));
+    }
+
+    #[test]
+    fn empty_and_single_row_segments() {
+        assert_eq!(round_trip(&[], 4).0, Encoding::Plain);
+        round_trip(&[0], 1);
+        round_trip(&[u32::MAX as u64], 4);
+        round_trip(&[u64::MAX], 8);
+    }
+
+    #[test]
+    fn rle_rejects_short_and_overlong_runs() {
+        let (enc, param, bytes) = encode(&[7u64; 10], 2);
+        assert_eq!(enc, Encoding::Rle);
+        let mut out = Vec::new();
+        // Claiming fewer rows than the runs cover must fail.
+        assert!(decode_into(enc, param, 2, 9, &bytes, &mut out).is_err());
+        out.clear();
+        // Claiming more rows than the runs cover must fail.
+        assert!(decode_into(enc, param, 2, 11, &bytes, &mut out).is_err());
+    }
+
+    #[test]
+    fn delta_overflow_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&250u64.to_le_bytes());
+        bytes.push(10); // 250 + 10 exceeds a 1-byte column.
+        let mut out = Vec::new();
+        let err = decode_into(Encoding::Delta, 1, 1, 2, &bytes, &mut out).unwrap_err();
+        assert!(err.to_string().contains("delta"), "{err}");
+    }
+
+    #[test]
+    fn wrong_payload_length_is_rejected() {
+        let mut out = Vec::new();
+        assert!(decode_into(Encoding::Plain, 4, 4, 3, &[0u8; 11], &mut out).is_err());
+        assert!(decode_into(Encoding::Packed, 9, 8, 1, &[0u8; 9], &mut out).is_err());
+    }
+}

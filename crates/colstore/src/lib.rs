@@ -47,6 +47,26 @@
 //! var-length column — the writer's memory stays O(distinct strings +
 //! distinct fingerprints), never O(rows).
 //!
+//! # Format versions
+//!
+//! The layout above is **v1**: every fixed-width column is raw
+//! little-endian values. **v2** (the current default) keeps the same
+//! file set but stores each fixed-width column as a sequence of encoded
+//! *segments* — row bands of `segment_rows` rows (the last band of each
+//! table may be shorter), each independently compressed
+//! ([`codec::Encoding`]: plain / packed / delta / RLE, smallest wins
+//! deterministically) and summarised by a [`zonemap::ZoneMap`] (min/max,
+//! plus a 256-bit dictionary-presence bitmap for `ssl.sni`) recorded in
+//! the manifest. All columns of one table share identical row banding,
+//! so a consumer that decodes a band gets aligned scratch vectors. The
+//! var-length `*.dat` files and the shared tables stay raw — segment
+//! encoding applies to the fixed-width index/value columns only.
+//!
+//! Zone maps let `analyze` skip whole segments that cannot match an
+//! active predicate, and the banding gives [`DatasetWriter::append_open`]
+//! a natural append unit: new rows start a fresh segment and the shared
+//! tables grow by their tails only, so appends cost O(new data).
+//!
 //! # Reading
 //!
 //! [`DatasetReader`] validates the manifest (schema/version, and that
@@ -57,23 +77,33 @@
 //! `SAFETY:` comment enforced by srclint); everywhere else, and on
 //! request, a positioned-read fallback loads each column with `pread`.
 //!
-//! The reader exposes the same record iterators as the streaming Zeek
-//! readers ([`DatasetReader::ssl_iter`] / [`DatasetReader::x509_iter`]
-//! yield `Result<SslRecord, _>` / `Result<X509Record, _>`), so
-//! `Pipeline::analyze_stream` runs unchanged — and raw column accessors
-//! ([`SslColumns`] / [`X509Columns`]) so the analyze hot path can fold
-//! straight off the mapped bytes without constructing records at all.
+//! Both versions are read transparently ([`DatasetReader::format_version`]
+//! dispatches; only *unknown* versions are a hard error). The reader
+//! exposes the same record iterators as the streaming Zeek readers
+//! ([`DatasetReader::ssl_iter`] / [`DatasetReader::x509_iter`] yield
+//! `Result<SslRecord, _>` / `Result<X509Record, _>`), so
+//! `Pipeline::analyze_stream` runs unchanged — plus raw column accessors
+//! ([`SslColumns`] / [`X509Columns`] on v1, [`SslSegments`] /
+//! [`X509Segments`] on v2) so the analyze hot path can fold straight off
+//! the mapped bytes without constructing records at all.
 
+pub mod codec;
 pub mod dict;
 pub mod manifest;
 pub mod map;
 pub mod read;
+pub mod segment;
 pub mod write;
+pub mod zonemap;
 
-pub use manifest::{Manifest, MANIFEST_FILE, SCHEMA, STORE_DIR, VERSION};
+pub use manifest::{Manifest, MANIFEST_FILE, SCHEMA, STORE_DIR, VERSION, VERSION_V1};
 pub use map::{MapMode, Mapping};
-pub use read::{DatasetReader, SslColumns, X509Columns};
-pub use write::DatasetWriter;
+pub use read::{
+    DatasetReader, SegmentedColumn, SslColumns, SslSegments, X509Columns, X509Segments,
+};
+pub use segment::{SegmentMeta, DEFAULT_SEGMENT_ROWS};
+pub use write::{DatasetWriter, WriterOptions};
+pub use zonemap::ZoneMap;
 
 use std::fmt;
 

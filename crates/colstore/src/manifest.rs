@@ -1,7 +1,16 @@
 //! The versioned `dataset.json` manifest: the store's self-description,
 //! written last (so a crashed writer never leaves a manifest pointing at
 //! incomplete columns) and validated first.
+//!
+//! Two format versions are readable. v1 records only per-file byte
+//! lengths; v2 additionally records `segment_rows` and, for every
+//! fixed-width column, the per-segment metadata (rows, encoded bytes,
+//! encoding, zone map) that the segmented reader and the zone-map skip
+//! rule consume. Unknown versions are a hard error — never a silent
+//! fallback.
 
+use crate::codec;
+use crate::segment::SegmentMeta;
 use crate::{ColError, ColResult, COLUMNS};
 use certchain_obs::json::{self, JsonValue};
 use std::collections::BTreeMap;
@@ -11,7 +20,10 @@ use std::path::Path;
 pub const SCHEMA: &str = "certchain-colstore/v1";
 
 /// Current format version. Bump on any layout change.
-pub const VERSION: u64 = 1;
+pub const VERSION: u64 = 2;
+
+/// The legacy one-file-per-field format, still fully readable.
+pub const VERSION_V1: u64 = 1;
 
 /// Manifest file name inside the store directory.
 pub const MANIFEST_FILE: &str = "dataset.json";
@@ -22,7 +34,7 @@ pub const STORE_DIR: &str = "colstore";
 /// Parsed and schema-checked `dataset.json`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Manifest {
-    /// Format version (always [`VERSION`] for manifests this code wrote).
+    /// Format version ([`VERSION_V1`] or [`VERSION`]).
     pub version: u64,
     /// Rows in the ssl table.
     pub ssl_rows: u64,
@@ -34,6 +46,11 @@ pub struct Manifest {
     pub fp_entries: u64,
     /// Byte length of every column file, keyed by file name.
     pub columns: BTreeMap<String, u64>,
+    /// Nominal rows per segment (v2 only; 0 in v1 manifests).
+    pub segment_rows: u64,
+    /// Per-segment metadata for every fixed-width column (v2 only;
+    /// empty in v1 manifests).
+    pub segments: BTreeMap<String, Vec<SegmentMeta>>,
 }
 
 impl Manifest {
@@ -44,7 +61,7 @@ impl Manifest {
             .iter()
             .map(|(name, bytes)| (name.clone(), JsonValue::Num(*bytes as f64)))
             .collect();
-        JsonValue::Obj(vec![
+        let mut fields = vec![
             ("schema".into(), JsonValue::Str(SCHEMA.into())),
             ("version".into(), JsonValue::Num(self.version as f64)),
             ("ssl_rows".into(), JsonValue::Num(self.ssl_rows as f64)),
@@ -55,7 +72,25 @@ impl Manifest {
             ),
             ("fp_entries".into(), JsonValue::Num(self.fp_entries as f64)),
             ("columns".into(), JsonValue::Obj(columns)),
-        ])
+        ];
+        if self.version >= VERSION {
+            fields.push((
+                "segment_rows".into(),
+                JsonValue::Num(self.segment_rows as f64),
+            ));
+            let segments = self
+                .segments
+                .iter()
+                .map(|(name, metas)| {
+                    (
+                        name.clone(),
+                        JsonValue::Arr(metas.iter().map(SegmentMeta::to_json).collect()),
+                    )
+                })
+                .collect();
+            fields.push(("segments".into(), JsonValue::Obj(segments)));
+        }
+        JsonValue::Obj(fields)
     }
 
     /// Parse and schema-check a manifest document. Version mismatches are
@@ -73,10 +108,10 @@ impl Manifest {
             .get("version")
             .and_then(JsonValue::as_u64)
             .ok_or_else(|| ColError::Format("manifest missing numeric \"version\"".into()))?;
-        if version != VERSION {
+        if version != VERSION_V1 && version != VERSION {
             return Err(ColError::Format(format!(
-                "columnar dataset version mismatch: expected {VERSION}, found {version} \
-                 (re-run `certchain convert` or regenerate the dataset)"
+                "columnar dataset version mismatch: expected {VERSION_V1} or {VERSION}, \
+                 found {version} (re-run `certchain convert` or regenerate the dataset)"
             )));
         }
         let field = |name: &str| {
@@ -102,14 +137,94 @@ impl Manifest {
                 )));
             }
         }
-        Ok(Manifest {
+        let manifest = Manifest {
             version,
             ssl_rows: field("ssl_rows")?,
             x509_rows: field("x509_rows")?,
             dict_entries: field("dict_entries")?,
             fp_entries: field("fp_entries")?,
             columns,
-        })
+            segment_rows: if version >= VERSION {
+                field("segment_rows")?
+            } else {
+                0
+            },
+            segments: if version >= VERSION {
+                parse_segments(doc)?
+            } else {
+                BTreeMap::new()
+            },
+        };
+        if manifest.version >= VERSION {
+            manifest.validate_segments()?;
+        }
+        Ok(manifest)
+    }
+
+    /// Structural checks only a v2 manifest needs: every fixed-width
+    /// column has a segment list whose rows and bytes sum to the table
+    /// row count and the recorded file length, all columns of one table
+    /// share identical row banding, and encodings are self-consistent.
+    fn validate_segments(&self) -> ColResult<()> {
+        if self.segment_rows == 0 {
+            return Err(ColError::Format(
+                "v2 manifest has segment_rows 0 (must be at least 1)".into(),
+            ));
+        }
+        let mut ssl_bands: Option<Vec<u64>> = None;
+        let mut x509_bands: Option<Vec<u64>> = None;
+        for (name, width) in COLUMNS {
+            let Some(width) = width else { continue };
+            let metas = self.segments.get(*name).ok_or_else(|| {
+                ColError::Format(format!(
+                    "v2 manifest is missing segments for column {name:?}"
+                ))
+            })?;
+            let rows = crate::rows_for(name, self.ssl_rows, self.x509_rows)
+                .expect("fixed-width columns are table columns");
+            let mut row_sum = 0u64;
+            let mut byte_sum = 0u64;
+            for meta in metas {
+                if meta.rows == 0 || meta.rows > self.segment_rows {
+                    return Err(ColError::Format(format!(
+                        "column {name:?}: segment of {} rows outside 1..={}",
+                        meta.rows, self.segment_rows
+                    )));
+                }
+                codec::validate_param(meta.encoding, meta.param, *width as u8)
+                    .map_err(|e| ColError::Format(format!("column {name:?}: {e}")))?;
+                row_sum += meta.rows;
+                byte_sum += meta.bytes;
+            }
+            if row_sum != rows {
+                return Err(ColError::Format(format!(
+                    "column {name:?}: segments cover {row_sum} rows, table has {rows}"
+                )));
+            }
+            let file_len = *self.columns.get(*name).expect("checked above");
+            if byte_sum != file_len {
+                return Err(ColError::Format(format!(
+                    "column {name:?}: segments cover {byte_sum} bytes, file has {file_len}"
+                )));
+            }
+            let bands: Vec<u64> = metas.iter().map(|m| m.rows).collect();
+            let slot = if name.starts_with("ssl.") {
+                &mut ssl_bands
+            } else {
+                &mut x509_bands
+            };
+            match slot {
+                None => *slot = Some(bands),
+                Some(first) => {
+                    if *first != bands {
+                        return Err(ColError::Format(format!(
+                            "column {name:?}: segment row banding disagrees with its table"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Read and check `<store_dir>/dataset.json`.
@@ -130,31 +245,94 @@ impl Manifest {
     }
 }
 
+fn parse_segments(doc: &JsonValue) -> ColResult<BTreeMap<String, Vec<SegmentMeta>>> {
+    let obj = doc
+        .get("segments")
+        .and_then(JsonValue::as_obj)
+        .ok_or_else(|| ColError::Format("v2 manifest missing \"segments\" object".into()))?;
+    let mut out = BTreeMap::new();
+    for (name, value) in obj {
+        let arr = value.as_arr().ok_or_else(|| {
+            ColError::Format(format!("manifest segments for {name:?} is not an array"))
+        })?;
+        let mut metas = Vec::with_capacity(arr.len());
+        for item in arr {
+            metas.push(SegmentMeta::from_json(name, item)?);
+        }
+        out.insert(name.clone(), metas);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::Encoding;
+    use crate::zonemap::ZoneMap;
 
-    fn sample() -> Manifest {
+    fn sample_v1() -> Manifest {
         Manifest {
-            version: VERSION,
+            version: VERSION_V1,
             ssl_rows: 10,
             x509_rows: 4,
             dict_entries: 7,
             fp_entries: 3,
             columns: COLUMNS.iter().map(|(n, _)| (n.to_string(), 0)).collect(),
+            segment_rows: 0,
+            segments: BTreeMap::new(),
         }
     }
 
+    fn sample_v2() -> Manifest {
+        let mut m = sample_v1();
+        m.version = VERSION;
+        m.segment_rows = 16;
+        for (name, width) in COLUMNS {
+            let Some(width) = width else { continue };
+            let rows = crate::rows_for(name, m.ssl_rows, m.x509_rows).unwrap();
+            let bytes = rows * width;
+            m.columns.insert(name.to_string(), bytes);
+            let zone = if *name == "ssl.sni" {
+                ZoneMap::with_presence(&[1, 2])
+            } else {
+                ZoneMap::of(&[1, 2])
+            };
+            m.segments.insert(
+                name.to_string(),
+                vec![SegmentMeta {
+                    rows,
+                    bytes,
+                    encoding: Encoding::Plain,
+                    param: *width as u8,
+                    zone,
+                }],
+            );
+        }
+        m
+    }
+
     #[test]
-    fn round_trips_through_json() {
-        let m = sample();
+    fn v1_round_trips_through_json() {
+        let m = sample_v1();
+        let back = Manifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        let text = m.to_json().to_pretty();
+        assert!(
+            !text.contains("segments"),
+            "v1 manifests must not grow v2 fields: {text}"
+        );
+    }
+
+    #[test]
+    fn v2_round_trips_through_json() {
+        let m = sample_v2();
         let back = Manifest::from_json(&m.to_json()).unwrap();
         assert_eq!(back, m);
     }
 
     #[test]
     fn version_mismatch_names_expected_and_found() {
-        let mut doc = sample().to_json();
+        let mut doc = sample_v1().to_json();
         if let JsonValue::Obj(fields) = &mut doc {
             for (k, v) in fields.iter_mut() {
                 if k == "version" {
@@ -166,6 +344,7 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("expected 1"), "{msg}");
         assert!(msg.contains("found 99"), "{msg}");
+        assert!(msg.contains("certchain convert"), "{msg}");
     }
 
     #[test]
@@ -181,9 +360,42 @@ mod tests {
 
     #[test]
     fn missing_column_is_rejected() {
-        let mut m = sample();
+        let mut m = sample_v1();
         m.columns.remove("ssl.ts");
         let msg = Manifest::from_json(&m.to_json()).unwrap_err().to_string();
         assert!(msg.contains("ssl.ts"), "{msg}");
+    }
+
+    #[test]
+    fn v2_segment_row_sum_mismatch_is_rejected() {
+        let mut m = sample_v2();
+        m.segments.get_mut("ssl.ts").unwrap()[0].rows = 9;
+        let msg = Manifest::from_json(&m.to_json()).unwrap_err().to_string();
+        assert!(msg.contains("ssl.ts"), "{msg}");
+        assert!(msg.contains("9 rows"), "{msg}");
+    }
+
+    #[test]
+    fn v2_divergent_banding_is_rejected() {
+        let mut m = sample_v2();
+        let metas = m.segments.get_mut("ssl.sni").unwrap();
+        let mut meta = metas[0].clone();
+        metas[0].rows = 4;
+        metas[0].bytes = 16;
+        meta.rows = 6;
+        meta.bytes = 24;
+        metas.push(meta);
+        let msg = Manifest::from_json(&m.to_json()).unwrap_err().to_string();
+        assert!(msg.contains("banding"), "{msg}");
+    }
+
+    #[test]
+    fn v2_missing_segments_object_is_rejected() {
+        let mut doc = sample_v2().to_json();
+        if let JsonValue::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "segments");
+        }
+        let msg = Manifest::from_json(&doc).unwrap_err().to_string();
+        assert!(msg.contains("segments"), "{msg}");
     }
 }

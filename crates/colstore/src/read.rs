@@ -4,15 +4,24 @@
 //! every column file, that the on-disk byte length is exactly what the
 //! manifest recorded (and consistent with the row counts for fixed-width
 //! columns) — truncation is diagnosed up front, before any row is
-//! decoded. Column views ([`SslColumns`] / [`X509Columns`]) then decode
-//! fields with plain offset arithmetic off the mapped bytes, so analysis
-//! workers can shard by row ranges without any parse stage.
+//! decoded.
+//!
+//! Both format versions are served transparently: v1 stores expose the
+//! zero-copy [`SslColumns`]/[`X509Columns`] views, v2 stores the
+//! segmented [`SslSegments`]/[`X509Segments`] views (whole-segment
+//! decode into caller-owned scratch buffers, zone maps for skipping).
+//! The record iterators ([`DatasetReader::ssl_iter`] /
+//! [`DatasetReader::x509_iter`]) work on either version, so stream-based
+//! consumers and the v1→v2 `certchain compact` migration never care
+//! which layout is underneath. Only *unknown* versions are an error, and
+//! that error comes from the manifest check before any column is mapped.
 
 use crate::dict::Dict;
-use crate::manifest::Manifest;
+use crate::manifest::{Manifest, VERSION_V1};
 use crate::map::{MapMode, Mapping};
+use crate::segment::SegmentMeta;
 use crate::write::{decode_tls_version, FLAG_BC_CA, FLAG_BC_PRESENT, FLAG_PATH_LEN};
-use crate::{ColError, ColResult, COLUMNS};
+use crate::{ColError, ColResult, COLUMNS, VERSION};
 use certchain_asn1::Asn1Time;
 use certchain_netsim::handshake::TlsVersion;
 use certchain_netsim::zeek::record::{SslRecord, X509Record};
@@ -49,15 +58,26 @@ const X509_PATH_LEN: usize = 24;
 const X509_SAN_IDX: usize = 25;
 const X509_SAN_DAT: usize = 26;
 
+/// Precomputed byte/row start of one segment within its column.
+#[derive(Debug, Clone, Copy)]
+struct SegStart {
+    byte: u64,
+    row: u64,
+}
+
 /// An open, validated columnar store.
 pub struct DatasetReader {
     manifest: Manifest,
     maps: Vec<Mapping>,
+    /// Per-column segment starts (parallel to `maps`); empty for v1
+    /// stores, var-length data files, and shared tables.
+    seg_starts: Vec<Vec<SegStart>>,
 }
 
 impl std::fmt::Debug for DatasetReader {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DatasetReader")
+            .field("version", &self.manifest.version)
             .field("ssl_rows", &self.manifest.ssl_rows)
             .field("x509_rows", &self.manifest.x509_rows)
             .field("bytes_mapped", &self.bytes_mapped())
@@ -70,7 +90,8 @@ impl DatasetReader {
     pub fn open(store_dir: &Path, mode: MapMode) -> ColResult<DatasetReader> {
         let manifest = Manifest::load(store_dir)?;
         let mut maps = Vec::with_capacity(COLUMNS.len());
-        for (name, width) in COLUMNS {
+        let mut seg_starts = vec![Vec::new(); COLUMNS.len()];
+        for (at, (name, width)) in COLUMNS.iter().enumerate() {
             let expected = *manifest
                 .columns
                 .get(*name)
@@ -85,17 +106,40 @@ impl DatasetReader {
                 });
             }
             if let Some(width) = width {
-                let rows = crate::rows_for(name, manifest.ssl_rows, manifest.x509_rows)
-                    .expect("fixed-width columns are table columns");
-                if found != rows * width {
-                    return Err(ColError::Corrupt(format!(
-                        "column {name}: {found} bytes is not {rows} rows x {width} bytes"
-                    )));
+                if manifest.version == VERSION_V1 {
+                    let rows = crate::rows_for(name, manifest.ssl_rows, manifest.x509_rows)
+                        .expect("fixed-width columns are table columns");
+                    if found != rows * width {
+                        return Err(ColError::Corrupt(format!(
+                            "column {name}: {found} bytes is not {rows} rows x {width} bytes"
+                        )));
+                    }
+                } else {
+                    // Segment byte/row sums were validated against the
+                    // file length at manifest parse; record each
+                    // segment's start for O(1) addressing here.
+                    let metas = manifest
+                        .segments
+                        .get(*name)
+                        .expect("validated in from_json");
+                    let mut byte = 0u64;
+                    let mut row = 0u64;
+                    let starts = &mut seg_starts[at];
+                    starts.reserve(metas.len());
+                    for meta in metas {
+                        starts.push(SegStart { byte, row });
+                        byte += meta.bytes;
+                        row += meta.rows;
+                    }
                 }
             }
             maps.push(map);
         }
-        let reader = DatasetReader { manifest, maps };
+        let reader = DatasetReader {
+            manifest,
+            maps,
+            seg_starts,
+        };
         reader.validate_tables()?;
         Ok(reader)
     }
@@ -131,17 +175,28 @@ impl DatasetReader {
             self.maps[STRINGS_DAT].bytes(),
         )?;
         // Each var-length pair: the last index entry must equal the data
-        // length (and an empty table implies an empty data file).
+        // length (and an empty table implies an empty data file). In a v2
+        // store the index column is encoded, so the final offset comes
+        // from the last segment's zone max (end offsets are
+        // non-decreasing, so the max is the last entry).
         for (idx, dat, unit) in [
             (SSL_UID_IDX, SSL_UID_DAT, 1u64),
             (SSL_CHAIN_IDX, SSL_CHAIN_DAT, 4),
             (X509_SAN_IDX, X509_SAN_DAT, 4),
         ] {
-            let idx_bytes = self.maps[idx].bytes();
             let dat_len = self.maps[dat].len() as u64;
-            let end = match idx_bytes.len() {
-                0 => 0,
-                n => u64::from_le_bytes(idx_bytes[n - 8..].try_into().expect("8-byte slice")),
+            let end = if m.version == VERSION_V1 {
+                let idx_bytes = self.maps[idx].bytes();
+                match idx_bytes.len() {
+                    0 => 0,
+                    n => u64::from_le_bytes(idx_bytes[n - 8..].try_into().expect("8-byte slice")),
+                }
+            } else {
+                m.segments
+                    .get(COLUMNS[idx].0)
+                    .expect("validated in from_json")
+                    .last()
+                    .map_or(0, |meta| meta.zone.max)
             };
             if end != dat_len {
                 return Err(ColError::Corrupt(format!(
@@ -164,6 +219,11 @@ impl DatasetReader {
         &self.manifest
     }
 
+    /// On-disk format version (1 or 2).
+    pub fn format_version(&self) -> u64 {
+        self.manifest.version
+    }
+
     /// Rows in the ssl table.
     pub fn ssl_rows(&self) -> u64 {
         self.manifest.ssl_rows
@@ -180,8 +240,35 @@ impl DatasetReader {
         self.maps.iter().map(|m| m.len() as u64).sum()
     }
 
-    /// Column view over the ssl table.
+    /// Find a string's dictionary code, if the store interned it.
+    /// Linear in dictionary size — meant for resolving a predicate once
+    /// per analysis, not for per-row use.
+    pub fn dict_lookup(&self, s: &str) -> ColResult<Option<u32>> {
+        let dict = self.dict()?;
+        for i in 0..dict.len() {
+            let i = i as u32;
+            if dict.get(i)? == s {
+                return Ok(Some(i));
+            }
+        }
+        Ok(None)
+    }
+
+    fn require_version(&self, want: u64, view: &str) -> ColResult<()> {
+        if self.manifest.version == want {
+            Ok(())
+        } else {
+            Err(ColError::Format(format!(
+                "{view} requires a v{want} store, this one is v{} \
+                 (dispatch on DatasetReader::format_version)",
+                self.manifest.version
+            )))
+        }
+    }
+
+    /// Zero-copy column view over a **v1** ssl table.
     pub fn ssl(&self) -> ColResult<SslColumns<'_>> {
+        self.require_version(VERSION_V1, "SslColumns")?;
         Ok(SslColumns {
             rows: self.manifest.ssl_rows,
             ts: self.maps[SSL_TS].bytes(),
@@ -201,8 +288,9 @@ impl DatasetReader {
         })
     }
 
-    /// Column view over the x509 table.
+    /// Zero-copy column view over a **v1** x509 table.
     pub fn x509(&self) -> ColResult<X509Columns<'_>> {
+        self.require_version(VERSION_V1, "X509Columns")?;
         Ok(X509Columns {
             rows: self.manifest.x509_rows,
             ts: self.maps[X509_TS].bytes(),
@@ -222,6 +310,61 @@ impl DatasetReader {
         })
     }
 
+    fn seg_col(&self, at: usize) -> SegmentedColumn<'_> {
+        let (name, width) = COLUMNS[at];
+        SegmentedColumn {
+            name,
+            width: width.expect("segmented columns are fixed-width") as u8,
+            data: self.maps[at].bytes(),
+            metas: self.manifest.segments.get(name).expect("v2 manifest"),
+            starts: &self.seg_starts[at],
+        }
+    }
+
+    /// Segmented view over a **v2** ssl table.
+    pub fn ssl_segments(&self) -> ColResult<SslSegments<'_>> {
+        self.require_version(VERSION, "SslSegments")?;
+        Ok(SslSegments {
+            rows: self.manifest.ssl_rows,
+            ts: self.seg_col(SSL_TS),
+            uid_idx: self.seg_col(SSL_UID_IDX),
+            orig_h: self.seg_col(SSL_ORIG_H),
+            orig_p: self.seg_col(SSL_ORIG_P),
+            resp_h: self.seg_col(SSL_RESP_H),
+            resp_p: self.seg_col(SSL_RESP_P),
+            version: self.seg_col(SSL_VERSION),
+            sni: self.seg_col(SSL_SNI),
+            established: self.seg_col(SSL_ESTABLISHED),
+            chain_idx: self.seg_col(SSL_CHAIN_IDX),
+            uid_dat: self.maps[SSL_UID_DAT].bytes(),
+            chain_dat: self.maps[SSL_CHAIN_DAT].bytes(),
+            dict: self.dict()?,
+            fps: self.maps[FPS_DAT].bytes(),
+        })
+    }
+
+    /// Segmented view over a **v2** x509 table.
+    pub fn x509_segments(&self) -> ColResult<X509Segments<'_>> {
+        self.require_version(VERSION, "X509Segments")?;
+        Ok(X509Segments {
+            rows: self.manifest.x509_rows,
+            ts: self.seg_col(X509_TS),
+            fp: self.seg_col(X509_FP),
+            version: self.seg_col(X509_VERSION),
+            serial: self.seg_col(X509_SERIAL),
+            subject: self.seg_col(X509_SUBJECT),
+            issuer: self.seg_col(X509_ISSUER),
+            not_before: self.seg_col(X509_NOT_BEFORE),
+            not_after: self.seg_col(X509_NOT_AFTER),
+            flags: self.seg_col(X509_FLAGS),
+            path_len: self.seg_col(X509_PATH_LEN),
+            san_idx: self.seg_col(X509_SAN_IDX),
+            san_dat: self.maps[X509_SAN_DAT].bytes(),
+            dict: self.dict()?,
+            fps: self.maps[FPS_DAT].bytes(),
+        })
+    }
+
     fn dict(&self) -> ColResult<Dict<'_>> {
         Dict::new(
             self.maps[STRINGS_IDX].bytes(),
@@ -230,16 +373,25 @@ impl DatasetReader {
     }
 
     /// Iterate ssl rows as [`SslRecord`]s — the same item shape as
-    /// `SslLogStream`, so stream-based consumers run unchanged.
-    pub fn ssl_iter(&self) -> ColResult<impl Iterator<Item = ColResult<SslRecord>> + '_> {
-        let cols = self.ssl()?;
-        Ok((0..cols.rows).map(move |row| cols.record(row)))
+    /// `SslLogStream`, so stream-based consumers run unchanged on either
+    /// format version.
+    pub fn ssl_iter(&self) -> ColResult<Box<dyn Iterator<Item = ColResult<SslRecord>> + '_>> {
+        if self.manifest.version == VERSION_V1 {
+            let cols = self.ssl()?;
+            Ok(Box::new((0..cols.rows).map(move |row| cols.record(row))))
+        } else {
+            Ok(Box::new(SslV2Iter::new(self.ssl_segments()?)))
+        }
     }
 
     /// Iterate x509 rows as [`X509Record`]s, mirroring `X509LogStream`.
-    pub fn x509_iter(&self) -> ColResult<impl Iterator<Item = ColResult<X509Record>> + '_> {
-        let cols = self.x509()?;
-        Ok((0..cols.rows).map(move |row| cols.record(row)))
+    pub fn x509_iter(&self) -> ColResult<Box<dyn Iterator<Item = ColResult<X509Record>> + '_>> {
+        if self.manifest.version == VERSION_V1 {
+            let cols = self.x509()?;
+            Ok(Box::new((0..cols.rows).map(move |row| cols.record(row))))
+        } else {
+            Ok(Box::new(X509V2Iter::new(self.x509_segments()?)))
+        }
     }
 }
 
@@ -269,6 +421,17 @@ fn var_range(idx: &[u8], row: u64, dat_len: usize, what: &str) -> ColResult<(usi
     Ok((start, end))
 }
 
+/// Bounds-check a decoded `start..end` offset pair against `dat`.
+fn var_slice<'a>(dat: &'a [u8], start: u64, end: u64, what: &str, row: u64) -> ColResult<&'a [u8]> {
+    if start > end || end > dat.len() as u64 {
+        return Err(ColError::Corrupt(format!(
+            "{what} row {row}: offsets {start}..{end} out of bounds (data length {})",
+            dat.len()
+        )));
+    }
+    Ok(&dat[start as usize..end as usize])
+}
+
 fn fp_at(fps: &[u8], idx: u32, what: &str) -> ColResult<Fingerprint> {
     let at = (idx as usize) * 32;
     let Some(bytes) = fps.get(at..at + 32) else {
@@ -278,6 +441,398 @@ fn fp_at(fps: &[u8], idx: u32, what: &str) -> ColResult<Fingerprint> {
         )));
     };
     Ok(Fingerprint(bytes.try_into().expect("32-byte slice")))
+}
+
+/// One encoded column of a v2 store: segment metadata plus the
+/// concatenated payload bytes, with O(1) segment addressing.
+#[derive(Clone, Copy)]
+pub struct SegmentedColumn<'a> {
+    name: &'static str,
+    width: u8,
+    data: &'a [u8],
+    metas: &'a [SegmentMeta],
+    starts: &'a [SegStart],
+}
+
+impl<'a> SegmentedColumn<'a> {
+    /// Number of segments.
+    pub fn segments(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Metadata (rows, encoding, zone map) of segment `seg`.
+    pub fn meta(&self, seg: usize) -> &'a SegmentMeta {
+        &self.metas[seg]
+    }
+
+    /// `(first_row, rows)` of segment `seg`.
+    pub fn row_range(&self, seg: usize) -> (u64, u64) {
+        (self.starts[seg].row, self.metas[seg].rows)
+    }
+
+    /// Decode segment `seg` into `out` (cleared first). `out` ends up
+    /// holding exactly `meta(seg).rows` widened values — the scratch
+    /// buffer the caller reuses across segments.
+    pub fn decode_into(&self, seg: usize, out: &mut Vec<u64>) -> ColResult<()> {
+        let meta = &self.metas[seg];
+        let start = self.starts[seg].byte as usize;
+        let bytes = &self.data[start..start + meta.bytes as usize];
+        out.clear();
+        crate::codec::decode_into(
+            meta.encoding,
+            meta.param,
+            self.width,
+            meta.rows as usize,
+            bytes,
+            out,
+        )
+        .map_err(|e| ColError::Corrupt(format!("column {} segment {seg}: {e}", self.name)))
+    }
+}
+
+/// Segmented view over the ssl table of a v2 store. Fixed-width columns
+/// decode segment-at-a-time; the var-length data files and shared
+/// tables are raw slices, exactly as in v1.
+#[derive(Clone, Copy)]
+pub struct SslSegments<'a> {
+    /// Row count.
+    pub rows: u64,
+    /// Connection timestamps (epoch seconds).
+    pub ts: SegmentedColumn<'a>,
+    /// End offsets into `uid_dat`.
+    pub uid_idx: SegmentedColumn<'a>,
+    /// Originator addresses as packed u32s.
+    pub orig_h: SegmentedColumn<'a>,
+    /// Originator ports.
+    pub orig_p: SegmentedColumn<'a>,
+    /// Responder addresses as packed u32s.
+    pub resp_h: SegmentedColumn<'a>,
+    /// Responder ports.
+    pub resp_p: SegmentedColumn<'a>,
+    /// TLS version bytes.
+    pub version: SegmentedColumn<'a>,
+    /// SNI dictionary codes ([`crate::NONE_IDX`] = unset).
+    pub sni: SegmentedColumn<'a>,
+    /// Established flags (0/1).
+    pub established: SegmentedColumn<'a>,
+    /// End offsets into `chain_dat`.
+    pub chain_idx: SegmentedColumn<'a>,
+    /// Raw uid bytes.
+    pub uid_dat: &'a [u8],
+    /// u32 LE fingerprint-table indices per chain entry.
+    pub chain_dat: &'a [u8],
+    /// The shared string dictionary.
+    pub dict: Dict<'a>,
+    /// The raw fingerprint table (32 bytes per entry).
+    pub fps: &'a [u8],
+}
+
+impl<'a> SslSegments<'a> {
+    /// Number of row-band segments in the table.
+    pub fn segment_count(&self) -> usize {
+        self.ts.segments()
+    }
+
+    /// First chain-data byte offset of segment `seg`: the previous
+    /// segment's final end offset (end offsets are non-decreasing, so
+    /// that is its zone max), or 0 for the first segment.
+    pub fn chain_start(&self, seg: usize) -> u64 {
+        if seg == 0 {
+            0
+        } else {
+            self.chain_idx.meta(seg - 1).zone.max
+        }
+    }
+
+    /// Resolve a fingerprint-table code.
+    pub fn fp(&self, code: u32) -> ColResult<Fingerprint> {
+        fp_at(self.fps, code, "ssl.chain")
+    }
+
+    /// Fingerprint-table entries.
+    pub fn fp_count(&self) -> usize {
+        self.fps.len() / 32
+    }
+}
+
+/// Segmented view over the x509 table of a v2 store.
+#[derive(Clone, Copy)]
+pub struct X509Segments<'a> {
+    /// Row count.
+    pub rows: u64,
+    /// Log timestamps.
+    pub ts: SegmentedColumn<'a>,
+    /// Fingerprint-table codes.
+    pub fp: SegmentedColumn<'a>,
+    /// Certificate versions.
+    pub version: SegmentedColumn<'a>,
+    /// Serial dictionary codes.
+    pub serial: SegmentedColumn<'a>,
+    /// Subject dictionary codes.
+    pub subject: SegmentedColumn<'a>,
+    /// Issuer dictionary codes.
+    pub issuer: SegmentedColumn<'a>,
+    /// notBefore epoch seconds.
+    pub not_before: SegmentedColumn<'a>,
+    /// notAfter epoch seconds.
+    pub not_after: SegmentedColumn<'a>,
+    /// basicConstraints flag bytes.
+    pub flags: SegmentedColumn<'a>,
+    /// pathLen values (0 when absent).
+    pub path_len: SegmentedColumn<'a>,
+    /// End offsets into `san_dat`.
+    pub san_idx: SegmentedColumn<'a>,
+    /// u32 LE dictionary codes per SAN entry.
+    pub san_dat: &'a [u8],
+    /// The shared string dictionary.
+    pub dict: Dict<'a>,
+    /// The raw fingerprint table.
+    pub fps: &'a [u8],
+}
+
+impl<'a> X509Segments<'a> {
+    /// Number of row-band segments in the table.
+    pub fn segment_count(&self) -> usize {
+        self.ts.segments()
+    }
+
+    /// First SAN-data byte offset of segment `seg` (see
+    /// [`SslSegments::chain_start`]).
+    pub fn san_start(&self, seg: usize) -> u64 {
+        if seg == 0 {
+            0
+        } else {
+            self.san_idx.meta(seg - 1).zone.max
+        }
+    }
+
+    /// Resolve a fingerprint-table code.
+    pub fn fp(&self, code: u32) -> ColResult<Fingerprint> {
+        fp_at(self.fps, code, "x509.fp")
+    }
+}
+
+/// Record iterator over a v2 ssl table: decodes one segment's columns at
+/// a time, materialises its records, then moves on.
+struct SslV2Iter<'a> {
+    cols: SslSegments<'a>,
+    seg: usize,
+    buf: std::vec::IntoIter<SslRecord>,
+    uid_prev: u64,
+    chain_prev: u64,
+    failed: bool,
+}
+
+impl<'a> SslV2Iter<'a> {
+    fn new(cols: SslSegments<'a>) -> SslV2Iter<'a> {
+        SslV2Iter {
+            cols,
+            seg: 0,
+            buf: Vec::new().into_iter(),
+            uid_prev: 0,
+            chain_prev: 0,
+            failed: false,
+        }
+    }
+
+    fn decode_segment(&mut self) -> ColResult<Vec<SslRecord>> {
+        let c = &self.cols;
+        let seg = self.seg;
+        let mut ts = Vec::new();
+        let mut uid_idx = Vec::new();
+        let mut orig_h = Vec::new();
+        let mut orig_p = Vec::new();
+        let mut resp_h = Vec::new();
+        let mut resp_p = Vec::new();
+        let mut version = Vec::new();
+        let mut sni = Vec::new();
+        let mut established = Vec::new();
+        let mut chain_idx = Vec::new();
+        c.ts.decode_into(seg, &mut ts)?;
+        c.uid_idx.decode_into(seg, &mut uid_idx)?;
+        c.orig_h.decode_into(seg, &mut orig_h)?;
+        c.orig_p.decode_into(seg, &mut orig_p)?;
+        c.resp_h.decode_into(seg, &mut resp_h)?;
+        c.resp_p.decode_into(seg, &mut resp_p)?;
+        c.version.decode_into(seg, &mut version)?;
+        c.sni.decode_into(seg, &mut sni)?;
+        c.established.decode_into(seg, &mut established)?;
+        c.chain_idx.decode_into(seg, &mut chain_idx)?;
+        let (row_start, rows) = c.ts.row_range(seg);
+        let mut out = Vec::with_capacity(rows as usize);
+        for i in 0..rows as usize {
+            let row = row_start + i as u64;
+            let uid_bytes = var_slice(c.uid_dat, self.uid_prev, uid_idx[i], "ssl.uid", row)?;
+            self.uid_prev = uid_idx[i];
+            let uid = std::str::from_utf8(uid_bytes)
+                .map_err(|_| ColError::Corrupt(format!("ssl.uid row {row} is not valid UTF-8")))?
+                .to_string();
+            let chain_bytes =
+                var_slice(c.chain_dat, self.chain_prev, chain_idx[i], "ssl.chain", row)?;
+            self.chain_prev = chain_idx[i];
+            if chain_bytes.len() % 4 != 0 {
+                return Err(ColError::Corrupt(format!(
+                    "ssl.chain row {row}: {} bytes is not a whole number of entries",
+                    chain_bytes.len()
+                )));
+            }
+            let mut chain = Vec::with_capacity(chain_bytes.len() / 4);
+            for entry in chain_bytes.chunks_exact(4) {
+                let code = u32::from_le_bytes(entry.try_into().expect("4-byte slice"));
+                chain.push(c.fp(code)?);
+            }
+            out.push(SslRecord {
+                ts: Asn1Time::from_unix(ts[i]),
+                uid,
+                orig_h: Ipv4Addr::from(orig_h[i] as u32),
+                orig_p: orig_p[i] as u16,
+                resp_h: Ipv4Addr::from(resp_h[i] as u32),
+                resp_p: resp_p[i] as u16,
+                version: decode_tls_version(version[i] as u8)?,
+                server_name: c.dict.get_opt(sni[i] as u32)?.map(str::to_string),
+                established: established[i] != 0,
+                cert_chain_fps: chain,
+            });
+        }
+        Ok(out)
+    }
+}
+
+impl Iterator for SslV2Iter<'_> {
+    type Item = ColResult<SslRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.failed {
+                return None;
+            }
+            if let Some(rec) = self.buf.next() {
+                return Some(Ok(rec));
+            }
+            if self.seg >= self.cols.segment_count() {
+                return None;
+            }
+            match self.decode_segment() {
+                Ok(records) => {
+                    self.seg += 1;
+                    self.buf = records.into_iter();
+                }
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+/// Record iterator over a v2 x509 table.
+struct X509V2Iter<'a> {
+    cols: X509Segments<'a>,
+    seg: usize,
+    buf: std::vec::IntoIter<X509Record>,
+    san_prev: u64,
+    failed: bool,
+}
+
+impl<'a> X509V2Iter<'a> {
+    fn new(cols: X509Segments<'a>) -> X509V2Iter<'a> {
+        X509V2Iter {
+            cols,
+            seg: 0,
+            buf: Vec::new().into_iter(),
+            san_prev: 0,
+            failed: false,
+        }
+    }
+
+    fn decode_segment(&mut self) -> ColResult<Vec<X509Record>> {
+        let c = &self.cols;
+        let seg = self.seg;
+        let mut ts = Vec::new();
+        let mut fp = Vec::new();
+        let mut version = Vec::new();
+        let mut serial = Vec::new();
+        let mut subject = Vec::new();
+        let mut issuer = Vec::new();
+        let mut not_before = Vec::new();
+        let mut not_after = Vec::new();
+        let mut flags = Vec::new();
+        let mut path_len = Vec::new();
+        let mut san_idx = Vec::new();
+        c.ts.decode_into(seg, &mut ts)?;
+        c.fp.decode_into(seg, &mut fp)?;
+        c.version.decode_into(seg, &mut version)?;
+        c.serial.decode_into(seg, &mut serial)?;
+        c.subject.decode_into(seg, &mut subject)?;
+        c.issuer.decode_into(seg, &mut issuer)?;
+        c.not_before.decode_into(seg, &mut not_before)?;
+        c.not_after.decode_into(seg, &mut not_after)?;
+        c.flags.decode_into(seg, &mut flags)?;
+        c.path_len.decode_into(seg, &mut path_len)?;
+        c.san_idx.decode_into(seg, &mut san_idx)?;
+        let (row_start, rows) = c.ts.row_range(seg);
+        let mut out = Vec::with_capacity(rows as usize);
+        for i in 0..rows as usize {
+            let row = row_start + i as u64;
+            let san_bytes = var_slice(c.san_dat, self.san_prev, san_idx[i], "x509.san", row)?;
+            self.san_prev = san_idx[i];
+            if san_bytes.len() % 4 != 0 {
+                return Err(ColError::Corrupt(format!(
+                    "x509.san row {row}: {} bytes is not a whole number of entries",
+                    san_bytes.len()
+                )));
+            }
+            let mut san_dns = Vec::with_capacity(san_bytes.len() / 4);
+            for entry in san_bytes.chunks_exact(4) {
+                let code = u32::from_le_bytes(entry.try_into().expect("4-byte slice"));
+                san_dns.push(c.dict.get(code)?.to_string());
+            }
+            let fl = flags[i] as u8;
+            out.push(X509Record {
+                ts: Asn1Time::from_unix(ts[i]),
+                fingerprint: c.fp(fp[i] as u32)?,
+                cert_version: version[i],
+                serial: c.dict.get(serial[i] as u32)?.to_string(),
+                subject: c.dict.get(subject[i] as u32)?.to_string(),
+                issuer: c.dict.get(issuer[i] as u32)?.to_string(),
+                not_before: Asn1Time::from_unix(not_before[i]),
+                not_after: Asn1Time::from_unix(not_after[i]),
+                basic_constraints_ca: (fl & FLAG_BC_PRESENT != 0).then_some(fl & FLAG_BC_CA != 0),
+                path_len: (fl & FLAG_PATH_LEN != 0).then(|| path_len[i]),
+                san_dns,
+            });
+        }
+        Ok(out)
+    }
+}
+
+impl Iterator for X509V2Iter<'_> {
+    type Item = ColResult<X509Record>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.failed {
+                return None;
+            }
+            if let Some(rec) = self.buf.next() {
+                return Some(Ok(rec));
+            }
+            if self.seg >= self.cols.segment_count() {
+                return None;
+            }
+            match self.decode_segment() {
+                Ok(records) => {
+                    self.seg += 1;
+                    self.buf = records.into_iter();
+                }
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
 }
 
 /// Borrowed, zero-copy accessors over the ssl table. All row arguments
@@ -340,6 +895,12 @@ impl<'a> SslColumns<'a> {
     /// Negotiated TLS version.
     pub fn version(&self, row: u64) -> ColResult<TlsVersion> {
         decode_tls_version(self.version[row as usize])
+    }
+
+    /// SNI dictionary code ([`crate::NONE_IDX`] = unset), for
+    /// code-level predicate comparison without string resolution.
+    pub fn sni_code(&self, row: u64) -> u32 {
+        u32_at(self.sni, row)
     }
 
     /// SNI, when the client sent one.

@@ -1,20 +1,34 @@
 //! Streaming columnar writer.
 //!
-//! Rows are appended one at a time and each field streams to its own
-//! buffered column file, so writer memory stays O(distinct strings +
-//! distinct fingerprints) regardless of row count. The shared tables
-//! (`strings.*`, `fps.dat`) and the manifest are written by
-//! [`DatasetWriter::finish`] — the manifest last, so a crashed write
-//! never leaves a manifest pointing at incomplete columns.
+//! Rows are appended one at a time. In v1 mode each fixed-width field
+//! streams raw little-endian bytes to its own buffered column file; in
+//! v2 mode (the default) fixed-width fields buffer logical values until a
+//! whole row band of `segment_rows` rows is complete, then the band is
+//! encoded ([`crate::codec`]), zone-mapped ([`crate::zonemap`]), and
+//! flushed as one segment. Var-length data files (`*.dat`) stream raw in
+//! both modes, so writer memory stays O(distinct strings + distinct
+//! fingerprints + segment_rows) regardless of row count.
+//!
+//! The shared tables (`strings.*`, `fps.dat`) and the manifest are
+//! written by [`DatasetWriter::finish`] — the manifest last, so a crashed
+//! write never leaves a manifest pointing at incomplete columns.
+//!
+//! [`DatasetWriter::append_open`] reopens an existing v2 store for
+//! appending: new rows start a fresh segment, the dictionary and
+//! fingerprint tables grow by their tails only (both are append-only by
+//! construction), and the cost of an append is O(new data), not O(store).
 
-use crate::dict::DictBuilder;
-use crate::manifest::Manifest;
+use crate::codec;
+use crate::dict::{Dict, DictBuilder};
+use crate::manifest::{Manifest, VERSION_V1};
+use crate::segment::{SegmentMeta, DEFAULT_SEGMENT_ROWS};
+use crate::zonemap::ZoneMap;
 use crate::{io_ctx, ColError, ColResult, COLUMNS, VERSION};
 use certchain_netsim::handshake::TlsVersion;
 use certchain_netsim::zeek::record::{SslRecord, X509Record};
 use certchain_x509::Fingerprint;
 use std::collections::HashMap;
-use std::fs::File;
+use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
@@ -43,6 +57,12 @@ pub const FLAG_BC_PRESENT: u8 = 1 << 0;
 pub const FLAG_BC_CA: u8 = 1 << 1;
 /// pathLen-present bit.
 pub const FLAG_PATH_LEN: u8 = 1 << 2;
+
+/// Zone-map statistics ride in the JSON manifest, whose numbers are
+/// IEEE f64 — values at or past 2^53 would round. Nothing the writer
+/// stores gets near that (epoch seconds, byte offsets, u32 codes), but
+/// the invariant is enforced, not assumed.
+const JSON_SAFE_MAX: u64 = 1 << 53;
 
 struct Col {
     name: &'static str,
@@ -116,20 +136,108 @@ const STREAMED: &[&str] = &[
     "x509.san.dat",
 ];
 
+/// Fixed-width members of the ssl table, flushed together as one segment
+/// band so every ssl column shares identical row banding.
+const SSL_FIXED: &[usize] = &[
+    SSL_TS,
+    SSL_UID_IDX,
+    SSL_ORIG_H,
+    SSL_ORIG_P,
+    SSL_RESP_H,
+    SSL_RESP_P,
+    SSL_VERSION,
+    SSL_SNI,
+    SSL_ESTABLISHED,
+    SSL_CHAIN_IDX,
+];
+
+/// Fixed-width members of the x509 table.
+const X509_FIXED: &[usize] = &[
+    X509_TS,
+    X509_FP,
+    X509_VERSION,
+    X509_SERIAL,
+    X509_SUBJECT,
+    X509_ISSUER,
+    X509_NOT_BEFORE,
+    X509_NOT_AFTER,
+    X509_FLAGS,
+    X509_PATH_LEN,
+    X509_SAN_IDX,
+];
+
+/// Format options for [`DatasetWriter::create_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct WriterOptions {
+    /// Store format version: [`VERSION`] (segmented, default) or
+    /// [`VERSION_V1`] (legacy raw columns).
+    pub version: u64,
+    /// Rows per segment in v2 stores (ignored for v1).
+    pub segment_rows: u64,
+}
+
+impl Default for WriterOptions {
+    fn default() -> WriterOptions {
+        WriterOptions {
+            version: VERSION,
+            segment_rows: DEFAULT_SEGMENT_ROWS,
+        }
+    }
+}
+
+/// State restored by [`DatasetWriter::append_open`]: how much of each
+/// shared table already exists on disk, so finish writes only tails.
+struct AppendBase {
+    dict_entries: usize,
+    dict_bytes: u64,
+    fp_entries: usize,
+}
+
 /// Streaming writer for one columnar store directory.
 pub struct DatasetWriter {
     dir: PathBuf,
+    version: u64,
+    segment_rows: u64,
     cols: Vec<Col>,
+    widths: Vec<Option<u64>>,
+    pending: Vec<Vec<u64>>,
+    metas: Vec<Vec<SegmentMeta>>,
     dict: DictBuilder,
     fp_lookup: HashMap<Fingerprint, u32>,
     fp_order: Vec<Fingerprint>,
     ssl_rows: u64,
     x509_rows: u64,
+    append_base: Option<AppendBase>,
+}
+
+fn width_of(name: &str) -> Option<u64> {
+    COLUMNS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .and_then(|(_, w)| *w)
 }
 
 impl DatasetWriter {
-    /// Create `store_dir` (and parents) and open every column file.
+    /// Create `store_dir` (and parents) and open every column file,
+    /// using the current default format ([`WriterOptions::default`]).
     pub fn create(store_dir: &Path) -> ColResult<DatasetWriter> {
+        DatasetWriter::create_with(store_dir, WriterOptions::default())
+    }
+
+    /// Create a store with explicit format options — the v1 escape hatch
+    /// for fixtures and migration tests, and the knob for segment sizing.
+    pub fn create_with(store_dir: &Path, opts: WriterOptions) -> ColResult<DatasetWriter> {
+        if opts.version != VERSION_V1 && opts.version != VERSION {
+            return Err(ColError::Format(format!(
+                "cannot write store version {} (supported: {VERSION_V1} and {VERSION})",
+                opts.version
+            )));
+        }
+        if opts.version == VERSION && opts.segment_rows == 0 {
+            return Err(ColError::Format(
+                "segment_rows must be at least 1 for a v2 store".into(),
+            ));
+        }
         std::fs::create_dir_all(store_dir)
             .map_err(io_ctx(format!("creating {}", store_dir.display())))?;
         let mut cols = Vec::with_capacity(STREAMED.len());
@@ -145,12 +253,115 @@ impl DatasetWriter {
         }
         Ok(DatasetWriter {
             dir: store_dir.to_path_buf(),
+            version: opts.version,
+            segment_rows: opts.segment_rows,
             cols,
+            widths: STREAMED.iter().map(|n| width_of(n)).collect(),
+            pending: vec![Vec::new(); STREAMED.len()],
+            metas: vec![Vec::new(); STREAMED.len()],
             dict: DictBuilder::new(),
             fp_lookup: HashMap::new(),
             fp_order: Vec::new(),
             ssl_rows: 0,
             x509_rows: 0,
+            append_base: None,
+        })
+    }
+
+    /// Reopen an existing **v2** store for appending. New rows begin a
+    /// fresh segment (earlier bands are never rewritten, so the last
+    /// band of each table may be ragged), the dictionary and fingerprint
+    /// tables are extended in place, and `finish` rewrites only the
+    /// manifest plus the appended bytes — O(new data).
+    ///
+    /// v1 stores cannot be appended to; run `certchain compact` first.
+    pub fn append_open(store_dir: &Path) -> ColResult<DatasetWriter> {
+        let manifest = Manifest::load(store_dir)?;
+        if manifest.version != VERSION {
+            return Err(ColError::Format(format!(
+                "append requires a v{VERSION} segmented store, found v{} \
+                 (run `certchain compact` to migrate it first)",
+                manifest.version
+            )));
+        }
+        // A crashed previous append leaves column files longer than the
+        // manifest records; refuse to stack more data on top of that.
+        for (name, _) in COLUMNS {
+            let path = store_dir.join(name);
+            let found = std::fs::metadata(&path)
+                .map_err(io_ctx(format!("reading {}", path.display())))?
+                .len();
+            let expected = *manifest.columns.get(*name).expect("manifest is complete");
+            if found != expected {
+                return Err(ColError::Truncated {
+                    file: name.to_string(),
+                    expected,
+                    found,
+                });
+            }
+        }
+        // Rebuild the in-memory dictionary and fingerprint tables from
+        // disk; both assign indices in first-seen order and are
+        // append-only, so existing codes stay stable.
+        let idx_bytes =
+            std::fs::read(store_dir.join("strings.idx")).map_err(io_ctx("reading strings.idx"))?;
+        let dat_bytes =
+            std::fs::read(store_dir.join("strings.dat")).map_err(io_ctx("reading strings.dat"))?;
+        let existing = Dict::new(&idx_bytes, &dat_bytes)?;
+        let mut dict = DictBuilder::new();
+        for i in 0..existing.len() {
+            dict.intern(existing.get(i as u32)?)?;
+        }
+        let fp_bytes =
+            std::fs::read(store_dir.join("fps.dat")).map_err(io_ctx("reading fps.dat"))?;
+        if fp_bytes.len() % 32 != 0 {
+            return Err(ColError::Corrupt(format!(
+                "fps.dat length {} is not a multiple of 32",
+                fp_bytes.len()
+            )));
+        }
+        let mut fp_lookup = HashMap::new();
+        let mut fp_order = Vec::with_capacity(fp_bytes.len() / 32);
+        for chunk in fp_bytes.chunks_exact(32) {
+            let fp = Fingerprint(chunk.try_into().expect("32-byte chunk"));
+            fp_lookup.insert(fp, fp_order.len() as u32);
+            fp_order.push(fp);
+        }
+        let mut cols = Vec::with_capacity(STREAMED.len());
+        for name in STREAMED {
+            let path = store_dir.join(name);
+            let file = OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .map_err(io_ctx(format!("opening column {}", path.display())))?;
+            cols.push(Col {
+                name,
+                file: BufWriter::new(file),
+                bytes: *manifest.columns.get(*name).expect("manifest is complete"),
+            });
+        }
+        let metas = STREAMED
+            .iter()
+            .map(|name| manifest.segments.get(*name).cloned().unwrap_or_default())
+            .collect();
+        Ok(DatasetWriter {
+            dir: store_dir.to_path_buf(),
+            version: VERSION,
+            segment_rows: manifest.segment_rows,
+            cols,
+            widths: STREAMED.iter().map(|n| width_of(n)).collect(),
+            pending: vec![Vec::new(); STREAMED.len()],
+            metas,
+            append_base: Some(AppendBase {
+                dict_entries: dict.len() as usize,
+                dict_bytes: dat_bytes.len() as u64,
+                fp_entries: fp_order.len(),
+            }),
+            dict,
+            fp_lookup,
+            fp_order,
+            ssl_rows: manifest.ssl_rows,
+            x509_rows: manifest.x509_rows,
         })
     }
 
@@ -165,6 +376,47 @@ impl DatasetWriter {
         Ok(idx)
     }
 
+    /// Route one fixed-width value: raw bytes in v1, pending buffer in v2.
+    fn put_fixed(&mut self, i: usize, v: u64) -> ColResult<()> {
+        let width = self.widths[i].expect("fixed-width column") as usize;
+        if self.version == VERSION_V1 {
+            let bytes = v.to_le_bytes();
+            self.cols[i].put(&bytes[..width])
+        } else {
+            self.pending[i].push(v);
+            Ok(())
+        }
+    }
+
+    /// Encode and flush one whole row band of `group`'s pending values.
+    fn flush_band(&mut self, group: &[usize]) -> ColResult<()> {
+        for &i in group {
+            let values = std::mem::take(&mut self.pending[i]);
+            let width = self.widths[i].expect("fixed-width column") as u8;
+            let (encoding, param, payload) = codec::encode(&values, width);
+            let zone = if self.cols[i].name == "ssl.sni" {
+                ZoneMap::with_presence(&values)
+            } else {
+                ZoneMap::of(&values)
+            };
+            if zone.max >= JSON_SAFE_MAX {
+                return Err(ColError::Corrupt(format!(
+                    "column {}: value {} exceeds the JSON-safe integer range",
+                    self.cols[i].name, zone.max
+                )));
+            }
+            self.cols[i].put(&payload)?;
+            self.metas[i].push(SegmentMeta {
+                rows: values.len() as u64,
+                bytes: payload.len() as u64,
+                encoding,
+                param,
+                zone,
+            });
+        }
+        Ok(())
+    }
+
     /// Append one `ssl.log` row.
     pub fn append_ssl(&mut self, rec: &SslRecord) -> ColResult<()> {
         let sni = self.dict.intern_opt(rec.server_name.as_deref())?;
@@ -172,22 +424,24 @@ impl DatasetWriter {
         for fp in &rec.cert_chain_fps {
             chain.extend_from_slice(&self.fp_index(fp)?.to_le_bytes());
         }
-        let c = &mut self.cols;
-        c[SSL_TS].put(&rec.ts.unix_secs().to_le_bytes())?;
-        c[SSL_UID_DAT].put(rec.uid.as_bytes())?;
-        let uid_end = c[SSL_UID_DAT].bytes;
-        c[SSL_UID_IDX].put(&uid_end.to_le_bytes())?;
-        c[SSL_ORIG_H].put(&u32::from(rec.orig_h).to_le_bytes())?;
-        c[SSL_ORIG_P].put(&rec.orig_p.to_le_bytes())?;
-        c[SSL_RESP_H].put(&u32::from(rec.resp_h).to_le_bytes())?;
-        c[SSL_RESP_P].put(&rec.resp_p.to_le_bytes())?;
-        c[SSL_VERSION].put(&[encode_tls_version(rec.version)])?;
-        c[SSL_SNI].put(&sni.to_le_bytes())?;
-        c[SSL_ESTABLISHED].put(&[u8::from(rec.established)])?;
-        c[SSL_CHAIN_DAT].put(&chain)?;
-        let chain_end = c[SSL_CHAIN_DAT].bytes;
-        c[SSL_CHAIN_IDX].put(&chain_end.to_le_bytes())?;
+        self.put_fixed(SSL_TS, rec.ts.unix_secs())?;
+        self.cols[SSL_UID_DAT].put(rec.uid.as_bytes())?;
+        let uid_end = self.cols[SSL_UID_DAT].bytes;
+        self.put_fixed(SSL_UID_IDX, uid_end)?;
+        self.put_fixed(SSL_ORIG_H, u64::from(u32::from(rec.orig_h)))?;
+        self.put_fixed(SSL_ORIG_P, u64::from(rec.orig_p))?;
+        self.put_fixed(SSL_RESP_H, u64::from(u32::from(rec.resp_h)))?;
+        self.put_fixed(SSL_RESP_P, u64::from(rec.resp_p))?;
+        self.put_fixed(SSL_VERSION, u64::from(encode_tls_version(rec.version)))?;
+        self.put_fixed(SSL_SNI, u64::from(sni))?;
+        self.put_fixed(SSL_ESTABLISHED, u64::from(rec.established))?;
+        self.cols[SSL_CHAIN_DAT].put(&chain)?;
+        let chain_end = self.cols[SSL_CHAIN_DAT].bytes;
+        self.put_fixed(SSL_CHAIN_IDX, chain_end)?;
         self.ssl_rows += 1;
+        if self.version == VERSION && self.pending[SSL_TS].len() as u64 == self.segment_rows {
+            self.flush_band(SSL_FIXED)?;
+        }
         Ok(())
     }
 
@@ -211,21 +465,23 @@ impl DatasetWriter {
         if rec.path_len.is_some() {
             flags |= FLAG_PATH_LEN;
         }
-        let c = &mut self.cols;
-        c[X509_TS].put(&rec.ts.unix_secs().to_le_bytes())?;
-        c[X509_FP].put(&fp.to_le_bytes())?;
-        c[X509_VERSION].put(&rec.cert_version.to_le_bytes())?;
-        c[X509_SERIAL].put(&serial.to_le_bytes())?;
-        c[X509_SUBJECT].put(&subject.to_le_bytes())?;
-        c[X509_ISSUER].put(&issuer.to_le_bytes())?;
-        c[X509_NOT_BEFORE].put(&rec.not_before.unix_secs().to_le_bytes())?;
-        c[X509_NOT_AFTER].put(&rec.not_after.unix_secs().to_le_bytes())?;
-        c[X509_FLAGS].put(&[flags])?;
-        c[X509_PATH_LEN].put(&rec.path_len.unwrap_or(0).to_le_bytes())?;
-        c[X509_SAN_DAT].put(&san)?;
-        let san_end = c[X509_SAN_DAT].bytes;
-        c[X509_SAN_IDX].put(&san_end.to_le_bytes())?;
+        self.put_fixed(X509_TS, rec.ts.unix_secs())?;
+        self.put_fixed(X509_FP, u64::from(fp))?;
+        self.put_fixed(X509_VERSION, rec.cert_version)?;
+        self.put_fixed(X509_SERIAL, u64::from(serial))?;
+        self.put_fixed(X509_SUBJECT, u64::from(subject))?;
+        self.put_fixed(X509_ISSUER, u64::from(issuer))?;
+        self.put_fixed(X509_NOT_BEFORE, rec.not_before.unix_secs())?;
+        self.put_fixed(X509_NOT_AFTER, rec.not_after.unix_secs())?;
+        self.put_fixed(X509_FLAGS, u64::from(flags))?;
+        self.put_fixed(X509_PATH_LEN, rec.path_len.unwrap_or(0))?;
+        self.cols[X509_SAN_DAT].put(&san)?;
+        let san_end = self.cols[X509_SAN_DAT].bytes;
+        self.put_fixed(X509_SAN_IDX, san_end)?;
         self.x509_rows += 1;
+        if self.version == VERSION && self.pending[X509_TS].len() as u64 == self.segment_rows {
+            self.flush_band(X509_FIXED)?;
+        }
         Ok(())
     }
 
@@ -236,6 +492,14 @@ impl DatasetWriter {
 
     /// Flush all columns, write the shared tables, then the manifest.
     pub fn finish(mut self) -> ColResult<Manifest> {
+        if self.version == VERSION {
+            if !self.pending[SSL_TS].is_empty() {
+                self.flush_band(SSL_FIXED)?;
+            }
+            if !self.pending[X509_TS].is_empty() {
+                self.flush_band(X509_FIXED)?;
+            }
+        }
         let mut columns = std::collections::BTreeMap::new();
         for col in &mut self.cols {
             col.file
@@ -243,28 +507,74 @@ impl DatasetWriter {
                 .map_err(io_ctx(format!("flushing column {}", col.name)))?;
             columns.insert(col.name.to_string(), col.bytes);
         }
-        let (idx, dat) = self.dict.to_files();
-        let mut fps = Vec::with_capacity(self.fp_order.len() * 32);
-        for fp in &self.fp_order {
-            fps.extend_from_slice(&fp.0);
-        }
-        for (name, bytes) in [
-            ("strings.idx", &idx),
-            ("strings.dat", &dat),
-            ("fps.dat", &fps),
-        ] {
-            let path = self.dir.join(name);
-            std::fs::write(&path, bytes).map_err(io_ctx(format!("writing {}", path.display())))?;
-            columns.insert(name.to_string(), bytes.len() as u64);
+        match &self.append_base {
+            None => {
+                let (idx, dat) = self.dict.to_files();
+                let mut fps = Vec::with_capacity(self.fp_order.len() * 32);
+                for fp in &self.fp_order {
+                    fps.extend_from_slice(&fp.0);
+                }
+                for (name, bytes) in [
+                    ("strings.idx", &idx),
+                    ("strings.dat", &dat),
+                    ("fps.dat", &fps),
+                ] {
+                    let path = self.dir.join(name);
+                    std::fs::write(&path, bytes)
+                        .map_err(io_ctx(format!("writing {}", path.display())))?;
+                    columns.insert(name.to_string(), bytes.len() as u64);
+                }
+            }
+            Some(base) => {
+                let (idx_tail, dat_tail) =
+                    self.dict.to_files_from(base.dict_entries, base.dict_bytes);
+                let mut fps_tail = Vec::new();
+                for fp in &self.fp_order[base.fp_entries..] {
+                    fps_tail.extend_from_slice(&fp.0);
+                }
+                for (name, tail) in [
+                    ("strings.idx", &idx_tail),
+                    ("strings.dat", &dat_tail),
+                    ("fps.dat", &fps_tail),
+                ] {
+                    let path = self.dir.join(name);
+                    let mut file = OpenOptions::new()
+                        .append(true)
+                        .open(&path)
+                        .map_err(io_ctx(format!("opening {}", path.display())))?;
+                    file.write_all(tail)
+                        .map_err(io_ctx(format!("appending to {}", path.display())))?;
+                }
+                columns.insert("strings.idx".into(), self.dict.len() * 8);
+                columns.insert(
+                    "strings.dat".into(),
+                    base.dict_bytes + dat_tail.len() as u64,
+                );
+                columns.insert("fps.dat".into(), self.fp_order.len() as u64 * 32);
+            }
         }
         debug_assert_eq!(columns.len(), COLUMNS.len());
+        let mut segments = std::collections::BTreeMap::new();
+        if self.version == VERSION {
+            for (i, name) in STREAMED.iter().enumerate() {
+                if self.widths[i].is_some() {
+                    segments.insert(name.to_string(), std::mem::take(&mut self.metas[i]));
+                }
+            }
+        }
         let manifest = Manifest {
-            version: VERSION,
+            version: self.version,
             ssl_rows: self.ssl_rows,
             x509_rows: self.x509_rows,
             dict_entries: self.dict.len(),
             fp_entries: self.fp_order.len() as u64,
             columns,
+            segment_rows: if self.version == VERSION {
+                self.segment_rows
+            } else {
+                0
+            },
+            segments,
         };
         manifest.store(&self.dir)?;
         Ok(manifest)

@@ -6,7 +6,8 @@
 
 use certchain_asn1::Asn1Time;
 use certchain_colstore::{
-    ColError, DatasetReader, DatasetWriter, Manifest, MapMode, MANIFEST_FILE,
+    ColError, DatasetReader, DatasetWriter, Manifest, MapMode, WriterOptions, MANIFEST_FILE,
+    VERSION_V1,
 };
 use certchain_netsim::{SslRecord, TlsVersion, X509Record};
 use certchain_x509::Fingerprint;
@@ -91,9 +92,19 @@ fn arb_x509_record() -> impl Strategy<Value = X509Record> {
         )
 }
 
-/// Write both record kinds and read them back under `mode`.
+/// Write both record kinds with the default (v2) format.
 fn write_store(dir: &Path, ssl: &[SslRecord], x509: &[X509Record]) -> Manifest {
-    let mut writer = DatasetWriter::create(dir).expect("create store");
+    write_store_with(dir, ssl, x509, WriterOptions::default())
+}
+
+/// Write both record kinds with explicit format options.
+fn write_store_with(
+    dir: &Path,
+    ssl: &[SslRecord],
+    x509: &[X509Record],
+    opts: WriterOptions,
+) -> Manifest {
+    let mut writer = DatasetWriter::create_with(dir, opts).expect("create store");
     for rec in x509 {
         writer.append_x509(rec).expect("append x509");
     }
@@ -126,16 +137,25 @@ proptest! {
         ssl in proptest::collection::vec(arb_ssl_record(), 0..16),
         x509 in proptest::collection::vec(arb_x509_record(), 0..16),
     ) {
-        let dir = scratch("rt");
-        let manifest = write_store(&dir, &ssl, &x509);
-        prop_assert_eq!(manifest.ssl_rows, ssl.len() as u64);
-        prop_assert_eq!(manifest.x509_rows, x509.len() as u64);
-        for mode in [MapMode::Auto, MapMode::Read] {
-            let (got_ssl, got_x509) = read_back(&dir, mode);
-            prop_assert_eq!(&got_ssl, &ssl);
-            prop_assert_eq!(&got_x509, &x509);
+        // Default v2, v2 with row bands small enough to force multiple
+        // ragged segments, and legacy v1 all round-trip identically.
+        for opts in [
+            WriterOptions::default(),
+            WriterOptions { segment_rows: 3, ..WriterOptions::default() },
+            WriterOptions { version: VERSION_V1, ..WriterOptions::default() },
+        ] {
+            let dir = scratch("rt");
+            let manifest = write_store_with(&dir, &ssl, &x509, opts);
+            prop_assert_eq!(manifest.version, opts.version);
+            prop_assert_eq!(manifest.ssl_rows, ssl.len() as u64);
+            prop_assert_eq!(manifest.x509_rows, x509.len() as u64);
+            for mode in [MapMode::Auto, MapMode::Read] {
+                let (got_ssl, got_x509) = read_back(&dir, mode);
+                prop_assert_eq!(&got_ssl, &ssl);
+                prop_assert_eq!(&got_x509, &x509);
+            }
+            let _ = std::fs::remove_dir_all(&dir);
         }
-        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Truncating any column file to any shorter length is caught at
@@ -182,7 +202,7 @@ fn version_mismatch_is_a_clear_error() {
     write_store(&dir, &[], &[]);
     let manifest_path = dir.join(MANIFEST_FILE);
     let text = std::fs::read_to_string(&manifest_path).unwrap();
-    let bumped = text.replace("\"version\": 1", "\"version\": 99");
+    let bumped = text.replace("\"version\": 2", "\"version\": 99");
     assert_ne!(text, bumped, "manifest must contain the version field");
     std::fs::write(&manifest_path, bumped).unwrap();
     let err = DatasetReader::open(&dir, MapMode::Auto).unwrap_err();
@@ -210,7 +230,15 @@ fn truncated_fixed_width_column_reports_expected_and_found() {
             cert_chain_fps: vec![Fingerprint([i as u8; 32])],
         })
         .collect();
-    write_store(&dir, &ssl, &[]);
+    // v1 stores raw fixed-width columns, so the truncation arithmetic
+    // below (rows x width) only holds there; v2 length mismatches are
+    // caught by the same manifest length check under `Truncated` too,
+    // which `any_truncated_column_fails_open` exercises.
+    let opts = WriterOptions {
+        version: VERSION_V1,
+        ..WriterOptions::default()
+    };
+    write_store_with(&dir, &ssl, &[], opts);
     // 4 rows x 8 bytes; keep only 3 rows' worth.
     let ts = dir.join("ssl.ts");
     let f = std::fs::OpenOptions::new().write(true).open(&ts).unwrap();

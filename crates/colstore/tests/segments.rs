@@ -1,0 +1,369 @@
+//! v2 segmented-format integrity: codec round-trips under arbitrary
+//! values (empty, single-row, and full max-row segments included), zone
+//! maps that never exclude a present value, the append-segment protocol
+//! (tail-only shared-table growth, stable dictionary codes), and the
+//! error suite mirroring the v1 reader tests — truncation, manifest
+//! corruption, and unknown versions all fail `open` or decode with a
+//! structured error.
+
+use certchain_asn1::Asn1Time;
+use certchain_colstore::codec::{self, Encoding};
+use certchain_colstore::zonemap::ZoneMap;
+use certchain_colstore::{
+    ColError, DatasetReader, DatasetWriter, MapMode, WriterOptions, MANIFEST_FILE, NONE_IDX,
+    VERSION_V1,
+};
+use certchain_netsim::{SslRecord, TlsVersion, X509Record};
+use certchain_x509::Fingerprint;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn scratch(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "certchain-segments-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn ssl_row(i: u64) -> SslRecord {
+    SslRecord {
+        ts: Asn1Time::from_unix(1_700_000_000 + i),
+        uid: format!("Cseg{i}"),
+        orig_h: Ipv4Addr::new(10, 1, (i / 256) as u8, (i % 256) as u8),
+        orig_p: 40_000 + (i % 1000) as u16,
+        resp_h: Ipv4Addr::new(93, 184, 216, 34),
+        resp_p: if i % 5 == 0 { 8443 } else { 443 },
+        version: TlsVersion::Tls13,
+        server_name: (i % 3 != 0).then(|| format!("host{}.example.edu", i % 7)),
+        established: i % 4 != 0,
+        cert_chain_fps: vec![Fingerprint([(i % 11) as u8; 32])],
+    }
+}
+
+fn x509_row(i: u64) -> X509Record {
+    X509Record {
+        ts: Asn1Time::from_unix(1_700_000_000 + i),
+        fingerprint: Fingerprint([(i % 11) as u8; 32]),
+        cert_version: 3,
+        serial: format!("{i:04X}"),
+        subject: format!("CN=leaf {}", i % 11),
+        issuer: "CN=Campus Issuing CA".into(),
+        not_before: Asn1Time::from_unix(1_690_000_000),
+        not_after: Asn1Time::from_unix(1_790_000_000),
+        basic_constraints_ca: Some(false),
+        path_len: None,
+        san_dns: vec![format!("host{}.example.edu", i % 7)],
+    }
+}
+
+fn write_v2(dir: &Path, ssl_rows: u64, x509_rows: u64, segment_rows: u64) {
+    let mut writer = DatasetWriter::create_with(
+        dir,
+        WriterOptions {
+            segment_rows,
+            ..WriterOptions::default()
+        },
+    )
+    .expect("create v2 store");
+    for i in 0..x509_rows {
+        writer.append_x509(&x509_row(i)).expect("append x509");
+    }
+    for i in 0..ssl_rows {
+        writer.append_ssl(&ssl_row(i)).expect("append ssl");
+    }
+    writer.finish().expect("finish store");
+}
+
+proptest! {
+    /// Arbitrary u64 segments round-trip through whatever encoding the
+    /// deterministic selector picks, at every column width.
+    #[test]
+    fn codec_round_trips_arbitrary_segments(
+        raw in proptest::collection::vec(any::<u64>(), 0..300),
+        width_pick in 0usize..4,
+    ) {
+        let width = [1u8, 2, 4, 8][width_pick];
+        let mask = if width == 8 { u64::MAX } else { (1u64 << (8 * width as u32)) - 1 };
+        let values: Vec<u64> = raw.iter().map(|v| v & mask).collect();
+        let (enc, param, bytes) = codec::encode(&values, width);
+        let mut out = Vec::new();
+        codec::decode_into(enc, param, width, values.len(), &bytes, &mut out).expect("decode");
+        prop_assert_eq!(out, values);
+    }
+
+    /// Sorted segments (the delta candidate) and low-cardinality
+    /// segments (the RLE candidate) round-trip and never beat plain by
+    /// accident — encoded size is at most the plain size.
+    #[test]
+    fn codec_round_trips_sorted_and_repetitive_segments(
+        deltas in proptest::collection::vec(0u64..1000, 1..200),
+        runs in proptest::collection::vec((0u64..4, 1usize..20), 1..20),
+    ) {
+        let mut sorted = Vec::with_capacity(deltas.len());
+        let mut cur = 1_700_000_000u64;
+        for d in &deltas {
+            cur += d;
+            sorted.push(cur);
+        }
+        let (enc, param, bytes) = codec::encode(&sorted, 8);
+        prop_assert!(bytes.len() <= sorted.len() * 8);
+        let mut out = Vec::new();
+        codec::decode_into(enc, param, 8, sorted.len(), &bytes, &mut out).expect("decode sorted");
+        prop_assert_eq!(&out, &sorted);
+
+        let mut repetitive = Vec::new();
+        for (v, n) in &runs {
+            repetitive.extend(std::iter::repeat_n(*v, *n));
+        }
+        let (enc, param, bytes) = codec::encode(&repetitive, 4);
+        prop_assert!(bytes.len() <= repetitive.len() * 4);
+        out.clear();
+        codec::decode_into(enc, param, 4, repetitive.len(), &bytes, &mut out)
+            .expect("decode repetitive");
+        prop_assert_eq!(&out, &repetitive);
+    }
+
+    /// Dictionary-code segments (u32 codes with the NONE sentinel mixed
+    /// in) round-trip and their presence bitmap never reports a present
+    /// code as absent — the zone-map skip rule's one-sided guarantee.
+    #[test]
+    fn dictionary_code_segments_and_presence_bitmaps(
+        raw in proptest::collection::vec(0u32..625, 0..300),
+    ) {
+        // Roughly one in five codes is the NONE sentinel.
+        let codes: Vec<u32> = raw
+            .iter()
+            .map(|&c| if c >= 500 { NONE_IDX } else { c })
+            .collect();
+        let values: Vec<u64> = codes.iter().map(|&c| u64::from(c)).collect();
+        let (enc, param, bytes) = codec::encode(&values, 4);
+        let mut out = Vec::new();
+        codec::decode_into(enc, param, 4, values.len(), &bytes, &mut out).expect("decode");
+        prop_assert_eq!(&out, &values);
+        let zone = ZoneMap::with_presence(&values);
+        for &code in &codes {
+            if code != NONE_IDX {
+                prop_assert!(zone.may_contain_code(code), "present code {code} excluded");
+            }
+        }
+    }
+}
+
+#[test]
+fn single_and_max_row_segments_round_trip() {
+    // segment_rows = 4: row counts straddling the band boundary exercise
+    // empty tails, exactly-full bands, and single-row ragged tails.
+    for rows in [1u64, 3, 4, 5, 8, 9] {
+        let dir = scratch("bands");
+        write_v2(&dir, rows, rows.min(5), 4);
+        let reader = DatasetReader::open(&dir, MapMode::Auto).expect("open");
+        assert_eq!(reader.format_version(), 2);
+        let ssl: Vec<SslRecord> = reader
+            .ssl_iter()
+            .expect("iter")
+            .collect::<Result<_, _>>()
+            .expect("decode");
+        assert_eq!(ssl.len(), rows as usize);
+        for (i, rec) in ssl.iter().enumerate() {
+            assert_eq!(rec, &ssl_row(i as u64), "row {i}");
+        }
+        let segs = reader.ssl_segments().expect("segments");
+        assert_eq!(segs.segment_count() as u64, rows.div_ceil(4));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn zone_maps_match_segment_contents() {
+    let dir = scratch("zones");
+    write_v2(&dir, 40, 10, 8);
+    let reader = DatasetReader::open(&dir, MapMode::Auto).expect("open");
+    let segs = reader.ssl_segments().expect("segments");
+    let mut scratch_buf = Vec::new();
+    for seg in 0..segs.segment_count() {
+        segs.resp_p
+            .decode_into(seg, &mut scratch_buf)
+            .expect("decode resp_p");
+        let zone = &segs.resp_p.meta(seg).zone;
+        assert_eq!(zone.min, *scratch_buf.iter().min().unwrap());
+        assert_eq!(zone.max, *scratch_buf.iter().max().unwrap());
+        segs.sni
+            .decode_into(seg, &mut scratch_buf)
+            .expect("decode sni");
+        let zone = &segs.sni.meta(seg).zone;
+        assert!(zone.bitmap.is_some(), "ssl.sni segments carry a bitmap");
+        for &code in scratch_buf.iter().filter(|&&c| c != u64::from(NONE_IDX)) {
+            assert!(zone.may_contain_code(code as u32));
+        }
+        // Timestamps are sorted and the band is wide: delta must win.
+        assert_eq!(segs.ts.meta(seg).encoding, Encoding::Delta);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn append_open_extends_a_store_in_place() {
+    let dir = scratch("append");
+    write_v2(&dir, 10, 6, 8);
+    let before_idx = std::fs::read(dir.join("strings.idx")).unwrap();
+    let before_dat = std::fs::read(dir.join("strings.dat")).unwrap();
+
+    let mut writer = DatasetWriter::append_open(&dir).expect("append_open");
+    assert_eq!(writer.rows(), (10, 6));
+    for i in 6..9 {
+        writer.append_x509(&x509_row(i)).expect("append x509");
+    }
+    for i in 10..25 {
+        writer.append_ssl(&ssl_row(i)).expect("append ssl");
+    }
+    let manifest = writer.finish().expect("finish append");
+    assert_eq!((manifest.ssl_rows, manifest.x509_rows), (25, 9));
+
+    // The pre-existing shared-table bytes are a strict prefix: appending
+    // never rewrites what earlier readers already addressed.
+    let after_idx = std::fs::read(dir.join("strings.idx")).unwrap();
+    let after_dat = std::fs::read(dir.join("strings.dat")).unwrap();
+    assert_eq!(&after_idx[..before_idx.len()], &before_idx[..]);
+    assert_eq!(&after_dat[..before_dat.len()], &before_dat[..]);
+
+    let reader = DatasetReader::open(&dir, MapMode::Auto).expect("open appended");
+    let ssl: Vec<SslRecord> = reader
+        .ssl_iter()
+        .expect("iter")
+        .collect::<Result<_, _>>()
+        .expect("decode");
+    let want: Vec<SslRecord> = (0..25).map(ssl_row).collect();
+    assert_eq!(ssl, want);
+    let x509: Vec<X509Record> = reader
+        .x509_iter()
+        .expect("iter")
+        .collect::<Result<_, _>>()
+        .expect("decode");
+    let want: Vec<X509Record> = (0..9).map(x509_row).collect();
+    assert_eq!(x509, want);
+
+    // New rows start fresh segments: 10 rows at band 8 gave [8, 2]; the
+    // append added [8, 7], never rewriting the ragged band in between.
+    let bands: Vec<u64> = reader
+        .manifest()
+        .segments
+        .get("ssl.ts")
+        .unwrap()
+        .iter()
+        .map(|m| m.rows)
+        .collect();
+    assert_eq!(bands, vec![8, 2, 8, 7]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn append_open_refuses_v1_stores() {
+    let dir = scratch("append-v1");
+    let mut writer = DatasetWriter::create_with(
+        &dir,
+        WriterOptions {
+            version: VERSION_V1,
+            ..WriterOptions::default()
+        },
+    )
+    .expect("create v1 store");
+    writer.append_ssl(&ssl_row(0)).expect("append");
+    writer.finish().expect("finish");
+    let msg = match DatasetWriter::append_open(&dir) {
+        Ok(_) => panic!("append_open must refuse a v1 store"),
+        Err(e) => e.to_string(),
+    };
+    assert!(msg.contains("certchain compact"), "{msg}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_version_is_a_hard_error() {
+    let dir = scratch("unknown");
+    write_v2(&dir, 4, 2, 8);
+    let path = dir.join(MANIFEST_FILE);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let bumped = text.replace("\"version\": 2", "\"version\": 7");
+    assert_ne!(text, bumped);
+    std::fs::write(&path, bumped).unwrap();
+    let msg = DatasetReader::open(&dir, MapMode::Auto)
+        .unwrap_err()
+        .to_string();
+    assert!(msg.contains("expected 1 or 2"), "{msg}");
+    assert!(msg.contains("found 7"), "{msg}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_encoded_column_fails_open() {
+    let dir = scratch("trunc");
+    write_v2(&dir, 20, 5, 8);
+    let victim = dir.join("ssl.sni");
+    let len = std::fs::metadata(&victim).unwrap().len();
+    assert!(len > 1);
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&victim)
+        .unwrap();
+    f.set_len(len - 1).unwrap();
+    drop(f);
+    match DatasetReader::open(&dir, MapMode::Auto).unwrap_err() {
+        ColError::Truncated {
+            file,
+            expected,
+            found,
+        } => {
+            assert_eq!(file, "ssl.sni");
+            assert_eq!(expected, len);
+            assert_eq!(found, len - 1);
+        }
+        other => panic!("expected Truncated, got {other}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_segment_metadata_is_rejected() {
+    // An unknown encoding name in any segment entry fails manifest parse.
+    let dir = scratch("bad-enc");
+    write_v2(&dir, 20, 5, 8);
+    let path = dir.join(MANIFEST_FILE);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let bad = text.replacen("\"enc\": \"delta\"", "\"enc\": \"bogus\"", 1);
+    assert_ne!(
+        text, bad,
+        "a v2 store of sorted timestamps has a delta segment"
+    );
+    std::fs::write(&path, bad).unwrap();
+    let msg = DatasetReader::open(&dir, MapMode::Auto)
+        .unwrap_err()
+        .to_string();
+    assert!(msg.contains("bogus"), "{msg}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_segment_payload_fails_decode_not_panics() {
+    let dir = scratch("bad-payload");
+    write_v2(&dir, 20, 5, 8);
+    // Flip bytes inside ssl.chain.idx: decoded end offsets go wild, and
+    // either the final-offset validation at open or the bounds-checked
+    // slicing at decode must reject them — never a panic, never silently
+    // wrong rows.
+    let victim = dir.join("ssl.chain.idx");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    for b in bytes.iter_mut() {
+        *b ^= 0xA5;
+    }
+    std::fs::write(&victim, bytes).unwrap();
+    let outcome = DatasetReader::open(&dir, MapMode::Auto)
+        .and_then(|r| r.ssl_iter()?.collect::<Result<Vec<_>, _>>());
+    assert!(outcome.is_err(), "corrupted offsets must surface an error");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,105 +1,23 @@
-//! Stage 2 — enrich: intern x509.log rows into shared certificate
-//! records, one `Arc` per distinct fingerprint.
+//! Stage 2 — enrich: the interned certificate index, one shared record
+//! per distinct fingerprint.
 //!
 //! Real campus logs repeat certificates enormously (every connection
 //! re-logs the chain it saw), so the index is the compact side of the
 //! dataset: O(distinct certificates) regardless of connection volume.
-//! First occurrence wins, so re-logged rows never perturb the index and
-//! both entry points agree on which row defines a fingerprint.
+//! First parseable occurrence wins, so re-logged rows never perturb the
+//! index and every entry point agrees on which row defines a
+//! fingerprint.
+//!
+//! The interning fold itself lives on [`super::state::PipelineState`]
+//! (it is resumable state, folded incrementally from rotated x509
+//! files); the columnar path builds the same index straight from the
+//! store's fingerprint table. Both produce this [`CertIndex`] shape for
+//! the finalize stages.
 
 use crate::model::CertRecord;
-use certchain_netsim::X509Record;
 use certchain_x509::Fingerprint;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// The interned certificate index: fingerprint -> shared record.
 pub(crate) type CertIndex = HashMap<Fingerprint, Arc<CertRecord>>;
-
-/// One intern worker's output: interned pairs in input order, plus the
-/// worker's unparseable-row tally.
-type InternedChunk = (Vec<(Fingerprint, Arc<CertRecord>)>, u64);
-
-/// Build the fingerprint → interned certificate index from an in-memory
-/// slice. First occurrence in `x509` wins, matching the sequential fold:
-/// per-worker chunks stay in input order and merge in chunk order.
-/// Returns the index plus the count of rows that failed to parse into a
-/// [`CertRecord`] (a per-row property, so the tally is chunk-order
-/// independent and thread-count invariant).
-pub(crate) fn intern_certs(x509: &[X509Record], threads: usize) -> (CertIndex, u64) {
-    let mut cert_index: CertIndex = HashMap::with_capacity(x509.len());
-    let mut unparseable = 0u64;
-    if threads <= 1 || x509.len() < 2 {
-        for rec in x509 {
-            match CertRecord::from_record(rec) {
-                Some(cert) => {
-                    cert_index
-                        .entry(rec.fingerprint)
-                        .or_insert_with(|| Arc::new(cert));
-                }
-                None => unparseable += 1,
-            }
-        }
-        return (cert_index, unparseable);
-    }
-    let chunk = x509.len().div_ceil(threads);
-    let parsed: Vec<InternedChunk> = std::thread::scope(|scope| {
-        let handles: Vec<_> = x509
-            .chunks(chunk)
-            .map(|part| {
-                scope.spawn(move || {
-                    let mut bad = 0u64;
-                    let ok: Vec<_> = part
-                        .iter()
-                        .filter_map(|rec| match CertRecord::from_record(rec) {
-                            Some(cert) => Some((rec.fingerprint, Arc::new(cert))),
-                            None => {
-                                bad += 1;
-                                None
-                            }
-                        })
-                        .collect();
-                    (ok, bad)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("intern worker panicked"))
-            .collect()
-    });
-    for (part, bad) in parsed {
-        unparseable += bad;
-        for (fp, cert) in part {
-            cert_index.entry(fp).or_insert(cert);
-        }
-    }
-    (cert_index, unparseable)
-}
-
-/// Build the index from a fallible record stream without ever holding the
-/// raw rows: each row is parsed and either interned or dropped as a
-/// duplicate, so peak memory is O(distinct certificates). The first
-/// reader error aborts and is returned as-is. For well-formed input the
-/// result equals [`intern_certs`] over the collected rows. Returns
-/// `(index, rows_consumed, unparseable_rows)`.
-pub(crate) fn intern_certs_stream<E>(
-    x509: impl Iterator<Item = Result<X509Record, E>>,
-) -> Result<(CertIndex, u64, u64), E> {
-    let mut cert_index: CertIndex = HashMap::new();
-    let mut rows = 0u64;
-    let mut unparseable = 0u64;
-    for rec in x509 {
-        let rec = rec?;
-        rows += 1;
-        match CertRecord::from_record(&rec) {
-            Some(cert) => {
-                cert_index
-                    .entry(rec.fingerprint)
-                    .or_insert_with(|| Arc::new(cert));
-            }
-            None => unparseable += 1,
-        }
-    }
-    Ok((cert_index, rows, unparseable))
-}

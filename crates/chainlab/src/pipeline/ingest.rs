@@ -17,16 +17,14 @@
 //! its shard's records — O(records × threads) total work, which made the
 //! pipeline scale *negatively* with thread count.)
 
-use super::categorize::{self, Prepared};
 use super::{Pipeline, SslItem};
-use crate::model::{CertRecord, ChainKey};
+use crate::model::ChainKey;
 use crate::usage::UsageStats;
 use certchain_netsim::SslRecord;
 use certchain_x509::Fingerprint;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::mpsc::sync_channel;
-use std::sync::Arc;
 
 /// Records ingested per dispatch round. Large enough to amortize channel
 /// and scheduling overhead, small enough that in-flight memory stays
@@ -38,7 +36,7 @@ pub(crate) const CHUNK: usize = 8192;
 const CHANNEL_DEPTH: usize = 4;
 
 /// Per-chain connection accumulator.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub(crate) struct ChainAccum {
     pub(crate) usage: UsageStats,
     pub(crate) snis: BTreeSet<String>,
@@ -59,6 +57,14 @@ impl ChainAccum {
 /// Record accounting produced by one accumulation run. Every field is a
 /// commutative integer sum over the record stream, so the values are
 /// identical for every thread count.
+///
+/// The fold core itself only ever moves `records` and `no_chain`:
+/// resolvability against the certificate index is deferred to finalize
+/// (chains referencing unknown fingerprints are folded like any other
+/// and excluded there), which is what lets rotated x509/ssl files
+/// arrive and fold in any interleaving. The columnar path still fills
+/// `unresolvable` during its fold, where the fingerprint table makes
+/// the check free.
 #[derive(Debug, Default, Clone, Copy)]
 pub(crate) struct IngestCounts {
     /// Total ssl.log records consumed (including skipped ones).
@@ -105,22 +111,24 @@ fn fold(accums: &mut HashMap<ChainKey, ChainAccum>, rec: &SslRecord, weight: f64
     }
 }
 
-/// Fold the record stream into classified [`Prepared`] chains (unsorted)
-/// plus the run's [`IngestCounts`].
+/// Fold the record stream into per-chain accumulators (no certificate
+/// resolution — see [`IngestCounts`]) plus the run's counts. The
+/// returned map is one fold's worth of accumulation; callers merge it
+/// into longer-lived state ([`super::state::PipelineState`]) or hand it
+/// straight to finalize.
 pub(crate) fn accumulate<B, I>(
     pipe: &Pipeline<'_>,
     records: I,
-    cert_index: &HashMap<Fingerprint, Arc<CertRecord>>,
     threads: usize,
-) -> (Vec<Prepared>, IngestCounts)
+) -> (HashMap<ChainKey, ChainAccum>, IngestCounts)
 where
     B: SslItem,
     I: Iterator<Item = (B, f64)>,
 {
     if threads <= 1 {
-        return sequential(pipe, records, cert_index);
+        return sequential(pipe, records);
     }
-    dispatch(pipe, records, cert_index, threads)
+    dispatch(pipe, records, threads)
 }
 
 /// The single-threaded fold — also the semantic reference the parallel
@@ -128,8 +136,7 @@ where
 fn sequential<B, I>(
     pipe: &Pipeline<'_>,
     records: I,
-    cert_index: &HashMap<Fingerprint, Arc<CertRecord>>,
-) -> (Vec<Prepared>, IngestCounts)
+) -> (HashMap<ChainKey, ChainAccum>, IngestCounts)
 where
     B: SslItem,
     I: Iterator<Item = (B, f64)>,
@@ -156,18 +163,10 @@ where
             counts.no_chain += 1;
             continue;
         }
-        if !rec
-            .cert_chain_fps
-            .iter()
-            .all(|fp| cert_index.contains_key(fp))
-        {
-            counts.unresolvable += 1;
-            continue;
-        }
         fold(&mut accums, rec, weight);
     }
     pipe.obs.finish_progress(counts.records);
-    (categorize::prepare(pipe, accums, cert_index), counts)
+    (accums, counts)
 }
 
 /// The parallel fold: one persistent worker per shard, fed per-shard
@@ -184,9 +183,8 @@ where
 fn dispatch<B, I>(
     pipe: &Pipeline<'_>,
     mut records: I,
-    cert_index: &HashMap<Fingerprint, Arc<CertRecord>>,
     threads: usize,
-) -> (Vec<Prepared>, IngestCounts)
+) -> (HashMap<ChainKey, ChainAccum>, IngestCounts)
 where
     B: SslItem,
     I: Iterator<Item = (B, f64)>,
@@ -195,7 +193,7 @@ where
     let mut counts = IngestCounts::default();
     let in_flight: Vec<AtomicUsize> = (0..shards).map(|_| AtomicUsize::new(0)).collect();
     let worker_records: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(0)).collect();
-    let results: Vec<(Vec<Prepared>, u64)> = std::thread::scope(|scope| {
+    let results: Vec<HashMap<ChainKey, ChainAccum>> = std::thread::scope(|scope| {
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for shard in 0..shards {
@@ -205,24 +203,14 @@ where
             let processed = &worker_records[shard];
             handles.push(scope.spawn(move || {
                 let mut accums: HashMap<ChainKey, ChainAccum> = HashMap::new();
-                let mut unresolvable = 0u64;
                 while let Ok(batch) = rx.recv() {
                     processed.fetch_add(batch.len() as u64, Relaxed);
                     for (item, weight) in batch {
-                        let rec = item.borrow();
-                        if !rec
-                            .cert_chain_fps
-                            .iter()
-                            .all(|fp| cert_index.contains_key(fp))
-                        {
-                            unresolvable += 1;
-                            continue;
-                        }
-                        fold(&mut accums, rec, weight);
+                        fold(&mut accums, item.borrow(), weight);
                     }
                     in_flight.fetch_sub(1, Relaxed);
                 }
-                (categorize::prepare(pipe, accums, cert_index), unresolvable)
+                accums
             }));
         }
         // The only scan: read a chunk, partition it, dispatch it.
@@ -275,10 +263,12 @@ where
             .collect()
     });
     pipe.obs.finish_progress(counts.records);
-    let mut prepared = Vec::with_capacity(results.iter().map(|(p, _)| p.len()).sum());
-    for (part, ur) in results {
-        prepared.extend(part);
-        counts.unresolvable += ur;
+    // Shards partition the chain space, so the per-worker maps are
+    // disjoint and this is pure collection, not merging.
+    let mut accums = HashMap::with_capacity(results.iter().map(HashMap::len).sum());
+    for part in results {
+        // srclint: commutative -- disjoint per-shard maps collected into a keyed map; insertion order is invisible
+        accums.extend(part);
     }
-    (prepared, counts)
+    (accums, counts)
 }

@@ -23,6 +23,7 @@ pub mod enrich;
 pub mod finalize;
 pub mod ingest;
 pub(crate) mod observe;
+pub mod state;
 
 use crate::classify::CertClass;
 use crate::crosssign::CrossSignRegistry;
@@ -39,6 +40,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 pub use categorize::issuer_entity;
+pub use state::{PipelineState, StateError};
 
 /// §3.2.2 chain categories.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -254,18 +256,16 @@ impl<'a> Pipeline<'a> {
             assert_eq!(w.len(), ssl.len(), "weights must align with ssl records");
         }
         let threads = resolve_threads(self.options.threads);
-        let (cert_index, unparseable) = {
-            let _span = self.obs.stage("enrich");
-            enrich::intern_certs(x509, threads)
-        };
-        self.record_enrich(x509.len() as u64, unparseable, cert_index.len());
+        let mut state = PipelineState::new();
+        self.fold_x509_slice(&mut state, x509, threads);
         let weight_of = |i: usize| weights.map(|w| w[i]).unwrap_or(1.0);
         let records = ssl.iter().enumerate().map(|(i, rec)| (rec, weight_of(i)));
-        let (prepared, counts) = {
+        {
             let _span = self.obs.stage("ingest");
-            ingest::accumulate(self, records, &cert_index, threads)
-        };
-        self.finish(prepared, counts, threads)
+            let (accums, counts) = ingest::accumulate(self, records, threads);
+            state.absorb(accums, counts);
+        }
+        self.finalize_state(&state)
     }
 
     /// Run the full analysis over streaming record sources — the
@@ -284,25 +284,10 @@ impl<'a> Pipeline<'a> {
         I: Iterator<Item = Result<SslRecord, E>>,
         J: Iterator<Item = Result<X509Record, E>>,
     {
-        let threads = resolve_threads(self.options.threads);
-        let (cert_index, x509_rows, unparseable) = {
-            let _span = self.obs.stage("enrich");
-            enrich::intern_certs_stream(x509)?
-        };
-        self.record_enrich(x509_rows, unparseable, cert_index.len());
-        let mut first_err: Option<E> = None;
-        let records = FuseOnErr {
-            inner: ssl,
-            err: &mut first_err,
-        };
-        let (prepared, counts) = {
-            let _span = self.obs.stage("ingest");
-            ingest::accumulate(self, records, &cert_index, threads)
-        };
-        if let Some(e) = first_err {
-            return Err(e);
-        }
-        Ok(self.finish(prepared, counts, threads))
+        let mut state = PipelineState::new();
+        self.fold_x509_stream(&mut state, x509)?;
+        self.fold_ssl_stream(&mut state, ssl)?;
+        Ok(self.finalize_state(&state))
     }
 
     /// Record enrich-stage accounting: row totals, parse failures, and
@@ -386,9 +371,9 @@ impl<'a> Pipeline<'a> {
 /// Iterator adapter: yields `(record, 1.0)` until the first `Err`, which
 /// is parked in `err` and ends the stream. This lets the infallible
 /// accumulation engine drive fallible sources without buffering them.
-struct FuseOnErr<'e, E, I> {
-    inner: I,
-    err: &'e mut Option<E>,
+pub(crate) struct FuseOnErr<'e, E, I> {
+    pub(crate) inner: I,
+    pub(crate) err: &'e mut Option<E>,
 }
 
 impl<E, I, T> Iterator for FuseOnErr<'_, E, I>

@@ -1,0 +1,882 @@
+//! [`PipelineState`]: the pipeline's mid-fold accumulator state as a
+//! first-class, persistable artifact.
+//!
+//! Historically the accumulators (chain key → usage stats and SNI sets,
+//! the interned certificate table, the stream-loss tallies) lived and
+//! died inside one `analyze` call. The paper's deployment shape is the
+//! opposite: a border gateway rotates `ssl.log`/`x509.log` hourly for a
+//! year, and findings must update as files arrive. This module extracts
+//! the state so the pipeline splits into a **resumable fold core**
+//! ([`Pipeline::fold_x509_stream`] / [`Pipeline::fold_ssl_stream`], each
+//! callable any number of times, in any session) and a **pure finalize**
+//! ([`Pipeline::finalize_state`]) that renders an [`super::Analysis`]
+//! from any state without mutating it.
+//!
+//! # Why resumable folding is exact, not approximate
+//!
+//! Every aggregate in the state is commutative and associative over
+//! record folds at unit weight: the usage sums are integer-valued `f64`s
+//! (exact in IEEE 754 far beyond any campus corpus), the SNI/client-IP
+//! aggregates are set unions, and the counters are integer sums. Folding
+//! a record stream as N per-file folds across N processes therefore
+//! produces *bit-identical* state to one batch fold — the defining
+//! invariant, pinned by tests here and by the serve/analyze `cmp` smoke
+//! in CI. (Fractional statistical weights — the batch `analyze
+//! --weights` path — are not exact under re-association, so only
+//! unit-weight folds should be resumed across sessions; real Zeek logs
+//! are always unit-weight.)
+//!
+//! Certificate resolution is deferred to finalize: the fold core accepts
+//! ssl records whose fingerprints have no x509 row *yet* (rotated files
+//! interleave arbitrarily), and chains still unresolved when a report is
+//! rendered are excluded there, with their record count reported as
+//! `unresolvable_records` — byte-identical to the batch pipeline, which
+//! drains all x509 rows before any ssl record.
+//!
+//! # Checkpoint layout
+//!
+//! Persistence reuses `certchain-colstore`'s checkpoint container
+//! (generation directories, one file per field, manifest written last,
+//! size-validated loader with fallback to the last complete generation):
+//!
+//! - `chains.dat` — every per-chain accumulator, sorted by [`ChainKey`]
+//!   so the bytes are invariant across thread counts and hash seeds.
+//!   Rewritten per generation: it is a mutable aggregate, O(distinct
+//!   chains).
+//! - `certs-NNNNNN.dat` — the interned certificate table as an
+//!   append-only chunk series: each generation writes only the certs
+//!   interned since the previous checkpoint and *carries* older chunks
+//!   by hard link, so cert persistence costs O(new data).
+//! - counters, loss tallies, and the folded-file ledger ride in the
+//!   manifest's `meta` object.
+
+use super::categorize::Prepared;
+use super::enrich::CertIndex;
+use super::ingest::{ChainAccum, IngestCounts};
+use super::Pipeline;
+use crate::classify::{classify, CertClass};
+use crate::model::{CertRecord, ChainKey};
+use crate::usage::UsageStats;
+use certchain_asn1::Asn1Time;
+use certchain_colstore::{Checkpoint, CheckpointWriter, ColError};
+use certchain_netsim::X509Record;
+use certchain_obs::json::JsonValue;
+use certchain_x509::Fingerprint;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// The chains field file name.
+const CHAINS_FILE: &str = "chains.dat";
+
+/// Errors from checkpoint persistence and reload.
+#[derive(Debug)]
+pub enum StateError {
+    /// The underlying checkpoint container failed (I/O, truncation,
+    /// manifest problems).
+    Store(ColError),
+    /// A field file decoded inconsistently (bad lengths, counts
+    /// disagreeing with the manifest, unparseable stored rows).
+    Corrupt(String),
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::Store(e) => write!(f, "checkpoint store: {e}"),
+            StateError::Corrupt(msg) => write!(f, "corrupt checkpoint state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+impl From<ColError> for StateError {
+    fn from(e: ColError) -> StateError {
+        StateError::Store(e)
+    }
+}
+
+/// One already-persisted certificate chunk (carried forward by link).
+#[derive(Debug, Clone)]
+struct ChunkInfo {
+    name: String,
+    count: usize,
+    bytes: u64,
+}
+
+/// Where the state was last persisted — what `save_checkpoint` carries
+/// chunks from. Never serialized; rebuilt on load.
+#[derive(Debug, Clone)]
+struct PrevCheckpoint {
+    dir: PathBuf,
+    chunks: Vec<ChunkInfo>,
+}
+
+/// The pipeline's resumable accumulator state. Build one with
+/// [`PipelineState::new`] (or reload with [`PipelineState::load_latest`]),
+/// fold any number of record streams into it, checkpoint it between
+/// folds, and render reports from it at any point with
+/// [`Pipeline::finalize_state`].
+#[derive(Default)]
+pub struct PipelineState {
+    /// Per-chain accumulators.
+    pub(crate) chains: HashMap<ChainKey, ChainAccum>,
+    /// Interned x509 rows, global first-parseable-occurrence order.
+    pub(crate) certs: Vec<X509Record>,
+    /// Parsed view of `certs`, index-aligned (every stored row parsed
+    /// once, at intern or reload time).
+    pub(crate) parsed: Vec<Arc<CertRecord>>,
+    /// Fingerprint → index into `certs`.
+    pub(crate) cert_lookup: HashMap<Fingerprint, u32>,
+    /// Total ssl records folded (after row filtering).
+    pub(crate) records: u64,
+    /// Folded records with an empty chain (TLS 1.3).
+    pub(crate) no_chain: u64,
+    /// Total x509 rows folded.
+    pub(crate) x509_rows: u64,
+    /// X509 rows that failed to parse into a [`CertRecord`].
+    pub(crate) x509_unparseable: u64,
+    /// Loss-accounting tallies by reason (stream parse losses, skipped
+    /// spool files), merged across sessions.
+    loss: BTreeMap<String, u64>,
+    /// Ledger of spool files already folded, in fold order.
+    folded: Vec<String>,
+    /// Generation of the last checkpoint written or loaded (0 = none).
+    generation: u64,
+    /// In-memory change counter (bumps on every fold; not persisted).
+    revision: u64,
+    /// How many of `certs` are already in persisted chunks.
+    certs_persisted: usize,
+    prev: Option<PrevCheckpoint>,
+}
+
+impl PipelineState {
+    /// Fresh, empty state.
+    pub fn new() -> PipelineState {
+        PipelineState::default()
+    }
+
+    /// Total ssl records folded so far (post-filter).
+    pub fn ssl_records(&self) -> u64 {
+        self.records
+    }
+
+    /// Folded records that carried no certificate chain.
+    pub fn no_chain_records(&self) -> u64 {
+        self.no_chain
+    }
+
+    /// Total x509 rows folded so far.
+    pub fn x509_rows(&self) -> u64 {
+        self.x509_rows
+    }
+
+    /// Distinct chains accumulated so far.
+    pub fn distinct_chains(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Distinct certificates interned so far.
+    pub fn distinct_certificates(&self) -> usize {
+        self.certs.len()
+    }
+
+    /// Generation of the last checkpoint written or loaded (0 = none).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Monotonic in-memory change counter: bumps whenever a fold adds
+    /// data, so callers can cache derived artifacts (rendered reports)
+    /// keyed on it. Not persisted.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// The spool files already folded into this state, in fold order.
+    pub fn folded_files(&self) -> &[String] {
+        &self.folded
+    }
+
+    /// Whether a spool file name is already in the folded ledger.
+    pub fn has_folded(&self, name: &str) -> bool {
+        self.folded.iter().any(|f| f == name)
+    }
+
+    /// Append a file to the folded ledger.
+    pub fn note_folded(&mut self, name: &str) {
+        self.folded.push(name.to_string());
+        self.revision += 1;
+    }
+
+    /// Bump a loss-accounting tally (e.g. `"ssl.malformed"`,
+    /// `"spool.unrecognized"`). No-op at `n == 0` so callers can pass
+    /// tallies through unconditionally.
+    pub fn add_loss(&mut self, reason: &str, n: u64) {
+        if n > 0 {
+            *self.loss.entry(reason.to_string()).or_default() += n;
+        }
+    }
+
+    /// The merged loss tallies, by reason.
+    pub fn loss(&self) -> &BTreeMap<String, u64> {
+        &self.loss
+    }
+
+    /// Intern one parse-vetted x509 row (first parseable occurrence of a
+    /// fingerprint wins, matching the batch enrich stage).
+    fn intern(&mut self, rec: &X509Record, cert: CertRecord) {
+        if !self.cert_lookup.contains_key(&rec.fingerprint) {
+            self.cert_lookup
+                .insert(rec.fingerprint, self.certs.len() as u32);
+            self.certs.push(rec.clone());
+            self.parsed.push(Arc::new(cert));
+        }
+    }
+
+    /// Fold one x509 row: parse-vet, intern, tally.
+    pub(crate) fn fold_x509_row(&mut self, rec: &X509Record) {
+        self.x509_rows += 1;
+        match CertRecord::from_record(rec) {
+            Some(cert) => self.intern(rec, cert),
+            None => self.x509_unparseable += 1,
+        }
+        self.revision += 1;
+    }
+
+    /// Absorb one fold's accumulator map and counts. Chain merges are
+    /// exact at unit weight (integer-valued sums, set unions), so
+    /// absorbing per-file folds reproduces the one-shot batch fold
+    /// bit-for-bit.
+    pub(crate) fn absorb(&mut self, accums: HashMap<ChainKey, ChainAccum>, counts: IngestCounts) {
+        self.records += counts.records;
+        self.no_chain += counts.no_chain;
+        // srclint: commutative -- merging into a keyed map; each chain's merge order is the fold-call order, not the iteration order
+        for (key, accum) in accums {
+            match self.chains.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(accum),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(accum);
+                }
+            }
+        }
+        self.revision += 1;
+    }
+
+    /// The certificate index over the interned table — the same
+    /// fingerprint → shared-record map the batch enrich stage builds.
+    pub(crate) fn cert_index(&self) -> CertIndex {
+        self.certs
+            .iter()
+            .zip(&self.parsed)
+            .map(|(rec, cert)| (rec.fingerprint, Arc::clone(cert)))
+            .collect()
+    }
+
+    // ---- persistence ----------------------------------------------------
+
+    /// Write a new checkpoint generation under `root` and prune all but
+    /// the two newest complete generations. Returns the generation
+    /// number. Field files land before the manifest, so a crash
+    /// mid-write leaves the previous generation as the loadable one.
+    pub fn save_checkpoint(&mut self, root: &Path) -> Result<u64, StateError> {
+        let generation = Checkpoint::next_generation(root)?;
+        let mut writer = CheckpointWriter::begin(root, generation)?;
+        writer.write_field(CHAINS_FILE, &self.encode_chains())?;
+        let mut chunks: Vec<ChunkInfo> = Vec::new();
+        if let Some(prev) = &self.prev {
+            for chunk in &prev.chunks {
+                writer.carry_field(&chunk.name, &prev.dir.join(&chunk.name), chunk.bytes)?;
+                chunks.push(chunk.clone());
+            }
+        }
+        let fresh = &self.certs[self.certs_persisted..];
+        if !fresh.is_empty() {
+            let name = format!("certs-{generation:06}.dat");
+            let bytes = encode_certs(fresh);
+            writer.write_field(&name, &bytes)?;
+            chunks.push(ChunkInfo {
+                name,
+                count: fresh.len(),
+                bytes: bytes.len() as u64,
+            });
+        }
+        writer.set_meta("records", JsonValue::Num(self.records as f64));
+        writer.set_meta("no_chain", JsonValue::Num(self.no_chain as f64));
+        writer.set_meta("x509_rows", JsonValue::Num(self.x509_rows as f64));
+        writer.set_meta(
+            "x509_unparseable",
+            JsonValue::Num(self.x509_unparseable as f64),
+        );
+        writer.set_meta("chains", JsonValue::Num(self.chains.len() as f64));
+        writer.set_meta("certs", JsonValue::Num(self.certs.len() as f64));
+        writer.set_meta(
+            "loss",
+            JsonValue::Obj(
+                self.loss
+                    .iter()
+                    .map(|(k, v)| (k.clone(), JsonValue::Num(*v as f64)))
+                    .collect(),
+            ),
+        );
+        writer.set_meta(
+            "files",
+            JsonValue::Arr(self.folded.iter().cloned().map(JsonValue::Str).collect()),
+        );
+        writer.set_meta(
+            "cert_chunks",
+            JsonValue::Arr(
+                chunks
+                    .iter()
+                    .map(|c| {
+                        JsonValue::Obj(vec![
+                            ("name".into(), JsonValue::Str(c.name.clone())),
+                            ("count".into(), JsonValue::Num(c.count as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        let sealed = writer.commit()?;
+        Checkpoint::prune(root, 2)?;
+        self.prev = Some(PrevCheckpoint {
+            dir: sealed.dir().to_path_buf(),
+            chunks,
+        });
+        self.certs_persisted = self.certs.len();
+        self.generation = generation;
+        Ok(generation)
+    }
+
+    /// Load the newest complete checkpoint under `root`, falling back
+    /// across partial generations ([`Checkpoint::load_latest`]), or
+    /// `Ok(None)` when no complete checkpoint exists (fresh start).
+    pub fn load_latest(root: &Path) -> Result<Option<PipelineState>, StateError> {
+        let Some(ckpt) = Checkpoint::load_latest(root)? else {
+            return Ok(None);
+        };
+        let meta_u64 = |key: &str| -> Result<u64, StateError> {
+            ckpt.meta
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| StateError::Corrupt(format!("meta missing numeric {key:?}")))
+        };
+        let mut state = PipelineState {
+            records: meta_u64("records")?,
+            no_chain: meta_u64("no_chain")?,
+            x509_rows: meta_u64("x509_rows")?,
+            x509_unparseable: meta_u64("x509_unparseable")?,
+            generation: ckpt.generation,
+            ..PipelineState::default()
+        };
+        if let Some(obj) = ckpt.meta.get("loss").and_then(JsonValue::as_obj) {
+            for (reason, count) in obj {
+                let n = count.as_u64().ok_or_else(|| {
+                    StateError::Corrupt(format!("loss tally {reason:?} is not an integer"))
+                })?;
+                state.loss.insert(reason.clone(), n);
+            }
+        }
+        if let Some(arr) = ckpt.meta.get("files").and_then(JsonValue::as_arr) {
+            for name in arr {
+                let name = name
+                    .as_str()
+                    .ok_or_else(|| StateError::Corrupt("non-string folded file".into()))?;
+                state.folded.push(name.to_string());
+            }
+        }
+        let mut chunks: Vec<ChunkInfo> = Vec::new();
+        if let Some(arr) = ckpt.meta.get("cert_chunks").and_then(JsonValue::as_arr) {
+            for chunk in arr {
+                let name = chunk
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| StateError::Corrupt("cert chunk missing name".into()))?;
+                let count = chunk
+                    .get("count")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| StateError::Corrupt("cert chunk missing count".into()))?;
+                let bytes = *ckpt.files.get(name).ok_or_else(|| {
+                    StateError::Corrupt(format!("cert chunk {name:?} not in manifest"))
+                })?;
+                chunks.push(ChunkInfo {
+                    name: name.to_string(),
+                    count: count as usize,
+                    bytes,
+                });
+            }
+        }
+        for chunk in &chunks {
+            let bytes = ckpt.read_field(&chunk.name)?;
+            let before = state.certs.len();
+            decode_certs(&bytes, &mut state)?;
+            if state.certs.len() - before != chunk.count {
+                return Err(StateError::Corrupt(format!(
+                    "cert chunk {:?} decoded {} records, manifest says {}",
+                    chunk.name,
+                    state.certs.len() - before,
+                    chunk.count
+                )));
+            }
+        }
+        if state.certs.len() as u64 != meta_u64("certs")? {
+            return Err(StateError::Corrupt(format!(
+                "decoded {} certificates, meta says {}",
+                state.certs.len(),
+                meta_u64("certs")?
+            )));
+        }
+        decode_chains(&ckpt.read_field(CHAINS_FILE)?, &mut state.chains)?;
+        if state.chains.len() as u64 != meta_u64("chains")? {
+            return Err(StateError::Corrupt(format!(
+                "decoded {} chains, meta says {}",
+                state.chains.len(),
+                meta_u64("chains")?
+            )));
+        }
+        state.certs_persisted = state.certs.len();
+        state.prev = Some(PrevCheckpoint {
+            dir: ckpt.dir().to_path_buf(),
+            chunks,
+        });
+        Ok(Some(state))
+    }
+
+    /// Encode the chain accumulators, sorted by [`ChainKey`] so the file
+    /// bytes are identical regardless of the fold's thread count or the
+    /// map's history.
+    fn encode_chains(&self) -> Vec<u8> {
+        // srclint: commutative -- snapshot of a keyed map, explicitly sorted before encoding
+        let mut entries: Vec<(&ChainKey, &ChainAccum)> = self.chains.iter().collect();
+        entries.sort_by_key(|&(key, _)| key);
+        let mut out = Vec::new();
+        for (key, accum) in entries {
+            put_u32(&mut out, key.0.len() as u32);
+            for fp in &key.0 {
+                out.extend_from_slice(&fp.0);
+            }
+            let u = &accum.usage;
+            put_u64(&mut out, u.records);
+            put_f64(&mut out, u.connections);
+            put_f64(&mut out, u.established);
+            put_f64(&mut out, u.with_sni);
+            put_u32(&mut out, u.ports.len() as u32);
+            for (&port, &weight) in &u.ports {
+                put_u16(&mut out, port);
+                put_f64(&mut out, weight);
+            }
+            // srclint: commutative -- set snapshot, explicitly sorted before encoding
+            let mut ips: Vec<u32> = u.client_ips.iter().map(|ip| u32::from(*ip)).collect();
+            ips.sort_unstable();
+            put_u32(&mut out, ips.len() as u32);
+            for ip in ips {
+                put_u32(&mut out, ip);
+            }
+            put_u32(&mut out, accum.snis.len() as u32);
+            for sni in &accum.snis {
+                put_str(&mut out, sni);
+            }
+        }
+        out
+    }
+}
+
+// ---- Pipeline: the resumable fold core + pure finalize -----------------
+
+impl Pipeline<'_> {
+    /// Fold a fallible x509 record stream into `state` — the resumable
+    /// form of the enrich stage. Callable any number of times; rows for
+    /// already-interned fingerprints are deduplicated exactly as in the
+    /// batch path (first parseable occurrence wins).
+    pub fn fold_x509_stream<E, J>(&self, state: &mut PipelineState, x509: J) -> Result<(), E>
+    where
+        J: Iterator<Item = Result<X509Record, E>>,
+    {
+        let _span = self.obs.stage("enrich");
+        for rec in x509 {
+            state.fold_x509_row(&rec?);
+        }
+        Ok(())
+    }
+
+    /// Batch variant of [`Pipeline::fold_x509_stream`]: parse rows on
+    /// `threads` workers (DN parsing dominates), then intern in input
+    /// order so the result is byte-identical to the sequential fold.
+    pub(crate) fn fold_x509_slice(
+        &self,
+        state: &mut PipelineState,
+        x509: &[X509Record],
+        threads: usize,
+    ) {
+        let _span = self.obs.stage("enrich");
+        if threads <= 1 || x509.len() < 2 {
+            for rec in x509 {
+                state.fold_x509_row(rec);
+            }
+            return;
+        }
+        let chunk = x509.len().div_ceil(threads);
+        let parsed: Vec<Vec<Option<CertRecord>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = x509
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().map(CertRecord::from_record).collect()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("x509 parse worker panicked"))
+                .collect()
+        });
+        for (rec, cert) in x509.iter().zip(parsed.into_iter().flatten()) {
+            state.x509_rows += 1;
+            match cert {
+                Some(cert) => state.intern(rec, cert),
+                None => state.x509_unparseable += 1,
+            }
+        }
+        state.revision += 1;
+    }
+
+    /// Fold a fallible ssl record stream into `state` — the resumable
+    /// form of the ingest stage, sharded across
+    /// [`super::PipelineOptions::threads`] workers exactly like the batch
+    /// fold. Certificate resolution is deferred to finalize, so this
+    /// never needs the x509 side to have arrived first.
+    pub fn fold_ssl_stream<E, I>(&self, state: &mut PipelineState, ssl: I) -> Result<(), E>
+    where
+        I: Iterator<Item = Result<certchain_netsim::SslRecord, E>>,
+    {
+        let _span = self.obs.stage("ingest");
+        let threads = super::resolve_threads(self.options.threads);
+        let mut first_err: Option<E> = None;
+        let records = super::FuseOnErr {
+            inner: ssl,
+            err: &mut first_err,
+        };
+        let (accums, counts) = super::ingest::accumulate(self, records, threads);
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        state.absorb(accums, counts);
+        Ok(())
+    }
+
+    /// Render an [`super::Analysis`] from `state` without consuming or
+    /// mutating it: resolve chains against the interned certificate
+    /// table (chains with missing fingerprints are excluded and their
+    /// records counted as unresolvable), then run the shared
+    /// categorize/finalize stages. Byte-identical to the one-shot batch
+    /// paths for every thread count.
+    pub fn finalize_state(&self, state: &PipelineState) -> super::Analysis {
+        let threads = super::resolve_threads(self.options.threads);
+        let cert_index = {
+            let _span = self.obs.stage("resolve");
+            state.cert_index()
+        };
+        self.record_enrich(state.x509_rows, state.x509_unparseable, cert_index.len());
+        let (prepared, unresolvable) = {
+            let _span = self.obs.stage("resolve");
+            prepare_state(self, state, &cert_index, threads)
+        };
+        let counts = IngestCounts {
+            records: state.records,
+            no_chain: state.no_chain,
+            unresolvable,
+        };
+        self.finish(prepared, counts, threads)
+    }
+}
+
+/// Resolve and classify the state's chains against the certificate
+/// index, on `threads` workers over arbitrary (unsorted) chunks — safe
+/// because per-chain preparation is pure and the caller sorts. Returns
+/// the resolvable chains plus the unresolvable-record tally (an integer
+/// sum, thread-count invariant).
+fn prepare_state(
+    pipe: &Pipeline<'_>,
+    state: &PipelineState,
+    cert_index: &CertIndex,
+    threads: usize,
+) -> (Vec<Prepared>, u64) {
+    // srclint: commutative -- snapshot of a keyed map; workers chunk it arbitrarily and the caller sorts the merged output
+    let entries: Vec<(&ChainKey, &ChainAccum)> = state.chains.iter().collect();
+    let prepare_part = |part: &[(&ChainKey, &ChainAccum)]| {
+        let mut prepared = Vec::with_capacity(part.len());
+        let mut unresolvable = 0u64;
+        for (key, accum) in part {
+            let certs: Option<Vec<Arc<CertRecord>>> = key
+                .0
+                .iter()
+                .map(|fp| cert_index.get(fp).map(Arc::clone))
+                .collect();
+            match certs {
+                Some(certs) => {
+                    let classes: Vec<CertClass> =
+                        certs.iter().map(|c| classify(c, pipe.trust)).collect();
+                    prepared.push(Prepared {
+                        key: (*key).clone(),
+                        certs,
+                        classes,
+                        snis: accum.snis.clone(),
+                        usage: accum.usage.clone(),
+                    });
+                }
+                None => unresolvable += accum.usage.records,
+            }
+        }
+        (prepared, unresolvable)
+    };
+    if threads <= 1 || entries.len() < 2 {
+        return prepare_part(&entries);
+    }
+    let chunk = entries.len().div_ceil(threads);
+    let parts: Vec<(Vec<Prepared>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = entries
+            .chunks(chunk)
+            .map(|part| scope.spawn(|| prepare_part(part)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("prepare worker panicked"))
+            .collect()
+    });
+    let mut prepared = Vec::with_capacity(entries.len());
+    let mut unresolvable = 0u64;
+    for (part, ur) in parts {
+        prepared.extend(part);
+        unresolvable += ur;
+    }
+    (prepared, unresolvable)
+}
+
+// ---- binary field codecs ----------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// `f64`s are stored as raw IEEE 754 bits: the values are exact integer
+/// sums (or single-session weighted sums), and bit-preservation is what
+/// makes a resumed fold byte-identical to an uninterrupted one.
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked little-endian reader over a field file.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Cur<'a> {
+        Cur { buf, pos: 0 }
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StateError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| {
+                StateError::Corrupt(format!(
+                    "field file ends early: wanted {n} bytes at offset {}",
+                    self.pos
+                ))
+            })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8_(&mut self) -> Result<u8, StateError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16_(&mut self) -> Result<u16, StateError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32_(&mut self) -> Result<u32, StateError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64_(&mut self) -> Result<u64, StateError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn f64_(&mut self) -> Result<f64, StateError> {
+        Ok(f64::from_bits(self.u64_()?))
+    }
+
+    fn str_(&mut self) -> Result<String, StateError> {
+        let len = self.u32_()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StateError::Corrupt("invalid UTF-8 in stored string".into()))
+    }
+
+    fn fp(&mut self) -> Result<Fingerprint, StateError> {
+        Ok(Fingerprint(self.take(32)?.try_into().expect("len 32")))
+    }
+}
+
+/// Decode a `chains.dat` field into a chain map.
+fn decode_chains(
+    bytes: &[u8],
+    chains: &mut HashMap<ChainKey, ChainAccum>,
+) -> Result<(), StateError> {
+    let mut cur = Cur::new(bytes);
+    while !cur.done() {
+        let fp_count = cur.u32_()? as usize;
+        let mut fps = Vec::with_capacity(fp_count);
+        for _ in 0..fp_count {
+            fps.push(cur.fp()?);
+        }
+        let records = cur.u64_()?;
+        let connections = cur.f64_()?;
+        let established = cur.f64_()?;
+        let with_sni = cur.f64_()?;
+        let mut ports = BTreeMap::new();
+        for _ in 0..cur.u32_()? {
+            let port = cur.u16_()?;
+            let weight = cur.f64_()?;
+            ports.insert(port, weight);
+        }
+        let mut client_ips = std::collections::HashSet::new();
+        for _ in 0..cur.u32_()? {
+            client_ips.insert(Ipv4Addr::from(cur.u32_()?));
+        }
+        let mut snis = BTreeSet::new();
+        for _ in 0..cur.u32_()? {
+            snis.insert(cur.str_()?);
+        }
+        let accum = ChainAccum {
+            usage: UsageStats {
+                connections,
+                established,
+                with_sni,
+                ports,
+                client_ips,
+                records,
+            },
+            snis,
+        };
+        if chains.insert(ChainKey(fps), accum).is_some() {
+            return Err(StateError::Corrupt("duplicate chain in chains.dat".into()));
+        }
+    }
+    Ok(())
+}
+
+/// x509 flags byte: bit0 = basicConstraints present, bit1 = its CA
+/// value, bit2 = pathLen present.
+fn x509_flags(rec: &X509Record) -> u8 {
+    let mut flags = 0u8;
+    if let Some(ca) = rec.basic_constraints_ca {
+        flags |= 1;
+        if ca {
+            flags |= 2;
+        }
+    }
+    if rec.path_len.is_some() {
+        flags |= 4;
+    }
+    flags
+}
+
+/// Encode a run of interned x509 rows (one append-only chunk).
+fn encode_certs(certs: &[X509Record]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for rec in certs {
+        out.extend_from_slice(&rec.fingerprint.0);
+        put_u64(&mut out, rec.ts.unix_secs());
+        put_u64(&mut out, rec.cert_version);
+        put_str(&mut out, &rec.serial);
+        put_str(&mut out, &rec.subject);
+        put_str(&mut out, &rec.issuer);
+        put_u64(&mut out, rec.not_before.unix_secs());
+        put_u64(&mut out, rec.not_after.unix_secs());
+        out.push(x509_flags(rec));
+        put_u64(&mut out, rec.path_len.unwrap_or(0));
+        put_u32(&mut out, rec.san_dns.len() as u32);
+        for san in &rec.san_dns {
+            put_str(&mut out, san);
+        }
+    }
+    out
+}
+
+/// Decode one cert chunk, appending to the state's interned table. Every
+/// stored row was parse-vetted at intern time, so a parse failure here
+/// is corruption, not data loss.
+fn decode_certs(bytes: &[u8], state: &mut PipelineState) -> Result<(), StateError> {
+    let mut cur = Cur::new(bytes);
+    while !cur.done() {
+        let fingerprint = cur.fp()?;
+        let ts = Asn1Time::from_unix(cur.u64_()?);
+        let cert_version = cur.u64_()?;
+        let serial = cur.str_()?;
+        let subject = cur.str_()?;
+        let issuer = cur.str_()?;
+        let not_before = Asn1Time::from_unix(cur.u64_()?);
+        let not_after = Asn1Time::from_unix(cur.u64_()?);
+        let flags = cur.u8_()?;
+        let path_len_raw = cur.u64_()?;
+        let san_count = cur.u32_()? as usize;
+        let mut san_dns = Vec::with_capacity(san_count);
+        for _ in 0..san_count {
+            san_dns.push(cur.str_()?);
+        }
+        let rec = X509Record {
+            ts,
+            fingerprint,
+            cert_version,
+            serial,
+            subject,
+            issuer,
+            not_before,
+            not_after,
+            basic_constraints_ca: (flags & 1 != 0).then_some(flags & 2 != 0),
+            path_len: (flags & 4 != 0).then_some(path_len_raw),
+            san_dns,
+        };
+        let cert = CertRecord::from_record(&rec).ok_or_else(|| {
+            StateError::Corrupt(format!(
+                "stored certificate {} no longer parses",
+                rec.fingerprint
+            ))
+        })?;
+        if state.cert_lookup.contains_key(&rec.fingerprint) {
+            return Err(StateError::Corrupt(format!(
+                "duplicate stored certificate {}",
+                rec.fingerprint
+            )));
+        }
+        state
+            .cert_lookup
+            .insert(rec.fingerprint, state.certs.len() as u32);
+        state.certs.push(rec);
+        state.parsed.push(Arc::new(cert));
+    }
+    Ok(())
+}

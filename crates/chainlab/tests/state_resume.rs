@@ -1,0 +1,359 @@
+//! The tentpole invariant of the checkpointable pipeline: folding a
+//! record stream across N sessions — with checkpoint saves, process
+//! "restarts" (state reloads), and arbitrary rotated-file interleaving
+//! between them — produces an analysis bit-identical to one uninterrupted
+//! batch run, at every thread count.
+
+use certchain_asn1::Asn1Time;
+use certchain_chainlab::{Analysis, CrossSignRegistry, Pipeline, PipelineOptions, PipelineState};
+use certchain_ctlog::DomainIndex;
+use certchain_netsim::{SslRecord, TlsVersion, X509Record};
+use certchain_trust::TrustDb;
+use certchain_x509::Fingerprint;
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+
+/// A small certificate pool: root, intermediate, three leaves, one
+/// self-signed stray.
+fn cert_pool() -> Vec<X509Record> {
+    let ts = Asn1Time::from_unix(1_725_148_800); // 2024-09-01 00:00
+    let cert = |n: u8, subject: &str, issuer: &str, ca: Option<bool>, san: &[&str]| X509Record {
+        ts,
+        fingerprint: Fingerprint([n; 32]),
+        cert_version: 3,
+        serial: format!("{n:02X}"),
+        subject: subject.to_string(),
+        issuer: issuer.to_string(),
+        not_before: ts,
+        not_after: Asn1Time::from_unix(1_725_148_800 + 86_400 * 365),
+        basic_constraints_ca: ca,
+        path_len: if ca == Some(true) { Some(1) } else { None },
+        san_dns: san.iter().map(|s| s.to_string()).collect(),
+    };
+    vec![
+        cert(1, "CN=Pool Root CA", "CN=Pool Root CA", Some(true), &[]),
+        cert(2, "CN=Pool Mid CA", "CN=Pool Root CA", Some(true), &[]),
+        cert(
+            3,
+            "CN=svc0.example.org",
+            "CN=Pool Mid CA",
+            Some(false),
+            &["svc0.example.org"],
+        ),
+        cert(
+            4,
+            "CN=svc1.example.org",
+            "CN=Pool Mid CA",
+            None,
+            &["svc1.example.org"],
+        ),
+        cert(
+            5,
+            "CN=svc2.example.org",
+            "CN=Pool Mid CA",
+            Some(false),
+            &["svc2.example.org"],
+        ),
+        cert(6, "CN=self.local", "CN=self.local", None, &["self.local"]),
+    ]
+}
+
+/// Deterministic pseudo-random connection stream: chains drawn from the
+/// pool (some empty = TLS 1.3, some referencing a fingerprint absent
+/// from every x509 file = unresolvable).
+fn conn_stream(n: usize) -> Vec<SslRecord> {
+    let mut seed = 0x5eed_cafe_u64;
+    let mut next = move || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (seed >> 33) as u32
+    };
+    let chains: Vec<Vec<Fingerprint>> = vec![
+        vec![], // TLS 1.3
+        vec![
+            Fingerprint([3; 32]),
+            Fingerprint([2; 32]),
+            Fingerprint([1; 32]),
+        ],
+        vec![Fingerprint([4; 32]), Fingerprint([2; 32])],
+        vec![Fingerprint([5; 32])],
+        vec![Fingerprint([6; 32])],
+        vec![Fingerprint([0xEE; 32])], // unresolvable
+        vec![Fingerprint([3; 32]), Fingerprint([0xEE; 32])], // partially logged
+    ];
+    let snis = [
+        None,
+        Some("svc0.example.org"),
+        Some("svc1.example.org"),
+        Some("svc2.example.org"),
+    ];
+    (0..n)
+        .map(|i| {
+            let r = next();
+            let chain = chains[(r % chains.len() as u32) as usize].clone();
+            SslRecord {
+                ts: Asn1Time::from_unix(1_725_148_800 + i as u64),
+                uid: format!("C{i:08x}"),
+                orig_h: Ipv4Addr::new(10, 0, (next() % 4) as u8, (next() % 32) as u8),
+                orig_p: 32_000 + (next() % 1000) as u16,
+                resp_h: Ipv4Addr::new(192, 168, 1, (next() % 8) as u8),
+                resp_p: [443u16, 8443, 9000][(next() % 3) as usize],
+                version: if chain.is_empty() {
+                    TlsVersion::Tls13
+                } else {
+                    TlsVersion::Tls12
+                },
+                server_name: snis[(next() % snis.len() as u32) as usize].map(str::to_string),
+                established: next() % 4 != 0,
+                cert_chain_fps: chain,
+            }
+        })
+        .collect()
+}
+
+fn pipeline<'a>(trust: &'a TrustDb, ct: &'a DomainIndex, threads: usize) -> Pipeline<'a> {
+    Pipeline::with_options(
+        trust,
+        ct,
+        CrossSignRegistry::new(),
+        PipelineOptions {
+            threads,
+            ..PipelineOptions::default()
+        },
+    )
+}
+
+/// Canonical, fully ordered rendering; floats as raw bits so identical
+/// means bit-for-bit.
+fn canon(a: &Analysis) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "no_chain={} unresolvable={} distinct={} entities={:?}",
+        a.no_chain_records,
+        a.unresolvable_records,
+        a.distinct_certificates,
+        a.interception_entities
+    )
+    .unwrap();
+    for c in &a.chains {
+        let mut ips: Vec<Ipv4Addr> = c.usage.client_ips.iter().copied().collect();
+        ips.sort();
+        let ports: Vec<(u16, u64)> = c
+            .usage
+            .ports
+            .iter()
+            .map(|(&p, w)| (p, w.to_bits()))
+            .collect();
+        writeln!(
+            out,
+            "chain key={:?} cat={:?} hybrid={:?} snis={:?} conn={} est={} sni_w={} \
+             ports={ports:?} ips={ips:?} recs={}",
+            c.key,
+            c.category,
+            c.hybrid_category,
+            c.snis,
+            c.usage.connections.to_bits(),
+            c.usage.established.to_bits(),
+            c.usage.with_sni.to_bits(),
+            c.usage.records,
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("certchain-state-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn resumed_fold_with_restarts_matches_one_shot_batch() {
+    let trust = TrustDb::new();
+    let ct = DomainIndex::new();
+    let x509 = cert_pool();
+    let ssl = conn_stream(4000);
+
+    // Reference: one uninterrupted batch run.
+    let reference = canon(&pipeline(&trust, &ct, 1).analyze(&ssl, &x509, None));
+
+    for threads in [1usize, 2, 8] {
+        let root = tmp_root(&format!("resume-{threads}"));
+        // Session 1: first x509 "file", first third of the connections.
+        {
+            let pipe = pipeline(&trust, &ct, threads);
+            let mut state = PipelineState::new();
+            pipe.fold_x509_stream(&mut state, x509[..3].iter().cloned().map(Ok::<_, ()>))
+                .unwrap();
+            pipe.fold_ssl_stream(&mut state, ssl[..1500].iter().cloned().map(Ok::<_, ()>))
+                .unwrap();
+            state.save_checkpoint(&root).unwrap();
+        }
+        // Session 2 (fresh process): ssl rows arrive *before* the rest of
+        // the x509 rows — deferred resolution must absorb that.
+        {
+            let pipe = pipeline(&trust, &ct, threads);
+            let mut state = PipelineState::load_latest(&root)
+                .unwrap()
+                .expect("checkpoint");
+            pipe.fold_ssl_stream(&mut state, ssl[1500..2900].iter().cloned().map(Ok::<_, ()>))
+                .unwrap();
+            pipe.fold_x509_stream(&mut state, x509[3..].iter().cloned().map(Ok::<_, ()>))
+                .unwrap();
+            state.save_checkpoint(&root).unwrap();
+        }
+        // Session 3: the tail, then finalize.
+        {
+            let pipe = pipeline(&trust, &ct, threads);
+            let mut state = PipelineState::load_latest(&root)
+                .unwrap()
+                .expect("checkpoint");
+            pipe.fold_ssl_stream(&mut state, ssl[2900..].iter().cloned().map(Ok::<_, ()>))
+                .unwrap();
+            let resumed = canon(&pipe.finalize_state(&state));
+            assert_eq!(
+                resumed, reference,
+                "threads={threads}: resumed fold diverged from one-shot batch"
+            );
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}
+
+#[test]
+fn finalize_is_pure_and_repeatable() {
+    let trust = TrustDb::new();
+    let ct = DomainIndex::new();
+    let x509 = cert_pool();
+    let ssl = conn_stream(800);
+    let pipe = pipeline(&trust, &ct, 2);
+    let mut state = PipelineState::new();
+    pipe.fold_x509_stream(&mut state, x509.iter().cloned().map(Ok::<_, ()>))
+        .unwrap();
+    pipe.fold_ssl_stream(&mut state, ssl.iter().cloned().map(Ok::<_, ()>))
+        .unwrap();
+    let first = canon(&pipe.finalize_state(&state));
+    let second = canon(&pipe.finalize_state(&state));
+    assert_eq!(first, second, "finalize must not consume or mutate state");
+    // And folding after a finalize still works (mid-stream reports).
+    pipe.fold_ssl_stream(&mut state, ssl[..100].iter().cloned().map(Ok::<_, ()>))
+        .unwrap();
+    let third = pipe.finalize_state(&state);
+    assert_eq!(third.chains.len(), pipe.finalize_state(&state).chains.len());
+}
+
+#[test]
+fn unresolvable_chains_are_excluded_with_record_tally() {
+    let trust = TrustDb::new();
+    let ct = DomainIndex::new();
+    let x509 = cert_pool();
+    let ssl = conn_stream(1000);
+    let analysis = pipeline(&trust, &ct, 1).analyze(&ssl, &x509, None);
+    let expect_unresolvable = ssl
+        .iter()
+        .filter(|r| {
+            !r.cert_chain_fps.is_empty() && r.cert_chain_fps.iter().any(|fp| fp.0 == [0xEE; 32])
+        })
+        .count() as u64;
+    assert!(
+        expect_unresolvable > 0,
+        "stream must exercise unresolvable chains"
+    );
+    assert_eq!(analysis.unresolvable_records, expect_unresolvable);
+    assert!(analysis
+        .chains
+        .iter()
+        .all(|c| c.key.0.iter().all(|fp| fp.0 != [0xEE; 32])));
+}
+
+#[test]
+fn interrupted_checkpoint_falls_back_and_refold_recovers() {
+    let trust = TrustDb::new();
+    let ct = DomainIndex::new();
+    let x509 = cert_pool();
+    let ssl = conn_stream(1200);
+    let root = tmp_root("fallback");
+    let pipe = pipeline(&trust, &ct, 2);
+
+    let reference = canon(&pipe.finalize_state(&{
+        let mut s = PipelineState::new();
+        pipe.fold_x509_stream(&mut s, x509.iter().cloned().map(Ok::<_, ()>))
+            .unwrap();
+        pipe.fold_ssl_stream(&mut s, ssl.iter().cloned().map(Ok::<_, ()>))
+            .unwrap();
+        s
+    }));
+
+    // Session 1: complete checkpoint covering the first two "files".
+    let mut state = PipelineState::new();
+    pipe.fold_x509_stream(&mut state, x509.iter().cloned().map(Ok::<_, ()>))
+        .unwrap();
+    pipe.fold_ssl_stream(&mut state, ssl[..600].iter().cloned().map(Ok::<_, ()>))
+        .unwrap();
+    state.note_folded("ssl.2024-09-01-00.log");
+    state.save_checkpoint(&root).unwrap();
+
+    // Session continues: folds a third file and checkpoints — but the
+    // write is "interrupted" between the field files and the manifest.
+    pipe.fold_ssl_stream(&mut state, ssl[600..].iter().cloned().map(Ok::<_, ()>))
+        .unwrap();
+    state.note_folded("ssl.2024-09-01-01.log");
+    let gen = state.save_checkpoint(&root).unwrap();
+    let manifest = root
+        .join(format!("gen-{gen:06}"))
+        .join(certchain_colstore::CHECKPOINT_MANIFEST_FILE);
+    std::fs::remove_file(&manifest).unwrap();
+
+    // Restart: the partial generation is rejected, resume lands on the
+    // last complete checkpoint, and the ledger says which file was lost.
+    let mut resumed = PipelineState::load_latest(&root)
+        .unwrap()
+        .expect("fallback checkpoint");
+    assert!(resumed.has_folded("ssl.2024-09-01-00.log"));
+    assert!(
+        !resumed.has_folded("ssl.2024-09-01-01.log"),
+        "the interrupted session's file must not appear folded"
+    );
+    // Re-folding the lost file reproduces the uninterrupted analysis
+    // exactly.
+    pipe.fold_ssl_stream(&mut resumed, ssl[600..].iter().cloned().map(Ok::<_, ()>))
+        .unwrap();
+    resumed.note_folded("ssl.2024-09-01-01.log");
+    assert_eq!(canon(&pipe.finalize_state(&resumed)), reference);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn checkpoint_growth_is_incremental_for_certs() {
+    let trust = TrustDb::new();
+    let ct = DomainIndex::new();
+    let x509 = cert_pool();
+    let root = tmp_root("chunks");
+    let pipe = pipeline(&trust, &ct, 1);
+    let mut state = PipelineState::new();
+    pipe.fold_x509_stream(&mut state, x509[..3].iter().cloned().map(Ok::<_, ()>))
+        .unwrap();
+    state.save_checkpoint(&root).unwrap();
+    pipe.fold_x509_stream(&mut state, x509[3..].iter().cloned().map(Ok::<_, ()>))
+        .unwrap();
+    let gen = state.save_checkpoint(&root).unwrap();
+    // The second generation must carry the first cert chunk and add one.
+    let dir = root.join(format!("gen-{gen:06}"));
+    let chunks: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("certs-"))
+        .collect();
+    assert_eq!(
+        chunks.len(),
+        2,
+        "expected carried + fresh chunk: {chunks:?}"
+    );
+    let reloaded = PipelineState::load_latest(&root).unwrap().unwrap();
+    assert_eq!(reloaded.distinct_certificates(), x509.len());
+    std::fs::remove_dir_all(&root).unwrap();
+}

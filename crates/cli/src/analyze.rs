@@ -333,7 +333,10 @@ fn verbose_summary(registry: &Registry) -> String {
     out
 }
 
-fn render(analysis: &Analysis) -> String {
+/// Render the human report tables (shared with `certchain serve`, whose
+/// drain-mode stdout must stay byte-identical to `analyze` minus the
+/// loss-accounting line).
+pub(crate) fn render(analysis: &Analysis) -> String {
     let mut out = String::new();
     let mut census = Table::new(
         "Chain census",

@@ -13,7 +13,7 @@
 //! ```
 
 use certchain_cli::dataset::DatasetFormat;
-use certchain_cli::{analyze, compact, convert, generate, validate, CliResult};
+use certchain_cli::{analyze, compact, convert, generate, serve, validate, CliResult};
 use certchain_workload::CampusProfile;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -55,6 +55,20 @@ USAGE:
       --metrics-json <path>  write a certchain-metrics/v1 snapshot
       --progress             live records/sec + queue depth on stderr
       -v, --verbose          stage timings and counters on stderr (analyze)
+  certchain serve --dir <dir> --spool <dir> --checkpoint <dir>
+                  [--listen <addr>] [--listen-addr-file <path>]
+                  [--threads N] [--drain] [--interval-ms N]
+      Watch a spool of rotated Zeek logs (ssl.<ts>.log / x509.<ts>.log),
+      fold each new file into a checkpointed pipeline state, and expose
+      /report, /report.json, /metrics, and /status over HTTP when
+      --listen is given. A kill at any point is safe: the next run
+      resumes from the last complete checkpoint and re-folds only what
+      that checkpoint had not covered. --drain scans once, prints the
+      report tables, and exits — over the same records those tables are
+      byte-identical to `analyze` (minus its loss-accounting line).
+  certchain spool-split --dir <dir> --out <spool> [--parts N]
+      Split <dir>/ssl.log + <dir>/x509.log into N rotated spool files
+      each (default 4) for feeding `serve`.
   certchain validate <chain.pem> [--dir <dataset dir>]
       Run the issuer-subject and key-signature validators over a PEM chain;
       with --dir, also compare browser vs strict validation policies.
@@ -154,6 +168,37 @@ fn run(args: &[String]) -> CliResult<String> {
                 filter_sni: flag_value(args, "--filter-sni")?,
             };
             analyze::analyze_opts(&PathBuf::from(dir), &opts)
+        }
+        "serve" => {
+            let need = |flag: &str| {
+                flag_value(args, flag)?
+                    .ok_or_else(|| CliError::Invalid(format!("serve requires {flag} <dir>")))
+            };
+            let dir = need("--dir")?;
+            let spool = need("--spool")?;
+            let checkpoint = need("--checkpoint")?;
+            let opts = serve::ServeOptions {
+                threads: parse_threads(args)?,
+                listen: flag_value(args, "--listen")?,
+                drain_once: has_flag(args, "--drain"),
+                interval_ms: parse_u64_flag(args, "--interval-ms")?
+                    .unwrap_or(serve::ServeOptions::default().interval_ms),
+                listen_addr_file: flag_value(args, "--listen-addr-file")?.map(PathBuf::from),
+            };
+            serve::serve(
+                &PathBuf::from(dir),
+                &PathBuf::from(spool),
+                &PathBuf::from(checkpoint),
+                &opts,
+            )
+        }
+        "spool-split" => {
+            let dir = flag_value(args, "--dir")?
+                .ok_or_else(|| CliError::Invalid("spool-split requires --dir <dir>".into()))?;
+            let out = flag_value(args, "--out")?
+                .ok_or_else(|| CliError::Invalid("spool-split requires --out <spool>".into()))?;
+            let parts = parse_u64_flag(args, "--parts")?.unwrap_or(4);
+            serve::spool_split(&PathBuf::from(dir), &PathBuf::from(out), parts)
         }
         "validate" => {
             let chain = args

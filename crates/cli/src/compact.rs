@@ -8,7 +8,10 @@
 //! temporary directory; the new manifest is written last, and only then
 //! does the new directory replace the old one by rename. An interrupted
 //! compaction leaves the original store untouched and at worst a
-//! leftover `colstore.tmp-compact/` to delete.
+//! leftover `colstore.tmp-compact/` (or, if the crash hit the swap
+//! window, `colstore.pre-compact/`) — the next run cleans those up
+//! itself, printing a one-line notice, instead of demanding operator
+//! surgery.
 
 use crate::dataset::colstore_dir;
 use crate::{io_ctx, CliError, CliResult};
@@ -39,12 +42,38 @@ pub fn compact_opts(dir: &Path, opts: &CompactOptions) -> CliResult<String> {
     let col_err = |e: certchain_colstore::ColError| CliError::Invalid(format!("colstore: {e}"));
     let tmp = store.with_file_name("colstore.tmp-compact");
     let old = store.with_file_name("colstore.pre-compact");
-    for leftover in [&tmp, &old] {
-        if leftover.exists() {
-            return Err(CliError::Invalid(format!(
-                "{} exists — a previous compaction was interrupted; inspect and remove it first",
-                leftover.display()
-            )));
+    let mut notices = String::new();
+    // An interrupted compaction can leave either directory behind; both
+    // are recoverable without operator surgery. The temp store is by
+    // construction incomplete (its manifest is written last) or
+    // never-installed, so it is safe to discard. The pre-compact store
+    // only outlives a crash in the swap window: if the live store is
+    // present the swap finished and the leftover is the superseded
+    // original; if not, the leftover IS the dataset and is restored.
+    if tmp.exists() {
+        std::fs::remove_dir_all(&tmp)
+            .map_err(io_ctx(format!("removing leftover {}", tmp.display())))?;
+        notices.push_str(&format!(
+            "notice: removed leftover {} from an interrupted compaction\n",
+            tmp.display()
+        ));
+    }
+    if old.exists() {
+        if store.exists() {
+            std::fs::remove_dir_all(&old)
+                .map_err(io_ctx(format!("removing leftover {}", old.display())))?;
+            notices.push_str(&format!(
+                "notice: removed superseded {} from an interrupted compaction\n",
+                old.display()
+            ));
+        } else {
+            std::fs::rename(&old, &store)
+                .map_err(io_ctx(format!("restoring {}", store.display())))?;
+            notices.push_str(&format!(
+                "notice: restored {} from {} after an interrupted compaction\n",
+                store.display(),
+                old.display()
+            ));
         }
     }
     let (from_version, before, after) = {
@@ -95,7 +124,7 @@ pub fn compact_opts(dir: &Path, opts: &CompactOptions) -> CliResult<String> {
         1.0
     };
     Ok(format!(
-        "compacted {} from v{from_version} to v{}: {before} -> {after} bytes ({ratio:.2}x)\n",
+        "{notices}compacted {} from v{from_version} to v{}: {before} -> {after} bytes ({ratio:.2}x)\n",
         store.display(),
         certchain_colstore::VERSION,
     ))

@@ -11,6 +11,7 @@
 //! certchain convert  --dir /tmp/campus        # TSV -> columnar store
 //! certchain compact  --dir /tmp/campus        # migrate store to current format
 //! certchain analyze  --dir /tmp/campus        # auto-detects the store
+//! certchain serve    --dir /tmp/campus --spool /tmp/spool --checkpoint /tmp/ckpt
 //! certchain validate /tmp/campus/sample-chain.pem
 //! ```
 
@@ -19,6 +20,7 @@ pub mod compact;
 pub mod convert;
 pub mod dataset;
 pub mod generate;
+pub mod serve;
 pub mod validate;
 
 use std::fmt;

@@ -1,0 +1,431 @@
+//! `certchain serve`: an incremental ingest daemon over a spool of
+//! rotated Zeek logs.
+//!
+//! A campus monitor does not produce one giant `ssl.log`; it rotates
+//! `ssl.<timestamp>.log` / `x509.<timestamp>.log` files into a spool
+//! directory around the clock. `serve` watches such a spool, folds each
+//! new file into a checkpointable [`PipelineState`] (ordered by the
+//! name-embedded rotation timestamp), persists a checkpoint after every
+//! cycle that ingested data, and exposes the live report tables plus a
+//! `certchain-metrics/v1` snapshot over a tiny HTTP endpoint.
+//!
+//! The defining invariant is inherited from the state layer: folding a
+//! trace across any number of serve cycles — including process restarts
+//! that resume from the checkpoint — finalizes to tables byte-identical
+//! to one `certchain analyze` batch run over the concatenated logs, at
+//! every thread count. A kill at any moment loses at most the files
+//! folded since the last completed checkpoint; the ledger makes the
+//! next run re-fold exactly those.
+//!
+//! Two metrics registries cooperate here. The serve-loop registry lives
+//! as long as the process and accumulates fold-side counters
+//! (`pipeline.ssl_records`, spool skip tallies, stage timings) across
+//! cycles. Finalization is re-run from scratch on every publish, so it
+//! gets a *fresh* registry each time — its counters are absolute values
+//! recomputed from state, and reusing a registry would double-add them.
+//! `/metrics` merges the two snapshots (finalize wins on shared keys);
+//! the deterministic section of the result is thread-count invariant
+//! like every other report surface in the workspace.
+
+use crate::analyze::render;
+use crate::dataset::{load_crosssign, load_ct_index, load_trust};
+use crate::{io_ctx, CliError, CliResult};
+use certchain_chainlab::{
+    Analysis, AnalysisSummary, CrossSignRegistry, Pipeline, PipelineOptions, PipelineState,
+};
+use certchain_netsim::{order_spool, LogKind, SslLogStream, StreamStats, X509LogStream};
+use certchain_obs::json::JsonValue;
+use certchain_obs::{HttpResponse, HttpServer, MetricsSnapshot, Registry};
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Knobs for `certchain serve`.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads (`0` = available parallelism). The report bytes
+    /// are identical for every value.
+    pub threads: usize,
+    /// Bind an HTTP endpoint on this address (e.g. `127.0.0.1:8377`).
+    pub listen: Option<String>,
+    /// Drain mode: scan the spool once, fold everything new, checkpoint,
+    /// print the report tables to stdout, exit. This is the batch-
+    /// equivalent mode the CI smoke test compares against `analyze`.
+    pub drain_once: bool,
+    /// Milliseconds between spool scans in watch mode.
+    pub interval_ms: u64,
+    /// Write the bound HTTP address (e.g. `127.0.0.1:41873`) to this
+    /// file once listening — how scripts and tests discover a `:0` bind.
+    pub listen_addr_file: Option<std::path::PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            threads: 0,
+            listen: None,
+            drain_once: false,
+            interval_ms: 1000,
+            listen_addr_file: None,
+        }
+    }
+}
+
+/// The loaded dataset context every finalize pipeline is built from.
+struct Corpus<'a> {
+    trust: &'a certchain_trust::TrustDb,
+    ct: &'a certchain_ctlog::DomainIndex,
+    crosssign: &'a CrossSignRegistry,
+}
+
+/// What the HTTP endpoint serves: everything is pre-rendered at publish
+/// time so the handler only clones strings and never touches pipeline
+/// types.
+#[derive(Debug, Clone, Default)]
+struct Published {
+    report: String,
+    report_json: String,
+    metrics_json: String,
+    status_json: String,
+}
+
+/// Run the serve loop. In drain mode returns the final report tables
+/// (exactly [`render`]'s output — `analyze` minus its loss-accounting
+/// line); in watch mode this blocks until the process is killed, which
+/// is safe at any instant thanks to the checkpoint.
+pub fn serve(
+    dir: &Path,
+    spool: &Path,
+    checkpoint: &Path,
+    opts: &ServeOptions,
+) -> CliResult<String> {
+    let trust = load_trust(dir)?;
+    let ct = load_ct_index(dir)?;
+    let crosssign_master = CrossSignRegistry::from_disclosures(&load_crosssign(dir)?);
+    let registry = Arc::new(Registry::new());
+    let options = PipelineOptions {
+        threads: opts.threads,
+        ..PipelineOptions::default()
+    };
+    let pipeline = Pipeline::with_options(&trust, &ct, crosssign_master.clone(), options)
+        .with_metrics(Arc::clone(&registry));
+
+    let mut state = match PipelineState::load_latest(checkpoint)
+        .map_err(|e| CliError::Invalid(format!("checkpoint {}: {e}", checkpoint.display())))?
+    {
+        Some(s) => {
+            eprintln!(
+                "serve: resumed checkpoint gen {} ({} files folded, {} ssl records)",
+                s.generation(),
+                s.folded_files().len(),
+                s.ssl_records()
+            );
+            s
+        }
+        None => {
+            eprintln!(
+                "serve: no checkpoint under {}, starting fresh",
+                checkpoint.display()
+            );
+            PipelineState::new()
+        }
+    };
+
+    let corpus = Corpus {
+        trust: &trust,
+        ct: &ct,
+        crosssign: &crosssign_master,
+    };
+    let published = Arc::new(Mutex::new(Published::default()));
+    // Publish the (possibly resumed, possibly empty) state before the
+    // endpoint goes live, so no request ever sees an empty document.
+    publish(&corpus, &state, opts.threads, &registry, &published);
+    let _server = match &opts.listen {
+        Some(addr) => {
+            let server = HttpServer::bind(addr, http_handler(Arc::clone(&published)))
+                .map_err(io_ctx(format!("binding {addr}")))?;
+            eprintln!("serve: listening on http://{}/", server.local_addr());
+            if let Some(path) = &opts.listen_addr_file {
+                std::fs::write(path, format!("{}\n", server.local_addr()))
+                    .map_err(io_ctx(format!("writing {}", path.display())))?;
+            }
+            Some(server)
+        }
+        None => None,
+    };
+
+    // Names already tallied as skipped (unrecognized or compressed), so
+    // an idle spool does not re-count them every cycle. Process-local on
+    // purpose: skip tallies are observability, not analysis state.
+    let mut noted_skips: BTreeSet<String> = BTreeSet::new();
+    let mut first_cycle = true;
+    loop {
+        let folded = run_cycle(&pipeline, &mut state, spool, &registry, &mut noted_skips)?;
+        if folded > 0 {
+            let generation = state.save_checkpoint(checkpoint).map_err(|e| {
+                CliError::Invalid(format!("checkpoint {}: {e}", checkpoint.display()))
+            })?;
+            eprintln!(
+                "serve: folded {folded} file{} -> checkpoint gen {generation}",
+                if folded == 1 { "" } else { "s" }
+            );
+        }
+        if folded > 0 || first_cycle {
+            let analysis = publish(&corpus, &state, opts.threads, &registry, &published);
+            if opts.drain_once {
+                return Ok(render(&analysis));
+            }
+        }
+        first_cycle = false;
+        std::thread::sleep(std::time::Duration::from_millis(opts.interval_ms.max(50)));
+    }
+}
+
+/// One spool scan: order the recognizable rotated logs by rotation
+/// timestamp, fold every file the ledger has not seen, tally the rest.
+/// Returns how many files were folded.
+fn run_cycle(
+    pipeline: &Pipeline<'_>,
+    state: &mut PipelineState,
+    spool: &Path,
+    registry: &Registry,
+    noted_skips: &mut BTreeSet<String>,
+) -> CliResult<u64> {
+    let mut names: Vec<String> = Vec::new();
+    let entries =
+        std::fs::read_dir(spool).map_err(io_ctx(format!("reading spool {}", spool.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(io_ctx(format!("reading spool {}", spool.display())))?;
+        if entry
+            .file_type()
+            .map_err(io_ctx(format!("stat {}", entry.path().display())))?
+            .is_file()
+        {
+            names.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    let (ordered, unrecognized) = order_spool(names.iter().map(String::as_str));
+
+    for name in unrecognized {
+        if noted_skips.insert(name.to_string()) {
+            registry.counter("spool.unrecognized").add(1);
+            eprintln!("serve: skipping unrecognized spool file {name:?}");
+        }
+    }
+
+    let mut folded = 0u64;
+    for (log, name) in ordered {
+        if state.has_folded(name) {
+            continue;
+        }
+        if log.compressed {
+            // The workspace is dependency-free: no gzip decoder. Skip
+            // with a tally rather than failing the whole spool.
+            if noted_skips.insert(name.to_string()) {
+                registry.counter("spool.compressed_skipped").add(1);
+                eprintln!("serve: skipping compressed spool file {name:?} (no gzip support)");
+            }
+            continue;
+        }
+        fold_file(pipeline, state, &spool.join(name), name, log.kind)?;
+        state.note_folded(name);
+        registry.counter("spool.files_folded").add(1);
+        folded += 1;
+    }
+    Ok(folded)
+}
+
+/// Fold one rotated log file into the state via the permissive streams
+/// (malformed rows are skipped and tallied into the state's persistent
+/// loss map alongside the data they were lost from).
+fn fold_file(
+    pipeline: &Pipeline<'_>,
+    state: &mut PipelineState,
+    path: &Path,
+    name: &str,
+    kind: LogKind,
+) -> CliResult<()> {
+    let file = std::fs::File::open(path).map_err(io_ctx(format!("reading {}", path.display())))?;
+    let reader = std::io::BufReader::new(file);
+    let stats: Arc<StreamStats> = match kind {
+        LogKind::Ssl => {
+            let stream = SslLogStream::permissive(reader);
+            let stats = stream.stats();
+            let mapped = stream.map(|r| r.map_err(|e| CliError::Invalid(format!("{name}: {e}"))));
+            pipeline.fold_ssl_stream(state, mapped)?;
+            stats
+        }
+        LogKind::X509 => {
+            let stream = X509LogStream::permissive(reader);
+            let stats = stream.stats();
+            let mapped = stream.map(|r| r.map_err(|e| CliError::Invalid(format!("{name}: {e}"))));
+            pipeline.fold_x509_stream(state, mapped)?;
+            stats
+        }
+    };
+    let prefix = match kind {
+        LogKind::Ssl => "ssl",
+        LogKind::X509 => "x509",
+    };
+    state.add_loss(&format!("spool.{prefix}.lines"), stats.lines());
+    state.add_loss(&format!("spool.{prefix}.malformed"), stats.malformed());
+    Ok(())
+}
+
+/// Finalize the current state and publish every HTTP surface. Uses a
+/// fresh registry + pipeline so finalize-side counters are absolute per
+/// publish (see the module doc), then merges with the serve-loop
+/// snapshot.
+fn publish(
+    corpus: &Corpus<'_>,
+    state: &PipelineState,
+    threads: usize,
+    serve_registry: &Registry,
+    published: &Mutex<Published>,
+) -> Analysis {
+    let finalize_registry = Arc::new(Registry::new());
+    let options = PipelineOptions {
+        threads,
+        ..PipelineOptions::default()
+    };
+    let finalize_pipeline =
+        Pipeline::with_options(corpus.trust, corpus.ct, corpus.crosssign.clone(), options)
+            .with_metrics(Arc::clone(&finalize_registry));
+    let analysis = finalize_pipeline.finalize_state(state);
+    let snapshot = merge_snapshots(serve_registry.snapshot(), finalize_registry.snapshot());
+    let next = Published {
+        report: render(&analysis),
+        report_json: AnalysisSummary::from_analysis(&analysis).to_json() + "\n",
+        metrics_json: snapshot.to_json().to_pretty() + "\n",
+        status_json: status_json(state).to_pretty() + "\n",
+    };
+    *published.lock().expect("publish lock") = next;
+    analysis
+}
+
+/// Merge the long-lived serve-loop snapshot with the per-publish
+/// finalize snapshot. Finalize wins on shared keys: its values are
+/// absolute recomputations from state, which is exactly the current
+/// truth; the serve side contributes the cumulative fold-path signals
+/// the finalize pass never sees.
+fn merge_snapshots(serve: MetricsSnapshot, finalize: MetricsSnapshot) -> MetricsSnapshot {
+    let mut merged = serve;
+    merged.counters.extend(finalize.counters);
+    merged.gauges.extend(finalize.gauges);
+    merged.histograms.extend(finalize.histograms);
+    merged.stages.extend(finalize.stages);
+    merged
+}
+
+/// The `/status` document (`certchain-serve/v1`): checkpoint position,
+/// fold totals, and the persistent loss map.
+fn status_json(state: &PipelineState) -> JsonValue {
+    let loss = state
+        .loss()
+        .iter()
+        .map(|(k, v)| (k.clone(), JsonValue::Num(*v as f64)))
+        .collect();
+    let folded = state
+        .folded_files()
+        .iter()
+        .map(|f| JsonValue::Str(f.clone()))
+        .collect();
+    JsonValue::Obj(vec![
+        ("schema".into(), JsonValue::Str("certchain-serve/v1".into())),
+        (
+            "generation".into(),
+            JsonValue::Num(state.generation() as f64),
+        ),
+        ("revision".into(), JsonValue::Num(state.revision() as f64)),
+        (
+            "ssl_records".into(),
+            JsonValue::Num(state.ssl_records() as f64),
+        ),
+        (
+            "no_chain_records".into(),
+            JsonValue::Num(state.no_chain_records() as f64),
+        ),
+        ("x509_rows".into(), JsonValue::Num(state.x509_rows() as f64)),
+        (
+            "distinct_chains".into(),
+            JsonValue::Num(state.distinct_chains() as f64),
+        ),
+        (
+            "distinct_certificates".into(),
+            JsonValue::Num(state.distinct_certificates() as f64),
+        ),
+        ("folded_files".into(), JsonValue::Arr(folded)),
+        ("loss".into(), JsonValue::Obj(loss)),
+    ])
+}
+
+/// The HTTP routing table over the published strings.
+fn http_handler(published: Arc<Mutex<Published>>) -> Arc<certchain_obs::http::Handler> {
+    Arc::new(move |path: &str| {
+        let p = published.lock().expect("publish lock").clone();
+        match path {
+            "/metrics" => HttpResponse::ok("application/json", p.metrics_json),
+            "/report" => HttpResponse::ok("text/plain; charset=utf-8", p.report),
+            "/report.json" => HttpResponse::ok("application/json", p.report_json),
+            "/status" | "/" => HttpResponse::ok("application/json", p.status_json),
+            _ => HttpResponse::not_found(),
+        }
+    })
+}
+
+/// Split a dataset's batch logs into a spool of rotated files — the
+/// inverse of what a Zeek deployment does, used by the CI smoke test
+/// and for local experiments with `serve`.
+///
+/// `<dir>/ssl.log` and `<dir>/x509.log` are each split into `parts`
+/// contiguous row ranges written as
+/// `<out>/<kind>.2024-09-01-<HH>.log` (hour = part index), every part
+/// carrying the original TSV header so the streams parse it standalone.
+pub fn spool_split(dir: &Path, out: &Path, parts: u64) -> CliResult<String> {
+    if parts == 0 || parts > 24 {
+        return Err(CliError::Invalid(format!(
+            "--parts must be between 1 and 24, got {parts}"
+        )));
+    }
+    std::fs::create_dir_all(out).map_err(io_ctx(format!("creating {}", out.display())))?;
+    let mut written = Vec::new();
+    for kind in ["ssl", "x509"] {
+        let src = dir.join(format!("{kind}.log"));
+        let text =
+            std::fs::read_to_string(&src).map_err(io_ctx(format!("reading {}", src.display())))?;
+        let mut header = String::new();
+        let mut data: Vec<&str> = Vec::new();
+        for line in text.lines() {
+            if line.starts_with('#') {
+                // Keep the preamble; drop the `#close` footer (each part
+                // is an open-ended rotated file).
+                if !line.starts_with("#close") {
+                    header.push_str(line);
+                    header.push('\n');
+                }
+            } else {
+                data.push(line);
+            }
+        }
+        let per = data.len().div_ceil(parts as usize).max(1);
+        for (i, chunk) in data.chunks(per).enumerate() {
+            let name = format!("{kind}.2024-09-01-{i:02}.log");
+            let mut body = header.clone();
+            for line in chunk {
+                body.push_str(line);
+                body.push('\n');
+            }
+            std::fs::write(out.join(&name), body)
+                .map_err(io_ctx(format!("writing {}", out.join(&name).display())))?;
+            written.push(name);
+        }
+    }
+    written.sort();
+    Ok(format!(
+        "spooled {} file{} into {}:\n  {}\n",
+        written.len(),
+        if written.len() == 1 { "" } else { "s" },
+        out.display(),
+        written.join("\n  ")
+    ))
+}

@@ -1,0 +1,311 @@
+//! `certchain serve` end to end: spool-split a generated dataset, drain
+//! it in multiple sessions with restarts, and compare against batch
+//! `analyze` — plus the HTTP surface and the compact leftover recovery.
+
+use certchain_cli::{analyze, compact, convert, dataset, generate, serve};
+use certchain_workload::CampusProfile;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+
+fn dataset_dir() -> &'static PathBuf {
+    static CELL: std::sync::OnceLock<PathBuf> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("certchain-serve-ds-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let profile = CampusProfile {
+            seed: 77,
+            chain_scale: 0.0005,
+            conn_scale: 0.00005,
+            public_chains: 120,
+            public_conns_per_chain: 2,
+        };
+        generate::generate(&dir, profile).expect("generate succeeds");
+        dir
+    })
+}
+
+/// Batch reference: `analyze` output with its final loss-accounting line
+/// stripped (serve's report has no parse-loss line — losses live in
+/// `/status` instead).
+fn batch_tables(threads: usize) -> String {
+    let full = analyze::analyze_with(dataset_dir(), threads).expect("batch analyze");
+    let body = full.trim_end_matches('\n');
+    let cut = body.rfind('\n').expect("multi-line report");
+    assert!(
+        body[cut..].contains("loss accounting"),
+        "expected the loss line last"
+    );
+    full[..cut + 1].to_string()
+}
+
+fn fresh(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("certchain-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn drain(spool: &Path, checkpoint: &Path, threads: usize) -> String {
+    serve::serve(
+        dataset_dir(),
+        spool,
+        checkpoint,
+        &serve::ServeOptions {
+            threads,
+            drain_once: true,
+            ..serve::ServeOptions::default()
+        },
+    )
+    .expect("serve drain")
+}
+
+#[test]
+fn drained_spool_sessions_with_restart_match_batch_analyze() {
+    let reference = batch_tables(1);
+    for threads in [1usize, 2, 8] {
+        let spool = fresh(&format!("spool-{threads}"));
+        let hidden = fresh(&format!("hidden-{threads}"));
+        let checkpoint = fresh(&format!("ckpt-{threads}"));
+        let summary = serve::spool_split(dataset_dir(), &spool, 4).expect("spool-split");
+        assert!(summary.contains("ssl.2024-09-01-00.log"));
+
+        // Session 1 sees only part of the spool: hide the later ssl
+        // rotations (x509 all present — order must not matter anyway).
+        std::fs::create_dir_all(&hidden).unwrap();
+        for name in ["ssl.2024-09-01-02.log", "ssl.2024-09-01-03.log"] {
+            std::fs::rename(spool.join(name), hidden.join(name)).unwrap();
+        }
+        drain(&spool, &checkpoint, threads);
+
+        // "Restart": a second drain process resumes from the checkpoint
+        // after the remaining rotations arrive.
+        for name in ["ssl.2024-09-01-02.log", "ssl.2024-09-01-03.log"] {
+            std::fs::rename(hidden.join(name), spool.join(name)).unwrap();
+        }
+        let final_report = drain(&spool, &checkpoint, threads);
+        assert_eq!(
+            final_report, reference,
+            "threads={threads}: drained serve diverged from batch analyze"
+        );
+
+        // A third drain with nothing new must not change the report and
+        // must not mint a new checkpoint generation.
+        let gens_before = list_gens(&checkpoint);
+        let idle_report = drain(&spool, &checkpoint, threads);
+        assert_eq!(idle_report, reference);
+        assert_eq!(
+            list_gens(&checkpoint),
+            gens_before,
+            "idle drain re-checkpointed"
+        );
+
+        for dir in [&spool, &hidden, &checkpoint] {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+fn list_gens(checkpoint: &Path) -> Vec<String> {
+    let mut gens: Vec<String> = std::fs::read_dir(checkpoint)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .collect()
+        })
+        .unwrap_or_default();
+    gens.sort();
+    gens
+}
+
+#[test]
+fn unrecognized_and_compressed_spool_entries_are_skipped() {
+    let spool = fresh("spool-skip");
+    let checkpoint = fresh("ckpt-skip");
+    serve::spool_split(dataset_dir(), &spool, 2).expect("spool-split");
+    std::fs::write(spool.join("conn.2024-09-01-00.log"), "not a tls log\n").unwrap();
+    std::fs::write(spool.join("README.txt"), "ignore me\n").unwrap();
+    std::fs::write(
+        spool.join("ssl.2024-09-01-09.log.gz"),
+        b"\x1f\x8b/not-really",
+    )
+    .unwrap();
+    let report = drain(&spool, &checkpoint, 2);
+    assert_eq!(
+        report,
+        batch_tables(1),
+        "skips must not perturb the analysis"
+    );
+    for dir in [&spool, &checkpoint] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    let mut conn = TcpStream::connect(addr.trim()).expect("connect");
+    conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: serve\r\n\r\n").as_bytes())
+        .expect("send");
+    let mut text = String::new();
+    conn.read_to_string(&mut text).expect("read");
+    let status = text.lines().next().unwrap_or("").to_string();
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Pull the pretty-printed deterministic section out of a
+/// `certchain-metrics/v1` document.
+fn deterministic_section(metrics_body: &str) -> String {
+    let doc = certchain_obs::json::parse(metrics_body).expect("metrics parses as JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("certchain-metrics/v1"),
+        "schema tag"
+    );
+    assert!(doc.get("timing").is_some(), "timing section present");
+    doc.get("deterministic")
+        .expect("deterministic section")
+        .to_pretty()
+}
+
+#[test]
+fn http_endpoints_expose_report_and_thread_invariant_metrics() {
+    let mut sections = Vec::new();
+    for threads in [1usize, 2] {
+        let spool = fresh(&format!("spool-http-{threads}"));
+        let checkpoint = fresh(&format!("ckpt-http-{threads}"));
+        serve::spool_split(dataset_dir(), &spool, 2).expect("spool-split");
+        let addr_file = fresh(&format!("addr-{threads}")).with_extension("txt");
+        let opts = serve::ServeOptions {
+            threads,
+            listen: Some("127.0.0.1:0".to_string()),
+            drain_once: false,
+            interval_ms: 100,
+            listen_addr_file: Some(addr_file.clone()),
+        };
+        let spool_c = spool.clone();
+        let ckpt_c = checkpoint.clone();
+        // Watch mode blocks forever; park it on a thread the harness
+        // will tear down with the process.
+        std::thread::spawn(move || {
+            let _ = serve::serve(dataset_dir(), &spool_c, &ckpt_c, &opts);
+        });
+        let mut tries = 0;
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if text.contains(':') {
+                    break text;
+                }
+            }
+            tries += 1;
+            assert!(tries < 1500, "serve never published its address");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        // Wait until the first publish covered the whole spool.
+        let mut tries = 0;
+        loop {
+            let (status, body) = http_get(&addr, "/status");
+            assert_eq!(status, "HTTP/1.1 200 OK");
+            let doc = certchain_obs::json::parse(&body).expect("status JSON");
+            assert_eq!(
+                doc.get("schema").and_then(|v| v.as_str()),
+                Some("certchain-serve/v1")
+            );
+            let folded = doc
+                .get("folded_files")
+                .and_then(|v| match v {
+                    certchain_obs::json::JsonValue::Arr(a) => Some(a.len()),
+                    _ => None,
+                })
+                .unwrap_or(0);
+            if folded >= 4 {
+                break;
+            }
+            tries += 1;
+            assert!(tries < 600, "serve never folded the full spool");
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        let (status, report) = http_get(&addr, "/report");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(report, batch_tables(1), "served report vs batch tables");
+        let (status, report_json) = http_get(&addr, "/report.json");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(certchain_obs::json::parse(&report_json).is_ok());
+        let (status, metrics) = http_get(&addr, "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        sections.push(deterministic_section(&metrics));
+        let (status, _) = http_get(&addr, "/nope");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+        let _ = std::fs::remove_file(&addr_file);
+        // The serve thread keeps running; its spool/checkpoint dirs are
+        // cleaned with the temp dir by the OS. Leave them.
+    }
+    assert_eq!(
+        sections[0], sections[1],
+        "deterministic metrics section must be thread-count invariant"
+    );
+}
+
+#[test]
+fn compact_recovers_from_interrupted_leftovers() {
+    // A private dataset copy: this test rewrites the store.
+    let dir = fresh("compact-ds");
+    let profile = CampusProfile {
+        seed: 78,
+        chain_scale: 0.0005,
+        conn_scale: 0.00005,
+        public_chains: 60,
+        public_conns_per_chain: 2,
+    };
+    generate::generate(&dir, profile).expect("generate");
+    convert::convert(&dir).expect("convert");
+    let store = dataset::colstore_dir(&dir);
+
+    // Leftover temp dir from a compaction killed mid-write: cleaned up
+    // with a notice, then the compaction proceeds.
+    let tmp = store.with_file_name("colstore.tmp-compact");
+    std::fs::create_dir_all(&tmp).unwrap();
+    std::fs::write(tmp.join("partial.bin"), b"junk").unwrap();
+    let out = compact::compact(&dir).expect("compact after leftover tmp");
+    assert!(
+        out.contains("notice: removed leftover"),
+        "missing notice: {out}"
+    );
+    assert!(
+        out.contains("compacted"),
+        "compaction summary missing: {out}"
+    );
+    assert!(!tmp.exists());
+
+    // Crash inside the swap window: the store was moved aside but the
+    // new one never installed. compact restores it and carries on.
+    let old = store.with_file_name("colstore.pre-compact");
+    std::fs::rename(&store, &old).unwrap();
+    let out = compact::compact(&dir).expect("compact after interrupted swap");
+    assert!(out.contains("notice: restored"), "missing notice: {out}");
+    assert!(store.exists() && !old.exists());
+
+    // Swap completed but the superseded store lingered: dropped.
+    std::fs::create_dir_all(&old).unwrap();
+    std::fs::write(old.join("stale.bin"), b"junk").unwrap();
+    let out = compact::compact(&dir).expect("compact after stale pre-compact");
+    assert!(
+        out.contains("notice: removed superseded"),
+        "missing notice: {out}"
+    );
+    assert!(!old.exists());
+
+    // The recovered store still analyzes identically to the TSV logs.
+    let columnar = analyze::analyze_opts(
+        &dir,
+        &analyze::AnalyzeOptions {
+            threads: 2,
+            format: Some(dataset::DatasetFormat::Columnar),
+            ..analyze::AnalyzeOptions::default()
+        },
+    )
+    .expect("columnar analyze");
+    assert!(columnar.contains("Chain census"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -32,4 +32,5 @@ pub use endpoint::ServerEndpoint;
 pub use handshake::{simulate_connection, ConnectionOutcome, TlsVersion};
 pub use validate::{validate_chain, ValidationError, ValidationPolicy};
 pub use zeek::record::{SslRecord, X509Record};
+pub use zeek::rotated::{order_spool, parse_rotated_name, LogKind, RotatedLog};
 pub use zeek::stream::{ReadError, SslLogStream, StreamStats, X509LogStream};

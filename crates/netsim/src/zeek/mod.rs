@@ -8,5 +8,6 @@
 
 pub mod reader;
 pub mod record;
+pub mod rotated;
 pub mod stream;
 pub mod tsv;

@@ -1,0 +1,219 @@
+//! Rotated Zeek log-file names: parsing and spool ordering.
+//!
+//! A border gateway running Zeek continuously rotates its logs hourly,
+//! producing names like `ssl.2024-09-01-00.log.gz` — the exact shape of
+//! the paper's 12-month campus corpus. `certchain serve` watches a spool
+//! directory of such files and must fold them in a deterministic order
+//! regardless of when they land, so both halves of that problem live
+//! here as pure, unit-testable functions over *names* (no filesystem
+//! access): [`parse_rotated_name`] recovers the table kind and the
+//! rotation timestamp embedded in a file name, and [`order_spool`]
+//! produces the canonical fold order for a batch of names.
+//!
+//! Unknown names are never an error — a spool directory accumulates
+//! `conn.log`, editor droppings, and half-written temporaries, and the
+//! paper's own loss-accounting stance (report what was skipped, keep
+//! going) applies: callers get the unrecognized names back and tally
+//! them.
+
+use certchain_asn1::Asn1Time;
+
+/// Which of the two analysis tables a rotated file feeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LogKind {
+    /// `x509.*` — certificate rows. Ordered before [`LogKind::Ssl`] at
+    /// equal timestamps so certificates precede the connections that
+    /// reference them, mirroring the batch pipeline's drain-x509-first
+    /// staging.
+    X509,
+    /// `ssl.*` — connection rows.
+    Ssl,
+}
+
+impl LogKind {
+    /// The name prefix for this kind (`"ssl"` / `"x509"`).
+    pub fn prefix(self) -> &'static str {
+        match self {
+            LogKind::Ssl => "ssl",
+            LogKind::X509 => "x509",
+        }
+    }
+}
+
+/// A parsed rotated-log file name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RotatedLog {
+    /// Which table the file feeds.
+    pub kind: LogKind,
+    /// The rotation timestamp embedded in the name (start of the hour).
+    pub timestamp: Asn1Time,
+    /// Whether the name carries a `.gz` suffix. The workspace is
+    /// hermetic (no decompressor), so callers currently skip compressed
+    /// files with a loss tally rather than reading them.
+    pub compressed: bool,
+}
+
+/// Parse a rotated Zeek log file name of the form
+/// `<kind>.<YYYY-MM-DD-HH>.log[.gz]`, e.g. `ssl.2024-09-01-00.log.gz`.
+///
+/// Returns `None` — never panics — for anything else: other Zeek tables
+/// (`conn.*`), malformed or out-of-range timestamps (month 13, hour 24),
+/// missing `.log` suffix, or stray extensions. `None` is the caller's
+/// cue to tally the name as skipped, not to abort.
+pub fn parse_rotated_name(name: &str) -> Option<RotatedLog> {
+    let (kind, rest) = if let Some(rest) = name.strip_prefix("ssl.") {
+        (LogKind::Ssl, rest)
+    } else if let Some(rest) = name.strip_prefix("x509.") {
+        (LogKind::X509, rest)
+    } else {
+        return None;
+    };
+    let (rest, compressed) = match rest.strip_suffix(".gz") {
+        Some(inner) => (inner, true),
+        None => (rest, false),
+    };
+    let stamp = rest.strip_suffix(".log")?;
+    let timestamp = parse_stamp(stamp)?;
+    Some(RotatedLog {
+        kind,
+        timestamp,
+        compressed,
+    })
+}
+
+/// Parse the `YYYY-MM-DD-HH` rotation stamp. Range validation (months,
+/// days per month including leap years, hours) is delegated to
+/// [`Asn1Time::from_ymd_hms`], which already owns the calendar rules.
+fn parse_stamp(stamp: &str) -> Option<Asn1Time> {
+    let parts: Vec<&str> = stamp.split('-').collect();
+    let [year, month, day, hour] = parts.as_slice() else {
+        return None;
+    };
+    if year.len() != 4 || month.len() != 2 || day.len() != 2 || hour.len() != 2 {
+        return None;
+    }
+    let num = |s: &str| -> Option<u64> {
+        if s.bytes().all(|b| b.is_ascii_digit()) {
+            s.parse().ok()
+        } else {
+            None
+        }
+    };
+    Asn1Time::from_ymd_hms(num(year)?, num(month)?, num(day)?, num(hour)?, 0, 0).ok()
+}
+
+/// Canonical fold order over a batch of spool file names: recognized
+/// files sorted by (timestamp, x509-before-ssl, name), plus the
+/// unrecognized names (input order preserved) for loss accounting.
+///
+/// The ordering is what makes incremental serving deterministic: any
+/// session that sees the same set of new files folds them identically,
+/// and x509 files sort before ssl files of the same hour so certificate
+/// rows are interned before the connections that reference them.
+pub fn order_spool<'n, I>(names: I) -> (Vec<(RotatedLog, &'n str)>, Vec<&'n str>)
+where
+    I: IntoIterator<Item = &'n str>,
+{
+    let mut recognized: Vec<(RotatedLog, &'n str)> = Vec::new();
+    let mut unrecognized: Vec<&'n str> = Vec::new();
+    for name in names {
+        match parse_rotated_name(name) {
+            Some(parsed) => recognized.push((parsed, name)),
+            None => unrecognized.push(name),
+        }
+    }
+    recognized.sort_by(|(a, an), (b, bn)| {
+        (a.timestamp.unix_secs(), a.kind, *an).cmp(&(b.timestamp.unix_secs(), b.kind, *bn))
+    });
+    (recognized, unrecognized)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_and_compressed_names() {
+        let parsed = parse_rotated_name("ssl.2024-09-01-00.log.gz").unwrap();
+        assert_eq!(parsed.kind, LogKind::Ssl);
+        assert!(parsed.compressed);
+        assert_eq!(
+            parsed.timestamp,
+            Asn1Time::from_ymd_hms(2024, 9, 1, 0, 0, 0).unwrap()
+        );
+
+        let parsed = parse_rotated_name("x509.2024-12-31-23.log").unwrap();
+        assert_eq!(parsed.kind, LogKind::X509);
+        assert!(!parsed.compressed);
+        assert_eq!(
+            parsed.timestamp,
+            Asn1Time::from_ymd_hms(2024, 12, 31, 23, 0, 0).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed_names() {
+        for bad in [
+            "conn.2024-09-01-00.log",      // other Zeek table
+            "ssl.log",                     // unrotated
+            "ssl.2024-09-01.log",          // missing hour
+            "ssl.2024-09-01-24.log",       // hour out of range
+            "ssl.2024-13-01-00.log",       // month out of range
+            "ssl.2024-02-30-00.log",       // day out of range
+            "ssl.2024-09-01-00.log.tmp",   // stray extension
+            "ssl.2024-09-01-00.txt",       // wrong suffix
+            "ssl.24-09-01-00.log",         // short year
+            "ssl.2024-9-01-00.log",        // unpadded month
+            "ssl.2024-09-01--0.log",       // negative-looking field
+            "x509.2024-09-01-0a.log",      // non-digit
+            "",                            // empty
+            ".gz",                         // nothing but suffix
+            "ssl.2024-09-01-00.log.gz.gz", // double suffix
+        ] {
+            assert_eq!(parse_rotated_name(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn leap_day_parses() {
+        assert!(parse_rotated_name("ssl.2024-02-29-12.log").is_some());
+        assert_eq!(parse_rotated_name("ssl.2023-02-29-12.log"), None);
+    }
+
+    #[test]
+    fn order_is_timestamp_then_x509_first_then_name() {
+        let names = [
+            "ssl.2024-09-01-01.log",
+            "notes.txt",
+            "x509.2024-09-01-01.log",
+            "ssl.2024-09-01-00.log",
+            "x509.2024-09-01-00.log",
+            "conn.2024-09-01-00.log",
+        ];
+        let (ordered, skipped) = order_spool(names);
+        let got: Vec<&str> = ordered.iter().map(|(_, n)| *n).collect();
+        assert_eq!(
+            got,
+            [
+                "x509.2024-09-01-00.log",
+                "ssl.2024-09-01-00.log",
+                "x509.2024-09-01-01.log",
+                "ssl.2024-09-01-01.log",
+            ]
+        );
+        assert_eq!(skipped, ["notes.txt", "conn.2024-09-01-00.log"]);
+    }
+
+    #[test]
+    fn ordering_is_input_order_independent() {
+        let mut names = [
+            "ssl.2024-09-01-00.log",
+            "ssl.2024-09-01-01.log",
+            "x509.2024-09-01-00.log",
+        ];
+        let (a, _) = order_spool(names.iter().copied());
+        names.reverse();
+        let (b, _) = order_spool(names.iter().copied());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,293 @@
+//! A minimal, dependency-free HTTP/1.1 endpoint for exposing metrics
+//! and report tables from a long-running `certchain serve` process.
+//!
+//! Scope is deliberately tiny: GET only, path-based routing, one
+//! request per connection (`Connection: close`), bounded header
+//! reading. That is enough for `curl`/scrapers and keeps the whole
+//! server auditable — the workspace is hermetic (std-only), so this is
+//! hand-rolled on [`std::net::TcpListener`] rather than pulled in as a
+//! framework.
+//!
+//! Concurrency model: one acceptor thread, requests handled inline on
+//! it. The handler runs behind an `Arc`, so it can capture shared state
+//! (e.g. a mutex over the latest analysis snapshot). Shutdown is
+//! cooperative: [`HttpServer::shutdown`] flips a flag and self-connects
+//! to unblock `accept`, then joins the thread — no wall-clock polling,
+//! which also keeps this file clean under srclint's `det-wallclock`
+//! rule.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Maximum bytes of request head (request line + headers) read before
+/// the connection is rejected with `431`.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A response produced by a request handler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// HTTP status code (200, 404, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A `200 OK` response with the given content type.
+    pub fn ok(content_type: &str, body: impl Into<Vec<u8>>) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            content_type: content_type.to_string(),
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text `404 Not Found`.
+    pub fn not_found() -> HttpResponse {
+        HttpResponse {
+            status: 404,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: b"not found\n".to_vec(),
+        }
+    }
+
+    fn status_text(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            431 => "Request Header Fields Too Large",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// Request handler: maps a GET path (e.g. `/metrics`) to a response.
+pub type Handler = dyn Fn(&str) -> HttpResponse + Send + Sync;
+
+/// A background HTTP listener serving GET requests via a shared handler.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving on a
+    /// background thread. The handler receives the request path (query
+    /// string stripped) for every well-formed GET.
+    pub fn bind(addr: &str, handler: Arc<Handler>) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("certchain-http".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // A slow or broken client must not wedge the
+                        // acceptor; errors just drop the connection.
+                        let _ = serve_one(stream, &*handler);
+                    }
+                }
+            })?;
+        Ok(HttpServer {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, unblock the acceptor, and join the thread.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Read one request head, dispatch, write one response, close.
+fn serve_one(stream: TcpStream, handler: &Handler) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?).take(MAX_HEAD_BYTES as u64);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let response = match parse_request_line(&line) {
+        Ok(path) => {
+            // Drain headers until the blank line; the body (none for
+            // GET) is ignored.
+            loop {
+                let mut header = String::new();
+                let n = reader.read_line(&mut header)?;
+                if n == 0 && reader.limit() == 0 {
+                    return write_response(
+                        stream,
+                        &HttpResponse {
+                            status: 431,
+                            content_type: "text/plain; charset=utf-8".to_string(),
+                            body: b"request head too large\n".to_vec(),
+                        },
+                    );
+                }
+                if n == 0 || header == "\r\n" || header == "\n" {
+                    break;
+                }
+            }
+            handler(&path)
+        }
+        Err(status) => HttpResponse {
+            status,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: match status {
+                405 => b"only GET is supported\n".to_vec(),
+                _ => b"malformed request\n".to_vec(),
+            },
+        },
+    };
+    write_response(stream, &response)
+}
+
+/// Parse `GET <path> HTTP/1.x`, returning the path with any query
+/// string stripped, or the error status to answer with.
+fn parse_request_line(line: &str) -> Result<String, u16> {
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or(400u16)?;
+    let target = parts.next().ok_or(400u16)?;
+    let version = parts.next().ok_or(400u16)?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(400);
+    }
+    if method != "GET" {
+        return Err(405);
+    }
+    if !target.starts_with('/') {
+        return Err(400);
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    Ok(path.to_string())
+}
+
+fn write_response(mut stream: TcpStream, response: &HttpResponse) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.status_text(),
+        response.content_type,
+        response.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> HttpServer {
+        let handler: Arc<Handler> = Arc::new(|path: &str| match path {
+            "/ping" => HttpResponse::ok("text/plain; charset=utf-8", "pong\n"),
+            "/json" => HttpResponse::ok("application/json", "{\"ok\":true}"),
+            _ => HttpResponse::not_found(),
+        });
+        HttpServer::bind("127.0.0.1:0", handler).expect("bind")
+    }
+
+    /// Issue one raw request, return (status line, body).
+    fn request(addr: SocketAddr, raw: &str) -> (String, String) {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.write_all(raw.as_bytes()).expect("write");
+        let mut text = String::new();
+        conn.read_to_string(&mut text).expect("read");
+        let status = text.lines().next().unwrap_or("").to_string();
+        let body = text
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn get_routes_to_handler() {
+        let srv = server();
+        let (status, body) = request(srv.local_addr(), "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "pong\n");
+    }
+
+    #[test]
+    fn query_string_is_stripped_and_unknown_is_404() {
+        let srv = server();
+        let (status, body) = request(
+            srv.local_addr(),
+            "GET /json?pretty=1 HTTP/1.1\r\nHost: x\r\n\r\n",
+        );
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "{\"ok\":true}");
+        let (status, _) = request(srv.local_addr(), "GET /nope HTTP/1.1\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+    }
+
+    #[test]
+    fn non_get_is_405_and_garbage_is_400() {
+        let srv = server();
+        let (status, _) = request(
+            srv.local_addr(),
+            "POST /ping HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert_eq!(status, "HTTP/1.1 405 Method Not Allowed");
+        let (status, _) = request(srv.local_addr(), "complete nonsense\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_unblocks_accept() {
+        let mut srv = server();
+        let addr = srv.local_addr();
+        srv.shutdown();
+        srv.shutdown();
+        // After shutdown the port either refuses connections or — if the
+        // OS briefly accepted into the closed listener's backlog — never
+        // answers a request.
+        if let Ok(mut conn) = TcpStream::connect(addr) {
+            let _ = conn.write_all(b"GET /ping HTTP/1.1\r\n\r\n");
+            let mut text = String::new();
+            let _ = conn.read_to_string(&mut text);
+            assert!(text.is_empty(), "shut-down server answered: {text:?}");
+        }
+    }
+
+    #[test]
+    fn serves_many_sequential_requests() {
+        let srv = server();
+        for _ in 0..16 {
+            let (status, body) = request(srv.local_addr(), "GET /ping HTTP/1.0\r\n\r\n");
+            assert_eq!(status, "HTTP/1.1 200 OK");
+            assert_eq!(body, "pong\n");
+        }
+    }
+}

@@ -17,6 +17,8 @@
 //!   `SystemTime::now` everywhere else).
 //! - [`snapshot`]: [`MetricsSnapshot`], a schema-stable JSON export with
 //!   an explicitly deterministic section and a separate timing section.
+//! - [`http`]: a tiny GET-only [`HttpServer`] on `std::net`, used by
+//!   `certchain serve` to expose metrics snapshots and report tables.
 //! - [`progress`]: a throttled stderr [`Progress`] reporter
 //!   (records/sec, chunk queue depth, per-worker throughput).
 //! - [`json`]: the workspace's self-contained JSON value type (moved
@@ -27,11 +29,13 @@
 //! external dependencies, no unsafe code.
 
 pub mod clock;
+pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod progress;
 pub mod snapshot;
 
+pub use http::{HttpResponse, HttpServer};
 pub use metrics::{Counter, Gauge, Histogram, Registry, StageTimer};
 pub use progress::Progress;
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot, StageSnapshot};

@@ -38,6 +38,7 @@ fn fixture_corpus_produces_expected_findings() {
             "crates/chainlab/src/bad_iter.rs",
             14,
         ),
+        (RuleId::DetWallclock, "crates/cli/src/bad_serve_loop.rs", 9),
         (
             RuleId::DetThreadSensitivity,
             "crates/netsim/src/bad_threads.rs",

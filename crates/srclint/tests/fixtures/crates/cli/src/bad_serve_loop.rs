@@ -1,0 +1,17 @@
+//! Known-bad fixture: a serve-style poll loop that times its cycles
+//! with a raw `Instant::now` instead of going through the sanctioned
+//! `certchain-obs` clock. The det-wallclock rule applies to CLI library
+//! files too — `crates/obs/src/clock.rs` is the only site allowed to
+//! read the wall clock.
+
+pub fn watch_spool_forever() {
+    loop {
+        let cycle_started = std::time::Instant::now();
+        fold_everything_new();
+        let elapsed = cycle_started.elapsed();
+        let _ = elapsed;
+        std::thread::sleep(std::time::Duration::from_millis(500));
+    }
+}
+
+fn fold_everything_new() {}

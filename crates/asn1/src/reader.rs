@@ -22,7 +22,9 @@ pub struct Tlv<'a> {
 impl<'a> Tlv<'a> {
     /// Total encoded size of this TLV including tag and length octets.
     pub fn encoded_len(&self) -> usize {
-        (self.content_offset - self.offset) + self.content.len()
+        self.content_offset
+            .saturating_sub(self.offset)
+            .saturating_add(self.content.len())
     }
 
     /// Open this TLV as a constructed value and decode its body.
@@ -65,7 +67,7 @@ impl<'a> Decoder<'a> {
 
     /// Absolute offset of the next unread byte.
     pub fn offset(&self) -> usize {
-        self.base + self.pos
+        self.base.saturating_add(self.pos)
     }
 
     /// Whether the cursor has consumed all input.
@@ -102,23 +104,31 @@ impl<'a> Decoder<'a> {
     }
 
     /// Read the next TLV of any tag.
+    ///
+    /// All cursor arithmetic is checked: a decoded length near
+    /// `usize::MAX` (attacker-controlled long-form octets) must surface
+    /// as [`Asn1Error::LengthOverflow`], never wrap the slice bounds.
     pub fn any(&mut self) -> Asn1Result<Tlv<'a>> {
         let offset = self.offset();
         let tag = self.peek_tag()?;
-        let (len, len_octets) = decode_length(self.input, self.pos + 1)?;
-        let content_start = self.pos + 1 + len_octets;
-        let content = self.input.get(content_start..content_start + len).ok_or(
-            Asn1Error::LengthOverflow {
-                offset: self.base + self.pos + 1,
-                length: len,
-            },
-        )?;
-        self.pos = content_start + len;
+        let len_pos = self.pos.saturating_add(1);
+        let (len, len_octets) = decode_length(self.input, len_pos)?;
+        let overflow = || Asn1Error::LengthOverflow {
+            offset: self.base.saturating_add(len_pos),
+            length: len,
+        };
+        let content_start = len_pos.checked_add(len_octets).ok_or_else(overflow)?;
+        let content_end = content_start.checked_add(len).ok_or_else(overflow)?;
+        let content = self
+            .input
+            .get(content_start..content_end)
+            .ok_or_else(overflow)?;
+        self.pos = content_end;
         Ok(Tlv {
             tag,
             content,
             offset,
-            content_offset: self.base + content_start,
+            content_offset: self.base.saturating_add(content_start),
         })
     }
 
@@ -445,6 +455,25 @@ mod tests {
         let bad = [0x04, 0x05, 0x01];
         assert!(matches!(
             Decoder::new(&bad).octet_string(),
+            Err(Asn1Error::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn huge_length_errors_instead_of_overflowing() {
+        // Long-form length of usize::MAX: `content_start + len` would
+        // wrap. Must come back as LengthOverflow, not a panic.
+        let mut evil = vec![0x04, 0x88];
+        evil.extend_from_slice(&[0xff; 8]);
+        assert!(matches!(
+            Decoder::new(&evil).any(),
+            Err(Asn1Error::LengthOverflow { .. })
+        ));
+        // One below: still far beyond the buffer, same error.
+        let mut big = vec![0x04, 0x88, 0xff];
+        big.extend_from_slice(&[0xfe; 7]);
+        assert!(matches!(
+            Decoder::new(&big).any(),
             Err(Asn1Error::LengthOverflow { .. })
         ));
     }

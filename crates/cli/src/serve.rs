@@ -299,7 +299,12 @@ fn publish(
         metrics_json: snapshot.to_json().to_pretty() + "\n",
         status_json: status_json(state).to_pretty() + "\n",
     };
-    *published.lock().expect("publish lock") = next;
+    // A poisoned lock must not kill the daemon: `Published` is only ever
+    // replaced wholesale with a fully-built value, so the data under a
+    // poison flag is still the last complete publish. Recover and go on.
+    *published
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner()) = next;
     analysis
 }
 
@@ -362,7 +367,12 @@ fn status_json(state: &PipelineState) -> JsonValue {
 /// The HTTP routing table over the published strings.
 fn http_handler(published: Arc<Mutex<Published>>) -> Arc<certchain_obs::http::Handler> {
     Arc::new(move |path: &str| {
-        let p = published.lock().expect("publish lock").clone();
+        // Keep serving the last complete publish even if a publisher
+        // panicked while holding the lock (see `publish`).
+        let p = published
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone();
         match path {
             "/metrics" => HttpResponse::ok("application/json", p.metrics_json),
             "/report" => HttpResponse::ok("text/plain; charset=utf-8", p.report),

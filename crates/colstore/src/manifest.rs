@@ -14,6 +14,7 @@ use crate::segment::SegmentMeta;
 use crate::{ColError, ColResult, COLUMNS};
 use certchain_obs::json::{self, JsonValue};
 use std::collections::BTreeMap;
+use std::io::Write;
 use std::path::Path;
 
 /// Schema identifier stamped into every manifest.
@@ -237,11 +238,21 @@ impl Manifest {
         Manifest::from_json(&doc)
     }
 
-    /// Write `<store_dir>/dataset.json`.
+    /// Write `<store_dir>/dataset.json`, fsynced before returning.
+    ///
+    /// The manifest is the commit point for a dataset: readers trust any
+    /// files it names, so it must be durable itself before callers treat
+    /// the store as published.
     pub fn store(&self, store_dir: &Path) -> ColResult<()> {
         let path = store_dir.join(MANIFEST_FILE);
         let text = self.to_json().to_pretty() + "\n";
-        std::fs::write(&path, text).map_err(crate::io_ctx(format!("writing {}", path.display())))
+        let mut file = std::fs::File::create(&path)
+            .map_err(crate::io_ctx(format!("creating {}", path.display())))?;
+        file.write_all(text.as_bytes())
+            .map_err(crate::io_ctx(format!("writing {}", path.display())))?;
+        file.sync_all()
+            .map_err(crate::io_ctx(format!("syncing {}", path.display())))?;
+        Ok(())
     }
 }
 

@@ -505,6 +505,10 @@ impl DatasetWriter {
             col.file
                 .flush()
                 .map_err(io_ctx(format!("flushing column {}", col.name)))?;
+            col.file
+                .get_ref()
+                .sync_all()
+                .map_err(io_ctx(format!("syncing column {}", col.name)))?;
             columns.insert(col.name.to_string(), col.bytes);
         }
         match &self.append_base {
@@ -520,8 +524,7 @@ impl DatasetWriter {
                     ("fps.dat", &fps),
                 ] {
                     let path = self.dir.join(name);
-                    std::fs::write(&path, bytes)
-                        .map_err(io_ctx(format!("writing {}", path.display())))?;
+                    write_durable(&path, bytes)?;
                     columns.insert(name.to_string(), bytes.len() as u64);
                 }
             }
@@ -544,6 +547,8 @@ impl DatasetWriter {
                         .map_err(io_ctx(format!("opening {}", path.display())))?;
                     file.write_all(tail)
                         .map_err(io_ctx(format!("appending to {}", path.display())))?;
+                    file.sync_all()
+                        .map_err(io_ctx(format!("syncing {}", path.display())))?;
                 }
                 columns.insert("strings.idx".into(), self.dict.len() * 8);
                 columns.insert(
@@ -579,4 +584,15 @@ impl DatasetWriter {
         manifest.store(&self.dir)?;
         Ok(manifest)
     }
+}
+
+/// Create `path` with `bytes` and fsync it before returning, so the data
+/// is on disk before the manifest that references it is committed.
+fn write_durable(path: &std::path::Path, bytes: &[u8]) -> ColResult<()> {
+    let mut file = File::create(path).map_err(io_ctx(format!("creating {}", path.display())))?;
+    file.write_all(bytes)
+        .map_err(io_ctx(format!("writing {}", path.display())))?;
+    file.sync_all()
+        .map_err(io_ctx(format!("syncing {}", path.display())))?;
+    Ok(())
 }

@@ -5,11 +5,16 @@
 //!
 //! ```text
 //! # comment
+//! # srclint-budget: 17
 //! det-wallclock crates/cli/src/validate.rs -- reason text (expires: revisit note)
 //! ```
 //!
 //! Entries that suppress nothing are reported by `check` as stale — an
 //! allowlist only stays trustworthy if it shrinks when the code heals.
+//! The optional `# srclint-budget: N` line declares the total number of
+//! suppressed findings the workspace is allowed to carry (inline markers
+//! included); `check` fails when the actual count drifts from it, so a
+//! new suppression anywhere forces a reviewed diff of this file.
 
 use crate::rules::RuleId;
 use std::fmt;
@@ -54,16 +59,42 @@ impl fmt::Display for AllowParseError {
     }
 }
 
+/// The parsed allowlist: entries plus the optional suppression budget.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// File-level suppressions, in file order.
+    pub entries: Vec<AllowEntry>,
+    /// `# srclint-budget: N` declaration, if present.
+    pub budget: Option<usize>,
+}
+
+/// The budget declaration prefix (a `#` comment, so older parsers skip it).
+const BUDGET_PREFIX: &str = "# srclint-budget:";
+
 /// Parse the allowlist file contents.
-pub fn parse(contents: &str) -> Result<Vec<AllowEntry>, AllowParseError> {
-    let mut entries = Vec::new();
+pub fn parse(contents: &str) -> Result<Allowlist, AllowParseError> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut budget: Option<usize> = None;
     for (idx, raw) in contents.lines().enumerate() {
         let line = idx + 1;
         let text = raw.trim();
+        let err = |message: String| AllowParseError { line, message };
+        if let Some(rest) = text.strip_prefix(BUDGET_PREFIX) {
+            if budget.is_some() {
+                return Err(err("duplicate `# srclint-budget:` line".into()));
+            }
+            let value: usize = rest.trim().parse().map_err(|_| {
+                err(format!(
+                    "invalid budget `{}`: expected a number",
+                    rest.trim()
+                ))
+            })?;
+            budget = Some(value);
+            continue;
+        }
         if text.is_empty() || text.starts_with('#') {
             continue;
         }
-        let err = |message: String| AllowParseError { line, message };
         let (head, rest) = text
             .split_once(" -- ")
             .ok_or_else(|| err("missing ` -- reason` separator".into()))?;
@@ -98,6 +129,12 @@ pub fn parse(contents: &str) -> Result<Vec<AllowEntry>, AllowParseError> {
         if expires.is_empty() {
             return Err(err("empty expiry note".into()));
         }
+        if let Some(dup) = entries.iter().find(|e| e.rule == rule && e.path == path) {
+            return Err(err(format!(
+                "duplicate entry for `{} {}` (first on line {})",
+                rule, path, dup.line
+            )));
+        }
         entries.push(AllowEntry {
             rule,
             path,
@@ -106,7 +143,7 @@ pub fn parse(contents: &str) -> Result<Vec<AllowEntry>, AllowParseError> {
             line,
         });
     }
-    Ok(entries)
+    Ok(Allowlist { entries, budget })
 }
 
 #[cfg(test)]
@@ -118,7 +155,7 @@ mod tests {
         let src = "# header\n\
                    \n\
                    det-wallclock crates/cli/src/validate.rs -- CLI lints real chains (expires: when --now is required)\n";
-        let got = parse(src).expect("parses");
+        let got = parse(src).expect("parses").entries;
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].rule, RuleId::DetWallclock);
         assert_eq!(got[0].path, "crates/cli/src/validate.rs");
@@ -137,11 +174,51 @@ mod tests {
     fn rejects_unknown_rule() {
         let e = parse("not-a-rule a.rs -- x (expires: y)\n").unwrap_err();
         assert!(e.message.contains("unknown rule"));
+        assert_eq!(e.line, 1);
     }
 
     #[test]
     fn rejects_missing_separator() {
         let e = parse("det-wallclock a.rs reason (expires: y)\n").unwrap_err();
         assert!(e.message.contains("separator"));
+    }
+
+    #[test]
+    fn rejects_duplicate_rule_path_pairs() {
+        let src = "det-wallclock a.rs -- first (expires: x)\n\
+                   no-silent-allow a.rs -- different rule is fine (expires: x)\n\
+                   det-wallclock a.rs -- second (expires: y)\n";
+        let e = parse(src).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("duplicate entry"), "{}", e.message);
+        assert!(e.message.contains("first on line 1"), "{}", e.message);
+    }
+
+    #[test]
+    fn parses_budget_line() {
+        let src = "# srclint-budget: 17\n\
+                   det-wallclock a.rs -- reason (expires: x)\n";
+        let got = parse(src).expect("parses");
+        assert_eq!(got.budget, Some(17));
+        assert_eq!(got.entries.len(), 1);
+        assert_eq!(parse("").expect("empty").budget, None);
+    }
+
+    #[test]
+    fn rejects_bad_budget_lines() {
+        let e = parse("# srclint-budget: many\n").unwrap_err();
+        assert!(e.message.contains("expected a number"), "{}", e.message);
+        let e = parse("# srclint-budget: 1\n# srclint-budget: 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("duplicate"), "{}", e.message);
+    }
+
+    #[test]
+    fn error_display_names_file_and_line() {
+        let e = parse("\n\nbroken\n").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "srclint.allow:3: missing ` -- reason` separator"
+        );
     }
 }

@@ -323,4 +323,49 @@ mod tests {
         assert!(lines[2].code.contains("b();"));
         assert!(lines[2].comment.contains("two */"));
     }
+
+    #[test]
+    fn multi_line_raw_string_spans_lines() {
+        // Rule probes inside a raw string body must never fire, even
+        // lines later; the closing delimiter restores code state.
+        let lines = lex("let s = r#\"line one unwrap()\nInstant::now()\"#;\nlet t = 1;\n");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(!lines[1].code.contains("Instant"));
+        assert!(lines[1].code.ends_with("\"#;"));
+        assert_eq!(lines[2].code, "let t = 1;");
+    }
+
+    #[test]
+    fn raw_string_hash_count_must_match_to_close() {
+        // `"#` inside an r##-string is content, not a terminator: the
+        // whole body blanks and code resumes exactly at the `"##`.
+        let got = code_of("let s = r##\"a \"# b\"##; let after = 2;\n");
+        assert_eq!(got[0], "let s = r##\"      \"##; let after = 2;");
+    }
+
+    #[test]
+    fn raw_prefix_requires_nonident_boundary() {
+        // `attr#` / `br#`-like sequences inside identifiers are not raw
+        // string openers: `catr#` is ident `catr` then `#`.
+        let got = code_of("let catr = 1; catr#tag;\nlet x = 2;\n");
+        assert!(got[0].contains("catr#tag"));
+        assert_eq!(got[1], "let x = 2;");
+    }
+
+    #[test]
+    fn doubly_nested_block_comment_counts_depth() {
+        let lines = lex("/* a /* b /* c */ b */ a */ live();\n");
+        assert_eq!(lines[0].code.trim(), "live();");
+        // An unbalanced close after the comment ends is ordinary code.
+        let lines = lex("/* x */ */ y();\n");
+        assert!(lines[0].code.contains("*/ y();"));
+    }
+
+    #[test]
+    fn line_comment_markers_inside_block_comment_do_not_escape() {
+        // `//` inside a block comment must not eat the `*/`.
+        let lines = lex("/* see // note */ z();\n");
+        assert!(lines[0].code.contains("z();"));
+        assert_eq!(lines[0].comment, "/* see // note */");
+    }
 }

@@ -25,17 +25,25 @@
 pub mod allow;
 pub mod lexer;
 pub mod rules;
+pub mod scope;
 
-use allow::AllowEntry;
+use allow::{AllowEntry, Allowlist};
 use certchain_obs::json::JsonValue;
 use rules::{Finding, RuleId, Suppression};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Directories (workspace-relative) never scanned: build output, VCS
-/// metadata, and srclint's own intentionally-bad fixture corpus.
-const SKIP_DIRS: &[&str] = &["target", ".git", "crates/srclint/tests/fixtures"];
+/// Directory names never scanned at any depth: build output (including
+/// per-crate `target/` dirs from standalone `cargo` runs) and VCS
+/// metadata.
+const SKIP_DIR_NAMES: &[&str] = &["target", ".git"];
+
+/// Root-relative directories never scanned: the vendored dependency
+/// tree (third-party code is not ours to lint) and srclint's own
+/// intentionally-bad fixture corpus — both spelled from the workspace
+/// root and from a crate root (`--root crates/srclint` self-scans).
+const SKIP_DIR_ROOTS: &[&str] = &["vendor", "crates/srclint/tests/fixtures", "tests/fixtures"];
 
 /// Name of the allowlist file at the scan root.
 pub const ALLOWLIST_FILE: &str = "srclint.allow";
@@ -52,15 +60,43 @@ pub struct CheckReport {
     pub stale_allows: Vec<AllowEntry>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Declared suppression budget (`# srclint-budget: N` in
+    /// `srclint.allow`), if any.
+    pub suppression_budget: Option<usize>,
 }
 
 impl CheckReport {
+    /// The regression-guard verdict: with a budget declared, the number
+    /// of suppressed findings must match it exactly, so any growth (or
+    /// shrink) in suppressions forces a visible `srclint.allow` diff.
+    pub fn budget_violation(&self) -> Option<String> {
+        let budget = self.suppression_budget?;
+        let actual = self.suppressed.len();
+        (actual != budget).then(|| {
+            format!(
+                "suppression count {actual} != declared budget {budget}; \
+                 update the `# srclint-budget: {actual}` line in srclint.allow \
+                 (and justify any new suppression in the same diff)"
+            )
+        })
+    }
     /// Render as a JSON document (machine-readable CI output).
     pub fn to_json(&self) -> JsonValue {
         JsonValue::Obj(vec![
             (
                 "files_scanned".into(),
                 JsonValue::Num(self.files_scanned as f64),
+            ),
+            (
+                "suppression_count".into(),
+                JsonValue::Num(self.suppressed.len() as f64),
+            ),
+            (
+                "suppression_budget".into(),
+                match self.suppression_budget {
+                    Some(b) => JsonValue::Num(b as f64),
+                    None => JsonValue::Null,
+                },
             ),
             (
                 "findings".into(),
@@ -91,6 +127,7 @@ fn finding_json(f: &Finding) -> JsonValue {
             Suppression::CommutativeMarker => ("commutative-marker", String::new()),
             Suppression::InlineAllow(reason) => ("inline-allow", reason.clone()),
             Suppression::Allowlist(reason) => ("allowlist", reason.clone()),
+            Suppression::PanicOk(reason) => ("panic-ok-marker", reason.clone()),
         };
         obj.push(("suppressed_by".into(), JsonValue::Str(kind.into())));
         if !detail.is_empty() {
@@ -136,7 +173,8 @@ impl From<io::Error> for Error {
     }
 }
 
-/// Walk `root` for `.rs` files, skipping [`SKIP_DIRS`]. Returns
+/// Walk `root` for `.rs` files. Skips [`SKIP_DIR_NAMES`] directories at
+/// any depth and [`SKIP_DIR_ROOTS`] at the workspace root. Returns
 /// workspace-relative paths (forward slashes), sorted for deterministic
 /// report order.
 pub fn collect_rs_files(root: &Path) -> io::Result<Vec<String>> {
@@ -147,12 +185,14 @@ pub fn collect_rs_files(root: &Path) -> io::Result<Vec<String>> {
             let entry = entry?;
             let path = entry.path();
             let rel = rel_path(root, &path);
-            if SKIP_DIRS.iter().any(|s| rel == *s) || rel.ends_with("/target") {
-                continue;
-            }
             let ty = entry.file_type()?;
             if ty.is_dir() {
-                stack.push(path);
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let skip_anywhere = SKIP_DIR_NAMES.contains(&name.as_str());
+                let skip_at_root = SKIP_DIR_ROOTS.iter().any(|s| rel == *s);
+                if !(skip_anywhere || skip_at_root) {
+                    stack.push(path);
+                }
             } else if ty.is_file() && rel.ends_with(".rs") {
                 out.push(rel);
             }
@@ -171,10 +211,10 @@ fn rel_path(root: &Path, path: &Path) -> String {
 }
 
 /// Load the allowlist at `root`, if present.
-pub fn load_allowlist(root: &Path) -> Result<Vec<AllowEntry>, Error> {
+pub fn load_allowlist(root: &Path) -> Result<Allowlist, Error> {
     let path = root.join(ALLOWLIST_FILE);
     if !path.exists() {
-        return Ok(Vec::new());
+        return Ok(Allowlist::default());
     }
     let contents = fs::read_to_string(path)?;
     allow::parse(&contents).map_err(Error::Allowlist)
@@ -182,9 +222,13 @@ pub fn load_allowlist(root: &Path) -> Result<Vec<AllowEntry>, Error> {
 
 /// Scan the workspace rooted at `root` and apply suppressions.
 pub fn check(root: &Path) -> Result<CheckReport, Error> {
-    let allows = load_allowlist(root)?;
+    let allowlist = load_allowlist(root)?;
+    let allows = allowlist.entries;
     let mut allow_hits = vec![0usize; allows.len()];
-    let mut report = CheckReport::default();
+    let mut report = CheckReport {
+        suppression_budget: allowlist.budget,
+        ..CheckReport::default()
+    };
     for rel in collect_rs_files(root)? {
         let source = fs::read_to_string(root.join(&rel))?;
         let lines = lexer::lex(&source);
@@ -246,6 +290,18 @@ pub fn list_suppressions(root: &Path) -> Result<Vec<SuppressionSite>, Error> {
     for rel in collect_rs_files(root)? {
         let source = fs::read_to_string(root.join(&rel))?;
         for line in lexer::lex(&source) {
+            if let Some(pos) = line.comment.find("PANIC-OK:") {
+                let reason = line.comment[pos + "PANIC-OK:".len()..].trim().to_string();
+                let rule = RuleId::NoPanicInDaemon;
+                out.push(SuppressionSite {
+                    kind: "panic-ok-marker",
+                    path: rel.clone(),
+                    line: line.number,
+                    rule: rule.name().to_string(),
+                    reason,
+                    active: active.contains(&(rel.clone(), rule)),
+                });
+            }
             let Some(pos) = line.comment.find("srclint:") else {
                 continue;
             };
@@ -279,7 +335,7 @@ pub fn list_suppressions(root: &Path) -> Result<Vec<SuppressionSite>, Error> {
             });
         }
     }
-    for entry in load_allowlist(root)? {
+    for entry in load_allowlist(root)?.entries {
         let is_active = !report.stale_allows.iter().any(|s| s.line == entry.line);
         out.push(SuppressionSite {
             kind: "allowlist",
@@ -326,4 +382,95 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
         dir = d.parent().map(Path::to_path_buf);
     }
     None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a throwaway tree under the OS temp dir; removed on drop.
+    struct TempTree(PathBuf);
+
+    impl TempTree {
+        fn new(tag: &str) -> TempTree {
+            let dir = std::env::temp_dir().join(format!(
+                "srclint-{tag}-{}-{:p}",
+                std::process::id(),
+                &tag
+            ));
+            let _ = fs::remove_dir_all(&dir);
+            fs::create_dir_all(&dir).expect("temp tree");
+            TempTree(dir)
+        }
+
+        fn write(&self, rel: &str, contents: &str) {
+            let path = self.0.join(rel);
+            fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+            fs::write(path, contents).expect("write");
+        }
+    }
+
+    impl Drop for TempTree {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn collect_skips_target_vendor_and_fixtures() {
+        let t = TempTree::new("walk");
+        // Scanned:
+        t.write("crates/a/src/lib.rs", "fn a() {}\n");
+        t.write("tests/e2e.rs", "fn t() {}\n");
+        // Skipped: top-level target, nested per-crate target, the vendor
+        // tree, VCS metadata, and the fixture corpus.
+        t.write("target/debug/build/gen.rs", "fn g() {}\n");
+        t.write("crates/a/target/debug/gen.rs", "fn g() {}\n");
+        t.write("vendor/dep/src/lib.rs", "fn v() {}\n");
+        t.write(".git/hooks/h.rs", "fn h() {}\n");
+        t.write(
+            "crates/srclint/tests/fixtures/crates/x/src/bad.rs",
+            "fn b() {}\n",
+        );
+        // Crate-rooted self-scans see the fixture corpus as
+        // `tests/fixtures`; that spelling is skipped too.
+        t.write("tests/fixtures/crates/y/src/bad.rs", "fn b() {}\n");
+        // A directory merely *named like* vendor below the root is still
+        // scanned — only the root-level vendor tree is third-party.
+        t.write("crates/a/vendor_notes.rs", "fn n() {}\n");
+        let got = collect_rs_files(&t.0).expect("walk");
+        assert_eq!(
+            got,
+            vec![
+                "crates/a/src/lib.rs".to_string(),
+                "crates/a/vendor_notes.rs".to_string(),
+                "tests/e2e.rs".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn budget_violation_requires_exact_match() {
+        let mut report = CheckReport {
+            suppression_budget: Some(1),
+            ..CheckReport::default()
+        };
+        let finding = rules::Finding {
+            rule: RuleId::DetWallclock,
+            path: "crates/x/src/lib.rs".into(),
+            line: 1,
+            snippet: String::new(),
+            message: String::new(),
+            suppression: Some(Suppression::InlineAllow("why".into())),
+        };
+        report.suppressed.push(finding.clone());
+        assert_eq!(report.budget_violation(), None);
+        // One more suppression than declared: the guard fires.
+        report.suppressed.push(finding);
+        let msg = report.budget_violation().expect("violation");
+        assert!(msg.contains("2 != declared budget 1"), "{msg}");
+        // No declared budget: never fires.
+        report.suppression_budget = None;
+        assert_eq!(report.budget_violation(), None);
+    }
 }

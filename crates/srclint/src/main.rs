@@ -83,6 +83,7 @@ fn run_check(root: &std::path::Path, json: bool) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let budget_violation = report.budget_violation();
     if json {
         println!("{}", report.to_json().to_pretty());
     } else {
@@ -95,6 +96,9 @@ fn run_check(root: &std::path::Path, json: bool) -> ExitCode {
                 stale.line
             );
         }
+        if let Some(v) = &budget_violation {
+            println!("srclint.allow: {v}");
+        }
         eprintln!(
             "srclint: {} file(s), {} finding(s), {} suppressed, {} stale allowlist entr(ies)",
             report.files_scanned,
@@ -103,7 +107,7 @@ fn run_check(root: &std::path::Path, json: bool) -> ExitCode {
             report.stale_allows.len(),
         );
     }
-    if report.findings.is_empty() && report.stale_allows.is_empty() {
+    if report.findings.is_empty() && report.stale_allows.is_empty() && budget_violation.is_none() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

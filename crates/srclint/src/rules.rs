@@ -1,13 +1,19 @@
 //! The srclint rule catalog.
 //!
 //! Every rule answers one question about a single file, given the
-//! [`crate::lexer::Line`] view and the file's workspace classification.
-//! Rules are deliberately lexical: srclint runs on every CI push, must
-//! build with zero dependencies beyond the workspace, and favors a small
-//! number of auditable false positives (silenced with justification
-//! markers) over parser-grade precision.
+//! [`crate::lexer::Line`] view, the file's workspace classification, and
+//! the [`crate::scope::ScopeMap`] attributing each line to its enclosing
+//! function. Rules are deliberately lexical: srclint runs on every CI
+//! push, must build with zero dependencies beyond the workspace, and
+//! favors a small number of auditable false positives (silenced with
+//! justification markers) over parser-grade precision. The scope layer
+//! buys the two properties line scanning could not: suppression markers
+//! only apply within the function that carries them, and whole-function
+//! rules (panic freedom, durability ordering, checked arithmetic) can
+//! fold over one function's lines at a time.
 
 use crate::lexer::Line;
+use crate::scope::ScopeMap;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -25,6 +31,27 @@ pub const WALLCLOCK_EXEMPT: &[&str] = &["bench", "vendor/criterion"];
 /// every other library read must go through it.
 pub const WALLCLOCK_SANCTIONED_FILE: &str = "crates/obs/src/clock.rs";
 
+/// Long-lived daemon files: the serve loop and the HTTP listener it
+/// exposes. A panic here takes the whole daemon down mid-request, so
+/// no-panic-in-daemon bans panicking constructs in their non-test code.
+pub const DAEMON_FILES: &[&str] = &["crates/cli/src/serve.rs", "crates/obs/src/http.rs"];
+
+/// Files subject to durability-manifest-last: everywhere the colstore /
+/// checkpoint manifest-last commit convention must hold.
+pub const DURABILITY_PATHS: &[&str] = &["crates/colstore/src/", "crates/cli/src/compact.rs"];
+
+/// Parse-path prefixes handling untrusted input, subject to
+/// parser-checked-arith.
+pub const PARSER_PATHS: &[&str] = &[
+    "crates/netsim/src/zeek/",
+    "crates/asn1/src/",
+    "crates/x509/src/",
+];
+
+/// Files under [`PARSER_PATHS`] that only *produce* bytes (writers,
+/// builders): their arithmetic runs on trusted local state.
+pub const PARSER_EXEMPT_STEMS: &[&str] = &["writer", "builder", "encode"];
+
 /// The rule identifiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RuleId {
@@ -38,16 +65,25 @@ pub enum RuleId {
     UnsafeNeedsSafetyComment,
     /// `#[allow(...)]` without a same-line reason comment.
     NoSilentAllow,
+    /// Panicking constructs in the serve daemon / HTTP listener files.
+    NoPanicInDaemon,
+    /// Manifest written before data files are fsync'd, or never fsync'd.
+    DurabilityManifestLast,
+    /// Unchecked length/offset arithmetic in parse paths.
+    ParserCheckedArith,
 }
 
 impl RuleId {
     /// Every rule, in catalog order.
-    pub const ALL: [RuleId; 5] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::DetUnorderedIter,
         RuleId::DetWallclock,
         RuleId::DetThreadSensitivity,
         RuleId::UnsafeNeedsSafetyComment,
         RuleId::NoSilentAllow,
+        RuleId::NoPanicInDaemon,
+        RuleId::DurabilityManifestLast,
+        RuleId::ParserCheckedArith,
     ];
 
     /// Stable kebab-case name (used in output, markers, the allowlist).
@@ -58,6 +94,9 @@ impl RuleId {
             RuleId::DetThreadSensitivity => "det-thread-sensitivity",
             RuleId::UnsafeNeedsSafetyComment => "unsafe-needs-safety-comment",
             RuleId::NoSilentAllow => "no-silent-allow",
+            RuleId::NoPanicInDaemon => "no-panic-in-daemon",
+            RuleId::DurabilityManifestLast => "durability-manifest-last",
+            RuleId::ParserCheckedArith => "parser-checked-arith",
         }
     }
 
@@ -88,6 +127,21 @@ impl RuleId {
                  on the same or a nearby preceding line"
             }
             RuleId::NoSilentAllow => "#[allow(...)] requires a same-line `// reason` comment",
+            RuleId::NoPanicInDaemon => {
+                "the serve daemon and HTTP listener (cli::serve, obs::http) \
+                 must not unwrap/expect/panic!/index slices outside tests; \
+                 escape a justified site with `// PANIC-OK: reason`"
+            }
+            RuleId::DurabilityManifestLast => {
+                "colstore/checkpoint commit functions must fsync data files \
+                 before writing the manifest, write the manifest last, and \
+                 fsync the manifest itself (crash-consistency convention)"
+            }
+            RuleId::ParserCheckedArith => {
+                "length/offset arithmetic in parse paths (netsim::zeek, asn1, \
+                 x509) must use checked_*/saturating_* or follow an explicit \
+                 bounds check in the same function"
+            }
         }
     }
 }
@@ -98,7 +152,8 @@ impl fmt::Display for RuleId {
     }
 }
 
-/// How a finding was silenced, if it was.
+/// How a finding was silenced, if it was. Inline markers only count
+/// when they sit in the same function as the finding they silence.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Suppression {
     /// `// srclint: commutative` on the same or previous line.
@@ -107,6 +162,9 @@ pub enum Suppression {
     InlineAllow(String),
     /// Matched an entry in the allowlist file.
     Allowlist(String),
+    /// `// PANIC-OK: reason` on the same or previous line (the
+    /// no-panic-in-daemon escape hatch; the reason must be non-empty).
+    PanicOk(String),
 }
 
 /// One diagnostic.
@@ -199,40 +257,59 @@ pub fn classify(rel_path: &str) -> FileInfo {
     }
 }
 
-/// First line of the file's `#[cfg(test)]` region, if any. By workspace
-/// convention the unit-test module is the last item in a file, so
-/// everything from that attribute on is treated as test code.
-fn test_region_start(lines: &[Line]) -> Option<usize> {
-    lines
-        .iter()
-        .find(|l| l.code.contains("#[cfg(test)]"))
-        .map(|l| l.number)
-}
-
-/// Run every applicable rule over one file.
+/// Run every applicable rule over one file. Builds the file's
+/// [`ScopeMap`] once; test code is whatever sits inside a
+/// `#[cfg(test)]`/`#[test]` scope's actual brace range (the pre-scope
+/// engine treated everything after the first `#[cfg(test)]` line as
+/// test code, hiding real code after the test module).
 pub fn scan_file(info: &FileInfo, lines: &[Line]) -> Vec<Finding> {
     let mut findings = Vec::new();
-    let test_start = test_region_start(lines);
-    let in_test_region = |n: usize| test_start.is_some_and(|s| n >= s);
+    let scopes = ScopeMap::build(lines);
 
     if DET_CRATES.contains(&info.crate_name.as_str()) && info.kind == FileKind::Lib {
-        det_unordered_iter(info, lines, &mut findings);
+        det_unordered_iter(info, lines, &scopes, &mut findings);
     }
     if info.kind == FileKind::Lib
         && !WALLCLOCK_EXEMPT.contains(&info.crate_name.as_str())
         && info.path != WALLCLOCK_SANCTIONED_FILE
     {
-        det_wallclock(info, lines, &in_test_region, &mut findings);
+        det_wallclock(info, lines, &scopes, &mut findings);
     }
     if info.kind == FileKind::Lib
         && info.crate_name != "bench"
         && !info.crate_name.starts_with("vendor/")
     {
-        det_thread_sensitivity(info, lines, &in_test_region, &mut findings);
+        det_thread_sensitivity(info, lines, &scopes, &mut findings);
     }
-    unsafe_needs_safety_comment(info, lines, &mut findings);
-    no_silent_allow(info, lines, &mut findings);
+    unsafe_needs_safety_comment(info, lines, &scopes, &mut findings);
+    no_silent_allow(info, lines, &scopes, &mut findings);
+    if DAEMON_FILES.contains(&info.path.as_str()) {
+        no_panic_in_daemon(info, lines, &scopes, &mut findings);
+    }
+    if info.kind == FileKind::Lib
+        && DURABILITY_PATHS
+            .iter()
+            .any(|p| info.path.starts_with(p) || info.path == *p)
+    {
+        durability_manifest_last(info, lines, &scopes, &mut findings);
+    }
+    if info.kind == FileKind::Lib && in_parser_paths(&info.path) {
+        parser_checked_arith(info, lines, &scopes, &mut findings);
+    }
+    // Deterministic (line, rule) report order regardless of which rule
+    // ran first.
+    findings.sort_by_key(|f| (f.line, f.rule));
     findings
+}
+
+/// Whether a path is an untrusted-input parse path (under
+/// [`PARSER_PATHS`], not a writer/builder/encoder file).
+fn in_parser_paths(path: &str) -> bool {
+    if !PARSER_PATHS.iter().any(|p| path.starts_with(p)) {
+        return false;
+    }
+    let stem = path.rsplit('/').next().unwrap_or(path);
+    !PARSER_EXEMPT_STEMS.iter().any(|s| stem.contains(s))
 }
 
 /// The iteration methods whose order follows the hasher, not the data.
@@ -248,12 +325,43 @@ const UNORDERED_METHODS: &[&str] = &[
     "into_values",
 ];
 
-fn det_unordered_iter(info: &FileInfo, lines: &[Line], out: &mut Vec<Finding>) {
-    let names = hash_typed_names(lines);
-    if names.is_empty() {
-        return;
-    }
+fn det_unordered_iter(info: &FileInfo, lines: &[Line], scopes: &ScopeMap, out: &mut Vec<Finding>) {
+    let types = hash_type_set(lines);
+    // Names are resolved per scope: identifiers declared outside any
+    // function (fields, consts, statics) are visible everywhere, while
+    // a function's locals only track inside that function — the
+    // pre-scope engine pooled every name file-wide, so `let m =
+    // HashMap::new()` in one function flagged an unrelated `m` in
+    // another.
+    let global = hash_typed_names(
+        lines
+            .iter()
+            .filter(|l| scopes.enclosing_fn(l.number).is_none()),
+        &types,
+    );
+    let mut per_fn: std::collections::BTreeMap<usize, BTreeSet<String>> = Default::default();
     for (idx, line) in lines.iter().enumerate() {
+        let names: &BTreeSet<String> = match scopes.enclosing_fn(line.number) {
+            None => &global,
+            Some(f) => {
+                let start = f.start_line;
+                per_fn.entry(start).or_insert_with(|| {
+                    let mut names = hash_typed_names(
+                        scopes.fn_lines(f, lines).iter().filter(|l| {
+                            scopes
+                                .enclosing_fn(l.number)
+                                .is_some_and(|s| s.start_line == start)
+                        }),
+                        &types,
+                    );
+                    names.extend(global.iter().cloned());
+                    names
+                })
+            }
+        };
+        if names.is_empty() {
+            continue;
+        }
         let mut hit: Option<String> = None;
         // `map.iter()`-style: an unordered method invoked on a tracked name.
         for m in UNORDERED_METHODS {
@@ -267,14 +375,14 @@ fn det_unordered_iter(info: &FileInfo, lines: &[Line], out: &mut Vec<Finding>) {
         }
         // `for x in &map`-style: the for-expression ends in a tracked name.
         if hit.is_none() {
-            if let Some(name) = for_loop_over(&line.code, &names) {
+            if let Some(name) = for_loop_over(&line.code, names) {
                 hit = Some(format!("`for .. in {name}`"));
             }
         }
         let Some(what) = hit else { continue };
-        let suppression = (marker_near(lines, idx, "srclint: commutative"))
+        let suppression = (marker_near(lines, idx, "srclint: commutative", scopes))
             .then_some(Suppression::CommutativeMarker)
-            .or_else(|| inline_allow_near(lines, idx, RuleId::DetUnorderedIter));
+            .or_else(|| inline_allow_near(lines, idx, RuleId::DetUnorderedIter, scopes));
         out.push(Finding {
             rule: RuleId::DetUnorderedIter,
             path: info.path.clone(),
@@ -291,14 +399,9 @@ fn det_unordered_iter(info: &FileInfo, lines: &[Line], out: &mut Vec<Finding>) {
     }
 }
 
-fn det_wallclock(
-    info: &FileInfo,
-    lines: &[Line],
-    in_test_region: &dyn Fn(usize) -> bool,
-    out: &mut Vec<Finding>,
-) {
+fn det_wallclock(info: &FileInfo, lines: &[Line], scopes: &ScopeMap, out: &mut Vec<Finding>) {
     for (idx, line) in lines.iter().enumerate() {
-        if in_test_region(line.number) {
+        if scopes.in_test_scope(line.number) {
             continue;
         }
         for probe in ["Instant::now", "SystemTime::now"] {
@@ -313,7 +416,7 @@ fn det_wallclock(
                          reproducible from inputs alone; route timing through \
                          `certchain_obs::clock`, the single sanctioned site"
                     ),
-                    suppression: inline_allow_near(lines, idx, RuleId::DetWallclock),
+                    suppression: inline_allow_near(lines, idx, RuleId::DetWallclock, scopes),
                 });
             }
         }
@@ -323,11 +426,11 @@ fn det_wallclock(
 fn det_thread_sensitivity(
     info: &FileInfo,
     lines: &[Line],
-    in_test_region: &dyn Fn(usize) -> bool,
+    scopes: &ScopeMap,
     out: &mut Vec<Finding>,
 ) {
     for (idx, line) in lines.iter().enumerate() {
-        if in_test_region(line.number) {
+        if scopes.in_test_scope(line.number) {
             continue;
         }
         for probe in ["available_parallelism", "thread::current"] {
@@ -342,14 +445,24 @@ fn det_thread_sensitivity(
                          configuration; outputs must be identical across thread \
                          counts (justify knob-resolution sites inline)"
                     ),
-                    suppression: inline_allow_near(lines, idx, RuleId::DetThreadSensitivity),
+                    suppression: inline_allow_near(
+                        lines,
+                        idx,
+                        RuleId::DetThreadSensitivity,
+                        scopes,
+                    ),
                 });
             }
         }
     }
 }
 
-fn unsafe_needs_safety_comment(info: &FileInfo, lines: &[Line], out: &mut Vec<Finding>) {
+fn unsafe_needs_safety_comment(
+    info: &FileInfo,
+    lines: &[Line],
+    scopes: &ScopeMap,
+    out: &mut Vec<Finding>,
+) {
     for (idx, line) in lines.iter().enumerate() {
         if !has_word(&line.code, "unsafe") {
             continue;
@@ -381,12 +494,12 @@ fn unsafe_needs_safety_comment(info: &FileInfo, lines: &[Line], out: &mut Vec<Fi
             message: "`unsafe` without a `// SAFETY:` comment on the same or a \
                       nearby preceding line"
                 .to_string(),
-            suppression: inline_allow_near(lines, idx, RuleId::UnsafeNeedsSafetyComment),
+            suppression: inline_allow_near(lines, idx, RuleId::UnsafeNeedsSafetyComment, scopes),
         });
     }
 }
 
-fn no_silent_allow(info: &FileInfo, lines: &[Line], out: &mut Vec<Finding>) {
+fn no_silent_allow(info: &FileInfo, lines: &[Line], scopes: &ScopeMap, out: &mut Vec<Finding>) {
     for (idx, line) in lines.iter().enumerate() {
         let code = &line.code;
         if !(code.contains("#[allow(") || code.contains("#![allow(")) {
@@ -401,26 +514,512 @@ fn no_silent_allow(info: &FileInfo, lines: &[Line], out: &mut Vec<Finding>) {
             line: line.number,
             snippet: snippet_of(line),
             message: "silent `#[allow(...)]`: add a same-line `// reason` comment".to_string(),
-            suppression: inline_allow_near(lines, idx, RuleId::NoSilentAllow),
+            suppression: inline_allow_near(lines, idx, RuleId::NoSilentAllow, scopes),
         });
     }
+}
+
+/// The macro invocations and method calls that abort a daemon thread.
+const PANIC_MACROS: &[&str] = &["panic!", "unreachable!", "todo!", "unimplemented!"];
+
+/// Keywords before `[` that mean "pattern or type syntax", not indexing.
+const INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "if", "else", "match", "return", "mut", "ref", "box", "as", "dyn", "impl",
+];
+
+fn no_panic_in_daemon(info: &FileInfo, lines: &[Line], scopes: &ScopeMap, out: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if scopes.in_test_scope(line.number) {
+            continue;
+        }
+        let code = &line.code;
+        let mut what: Option<String> = None;
+        if code.contains(".unwrap()") {
+            what = Some("`.unwrap()`".to_string());
+        } else if code.contains(".expect(") {
+            what = Some("`.expect(..)`".to_string());
+        } else {
+            for m in PANIC_MACROS {
+                if contains_token_path(code, m) {
+                    what = Some(format!("`{m}(..)`"));
+                    break;
+                }
+            }
+            if what.is_none() {
+                if let Some(recv) = slice_index_receiver(code) {
+                    what = Some(format!("`{recv}[..]` indexing"));
+                }
+            }
+        }
+        let Some(what) = what else { continue };
+        let suppression = panic_ok_near(lines, idx, scopes)
+            .or_else(|| inline_allow_near(lines, idx, RuleId::NoPanicInDaemon, scopes));
+        let in_fn = scopes
+            .enclosing_fn(line.number)
+            .map(|f| format!(" in `{}`", f.qual_name))
+            .unwrap_or_default();
+        out.push(Finding {
+            rule: RuleId::NoPanicInDaemon,
+            path: info.path.clone(),
+            line: line.number,
+            snippet: snippet_of(line),
+            message: format!(
+                "{what}{in_fn} can abort the long-lived daemon mid-request; \
+                 return an error / use `get`/`unwrap_or_else`, or justify \
+                 with `// PANIC-OK: reason`"
+            ),
+            suppression,
+        });
+    }
+}
+
+/// `// PANIC-OK: reason` on the same or previous line, same function.
+/// An empty reason does not suppress — the justification is the point.
+fn panic_ok_near(lines: &[Line], idx: usize, scopes: &ScopeMap) -> Option<Suppression> {
+    for j in [Some(idx), idx.checked_sub(1)].into_iter().flatten() {
+        if !scopes.same_fn(lines[j].number, lines[idx].number) {
+            continue;
+        }
+        if let Some(pos) = lines[j].comment.find("PANIC-OK:") {
+            let reason = lines[j].comment[pos + "PANIC-OK:".len()..].trim();
+            if !reason.is_empty() {
+                return Some(Suppression::PanicOk(reason.to_string()));
+            }
+        }
+    }
+    None
+}
+
+/// The receiver identifier of a slice-indexing `recv[..]` expression on
+/// this line, if any. `#[attr]`, `vec![..]`, and pattern/type positions
+/// (`let [a, b] = ..`, `[u8; 4]`) do not count.
+fn slice_index_receiver(code: &str) -> Option<&str> {
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let before = code[..i].trim_end();
+        let Some(last) = before.chars().last() else {
+            continue;
+        };
+        if !(last.is_ascii_alphanumeric() || last == '_' || last == ')' || last == ']') {
+            continue;
+        }
+        if let Some(recv) = ident_ending_at(code, i) {
+            if INDEX_KEYWORDS.contains(&recv) {
+                continue;
+            }
+            return Some(recv);
+        }
+        // `)[`/`][`: chained indexing off a call or another index.
+        return Some("expr");
+    }
+    None
+}
+
+/// Line-level event probes for durability-manifest-last.
+fn is_write_line(code: &str) -> bool {
+    code.contains("File::create")
+        || code.contains("fs::write(")
+        || code.contains(".write_all(")
+        || code.contains(".store(")
+}
+
+fn is_sync_line(code: &str) -> bool {
+    code.contains(".sync_all(") || code.contains(".sync_data(")
+}
+
+/// Whether the write on this line delegates to another function (e.g.
+/// `manifest.store(dir)`) rather than writing bytes here; such lines
+/// are exempt from the "manifest itself must be fsync'd" leg, which
+/// fires inside the delegate instead.
+fn is_delegated_write(code: &str) -> bool {
+    code.contains(".store(") && !code.contains("fs::write(") && !code.contains("File::create")
+}
+
+/// Whether a line mentions a manifest: an identifier containing
+/// `manifest` (the workspace routes manifest paths through named
+/// consts/locals, e.g. `MANIFEST_FILE`, `manifest_path`) or one of the
+/// function's tainted locals.
+fn mentions_manifest(code: &str, tainted: &BTreeSet<String>) -> bool {
+    idents_of(code).any(|w| w.to_ascii_lowercase().contains("manifest") || tainted.contains(w))
+}
+
+fn durability_manifest_last(
+    info: &FileInfo,
+    lines: &[Line],
+    scopes: &ScopeMap,
+    out: &mut Vec<Finding>,
+) {
+    for scope in scopes.functions() {
+        if scope.is_test {
+            continue;
+        }
+        let body: Vec<&Line> = scopes
+            .fn_lines(scope, lines)
+            .iter()
+            .filter(|l| {
+                scopes
+                    .enclosing_fn(l.number)
+                    .is_some_and(|f| f.start_line == scope.start_line)
+            })
+            .collect();
+        // Pass 1: forward taint — locals initialized from a manifest
+        // name carry manifest-ness (`let path = dir.join(MANIFEST_FILE)`,
+        // `let file = File::create(&path)`). The rhs may wrap onto
+        // following lines; extend it until the statement's `;`.
+        let mut tainted: BTreeSet<String> = BTreeSet::new();
+        for (i, line) in body.iter().enumerate() {
+            if let Some(name) = let_binding_name(&line.code) {
+                let mut rhs = line.code.split('=').skip(1).collect::<Vec<_>>().join("=");
+                let mut j = i;
+                while !rhs.contains(';') && j + 1 < body.len() {
+                    j += 1;
+                    rhs.push(' ');
+                    rhs.push_str(&body[j].code);
+                }
+                if mentions_manifest(&rhs, &tainted) {
+                    tainted.insert(name.to_string());
+                }
+            }
+        }
+        // Pass 2: classify write/sync events in line order.
+        struct Ev {
+            line: usize,
+            idx: usize,
+            manifest: bool,
+            delegated: bool,
+        }
+        let mut writes: Vec<Ev> = Vec::new();
+        let mut syncs: Vec<usize> = Vec::new();
+        for (i, line) in body.iter().enumerate() {
+            if is_sync_line(&line.code) {
+                syncs.push(line.number);
+            }
+            if is_write_line(&line.code) {
+                writes.push(Ev {
+                    line: line.number,
+                    idx: i,
+                    manifest: mentions_manifest(&line.code, &tainted),
+                    delegated: is_delegated_write(&line.code),
+                });
+            }
+        }
+        let Some(first_manifest) = writes.iter().find(|w| w.manifest) else {
+            continue;
+        };
+        let first_manifest_line = first_manifest.line;
+        let last_manifest = writes.iter().rev().find(|w| w.manifest).expect("exists");
+        let (last_manifest_line, last_manifest_delegated) =
+            (last_manifest.line, last_manifest.delegated);
+        let mut flagged: BTreeSet<usize> = BTreeSet::new();
+        let mut push = |line: usize, body_idx: usize, message: String| {
+            if flagged.insert(line) {
+                let suppression = inline_allow_near(
+                    lines,
+                    lines_idx(lines, line),
+                    RuleId::DurabilityManifestLast,
+                    scopes,
+                );
+                out.push(Finding {
+                    rule: RuleId::DurabilityManifestLast,
+                    path: info.path.clone(),
+                    line,
+                    snippet: snippet_of(body[body_idx]),
+                    message,
+                    suppression,
+                });
+            }
+        };
+        // (a) Data written after the manifest commit: the manifest now
+        // points at files whose bytes may never land.
+        for w in writes.iter().filter(|w| !w.manifest) {
+            if w.line > last_manifest_line {
+                push(
+                    w.line,
+                    w.idx,
+                    format!(
+                        "`{}` writes a data file after the manifest commit \
+                         (line {last_manifest_line}); the manifest must be \
+                         written last",
+                        scope.qual_name
+                    ),
+                );
+            }
+        }
+        // (b) Data written before the manifest with no fsync in between:
+        // a crash can persist the manifest but not the data it names.
+        let first_data_before = writes
+            .iter()
+            .find(|w| !w.manifest && w.line < first_manifest_line);
+        if let Some(data) = first_data_before {
+            let synced = syncs
+                .iter()
+                .any(|&s| s >= data.line && s <= first_manifest_line);
+            if !synced {
+                let fm_idx = first_manifest.idx;
+                push(
+                    first_manifest_line,
+                    fm_idx,
+                    format!(
+                        "`{}` commits the manifest without fsyncing the data \
+                         file written at line {}; call sync_all/sync_data on \
+                         data files before the manifest write",
+                        scope.qual_name, data.line
+                    ),
+                );
+            }
+        }
+        // (c) The manifest itself never fsync'd (delegated writes are
+        // checked inside the delegate).
+        if !last_manifest_delegated {
+            let synced_after = syncs.iter().any(|&s| s >= last_manifest_line);
+            if !synced_after {
+                let lm_idx = writes
+                    .iter()
+                    .rev()
+                    .find(|w| w.manifest)
+                    .map(|w| w.idx)
+                    .unwrap_or(0);
+                push(
+                    last_manifest_line,
+                    lm_idx,
+                    format!(
+                        "`{}` writes the manifest but never fsyncs it; a crash \
+                         can leave a torn or unpersisted manifest",
+                        scope.qual_name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Index into `lines` of the 1-based line number (lines are contiguous
+/// from 1, so this is a direct offset).
+fn lines_idx(lines: &[Line], number: usize) -> usize {
+    number.saturating_sub(1).min(lines.len().saturating_sub(1))
+}
+
+/// `let [mut] name = ...` binding name on this line, if any.
+fn let_binding_name(code: &str) -> Option<&str> {
+    let let_pos = find_word(code, "let")?;
+    let rest = code[let_pos + 3..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name_len = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    let name = &rest[..name_len];
+    let after = rest[name_len..].trim_start();
+    (is_ident(name) && after.starts_with('=') && !after.starts_with("==")).then_some(name)
+}
+
+/// Identifier tokens of a blanked code line.
+fn idents_of(code: &str) -> impl Iterator<Item = &str> {
+    let bytes = code.as_bytes();
+    let mut i = 0usize;
+    std::iter::from_fn(move || {
+        while i < bytes.len() {
+            let b = bytes[i];
+            if b.is_ascii_alphabetic() || b == b'_' {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                return Some(&code[start..i]);
+            } else if b.is_ascii_digit() {
+                // Skip numeric literals whole (incl. type suffixes).
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        None
+    })
+}
+
+/// Identifier fragments that mark a value as length/offset-flavored.
+const LENGTH_FLAVORS: &[&str] = &["len", "offset", "pos", "size", "count", "idx"];
+
+/// Guard markers an earlier line must carry (together with one of the
+/// involved identifiers) to vouch for unchecked arithmetic; an explicit
+/// `<`/`>` comparison ([`has_comparison`]) also counts.
+const GUARD_MARKERS: &[&str] = &[
+    ".get(",
+    "is_empty",
+    ".min(",
+    ".max(",
+    ".find(",
+    ".rfind(",
+    ".position(",
+    "checked_",
+    "saturating_",
+];
+
+/// Whether a line contains a `<`/`>` comparison once arrows and shifts
+/// are stripped (so `-> usize` and `<<` do not read as bounds checks).
+fn has_comparison(code: &str) -> bool {
+    let stripped = code
+        .replace("->", "")
+        .replace("=>", "")
+        .replace("<<", "")
+        .replace(">>", "");
+    stripped.contains('<') || stripped.contains('>')
+}
+
+/// Identifiers that look flavored or guarded but carry no value
+/// information: primitive type names and ubiquitous keywords.
+const ARITH_NOISE_IDENTS: &[&str] = &[
+    "usize", "isize", "as", "self", "let", "mut", "ref", "Some", "None", "Ok", "Err",
+];
+
+fn is_length_flavored(ident: &str) -> bool {
+    if ARITH_NOISE_IDENTS.contains(&ident) {
+        return false;
+    }
+    let lower = ident.to_ascii_lowercase();
+    LENGTH_FLAVORS.iter().any(|f| lower.contains(f))
+}
+
+fn parser_checked_arith(
+    info: &FileInfo,
+    lines: &[Line],
+    scopes: &ScopeMap,
+    out: &mut Vec<Finding>,
+) {
+    for (idx, line) in lines.iter().enumerate() {
+        if scopes.in_test_scope(line.number) {
+            continue;
+        }
+        let Some(scope) = scopes.enclosing_fn(line.number) else {
+            continue;
+        };
+        let code = &line.code;
+        if code.contains("checked_") || code.contains("saturating_") || code.contains("wrapping_") {
+            continue;
+        }
+        let Some((op, operands)) = unchecked_arith_on(code) else {
+            continue;
+        };
+        let involved: Vec<&str> = idents_of(&operands)
+            .filter(|w| is_length_flavored(w))
+            .collect();
+        if involved.is_empty() {
+            continue;
+        }
+        // Same-line bounds comparison vouches for the arithmetic.
+        if has_comparison(code) {
+            continue;
+        }
+        // Earlier-line guard in the same function mentioning any operand
+        // identifier (not just the flavored ones: `rest.find(begin)`
+        // vouches for `b + begin.len()` through `b`).
+        let operand_idents: Vec<&str> = idents_of(&operands)
+            .filter(|w| !ARITH_NOISE_IDENTS.contains(w))
+            .collect();
+        let guarded = lines[..idx]
+            .iter()
+            .filter(|l| {
+                l.number >= scope.start_line
+                    && scopes
+                        .enclosing_fn(l.number)
+                        .is_some_and(|f| f.start_line == scope.start_line)
+            })
+            .any(|l| {
+                operand_idents.iter().any(|w| has_word(&l.code, w))
+                    && (has_comparison(&l.code) || GUARD_MARKERS.iter().any(|g| l.code.contains(g)))
+            });
+        if guarded {
+            continue;
+        }
+        out.push(Finding {
+            rule: RuleId::ParserCheckedArith,
+            path: info.path.clone(),
+            line: line.number,
+            snippet: snippet_of(line),
+            message: format!(
+                "unchecked `{op}` on length/offset value(s) {} in parse path \
+                 `{}`: untrusted input can overflow/underflow; use \
+                 checked_*/saturating_* or bounds-check first",
+                involved
+                    .iter()
+                    .map(|w| format!("`{w}`"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                scope.qual_name
+            ),
+            suppression: inline_allow_near(lines, idx, RuleId::ParserCheckedArith, scopes),
+        });
+    }
+}
+
+/// First binary `+`/`-`/`*` on the line whose left side ends in a value
+/// (identifier, `)`, `]`), with the surrounding operand text. Returns
+/// `(operator, operand_text)`.
+fn unchecked_arith_on(code: &str) -> Option<(char, String)> {
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if !(b == b'+' || b == b'-' || b == b'*') {
+            continue;
+        }
+        let next = bytes.get(i + 1).copied();
+        // Compound assignment, arrows, and doubled operators are not
+        // binary arithmetic.
+        if next == Some(b'=') || (b == b'-' && next == Some(b'>')) {
+            continue;
+        }
+        let before = code[..i].trim_end();
+        let Some(last) = before.chars().last() else {
+            continue;
+        };
+        if !(last.is_ascii_alphanumeric() || last == '_' || last == ')' || last == ']') {
+            continue;
+        }
+        // Operand window: the expression fragments on both sides, cut at
+        // separators that end an expression.
+        let seps: &[char] = &[',', ';', '{', '}', '=', '&', '|'];
+        let left_start = before.rfind(seps).map(|p| p + 1).unwrap_or(0);
+        let right = &code[i + 1..];
+        let right_end = right.find(seps).unwrap_or(right.len());
+        let operands = format!("{} {}", &before[left_start..], &right[..right_end]);
+        return Some((b as char, operands));
+    }
+    None
 }
 
 fn snippet_of(line: &Line) -> String {
     line.code.trim().chars().take(120).collect()
 }
 
-/// `// srclint: <marker>` on the flagged line or the line above.
-fn marker_near(lines: &[Line], idx: usize, marker: &str) -> bool {
-    let check = |l: &Line| l.comment.contains(marker);
-    check(&lines[idx]) || (idx > 0 && check(&lines[idx - 1]))
+/// `// srclint: <marker>` on the flagged line or the line above, in the
+/// same function (a marker at the bottom of one function must not leak
+/// onto the first line of the next — the pre-scope engine allowed that).
+fn marker_near(lines: &[Line], idx: usize, marker: &str, scopes: &ScopeMap) -> bool {
+    for j in [Some(idx), idx.checked_sub(1)].into_iter().flatten() {
+        if scopes.same_fn(lines[j].number, lines[idx].number) && lines[j].comment.contains(marker) {
+            return true;
+        }
+    }
+    false
 }
 
 /// `// srclint: allow(<rule>) -- reason` on the flagged line or the line
-/// above. The reason text is captured for `list-suppressions`.
-fn inline_allow_near(lines: &[Line], idx: usize, rule: RuleId) -> Option<Suppression> {
+/// above, in the same function. The reason text is captured for
+/// `list-suppressions`.
+fn inline_allow_near(
+    lines: &[Line],
+    idx: usize,
+    rule: RuleId,
+    scopes: &ScopeMap,
+) -> Option<Suppression> {
     let needle = format!("srclint: allow({})", rule.name());
     for j in [Some(idx), idx.checked_sub(1)].into_iter().flatten() {
+        if !scopes.same_fn(lines[j].number, lines[idx].number) {
+            continue;
+        }
         if let Some(pos) = lines[j].comment.find(&needle) {
             let rest = lines[j].comment[pos + needle.len()..].trim();
             let reason = rest.trim_start_matches("--").trim().to_string();
@@ -430,15 +1029,13 @@ fn inline_allow_near(lines: &[Line], idx: usize, rule: RuleId) -> Option<Suppres
     None
 }
 
-/// Identifiers in this file whose type is `HashMap`/`HashSet` (or a local
-/// alias of one): `name: HashMap<..>` annotations (params, fields, lets)
-/// and `let name = HashMap::new()`-style initializations.
-fn hash_typed_names(lines: &[Line]) -> BTreeSet<String> {
+/// The set of hash container type names in this file: `HashMap`,
+/// `HashSet`, and local `type Alias = HashMap<..>` declarations.
+fn hash_type_set(lines: &[Line]) -> BTreeSet<String> {
     let mut hash_types: BTreeSet<String> = ["HashMap", "HashSet"]
         .iter()
         .map(|s| s.to_string())
         .collect();
-    // Local `type Alias = HashMap<..>` declarations extend the type set.
     for line in lines {
         let code = &line.code;
         if let Some(tpos) = find_word(code, "type") {
@@ -452,10 +1049,20 @@ fn hash_typed_names(lines: &[Line]) -> BTreeSet<String> {
             }
         }
     }
+    hash_types
+}
+
+/// Identifiers among `lines` whose type is one of `hash_types`:
+/// `name: HashMap<..>` annotations (params, fields, lets) and
+/// `let name = HashMap::new()`-style initializations.
+fn hash_typed_names<'l>(
+    lines: impl Iterator<Item = &'l Line>,
+    hash_types: &BTreeSet<String>,
+) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for line in lines {
-        collect_annotated(&line.code, &hash_types, &mut names);
-        collect_let_inits(&line.code, &hash_types, &mut names);
+        collect_annotated(&line.code, hash_types, &mut names);
+        collect_let_inits(&line.code, hash_types, &mut names);
     }
     names
 }
@@ -859,5 +1466,256 @@ mod tests {
                    fn b() {}\n";
         let got = scan("crates/x509/src/x.rs", src);
         assert_eq!(rules_of(&got), vec![(RuleId::NoSilentAllow, 1, false)]);
+    }
+
+    #[test]
+    fn markers_do_not_leak_across_function_boundaries() {
+        // The marker rides the closing brace of `a`, directly above the
+        // one-line `b` whose iteration fires. Pre-scope srclint matched
+        // "same or previous line" with no function check, so this
+        // adjacency suppressed `b`'s finding — it must not.
+        let src = "fn a(m: &std::collections::HashMap<u8, u8>) -> usize {\n\
+                   m.len()\n\
+                   } // srclint: commutative -- marker in a, not b\n\
+                   fn b(m: &std::collections::HashMap<u8, u8>) { for k in m.keys() { drop(k); } }\n";
+        let got = scan("crates/chainlab/src/x.rs", src);
+        assert_eq!(rules_of(&got), vec![(RuleId::DetUnorderedIter, 4, false)]);
+    }
+
+    #[test]
+    fn hash_names_are_scoped_per_function() {
+        // `m` is a HashMap only inside `a` (flagged there); the
+        // unrelated Vec `m` in `b` must not inherit the tracked name
+        // (pre-scope pooled names file-wide and flagged it).
+        let src = "fn a() {\n\
+                   let m = std::collections::HashMap::new();\n\
+                   for k in m.keys() { drop(k); }\n\
+                   }\n\
+                   fn b(m: &Vec<u8>) {\n\
+                   for k in m.iter() { drop(k); }\n\
+                   }\n";
+        let got = scan("crates/chainlab/src/x.rs", src);
+        assert_eq!(rules_of(&got), vec![(RuleId::DetUnorderedIter, 3, false)]);
+    }
+
+    #[test]
+    fn code_after_test_module_is_scanned_again() {
+        // Pre-scope srclint treated everything after the first
+        // `#[cfg(test)]` line as test code; the scope walk bounds the
+        // test region at its closing brace.
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { let _ = std::time::Instant::now(); }\n\
+                   }\n\
+                   fn lib() -> u64 { let _ = std::time::Instant::now(); 0 }\n";
+        let got = scan("crates/report/src/x.rs", src);
+        assert_eq!(rules_of(&got), vec![(RuleId::DetWallclock, 5, false)]);
+    }
+
+    #[test]
+    fn no_panic_flags_daemon_files_only() {
+        let src = "pub fn poll(v: Option<u8>) -> u8 { v.unwrap() }\n";
+        let got = scan("crates/cli/src/serve.rs", src);
+        assert_eq!(rules_of(&got), vec![(RuleId::NoPanicInDaemon, 1, false)]);
+        // The same construct elsewhere is out of scope for this rule.
+        assert!(scan("crates/cli/src/analyze.rs", src).is_empty());
+    }
+
+    #[test]
+    fn no_panic_probes_cover_expect_macros_and_indexing() {
+        let src = "pub fn h(buf: &[u8], v: Option<u8>) -> u8 {\n\
+                   let a = v.expect(\"set\");\n\
+                   if buf.is_empty() { panic!(\"empty\"); }\n\
+                   let b = buf[0];\n\
+                   a + b\n\
+                   }\n";
+        let got = scan("crates/obs/src/http.rs", src);
+        assert_eq!(
+            rules_of(&got),
+            vec![
+                (RuleId::NoPanicInDaemon, 2, false),
+                (RuleId::NoPanicInDaemon, 3, false),
+                (RuleId::NoPanicInDaemon, 4, false),
+            ]
+        );
+        assert!(got[2].message.contains("`buf[..]` indexing"));
+    }
+
+    #[test]
+    fn no_panic_ignores_non_panicking_lookalikes() {
+        let src = "pub fn h(v: Option<u8>, m: &[u8]) -> u8 {\n\
+                   let a = v.unwrap_or(0);\n\
+                   let b = v.unwrap_or_else(|| 1);\n\
+                   let c = m.get(0).copied().unwrap_or(2);\n\
+                   let [x, y] = [a, b];\n\
+                   let v2 = vec![x, y, c];\n\
+                   v2.first().copied().unwrap_or(0)\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   #[test]\n\
+                   fn t() { assert_eq!(super::h(None, &[]).checked_add(1).unwrap(), 1); }\n\
+                   }\n";
+        assert!(scan("crates/obs/src/http.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_ok_marker_needs_a_reason_and_same_fn() {
+        let src = "pub fn a(v: Option<u8>) -> u8 {\n\
+                   // PANIC-OK: startup-only path; a poisoned lock means a bug upstream\n\
+                   v.unwrap()\n\
+                   }\n\
+                   pub fn b(v: Option<u8>) -> u8 {\n\
+                   // PANIC-OK:\n\
+                   v.unwrap()\n\
+                   }\n";
+        let got = scan("crates/cli/src/serve.rs", src);
+        assert_eq!(
+            rules_of(&got),
+            vec![
+                (RuleId::NoPanicInDaemon, 3, true),
+                (RuleId::NoPanicInDaemon, 7, false),
+            ]
+        );
+        assert!(matches!(
+            got[0].suppression,
+            Some(Suppression::PanicOk(ref r)) if r.contains("startup-only")
+        ));
+    }
+
+    #[test]
+    fn durability_flags_unsynced_and_reordered_commits() {
+        let src = "const MANIFEST_FILE: &str = \"manifest.json\";\n\
+                   pub fn unsynced(dir: &std::path::Path, data: &[u8]) -> std::io::Result<()> {\n\
+                   std::fs::write(dir.join(\"column.dat\"), data)?;\n\
+                   let manifest_path = dir.join(MANIFEST_FILE);\n\
+                   std::fs::write(manifest_path, b\"{}\")?;\n\
+                   Ok(())\n\
+                   }\n\
+                   pub fn reordered(dir: &std::path::Path, data: &[u8]) -> std::io::Result<()> {\n\
+                   let manifest_path = dir.join(MANIFEST_FILE);\n\
+                   let mut file = std::fs::File::create(manifest_path)?;\n\
+                   use std::io::Write;\n\
+                   file.write_all(b\"{}\")?;\n\
+                   file.sync_all()?;\n\
+                   std::fs::write(dir.join(\"column.dat\"), data)?;\n\
+                   Ok(())\n\
+                   }\n";
+        let got = scan("crates/colstore/src/x.rs", src);
+        assert_eq!(
+            rules_of(&got),
+            vec![
+                (RuleId::DurabilityManifestLast, 5, false),
+                (RuleId::DurabilityManifestLast, 14, false),
+            ]
+        );
+        assert!(
+            got[0].message.contains("without fsyncing"),
+            "{}",
+            got[0].message
+        );
+        assert!(
+            got[1].message.contains("after the manifest commit"),
+            "{}",
+            got[1].message
+        );
+    }
+
+    #[test]
+    fn durability_accepts_manifest_last_with_fsyncs() {
+        // The checkpoint.rs convention: data written and fsync'd, then
+        // the manifest (taint flows through the File handle), then the
+        // manifest's own fsync.
+        let src = "use std::io::Write;\n\
+                   const MANIFEST_FILE: &str = \"manifest.json\";\n\
+                   pub fn commit(dir: &std::path::Path, data: &[u8]) -> std::io::Result<()> {\n\
+                   let mut column = std::fs::File::create(dir.join(\"column.dat\"))?;\n\
+                   column.write_all(data)?;\n\
+                   column.sync_all()?;\n\
+                   let manifest_path = dir.join(MANIFEST_FILE);\n\
+                   let mut file = std::fs::File::create(&manifest_path)?;\n\
+                   file.write_all(b\"{}\")?;\n\
+                   file.sync_all()?;\n\
+                   Ok(())\n\
+                   }\n";
+        assert!(scan("crates/colstore/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn durability_delegated_store_checks_ordering_not_fsync() {
+        // `manifest.store(dir)` delegates the write; the delegate owns
+        // the fsync obligation, but ordering still holds here.
+        let src = "pub fn finish(dir: &std::path::Path, data: &[u8], manifest: &M) -> std::io::Result<()> {\n\
+                   let mut col = std::fs::File::create(dir.join(\"col.dat\"))?;\n\
+                   use std::io::Write;\n\
+                   col.write_all(data)?;\n\
+                   col.sync_all()?;\n\
+                   manifest.store(dir)?;\n\
+                   Ok(())\n\
+                   }\n";
+        assert!(scan("crates/colstore/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn checked_arith_flags_unguarded_length_math() {
+        let src = "pub fn content_end(input: &[u8], pos: usize) -> usize {\n\
+                   let len = input.len();\n\
+                   pos + len\n\
+                   }\n";
+        let got = scan("crates/asn1/src/reader.rs", src);
+        assert_eq!(rules_of(&got), vec![(RuleId::ParserCheckedArith, 3, false)]);
+        assert!(got[0].message.contains("`pos`"), "{}", got[0].message);
+    }
+
+    #[test]
+    fn checked_arith_accepts_checked_guarded_and_plain_math() {
+        let src = "pub fn a(pos: usize, len: usize) -> Option<usize> {\n\
+                   pos.checked_add(len)\n\
+                   }\n\
+                   pub fn b(input: &[u8], offset: usize) -> usize {\n\
+                   if offset > input.len() { return 0; }\n\
+                   input.len() - offset\n\
+                   }\n\
+                   pub fn c(x: u32, y: u32) -> u32 {\n\
+                   x + y\n\
+                   }\n";
+        assert!(scan("crates/asn1/src/reader.rs", src).is_empty());
+    }
+
+    #[test]
+    fn checked_arith_skips_writer_files_and_other_crates() {
+        let src = "pub fn f(len: usize, pos: usize) -> usize { len + pos }\n";
+        assert!(!scan("crates/x509/src/dn.rs", src).is_empty());
+        assert!(scan("crates/x509/src/builder.rs", src).is_empty());
+        assert!(scan("crates/chainlab/src/graph.rs", src).is_empty());
+    }
+
+    #[test]
+    fn checked_arith_same_line_bound_vouches() {
+        let src = "pub fn f(input: &[u8], pos: usize, count: usize) -> bool {\n\
+                   pos + count <= input.len()\n\
+                   }\n";
+        assert!(scan("crates/asn1/src/length.rs", src).is_empty());
+    }
+
+    #[test]
+    fn new_rules_honor_inline_allow() {
+        let src = "pub fn f(len: usize, pos: usize) -> usize {\n\
+                   // srclint: allow(parser-checked-arith) -- diagnostic offset only\n\
+                   len + pos\n\
+                   }\n";
+        let got = scan("crates/asn1/src/oid.rs", src);
+        assert_eq!(rules_of(&got), vec![(RuleId::ParserCheckedArith, 3, true)]);
+    }
+
+    #[test]
+    fn rule_names_round_trip_and_are_unique() {
+        let mut seen = BTreeSet::new();
+        for rule in RuleId::ALL {
+            assert!(seen.insert(rule.name()), "duplicate name {}", rule.name());
+            assert_eq!(RuleId::parse(rule.name()), Some(rule));
+            assert!(!rule.description().is_empty());
+        }
+        assert_eq!(RuleId::parse("nope"), None);
     }
 }

@@ -1,0 +1,569 @@
+//! Scope attribution: a brace-balanced layer over the [`crate::lexer`]
+//! line view.
+//!
+//! PR 3's rules matched single lines, which made whole-function
+//! properties (no panics in the serve loop, manifest-last durability
+//! ordering, checked arithmetic in parsers) unenforceable and let
+//! suppression markers leak across function boundaries. This module
+//! closes that gap without a full parser: a token walk over the blanked
+//! code view (strings and comments are already gone, so every `{`/`}`
+//! is structural) reconstructs the `fn`/`impl`/`mod`/`trait` nesting
+//! and attributes every line to its innermost enclosing function.
+//!
+//! Rules consume the result through [`ScopeMap`]:
+//!
+//! - [`ScopeMap::functions`] iterates every function with its qualified
+//!   name and line range — the per-function "token stream" whole-
+//!   function rules fold over ([`ScopeMap::fn_lines`] slices the lexer
+//!   view down to one function's lines);
+//! - [`ScopeMap::enclosing_fn`] / [`ScopeMap::same_fn`] let marker
+//!   lookups refuse suppressions that live in a *different* function
+//!   than the finding they would silence;
+//! - [`ScopeMap::in_test_scope`] replaces the old "everything after the
+//!   first `#[cfg(test)]` line" heuristic with the attribute's actual
+//!   brace range, so code after a test module is no longer invisible.
+
+use crate::lexer::Line;
+
+/// What kind of named scope a brace pair belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// A `fn` item (free function, method, or nested fn).
+    Fn,
+    /// An `impl` block; `name` is the implementing type's last segment.
+    Impl,
+    /// A `mod` block.
+    Mod,
+    /// A `trait` definition block.
+    Trait,
+}
+
+/// One named scope: a `fn`/`impl`/`mod`/`trait` and its brace range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scope {
+    /// The scope kind.
+    pub kind: ScopeKind,
+    /// The item's own name (`commit`, `CheckpointWriter`, `tests`).
+    pub name: String,
+    /// Dot-free qualified name built from enclosing named scopes
+    /// (`CheckpointWriter::commit`, `tests::roundtrip`).
+    pub qual_name: String,
+    /// 1-based line of the header keyword (`fn`, `impl`, ...). For a
+    /// function this includes the whole signature, so parameter
+    /// annotations on the header line(s) belong to the function.
+    pub start_line: usize,
+    /// 1-based line of the opening `{`.
+    pub body_start: usize,
+    /// 1-based line of the closing `}` (last line of the file when the
+    /// source is truncated mid-scope).
+    pub end_line: usize,
+    /// Whether the header carried `#[cfg(test)]`/`#[test]` or sits
+    /// inside a scope that does.
+    pub is_test: bool,
+}
+
+/// Per-file scope attribution. Build once per file with
+/// [`ScopeMap::build`], then answer line-level queries.
+#[derive(Debug)]
+pub struct ScopeMap {
+    scopes: Vec<Scope>,
+    /// Innermost enclosing `Fn` scope per 1-based line (index 0 unused).
+    line_fn: Vec<Option<usize>>,
+    /// Whether the line sits inside a test-marked scope.
+    line_test: Vec<bool>,
+}
+
+/// A header seen but whose `{` has not arrived yet.
+struct Pending {
+    kind: ScopeKind,
+    start_line: usize,
+    is_test: bool,
+    /// `fn`/`mod`/`trait`: the single item name (empty until seen).
+    name: String,
+    /// `impl` only: last path segment seen before `for`/`where`/`{`.
+    pre_for: String,
+    /// `impl` only: last path segment seen after a `for` keyword.
+    post_for: String,
+    seen_for: bool,
+    seen_where: bool,
+    /// Depth of `<...>` generic brackets inside the header.
+    angle_depth: usize,
+}
+
+/// One open brace on the walk stack.
+struct Open {
+    /// Index into `scopes` when the brace belongs to a named scope.
+    scope: Option<usize>,
+    /// Test-scope state inherited by everything inside this brace.
+    in_test: bool,
+}
+
+impl ScopeMap {
+    /// Walk the blanked code view and reconstruct the scope tree.
+    pub fn build(lines: &[Line]) -> ScopeMap {
+        let mut scopes: Vec<Scope> = Vec::new();
+        let mut stack: Vec<Open> = Vec::new();
+        let mut pending: Option<Pending> = None;
+        let mut pending_test = false;
+        let mut paren_depth = 0usize;
+        let last_line = lines.last().map_or(1, |l| l.number);
+
+        for line in lines {
+            if line.code.contains("#[cfg(test)]") || line.code.contains("#[test]") {
+                pending_test = true;
+            }
+            let mut prev_sym = ' ';
+            for tok in tokens(&line.code) {
+                match tok {
+                    Token::Ident(word) => {
+                        let in_header_angles = pending.as_ref().is_some_and(|p| p.angle_depth > 0);
+                        if paren_depth == 0 && !in_header_angles {
+                            ident_step(&mut pending, &mut pending_test, word, line.number, &stack);
+                        }
+                        prev_sym = ' ';
+                    }
+                    Token::Sym(c) => {
+                        match c {
+                            '(' | '[' => paren_depth += 1,
+                            ')' | ']' => paren_depth = paren_depth.saturating_sub(1),
+                            '<' if paren_depth == 0 => {
+                                if let Some(p) = pending.as_mut() {
+                                    p.angle_depth += 1;
+                                }
+                            }
+                            '>' if paren_depth == 0 && prev_sym != '-' && prev_sym != '=' => {
+                                if let Some(p) = pending.as_mut() {
+                                    p.angle_depth = p.angle_depth.saturating_sub(1);
+                                }
+                            }
+                            ';' if paren_depth == 0 => {
+                                // `mod x;`, trait method declarations,
+                                // and attribute-carrying non-scope items
+                                // all end without a body.
+                                pending = None;
+                                pending_test = false;
+                            }
+                            '{' if paren_depth == 0 => {
+                                let inherited = stack.last().is_some_and(|o| o.in_test);
+                                let opened = pending.take().map(|p| {
+                                    let name = p.resolved_name();
+                                    let qual = qual_name(&scopes, &stack, &name);
+                                    scopes.push(Scope {
+                                        kind: p.kind,
+                                        name,
+                                        qual_name: qual,
+                                        start_line: p.start_line,
+                                        body_start: line.number,
+                                        end_line: last_line,
+                                        is_test: p.is_test || inherited,
+                                    });
+                                    scopes.len() - 1
+                                });
+                                let in_test = opened
+                                    .map(|i| scopes[i].is_test)
+                                    .unwrap_or(inherited || pending_test);
+                                stack.push(Open {
+                                    scope: opened,
+                                    in_test,
+                                });
+                                // Whatever item owned this brace consumed
+                                // any pending test attribute.
+                                pending_test = false;
+                            }
+                            '}' if paren_depth == 0 => {
+                                if let Some(open) = stack.pop() {
+                                    if let Some(i) = open.scope {
+                                        scopes[i].end_line = line.number;
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                        prev_sym = c;
+                    }
+                }
+            }
+        }
+
+        let mut line_fn = vec![None; last_line + 1];
+        let mut line_test = vec![false; last_line + 1];
+        // Outer scopes were pushed first; nested ones overwrite their
+        // sub-range, leaving the innermost attribution per line.
+        for (i, s) in scopes.iter().enumerate() {
+            for l in s.start_line..=s.end_line.min(last_line) {
+                if s.kind == ScopeKind::Fn {
+                    line_fn[l] = Some(i);
+                }
+                if s.is_test {
+                    line_test[l] = true;
+                }
+            }
+        }
+        ScopeMap {
+            scopes,
+            line_fn,
+            line_test,
+        }
+    }
+
+    /// The innermost function enclosing `line_number`, if any. Header
+    /// and signature lines count as inside their function.
+    pub fn enclosing_fn(&self, line_number: usize) -> Option<&Scope> {
+        self.line_fn
+            .get(line_number)
+            .copied()
+            .flatten()
+            .map(|i| &self.scopes[i])
+    }
+
+    /// Whether two lines share the same innermost function (both being
+    /// outside any function also counts as "same").
+    pub fn same_fn(&self, a: usize, b: usize) -> bool {
+        let of = |n: usize| self.line_fn.get(n).copied().flatten();
+        of(a) == of(b)
+    }
+
+    /// Whether the line sits inside a `#[cfg(test)]`/`#[test]` scope.
+    pub fn in_test_scope(&self, line_number: usize) -> bool {
+        self.line_test.get(line_number).copied().unwrap_or(false)
+    }
+
+    /// Every function scope, in source order.
+    pub fn functions(&self) -> impl Iterator<Item = &Scope> {
+        self.scopes.iter().filter(|s| s.kind == ScopeKind::Fn)
+    }
+
+    /// All named scopes (for diagnostics and tests).
+    pub fn scopes(&self) -> &[Scope] {
+        &self.scopes
+    }
+
+    /// The slice of `lines` belonging to one scope: header through
+    /// closing brace. `lines` must be the same lexer view the map was
+    /// built from.
+    pub fn fn_lines<'l>(&self, scope: &Scope, lines: &'l [Line]) -> &'l [Line] {
+        let start = scope.start_line.saturating_sub(1).min(lines.len());
+        let end = scope.end_line.min(lines.len());
+        &lines[start..end]
+    }
+}
+
+/// Advance the pending-header state machine by one identifier.
+fn ident_step(
+    pending: &mut Option<Pending>,
+    pending_test: &mut bool,
+    word: &str,
+    line_number: usize,
+    stack: &[Open],
+) {
+    let header_kind = match word {
+        "fn" => Some(ScopeKind::Fn),
+        "impl" => Some(ScopeKind::Impl),
+        "mod" => Some(ScopeKind::Mod),
+        "trait" => Some(ScopeKind::Trait),
+        _ => None,
+    };
+    if let Some(kind) = header_kind {
+        // `trait` may precede `impl` tokens (`impl Trait for T` keeps the
+        // impl pending; `unsafe impl` etc. reach here with pending None).
+        if kind == ScopeKind::Impl || pending.is_none() {
+            let inherited = stack.last().is_some_and(|o| o.in_test);
+            *pending = Some(Pending {
+                kind,
+                start_line: line_number,
+                is_test: *pending_test || inherited,
+                name: String::new(),
+                pre_for: String::new(),
+                post_for: String::new(),
+                seen_for: false,
+                seen_where: false,
+                angle_depth: 0,
+            });
+        }
+        return;
+    }
+    let Some(p) = pending.as_mut() else { return };
+    match p.kind {
+        ScopeKind::Impl => {
+            if p.seen_where {
+                return;
+            }
+            match word {
+                "for" => p.seen_for = true,
+                "where" => p.seen_where = true,
+                "dyn" | "mut" | "const" | "unsafe" | "async" => {}
+                _ => {
+                    // Keep the last path segment: `fmt::Display` resolves
+                    // to `Display`, `Trait for Type` to `Type`.
+                    if p.seen_for {
+                        p.post_for = word.to_string();
+                    } else {
+                        p.pre_for = word.to_string();
+                    }
+                }
+            }
+        }
+        _ => {
+            if p.name.is_empty() && !is_decl_modifier(word) {
+                p.name = word.to_string();
+            }
+        }
+    }
+}
+
+/// Keywords that may sit between a header keyword and the item name.
+fn is_decl_modifier(word: &str) -> bool {
+    matches!(
+        word,
+        "pub" | "const" | "unsafe" | "async" | "extern" | "crate" | "in" | "where"
+    )
+}
+
+impl Pending {
+    fn resolved_name(&self) -> String {
+        match self.kind {
+            ScopeKind::Impl => {
+                let n = if self.seen_for && !self.post_for.is_empty() {
+                    &self.post_for
+                } else {
+                    &self.pre_for
+                };
+                if n.is_empty() {
+                    "impl".to_string()
+                } else {
+                    n.clone()
+                }
+            }
+            _ => {
+                if self.name.is_empty() {
+                    "_".to_string()
+                } else {
+                    self.name.clone()
+                }
+            }
+        }
+    }
+}
+
+/// Qualified name from the enclosing named scopes on the stack.
+fn qual_name(scopes: &[Scope], stack: &[Open], name: &str) -> String {
+    let mut parts: Vec<&str> = stack
+        .iter()
+        .filter_map(|o| o.scope.map(|i| scopes[i].name.as_str()))
+        .collect();
+    parts.push(name);
+    parts.join("::")
+}
+
+/// The tokens the scope walk cares about.
+enum Token<'a> {
+    Ident(&'a str),
+    Sym(char),
+}
+
+/// Tokenize one line of blanked code: identifiers, single symbol chars;
+/// whitespace and numeric literals are skipped.
+fn tokens(code: &str) -> impl Iterator<Item = Token<'_>> {
+    let bytes = code.as_bytes();
+    let mut i = 0usize;
+    std::iter::from_fn(move || {
+        while i < bytes.len() {
+            let b = bytes[i];
+            if b.is_ascii_whitespace() {
+                i += 1;
+            } else if b.is_ascii_alphabetic() || b == b'_' {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                return Some(Token::Ident(&code[start..i]));
+            } else if b.is_ascii_digit() {
+                // Numeric literal (possibly with a type suffix): skip
+                // whole so `0x80` does not produce an `x80` identifier.
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+            } else if b.is_ascii() {
+                i += 1;
+                return Some(Token::Sym(b as char));
+            } else {
+                // Multi-byte char (only survives blanking outside
+                // literals in pathological sources): skip it.
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] & 0xc0 == 0x80 {
+                    j += 1;
+                }
+                i = j;
+            }
+        }
+        None
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn map_of(src: &str) -> ScopeMap {
+        ScopeMap::build(&lex(src))
+    }
+
+    #[test]
+    fn free_functions_get_ranges() {
+        let m = map_of("fn a() {\n    body();\n}\n\nfn b() { one_liner(); }\n");
+        let fns: Vec<_> = m.functions().collect();
+        assert_eq!(fns.len(), 2);
+        assert_eq!(
+            (fns[0].name.as_str(), fns[0].start_line, fns[0].end_line),
+            ("a", 1, 3)
+        );
+        assert_eq!(
+            (fns[1].name.as_str(), fns[1].start_line, fns[1].end_line),
+            ("b", 5, 5)
+        );
+        assert_eq!(m.enclosing_fn(2).map(|s| s.name.as_str()), Some("a"));
+        assert_eq!(m.enclosing_fn(4), None);
+    }
+
+    #[test]
+    fn impl_methods_get_qualified_names() {
+        let src = "impl CheckpointWriter {\n\
+                   fn commit(self) {\n\
+                   seal();\n\
+                   }\n\
+                   }\n\
+                   impl fmt::Display for RuleId {\n\
+                   fn fmt(&self) {}\n\
+                   }\n";
+        let m = map_of(src);
+        let quals: Vec<&str> = m.functions().map(|f| f.qual_name.as_str()).collect();
+        assert_eq!(quals, ["CheckpointWriter::commit", "RuleId::fmt"]);
+    }
+
+    #[test]
+    fn impl_generics_do_not_shadow_the_type_name() {
+        let m = map_of("impl<'a, T: Clone> Decoder<'a, T> {\n    fn any(&mut self) {}\n}\n");
+        assert_eq!(
+            m.functions().next().map(|f| f.qual_name.as_str()),
+            Some("Decoder::any")
+        );
+    }
+
+    #[test]
+    fn multi_line_signature_belongs_to_the_fn() {
+        let src = "fn f(\n    m: HashMap<u8, u8>,\n) -> usize {\n    m.len()\n}\n";
+        let m = map_of(src);
+        let f = m.enclosing_fn(2).expect("param line is inside f");
+        assert_eq!(f.name, "f");
+        assert_eq!((f.start_line, f.body_start, f.end_line), (1, 3, 5));
+    }
+
+    #[test]
+    fn same_fn_refuses_cross_function_pairs() {
+        let src = "fn a() {\n    x();\n}\nfn b() {\n    y();\n}\n";
+        let m = map_of(src);
+        assert!(m.same_fn(1, 2));
+        assert!(!m.same_fn(3, 4)); // a's close brace vs b's header
+        assert!(!m.same_fn(2, 5));
+    }
+
+    #[test]
+    fn cfg_test_module_is_a_bounded_region() {
+        let src = "fn lib() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { helper(); }\n\
+                   }\n\
+                   fn after_tests() { real(); }\n";
+        let m = map_of(src);
+        assert!(!m.in_test_scope(1));
+        assert!(m.in_test_scope(4));
+        // The old heuristic treated everything after `#[cfg(test)]` as
+        // test code; the scope walk bounds it at the closing brace.
+        assert!(!m.in_test_scope(6));
+        let t = m.enclosing_fn(4).expect("t");
+        assert!(t.is_test);
+        assert_eq!(t.qual_name, "tests::t");
+    }
+
+    #[test]
+    fn test_attribute_marks_single_fn() {
+        let src = "#[test]\nfn t() { x(); }\nfn lib() { y(); }\n";
+        let m = map_of(src);
+        assert!(m.in_test_scope(2));
+        assert!(!m.in_test_scope(3));
+    }
+
+    #[test]
+    fn closures_and_match_braces_stay_anonymous() {
+        let src = "fn f(v: Vec<u8>) {\n\
+                   let g = |x: u8| { x + 1 };\n\
+                   match v.len() {\n\
+                   0 => {}\n\
+                   _ => { g(1); }\n\
+                   }\n\
+                   }\n";
+        let m = map_of(src);
+        assert_eq!(m.functions().count(), 1);
+        for l in 1..=7 {
+            assert_eq!(
+                m.enclosing_fn(l).map(|s| s.name.as_str()),
+                Some("f"),
+                "line {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn fn_pointer_types_and_trait_bounds_are_not_headers() {
+        let src = "fn apply(cb: fn(usize) -> usize, f: impl Fn() -> bool) -> usize {\n\
+                   cb(0)\n\
+                   }\n";
+        let m = map_of(src);
+        let fns: Vec<_> = m.functions().collect();
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "apply");
+    }
+
+    #[test]
+    fn trait_decls_without_bodies_open_no_scope() {
+        let src = "trait T {\n\
+                   fn required(&self) -> usize;\n\
+                   fn provided(&self) -> usize { 1 }\n\
+                   }\n";
+        let m = map_of(src);
+        let fns: Vec<_> = m.functions().collect();
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].qual_name, "T::provided");
+    }
+
+    #[test]
+    fn nested_fn_wins_innermost_attribution() {
+        let src = "fn outer() {\n\
+                   fn inner() {\n\
+                   deep();\n\
+                   }\n\
+                   shallow();\n\
+                   }\n";
+        let m = map_of(src);
+        assert_eq!(m.enclosing_fn(3).map(|s| s.name.as_str()), Some("inner"));
+        assert_eq!(m.enclosing_fn(5).map(|s| s.name.as_str()), Some("outer"));
+    }
+
+    #[test]
+    fn struct_braces_are_anonymous_and_fields_stay_outside_fns() {
+        let src = "struct S {\n    map: HashMap<u8, u8>,\n}\nfn f() {}\n";
+        let m = map_of(src);
+        assert_eq!(m.enclosing_fn(2), None);
+        assert_eq!(m.functions().count(), 1);
+    }
+
+    #[test]
+    fn mod_decl_without_body_cancels_pending() {
+        let src = "mod imported;\nfn f() { x(); }\n";
+        let m = map_of(src);
+        assert_eq!(m.scopes().len(), 1);
+        assert_eq!(m.scopes()[0].name, "f");
+    }
+}

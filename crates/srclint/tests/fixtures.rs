@@ -28,6 +28,13 @@ fn fixture_corpus_produces_expected_findings() {
         .map(|f| (f.rule.name().to_string(), f.path.clone(), f.line))
         .collect();
     let want: Vec<(String, String, usize)> = [
+        // Unguarded `pos + 1 + len`; the checked and guarded twins in
+        // the same file stay silent.
+        (
+            RuleId::ParserCheckedArith,
+            "crates/asn1/src/bad_length.rs",
+            5,
+        ),
         (
             RuleId::DetUnorderedIter,
             "crates/chainlab/src/bad_iter.rs",
@@ -39,11 +46,35 @@ fn fixture_corpus_produces_expected_findings() {
             14,
         ),
         (RuleId::DetWallclock, "crates/cli/src/bad_serve_loop.rs", 9),
+        // `.unwrap()` and `parts[0]` in the daemon surface; the
+        // PANIC-OK'd `.expect(..)` at line 24 suppresses instead.
+        (RuleId::NoPanicInDaemon, "crates/cli/src/serve.rs", 9),
+        (RuleId::NoPanicInDaemon, "crates/cli/src/serve.rs", 14),
+        // The three durability legs: manifest never fsynced, data after
+        // the manifest commit, data unsynced before the commit.
+        (
+            RuleId::DurabilityManifestLast,
+            "crates/colstore/src/bad_manifest.rs",
+            14,
+        ),
+        (
+            RuleId::DurabilityManifestLast,
+            "crates/colstore/src/bad_manifest.rs",
+            25,
+        ),
+        (
+            RuleId::DurabilityManifestLast,
+            "crates/colstore/src/bad_manifest.rs",
+            34,
+        ),
         (
             RuleId::DetThreadSensitivity,
             "crates/netsim/src/bad_threads.rs",
             4,
         ),
+        // `panic!` in the HTTP surface; the unwrap inside the file's
+        // `#[cfg(test)]` module stays silent.
+        (RuleId::NoPanicInDaemon, "crates/obs/src/http.rs", 6),
         (RuleId::DetWallclock, "crates/report/src/bad_clock.rs", 4),
         (
             RuleId::UnsafeNeedsSafetyComment,
@@ -51,16 +82,18 @@ fn fixture_corpus_produces_expected_findings() {
             4,
         ),
         (RuleId::NoSilentAllow, "crates/x509/src/bad_allow.rs", 3),
-        (
-            RuleId::UnsafeNeedsSafetyComment,
-            "vendor/shim/src/lib.rs",
-            11,
-        ),
     ]
     .into_iter()
     .map(|(r, p, l)| (r.name().to_string(), p.to_string(), l))
     .collect();
     assert_eq!(got, want, "fixture corpus findings drifted");
+    // The good twins (clean manifest protocols, vendored code skipped by
+    // collection) contribute nothing.
+    assert!(
+        !got.iter()
+            .any(|(_, p, _)| p.contains("good_manifest") || p.starts_with("vendor/")),
+        "negative fixtures produced findings: {got:?}"
+    );
 }
 
 #[test]
@@ -79,10 +112,18 @@ fn fixture_corpus_suppressions_are_honored_and_audited() {
         suppressed.contains(&("crates/report/src/allowed_clock.rs".to_string(), 4)),
         "allowlist must suppress the SystemTime read: {suppressed:?}"
     );
+    assert!(
+        suppressed.contains(&("crates/cli/src/serve.rs".to_string(), 24)),
+        "PANIC-OK marker must suppress the justified expect: {suppressed:?}"
+    );
     // The deliberately-stale entry (rule already marker-suppressed) is
     // reported so dead allowlist weight cannot accumulate.
     assert_eq!(report.stale_allows.len(), 1);
     assert_eq!(report.stale_allows[0].rule, RuleId::DetUnorderedIter);
+    // The fixture allowlist declares `# srclint-budget: 3`, matching the
+    // three suppressed findings above exactly.
+    assert_eq!(report.suppression_budget, Some(3));
+    assert_eq!(report.budget_violation(), None);
 }
 
 #[test]
@@ -91,6 +132,14 @@ fn fixture_corpus_suppression_audit_lists_all_kinds() {
     let kinds: Vec<&str> = sites.iter().map(|s| s.kind).collect();
     assert!(kinds.contains(&"commutative-marker"));
     assert!(kinds.contains(&"allowlist"));
+    assert!(kinds.contains(&"panic-ok-marker"));
+    let panic_ok = sites
+        .iter()
+        .find(|s| s.kind == "panic-ok-marker")
+        .expect("panic-ok site");
+    assert_eq!(panic_ok.path, "crates/cli/src/serve.rs");
+    assert_eq!(panic_ok.rule, "no-panic-in-daemon");
+    assert!(panic_ok.active, "marker suppresses a live finding");
     let marker = sites
         .iter()
         .find(|s| s.kind == "commutative-marker")
@@ -136,6 +185,13 @@ fn real_workspace_scans_clean() {
         report.stale_allows.is_empty(),
         "stale srclint.allow entries: {:?}",
         report.stale_allows
+    );
+    assert_eq!(
+        report.budget_violation(),
+        None,
+        "suppression count drifted from the declared srclint-budget; \
+         update srclint.allow in the same change that adds/removes a \
+         suppression"
     );
     // Sanity: the walk really covered the workspace.
     assert!(

@@ -1,0 +1,19 @@
+//! Fixture: length arithmetic on an untrusted parse path.
+
+/// Attacker-controlled `len` folded into the cursor with no check.
+pub fn tlv_end(pos: usize, len: usize) -> usize {
+    pos + 1 + len
+}
+
+/// Checked arithmetic is the sanctioned form.
+pub fn tlv_end_checked(pos: usize, len: usize) -> Option<usize> {
+    pos.checked_add(1)?.checked_add(len)
+}
+
+/// An explicit bounds comparison earlier in the function vouches.
+pub fn tlv_end_guarded(input: &[u8], pos: usize, len: usize) -> usize {
+    if len > input.len() || pos > input.len() {
+        return 0;
+    }
+    pos + len
+}

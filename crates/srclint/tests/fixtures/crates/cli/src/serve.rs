@@ -1,0 +1,32 @@
+//! Fixture: panic probes inside the serve daemon surface.
+//!
+//! The path matches `DAEMON_FILES`, so `no-panic-in-daemon` scans every
+//! non-test line here.
+
+use std::sync::Mutex;
+
+pub fn handle_request(published: &Mutex<String>) -> String {
+    let p = published.lock().unwrap();
+    p.clone()
+}
+
+pub fn route(parts: &[&str]) -> &'static str {
+    let head = parts[0];
+    if head.is_empty() {
+        "index"
+    } else {
+        "other"
+    }
+}
+
+pub fn drain_queue(buf: &mut Vec<u8>) -> u8 {
+    // PANIC-OK: callers only drain after a non-empty check; an empty pop is a programming error.
+    buf.pop().expect("non-empty queue")
+}
+
+pub fn respond(code: u16) -> String {
+    match code {
+        200 => "ok".to_string(),
+        _ => format!("error {code}"),
+    }
+}

@@ -1,0 +1,38 @@
+//! Fixture: durability ordering violations around the dataset manifest.
+//!
+//! Each function commits a manifest wrong in one of the three ways the
+//! rule distinguishes; `good_manifest.rs` holds the clean twins.
+
+use std::io::Write;
+use std::path::Path;
+
+const MANIFEST_FILE: &str = "dataset.json";
+
+/// Manifest written but never fsynced.
+pub fn commit_unsynced(dir: &Path, body: &[u8]) -> std::io::Result<()> {
+    let manifest_path = dir.join(MANIFEST_FILE);
+    std::fs::write(&manifest_path, body)?;
+    Ok(())
+}
+
+/// Data file written after the manifest commit.
+pub fn commit_reordered(dir: &Path, body: &[u8]) -> std::io::Result<()> {
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let mut file = std::fs::File::create(&manifest_path)?;
+    file.write_all(body)?;
+    file.sync_all()?;
+    let data_path = dir.join("rows.dat");
+    std::fs::write(&data_path, body)?;
+    Ok(())
+}
+
+/// Data file not fsynced before the manifest commit.
+pub fn commit_data_unsynced(dir: &Path, body: &[u8]) -> std::io::Result<()> {
+    let data_path = dir.join("rows.dat");
+    std::fs::write(&data_path, body)?;
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let mut file = std::fs::File::create(&manifest_path)?;
+    file.write_all(body)?;
+    file.sync_all()?;
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Fixture: manifest commit orderings the durability rule accepts.
+
+use std::io::Write;
+use std::path::Path;
+
+const MANIFEST_FILE: &str = "dataset.json";
+
+/// Data fsynced, then manifest written and fsynced: the full protocol.
+pub fn commit(dir: &Path, body: &[u8]) -> std::io::Result<()> {
+    let data_path = dir.join("rows.dat");
+    let mut data = std::fs::File::create(&data_path)?;
+    data.write_all(body)?;
+    data.sync_all()?;
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let mut file = std::fs::File::create(&manifest_path)?;
+    file.write_all(body)?;
+    file.sync_all()?;
+    Ok(())
+}
+
+/// Delegated manifest store: ordering is checked here, the fsync of the
+/// manifest itself is the delegate's job.
+pub fn commit_delegated(
+    dir: &Path,
+    manifest: &dyn ManifestLike,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let data_path = dir.join("rows.dat");
+    let mut data = std::fs::File::create(&data_path)?;
+    data.write_all(body)?;
+    data.sync_all()?;
+    manifest.store(dir)?;
+    Ok(())
+}
+
+pub trait ManifestLike {
+    fn store(&self, dir: &Path) -> std::io::Result<()>;
+}

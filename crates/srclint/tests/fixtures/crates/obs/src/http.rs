@@ -1,0 +1,17 @@
+//! Fixture: `panic!` in the HTTP surface; test scopes are exempt.
+
+pub fn parse_verb(request: &str) -> &str {
+    match request.split(' ').next() {
+        Some(verb) => verb,
+        None => panic!("empty request line"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let verb: Option<&str> = Some("GET");
+        assert_eq!(verb.unwrap(), "GET");
+    }
+}

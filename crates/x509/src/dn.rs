@@ -308,7 +308,7 @@ fn split_unescaped(s: &str, sep: char) -> Vec<&str> {
             escaped = true;
         } else if c == sep {
             parts.push(&s[start..i]);
-            start = i + c.len_utf8();
+            start = i.saturating_add(c.len_utf8());
         }
     }
     parts.push(&s[start..]);

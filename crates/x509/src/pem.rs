@@ -32,7 +32,7 @@ impl std::error::Error for PemError {}
 
 /// Encode bytes as base64 (standard alphabet, padded).
 pub fn base64_encode(data: &[u8]) -> String {
-    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    let mut out = String::with_capacity(data.len().div_ceil(3).saturating_mul(4));
     for chunk in data.chunks(3) {
         let b = [
             chunk[0],

@@ -56,7 +56,7 @@ impl Serial {
 
     /// Uppercase colon-free hex, the form crt.sh displays.
     pub fn to_hex(&self) -> String {
-        let mut s = String::with_capacity(self.bytes.len() * 2);
+        let mut s = String::with_capacity(self.bytes.len().saturating_mul(2));
         for b in &self.bytes {
             use std::fmt::Write;
             write!(s, "{b:02X}").expect("writing to String cannot fail");

@@ -190,6 +190,7 @@ where
     I: Iterator<Item = (B, f64)>,
 {
     let shards = threads;
+    let tspan = pipe.obs.trace_span("pipeline.dispatch");
     let mut counts = IngestCounts::default();
     let in_flight: Vec<AtomicUsize> = (0..shards).map(|_| AtomicUsize::new(0)).collect();
     let worker_records: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(0)).collect();
@@ -263,6 +264,11 @@ where
             .collect()
     });
     pipe.obs.finish_progress(counts.records);
+    if let Some(t) = &tspan {
+        t.attr("shards", shards.to_string());
+        t.attr("records", counts.records.to_string());
+    }
+    drop(tspan);
     // Shards partition the chain space, so the per-worker maps are
     // disjoint and this is pure collection, not merging.
     let mut accums = HashMap::with_capacity(results.iter().map(HashMap::len).sum());

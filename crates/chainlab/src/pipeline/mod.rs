@@ -33,7 +33,7 @@ use crate::model::{CertRecord, ChainKey};
 use crate::usage::UsageStats;
 use certchain_ctlog::DomainIndex;
 use certchain_netsim::{SslRecord, X509Record};
-use certchain_obs::{Progress, Registry};
+use certchain_obs::{Progress, Registry, TraceJournal};
 use certchain_trust::TrustDb;
 use std::borrow::Borrow;
 use std::collections::{BTreeSet, HashMap};
@@ -238,6 +238,16 @@ impl<'a> Pipeline<'a> {
         self
     }
 
+    /// Attach a trace journal. Fold, finalize, and dispatch stages then
+    /// emit spans into the journal's bounded ring. Traces are wall-clock
+    /// data and live strictly on the timing side of the observability
+    /// split: the analysis output and the deterministic metrics section
+    /// are byte-identical with tracing on or off (pinned by tests).
+    pub fn with_trace(mut self, journal: Arc<TraceJournal>) -> Pipeline<'a> {
+        self.obs.trace = Some(journal);
+        self
+    }
+
     /// Run the full analysis over in-memory record slices.
     ///
     /// `weights`, when given, must align with `ssl` and carries each
@@ -262,6 +272,7 @@ impl<'a> Pipeline<'a> {
         let records = ssl.iter().enumerate().map(|(i, rec)| (rec, weight_of(i)));
         {
             let _span = self.obs.stage("ingest");
+            let _trace = self.obs.trace_span("pipeline.ingest");
             let (accums, counts) = ingest::accumulate(self, records, threads);
             state.absorb(accums, counts);
         }
@@ -335,12 +346,18 @@ impl<'a> Pipeline<'a> {
         // distinct domains.
         let interception_entities = {
             let _span = self.obs.stage("categorize");
+            let _trace = self.obs.trace_span("pipeline.categorize");
             categorize::find_entities(self, &prepared, threads)
         };
 
         // Pass 2: categorize every chain and run structure analysis. The
         // effective registry is resolved once, outside the per-chain work.
         let _span = self.obs.stage("finalize");
+        let trace = self.obs.trace_span("pipeline.finalize");
+        if let Some(t) = &trace {
+            t.attr("distinct_chains", prepared.len().to_string());
+            t.attr("threads", threads.to_string());
+        }
         let empty_registry = CrossSignRegistry::new();
         let registry = if self.options.honor_cross_signing {
             &self.crosssign

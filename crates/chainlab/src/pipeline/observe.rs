@@ -13,7 +13,7 @@
 //! depths, per-worker throughput) go only to the progress reporter,
 //! which writes to stderr and never into an artifact.
 
-use certchain_obs::{Progress, Registry, StageTimer};
+use certchain_obs::{Progress, Registry, Span, StageTimer, TraceJournal};
 use std::sync::Arc;
 
 /// Optional observability wiring carried by a pipeline.
@@ -23,6 +23,8 @@ pub(crate) struct PipelineObs {
     pub(crate) metrics: Option<Arc<Registry>>,
     /// Throttled stderr reporter (never feeds artifacts).
     pub(crate) progress: Option<Arc<Progress>>,
+    /// Bounded trace journal (timing side only; never feeds artifacts).
+    pub(crate) trace: Option<Arc<TraceJournal>>,
 }
 
 impl PipelineObs {
@@ -30,6 +32,11 @@ impl PipelineObs {
     /// drop).
     pub(crate) fn stage(&self, name: &str) -> Option<StageTimer<'_>> {
         self.metrics.as_deref().map(|r| r.stage(name))
+    }
+
+    /// Open a root trace span in the journal, if tracing is wired.
+    pub(crate) fn trace_span(&self, name: &str) -> Option<Span> {
+        self.trace.as_ref().map(|j| j.span(name))
     }
 
     /// Add to a counter. Called with `n == 0` too, deliberately: the

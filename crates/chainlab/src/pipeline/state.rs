@@ -283,8 +283,25 @@ impl PipelineState {
     /// number. Field files land before the manifest, so a crash
     /// mid-write leaves the previous generation as the loadable one.
     pub fn save_checkpoint(&mut self, root: &Path) -> Result<u64, StateError> {
+        self.save_checkpoint_traced(root, None)
+    }
+
+    /// [`PipelineState::save_checkpoint`], with an optional parent trace
+    /// span: the commit then runs under a `checkpoint.commit` child span
+    /// whose events record every field write/carry and the manifest
+    /// fsync (see [`CheckpointWriter::attach_trace`]).
+    pub fn save_checkpoint_traced(
+        &mut self,
+        root: &Path,
+        trace: Option<&certchain_obs::Span>,
+    ) -> Result<u64, StateError> {
         let generation = Checkpoint::next_generation(root)?;
         let mut writer = CheckpointWriter::begin(root, generation)?;
+        if let Some(parent) = trace {
+            let span = parent.child("checkpoint.commit");
+            span.attr("generation", generation.to_string());
+            writer.attach_trace(span);
+        }
         writer.write_field(CHAINS_FILE, &self.encode_chains())?;
         let mut chunks: Vec<ChunkInfo> = Vec::new();
         if let Some(prev) = &self.prev {
@@ -496,8 +513,13 @@ impl Pipeline<'_> {
         J: Iterator<Item = Result<X509Record, E>>,
     {
         let _span = self.obs.stage("enrich");
+        let trace = self.obs.trace_span("pipeline.enrich");
+        let before = state.x509_rows;
         for rec in x509 {
             state.fold_x509_row(&rec?);
+        }
+        if let Some(t) = &trace {
+            t.attr("rows", (state.x509_rows - before).to_string());
         }
         Ok(())
     }
@@ -549,6 +571,7 @@ impl Pipeline<'_> {
         I: Iterator<Item = Result<certchain_netsim::SslRecord, E>>,
     {
         let _span = self.obs.stage("ingest");
+        let _trace = self.obs.trace_span("pipeline.ingest");
         let threads = super::resolve_threads(self.options.threads);
         let mut first_err: Option<E> = None;
         let records = super::FuseOnErr {
@@ -571,6 +594,7 @@ impl Pipeline<'_> {
     /// paths for every thread count.
     pub fn finalize_state(&self, state: &PipelineState) -> super::Analysis {
         let threads = super::resolve_threads(self.options.threads);
+        let trace = self.obs.trace_span("pipeline.resolve");
         let cert_index = {
             let _span = self.obs.stage("resolve");
             state.cert_index()
@@ -580,6 +604,11 @@ impl Pipeline<'_> {
             let _span = self.obs.stage("resolve");
             prepare_state(self, state, &cert_index, threads)
         };
+        if let Some(t) = &trace {
+            t.attr("chains", state.chains.len().to_string());
+            t.attr("unresolvable", unresolvable.to_string());
+        }
+        drop(trace);
         let counts = IngestCounts {
             records: state.records,
             no_chain: state.no_chain,

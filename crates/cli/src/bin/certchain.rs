@@ -58,14 +58,19 @@ USAGE:
   certchain serve --dir <dir> --spool <dir> --checkpoint <dir>
                   [--listen <addr>] [--listen-addr-file <path>]
                   [--threads N] [--drain] [--interval-ms N]
+                  [--watchdog-cycles N] [--trace-capacity N]
       Watch a spool of rotated Zeek logs (ssl.<ts>.log / x509.<ts>.log),
       fold each new file into a checkpointed pipeline state, and expose
-      /report, /report.json, /metrics, and /status over HTTP when
+      /report, /report.json, /metrics (JSON or Prometheus via
+      ?format=), /trace.json, /status, and /healthz over HTTP when
       --listen is given. A kill at any point is safe: the next run
       resumes from the last complete checkpoint and re-folds only what
       that checkpoint had not covered. --drain scans once, prints the
       report tables, and exits — over the same records those tables are
       byte-identical to `analyze` (minus its loss-accounting line).
+      --watchdog-cycles sets how many missed intervals flip /healthz to
+      503 (default 5); --trace-capacity sizes the /trace.json ring
+      journal (default 1024 records, oldest evicted).
   certchain spool-split --dir <dir> --out <spool> [--parts N]
       Split <dir>/ssl.log + <dir>/x509.log into N rotated spool files
       each (default 4) for feeding `serve`.
@@ -184,6 +189,11 @@ fn run(args: &[String]) -> CliResult<String> {
                 interval_ms: parse_u64_flag(args, "--interval-ms")?
                     .unwrap_or(serve::ServeOptions::default().interval_ms),
                 listen_addr_file: flag_value(args, "--listen-addr-file")?.map(PathBuf::from),
+                watchdog_cycles: parse_u64_flag(args, "--watchdog-cycles")?
+                    .unwrap_or(serve::ServeOptions::default().watchdog_cycles),
+                trace_capacity: parse_u64_flag(args, "--trace-capacity")?
+                    .map(|n| n as usize)
+                    .unwrap_or(serve::ServeOptions::default().trace_capacity),
             };
             serve::serve(
                 &PathBuf::from(dir),

@@ -26,6 +26,25 @@
 //! `/metrics` merges the two snapshots (finalize wins on shared keys);
 //! the deterministic section of the result is thread-count invariant
 //! like every other report surface in the workspace.
+//!
+//! Observability (all strictly on the timing side of the snapshot
+//! split — report tables and the deterministic metrics section are
+//! byte-identical with or without it):
+//!
+//! - every scan/fold/checkpoint/publish cycle runs under a
+//!   `serve.cycle` trace span (children: `serve.scan`, one `serve.fold`
+//!   per file, `checkpoint.commit` with per-field fsync events,
+//!   `serve.publish`) in a bounded ring journal served at `/trace.json`;
+//! - `/metrics` negotiates JSON (default) or Prometheus text format via
+//!   `?format=prometheus` / `Accept: text/plain`;
+//! - `/report` negotiates text (default) or the `/report.json` body via
+//!   `?format=json` / `Accept: application/json`; unknown formats get
+//!   `406` with a plain-text hint;
+//! - `/healthz` carries a stall watchdog: `503` once no cycle has
+//!   completed within `--watchdog-cycles` × `--interval-ms`, back to
+//!   `200` as soon as a cycle completes again;
+//! - per-request accounting (path, status, latency) lands in the
+//!   timing section's `http` block.
 
 use crate::analyze::render;
 use crate::dataset::{load_crosssign, load_ct_index, load_trust};
@@ -34,10 +53,14 @@ use certchain_chainlab::{
     Analysis, AnalysisSummary, CrossSignRegistry, Pipeline, PipelineOptions, PipelineState,
 };
 use certchain_netsim::{order_spool, LogKind, SslLogStream, StreamStats, X509LogStream};
+use certchain_obs::clock::Stopwatch;
 use certchain_obs::json::JsonValue;
-use certchain_obs::{HttpResponse, HttpServer, MetricsSnapshot, Registry};
+use certchain_obs::prom::{to_prometheus, PROMETHEUS_CONTENT_TYPE};
+use certchain_obs::trace::{Span, TraceJournal};
+use certchain_obs::{HttpRequest, HttpResponse, HttpServer, HttpStats, MetricsSnapshot, Registry};
 use std::collections::BTreeSet;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
 
 /// Knobs for `certchain serve`.
@@ -57,6 +80,11 @@ pub struct ServeOptions {
     /// Write the bound HTTP address (e.g. `127.0.0.1:41873`) to this
     /// file once listening — how scripts and tests discover a `:0` bind.
     pub listen_addr_file: Option<std::path::PathBuf>,
+    /// `/healthz` flips to 503 when no cycle has completed within
+    /// `watchdog_cycles × interval_ms` milliseconds.
+    pub watchdog_cycles: u64,
+    /// Capacity of the trace journal ring (records; oldest evicted).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeOptions {
@@ -67,6 +95,73 @@ impl Default for ServeOptions {
             drain_once: false,
             interval_ms: 1000,
             listen_addr_file: None,
+            watchdog_cycles: 5,
+            trace_capacity: 1024,
+        }
+    }
+}
+
+/// Stall watchdog state shared between the serve loop (writer) and the
+/// `/healthz` handler (reader). All times are milliseconds on the
+/// process-lifetime stopwatch — wall-clock data, never near an artifact.
+struct ServeHealth {
+    uptime: Stopwatch,
+    window_ms: u64,
+    last_cycle_end_ms: AtomicU64,
+    cycles: AtomicU64,
+    generation: AtomicU64,
+}
+
+impl ServeHealth {
+    fn new(window_ms: u64) -> ServeHealth {
+        ServeHealth {
+            uptime: Stopwatch::start(),
+            window_ms,
+            last_cycle_end_ms: AtomicU64::new(0),
+            cycles: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a completed cycle (idle cycles count: the loop is alive).
+    fn note_cycle(&self, generation: u64) {
+        self.cycles.fetch_add(1, Relaxed);
+        self.generation.store(generation, Relaxed);
+        self.last_cycle_end_ms
+            .store(self.uptime.elapsed_ms() as u64, Relaxed);
+    }
+
+    /// The `/healthz` response: `certchain-healthz/v1`, status 200 while
+    /// cycles keep completing inside the watchdog window, 503 otherwise.
+    fn response(&self) -> HttpResponse {
+        let now = self.uptime.elapsed_ms() as u64;
+        let since = now.saturating_sub(self.last_cycle_end_ms.load(Relaxed));
+        let stalled = since > self.window_ms;
+        let doc = JsonValue::Obj(vec![
+            (
+                "schema".into(),
+                JsonValue::Str("certchain-healthz/v1".into()),
+            ),
+            (
+                "status".into(),
+                JsonValue::Str(if stalled { "stalled" } else { "ok" }.into()),
+            ),
+            (
+                "cycles".into(),
+                JsonValue::Num(self.cycles.load(Relaxed) as f64),
+            ),
+            ("since_last_cycle_ms".into(), JsonValue::Num(since as f64)),
+            ("window_ms".into(), JsonValue::Num(self.window_ms as f64)),
+            (
+                "generation".into(),
+                JsonValue::Num(self.generation.load(Relaxed) as f64),
+            ),
+        ]);
+        let body = doc.to_pretty() + "\n";
+        if stalled {
+            HttpResponse::service_unavailable("application/json", body)
+        } else {
+            HttpResponse::ok("application/json", body)
         }
     }
 }
@@ -78,15 +173,27 @@ struct Corpus<'a> {
     crosssign: &'a CrossSignRegistry,
 }
 
-/// What the HTTP endpoint serves: everything is pre-rendered at publish
-/// time so the handler only clones strings and never touches pipeline
-/// types.
+/// What the HTTP endpoint serves. Report/status surfaces are
+/// pre-rendered at publish time; `/metrics` is rendered per request by
+/// merging the stored finalize snapshot with the live serve-loop
+/// registry (whose stage timings and HTTP accounting move between
+/// publishes).
 #[derive(Debug, Clone, Default)]
 struct Published {
     report: String,
     report_json: String,
-    metrics_json: String,
     status_json: String,
+    finalize: MetricsSnapshot,
+}
+
+/// Shared state captured by the HTTP handler.
+#[derive(Clone)]
+struct Endpoints {
+    published: Arc<Mutex<Published>>,
+    registry: Arc<Registry>,
+    http_stats: Arc<HttpStats>,
+    journal: Arc<TraceJournal>,
+    health: Arc<ServeHealth>,
 }
 
 /// Run the serve loop. In drain mode returns the final report tables
@@ -103,12 +210,20 @@ pub fn serve(
     let ct = load_ct_index(dir)?;
     let crosssign_master = CrossSignRegistry::from_disclosures(&load_crosssign(dir)?);
     let registry = Arc::new(Registry::new());
+    let journal = Arc::new(TraceJournal::new(opts.trace_capacity.max(16)));
+    let health = Arc::new(ServeHealth::new(
+        opts.interval_ms
+            .max(50)
+            .saturating_mul(opts.watchdog_cycles.max(1)),
+    ));
+    let http_stats = Arc::new(HttpStats::new());
     let options = PipelineOptions {
         threads: opts.threads,
         ..PipelineOptions::default()
     };
     let pipeline = Pipeline::with_options(&trust, &ct, crosssign_master.clone(), options)
-        .with_metrics(Arc::clone(&registry));
+        .with_metrics(Arc::clone(&registry))
+        .with_trace(Arc::clone(&journal));
 
     let mut state = match PipelineState::load_latest(checkpoint)
         .map_err(|e| CliError::Invalid(format!("checkpoint {}: {e}", checkpoint.display())))?
@@ -139,11 +254,22 @@ pub fn serve(
     let published = Arc::new(Mutex::new(Published::default()));
     // Publish the (possibly resumed, possibly empty) state before the
     // endpoint goes live, so no request ever sees an empty document.
-    publish(&corpus, &state, opts.threads, &registry, &published);
+    publish(&corpus, &state, opts.threads, &published, None);
+    let endpoints = Endpoints {
+        published: Arc::clone(&published),
+        registry: Arc::clone(&registry),
+        http_stats: Arc::clone(&http_stats),
+        journal: Arc::clone(&journal),
+        health: Arc::clone(&health),
+    };
     let _server = match &opts.listen {
         Some(addr) => {
-            let server = HttpServer::bind(addr, http_handler(Arc::clone(&published)))
-                .map_err(io_ctx(format!("binding {addr}")))?;
+            let server = HttpServer::bind_with_stats(
+                addr,
+                http_handler(endpoints),
+                Some(Arc::clone(&http_stats)),
+            )
+            .map_err(io_ctx(format!("binding {addr}")))?;
             eprintln!("serve: listening on http://{}/", server.local_addr());
             if let Some(path) = &opts.listen_addr_file {
                 std::fs::write(path, format!("{}\n", server.local_addr()))
@@ -160,18 +286,46 @@ pub fn serve(
     let mut noted_skips: BTreeSet<String> = BTreeSet::new();
     let mut first_cycle = true;
     loop {
-        let folded = run_cycle(&pipeline, &mut state, spool, &registry, &mut noted_skips)?;
+        // The per-cycle health timeline: one root span per scan cycle,
+        // children for scan / fold / checkpoint / publish, summary attrs
+        // on the cycle itself.
+        let cycle = journal.span("serve.cycle");
+        let folded = run_cycle(
+            &pipeline,
+            &mut state,
+            spool,
+            &registry,
+            &mut noted_skips,
+            &cycle,
+        )?;
         if folded > 0 {
-            let generation = state.save_checkpoint(checkpoint).map_err(|e| {
-                CliError::Invalid(format!("checkpoint {}: {e}", checkpoint.display()))
-            })?;
+            let generation = state
+                .save_checkpoint_traced(checkpoint, Some(&cycle))
+                .map_err(|e| {
+                    CliError::Invalid(format!("checkpoint {}: {e}", checkpoint.display()))
+                })?;
             eprintln!(
                 "serve: folded {folded} file{} -> checkpoint gen {generation}",
                 if folded == 1 { "" } else { "s" }
             );
         }
-        if folded > 0 || first_cycle {
-            let analysis = publish(&corpus, &state, opts.threads, &registry, &published);
+        let analysis = if folded > 0 || first_cycle {
+            Some(publish(
+                &corpus,
+                &state,
+                opts.threads,
+                &published,
+                Some(&cycle),
+            ))
+        } else {
+            None
+        };
+        cycle.attr("files_folded", folded.to_string());
+        cycle.attr("ssl_records", state.ssl_records().to_string());
+        cycle.attr("generation", state.generation().to_string());
+        drop(cycle);
+        health.note_cycle(state.generation());
+        if let Some(analysis) = analysis {
             if opts.drain_once {
                 return Ok(render(&analysis));
             }
@@ -190,21 +344,28 @@ fn run_cycle(
     spool: &Path,
     registry: &Registry,
     noted_skips: &mut BTreeSet<String>,
+    cycle: &Span,
 ) -> CliResult<u64> {
+    let scan = cycle.child("serve.scan");
     let mut names: Vec<String> = Vec::new();
     let entries =
         std::fs::read_dir(spool).map_err(io_ctx(format!("reading spool {}", spool.display())))?;
     for entry in entries {
         let entry = entry.map_err(io_ctx(format!("reading spool {}", spool.display())))?;
-        if entry
+        // Anything but a directory is fair game: regular files are the
+        // normal case, and named pipes let a feeder stream a rotation
+        // straight into the fold.
+        if !entry
             .file_type()
             .map_err(io_ctx(format!("stat {}", entry.path().display())))?
-            .is_file()
+            .is_dir()
         {
             names.push(entry.file_name().to_string_lossy().into_owned());
         }
     }
     let (ordered, unrecognized) = order_spool(names.iter().map(String::as_str));
+    scan.attr("files_seen", ordered.len().to_string());
+    drop(scan);
 
     for name in unrecognized {
         if noted_skips.insert(name.to_string()) {
@@ -227,7 +388,15 @@ fn run_cycle(
             }
             continue;
         }
+        let fold_span = cycle.child("serve.fold");
+        fold_span.attr("file", name);
+        let rows_before = state.ssl_records() + state.x509_rows();
         fold_file(pipeline, state, &spool.join(name), name, log.kind)?;
+        fold_span.attr(
+            "rows",
+            (state.ssl_records() + state.x509_rows() - rows_before).to_string(),
+        );
+        drop(fold_span);
         state.note_folded(name);
         registry.counter("spool.files_folded").add(1);
         folded += 1;
@@ -274,15 +443,16 @@ fn fold_file(
 
 /// Finalize the current state and publish every HTTP surface. Uses a
 /// fresh registry + pipeline so finalize-side counters are absolute per
-/// publish (see the module doc), then merges with the serve-loop
-/// snapshot.
+/// publish (see the module doc); the finalize snapshot is stored and
+/// merged with the live serve-loop snapshot per `/metrics` request.
 fn publish(
     corpus: &Corpus<'_>,
     state: &PipelineState,
     threads: usize,
-    serve_registry: &Registry,
     published: &Mutex<Published>,
+    trace: Option<&Span>,
 ) -> Analysis {
+    let span = trace.map(|t| t.child("serve.publish"));
     let finalize_registry = Arc::new(Registry::new());
     let options = PipelineOptions {
         threads,
@@ -292,12 +462,16 @@ fn publish(
         Pipeline::with_options(corpus.trust, corpus.ct, corpus.crosssign.clone(), options)
             .with_metrics(Arc::clone(&finalize_registry));
     let analysis = finalize_pipeline.finalize_state(state);
-    let snapshot = merge_snapshots(serve_registry.snapshot(), finalize_registry.snapshot());
+    if let Some(s) = &span {
+        s.attr("distinct_chains", state.distinct_chains().to_string());
+        s.attr("generation", state.generation().to_string());
+    }
+    drop(span);
     let next = Published {
         report: render(&analysis),
         report_json: AnalysisSummary::from_analysis(&analysis).to_json() + "\n",
-        metrics_json: snapshot.to_json().to_pretty() + "\n",
         status_json: status_json(state).to_pretty() + "\n",
+        finalize: finalize_registry.snapshot(),
     };
     // A poisoned lock must not kill the daemon: `Published` is only ever
     // replaced wholesale with a fully-built value, so the data under a
@@ -364,19 +538,66 @@ fn status_json(state: &PipelineState) -> JsonValue {
     ])
 }
 
-/// The HTTP routing table over the published strings.
-fn http_handler(published: Arc<Mutex<Published>>) -> Arc<certchain_obs::http::Handler> {
-    Arc::new(move |path: &str| {
+/// The `/metrics` document for one request: the live serve-loop
+/// snapshot (carrying fold counters, stage timings, and per-request
+/// HTTP accounting) merged with the last publish's finalize snapshot.
+fn live_metrics(ep: &Endpoints, p: &Published) -> MetricsSnapshot {
+    let mut serve = ep.registry.snapshot();
+    serve.http = Some(ep.http_stats.snapshot());
+    merge_snapshots(serve, p.finalize.clone())
+}
+
+/// The HTTP routing table over the published surfaces, with content
+/// negotiation on `/report` and `/metrics`: an explicit `?format=` wins,
+/// then the `Accept` header, then the path's default. Unrecognized
+/// formats get `406` plus a plain-text hint listing what is offered.
+fn http_handler(ep: Endpoints) -> Arc<certchain_obs::http::Handler> {
+    Arc::new(move |req: &HttpRequest| {
         // Keep serving the last complete publish even if a publisher
         // panicked while holding the lock (see `publish`).
-        let p = published
+        let p = ep
+            .published
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
             .clone();
-        match path {
-            "/metrics" => HttpResponse::ok("application/json", p.metrics_json),
-            "/report" => HttpResponse::ok("text/plain; charset=utf-8", p.report),
+        match req.path.as_str() {
+            "/report" => match req.query_param("format") {
+                Some("json") => HttpResponse::ok("application/json", p.report_json),
+                Some("text") => HttpResponse::ok("text/plain; charset=utf-8", p.report),
+                Some(_) => HttpResponse::not_acceptable(
+                    "/report offers format=text (default) or format=json",
+                ),
+                None if req.accepts("application/json") => {
+                    HttpResponse::ok("application/json", p.report_json)
+                }
+                None => HttpResponse::ok("text/plain; charset=utf-8", p.report),
+            },
             "/report.json" => HttpResponse::ok("application/json", p.report_json),
+            "/metrics" => match req.query_param("format") {
+                Some("prometheus") => HttpResponse::ok(
+                    PROMETHEUS_CONTENT_TYPE,
+                    to_prometheus(&live_metrics(&ep, &p)),
+                ),
+                Some("json") => HttpResponse::ok(
+                    "application/json",
+                    live_metrics(&ep, &p).to_json().to_pretty() + "\n",
+                ),
+                Some(_) => HttpResponse::not_acceptable(
+                    "/metrics offers format=json (default) or format=prometheus",
+                ),
+                None if req.accepts("text/plain") => HttpResponse::ok(
+                    PROMETHEUS_CONTENT_TYPE,
+                    to_prometheus(&live_metrics(&ep, &p)),
+                ),
+                None => HttpResponse::ok(
+                    "application/json",
+                    live_metrics(&ep, &p).to_json().to_pretty() + "\n",
+                ),
+            },
+            "/trace.json" => {
+                HttpResponse::ok("application/json", ep.journal.to_json().to_pretty() + "\n")
+            }
+            "/healthz" => ep.health.response(),
             "/status" | "/" => HttpResponse::ok("application/json", p.status_json),
             _ => HttpResponse::not_found(),
         }

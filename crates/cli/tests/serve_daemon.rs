@@ -141,9 +141,17 @@ fn unrecognized_and_compressed_spool_entries_are_skipped() {
 }
 
 fn http_get(addr: &str, path: &str) -> (String, String) {
+    http_get_with(addr, path, &[])
+}
+
+fn http_get_with(addr: &str, path: &str, headers: &[(&str, &str)]) -> (String, String) {
     let mut conn = TcpStream::connect(addr.trim()).expect("connect");
-    conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: serve\r\n\r\n").as_bytes())
-        .expect("send");
+    let mut req = format!("GET {path} HTTP/1.1\r\nHost: serve\r\n");
+    for (name, value) in headers {
+        req.push_str(&format!("{name}: {value}\r\n"));
+    }
+    req.push_str("\r\n");
+    conn.write_all(req.as_bytes()).expect("send");
     let mut text = String::new();
     conn.read_to_string(&mut text).expect("read");
     let status = text.lines().next().unwrap_or("").to_string();
@@ -152,6 +160,37 @@ fn http_get(addr: &str, path: &str) -> (String, String) {
         .map(|(_, b)| b.to_string())
         .unwrap_or_default();
     (status, body)
+}
+
+/// The CI shape check in Rust: every non-comment non-blank Prometheus
+/// line is `name[{labels}] value` with a metric-charset name and a
+/// numeric value.
+fn assert_prometheus_shape(body: &str) {
+    let mut samples = 0;
+    for line in body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("line has a value");
+        let name = series.split('{').next().unwrap_or("");
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_lowercase() || c == '_' || c == ':')
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "_:.".contains(c)),
+            "bad metric name in line {line:?}"
+        );
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "bad sample value in line {line:?}"
+        );
+        samples += 1;
+    }
+    assert!(samples > 10, "suspiciously few Prometheus samples");
 }
 
 /// Pull the pretty-printed deterministic section out of a
@@ -183,6 +222,10 @@ fn http_endpoints_expose_report_and_thread_invariant_metrics() {
             drain_once: false,
             interval_ms: 100,
             listen_addr_file: Some(addr_file.clone()),
+            // Large enough that idle-cycle spans between our polls never
+            // evict the first (folding) cycle we assert on below.
+            trace_capacity: 8192,
+            ..serve::ServeOptions::default()
         };
         let spool_c = spool.clone();
         let ckpt_c = checkpoint.clone();
@@ -232,9 +275,54 @@ fn http_endpoints_expose_report_and_thread_invariant_metrics() {
         let (status, report_json) = http_get(&addr, "/report.json");
         assert_eq!(status, "HTTP/1.1 200 OK");
         assert!(certchain_obs::json::parse(&report_json).is_ok());
+
+        // Content negotiation: query param and Accept header both reach
+        // the JSON body; an unknown format gets 406 plus a hint.
+        let (status, by_query) = http_get(&addr, "/report?format=json");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(by_query, report_json, "?format=json vs /report.json");
+        let (status, by_accept) =
+            http_get_with(&addr, "/report", &[("Accept", "application/json")]);
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(by_accept, report_json, "Accept negotiation vs /report.json");
+        let (status, hint) = http_get(&addr, "/report?format=yaml");
+        assert_eq!(status, "HTTP/1.1 406 Not Acceptable");
+        assert!(hint.contains("format=json"), "406 hint names the formats");
+
         let (status, metrics) = http_get(&addr, "/metrics");
         assert_eq!(status, "HTTP/1.1 200 OK");
         sections.push(deterministic_section(&metrics));
+
+        // Prometheus exposition, by query param and by Accept header.
+        let (status, prom) = http_get(&addr, "/metrics?format=prometheus");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_prometheus_shape(&prom);
+        assert!(
+            prom.contains("http_requests{"),
+            "per-request accounting missing from Prometheus output"
+        );
+        let (status, prom2) = http_get_with(&addr, "/metrics", &[("Accept", "text/plain")]);
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_prometheus_shape(&prom2);
+        let (status, _) = http_get(&addr, "/metrics?format=xml");
+        assert_eq!(status, "HTTP/1.1 406 Not Acceptable");
+
+        // The trace journal holds at least one complete fold cycle:
+        // serve.cycle span with scan/fold/checkpoint/publish children.
+        let (status, trace) = http_get(&addr, "/trace.json");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_complete_fold_cycle(&trace);
+
+        // Cycles are completing: the watchdog reports healthy.
+        let (status, health) = http_get(&addr, "/healthz");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        let doc = certchain_obs::json::parse(&health).expect("healthz JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("certchain-healthz/v1")
+        );
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("ok"));
+
         let (status, _) = http_get(&addr, "/nope");
         assert_eq!(status, "HTTP/1.1 404 Not Found");
         let _ = std::fs::remove_file(&addr_file);
@@ -245,6 +333,157 @@ fn http_endpoints_expose_report_and_thread_invariant_metrics() {
         sections[0], sections[1],
         "deterministic metrics section must be thread-count invariant"
     );
+}
+
+/// Assert a `/trace.json` document contains one *complete* fold cycle:
+/// a `serve.cycle` span that both started and ended, with `serve.scan`,
+/// `serve.fold`, `checkpoint.commit`, and `serve.publish` children.
+fn assert_complete_fold_cycle(trace_body: &str) {
+    use certchain_obs::json::JsonValue;
+    let doc = certchain_obs::json::parse(trace_body).expect("trace parses as JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("certchain-trace/v1"),
+        "trace schema tag"
+    );
+    let events = doc
+        .get("events")
+        .and_then(JsonValue::as_arr)
+        .expect("events array");
+    let field = |ev: &JsonValue, key: &str| ev.get(key).and_then(JsonValue::as_u64);
+    let name_of = |ev: &JsonValue| ev.get("name").and_then(JsonValue::as_str).map(String::from);
+    let kind_of = |ev: &JsonValue| ev.get("kind").and_then(JsonValue::as_str).map(String::from);
+
+    // A folding cycle's span_end carries files_folded > 0.
+    let cycle_id = events
+        .iter()
+        .find(|ev| {
+            kind_of(ev).as_deref() == Some("span_end")
+                && name_of(ev).as_deref() == Some("serve.cycle")
+                && ev
+                    .get("attrs")
+                    .and_then(|a| a.get("files_folded"))
+                    .and_then(JsonValue::as_str)
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .is_some_and(|n| n > 0)
+        })
+        .and_then(|ev| field(ev, "span"))
+        .expect("a completed serve.cycle that folded files");
+    assert!(
+        events
+            .iter()
+            .any(|ev| kind_of(ev).as_deref() == Some("span_start")
+                && field(ev, "span") == Some(cycle_id)),
+        "cycle {cycle_id} has no span_start — journal truncated the tree"
+    );
+    for child in [
+        "serve.scan",
+        "serve.fold",
+        "checkpoint.commit",
+        "serve.publish",
+    ] {
+        assert!(
+            events
+                .iter()
+                .any(|ev| name_of(ev).as_deref() == Some(child)
+                    && field(ev, "parent") == Some(cycle_id)),
+            "cycle {cycle_id} lacks a {child} child span"
+        );
+    }
+}
+
+/// The stall watchdog end to end: `/healthz` answers 200 while cycles
+/// complete, flips to 503 when a fold blocks (a spool FIFO with no
+/// writer), and recovers to 200 once the fold finishes.
+#[cfg(unix)]
+#[test]
+fn healthz_flips_to_503_on_stall_and_recovers() {
+    let spool = fresh("spool-stall");
+    let checkpoint = fresh("ckpt-stall");
+    serve::spool_split(dataset_dir(), &spool, 2).expect("spool-split");
+    // Grab a real rotated-log preamble so the FIFO's eventual content
+    // parses cleanly (header only, zero records).
+    let header: String = std::fs::read_to_string(spool.join("ssl.2024-09-01-00.log"))
+        .expect("read split part")
+        .lines()
+        .filter(|l| l.starts_with('#'))
+        .map(|l| format!("{l}\n"))
+        .collect();
+
+    let addr_file = fresh("addr-stall").with_extension("txt");
+    let opts = serve::ServeOptions {
+        threads: 1,
+        listen: Some("127.0.0.1:0".to_string()),
+        drain_once: false,
+        interval_ms: 50,
+        listen_addr_file: Some(addr_file.clone()),
+        watchdog_cycles: 3, // stall window: 150 ms
+        ..serve::ServeOptions::default()
+    };
+    let spool_c = spool.clone();
+    let ckpt_c = checkpoint.clone();
+    std::thread::spawn(move || {
+        let _ = serve::serve(dataset_dir(), &spool_c, &ckpt_c, &opts);
+    });
+    let mut tries = 0;
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_file) {
+            if text.contains(':') {
+                break text;
+            }
+        }
+        tries += 1;
+        assert!(tries < 1500, "serve never published its address");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+
+    let poll_status = |want: &str, why: &str| {
+        let mut tries = 0;
+        loop {
+            let (status, _) = http_get(&addr, "/healthz");
+            if status == want {
+                break;
+            }
+            tries += 1;
+            assert!(
+                tries < 400,
+                "{why}: /healthz stuck at {status}, want {want}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    };
+    poll_status("HTTP/1.1 200 OK", "initial cycles");
+
+    // A recognizable spool entry that is a FIFO with no writer: the
+    // fold's open() blocks, no cycle completes, the watchdog fires.
+    let fifo = spool.join("ssl.2024-09-01-09.log");
+    let made = std::process::Command::new("mkfifo")
+        .arg(&fifo)
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false);
+    if !made {
+        eprintln!("skipping stall test: mkfifo unavailable");
+        return;
+    }
+    poll_status("HTTP/1.1 503 Service Unavailable", "stalled fold");
+
+    // Feed the FIFO its header and close: the blocked open() returns,
+    // the fold sees zero records, the cycle completes, health recovers.
+    std::io::Write::write_all(
+        &mut std::fs::OpenOptions::new()
+            .write(true)
+            .open(&fifo)
+            .expect("open fifo for writing"),
+        header.as_bytes(),
+    )
+    .expect("write fifo");
+    poll_status("HTTP/1.1 200 OK", "recovery after stall");
+
+    let _ = std::fs::remove_file(&addr_file);
+    for dir in [&spool, &checkpoint] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
 }
 
 #[test]

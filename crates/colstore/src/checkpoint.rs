@@ -33,6 +33,7 @@
 
 use crate::{io_ctx, ColError, ColResult};
 use certchain_obs::json::{self, JsonValue};
+use certchain_obs::trace::Span;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -84,6 +85,7 @@ pub struct CheckpointWriter {
     generation: u64,
     files: BTreeMap<String, u64>,
     meta: Vec<(String, JsonValue)>,
+    trace: Option<Span>,
 }
 
 impl CheckpointWriter {
@@ -99,7 +101,16 @@ impl CheckpointWriter {
             generation,
             files: BTreeMap::new(),
             meta: Vec::new(),
+            trace: None,
         })
+    }
+
+    /// Attach a trace span: field writes and the manifest commit then
+    /// emit phase events (file name, bytes, fsync/hardlink mode) on it.
+    /// The span ends when the writer commits or is dropped, so an
+    /// aborted generation still closes its span.
+    pub fn attach_trace(&mut self, span: Span) {
+        self.trace = Some(span);
     }
 
     /// Write one field file.
@@ -112,6 +123,16 @@ impl CheckpointWriter {
             .map_err(io_ctx(format!("writing {}", path.display())))?;
         file.sync_all()
             .map_err(io_ctx(format!("syncing {}", path.display())))?;
+        if let Some(t) = &self.trace {
+            t.event(
+                "checkpoint.field",
+                &[
+                    ("file", name.to_string()),
+                    ("bytes", bytes.len().to_string()),
+                    ("phase", "fsync".to_string()),
+                ],
+            );
+        }
         self.files.insert(name.to_string(), bytes.len() as u64);
         Ok(())
     }
@@ -135,12 +156,23 @@ impl CheckpointWriter {
             });
         }
         let to = self.dir.join(name);
-        if std::fs::hard_link(from, &to).is_err() {
+        let linked = std::fs::hard_link(from, &to).is_ok();
+        if !linked {
             std::fs::copy(from, &to).map_err(io_ctx(format!(
                 "carrying {} to {}",
                 from.display(),
                 to.display()
             )))?;
+        }
+        if let Some(t) = &self.trace {
+            t.event(
+                "checkpoint.carry",
+                &[
+                    ("file", name.to_string()),
+                    ("bytes", expected.to_string()),
+                    ("mode", if linked { "hardlink" } else { "copy" }.to_string()),
+                ],
+            );
         }
         self.files.insert(name.to_string(), expected);
         Ok(())
@@ -174,6 +206,16 @@ impl CheckpointWriter {
             .map_err(io_ctx(format!("writing {}", path.display())))?;
         file.sync_all()
             .map_err(io_ctx(format!("syncing {}", path.display())))?;
+        if let Some(t) = &self.trace {
+            t.event(
+                "checkpoint.manifest",
+                &[
+                    ("generation", self.generation.to_string()),
+                    ("bytes", text.len().to_string()),
+                    ("phase", "fsync".to_string()),
+                ],
+            );
+        }
         Ok(Checkpoint {
             dir: self.dir,
             generation: self.generation,
@@ -467,6 +509,43 @@ mod tests {
         assert_eq!(list_generations(&root).unwrap(), vec![3, 4]);
         // Fewer valid generations than `keep` is a no-op.
         assert_eq!(Checkpoint::prune(&root, 2).unwrap(), 0);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn trace_span_records_field_and_manifest_events() {
+        use certchain_obs::{TraceJournal, TraceKind};
+        use std::sync::Arc;
+        let root = tmp_root("traced");
+        let journal = Arc::new(TraceJournal::new(64));
+        let first = write_gen(&root, 1, b"carried");
+        let mut w = CheckpointWriter::begin(&root, 2).unwrap();
+        w.attach_trace(journal.span("checkpoint.commit"));
+        w.write_field("fresh.dat", b"abc").unwrap();
+        w.carry_field(
+            "data.dat",
+            &first.field_path("data.dat").unwrap(),
+            first.files["data.dat"],
+        )
+        .unwrap();
+        w.commit().unwrap();
+        let events = journal.snapshot();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"checkpoint.field"));
+        assert!(names.contains(&"checkpoint.carry"));
+        assert!(names.contains(&"checkpoint.manifest"));
+        // The manifest event lands before the span closes (commit order).
+        let manifest_seq = events
+            .iter()
+            .find(|e| e.name == "checkpoint.manifest")
+            .map(|e| e.seq)
+            .unwrap();
+        let end_seq = events
+            .iter()
+            .find(|e| e.kind == TraceKind::SpanEnd)
+            .map(|e| e.seq)
+            .unwrap();
+        assert!(manifest_seq < end_seq, "span must end after the manifest");
         std::fs::remove_dir_all(&root).unwrap();
     }
 

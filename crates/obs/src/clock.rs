@@ -36,6 +36,12 @@ impl Stopwatch {
     pub fn elapsed_secs(&self) -> f64 {
         self.start.elapsed().as_secs_f64()
     }
+
+    /// Whole microseconds elapsed since [`Stopwatch::start`], saturating
+    /// at `u64::MAX`. Trace timestamps use this granularity.
+    pub fn elapsed_micros(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
 }
 
 /// Seconds since the Unix epoch, saturating at 0 if the system clock is

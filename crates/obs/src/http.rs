@@ -8,23 +8,84 @@
 //! hand-rolled on [`std::net::TcpListener`] rather than pulled in as a
 //! framework.
 //!
+//! Handlers receive an [`HttpRequest`] carrying the path, the raw query
+//! string, and the `Accept` header, which is what the serve endpoints
+//! use for content negotiation (`/report?format=json`,
+//! `/metrics?format=prometheus`, `Accept: application/json`, ...).
+//!
+//! Per-request accounting ([`HttpStats`]) tallies requests by path,
+//! responses by status, and a latency histogram. Request arrival is
+//! workload-driven wall-clock data, so the stats surface only in the
+//! non-deterministic `timing` section of a snapshot — never in the
+//! deterministic section.
+//!
 //! Concurrency model: one acceptor thread, requests handled inline on
 //! it. The handler runs behind an `Arc`, so it can capture shared state
 //! (e.g. a mutex over the latest analysis snapshot). Shutdown is
 //! cooperative: [`HttpServer::shutdown`] flips a flag and self-connects
-//! to unblock `accept`, then joins the thread — no wall-clock polling,
-//! which also keeps this file clean under srclint's `det-wallclock`
-//! rule.
+//! to unblock `accept`, then joins the thread. The only clock reads are
+//! request-latency stopwatches from the sanctioned [`crate::clock`].
 
+use crate::clock::Stopwatch;
+use crate::metrics::Histogram;
+use crate::snapshot::HttpSnapshot;
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Maximum bytes of request head (request line + headers) read before
 /// the connection is rejected with `431`.
 const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Maximum distinct request paths tracked by [`HttpStats`] before new
+/// paths collapse into the `<other>` bucket (scrapers probing random
+/// URLs must not grow the map without bound).
+const MAX_TRACKED_PATHS: usize = 32;
+
+/// A parsed GET request as seen by a [`Handler`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request path with the query string stripped, e.g. `/metrics`.
+    pub path: String,
+    /// Raw query string without the leading `?` (empty if none).
+    pub query: String,
+    /// The `Accept` header value, if the client sent one.
+    pub accept: Option<String>,
+}
+
+impl HttpRequest {
+    /// A request for `path` with no query and no `Accept` header
+    /// (convenience for tests and internal callers).
+    pub fn for_path(path: &str) -> HttpRequest {
+        HttpRequest {
+            path: path.to_string(),
+            ..HttpRequest::default()
+        }
+    }
+
+    /// Value of the first `key=value` pair in the query string, if any.
+    /// No percent-decoding — endpoint formats are plain tokens.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+
+    /// Whether the `Accept` header lists `mime` (exact media-type match
+    /// on each comma-separated entry, parameters after `;` ignored).
+    pub fn accepts(&self, mime: &str) -> bool {
+        self.accept.as_deref().is_some_and(|accept| {
+            accept
+                .split(',')
+                .map(|entry| entry.split(';').next().unwrap_or(entry).trim())
+                .any(|media| media.eq_ignore_ascii_case(mime))
+        })
+    }
+}
 
 /// A response produced by a request handler.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,20 +117,106 @@ impl HttpResponse {
         }
     }
 
+    /// A plain-text `406 Not Acceptable` carrying a hint about which
+    /// formats the endpoint does support.
+    pub fn not_acceptable(hint: &str) -> HttpResponse {
+        HttpResponse {
+            status: 406,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: format!("not acceptable: {hint}\n").into_bytes(),
+        }
+    }
+
+    /// A plain-text `503 Service Unavailable` (used by the health
+    /// endpoint's stall watchdog).
+    pub fn service_unavailable(content_type: &str, body: impl Into<Vec<u8>>) -> HttpResponse {
+        HttpResponse {
+            status: 503,
+            content_type: content_type.to_string(),
+            body: body.into(),
+        }
+    }
+
     fn status_text(&self) -> &'static str {
         match self.status {
             200 => "OK",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            406 => "Not Acceptable",
             431 => "Request Header Fields Too Large",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
 }
 
-/// Request handler: maps a GET path (e.g. `/metrics`) to a response.
-pub type Handler = dyn Fn(&str) -> HttpResponse + Send + Sync;
+/// Per-request accounting: request paths, response statuses, latency.
+///
+/// Thread-safe and cheap; one instance lives for the whole serve
+/// process. Snapshots land in [`HttpSnapshot`], which renders only in
+/// the timing section of a metrics export.
+#[derive(Debug, Default)]
+pub struct HttpStats {
+    requests: Mutex<BTreeMap<String, u64>>,
+    responses: Mutex<BTreeMap<u16, u64>>,
+    duration_us: Histogram,
+}
+
+impl HttpStats {
+    /// An empty accounting block.
+    pub fn new() -> HttpStats {
+        HttpStats::default()
+    }
+
+    fn note_request(&self, path: &str) {
+        let mut map = self
+            .requests
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(n) = map.get_mut(path) {
+            *n += 1;
+        } else if map.len() < MAX_TRACKED_PATHS {
+            map.insert(path.to_string(), 1);
+        } else {
+            *map.entry("<other>".to_string()).or_insert(0) += 1;
+        }
+    }
+
+    fn note_response(&self, status: u16, dur_us: u64) {
+        let mut map = self
+            .responses
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *map.entry(status).or_insert(0) += 1;
+        drop(map);
+        self.duration_us.observe(dur_us);
+    }
+
+    /// Freeze the current tallies.
+    pub fn snapshot(&self) -> HttpSnapshot {
+        let requests = self
+            .requests
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone();
+        let responses = self
+            .responses
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .iter()
+            .map(|(status, n)| (status.to_string(), *n))
+            .collect();
+        HttpSnapshot {
+            requests,
+            responses,
+            duration_us: self.duration_us.snapshot(),
+        }
+    }
+}
+
+/// Request handler: maps a parsed GET request to a response.
+pub type Handler = dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync;
 
 /// A background HTTP listener serving GET requests via a shared handler.
 pub struct HttpServer {
@@ -80,9 +227,18 @@ pub struct HttpServer {
 
 impl HttpServer {
     /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving on a
-    /// background thread. The handler receives the request path (query
-    /// string stripped) for every well-formed GET.
+    /// background thread, without per-request accounting.
     pub fn bind(addr: &str, handler: Arc<Handler>) -> std::io::Result<HttpServer> {
+        HttpServer::bind_with_stats(addr, handler, None)
+    }
+
+    /// Bind `addr` and start serving; when `stats` is given, every
+    /// request is tallied into it (path, status, latency).
+    pub fn bind_with_stats(
+        addr: &str,
+        handler: Arc<Handler>,
+        stats: Option<Arc<HttpStats>>,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -97,7 +253,7 @@ impl HttpServer {
                     if let Ok(stream) = conn {
                         // A slow or broken client must not wedge the
                         // acceptor; errors just drop the connection.
-                        let _ = serve_one(stream, &*handler);
+                        let _ = serve_one(stream, &*handler, stats.as_deref());
                     }
                 }
             })?;
@@ -132,32 +288,46 @@ impl Drop for HttpServer {
 }
 
 /// Read one request head, dispatch, write one response, close.
-fn serve_one(stream: TcpStream, handler: &Handler) -> std::io::Result<()> {
+fn serve_one(
+    stream: TcpStream,
+    handler: &Handler,
+    stats: Option<&HttpStats>,
+) -> std::io::Result<()> {
+    let watch = Stopwatch::start();
     let mut reader = BufReader::new(stream.try_clone()?).take(MAX_HEAD_BYTES as u64);
     let mut line = String::new();
     reader.read_line(&mut line)?;
     let response = match parse_request_line(&line) {
-        Ok(path) => {
-            // Drain headers until the blank line; the body (none for
-            // GET) is ignored.
+        Ok(mut request) => {
+            // Drain headers until the blank line, keeping only `Accept`;
+            // the body (none for GET) is ignored.
             loop {
                 let mut header = String::new();
                 let n = reader.read_line(&mut header)?;
                 if n == 0 && reader.limit() == 0 {
-                    return write_response(
-                        stream,
-                        &HttpResponse {
-                            status: 431,
-                            content_type: "text/plain; charset=utf-8".to_string(),
-                            body: b"request head too large\n".to_vec(),
-                        },
-                    );
+                    let response = HttpResponse {
+                        status: 431,
+                        content_type: "text/plain; charset=utf-8".to_string(),
+                        body: b"request head too large\n".to_vec(),
+                    };
+                    if let Some(stats) = stats {
+                        stats.note_response(response.status, watch.elapsed_micros());
+                    }
+                    return write_response(stream, &response);
                 }
                 if n == 0 || header == "\r\n" || header == "\n" {
                     break;
                 }
+                if let Some((name, value)) = header.split_once(':') {
+                    if name.trim().eq_ignore_ascii_case("accept") {
+                        request.accept = Some(value.trim().to_string());
+                    }
+                }
             }
-            handler(&path)
+            if let Some(stats) = stats {
+                stats.note_request(&request.path);
+            }
+            handler(&request)
         }
         Err(status) => HttpResponse {
             status,
@@ -168,12 +338,16 @@ fn serve_one(stream: TcpStream, handler: &Handler) -> std::io::Result<()> {
             },
         },
     };
+    if let Some(stats) = stats {
+        stats.note_response(response.status, watch.elapsed_micros());
+    }
     write_response(stream, &response)
 }
 
-/// Parse `GET <path> HTTP/1.x`, returning the path with any query
-/// string stripped, or the error status to answer with.
-fn parse_request_line(line: &str) -> Result<String, u16> {
+/// Parse `GET <path> HTTP/1.x` into an [`HttpRequest`] (query string
+/// preserved, `Accept` filled in later by the header loop), or the
+/// error status to answer with.
+fn parse_request_line(line: &str) -> Result<HttpRequest, u16> {
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or(400u16)?;
     let target = parts.next().ok_or(400u16)?;
@@ -187,8 +361,15 @@ fn parse_request_line(line: &str) -> Result<String, u16> {
     if !target.starts_with('/') {
         return Err(400);
     }
-    let path = target.split('?').next().unwrap_or(target);
-    Ok(path.to_string())
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    Ok(HttpRequest {
+        path: path.to_string(),
+        query: query.to_string(),
+        accept: None,
+    })
 }
 
 fn write_response(mut stream: TcpStream, response: &HttpResponse) -> std::io::Result<()> {
@@ -208,13 +389,24 @@ fn write_response(mut stream: TcpStream, response: &HttpResponse) -> std::io::Re
 mod tests {
     use super::*;
 
-    fn server() -> HttpServer {
-        let handler: Arc<Handler> = Arc::new(|path: &str| match path {
+    fn handler() -> Arc<Handler> {
+        Arc::new(|req: &HttpRequest| match req.path.as_str() {
             "/ping" => HttpResponse::ok("text/plain; charset=utf-8", "pong\n"),
             "/json" => HttpResponse::ok("application/json", "{\"ok\":true}"),
+            "/echo" => {
+                let format = req.query_param("format").unwrap_or("none");
+                let wants_json = req.accepts("application/json");
+                HttpResponse::ok(
+                    "text/plain; charset=utf-8",
+                    format!("format={format} json={wants_json}\n"),
+                )
+            }
             _ => HttpResponse::not_found(),
-        });
-        HttpServer::bind("127.0.0.1:0", handler).expect("bind")
+        })
+    }
+
+    fn server() -> HttpServer {
+        HttpServer::bind("127.0.0.1:0", handler()).expect("bind")
     }
 
     /// Issue one raw request, return (status line, body).
@@ -240,16 +432,44 @@ mod tests {
     }
 
     #[test]
-    fn query_string_is_stripped_and_unknown_is_404() {
+    fn query_and_accept_reach_the_handler() {
         let srv = server();
         let (status, body) = request(
             srv.local_addr(),
-            "GET /json?pretty=1 HTTP/1.1\r\nHost: x\r\n\r\n",
+            "GET /echo?format=json&x=1 HTTP/1.1\r\nAccept: application/json\r\n\r\n",
         );
         assert_eq!(status, "HTTP/1.1 200 OK");
-        assert_eq!(body, "{\"ok\":true}");
+        assert_eq!(body, "format=json json=true\n");
+        let (_, body) = request(srv.local_addr(), "GET /echo HTTP/1.1\r\n\r\n");
+        assert_eq!(body, "format=none json=false\n");
         let (status, _) = request(srv.local_addr(), "GET /nope HTTP/1.1\r\n\r\n");
         assert_eq!(status, "HTTP/1.1 404 Not Found");
+    }
+
+    #[test]
+    fn accepts_matches_media_types_not_substrings() {
+        let req = HttpRequest {
+            path: "/".to_string(),
+            query: String::new(),
+            accept: Some("text/html, application/json;q=0.9".to_string()),
+        };
+        assert!(req.accepts("application/json"));
+        assert!(req.accepts("text/html"));
+        assert!(!req.accepts("application/jso"));
+        assert!(!req.accepts("text/plain"));
+    }
+
+    #[test]
+    fn query_param_parses_pairs() {
+        let req = HttpRequest {
+            path: "/".to_string(),
+            query: "a=1&format=prometheus&b=".to_string(),
+            accept: None,
+        };
+        assert_eq!(req.query_param("format"), Some("prometheus"));
+        assert_eq!(req.query_param("a"), Some("1"));
+        assert_eq!(req.query_param("b"), Some(""));
+        assert_eq!(req.query_param("missing"), None);
     }
 
     #[test]
@@ -262,6 +482,44 @@ mod tests {
         assert_eq!(status, "HTTP/1.1 405 Method Not Allowed");
         let (status, _) = request(srv.local_addr(), "complete nonsense\r\n\r\n");
         assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    }
+
+    #[test]
+    fn stats_tally_paths_statuses_and_latency() {
+        let stats = Arc::new(HttpStats::new());
+        let srv = HttpServer::bind_with_stats("127.0.0.1:0", handler(), Some(Arc::clone(&stats)))
+            .expect("bind");
+        for _ in 0..3 {
+            let _ = request(srv.local_addr(), "GET /ping HTTP/1.1\r\n\r\n");
+        }
+        let _ = request(srv.local_addr(), "GET /nope HTTP/1.1\r\n\r\n");
+        let snap = stats.snapshot();
+        assert_eq!(snap.requests.get("/ping"), Some(&3));
+        assert_eq!(snap.requests.get("/nope"), Some(&1));
+        assert_eq!(snap.responses.get("200"), Some(&3));
+        assert_eq!(snap.responses.get("404"), Some(&1));
+        assert_eq!(snap.duration_us.count, 4);
+    }
+
+    #[test]
+    fn stats_cap_distinct_paths() {
+        let stats = HttpStats::new();
+        for i in 0..100 {
+            stats.note_request(&format!("/probe/{i}"));
+        }
+        let snap = stats.snapshot();
+        assert!(snap.requests.len() <= MAX_TRACKED_PATHS + 1);
+        let overflow = snap.requests.get("<other>").copied().unwrap_or(0);
+        let total: u64 = snap.requests.values().sum();
+        assert_eq!(total, 100);
+        assert!(overflow > 0);
+    }
+
+    #[test]
+    fn not_acceptable_carries_hint() {
+        let resp = HttpResponse::not_acceptable("supported: text, json");
+        assert_eq!(resp.status, 406);
+        assert!(String::from_utf8_lossy(&resp.body).contains("supported: text, json"));
     }
 
     #[test]

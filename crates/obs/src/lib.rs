@@ -18,7 +18,12 @@
 //! - [`snapshot`]: [`MetricsSnapshot`], a schema-stable JSON export with
 //!   an explicitly deterministic section and a separate timing section.
 //! - [`http`]: a tiny GET-only [`HttpServer`] on `std::net`, used by
-//!   `certchain serve` to expose metrics snapshots and report tables.
+//!   `certchain serve` to expose metrics snapshots and report tables,
+//!   with content negotiation and per-request accounting.
+//! - [`trace`]: hierarchical spans and structured events in a bounded
+//!   ring-buffer [`TraceJournal`] — the daemon's flight recorder,
+//!   strictly confined to the timing side of the snapshot split.
+//! - [`prom`]: Prometheus text-format exposition for snapshots.
 //! - [`progress`]: a throttled stderr [`Progress`] reporter
 //!   (records/sec, chunk queue depth, per-worker throughput).
 //! - [`json`]: the workspace's self-contained JSON value type (moved
@@ -33,9 +38,12 @@ pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod progress;
+pub mod prom;
 pub mod snapshot;
+pub mod trace;
 
-pub use http::{HttpResponse, HttpServer};
+pub use http::{HttpRequest, HttpResponse, HttpServer, HttpStats};
 pub use metrics::{Counter, Gauge, Histogram, Registry, StageTimer};
 pub use progress::Progress;
-pub use snapshot::{HistogramSnapshot, MetricsSnapshot, StageSnapshot};
+pub use snapshot::{HistogramSnapshot, HttpSnapshot, MetricsSnapshot, StageSnapshot};
+pub use trace::{Span, TraceEvent, TraceJournal, TraceKind};

@@ -92,7 +92,18 @@ impl Histogram {
         let idx = (u64::BITS - v.leading_zeros()) as usize;
         self.buckets[idx].fetch_add(1, Relaxed);
         self.count.fetch_add(1, Relaxed);
-        self.sum.fetch_add(v, Relaxed);
+        // Saturating rather than wrapping: a pathological sum pins at
+        // u64::MAX instead of silently restarting near zero, and the
+        // saturation point is order-independent so thread-count
+        // invariance is preserved.
+        let mut cur = self.sum.load(Relaxed);
+        loop {
+            let next = cur.saturating_add(v);
+            match self.sum.compare_exchange_weak(cur, next, Relaxed, Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
     }
 
     /// Number of observations.
@@ -105,18 +116,19 @@ impl Histogram {
         self.sum.load(Relaxed)
     }
 
-    /// Inclusive upper bound of bucket `idx` as a decimal string
-    /// (`"+inf"`-free: the last bucket's bound is `u64::MAX`). Strings
-    /// keep the labels exact where f64 would round above 2^53.
+    /// Inclusive upper bound of bucket `idx` as a decimal string, with
+    /// the overflow bucket rendered as `+Inf` (Prometheus convention,
+    /// mirrored in the JSON snapshot so the two expositions agree).
+    /// Strings keep the labels exact where f64 would round above 2^53.
     fn bucket_le(idx: usize) -> String {
         match idx {
             0 => "0".to_string(),
-            64 => u64::MAX.to_string(),
+            64 => "+Inf".to_string(),
             i => ((1u64 << i) - 1).to_string(),
         }
     }
 
-    fn snapshot(&self) -> HistogramSnapshot {
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
         let buckets = self
             .buckets
             .iter()
@@ -247,6 +259,7 @@ impl Registry {
             gauges,
             histograms,
             stages,
+            http: None,
         }
     }
 }
@@ -326,6 +339,17 @@ mod tests {
                 ("1023".to_string(), 1),
             ]
         );
+    }
+
+    #[test]
+    fn overflow_bucket_renders_plus_inf_and_sum_saturates() {
+        let h = Histogram::default();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![("+Inf".to_string(), 2)]);
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Prometheus text-format exposition for [`MetricsSnapshot`].
+//!
+//! Renders the classic text format (`# TYPE` comments, one sample per
+//! line) so the serve daemon can be scraped directly. Mapping:
+//!
+//! - counters and gauges render under their sanitised registry name
+//!   (`.` → `_`, anything outside `[a-z0-9_:]` → `_`);
+//! - histograms render the conventional `_bucket{le="..."}` /
+//!   `_sum` / `_count` triple, with **cumulative** bucket counts and a
+//!   final `le="+Inf"` sample equal to `_count` (our snapshots store
+//!   per-bucket tallies, so the renderer accumulates);
+//! - stage timings render as `stage_wall_ms{stage="..."}` /
+//!   `stage_invocations{stage="..."}` gauges;
+//! - HTTP accounting (when present) renders as
+//!   `http_requests{path="..."}`, `http_responses{status="..."}` and an
+//!   `http_request_duration_us` histogram.
+//!
+//! Every non-comment line matches
+//! `^[a-z_:][a-z0-9_:.]*({[^}]*})? -?[0-9]` — CI curls the live
+//! endpoint and checks exactly that shape.
+
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Content type for the classic Prometheus text exposition format.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Sanitise a registry metric name into a Prometheus-legal one.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        let c = c.to_ascii_lowercase();
+        let legal_head = c.is_ascii_lowercase() || c == '_' || c == ':';
+        let legal = legal_head || c.is_ascii_digit();
+        if out.is_empty() {
+            out.push(if legal_head { c } else { '_' });
+        } else {
+            out.push(if legal { c } else { '_' });
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a label value per the exposition format.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cum = 0u64;
+    for (le, n) in &h.buckets {
+        if le == "+Inf" {
+            continue; // folded into the final +Inf sample below
+        }
+        cum = cum.saturating_add(*n);
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        render_histogram(&mut out, &sanitize(name), h);
+    }
+    if !snap.stages.is_empty() {
+        let _ = writeln!(out, "# TYPE stage_wall_ms gauge");
+        for (name, s) in &snap.stages {
+            let _ = writeln!(
+                out,
+                "stage_wall_ms{{stage=\"{}\"}} {}",
+                escape_label(name),
+                s.wall_ms
+            );
+        }
+        let _ = writeln!(out, "# TYPE stage_invocations counter");
+        for (name, s) in &snap.stages {
+            let _ = writeln!(
+                out,
+                "stage_invocations{{stage=\"{}\"}} {}",
+                escape_label(name),
+                s.invocations
+            );
+        }
+    }
+    if let Some(http) = &snap.http {
+        if !http.requests.is_empty() {
+            let _ = writeln!(out, "# TYPE http_requests counter");
+            for (path, n) in &http.requests {
+                let _ = writeln!(out, "http_requests{{path=\"{}\"}} {n}", escape_label(path));
+            }
+        }
+        if !http.responses.is_empty() {
+            let _ = writeln!(out, "# TYPE http_responses counter");
+            for (status, n) in &http.responses {
+                let _ = writeln!(
+                    out,
+                    "http_responses{{status=\"{}\"}} {n}",
+                    escape_label(status)
+                );
+            }
+        }
+        render_histogram(&mut out, "http_request_duration_us", &http.duration_us);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::HttpSnapshot;
+    use crate::Registry;
+
+    /// Mirror of the CI shape check:
+    /// `^[a-z_:][a-z0-9_:.]*({[^}]*})? -?[0-9]`.
+    fn line_is_well_formed(line: &str) -> bool {
+        let bytes = line.as_bytes();
+        let Some(&head) = bytes.first() else {
+            return false;
+        };
+        if !(head.is_ascii_lowercase() || head == b'_' || head == b':') {
+            return false;
+        }
+        let mut i = 1;
+        while i < bytes.len()
+            && (bytes[i].is_ascii_lowercase()
+                || bytes[i].is_ascii_digit()
+                || matches!(bytes[i], b'_' | b':' | b'.'))
+        {
+            i += 1;
+        }
+        if i < bytes.len() && bytes[i] == b'{' {
+            while i < bytes.len() && bytes[i] != b'}' {
+                i += 1;
+            }
+            if i == bytes.len() {
+                return false;
+            }
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b' ' {
+            return false;
+        }
+        i += 1;
+        if i < bytes.len() && bytes[i] == b'-' {
+            i += 1;
+        }
+        i < bytes.len() && bytes[i].is_ascii_digit()
+    }
+
+    fn populated() -> Registry {
+        let reg = Registry::new();
+        reg.counter("pipeline.ssl_records").add(42);
+        reg.gauge("pipeline.distinct_certificates").set(321);
+        let h = reg.histogram("pipeline.chain_length");
+        for v in [1u64, 2, 3, 900] {
+            h.observe(v);
+        }
+        h.observe(u64::MAX);
+        {
+            let _t = reg.stage("ingest");
+        }
+        reg
+    }
+
+    #[test]
+    fn exposition_lines_pass_the_ci_shape_check() {
+        let mut snap = populated().snapshot();
+        let mut http = HttpSnapshot::default();
+        http.requests.insert("/metrics".to_string(), 2);
+        http.responses.insert("200".to_string(), 2);
+        snap.http = Some(http);
+        let text = to_prometheus(&snap);
+        assert!(!text.is_empty());
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(line_is_well_formed(line), "malformed line: {line:?}");
+        }
+    }
+
+    #[test]
+    fn names_are_sanitized_and_types_declared() {
+        let text = to_prometheus(&populated().snapshot());
+        assert!(text.contains("# TYPE pipeline_ssl_records counter"));
+        assert!(text.contains("pipeline_ssl_records 42"));
+        assert!(text.contains("# TYPE pipeline_distinct_certificates gauge"));
+        assert!(text.contains("pipeline_distinct_certificates 321"));
+        assert!(text.contains("stage_wall_ms{stage=\"ingest\"}"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let text = to_prometheus(&populated().snapshot());
+        // Observations 1,2,3,900,u64::MAX land in buckets le=1 (1),
+        // le=3 (2), le=1023 (1), +Inf (1); the exposition must be
+        // cumulative: 1, 3, 4, then +Inf = count = 5.
+        assert!(text.contains("pipeline_chain_length_bucket{le=\"1\"} 1"));
+        assert!(text.contains("pipeline_chain_length_bucket{le=\"3\"} 3"));
+        assert!(text.contains("pipeline_chain_length_bucket{le=\"1023\"} 4"));
+        assert!(text.contains("pipeline_chain_length_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("pipeline_chain_length_count 5"));
+        // Saturating sum pinned at u64::MAX.
+        assert!(text.contains(&format!("pipeline_chain_length_sum {}", u64::MAX)));
+    }
+
+    #[test]
+    fn sanitize_handles_leading_digits_and_symbols() {
+        assert_eq!(sanitize("pipeline.ssl_records"), "pipeline_ssl_records");
+        assert_eq!(sanitize("9lives"), "_lives");
+        assert_eq!(sanitize("Mixed-Case"), "mixed_case");
+        assert_eq!(sanitize(""), "_");
+    }
+}

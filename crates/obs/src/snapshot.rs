@@ -28,15 +28,66 @@ use crate::json::JsonValue;
 use std::collections::BTreeMap;
 
 /// Frozen state of one histogram.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Number of observations.
     pub count: u64,
     /// Sum of observations.
     pub sum: u64,
     /// Non-empty buckets as (inclusive upper bound rendered as a decimal
-    /// string, tally), in ascending bound order.
+    /// string — `+Inf` for the overflow bucket, tally), in ascending
+    /// bound order.
     pub buckets: Vec<(String, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Reconstruct the inclusive `[lower, upper]` value range of a
+    /// bucket from its `le` label. Power-of-two buckets hold values of
+    /// one bit length, so `le = 2^k - 1` implies `lower = 2^(k-1)`.
+    fn bucket_bounds(le: &str) -> (u64, u64) {
+        if le == "0" {
+            (0, 0)
+        } else if le == "+Inf" {
+            (1u64 << 63, u64::MAX)
+        } else {
+            let upper: u64 = le.parse().unwrap_or(u64::MAX);
+            (upper / 2 + 1, upper)
+        }
+    }
+
+    /// Bucket-interpolated quantile estimate (`q` clamped to `[0, 1]`).
+    ///
+    /// Walks the cumulative bucket counts to the bucket containing the
+    /// target rank, then interpolates linearly within that bucket's
+    /// value range. For the `+Inf` overflow bucket the lower bound is
+    /// returned (there is nothing meaningful to interpolate toward).
+    /// The result is a pure function of the deterministic bucket tallies
+    /// and therefore safe to render in the deterministic section.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (le, n) in &self.buckets {
+            let next = cum.saturating_add(*n);
+            if next >= target && *n > 0 {
+                let (lo, hi) = Self::bucket_bounds(le);
+                if le == "+Inf" {
+                    return lo;
+                }
+                let into = (target - cum) as f64 / *n as f64;
+                let span = (hi - lo) as f64;
+                return lo.saturating_add((into * span).round() as u64);
+            }
+            cum = next;
+        }
+        self.buckets
+            .last()
+            .map(|(le, _)| Self::bucket_bounds(le).1)
+            .unwrap_or(0)
+    }
 }
 
 /// Frozen accumulated timing of one stage.
@@ -46,6 +97,18 @@ pub struct StageSnapshot {
     pub wall_ms: f64,
     /// Number of completed spans.
     pub invocations: u64,
+}
+
+/// Frozen per-request HTTP accounting from the serve listener
+/// (non-deterministic: request arrival is workload-driven).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HttpSnapshot {
+    /// Request tallies by path.
+    pub requests: BTreeMap<String, u64>,
+    /// Response tallies by status code (rendered as a decimal string).
+    pub responses: BTreeMap<String, u64>,
+    /// Request handling latency in microseconds.
+    pub duration_us: HistogramSnapshot,
 }
 
 /// A complete, serialisable metrics export.
@@ -59,6 +122,9 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Stage timings by name (non-deterministic section).
     pub stages: BTreeMap<String, StageSnapshot>,
+    /// Per-request HTTP accounting (non-deterministic section; only
+    /// present for the long-lived serve registry).
+    pub http: Option<HttpSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -96,6 +162,9 @@ impl MetricsSnapshot {
                     JsonValue::Obj(vec![
                         ("count".into(), JsonValue::Num(h.count as f64)),
                         ("sum".into(), JsonValue::Num(h.sum as f64)),
+                        ("p50".into(), JsonValue::Num(h.quantile(0.50) as f64)),
+                        ("p95".into(), JsonValue::Num(h.quantile(0.95) as f64)),
+                        ("p99".into(), JsonValue::Num(h.quantile(0.99) as f64)),
                         ("buckets".into(), JsonValue::Arr(buckets)),
                     ]),
                 )
@@ -108,7 +177,8 @@ impl MetricsSnapshot {
         ])
     }
 
-    /// The timing section alone (stage wall times).
+    /// The timing section alone (stage wall times and, when present,
+    /// per-request HTTP accounting).
     pub fn timing_json(&self) -> JsonValue {
         let stages = self
             .stages
@@ -123,7 +193,59 @@ impl MetricsSnapshot {
                 )
             })
             .collect();
-        JsonValue::Obj(vec![("stages".into(), JsonValue::Obj(stages))])
+        let mut fields = vec![("stages".into(), JsonValue::Obj(stages))];
+        if let Some(http) = &self.http {
+            let requests = http
+                .requests
+                .iter()
+                .map(|(k, v)| (k.clone(), JsonValue::Num(*v as f64)))
+                .collect();
+            let responses = http
+                .responses
+                .iter()
+                .map(|(k, v)| (k.clone(), JsonValue::Num(*v as f64)))
+                .collect();
+            let buckets = http
+                .duration_us
+                .buckets
+                .iter()
+                .map(|(le, n)| {
+                    JsonValue::Obj(vec![
+                        ("le".into(), JsonValue::Str(le.clone())),
+                        ("count".into(), JsonValue::Num(*n as f64)),
+                    ])
+                })
+                .collect();
+            let duration = JsonValue::Obj(vec![
+                (
+                    "count".into(),
+                    JsonValue::Num(http.duration_us.count as f64),
+                ),
+                ("sum".into(), JsonValue::Num(http.duration_us.sum as f64)),
+                (
+                    "p50".into(),
+                    JsonValue::Num(http.duration_us.quantile(0.50) as f64),
+                ),
+                (
+                    "p95".into(),
+                    JsonValue::Num(http.duration_us.quantile(0.95) as f64),
+                ),
+                (
+                    "p99".into(),
+                    JsonValue::Num(http.duration_us.quantile(0.99) as f64),
+                ),
+                ("buckets".into(), JsonValue::Arr(buckets)),
+            ]);
+            fields.push((
+                "http".into(),
+                JsonValue::Obj(vec![
+                    ("requests".into(), JsonValue::Obj(requests)),
+                    ("responses".into(), JsonValue::Obj(responses)),
+                    ("duration_us".into(), duration),
+                ]),
+            ));
+        }
+        JsonValue::Obj(fields)
     }
 
     /// Full serialised form: schema tag + both sections.
@@ -190,6 +312,70 @@ mod tests {
         let a = text.find("a.count").expect("a.count present");
         let b = text.find("b.count").expect("b.count present");
         assert!(a < b, "BTreeMap ordering must sort counter names");
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        use crate::snapshot::HistogramSnapshot;
+        // 100 observations of 1, 100 of values in (512, 1023] bucket.
+        let h = HistogramSnapshot {
+            count: 200,
+            sum: 0,
+            buckets: vec![("1".to_string(), 100), ("1023".to_string(), 100)],
+        };
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(0.5), 1);
+        // p75 is rank 150 → halfway through the [512, 1023] bucket.
+        let p75 = h.quantile(0.75);
+        assert!((512..=1023).contains(&p75), "p75 = {p75}");
+        assert_eq!(h.quantile(1.0), 1023);
+        // Overflow bucket pins to its lower bound.
+        let inf = HistogramSnapshot {
+            count: 1,
+            sum: u64::MAX,
+            buckets: vec![("+Inf".to_string(), 1)],
+        };
+        assert_eq!(inf.quantile(0.99), 1u64 << 63);
+        // Empty histogram degrades to zero.
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_json_includes_quantiles() {
+        let reg = Registry::new();
+        for v in 1..=16u64 {
+            reg.histogram("len").observe(v);
+        }
+        let text = reg.snapshot().to_json().to_pretty();
+        let doc = crate::json::parse(&text).expect("snapshot parses");
+        let hist = doc
+            .get("deterministic")
+            .and_then(|d| d.get("histograms"))
+            .and_then(|h| h.get("len"))
+            .expect("len histogram");
+        for key in ["p50", "p95", "p99"] {
+            assert!(hist.get(key).and_then(|v| v.as_u64()).is_some(), "{key}");
+        }
+    }
+
+    #[test]
+    fn http_section_renders_in_timing_only() {
+        use crate::snapshot::{HistogramSnapshot, HttpSnapshot};
+        let mut snap = populated().snapshot();
+        let mut http = HttpSnapshot::default();
+        http.requests.insert("/metrics".to_string(), 3);
+        http.responses.insert("200".to_string(), 3);
+        http.duration_us = HistogramSnapshot {
+            count: 3,
+            sum: 30,
+            buckets: vec![("15".to_string(), 3)],
+        };
+        snap.http = Some(http);
+        let det = snap.deterministic_fingerprint();
+        assert!(!det.contains("/metrics"), "http stays out of deterministic");
+        let timing = snap.timing_json().to_pretty();
+        assert!(timing.contains("\"/metrics\""));
+        assert!(timing.contains("\"duration_us\""));
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Property tests for the trace ring journal under concurrent writers.
+//!
+//! The journal promises three things no matter how writers interleave:
+//! no torn records (every surviving event is exactly one writer's event,
+//! name and attrs consistent), the capacity bound holds, and eviction is
+//! strictly oldest-first (the survivors are precisely the newest
+//! `min(written, capacity)` sequence numbers, contiguous).
+
+use certchain_obs::{TraceJournal, TraceKind};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One writer's event name: decodable back to (writer, index) so a torn
+/// record — name from one writer, attrs from another — is detectable.
+fn event_name(writer: usize, index: usize) -> String {
+    format!("w{writer}.e{index}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn concurrent_writers_never_tear_or_overfill(
+        writers in 1usize..6,
+        per_writer in 1usize..40,
+        capacity in 1usize..64,
+    ) {
+        let journal = Arc::new(TraceJournal::new(capacity));
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let journal = Arc::clone(&journal);
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        journal.event(
+                            &event_name(w, i),
+                            &[("writer", w.to_string()), ("index", i.to_string())],
+                        );
+                    }
+                });
+            }
+        });
+
+        let total = (writers * per_writer) as u64;
+        prop_assert_eq!(journal.written(), total);
+
+        let events = journal.snapshot();
+        // Capacity bound, exactly: once enough events exist the ring is
+        // full, never over.
+        prop_assert_eq!(events.len() as u64, total.min(capacity as u64));
+
+        // Strictly oldest-first eviction: the survivors are the top
+        // `len` seqs, contiguous, and snapshot() sorts them.
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        let expect: Vec<u64> = (total - events.len() as u64..total).collect();
+        prop_assert_eq!(seqs, expect);
+
+        // No torn records: name and both attrs agree on one (writer,
+        // index) pair, and that pair is in range.
+        for ev in &events {
+            prop_assert_eq!(ev.kind, TraceKind::Event);
+            let writer: usize = ev
+                .attrs
+                .iter()
+                .find(|(k, _)| k == "writer")
+                .and_then(|(_, v)| v.parse().ok())
+                .expect("writer attr");
+            let index: usize = ev
+                .attrs
+                .iter()
+                .find(|(k, _)| k == "index")
+                .and_then(|(_, v)| v.parse().ok())
+                .expect("index attr");
+            prop_assert!(writer < writers && index < per_writer);
+            prop_assert_eq!(&ev.name, &event_name(writer, index));
+        }
+    }
+
+    #[test]
+    fn sequential_fill_keeps_every_event_below_capacity(
+        events in 1usize..32,
+        headroom in 0usize..32,
+    ) {
+        let journal = Arc::new(TraceJournal::new(events + headroom));
+        for i in 0..events {
+            journal.event(&event_name(0, i), &[]);
+        }
+        let snap = journal.snapshot();
+        prop_assert_eq!(snap.len(), events);
+        for (i, ev) in snap.iter().enumerate() {
+            prop_assert_eq!(ev.seq, i as u64);
+            prop_assert_eq!(&ev.name, &event_name(0, i));
+        }
+    }
+}

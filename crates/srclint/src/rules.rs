@@ -34,7 +34,11 @@ pub const WALLCLOCK_SANCTIONED_FILE: &str = "crates/obs/src/clock.rs";
 /// Long-lived daemon files: the serve loop and the HTTP listener it
 /// exposes. A panic here takes the whole daemon down mid-request, so
 /// no-panic-in-daemon bans panicking constructs in their non-test code.
-pub const DAEMON_FILES: &[&str] = &["crates/cli/src/serve.rs", "crates/obs/src/http.rs"];
+pub const DAEMON_FILES: &[&str] = &[
+    "crates/cli/src/serve.rs",
+    "crates/obs/src/http.rs",
+    "crates/obs/src/trace.rs",
+];
 
 /// Files subject to durability-manifest-last: everywhere the colstore /
 /// checkpoint manifest-last commit convention must hold.

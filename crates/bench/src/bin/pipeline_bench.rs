@@ -11,8 +11,14 @@
 //! serialized logs — the path `certchain analyze` runs.
 
 use certchain_chainlab::json::JsonValue;
-use certchain_chainlab::{Analysis, CrossSignRegistry, Pipeline, PipelineOptions, RowFilter};
-use certchain_colstore::{DatasetReader, DatasetWriter, MapMode, WriterOptions, VERSION_V1};
+use certchain_chainlab::{
+    chain_category, Analysis, CertCat, CertRecord, CrossSignRegistry, Pipeline, PipelineOptions,
+    RowFilter,
+};
+use certchain_colstore::codec::Encoding;
+use certchain_colstore::{
+    Category, CategorySet, DatasetReader, DatasetWriter, MapMode, WriterOptions, VERSION_V1,
+};
 use certchain_netsim::zeek::reader::{read_ssl_log, read_x509_log};
 use certchain_netsim::zeek::tsv::{write_ssl_log, write_x509_log};
 use certchain_netsim::{SimClock, SslLogStream, X509LogStream};
@@ -240,6 +246,29 @@ fn main() {
     // one), through an identical sequential analysis. This is the number
     // the columnar store exists for — analyze time with the parse stage
     // deleted — plus the v2-vs-v1 win from the vectorized segment fold.
+    // Fingerprint → structural class table, used both to digest the v2
+    // store at write time and to pick the rarest category below. First
+    // parseable occurrence of a fingerprint wins — the same intern
+    // semantics as the analysis enrich pass.
+    let cat_codes: std::collections::HashMap<certchain_x509::Fingerprint, CertCat> = {
+        let mut codes = std::collections::HashMap::new();
+        for rec in &trace.x509_records {
+            if codes.contains_key(&rec.fingerprint) {
+                continue;
+            }
+            if let Some(cert) = CertRecord::from_record(rec) {
+                codes.insert(rec.fingerprint, CertCat::of(&cert, &trace.eco.trust));
+            }
+        }
+        codes
+    };
+    let category_of = |rec: &certchain_netsim::SslRecord| {
+        chain_category(
+            rec.cert_chain_fps
+                .iter()
+                .map(|fp| cat_codes.get(fp).copied().unwrap_or(CertCat::Unresolved)),
+        )
+    };
     let build_store = |path: &std::path::Path, version: u64| {
         let _ = std::fs::remove_dir_all(path);
         let mut writer = DatasetWriter::create_with(
@@ -254,6 +283,16 @@ fn main() {
             writer
                 .append_x509(&rec.expect("x509 rows round-trip"))
                 .expect("append x509 row");
+        }
+        if version == certchain_colstore::VERSION {
+            let codes = cat_codes.clone();
+            writer = writer.with_category_provider(Box::new(move |rec| {
+                chain_category(
+                    rec.cert_chain_fps
+                        .iter()
+                        .map(|fp| codes.get(fp).copied().unwrap_or(CertCat::Unresolved)),
+                )
+            }));
         }
         for rec in SslLogStream::new(&ssl_buf[..]) {
             writer
@@ -348,8 +387,8 @@ fn main() {
             PipelineOptions {
                 threads: 1,
                 filter: RowFilter {
-                    port: None,
                     sni: rare_sni,
+                    ..RowFilter::default()
                 },
                 ..PipelineOptions::default()
             },
@@ -371,6 +410,123 @@ fn main() {
         "zone maps (rare-SNI filter): {segments_skipped}/{} segments skipped ({segments_skipped_pct:.1}%)",
         segments_read + segments_skipped,
     );
+
+    // Category-digest effectiveness: analyze the v2 store filtered to its
+    // rarest structural chain category (deterministic pick: lowest row
+    // count among the categories present, ties to the lower category
+    // index) and record, per thread count, how many segments the
+    // per-segment digests let the fold skip without decoding.
+    let mut cat_rows = [0u64; certchain_colstore::CATEGORY_COUNT];
+    for rec in &trace.ssl_records {
+        cat_rows[category_of(rec).index()] += 1;
+    }
+    let rare_cat = Category::all()
+        .iter()
+        .copied()
+        .filter(|c| cat_rows[c.index()] > 0)
+        .min_by_key(|c| (cat_rows[c.index()], c.index()))
+        .expect("trace is non-empty, so some category occurs");
+    let mut cat_set = CategorySet::empty();
+    cat_set.insert(rare_cat);
+    let category_run = |threads: usize| -> (f64, MetricsSnapshot) {
+        // Best-of-three, keeping the snapshot of the fastest run; the
+        // deterministic counters are identical across the three anyway.
+        let mut best = f64::INFINITY;
+        let mut snapshot = None;
+        for _ in 0..3 {
+            let registry = Arc::new(Registry::new());
+            let pipeline = Pipeline::with_options(
+                &trace.eco.trust,
+                &trace.ct_index,
+                CrossSignRegistry::from_disclosures(&trace.cross_sign_disclosures),
+                PipelineOptions {
+                    threads,
+                    filter: RowFilter {
+                        categories: Some(cat_set),
+                        ..RowFilter::default()
+                    },
+                    ..PipelineOptions::default()
+                },
+            )
+            .with_metrics(Arc::clone(&registry));
+            let start = Instant::now();
+            pipeline
+                .analyze_colstore(&reader_v2)
+                .expect("category-filtered v2 analysis reads cleanly");
+            let secs = start.elapsed().as_secs_f64();
+            if secs < best {
+                best = secs;
+                snapshot = Some(registry.snapshot());
+            }
+        }
+        (best, snapshot.expect("ran at least once"))
+    };
+    let mut category_results = Vec::new();
+    let mut category_skipped_pct = 0.0;
+    for threads in thread_sweep(&args, cores) {
+        let (secs, snap) = category_run(threads);
+        let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        let read = counter("colstore.segments_read");
+        let skipped = counter("colstore.segments_skipped");
+        let skipped_cat = counter("colstore.segments_skipped_category");
+        let pct = 100.0 * skipped_cat as f64 / (read + skipped).max(1) as f64;
+        category_skipped_pct = pct;
+        let stage_ms = JsonValue::Obj(
+            snap.stages
+                .iter()
+                .map(|(name, s)| (name.clone(), JsonValue::Num(s.wall_ms)))
+                .collect(),
+        );
+        category_results.push(JsonValue::Obj(vec![
+            ("threads".into(), JsonValue::Num(threads as f64)),
+            ("wall_ms".into(), JsonValue::Num(secs * 1e3)),
+            ("segments_read".into(), JsonValue::Num(read as f64)),
+            ("segments_skipped".into(), JsonValue::Num(skipped as f64)),
+            (
+                "segments_skipped_category".into(),
+                JsonValue::Num(skipped_cat as f64),
+            ),
+            ("segments_skipped_pct".into(), JsonValue::Num(pct)),
+            ("stage_ms".into(), stage_ms),
+        ]));
+        eprintln!(
+            "category digests (--filter-category {}): threads={threads:<2} wall={:.1}ms \
+             {skipped_cat}/{} segments skipped by digest ({pct:.1}%)",
+            rare_cat.name(),
+            secs * 1e3,
+            read + skipped,
+        );
+    }
+
+    // Frame-of-reference packing on `ssl.orig_h`: the manifest records
+    // every segment's encoding and payload size, so the compression
+    // delta against plain 4-byte rows is exact, not sampled.
+    let orig_h_for = {
+        let segs = reader_v2
+            .manifest()
+            .segments
+            .get("ssl.orig_h")
+            .expect("v2 manifest describes ssl.orig_h");
+        let plain: u64 = segs.iter().map(|s| s.rows * 4).sum();
+        let encoded: u64 = segs.iter().map(|s| s.bytes).sum();
+        let for_segments = segs.iter().filter(|s| s.encoding == Encoding::For).count();
+        eprintln!(
+            "orig_h frame-of-reference: {for_segments}/{} segments FoR-encoded, \
+             {plain} -> {encoded} bytes ({:.2}x)",
+            segs.len(),
+            plain as f64 / encoded.max(1) as f64,
+        );
+        JsonValue::Obj(vec![
+            ("segments".into(), JsonValue::Num(segs.len() as f64)),
+            ("for_segments".into(), JsonValue::Num(for_segments as f64)),
+            ("plain_bytes".into(), JsonValue::Num(plain as f64)),
+            ("encoded_bytes".into(), JsonValue::Num(encoded as f64)),
+            (
+                "compression_ratio".into(),
+                JsonValue::Num(plain as f64 / encoded.max(1) as f64),
+            ),
+        ])
+    };
     let _ = std::fs::remove_dir_all(&store_v1);
     let _ = std::fs::remove_dir_all(&store_v2);
 
@@ -442,6 +598,21 @@ fn main() {
                 ),
             ]),
         ),
+        (
+            "category_filter".into(),
+            JsonValue::Obj(vec![
+                (
+                    "category".into(),
+                    JsonValue::Str(rare_cat.name().to_string()),
+                ),
+                (
+                    "segments_skipped_pct".into(),
+                    JsonValue::Num(category_skipped_pct),
+                ),
+                ("results".into(), JsonValue::Arr(category_results)),
+            ]),
+        ),
+        ("orig_h_for".into(), orig_h_for),
         ("note".into(), JsonValue::Str(note)),
     ]);
     std::fs::write("BENCH_pipeline.json", doc.to_pretty()).expect("write BENCH_pipeline.json");

@@ -29,6 +29,7 @@
 pub mod classify;
 pub mod crosssign;
 pub mod dga;
+pub mod filtercat;
 pub mod graph;
 pub mod hybrid;
 pub mod interception;
@@ -47,6 +48,7 @@ pub use certchain_obs::json;
 
 pub use classify::CertClass;
 pub use crosssign::CrossSignRegistry;
+pub use filtercat::{chain_category, CategoryOracle, CertCat};
 pub use hybrid::{HybridCategory, NoPathCategory};
 pub use lint::{lint_chain, Finding, Severity};
 pub use matchpath::{MatchedRun, PathReport, PathVerdict};

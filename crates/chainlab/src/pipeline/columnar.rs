@@ -32,11 +32,12 @@ use super::categorize::{self, Prepared};
 use super::enrich::CertIndex;
 use super::ingest::{ChainAccum, IngestCounts};
 use super::{resolve_threads, Analysis, Pipeline, RowFilter};
+use crate::filtercat::{chain_category, CategoryOracle, CertCat};
 use crate::model::{CertRecord, ChainKey};
 use crate::usage::UsageStats;
 use certchain_colstore::{
-    ColError, ColResult, DatasetReader, SslColumns, SslSegments, X509Columns, X509Segments,
-    NONE_IDX, VERSION_V1,
+    CategoryDigest, CategorySet, ColError, ColResult, DatasetReader, SslColumns, SslSegments,
+    X509Columns, X509Segments, NONE_IDX, VERSION_V1,
 };
 use std::collections::{BTreeSet, HashMap};
 use std::net::Ipv4Addr;
@@ -76,9 +77,25 @@ impl Pipeline<'_> {
             enrich_columns(&reader.x509()?)?
         };
         self.record_enrich(reader.x509_rows(), unparseable, cert_index.len());
+        // v1 also has no per-fp-code tables, so the category predicate
+        // runs through the same oracle the TSV path uses.
+        let oracle = filter.categories.map(|set| {
+            CategoryOracle::new(
+                set,
+                cert_index.iter().map(|(fp, cert)| (*fp, &**cert)),
+                self.trust,
+            )
+        });
         let (prepared, counts) = {
             let _span = self.obs.stage("ingest");
-            ingest_columns(self, &reader.ssl()?, filter, &cert_index, threads)?
+            ingest_columns(
+                self,
+                &reader.ssl()?,
+                filter,
+                oracle.as_ref(),
+                &cert_index,
+                threads,
+            )?
         };
         Ok(self.finish(prepared, counts, threads))
     }
@@ -100,7 +117,14 @@ impl Pipeline<'_> {
         let ssl = reader.ssl_segments()?;
         let (prepared, counts, ssl_tally) = {
             let _span = self.obs.stage("ingest");
-            ingest_segments(self, &ssl, filter, &cert_index, threads)?
+            ingest_segments(
+                self,
+                &ssl,
+                filter,
+                reader.category_digests(),
+                &cert_index,
+                threads,
+            )?
         };
         // Scan accounting. Skip decisions are per-segment data
         // properties, so every value here is thread-count-invariant;
@@ -110,6 +134,8 @@ impl Pipeline<'_> {
         self.obs.add("colstore.rows_read", tally.rows);
         self.obs.add("colstore.segments_read", tally.read);
         self.obs.add("colstore.segments_skipped", tally.skipped);
+        self.obs
+            .add("colstore.segments_skipped_category", tally.skipped_category);
         self.obs.add("colstore.bytes_decoded", tally.bytes);
         Ok(self.finish(prepared, counts, threads))
     }
@@ -123,6 +149,11 @@ struct ColFilter {
     /// not in the store's dictionary, so no row can match. `Some(Some(c))`
     /// — match rows whose SNI dictionary code is exactly `c`.
     sni: Option<Option<u32>>,
+    /// The structural-category predicate. Evaluated per row through a
+    /// per-fingerprint-code [`CertCat`] table (v2) or a
+    /// [`CategoryOracle`] (v1), and per segment through the manifest's
+    /// category digests when the store carries them.
+    categories: Option<CategorySet>,
 }
 
 impl ColFilter {
@@ -134,6 +165,7 @@ impl ColFilter {
         Ok(ColFilter {
             port: filter.port,
             sni,
+            categories: filter.categories,
         })
     }
 
@@ -173,8 +205,11 @@ impl ColFilter {
 struct SegTally {
     /// Segments whose columns were decoded.
     read: u64,
-    /// Segments skipped entirely via zone maps.
+    /// Segments skipped entirely (zone maps or category digests);
+    /// `read + skipped` always equals the segment total scanned.
     skipped: u64,
+    /// The subset of `skipped` vetoed by a category digest.
+    skipped_category: u64,
     /// Rows in the decoded segments.
     rows: u64,
     /// Encoded payload bytes decoded.
@@ -186,6 +221,7 @@ impl SegTally {
         SegTally {
             read: self.read + other.read,
             skipped: self.skipped + other.skipped,
+            skipped_category: self.skipped_category + other.skipped_category,
             rows: self.rows + other.rows,
             bytes: self.bytes + other.bytes,
         }
@@ -325,6 +361,7 @@ fn fold_range(
     lo: u64,
     hi: u64,
     filter: &ColFilter,
+    oracle: Option<&CategoryOracle>,
     cert_index: &CertIndex,
 ) -> ColResult<(HashMap<ChainKey, ChainAccum>, IngestCounts)> {
     let mut accums: HashMap<ChainKey, ChainAccum> = HashMap::new();
@@ -334,8 +371,15 @@ fn fold_range(
         if !filter.admits(cols.resp_p(row), cols.sni_code(row)) {
             continue;
         }
-        counts.records += 1;
         cols.chain_fps_into(row, &mut fps)?;
+        // Same invisibility rule as the streaming reference: a
+        // category-rejected row moves no counter, not even `records`.
+        if let Some(oracle) = oracle {
+            if !oracle.admits(&fps) {
+                continue;
+            }
+        }
+        counts.records += 1;
         if fps.is_empty() {
             counts.no_chain += 1;
             continue;
@@ -373,12 +417,13 @@ fn ingest_columns(
     pipe: &Pipeline<'_>,
     cols: &SslColumns<'_>,
     filter: &ColFilter,
+    oracle: Option<&CategoryOracle>,
     cert_index: &CertIndex,
     threads: usize,
 ) -> ColResult<(Vec<Prepared>, IngestCounts)> {
     let rows = cols.rows;
     let (accums, counts) = if threads <= 1 || rows < 2 {
-        fold_range(cols, 0, rows, filter, cert_index)?
+        fold_range(cols, 0, rows, filter, oracle, cert_index)?
     } else {
         let per = rows.div_ceil(threads as u64);
         let parts: Vec<ColResult<_>> = std::thread::scope(|scope| {
@@ -386,7 +431,7 @@ fn ingest_columns(
                 .map(|w| {
                     let lo = (w * per).min(rows);
                     let hi = ((w + 1) * per).min(rows);
-                    scope.spawn(move || fold_range(cols, lo, hi, filter, cert_index))
+                    scope.spawn(move || fold_range(cols, lo, hi, filter, oracle, cert_index))
                 })
                 .collect();
             handles
@@ -435,15 +480,26 @@ impl CodeAccum {
     }
 }
 
-/// Fold segments `seg_lo..seg_hi` of a **v2** ssl table. Zone maps veto
-/// whole segments first; surviving segments decode only the five columns
-/// the fold touches, into scratch buffers reused across segments.
+/// Fold segments `seg_lo..seg_hi` of a **v2** ssl table. Category
+/// digests and zone maps veto whole segments first; surviving segments
+/// decode only the five columns the fold touches, into scratch buffers
+/// reused across segments.
+///
+/// `cats` maps every fingerprint code to its [`CertCat`] (with
+/// `Unresolved` doubling as the resolvability bit); `digests` is the
+/// manifest's per-segment category digest array when the store carries
+/// one. A digest veto is sound because the digest was computed by the
+/// same [`chain_category`] fold over the same complete certificate
+/// table at write time, and rejected rows are invisible to every
+/// counter — skipping the segment is exactly equivalent to testing each
+/// of its rows.
 fn fold_segments(
     ssl: &SslSegments<'_>,
     seg_lo: usize,
     seg_hi: usize,
     filter: &ColFilter,
-    resolvable: &[bool],
+    digests: Option<&[CategoryDigest]>,
+    cats: &[CertCat],
 ) -> ColResult<(HashMap<Vec<u32>, CodeAccum>, IngestCounts, SegTally)> {
     let mut accums: HashMap<Vec<u32>, CodeAccum> = HashMap::new();
     let mut counts = IngestCounts::default();
@@ -452,6 +508,14 @@ fn fold_segments(
     let (mut sni, mut orig_h, mut chain_idx) = (Vec::new(), Vec::new(), Vec::new());
     let mut codes: Vec<u32> = Vec::new();
     for seg in seg_lo..seg_hi {
+        if let (Some(set), Some(digests)) = (filter.categories, digests) {
+            // Digest-less segments (None overall) are never skipped.
+            if digests.get(seg).is_some_and(|d| !d.intersects(set)) {
+                tally.skipped += 1;
+                tally.skipped_category += 1;
+                continue;
+            }
+        }
         if !filter.may_match_segment(ssl, seg) {
             tally.skipped += 1;
             continue;
@@ -476,20 +540,15 @@ fn fold_segments(
             if !filter.admits(resp_p[i] as u16, sni_code) {
                 continue;
             }
-            counts.records += 1;
             let row = row_start + i as u64;
             let from = if i == 0 { chain_base } else { chain_idx[i - 1] };
             let chain_bytes = var_codes(ssl.chain_dat, from, chain_idx[i], "ssl.chain", row)?;
-            if chain_bytes.is_empty() {
-                counts.no_chain += 1;
-                continue;
-            }
             codes.clear();
             let mut all_resolvable = true;
             for entry in chain_bytes.chunks_exact(4) {
                 let code = u32::from_le_bytes(entry.try_into().expect("4-byte slice"));
-                match resolvable.get(code as usize) {
-                    Some(ok) => all_resolvable &= ok,
+                match cats.get(code as usize) {
+                    Some(cat) => all_resolvable &= *cat != CertCat::Unresolved,
                     None => {
                         return Err(ColError::Corrupt(format!(
                             "ssl.chain row {row}: fingerprint index {code} out of range"
@@ -497,6 +556,21 @@ fn fold_segments(
                     }
                 }
                 codes.push(code);
+            }
+            // Same invisibility rule as the streaming reference: a
+            // category-rejected row moves no counter, not even `records`
+            // (an empty chain folds to `none` here, matching the
+            // oracle's view of a chainless record).
+            if let Some(set) = filter.categories {
+                let cat = chain_category(codes.iter().map(|&c| cats[c as usize]));
+                if !set.contains(cat) {
+                    continue;
+                }
+            }
+            counts.records += 1;
+            if codes.is_empty() {
+                counts.no_chain += 1;
+                continue;
             }
             if !all_resolvable {
                 counts.unresolvable += 1;
@@ -530,27 +604,31 @@ fn ingest_segments(
     pipe: &Pipeline<'_>,
     ssl: &SslSegments<'_>,
     filter: &ColFilter,
+    digests: Option<&[CategoryDigest]>,
     cert_index: &CertIndex,
     threads: usize,
 ) -> ColResult<(Vec<Prepared>, IngestCounts, SegTally)> {
-    // Resolvability of every fingerprint code, precomputed once: the
-    // per-row test becomes a vector load instead of a hash probe.
-    let mut resolvable = vec![false; ssl.fp_count()];
-    for (code, slot) in resolvable.iter_mut().enumerate() {
-        *slot = cert_index.contains_key(&ssl.fp(code as u32)?);
+    // The category class of every fingerprint code, precomputed once
+    // (`Unresolved` doubles as the resolvability bit): the per-row tests
+    // become vector loads instead of hash probes and classifications.
+    let mut cats = vec![CertCat::Unresolved; ssl.fp_count()];
+    for (code, slot) in cats.iter_mut().enumerate() {
+        if let Some(cert) = cert_index.get(&ssl.fp(code as u32)?) {
+            *slot = CertCat::of(cert, pipe.trust);
+        }
     }
     let segs = ssl.segment_count();
     let (code_accums, counts, tally) = if threads <= 1 || segs < 2 {
-        fold_segments(ssl, 0, segs, filter, &resolvable)?
+        fold_segments(ssl, 0, segs, filter, digests, &cats)?
     } else {
         let per = segs.div_ceil(threads);
-        let resolvable = &resolvable;
+        let cats = &cats;
         let parts: Vec<ColResult<_>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
                     let lo = (w * per).min(segs);
                     let hi = ((w + 1) * per).min(segs);
-                    scope.spawn(move || fold_segments(ssl, lo, hi, filter, resolvable))
+                    scope.spawn(move || fold_segments(ssl, lo, hi, filter, digests, cats))
                 })
                 .collect();
             handles

@@ -18,6 +18,7 @@
 //! pipeline scale *negatively* with thread count.)
 
 use super::{Pipeline, SslItem};
+use crate::filtercat::CategoryOracle;
 use crate::model::ChainKey;
 use crate::usage::UsageStats;
 use certchain_netsim::SslRecord;
@@ -116,19 +117,24 @@ fn fold(accums: &mut HashMap<ChainKey, ChainAccum>, rec: &SslRecord, weight: f64
 /// returned map is one fold's worth of accumulation; callers merge it
 /// into longer-lived state ([`super::state::PipelineState`]) or hand it
 /// straight to finalize.
+///
+/// `oracle` is the resolved category predicate when the row filter asks
+/// for one (`None` otherwise); like the port/SNI tests it runs before
+/// any counter moves, so category-rejected records are invisible.
 pub(crate) fn accumulate<B, I>(
     pipe: &Pipeline<'_>,
     records: I,
     threads: usize,
+    oracle: Option<&CategoryOracle>,
 ) -> (HashMap<ChainKey, ChainAccum>, IngestCounts)
 where
     B: SslItem,
     I: Iterator<Item = (B, f64)>,
 {
     if threads <= 1 {
-        return sequential(pipe, records);
+        return sequential(pipe, records, oracle);
     }
-    dispatch(pipe, records, threads)
+    dispatch(pipe, records, threads, oracle)
 }
 
 /// The single-threaded fold — also the semantic reference the parallel
@@ -136,6 +142,7 @@ where
 fn sequential<B, I>(
     pipe: &Pipeline<'_>,
     records: I,
+    oracle: Option<&CategoryOracle>,
 ) -> (HashMap<ChainKey, ChainAccum>, IngestCounts)
 where
     B: SslItem,
@@ -146,14 +153,20 @@ where
     for (item, weight) in records {
         let rec = item.borrow();
         // The filter runs before any accounting: rejected records are
-        // invisible, which is what makes whole-segment zone-map skipping
-        // in the columnar path equivalent to this per-record test.
+        // invisible, which is what makes whole-segment zone-map and
+        // category-digest skipping in the columnar path equivalent to
+        // this per-record test.
         if !pipe
             .options
             .filter
             .admits(rec.resp_p, rec.server_name.as_deref())
         {
             continue;
+        }
+        if let Some(oracle) = oracle {
+            if !oracle.admits(&rec.cert_chain_fps) {
+                continue;
+            }
         }
         counts.records += 1;
         if counts.records % CHUNK as u64 == 0 {
@@ -184,6 +197,7 @@ fn dispatch<B, I>(
     pipe: &Pipeline<'_>,
     mut records: I,
     threads: usize,
+    oracle: Option<&CategoryOracle>,
 ) -> (HashMap<ChainKey, ChainAccum>, IngestCounts)
 where
     B: SslItem,
@@ -230,6 +244,11 @@ where
                         .admits(rec.resp_p, rec.server_name.as_deref())
                     {
                         continue;
+                    }
+                    if let Some(oracle) = oracle {
+                        if !oracle.admits(&rec.cert_chain_fps) {
+                            continue;
+                        }
                     }
                 }
                 counts.records += 1;

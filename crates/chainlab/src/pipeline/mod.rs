@@ -107,22 +107,32 @@ pub struct Analysis {
 /// analysis. Filtered-out records are completely invisible: they are not
 /// counted in `pipeline.ssl_records`, the no-chain tally, or the
 /// unresolvable tally. That strong semantics is what lets the segmented
-/// columnar path drop whole row bands via zone maps — skipping a segment
-/// none of whose rows can match is then *exactly* equivalent to testing
-/// every row, so filtered reports stay byte-identical across the TSV,
-/// v1-columnar, and v2-columnar paths at every thread count.
+/// columnar path drop whole row bands via zone maps and category
+/// digests — skipping a segment none of whose rows can match is then
+/// *exactly* equivalent to testing every row, so filtered reports stay
+/// byte-identical across the TSV, v1-columnar, and v2-columnar paths at
+/// every thread count.
+///
+/// `port` and `sni` test record fields directly ([`RowFilter::admits`]);
+/// `categories` tests the chain's structural category, which needs the
+/// certificate table and trust DBs, so it is evaluated through a
+/// [`crate::filtercat::CategoryOracle`] built after the x509 side has
+/// fully folded.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RowFilter {
     /// Keep only connections to this responder port.
     pub port: Option<u16>,
     /// Keep only connections that sent exactly this SNI.
     pub sni: Option<String>,
+    /// Keep only connections whose chain's structural category
+    /// ([`crate::filtercat::chain_category`]) is in the set.
+    pub categories: Option<certchain_colstore::CategorySet>,
 }
 
 impl RowFilter {
     /// Whether the filter admits every record (the default).
     pub fn is_empty(&self) -> bool {
-        self.port.is_none() && self.sni.is_none()
+        self.port.is_none() && self.sni.is_none() && self.categories.is_none()
     }
 
     /// Whether a record with this responder port and SNI passes.
@@ -273,7 +283,8 @@ impl<'a> Pipeline<'a> {
         {
             let _span = self.obs.stage("ingest");
             let _trace = self.obs.trace_span("pipeline.ingest");
-            let (accums, counts) = ingest::accumulate(self, records, threads);
+            let oracle = self.category_oracle(&state);
+            let (accums, counts) = ingest::accumulate(self, records, threads, oracle.as_ref());
             state.absorb(accums, counts);
         }
         self.finalize_state(&state)
@@ -299,6 +310,20 @@ impl<'a> Pipeline<'a> {
         self.fold_x509_stream(&mut state, x509)?;
         self.fold_ssl_stream(&mut state, ssl)?;
         Ok(self.finalize_state(&state))
+    }
+
+    /// Build the category predicate for the record paths, when the
+    /// filter asks for one. Must run only after the x509 side has fully
+    /// folded into `state` — the oracle snapshots the certificate table,
+    /// and a partial table would call resolvable chains `incomplete`.
+    pub(crate) fn category_oracle(
+        &self,
+        state: &PipelineState,
+    ) -> Option<crate::filtercat::CategoryOracle> {
+        self.options
+            .filter
+            .categories
+            .map(|set| state.category_oracle(set, self.trust))
     }
 
     /// Record enrich-stage accounting: row totals, parse failures, and

@@ -146,6 +146,10 @@ pub struct PipelineState {
     folded: Vec<String>,
     /// Generation of the last checkpoint written or loaded (0 = none).
     generation: u64,
+    /// Aggregate record counts per structural chain category, noted by
+    /// the caller (the category fold needs the trust DBs, which the
+    /// state does not hold). Persisted into checkpoint meta when set.
+    category_census: Option<[u64; certchain_colstore::CATEGORY_COUNT]>,
     /// In-memory change counter (bumps on every fold; not persisted).
     revision: u64,
     /// How many of `certs` are already in persisted chunks.
@@ -266,6 +270,57 @@ impl PipelineState {
         self.revision += 1;
     }
 
+    /// Aggregate per-category record counts over everything folded so
+    /// far — the checkpoint-level analogue of the columnar store's
+    /// per-segment category digests. Chainless records count as `none`;
+    /// chains with unresolved fingerprints as `incomplete` (they may
+    /// migrate to a resolved category once more x509 files fold, which
+    /// is why the census is recomputed at every checkpoint rather than
+    /// accumulated incrementally).
+    pub fn category_census(
+        &self,
+        trust: &certchain_trust::TrustDb,
+    ) -> [u64; certchain_colstore::CATEGORY_COUNT] {
+        let oracle = self.category_oracle(certchain_colstore::CategorySet::empty(), trust);
+        let mut counts = [0u64; certchain_colstore::CATEGORY_COUNT];
+        counts[certchain_colstore::Category::NoChain.index()] = self.no_chain;
+        // srclint: commutative — u64 additions into per-category slots
+        for (key, accum) in &self.chains {
+            counts[oracle.category(&key.0).index()] += accum.usage.records;
+        }
+        counts
+    }
+
+    /// Note a computed [`PipelineState::category_census`] for
+    /// persistence: the next checkpoint carries it in its meta block.
+    pub fn note_category_census(&mut self, census: [u64; certchain_colstore::CATEGORY_COUNT]) {
+        self.category_census = Some(census);
+    }
+
+    /// The last noted (or checkpoint-loaded) category census, if any.
+    pub fn noted_category_census(&self) -> Option<&[u64; certchain_colstore::CATEGORY_COUNT]> {
+        self.category_census.as_ref()
+    }
+
+    /// Build the category row-filter predicate over the interned
+    /// certificate table. Only sound once the x509 side has fully
+    /// folded: fingerprints missing from the table read as unresolved
+    /// and push chains into `incomplete`.
+    pub(crate) fn category_oracle(
+        &self,
+        set: certchain_colstore::CategorySet,
+        trust: &certchain_trust::TrustDb,
+    ) -> crate::filtercat::CategoryOracle {
+        crate::filtercat::CategoryOracle::new(
+            set,
+            self.certs
+                .iter()
+                .zip(&self.parsed)
+                .map(|(rec, cert)| (rec.fingerprint, &**cert)),
+            trust,
+        )
+    }
+
     /// The certificate index over the interned table — the same
     /// fingerprint → shared-record map the batch enrich stage builds.
     pub(crate) fn cert_index(&self) -> CertIndex {
@@ -330,6 +385,12 @@ impl PipelineState {
         );
         writer.set_meta("chains", JsonValue::Num(self.chains.len() as f64));
         writer.set_meta("certs", JsonValue::Num(self.certs.len() as f64));
+        if let Some(census) = &self.category_census {
+            writer.set_meta(
+                "category_census",
+                JsonValue::Arr(census.iter().map(|&n| JsonValue::Num(n as f64)).collect()),
+            );
+        }
         writer.set_meta(
             "loss",
             JsonValue::Obj(
@@ -389,6 +450,23 @@ impl PipelineState {
             generation: ckpt.generation,
             ..PipelineState::default()
         };
+        // Optional: checkpoints from before category digests carry none.
+        if let Some(arr) = ckpt.meta.get("category_census").and_then(JsonValue::as_arr) {
+            let mut census = [0u64; certchain_colstore::CATEGORY_COUNT];
+            if arr.len() != census.len() {
+                return Err(StateError::Corrupt(format!(
+                    "category census has {} entries, expected {}",
+                    arr.len(),
+                    census.len()
+                )));
+            }
+            for (slot, value) in census.iter_mut().zip(arr) {
+                *slot = value.as_u64().ok_or_else(|| {
+                    StateError::Corrupt("category census entry is not an integer".into())
+                })?;
+            }
+            state.category_census = Some(census);
+        }
         if let Some(obj) = ckpt.meta.get("loss").and_then(JsonValue::as_obj) {
             for (reason, count) in obj {
                 let n = count.as_u64().ok_or_else(|| {
@@ -565,7 +643,11 @@ impl Pipeline<'_> {
     /// form of the ingest stage, sharded across
     /// [`super::PipelineOptions::threads`] workers exactly like the batch
     /// fold. Certificate resolution is deferred to finalize, so this
-    /// never needs the x509 side to have arrived first.
+    /// never needs the x509 side to have arrived first — *unless* the
+    /// row filter names categories, whose predicate snapshots the
+    /// certificate table at fold time and therefore requires the x509
+    /// side to be complete first (the one-shot CLI paths guarantee this;
+    /// the incremental serve daemon does not expose category filtering).
     pub fn fold_ssl_stream<E, I>(&self, state: &mut PipelineState, ssl: I) -> Result<(), E>
     where
         I: Iterator<Item = Result<certchain_netsim::SslRecord, E>>,
@@ -573,12 +655,13 @@ impl Pipeline<'_> {
         let _span = self.obs.stage("ingest");
         let _trace = self.obs.trace_span("pipeline.ingest");
         let threads = super::resolve_threads(self.options.threads);
+        let oracle = self.category_oracle(state);
         let mut first_err: Option<E> = None;
         let records = super::FuseOnErr {
             inner: ssl,
             err: &mut first_err,
         };
-        let (accums, counts) = super::ingest::accumulate(self, records, threads);
+        let (accums, counts) = super::ingest::accumulate(self, records, threads, oracle.as_ref());
         if let Some(e) = first_err {
             return Err(e);
         }

@@ -278,3 +278,95 @@ fn multi_chunk_batches_stay_invariant() {
         );
     }
 }
+
+/// Run the pipeline with a category filter attached, returning the
+/// analysis and the deterministic metrics fingerprint.
+fn run_filtered(
+    ssl: &[SslRecord],
+    x509: &[X509Record],
+    weights: &[f64],
+    threads: usize,
+    set: certchain_colstore::CategorySet,
+) -> (Analysis, String) {
+    let trust = TrustDb::new();
+    let ct = DomainIndex::new();
+    let registry = std::sync::Arc::new(certchain_obs::Registry::new());
+    let pipeline = Pipeline::with_options(
+        &trust,
+        &ct,
+        CrossSignRegistry::new(),
+        PipelineOptions {
+            threads,
+            filter: certchain_chainlab::RowFilter {
+                categories: Some(set),
+                ..certchain_chainlab::RowFilter::default()
+            },
+            ..PipelineOptions::default()
+        },
+    )
+    .with_metrics(std::sync::Arc::clone(&registry));
+    let analysis = pipeline.analyze(ssl, x509, Some(weights));
+    (analysis, registry.snapshot().deterministic_fingerprint())
+}
+
+/// The oracle the filter must agree with: classify each record's chain
+/// with the same `chain_category` fold the store digests use, computed
+/// here directly from the certificate pool.
+fn manual_category(rec: &SslRecord) -> certchain_colstore::Category {
+    use certchain_chainlab::{chain_category, CertCat, CertRecord};
+    let trust = TrustDb::new();
+    let pool: std::collections::BTreeMap<Fingerprint, CertRecord> = cert_pool()
+        .iter()
+        .filter_map(|r| CertRecord::from_record(r).map(|c| (r.fingerprint, c)))
+        .collect();
+    chain_category(rec.cert_chain_fps.iter().map(|fp| {
+        pool.get(fp)
+            .map(|c| CertCat::of(c, &trust))
+            .unwrap_or(CertCat::Unresolved)
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A `--filter-category` analysis must equal analyzing the manually
+    /// pre-filtered record subset — the TSV post-filter oracle — at
+    /// every thread count, with thread-invariant deterministic metrics.
+    #[test]
+    fn category_filter_matches_postfilter_oracle(
+        records in proptest::collection::vec(arb_conn(), 0..160),
+        mask in 1u8..63,
+    ) {
+        let x509 = cert_pool();
+        let weights = weights_for(records.len());
+        let mut set = certchain_colstore::CategorySet::empty();
+        for cat in certchain_colstore::Category::all() {
+            if mask & (1 << cat.index()) != 0 {
+                set.insert(cat);
+            }
+        }
+        // The TSV post-filter path: drop non-matching records (and their
+        // weights) before the pipeline ever sees them.
+        let (kept, kept_weights): (Vec<SslRecord>, Vec<f64>) = records
+            .iter()
+            .zip(&weights)
+            .filter(|(rec, _)| set.contains(manual_category(rec)))
+            .map(|(rec, w)| (rec.clone(), *w))
+            .unzip();
+        let (oracle_analysis, _) = run(&kept, &x509, &kept_weights, 1);
+        let want = canon(&oracle_analysis);
+        let (seq_analysis, seq_metrics) = run_filtered(&records, &x509, &weights, 1, set);
+        prop_assert_eq!(&canon(&seq_analysis), &want, "sequential filter diverged");
+        for threads in [2usize, 8] {
+            let (par_analysis, par_metrics) =
+                run_filtered(&records, &x509, &weights, threads, set);
+            prop_assert_eq!(&canon(&par_analysis), &want, "threads = {} diverged", threads);
+            prop_assert_eq!(
+                &seq_metrics,
+                &par_metrics,
+                "metrics snapshot diverged at threads = {}",
+                threads
+            );
+        }
+    }
+}

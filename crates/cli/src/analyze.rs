@@ -38,6 +38,10 @@ pub struct AnalyzeOptions {
     pub filter_port: Option<u16>,
     /// Keep only connections that sent exactly this SNI.
     pub filter_sni: Option<String>,
+    /// Keep only connections whose chain's structural category is in
+    /// this set. On a v2 columnar store carrying category digests, the
+    /// filter skips whole segments whose digest proves no row matches.
+    pub filter_category: Option<certchain_colstore::CategorySet>,
 }
 
 impl AnalyzeOptions {
@@ -46,6 +50,7 @@ impl AnalyzeOptions {
         RowFilter {
             port: self.filter_port,
             sni: self.filter_sni.clone(),
+            categories: self.filter_category,
         }
     }
 }

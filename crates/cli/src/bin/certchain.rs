@@ -8,6 +8,7 @@
 //! certchain compact  --dir <dir> [--segment-rows N] [--metrics-json <path>]
 //! certchain analyze  --dir <dir> [--threads N] [--json] [--format tsv|columnar]
 //!                    [--filter-port N] [--filter-sni <name>]
+//!                    [--filter-category <list>]
 //!                    [--progress] [--metrics-json <path>] [-v]
 //! certchain validate <chain.pem> [--dir <dataset dir with trust/>]
 //! ```
@@ -36,10 +37,13 @@ USAGE:
       --segment-rows tunes the v2 row-band size.
   certchain compact --dir <dir> [--segment-rows N] [--metrics-json <path>]
       Rewrite <dir>/colstore/ in the current segmented (v2) format —
-      the live-migration path for v1 stores. The original store is
-      replaced only after the new one is complete.
+      the live-migration path for v1 stores, and for v2 stores a
+      recompaction that re-encodes every column with the newest codecs
+      and recomputes the per-segment category digests. The original
+      store is replaced only after the new one is complete.
   certchain analyze --dir <dir> [--json] [--threads N] [--format tsv|columnar]
                     [--filter-port N] [--filter-sni <name>]
+                    [--filter-category <list>]
                     [--progress] [--metrics-json <path>] [-v|--verbose]
       Analyze the dataset logs against <dir>/trust and <dir>/ct; --json
       emits the machine-readable summary. The columnar store is preferred
@@ -47,9 +51,12 @@ USAGE:
       forces one representation.
       --threads sets the worker-thread count (default: all cores); the
       output is identical for every value.
-      --filter-port / --filter-sni restrict the analysis to matching
-      connections (filtered rows are invisible); on a v2 store the
-      filter skips whole row bands via zone maps.
+      --filter-port / --filter-sni / --filter-category restrict the
+      analysis to matching connections (filtered rows are invisible); on
+      a v2 store the filters skip whole row bands via zone maps and
+      per-segment category digests. --filter-category takes a comma-
+      separated list of structural chain categories out of none /
+      incomplete / self_signed / public_only / non_public_only / hybrid.
 
   Observability (both commands; never changes the output bytes):
       --metrics-json <path>  write a certchain-metrics/v1 snapshot
@@ -171,6 +178,13 @@ fn run(args: &[String]) -> CliResult<String> {
                     None => None,
                 },
                 filter_sni: flag_value(args, "--filter-sni")?,
+                filter_category: match flag_value(args, "--filter-category")? {
+                    Some(list) => Some(
+                        certchain_colstore::CategorySet::parse_list(&list)
+                            .map_err(|e| CliError::Invalid(format!("--filter-category: {e}")))?,
+                    ),
+                    None => None,
+                },
             };
             analyze::analyze_opts(&PathBuf::from(dir), &opts)
         }

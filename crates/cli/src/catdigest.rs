@@ -1,0 +1,53 @@
+//! Category-digest backfill shared by `convert` and `compact`: both
+//! stream every x509 row before any ssl row, so they can build the
+//! complete fingerprint → [`CertCat`] table a digest provider needs and
+//! hand the store writer a closure running the same
+//! [`chain_category`] fold the analysis paths use. Digests written here
+//! therefore agree exactly with what `analyze --filter-category`
+//! computes per row, which is what makes whole-segment skips sound.
+
+use certchain_chainlab::{chain_category, CertCat, CertRecord};
+use certchain_colstore::write::CategoryProvider;
+use certchain_netsim::X509Record;
+use certchain_trust::TrustDb;
+use certchain_x509::Fingerprint;
+use std::collections::HashMap;
+
+/// The fingerprint → class table under construction during a writer's
+/// x509 pass.
+#[derive(Default)]
+pub(crate) struct CatCodes {
+    codes: HashMap<Fingerprint, CertCat>,
+}
+
+impl CatCodes {
+    pub(crate) fn new() -> CatCodes {
+        CatCodes::default()
+    }
+
+    /// Fold one x509 row: first parseable occurrence of a fingerprint
+    /// wins, unparseable rows stay absent — the same intern semantics as
+    /// every enrich path, so digest categories match analysis categories.
+    pub(crate) fn note(&mut self, rec: &X509Record, trust: &TrustDb) {
+        if self.codes.contains_key(&rec.fingerprint) {
+            return;
+        }
+        if let Some(cert) = CertRecord::from_record(rec) {
+            self.codes
+                .insert(rec.fingerprint, CertCat::of(&cert, trust));
+        }
+    }
+
+    /// Finish the table into a digest provider for
+    /// [`certchain_colstore::DatasetWriter::with_category_provider`].
+    pub(crate) fn into_provider(self) -> CategoryProvider {
+        let codes = self.codes;
+        Box::new(move |rec| {
+            chain_category(
+                rec.cert_chain_fps
+                    .iter()
+                    .map(|fp| codes.get(fp).copied().unwrap_or(CertCat::Unresolved)),
+            )
+        })
+    }
+}

@@ -8,7 +8,8 @@
 //! last, so an interrupted conversion never leaves a store that
 //! `analyze` would auto-detect.
 
-use crate::dataset::colstore_dir;
+use crate::catdigest::CatCodes;
+use crate::dataset::{colstore_dir, load_trust};
 use crate::{io_ctx, CliError, CliResult};
 use certchain_colstore::{DatasetWriter, WriterOptions, MANIFEST_FILE};
 use certchain_netsim::{SslLogStream, X509LogStream};
@@ -52,6 +53,14 @@ pub fn convert_opts(dir: &Path, opts: &ConvertOptions) -> CliResult<String> {
         segment_rows: opts.segment_rows.unwrap_or(defaults.segment_rows),
     };
     let col_err = |e: certchain_colstore::ColError| CliError::Invalid(format!("colstore: {e}"));
+    // Trust material drives the per-segment category digests. A dataset
+    // without it still converts — the store is then digest-less and
+    // `analyze --filter-category` simply cannot skip segments over it.
+    let trust = load_trust(dir).ok();
+    let mut notice = String::new();
+    if trust.is_none() {
+        notice.push_str("notice: trust material unavailable; category digests omitted\n");
+    }
     let manifest = {
         let _span = registry.stage("convert_total");
         let mut writer = DatasetWriter::create_with(&store, writer_opts).map_err(col_err)?;
@@ -60,9 +69,19 @@ pub fn convert_opts(dir: &Path, opts: &ConvertOptions) -> CliResult<String> {
             .map_err(io_ctx(format!("reading {}/x509.log", dir.display())))?;
         let x509_stream = X509LogStream::permissive(std::io::BufReader::new(x509_file));
         let x509_stats = x509_stream.stats();
+        let mut codes = CatCodes::new();
         for rec in x509_stream {
             let rec = rec.map_err(|e| CliError::Invalid(format!("x509.log: {e}")))?;
+            if let Some(trust) = &trust {
+                codes.note(&rec, trust);
+            }
             writer.append_x509(&rec).map_err(col_err)?;
+        }
+        // The x509 table is complete, so the category of any chain is
+        // now decidable — attach the digest provider before the first
+        // ssl row lands.
+        if trust.is_some() {
+            writer = writer.with_category_provider(codes.into_provider());
         }
 
         let ssl_file = std::fs::File::open(dir.join("ssl.log"))
@@ -96,7 +115,7 @@ pub fn convert_opts(dir: &Path, opts: &ConvertOptions) -> CliResult<String> {
             .map_err(io_ctx(format!("writing metrics to {}", path.display())))?;
     }
     Ok(format!(
-        "wrote v{} store: {} ssl rows, {} x509 rows, {} dictionary entries, {} fingerprints to {}\n",
+        "{notice}wrote v{} store: {} ssl rows, {} x509 rows, {} dictionary entries, {} fingerprints to {}\n",
         manifest.version,
         manifest.ssl_rows,
         manifest.x509_rows,

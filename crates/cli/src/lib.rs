@@ -16,6 +16,7 @@
 //! ```
 
 pub mod analyze;
+pub(crate) mod catdigest;
 pub mod compact;
 pub mod convert;
 pub mod dataset;

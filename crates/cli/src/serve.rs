@@ -299,6 +299,13 @@ pub fn serve(
             &cycle,
         )?;
         if folded > 0 {
+            // Persist the aggregate category census alongside the counts
+            // — the checkpoint-level analogue of the columnar store's
+            // per-segment category digests. Recomputed every cycle
+            // because late-arriving x509 files can migrate chains out of
+            // `incomplete`.
+            let census = state.category_census(&trust);
+            state.note_category_census(census);
             let generation = state
                 .save_checkpoint_traced(checkpoint, Some(&cycle))
                 .map_err(|e| {

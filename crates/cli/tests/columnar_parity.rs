@@ -333,3 +333,150 @@ fn filtered_analysis_skips_segments_and_matches_tsv() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn compact_preserves_digests_byte_for_byte() {
+    use certchain_cli::compact;
+    let dir = copy_dataset("digests");
+    let store = certchain_cli::dataset::colstore_dir(&dir);
+    let manifest = certchain_colstore::Manifest::load(&store).unwrap();
+    let before = manifest
+        .category_digests
+        .clone()
+        .expect("convert with trust material digests the store");
+    // Byte-for-byte: compare the digests' canonical JSON, not just the
+    // parsed counts.
+    let digest_json = |d: &[certchain_colstore::CategoryDigest]| {
+        certchain_obs::json::JsonValue::Arr(d.iter().map(|d| d.to_json()).collect()).to_pretty()
+    };
+    let summary = compact::compact(&dir).unwrap();
+    assert!(summary.contains("already v2"), "{summary}");
+    let manifest = certchain_colstore::Manifest::load(&store).unwrap();
+    let after = manifest
+        .category_digests
+        .expect("recompaction recomputes digests");
+    assert_eq!(digest_json(&before), digest_json(&after));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Shared body for the category-filter parity tests: analyze `dir` with
+/// `--filter-category non_public_only` in TSV and columnar form at
+/// threads 1/2/8, demand byte-identity, and return the last columnar
+/// run's metrics snapshot.
+fn category_parity(dir: &std::path::Path) -> JsonValue {
+    let set = certchain_colstore::CategorySet::parse_list("non_public_only").unwrap();
+    let metrics_path = dir.join("cat-metrics.json");
+    let filtered = |format: DatasetFormat, threads: usize| {
+        analyze::analyze_opts(
+            dir,
+            &analyze::AnalyzeOptions {
+                threads,
+                json: true,
+                format: Some(format),
+                filter_category: Some(set),
+                metrics_json: Some(metrics_path.clone()),
+                ..analyze::AnalyzeOptions::default()
+            },
+        )
+        .unwrap()
+    };
+    let baseline = filtered(DatasetFormat::Tsv, 1);
+    for threads in [1usize, 2, 8] {
+        assert_eq!(
+            filtered(DatasetFormat::Columnar, threads),
+            baseline,
+            "category-filtered columnar diverged at {threads} threads"
+        );
+    }
+    certchain_obs::json::parse(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap()
+}
+
+fn counter_of(snap: &JsonValue, name: &str) -> u64 {
+    snap.get("deterministic")
+        .and_then(|d| d.get("counters"))
+        .and_then(|c| c.get(name))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| panic!("counter {name} missing"))
+}
+
+#[test]
+fn category_filter_skips_segments_and_matches_tsv() {
+    let dir = copy_dataset("cat");
+    // Small row bands so the digests have many segments to veto.
+    convert::convert_opts(
+        &dir,
+        &convert::ConvertOptions {
+            force: true,
+            segment_rows: Some(32),
+            ..convert::ConvertOptions::default()
+        },
+    )
+    .unwrap();
+    let snap = category_parity(&dir);
+    assert!(
+        counter_of(&snap, "colstore.segments_skipped_category") > 0,
+        "digests must let a rare-category filter skip segments"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn digestless_stores_analyze_correctly_and_never_skip() {
+    // A v1 store has no digests at all: category filtering must fall
+    // back to per-row tests and still match the TSV oracle.
+    let dir = copy_dataset("cat-v1");
+    convert::convert_opts(
+        &dir,
+        &convert::ConvertOptions {
+            force: true,
+            store_version: Some(1),
+            ..convert::ConvertOptions::default()
+        },
+    )
+    .unwrap();
+    category_parity(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A digest-less v2 store (written by a pre-digest build, simulated
+    // by streaming the store through a writer with no provider): the
+    // fold must read every segment rather than guess.
+    let dir = copy_dataset("cat-v2nodigest");
+    let store = certchain_cli::dataset::colstore_dir(&dir);
+    let rewrite = store.with_file_name("colstore.rewrite");
+    {
+        let reader =
+            certchain_colstore::DatasetReader::open(&store, certchain_colstore::MapMode::Auto)
+                .unwrap();
+        let mut writer = certchain_colstore::DatasetWriter::create_with(
+            &rewrite,
+            certchain_colstore::WriterOptions {
+                segment_rows: 32,
+                ..certchain_colstore::WriterOptions::default()
+            },
+        )
+        .unwrap();
+        for rec in reader.x509_iter().unwrap() {
+            writer.append_x509(&rec.unwrap()).unwrap();
+        }
+        for rec in reader.ssl_iter().unwrap() {
+            writer.append_ssl(&rec.unwrap()).unwrap();
+        }
+        writer.finish().unwrap();
+    }
+    std::fs::remove_dir_all(&store).unwrap();
+    std::fs::rename(&rewrite, &store).unwrap();
+    assert!(
+        certchain_colstore::Manifest::load(&store)
+            .unwrap()
+            .category_digests
+            .is_none(),
+        "rewrite without a provider must be digest-less"
+    );
+    let snap = category_parity(&dir);
+    assert_eq!(
+        counter_of(&snap, "colstore.segments_skipped_category"),
+        0,
+        "a digest-less store must never category-skip a segment"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,256 @@
+//! The chain-category vocabulary for predicate pushdown.
+//!
+//! The report's headline tables slice by chain category, but the
+//! report-level labels (public-only / non-public-only / hybrid /
+//! interception) are *global* properties — interception needs a
+//! dataset-wide entity-discovery pass — so they cannot gate a per-row
+//! filter without changing results under composition. This module
+//! defines the **structural** category vocabulary instead: six disjoint
+//! classes computable from one ssl row's chain fingerprints plus the
+//! certificate table and trust databases alone, stable under any record
+//! order or thread count. Interception chains fall structurally under
+//! `non_public_only` (a forged chain is non-public by construction), so
+//! a `--filter-category non_public_only` pre-slice still contains every
+//! interception candidate.
+//!
+//! colstore stores only the *vocabulary* and per-segment digests (which
+//! categories occur in a row band, and how often); computing a row's
+//! category requires trust material and lives in `certchain-chainlab`.
+
+use crate::{ColError, ColResult};
+use certchain_obs::json::JsonValue;
+
+/// Number of structural categories; digests are `[u64; CATEGORY_COUNT]`.
+pub const CATEGORY_COUNT: usize = 6;
+
+/// Canonical category names, index-aligned with [`Category`] and digest
+/// count arrays. These are the `--filter-category` spellings.
+pub const CATEGORY_NAMES: [&str; CATEGORY_COUNT] = [
+    "none",
+    "incomplete",
+    "self_signed",
+    "public_only",
+    "non_public_only",
+    "hybrid",
+];
+
+/// One structural chain category. Disjoint and exhaustive over ssl rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Category {
+    /// No certificate chain on the record (TLS 1.3 per the logs).
+    NoChain = 0,
+    /// At least one chain fingerprint has no parseable x509 row.
+    Incomplete = 1,
+    /// A single self-signed (issuer == subject) non-public certificate.
+    SelfSigned = 2,
+    /// Every certificate is public-DB issued.
+    PublicOnly = 3,
+    /// Every certificate is non-public (and not the self-signed case).
+    NonPublicOnly = 4,
+    /// Public and non-public certificates mixed in one chain.
+    Hybrid = 5,
+}
+
+impl Category {
+    /// Digest/count-array index of this category.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Canonical name (the `--filter-category` spelling).
+    pub fn name(self) -> &'static str {
+        CATEGORY_NAMES[self.index()]
+    }
+
+    /// All categories, in index order.
+    pub fn all() -> [Category; CATEGORY_COUNT] {
+        [
+            Category::NoChain,
+            Category::Incomplete,
+            Category::SelfSigned,
+            Category::PublicOnly,
+            Category::NonPublicOnly,
+            Category::Hybrid,
+        ]
+    }
+
+    /// Parse a canonical name.
+    pub fn parse(s: &str) -> ColResult<Category> {
+        Category::all()
+            .into_iter()
+            .find(|c| c.name() == s)
+            .ok_or_else(|| {
+                ColError::Format(format!(
+                    "unknown chain category {s:?} (expected one of {})",
+                    CATEGORY_NAMES.join("/")
+                ))
+            })
+    }
+}
+
+/// A set of [`Category`] values — the `categories` row-filter predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CategorySet(u8);
+
+impl CategorySet {
+    /// The empty set (matches nothing).
+    pub fn empty() -> CategorySet {
+        CategorySet(0)
+    }
+
+    /// Whether no category is in the set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Add a category.
+    pub fn insert(&mut self, cat: Category) {
+        self.0 |= 1 << cat.index();
+    }
+
+    /// Membership test.
+    pub fn contains(self, cat: Category) -> bool {
+        self.0 & (1 << cat.index()) != 0
+    }
+
+    /// Parse a comma-separated list of category names.
+    pub fn parse_list(s: &str) -> ColResult<CategorySet> {
+        let mut set = CategorySet::empty();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            set.insert(Category::parse(part)?);
+        }
+        if set.is_empty() {
+            return Err(ColError::Format(format!(
+                "category list {s:?} names no category"
+            )));
+        }
+        Ok(set)
+    }
+
+    /// The member categories, in index order.
+    pub fn iter(self) -> impl Iterator<Item = Category> {
+        Category::all()
+            .into_iter()
+            .filter(move |c| self.contains(*c))
+    }
+}
+
+impl std::fmt::Display for CategorySet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.iter().map(Category::name).collect();
+        write!(f, "{}", names.join(","))
+    }
+}
+
+/// Per-segment category digest: how many of the segment's rows fall in
+/// each structural category. The occurrence *bitset* the skip rule needs
+/// is derivable (`counts[i] > 0`), so only the counts are persisted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CategoryDigest {
+    /// Row count per category, index-aligned with [`CATEGORY_NAMES`].
+    pub counts: [u64; CATEGORY_COUNT],
+}
+
+impl CategoryDigest {
+    /// Total rows covered by this digest.
+    pub fn rows(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Tally one row of `cat`.
+    pub fn add(&mut self, cat: Category) {
+        self.counts[cat.index()] += 1;
+    }
+
+    /// Whether any row in the digested segment falls in a category from
+    /// `set` — the segment-skip test: `false` proves the whole segment
+    /// is invisible under the filter.
+    pub fn intersects(&self, set: CategorySet) -> bool {
+        set.iter().any(|c| self.counts[c.index()] > 0)
+    }
+
+    /// Manifest form: a JSON array of six counts.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Arr(
+            self.counts
+                .iter()
+                .map(|&n| JsonValue::Num(n as f64))
+                .collect(),
+        )
+    }
+
+    /// Parse the manifest form, validating shape and count range.
+    pub fn from_json(v: &JsonValue) -> ColResult<CategoryDigest> {
+        let arr = v
+            .as_arr()
+            .ok_or_else(|| ColError::Format("category digest is not an array".into()))?;
+        if arr.len() != CATEGORY_COUNT {
+            return Err(ColError::Format(format!(
+                "category digest has {} entries, expected {CATEGORY_COUNT}",
+                arr.len()
+            )));
+        }
+        let mut counts = [0u64; CATEGORY_COUNT];
+        for (slot, v) in counts.iter_mut().zip(arr) {
+            *slot = v.as_u64().ok_or_else(|| {
+                ColError::Format("category digest count is not an unsigned integer".into())
+            })?;
+        }
+        Ok(CategoryDigest { counts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_indices_align() {
+        for (i, cat) in Category::all().into_iter().enumerate() {
+            assert_eq!(cat.index(), i);
+            assert_eq!(Category::parse(cat.name()).unwrap(), cat);
+            assert_eq!(CATEGORY_NAMES[i], cat.name());
+        }
+        assert!(Category::parse("interception").is_err());
+    }
+
+    #[test]
+    fn set_parse_and_membership() {
+        let set = CategorySet::parse_list("non_public_only, self_signed").unwrap();
+        assert!(set.contains(Category::NonPublicOnly));
+        assert!(set.contains(Category::SelfSigned));
+        assert!(!set.contains(Category::PublicOnly));
+        assert_eq!(set.to_string(), "self_signed,non_public_only");
+        assert!(CategorySet::parse_list("").is_err());
+        assert!(CategorySet::parse_list("bogus").is_err());
+    }
+
+    #[test]
+    fn digest_round_trip_and_intersection() {
+        let mut digest = CategoryDigest::default();
+        digest.add(Category::PublicOnly);
+        digest.add(Category::PublicOnly);
+        digest.add(Category::NoChain);
+        assert_eq!(digest.rows(), 3);
+        let back = CategoryDigest::from_json(&digest.to_json()).unwrap();
+        assert_eq!(back, digest);
+        let mut rare = CategorySet::empty();
+        rare.insert(Category::Hybrid);
+        assert!(!digest.intersects(rare));
+        rare.insert(Category::NoChain);
+        assert!(digest.intersects(rare));
+    }
+
+    #[test]
+    fn digest_rejects_malformed_json() {
+        assert!(CategoryDigest::from_json(&JsonValue::Num(3.0)).is_err());
+        assert!(CategoryDigest::from_json(&JsonValue::Arr(vec![])).is_err());
+        let bad = JsonValue::Arr(vec![JsonValue::Num(-1.0); CATEGORY_COUNT]);
+        assert!(CategoryDigest::from_json(&bad).is_err());
+    }
+}

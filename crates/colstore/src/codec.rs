@@ -1,7 +1,7 @@
 //! Per-segment integer codecs for the v2 format.
 //!
 //! Every fixed-width column value is widened to `u64` before encoding, so
-//! one codec set covers u8/u16/u32/u64 columns alike. Four encodings:
+//! one codec set covers u8/u16/u32/u64 columns alike. Five encodings:
 //!
 //! * **Plain** — values at the column's native width, little-endian. The
 //!   fallback; always representable.
@@ -13,11 +13,18 @@
 //!   non-decreasing segments (timestamps, end-offset columns).
 //! * **Rle** — `(value: width bytes LE, run: u32 LE)` pairs. Wins on
 //!   low-cardinality columns (ports, flags, established).
+//! * **For** — frame-of-reference: an 8-byte LE base (the segment
+//!   minimum) followed by `rows` offsets `v - base` packed at `param`
+//!   bytes each. Wins on wide columns whose values cluster in a narrow
+//!   range far from zero — `orig_h`, where a campus trace's client IPs
+//!   share a prefix, so Packed (anchored at zero) cannot shrink them.
 //!
 //! Selection is deterministic: the smallest encoded size wins, ties
-//! resolved by the fixed candidate order Plain, Packed, Delta, Rle — so
-//! identical input always produces identical bytes, which the workspace's
-//! byte-identity tests rely on.
+//! resolved by the fixed candidate order Plain, Packed, Delta, Rle, For —
+//! so identical input always produces identical bytes, which the
+//! workspace's byte-identity tests rely on. `For` was appended after the
+//! original four, so segments those codecs already won stay byte-stable
+//! across a re-encode.
 
 use crate::{ColError, ColResult};
 
@@ -32,6 +39,8 @@ pub enum Encoding {
     Delta,
     /// (value, u32 run-length) pairs.
     Rle,
+    /// Frame-of-reference: 8-byte base + packed `v - base` offsets.
+    For,
 }
 
 impl Encoding {
@@ -42,6 +51,7 @@ impl Encoding {
             Encoding::Packed => "packed",
             Encoding::Delta => "delta",
             Encoding::Rle => "rle",
+            Encoding::For => "for",
         }
     }
 
@@ -52,8 +62,9 @@ impl Encoding {
             "packed" => Ok(Encoding::Packed),
             "delta" => Ok(Encoding::Delta),
             "rle" => Ok(Encoding::Rle),
+            "for" => Ok(Encoding::For),
             other => Err(ColError::Format(format!(
-                "unknown segment encoding {other:?} (expected plain/packed/delta/rle)"
+                "unknown segment encoding {other:?} (expected plain/packed/delta/rle/for)"
             ))),
         }
     }
@@ -139,6 +150,19 @@ pub fn encode(values: &[u64], width: u8) -> (Encoding, u8, Vec<u8>) {
         best = (Encoding::Rle, width, rle_size);
     }
 
+    // Frame-of-reference: values rebased to the segment minimum, packed
+    // at the width of the (max - min) range. Only narrower-than-native
+    // offsets can win, and the strict `<` keeps every segment the four
+    // original codecs already encode at the same size byte-stable.
+    let min = values.iter().copied().min().unwrap_or(0);
+    let for_w = byte_width(max - min);
+    if rows > 0 && for_w < width {
+        let size = 8 + rows * for_w as usize;
+        if size < best.2 {
+            best = (Encoding::For, for_w, size);
+        }
+    }
+
     let (enc, param, size) = best;
     let mut out = Vec::with_capacity(size);
     match enc {
@@ -170,6 +194,12 @@ pub fn encode(values: &[u64], width: u8) -> (Encoding, u8, Vec<u8>) {
                 i = j;
             }
         }
+        Encoding::For => {
+            out.extend_from_slice(&min.to_le_bytes());
+            for &v in values {
+                put_at(&mut out, v - min, param);
+            }
+        }
     }
     debug_assert_eq!(out.len(), size);
     (enc, param, out)
@@ -182,6 +212,7 @@ pub fn validate_param(enc: Encoding, param: u8, width: u8) -> ColResult<()> {
         Encoding::Plain | Encoding::Rle => param == width,
         Encoding::Packed => matches!(param, 1 | 2 | 4 | 8) && param < width,
         Encoding::Delta => matches!(param, 1 | 2 | 4 | 8),
+        Encoding::For => matches!(param, 1 | 2 | 4) && param < width,
     };
     if ok {
         Ok(())
@@ -315,6 +346,44 @@ pub fn decode_into(
                 ));
             }
         }
+        Encoding::For => {
+            let expected = if rows == 0 {
+                0
+            } else {
+                8 + rows * param as usize
+            };
+            if bytes.len() != expected {
+                return Err(corrupt(
+                    "segment decode",
+                    format!(
+                        "{} for payload bytes, expected {expected} for {rows} rows",
+                        bytes.len()
+                    ),
+                ));
+            }
+            if rows == 0 {
+                return Ok(());
+            }
+            let base = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+            if base > max {
+                return Err(corrupt(
+                    "segment decode",
+                    format!("for base {base} exceeds {width}-byte column range"),
+                ));
+            }
+            let mut at = 8usize;
+            for _ in 0..rows {
+                let off = get_at(bytes, at, param);
+                at += param as usize;
+                let v = base.checked_add(off).filter(|&v| v <= max).ok_or_else(|| {
+                    corrupt(
+                        "segment decode",
+                        format!("for offset overflows {width}-byte column range"),
+                    )
+                })?;
+                out.push(v);
+            }
+        }
     }
     Ok(())
 }
@@ -389,5 +458,57 @@ mod tests {
         let mut out = Vec::new();
         assert!(decode_into(Encoding::Plain, 4, 4, 3, &[0u8; 11], &mut out).is_err());
         assert!(decode_into(Encoding::Packed, 9, 8, 1, &[0u8; 9], &mut out).is_err());
+    }
+
+    #[test]
+    fn clustered_wide_values_pick_for() {
+        // Campus-style client IPs: a /24 worth of spread, far from zero.
+        // Packed cannot shrink a 4-byte value anchored at zero; FoR packs
+        // the offsets at one byte each.
+        let base = u64::from(u32::from_be_bytes([10, 11, 12, 0]));
+        let values: Vec<u64> = (0..128).map(|i| base + (i * 37) % 251).collect();
+        let (enc, size) = round_trip(&values, 4);
+        assert_eq!(enc, Encoding::For);
+        assert_eq!(size, 8 + values.len());
+    }
+
+    #[test]
+    fn zero_anchored_values_prefer_packed_over_for() {
+        // Same spread but anchored at zero: Packed wins (no 8-byte base),
+        // pinning the tie-break order.
+        let values: Vec<u64> = (0..128).map(|i| (i * 37) % 251).collect();
+        let (enc, _) = round_trip(&values, 4);
+        assert_eq!(enc, Encoding::Packed);
+    }
+
+    #[test]
+    fn for_corruption_is_rejected() {
+        let base = 0xFFFF_FFF0u64;
+        // Unsorted so Delta is not offered and FoR wins.
+        let values: Vec<u64> = (0..16).map(|i| base + (i * 7) % 16).collect();
+        let (enc, param, bytes) = encode(&values, 4);
+        assert_eq!(enc, Encoding::For);
+        let mut out = Vec::new();
+        // Truncated payload.
+        assert!(decode_into(enc, param, 4, 16, &bytes[..bytes.len() - 1], &mut out).is_err());
+        out.clear();
+        // Base + offset overflowing the column range.
+        let mut bad = bytes.clone();
+        bad[8 + 15] = 0xFF; // last offset: 0xFFFF_FF00 + 0xFF overflows u32
+        assert!(decode_into(enc, param, 4, 16, &bad, &mut out).is_err());
+        out.clear();
+        // Base alone out of range for the column width.
+        let mut bad = bytes;
+        bad[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_into(enc, param, 4, 16, &bad, &mut out).is_err());
+    }
+
+    #[test]
+    fn for_name_round_trips() {
+        assert_eq!(Encoding::parse("for").unwrap(), Encoding::For);
+        assert_eq!(Encoding::For.name(), "for");
+        // param must be narrower than the column for FoR to be valid.
+        assert!(validate_param(Encoding::For, 4, 4).is_err());
+        assert!(validate_param(Encoding::For, 2, 4).is_ok());
     }
 }

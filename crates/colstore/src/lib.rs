@@ -87,6 +87,7 @@
 //! [`X509Segments`] on v2) so the analyze hot path can fold straight off
 //! the mapped bytes without constructing records at all.
 
+pub mod category;
 pub mod checkpoint;
 pub mod codec;
 pub mod dict;
@@ -97,6 +98,7 @@ pub mod segment;
 pub mod write;
 pub mod zonemap;
 
+pub use category::{Category, CategoryDigest, CategorySet, CATEGORY_COUNT, CATEGORY_NAMES};
 pub use checkpoint::{Checkpoint, CheckpointWriter, CHECKPOINT_MANIFEST_FILE, CHECKPOINT_SCHEMA};
 pub use manifest::{Manifest, MANIFEST_FILE, SCHEMA, STORE_DIR, VERSION, VERSION_V1};
 pub use map::{MapMode, Mapping};

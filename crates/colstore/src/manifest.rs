@@ -9,6 +9,7 @@
 //! rule consume. Unknown versions are a hard error — never a silent
 //! fallback.
 
+use crate::category::CategoryDigest;
 use crate::codec;
 use crate::segment::SegmentMeta;
 use crate::{ColError, ColResult, COLUMNS};
@@ -52,6 +53,13 @@ pub struct Manifest {
     /// Per-segment metadata for every fixed-width column (v2 only;
     /// empty in v1 manifests).
     pub segments: BTreeMap<String, Vec<SegmentMeta>>,
+    /// Optional per-ssl-segment chain-category digests (v2 only). When
+    /// present, one digest per ssl row band, each covering exactly that
+    /// band's rows — all-or-nothing: a store either digests every ssl
+    /// segment or records none, so the skip rule never has to reason
+    /// about partial coverage. `None` (old stores, or writers without a
+    /// category provider) simply disables category segment-skipping.
+    pub category_digests: Option<Vec<CategoryDigest>>,
 }
 
 impl Manifest {
@@ -90,6 +98,12 @@ impl Manifest {
                 })
                 .collect();
             fields.push(("segments".into(), JsonValue::Obj(segments)));
+            if let Some(digests) = &self.category_digests {
+                fields.push((
+                    "category_digests".into(),
+                    JsonValue::Arr(digests.iter().map(CategoryDigest::to_json).collect()),
+                ));
+            }
         }
         JsonValue::Obj(fields)
     }
@@ -154,6 +168,11 @@ impl Manifest {
                 parse_segments(doc)?
             } else {
                 BTreeMap::new()
+            },
+            category_digests: if version >= VERSION {
+                parse_category_digests(doc)?
+            } else {
+                None
             },
         };
         if manifest.version >= VERSION {
@@ -225,6 +244,24 @@ impl Manifest {
                 }
             }
         }
+        if let Some(digests) = &self.category_digests {
+            let bands = ssl_bands.as_deref().unwrap_or(&[]);
+            if digests.len() != bands.len() {
+                return Err(ColError::Format(format!(
+                    "{} category digests for {} ssl segments",
+                    digests.len(),
+                    bands.len()
+                )));
+            }
+            for (i, (digest, &rows)) in digests.iter().zip(bands).enumerate() {
+                if digest.rows() != rows {
+                    return Err(ColError::Format(format!(
+                        "category digest {i} covers {} rows, ssl segment has {rows}",
+                        digest.rows()
+                    )));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -254,6 +291,20 @@ impl Manifest {
             .map_err(crate::io_ctx(format!("syncing {}", path.display())))?;
         Ok(())
     }
+}
+
+fn parse_category_digests(doc: &JsonValue) -> ColResult<Option<Vec<CategoryDigest>>> {
+    let Some(value) = doc.get("category_digests") else {
+        return Ok(None);
+    };
+    let arr = value
+        .as_arr()
+        .ok_or_else(|| ColError::Format("manifest \"category_digests\" is not an array".into()))?;
+    let mut digests = Vec::with_capacity(arr.len());
+    for item in arr {
+        digests.push(CategoryDigest::from_json(item)?);
+    }
+    Ok(Some(digests))
 }
 
 fn parse_segments(doc: &JsonValue) -> ColResult<BTreeMap<String, Vec<SegmentMeta>>> {
@@ -291,6 +342,7 @@ mod tests {
             columns: COLUMNS.iter().map(|(n, _)| (n.to_string(), 0)).collect(),
             segment_rows: 0,
             segments: BTreeMap::new(),
+            category_digests: None,
         }
     }
 
@@ -408,5 +460,36 @@ mod tests {
         }
         let msg = Manifest::from_json(&doc).unwrap_err().to_string();
         assert!(msg.contains("segments"), "{msg}");
+    }
+
+    #[test]
+    fn v2_category_digests_round_trip() {
+        let mut m = sample_v2();
+        let mut digest = CategoryDigest::default();
+        digest.counts[crate::category::Category::PublicOnly.index()] = m.ssl_rows;
+        m.category_digests = Some(vec![digest]);
+        let back = Manifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        // A digest-less manifest stays digest-less (optional field).
+        m.category_digests = None;
+        let text = m.to_json().to_pretty();
+        assert!(!text.contains("category_digests"), "{text}");
+        assert_eq!(Manifest::from_json(&m.to_json()).unwrap(), m);
+    }
+
+    #[test]
+    fn v2_category_digest_mismatches_are_rejected() {
+        // Wrong digest count vs ssl segment count.
+        let mut m = sample_v2();
+        m.category_digests = Some(vec![]);
+        let msg = Manifest::from_json(&m.to_json()).unwrap_err().to_string();
+        assert!(msg.contains("category digests"), "{msg}");
+        // Digest whose row total disagrees with its segment.
+        let mut m = sample_v2();
+        let mut digest = CategoryDigest::default();
+        digest.counts[0] = m.ssl_rows + 1;
+        m.category_digests = Some(vec![digest]);
+        let msg = Manifest::from_json(&m.to_json()).unwrap_err().to_string();
+        assert!(msg.contains("category digest 0"), "{msg}");
     }
 }

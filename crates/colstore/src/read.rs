@@ -234,6 +234,14 @@ impl DatasetReader {
         self.manifest.x509_rows
     }
 
+    /// Per-ssl-segment chain-category digests, when the store carries
+    /// them (`None` on v1 stores and on v2 stores written without a
+    /// category provider — those segments are simply never skipped by a
+    /// category filter).
+    pub fn category_digests(&self) -> Option<&[crate::category::CategoryDigest]> {
+        self.manifest.category_digests.as_deref()
+    }
+
     /// Total bytes brought into memory across all columns (mapped or
     /// loaded, depending on [`MapMode`]).
     pub fn bytes_mapped(&self) -> u64 {

@@ -18,6 +18,7 @@
 //! fingerprint tables grow by their tails only (both are append-only by
 //! construction), and the cost of an append is O(new data), not O(store).
 
+use crate::category::{Category, CategoryDigest};
 use crate::codec;
 use crate::dict::{Dict, DictBuilder};
 use crate::manifest::{Manifest, VERSION_V1};
@@ -193,6 +194,11 @@ struct AppendBase {
     fp_entries: usize,
 }
 
+/// Computes one ssl row's structural chain [`Category`]. Classification
+/// needs trust material colstore does not hold, so the closure comes
+/// from the caller (see `certchain-chainlab`'s category oracle).
+pub type CategoryProvider = Box<dyn FnMut(&SslRecord) -> Category>;
+
 /// Streaming writer for one columnar store directory.
 pub struct DatasetWriter {
     dir: PathBuf,
@@ -208,6 +214,20 @@ pub struct DatasetWriter {
     ssl_rows: u64,
     x509_rows: u64,
     append_base: Option<AppendBase>,
+    /// Per-row category hook; when attached (and the store is v2), every
+    /// flushed ssl band gets a [`CategoryDigest`] in the manifest.
+    category_provider: Option<CategoryProvider>,
+    /// Categories of the ssl rows buffered in the current band.
+    cat_pending: Vec<Category>,
+    /// Digests of the ssl bands flushed so far (carried ones first).
+    cat_digests: Vec<CategoryDigest>,
+    /// Whether digest coverage is still complete. Digests are
+    /// all-or-nothing per store: one ssl band flushed without a provider
+    /// poisons coverage and `finish` drops the digests entirely, so the
+    /// reader never sees partially digested stores.
+    digests_live: bool,
+    /// Whether `append_open` found digests to carry forward.
+    carried_digests: bool,
 }
 
 fn width_of(name: &str) -> Option<u64> {
@@ -265,7 +285,23 @@ impl DatasetWriter {
             ssl_rows: 0,
             x509_rows: 0,
             append_base: None,
+            category_provider: None,
+            cat_pending: Vec::new(),
+            cat_digests: Vec::new(),
+            digests_live: true,
+            carried_digests: false,
         })
+    }
+
+    /// Attach a per-row category provider: every ssl band this writer
+    /// flushes from here on gets a per-segment [`CategoryDigest`] in the
+    /// manifest, which the analyze fold uses to skip whole segments
+    /// under `--filter-category`. Attach it before the first ssl row —
+    /// coverage is all-or-nothing, so a band appended earlier without a
+    /// provider makes `finish` drop every digest. No-op on v1 stores.
+    pub fn with_category_provider(mut self, provider: CategoryProvider) -> DatasetWriter {
+        self.category_provider = Some(provider);
+        self
     }
 
     /// Reopen an existing **v2** store for appending. New rows begin a
@@ -340,11 +376,21 @@ impl DatasetWriter {
                 bytes: *manifest.columns.get(*name).expect("manifest is complete"),
             });
         }
-        let metas = STREAMED
+        let metas: Vec<Vec<SegmentMeta>> = STREAMED
             .iter()
             .map(|name| manifest.segments.get(*name).cloned().unwrap_or_default())
             .collect();
+        // Digest coverage carries across an append only if the existing
+        // store was fully digested (or holds no ssl bands yet): appends
+        // can extend complete coverage but never repair a gap.
+        let ssl_bands = metas[SSL_TS].len();
+        let carried_digests = manifest.category_digests.is_some();
         Ok(DatasetWriter {
+            category_provider: None,
+            cat_pending: Vec::new(),
+            cat_digests: manifest.category_digests.clone().unwrap_or_default(),
+            digests_live: carried_digests || ssl_bands == 0,
+            carried_digests,
             dir: store_dir.to_path_buf(),
             version: VERSION,
             segment_rows: manifest.segment_rows,
@@ -417,8 +463,36 @@ impl DatasetWriter {
         Ok(())
     }
 
+    /// Flush one ssl row band and settle its category digest: digested
+    /// when a provider is attached, coverage poisoned when not.
+    fn flush_ssl_band(&mut self) -> ColResult<()> {
+        let rows = self.pending[SSL_TS].len();
+        self.flush_band(SSL_FIXED)?;
+        if self.category_provider.is_some() {
+            debug_assert_eq!(self.cat_pending.len(), rows);
+            let mut digest = CategoryDigest::default();
+            for &cat in &self.cat_pending {
+                digest.add(cat);
+            }
+            self.cat_pending.clear();
+            if self.digests_live {
+                self.cat_digests.push(digest);
+            }
+        } else {
+            self.digests_live = false;
+            self.cat_digests.clear();
+        }
+        Ok(())
+    }
+
     /// Append one `ssl.log` row.
     pub fn append_ssl(&mut self, rec: &SslRecord) -> ColResult<()> {
+        if self.version == VERSION {
+            if let Some(provider) = self.category_provider.as_mut() {
+                let cat = provider(rec);
+                self.cat_pending.push(cat);
+            }
+        }
         let sni = self.dict.intern_opt(rec.server_name.as_deref())?;
         let mut chain = Vec::with_capacity(rec.cert_chain_fps.len() * 4);
         for fp in &rec.cert_chain_fps {
@@ -440,7 +514,7 @@ impl DatasetWriter {
         self.put_fixed(SSL_CHAIN_IDX, chain_end)?;
         self.ssl_rows += 1;
         if self.version == VERSION && self.pending[SSL_TS].len() as u64 == self.segment_rows {
-            self.flush_band(SSL_FIXED)?;
+            self.flush_ssl_band()?;
         }
         Ok(())
     }
@@ -494,7 +568,7 @@ impl DatasetWriter {
     pub fn finish(mut self) -> ColResult<Manifest> {
         if self.version == VERSION {
             if !self.pending[SSL_TS].is_empty() {
-                self.flush_band(SSL_FIXED)?;
+                self.flush_ssl_band()?;
             }
             if !self.pending[X509_TS].is_empty() {
                 self.flush_band(X509_FIXED)?;
@@ -567,6 +641,13 @@ impl DatasetWriter {
                 }
             }
         }
+        // Digests ship only when coverage is complete AND something
+        // asked for them (a provider, or digests carried from the store
+        // being appended to). A digest-less store stays digest-less.
+        let category_digests = (self.version == VERSION
+            && self.digests_live
+            && (self.category_provider.is_some() || self.carried_digests))
+            .then(|| std::mem::take(&mut self.cat_digests));
         let manifest = Manifest {
             version: self.version,
             ssl_rows: self.ssl_rows,
@@ -580,6 +661,7 @@ impl DatasetWriter {
                 0
             },
             segments,
+            category_digests,
         };
         manifest.store(&self.dir)?;
         Ok(manifest)

@@ -10,8 +10,8 @@ use certchain_asn1::Asn1Time;
 use certchain_colstore::codec::{self, Encoding};
 use certchain_colstore::zonemap::ZoneMap;
 use certchain_colstore::{
-    ColError, DatasetReader, DatasetWriter, MapMode, WriterOptions, MANIFEST_FILE, NONE_IDX,
-    VERSION_V1,
+    Category, CategoryDigest, ColError, DatasetReader, DatasetWriter, MapMode, WriterOptions,
+    MANIFEST_FILE, NONE_IDX, VERSION_V1,
 };
 use certchain_netsim::{SslRecord, TlsVersion, X509Record};
 use certchain_x509::Fingerprint;
@@ -365,5 +365,152 @@ fn corrupted_segment_payload_fails_decode_not_panics() {
     let outcome = DatasetReader::open(&dir, MapMode::Auto)
         .and_then(|r| r.ssl_iter()?.collect::<Result<Vec<_>, _>>());
     assert!(outcome.is_err(), "corrupted offsets must surface an error");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Deterministic per-record category: a pure function of the chain's
+/// first fingerprint byte, so the same row always lands in the same
+/// category regardless of which writer digested it.
+fn cat_provider() -> certchain_colstore::write::CategoryProvider {
+    Box::new(|rec: &SslRecord| {
+        let idx = rec
+            .cert_chain_fps
+            .first()
+            .map(|fp| fp.0[0] as usize % Category::all().len())
+            .unwrap_or(0);
+        Category::all()[idx]
+    })
+}
+
+/// Digest the same rows the way a manifest digest would, for comparing
+/// against what the store actually recorded.
+fn digest_rows(rows: impl Iterator<Item = u64>) -> CategoryDigest {
+    let provider = cat_provider();
+    let mut f = provider;
+    let mut digest = CategoryDigest::default();
+    for i in rows {
+        digest.add(f(&ssl_row(i)));
+    }
+    digest
+}
+
+#[test]
+fn append_open_redigests_tail_bands_and_preserves_existing_digests() {
+    let dir = scratch("append-digest");
+    // Digest-bearing base store: 10 ssl rows at band 8 → digests [0..8), [8..10).
+    let mut writer = DatasetWriter::create_with(
+        &dir,
+        WriterOptions {
+            segment_rows: 8,
+            ..WriterOptions::default()
+        },
+    )
+    .expect("create store")
+    .with_category_provider(cat_provider());
+    for i in 0..6 {
+        writer.append_x509(&x509_row(i)).expect("append x509");
+    }
+    for i in 0..10 {
+        writer.append_ssl(&ssl_row(i)).expect("append ssl");
+    }
+    writer.finish().expect("finish base");
+    let base = DatasetReader::open(&dir, MapMode::Auto).expect("open base");
+    let base_digests = base.category_digests().expect("base is digested").to_vec();
+    assert_eq!(base_digests.len(), 2);
+    assert_eq!(base_digests[0], digest_rows(0..8));
+    assert_eq!(base_digests[1], digest_rows(8..10));
+    drop(base);
+
+    // Append with a provider: the new tail bands [10..18), [18..25) get
+    // fresh digests and the base bands' digests survive byte-for-byte.
+    let mut writer = DatasetWriter::append_open(&dir)
+        .expect("append_open")
+        .with_category_provider(cat_provider());
+    for i in 10..25 {
+        writer.append_ssl(&ssl_row(i)).expect("append ssl");
+    }
+    writer.finish().expect("finish append");
+    let reader = DatasetReader::open(&dir, MapMode::Auto).expect("open appended");
+    let digests = reader
+        .category_digests()
+        .expect("appended store keeps digests");
+    assert_eq!(digests.len(), 4, "one digest per ssl band");
+    assert_eq!(
+        &digests[..2],
+        &base_digests[..],
+        "existing digests preserved"
+    );
+    assert_eq!(digests[2], digest_rows(10..18));
+    assert_eq!(digests[3], digest_rows(18..25));
+    let rows: u64 = digests.iter().map(|d| d.rows()).sum();
+    assert_eq!(rows, reader.ssl_rows(), "digests cover every ssl row");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn append_without_provider_drops_digest_coverage_atomically() {
+    let dir = scratch("append-poison");
+    let mut writer = DatasetWriter::create_with(
+        &dir,
+        WriterOptions {
+            segment_rows: 8,
+            ..WriterOptions::default()
+        },
+    )
+    .expect("create store")
+    .with_category_provider(cat_provider());
+    for i in 0..10 {
+        writer.append_ssl(&ssl_row(i)).expect("append ssl");
+    }
+    writer.finish().expect("finish base");
+    assert!(DatasetReader::open(&dir, MapMode::Auto)
+        .expect("open base")
+        .category_digests()
+        .is_some());
+
+    // Appending a band without a provider poisons coverage: digests are
+    // all-or-nothing, so the manifest must drop every digest rather than
+    // keep a partial set the skip rule could misread.
+    let mut writer = DatasetWriter::append_open(&dir).expect("append_open");
+    for i in 10..12 {
+        writer.append_ssl(&ssl_row(i)).expect("append ssl");
+    }
+    writer.finish().expect("finish append");
+    assert!(
+        DatasetReader::open(&dir, MapMode::Auto)
+            .expect("open appended")
+            .category_digests()
+            .is_none(),
+        "partial digest coverage must not survive"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn append_with_provider_never_repairs_a_digestless_store() {
+    let dir = scratch("append-norepair");
+    // Base store written without a provider: digest-less.
+    write_v2(&dir, 10, 6, 8);
+    assert!(DatasetReader::open(&dir, MapMode::Auto)
+        .expect("open base")
+        .category_digests()
+        .is_none());
+
+    // Appending with a provider cannot digest the bands already on disk,
+    // so coverage stays absent — only `certchain compact` backfills.
+    let mut writer = DatasetWriter::append_open(&dir)
+        .expect("append_open")
+        .with_category_provider(cat_provider());
+    for i in 10..20 {
+        writer.append_ssl(&ssl_row(i)).expect("append ssl");
+    }
+    writer.finish().expect("finish append");
+    assert!(
+        DatasetReader::open(&dir, MapMode::Auto)
+            .expect("open appended")
+            .category_digests()
+            .is_none(),
+        "appends must not fabricate digests for undigested bands"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -41,8 +41,14 @@ pub const DAEMON_FILES: &[&str] = &[
 ];
 
 /// Files subject to durability-manifest-last: everywhere the colstore /
-/// checkpoint manifest-last commit convention must hold.
-pub const DURABILITY_PATHS: &[&str] = &["crates/colstore/src/", "crates/cli/src/compact.rs"];
+/// checkpoint manifest-last commit convention must hold. `convert.rs`
+/// and `compact.rs` both drive the digest-bearing store writer, so the
+/// category-digest write path is covered end to end.
+pub const DURABILITY_PATHS: &[&str] = &[
+    "crates/colstore/src/",
+    "crates/cli/src/compact.rs",
+    "crates/cli/src/convert.rs",
+];
 
 /// Parse-path prefixes handling untrusted input, subject to
 /// parser-checked-arith.
